@@ -1,0 +1,440 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every figure/table of the paper (experiments
+   F1-F9, G1, E1/E2, T1-T3 — see DESIGN.md §5 and EXPERIMENTS.md) and
+   the counted performance experiments (P4-P7, A1).
+
+   Part 2 times the core operations with Bechamel: one Test.make per
+   measured code path, grouped by subsystem. *)
+
+open Bechamel
+(* Toolkit.Instance is shadowed by Orion_core.Instance; qualify it. *)
+open Orion_core
+module A = Orion_schema.Attribute
+module D = Orion_schema.Domain
+module Schema = Orion_schema.Schema
+module VM = Orion_versions.Version_manager
+module Evolution = Orion_evolution.Evolution
+module Auth = Orion_authz.Auth
+module Authz = Orion_authz.Authz_manager
+module Lock_table = Orion_locking.Lock_table
+module Protocol = Orion_locking.Protocol
+module Part_gen = Orion_workload.Part_gen
+module Figures = Orion_experiments.Figures
+module Perf = Orion_experiments.Perf
+module Report = Orion_experiments.Report
+
+(* Part 1: figure reproduction --------------------------------------------- *)
+
+let run_reports () =
+  let reports = Figures.all () @ Perf.all () in
+  List.iter (fun r -> print_string (Report.to_string r)) reports;
+  let failed = List.filter (fun r -> not (Report.ok r)) reports in
+  Printf.printf "\n%d/%d experiments passed\n%!"
+    (List.length reports - List.length failed)
+    (List.length reports);
+  failed = []
+
+(* Part 2: timed micro-benchmarks ------------------------------------------- *)
+
+(* Fixtures are built once, outside the staged functions. *)
+
+let forest_of depth =
+  Part_gen.generate ~roots:4 { Part_gen.default with depth; seed = 21 }
+
+let bench_components_of =
+  let forests = List.map (fun d -> (d, forest_of d)) [ 2; 3; 4 ] in
+  Test.make_indexed ~name:"traversal/components-of" ~args:[ 2; 3; 4 ] (fun d ->
+      let forest = List.assoc d forests in
+      let root = List.hd forest.Part_gen.roots in
+      Staged.stage (fun () ->
+          ignore (Traversal.components_of forest.Part_gen.db root : Oid.t list)))
+
+let shared_forest repr =
+  let db = Database.create ~rref_repr:repr () in
+  Part_gen.generate ~db ~roots:4
+    { Part_gen.default with exclusive = false; share_prob = 0.4; seed = 5 }
+
+let deep_component forest =
+  let db = forest.Part_gen.db in
+  let root = List.hd forest.Part_gen.roots in
+  match List.rev (Traversal.components_of db root) with
+  | last :: _ -> last
+  | [] -> root
+
+let bench_parents_inline =
+  let forest = shared_forest Database.Inline in
+  let target = deep_component forest in
+  Test.make ~name:"traversal/parents-of (inline rrefs)"
+    (Staged.stage (fun () ->
+         ignore (Traversal.parents_of forest.Part_gen.db target : Oid.t list)))
+
+let bench_parents_external =
+  let forest = shared_forest Database.External in
+  let target = deep_component forest in
+  Test.make ~name:"traversal/parents-of (external rrefs)"
+    (Staged.stage (fun () ->
+         ignore (Traversal.parents_of forest.Part_gen.db target : Oid.t list)))
+
+let bench_ancestors =
+  let forest = forest_of 4 in
+  let target = deep_component forest in
+  Test.make ~name:"traversal/ancestors-of"
+    (Staged.stage (fun () ->
+         ignore (Traversal.ancestors_of forest.Part_gen.db target : Oid.t list)))
+
+(* Steady-state mutation: attach and detach one component. *)
+let bench_make_remove =
+  let db = Database.create () in
+  let define name attrs =
+    ignore
+      (Schema.define (Database.schema db) ~name ~attributes:attrs ()
+        : Orion_schema.Class_def.t)
+  in
+  define "Leafy" [];
+  define "Holder"
+    [
+      A.make ~name:"Kids" ~domain:(D.Class "Leafy") ~collection:A.Set
+        ~refkind:(A.composite ~exclusive:true ~dependent:false ())
+        ();
+    ];
+  let parent = Object_manager.create db ~cls:"Holder" () in
+  let child = Object_manager.create db ~cls:"Leafy" () in
+  Test.make ~name:"mutation/make+remove component"
+    (Staged.stage (fun () ->
+         Object_manager.make_component db ~parent ~attr:"Kids" ~child;
+         Object_manager.remove_component db ~parent ~attr:"Kids" ~child))
+
+(* Build-and-delete a dependent subtree (cost includes both construction
+   and the Deletion Rule cascade). *)
+let bench_delete_cascade =
+  let db = Database.create () in
+  ignore
+    (Part_gen.generate ~db ~roots:1 { Part_gen.default with depth = 1; seed = 1 }
+      : Part_gen.forest);
+  Test.make ~name:"deletion/build+cascade (depth 2)"
+    (Staged.stage (fun () ->
+         let forest =
+           Part_gen.generate ~db ~roots:1 { Part_gen.default with depth = 2; seed = 2 }
+         in
+         Object_manager.delete db (List.hd forest.Part_gen.roots)))
+
+let bench_codec =
+  let forest = shared_forest Database.Inline in
+  let db = forest.Part_gen.db in
+  let target = deep_component forest in
+  let inst = Database.get db target in
+  let image = Codec.encode db inst in
+  [
+    Test.make ~name:"codec/encode"
+      (Staged.stage (fun () -> ignore (Codec.encode db inst : bytes)));
+    Test.make ~name:"codec/decode"
+      (Staged.stage (fun () -> ignore (Codec.decode image : Instance.t)));
+  ]
+
+(* Version derivation of a composite object, steady state (the derived
+   version is deleted again). *)
+let bench_derive =
+  let db = Database.create () in
+  let define ?versionable name attrs =
+    ignore
+      (Schema.define (Database.schema db) ?versionable ~name ~attributes:attrs ()
+        : Orion_schema.Class_def.t)
+  in
+  define ~versionable:true "Dv" [];
+  define ~versionable:true "Cv"
+    [
+      A.make ~name:"Parts" ~domain:(D.Class "Dv") ~collection:A.Set
+        ~refkind:(A.composite ~exclusive:false ~dependent:false ())
+        ();
+    ];
+  let parts = List.init 8 (fun _ -> Object_manager.create db ~cls:"Dv" ()) in
+  let c =
+    Object_manager.create db ~cls:"Cv"
+      ~attrs:[ ("Parts", Value.VSet (List.map (fun p -> Value.Ref p) parts)) ]
+      ()
+  in
+  Test.make ~name:"versions/derive+delete (8 components)"
+    (Staged.stage (fun () ->
+         let v = VM.derive db c in
+         Object_manager.delete db v))
+
+(* Immediate state-independent change over 200 instances (flip the D
+   flag back and forth: steady state). *)
+let bench_evolution_immediate =
+  let db = Database.create () in
+  let define name attrs =
+    ignore
+      (Schema.define (Database.schema db) ~name ~attributes:attrs ()
+        : Orion_schema.Class_def.t)
+  in
+  define "Ce" [];
+  define "Cpe"
+    [
+      A.make ~name:"A" ~domain:(D.Class "Ce") ~collection:A.Set
+        ~refkind:(A.composite ~exclusive:true ~dependent:true ())
+        ();
+    ];
+  let ev = Evolution.attach db in
+  for _ = 1 to 200 do
+    let h = Object_manager.create db ~cls:"Cpe" () in
+    ignore (Object_manager.create db ~cls:"Ce" ~parents:[ (h, "A") ] () : Oid.t)
+  done;
+  let flag = ref true in
+  Test.make ~name:"evolution/immediate I3-I4 flip (200 instances)"
+    (Staged.stage (fun () ->
+         flag := not !flag;
+         match
+           Evolution.change_attribute_type ev ~mode:Evolution.Immediate ~cls:"Cpe"
+             ~attr:"A"
+             ~to_:(A.composite ~exclusive:true ~dependent:!flag ())
+             ()
+         with
+         | Ok _ -> ()
+         | Error _ -> failwith "unexpected rejection"))
+
+let bench_locking =
+  let forest = forest_of 3 in
+  let db = forest.Part_gen.db in
+  let root = List.hd forest.Part_gen.roots in
+  let composite_set = Protocol.composite_object_locks db ~root Protocol.Update in
+  let members = root :: Traversal.components_of db root in
+  let instance_sets =
+    List.map (fun oid -> Protocol.instance_locks db oid Protocol.Update) members
+  in
+  let table = Lock_table.create () in
+  let tx = ref 0 in
+  [
+    Test.make ~name:"locking/composite lock set (acquire+release)"
+      (Staged.stage (fun () ->
+           incr tx;
+           (match Protocol.acquire_all table ~tx:!tx composite_set with
+           | `Granted | `Blocked _ -> ());
+           ignore (Lock_table.release_all table ~tx:!tx : int list)));
+    Test.make
+      ~name:
+        (Printf.sprintf "locking/instance-at-a-time (%d objects)"
+           (List.length members))
+      (Staged.stage (fun () ->
+           incr tx;
+           List.iter
+             (fun set ->
+               match Protocol.acquire_all table ~tx:!tx set with
+               | `Granted | `Blocked _ -> ())
+             instance_sets;
+           ignore (Lock_table.release_all table ~tx:!tx : int list)));
+  ]
+
+let bench_authz =
+  let db = Database.create () in
+  let define ?superclasses name attrs =
+    ignore
+      (Schema.define (Database.schema db) ?superclasses ~name ~attributes:attrs ()
+        : Orion_schema.Class_def.t)
+  in
+  define "Nd" [];
+  define ~superclasses:[ "Nd" ] "Hd"
+    [
+      A.make ~name:"Parts" ~domain:(D.Class "Nd") ~collection:A.Set
+        ~refkind:(A.composite ~exclusive:false ~dependent:false ())
+        ();
+    ];
+  let root = Object_manager.create db ~cls:"Hd" () in
+  let mid = Object_manager.create db ~cls:"Hd" ~parents:[ (root, "Parts") ] () in
+  let leaf = Object_manager.create db ~cls:"Nd" ~parents:[ (mid, "Parts") ] () in
+  let authz = Authz.create db in
+  (match
+     Authz.grant authz ~subject:"kim" ~auth:(Auth.make Auth.Read)
+       ~target:(Authz.On_object root)
+   with
+  | Ok () -> ()
+  | Error _ -> failwith "grant failed");
+  [
+    Test.make ~name:"authz/combine (8x8 matrix)"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun a ->
+               List.iter
+                 (fun b -> ignore (Auth.combine [ a; b ] : Auth.combined))
+                 Auth.all)
+             Auth.all));
+    Test.make ~name:"authz/check on level-2 component"
+      (Staged.stage (fun () ->
+           ignore (Authz.check authz ~subject:"kim" ~op:Auth.Read leaf : bool)));
+  ]
+
+let bench_select_sweep =
+  let sizes = [ 500; 2000; 8000 ] in
+  let engines =
+    List.map
+      (fun size ->
+        let db = Database.create () in
+        ignore
+          (Schema.define (Database.schema db) ~name:"Sw"
+             ~attributes:[ A.make ~name:"K" ~domain:(D.Primitive D.P_integer) () ]
+             ()
+            : Orion_schema.Class_def.t);
+        for i = 1 to size do
+          ignore
+            (Object_manager.create db ~cls:"Sw" ~attrs:[ ("K", Value.Int (i mod 100)) ] ()
+              : Oid.t)
+        done;
+        (size, Orion_query.Engine.create db))
+      sizes
+  in
+  let expr = Orion_query.Expr.Cmp (Orion_query.Expr.Eq, [ "K" ], Value.Int 42) in
+  Test.make_indexed ~name:"query/select scan sweep" ~args:sizes (fun size ->
+      let engine = List.assoc size engines in
+      Staged.stage (fun () ->
+          ignore (Orion_query.Engine.select engine ~cls:"Sw" expr : Oid.t list)))
+
+let bench_delete_sweep =
+  let db = Database.create () in
+  ignore
+    (Part_gen.generate ~db ~roots:1 { Part_gen.default with depth = 1; seed = 1 }
+      : Part_gen.forest);
+  Test.make_indexed ~name:"deletion/build+cascade sweep (depth)" ~args:[ 1; 2; 3 ]
+    (fun depth ->
+      Staged.stage (fun () ->
+          let forest =
+            Part_gen.generate ~db ~roots:1
+              { Part_gen.default with depth; seed = depth + 40 }
+          in
+          Object_manager.delete db (List.hd forest.Part_gen.roots)))
+
+let bench_query =
+  let db = Database.create () in
+  let define name attrs =
+    ignore
+      (Schema.define (Database.schema db) ~name ~attributes:attrs ()
+        : Orion_schema.Class_def.t)
+  in
+  define "Item"
+    [
+      A.make ~name:"Cat" ~domain:(D.Primitive D.P_string) ();
+      A.make ~name:"Rank" ~domain:(D.Primitive D.P_integer) ();
+    ];
+  for i = 1 to 2000 do
+    ignore
+      (Object_manager.create db ~cls:"Item"
+         ~attrs:
+           [
+             ("Cat", Value.Str (Printf.sprintf "cat-%d" (i mod 50)));
+             ("Rank", Value.Int (i mod 97));
+           ]
+         ()
+        : Oid.t)
+  done;
+  let scan_engine = Orion_query.Engine.create db in
+  let idx_engine = Orion_query.Engine.create db in
+  ignore (Orion_query.Engine.add_index idx_engine ~cls:"Item" ~attr:"Cat"
+           : Orion_query.Index.t);
+  let expr = Orion_query.Expr.Cmp (Orion_query.Expr.Eq, [ "Cat" ], Value.Str "cat-7") in
+  [
+    Test.make ~name:"query/select scan (2000 objects)"
+      (Staged.stage (fun () ->
+           ignore (Orion_query.Engine.select scan_engine ~cls:"Item" expr : Oid.t list)));
+    Test.make ~name:"query/select indexed (2000 objects)"
+      (Staged.stage (fun () ->
+           ignore (Orion_query.Engine.select idx_engine ~cls:"Item" expr : Oid.t list)));
+  ]
+
+let bench_notify =
+  let db = Database.create () in
+  let define name attrs =
+    ignore
+      (Schema.define (Database.schema db) ~name ~attributes:attrs ()
+        : Orion_schema.Class_def.t)
+  in
+  define "NLeaf" [ A.make ~name:"T" ~domain:(D.Primitive D.P_string) () ];
+  define "NDoc"
+    [
+      A.make ~name:"Ls" ~domain:(D.Class "NLeaf") ~collection:A.Set
+        ~refkind:(A.composite ~exclusive:false ~dependent:false ())
+        ();
+    ];
+  let doc = Object_manager.create db ~cls:"NDoc" () in
+  let leaf = Object_manager.create db ~cls:"NLeaf" ~parents:[ (doc, "Ls") ] () in
+  let plain_db = Database.create () in
+  ignore
+    (Schema.define (Database.schema plain_db) ~name:"NLeaf"
+       ~attributes:[ A.make ~name:"T" ~domain:(D.Primitive D.P_string) () ]
+       ()
+      : Orion_schema.Class_def.t);
+  let plain_leaf = Object_manager.create plain_db ~cls:"NLeaf" () in
+  let n = Orion_notify.Notifier.create db in
+  let w = Orion_notify.Notifier.watch n doc in
+  let counter = ref 0 in
+  [
+    Test.make ~name:"notify/write without watcher"
+      (Staged.stage (fun () ->
+           incr counter;
+           Object_manager.write_attr plain_db plain_leaf "T"
+             (Value.Str (string_of_int !counter))));
+    Test.make ~name:"notify/write with watcher"
+      (Staged.stage (fun () ->
+           incr counter;
+           Object_manager.write_attr db leaf "T" (Value.Str (string_of_int !counter));
+           Orion_notify.Notifier.clear n w));
+  ]
+
+let bench_storage =
+  let store = Orion_storage.Store.create () in
+  let seg = Orion_storage.Store.new_segment store in
+  let record = Bytes.make 120 'r' in
+  Test.make ~name:"storage/insert+delete record"
+    (Staged.stage (fun () ->
+         let rid = Orion_storage.Store.insert store ~segment:seg record in
+         Orion_storage.Store.delete store rid))
+
+let all_tests =
+  [ bench_components_of; bench_parents_inline; bench_parents_external;
+    bench_ancestors; bench_make_remove; bench_delete_cascade ]
+  @ bench_codec
+  @ [ bench_derive; bench_evolution_immediate ]
+  @ bench_locking @ bench_authz @ bench_query @ bench_notify
+  @ [ bench_select_sweep; bench_delete_sweep; bench_storage ]
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.3) ~kde:None () in
+  let grouped = Test.make_grouped ~name:"orion" all_tests in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> est
+          | Some _ | None -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let table = Orion_util.Table.create ~headers:[ "benchmark"; "time/run" ] in
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Orion_util.Table.add_row table [ name; pretty ])
+    rows;
+  print_string (Orion_util.Table.render table)
+
+let () =
+  print_endline "==============================================================";
+  print_endline " Composite Objects Revisited (SIGMOD 1989) - experiment suite";
+  print_endline "==============================================================";
+  let experiments_ok = run_reports () in
+  print_endline "";
+  print_endline "=== Timed micro-benchmarks (Bechamel) ===";
+  run_benchmarks ();
+  if not experiments_ok then exit 1

@@ -1,0 +1,242 @@
+(* The orion CLI: REPL, experiment runner, demo and script runner. *)
+
+open Cmdliner
+module Eval = Orion_dsl.Eval
+module Repl = Orion_dsl.Repl
+module Figures = Orion_experiments.Figures
+module Perf = Orion_experiments.Perf
+module Report = Orion_experiments.Report
+
+let db_file =
+  Arg.(
+    value & opt (some string) None
+    & info [ "db" ] ~docv:"FILE"
+        ~doc:
+          "Persistent database file: loaded if it exists, saved on normal exit.")
+
+let open_env db_file =
+  match db_file with
+  | Some path when Sys.file_exists path ->
+      let store = Orion_storage.Store.load_file path in
+      let db = Orion_core.Persist.load store in
+      Eval.create_env ~db ()
+  | Some _ | None -> Eval.create_env ()
+
+let close_env env db_file =
+  match db_file with
+  | None -> ()
+  | Some path ->
+      let db = Eval.database env in
+      Orion_core.Persist.save db;
+      Orion_storage.Store.save_file (Orion_core.Database.store db) path;
+      Format.eprintf "database saved to %s@." path
+
+let repl_cmd =
+  let run db_file =
+    let env = open_env db_file in
+    Repl.run ~env stdin stdout;
+    close_env env db_file
+  in
+  Cmd.v (Cmd.info "repl" ~doc:"Interactive session in the paper's Lisp syntax")
+    Term.(const run $ db_file)
+
+let experiments_cmd =
+  let only =
+    Arg.(
+      value & opt (some string) None
+      & info [ "only" ] ~docv:"ID" ~doc:"Run only the experiment with this id (e.g. F7)")
+  in
+  let list_only =
+    Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and titles")
+  in
+  let run list_only only =
+    let reports = Figures.all () @ Perf.all () in
+    if list_only then begin
+      List.iter (fun r -> Printf.printf "%-4s %s\n" r.Report.id r.Report.title) reports;
+      exit 0
+    end;
+    let selected =
+      match only with
+      | None -> reports
+      | Some id ->
+          List.filter
+            (fun r -> String.lowercase_ascii r.Report.id = String.lowercase_ascii id)
+            reports
+    in
+    if selected = [] then begin
+      prerr_endline "no such experiment";
+      exit 2
+    end;
+    List.iter (fun r -> print_string (Report.to_string r)) selected;
+    if not (List.for_all Report.ok selected) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Reproduce the paper's figures, tables and counted experiments")
+    Term.(const run $ list_only $ only)
+
+let demo_script =
+  {|
+;; The paper's Example 2, live.
+(make-class 'Paragraph :attributes ((Text :domain String)))
+(make-class 'Image :attributes ((File :domain String)))
+(make-class 'Section :attributes (
+  (Content :domain (set-of Paragraph) :composite true :exclusive nil :dependent true)))
+(make-class 'Document :attributes (
+  (Title :domain String)
+  (Sections :domain (set-of Section) :composite true :exclusive nil :dependent true)
+  (Figures  :domain (set-of Image)   :composite true :exclusive nil :dependent nil)
+  (Annotations :domain (set-of Paragraph) :composite true :exclusive true :dependent true)))
+(setq book1 (make Document :Title "Composite Objects Revisited"))
+(setq book2 (make Document :Title "Object-Oriented Databases"))
+(setq chapter (make Section :parent ((book1 Sections) (book2 Sections))))
+(setq para (make Paragraph :parent ((chapter Content)) :Text "An identical chapter may be part of two books."))
+(components-of book1)
+(parents-of chapter)
+(shared-component-of chapter book1)
+(delete book1)
+(describe chapter)
+(delete book2)
+(count-objects)
+(integrity-check)
+|}
+
+let demo_cmd =
+  let run () =
+    let env = Eval.create_env () in
+    List.iter
+      (fun form ->
+        Format.printf "@[<h>orion> %s@]@." (Orion_util.Sexp.to_string form);
+        Format.printf "%a@." (Eval.pp_v env) (Eval.eval env form))
+      (Orion_util.Sexp.parse_many demo_script)
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run the Example-2 walkthrough and print each step")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Program file")
+  in
+  let run db_file file =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    let env = open_env db_file in
+    (try
+       List.iter
+         (fun (_, result) -> Format.printf "%a@." (Eval.pp_v env) result)
+         (Repl.run_script env src)
+     with
+    | Eval.Eval_error msg ->
+        Format.eprintf "error: %s@." msg;
+        exit 1
+    | Orion_core.Core_error.Error e ->
+        Format.eprintf "error: %a@." Orion_core.Core_error.pp e;
+        exit 1);
+    (match Orion_core.Integrity.check (Eval.database env) with
+    | [] -> ()
+    | violations ->
+        Format.eprintf "integrity violations:@.%a@."
+          (Format.pp_print_list Orion_core.Integrity.pp_violation)
+          violations;
+        exit 1);
+    close_env env db_file
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Evaluate an ORION program file and verify database integrity")
+    Term.(const run $ db_file $ file)
+
+let dump_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Program file")
+  in
+  let run file =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    let env = Eval.create_env () in
+    ignore (Repl.run_script env src : (Orion_util.Sexp.t * Eval.v) list);
+    print_string (Orion_dsl.Dump.dump (Eval.database env))
+  in
+  Cmd.v
+    (Cmd.info "dump"
+       ~doc:
+         "Evaluate an ORION program and print the resulting database as a \
+          re-loadable program")
+    Term.(const run $ file)
+
+let stats_cmd =
+  let file =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Database file or ORION program")
+  in
+  let run file =
+    let env =
+      (* Heuristic: .odb files are stores; anything else is a program. *)
+      if Filename.check_suffix file ".odb" then open_env (Some file)
+      else begin
+        let ic = open_in file in
+        let src = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        let env = Eval.create_env () in
+        ignore (Repl.run_script env src : (Orion_util.Sexp.t * Eval.v) list);
+        env
+      end
+    in
+    let db = Eval.database env in
+    let schema = Orion_core.Database.schema db in
+    let table =
+      Orion_util.Table.create
+        ~headers:[ "class"; "instances"; "composite attrs"; "segment" ]
+    in
+    List.iter
+      (fun (c : Orion_schema.Class_def.t) ->
+        let instances =
+          Orion_core.Database.instances_of db ~subclasses:false c.name
+        in
+        let composite_attrs =
+          List.filter Orion_schema.Attribute.is_composite
+            (Orion_schema.Schema.effective_attributes schema c.name)
+        in
+        Orion_util.Table.add_row table
+          [
+            c.name;
+            string_of_int (List.length instances);
+            string_of_int (List.length composite_attrs);
+            string_of_int c.segment;
+          ])
+      (Orion_schema.Schema.classes schema);
+    print_string (Orion_util.Table.render table);
+    let rref_total =
+      Orion_core.Database.fold db ~init:0 ~f:(fun acc inst ->
+          acc + List.length (Orion_core.Database.rrefs db inst.Orion_core.Instance.oid))
+    in
+    Printf.printf "objects: %d, composite references: %d, dangling weak refs: %d\n"
+      (Orion_core.Database.count db)
+      rref_total
+      (List.length (Orion_core.Integrity.dangling_weak_refs db));
+    match Orion_core.Integrity.check db with
+    | [] -> print_endline "integrity: consistent"
+    | violations ->
+        Format.printf "integrity violations:@.%a@."
+          (Format.pp_print_list Orion_core.Integrity.pp_violation)
+          violations;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Summarize a database file (.odb) or the result of a program")
+    Term.(const run $ file)
+
+let () =
+  let doc = "Composite objects a la ORION (Kim, Bertino & Garza, SIGMOD 1989)" in
+  let info = Cmd.info "orion" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info [ repl_cmd; experiments_cmd; demo_cmd; run_cmd; dump_cmd; stats_cmd ]))

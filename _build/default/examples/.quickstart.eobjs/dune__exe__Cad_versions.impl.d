@@ -1,0 +1,1 @@
+examples/cad_versions.ml: Database Format Integrity List Object_manager Oid Orion_core Orion_schema Orion_versions Traversal Value

@@ -1,0 +1,1 @@
+examples/design_authority.ml: Database Format Integrity List Object_manager Orion_authz Orion_core Orion_locking Orion_schema Orion_tx Value

@@ -1,0 +1,1 @@
+examples/document_store.ml: Format List Orion_core Orion_dsl Orion_util

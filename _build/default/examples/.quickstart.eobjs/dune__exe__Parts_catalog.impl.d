@@ -1,0 +1,1 @@
+examples/parts_catalog.ml: Array Database Filename Format Integrity List Object_manager Oid Orion_core Orion_query Orion_schema Orion_storage Persist Printf Sys Value

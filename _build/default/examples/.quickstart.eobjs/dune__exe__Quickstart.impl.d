@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core_error Database Format Integrity Object_manager Oid Orion_core Orion_schema Traversal Value

@@ -1,0 +1,1 @@
+examples/vehicle_assembly.ml: Core_error Database Format Integrity List Object_manager Orion_core Orion_storage Orion_workload Persist Printf Traversal

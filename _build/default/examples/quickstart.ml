@@ -1,0 +1,88 @@
+(* Quickstart: the public API in ~60 lines.
+
+   Run with: dune exec examples/quickstart.exe
+
+   We model a tiny assembly: a Robot whose Arm is an exclusive part
+   (reusable after dismantling) and whose Firmware is a dependent part
+   (dies with the robot). *)
+
+open Orion_core
+module A = Orion_schema.Attribute
+module D = Orion_schema.Domain
+module Schema = Orion_schema.Schema
+
+let () =
+  let db = Database.create () in
+  let schema = Database.schema db in
+
+  (* 1. Define classes.  Composite attributes carry the IS-PART-OF
+     semantics: exclusive/shared x dependent/independent. *)
+  let define name attrs =
+    ignore (Schema.define schema ~name ~attributes:attrs () : Orion_schema.Class_def.t)
+  in
+  define "Arm" [ A.make ~name:"Length" ~domain:(D.Primitive D.P_integer) () ];
+  define "Firmware" [ A.make ~name:"Version" ~domain:(D.Primitive D.P_string) () ];
+  define "Robot"
+    [
+      A.make ~name:"Name" ~domain:(D.Primitive D.P_string) ();
+      (* independent exclusive: one robot at a time, survives it *)
+      A.make ~name:"TheArm" ~domain:(D.Class "Arm")
+        ~refkind:(A.composite ~exclusive:true ~dependent:false ())
+        ();
+      (* dependent exclusive: deleted with the robot *)
+      A.make ~name:"TheFirmware" ~domain:(D.Class "Firmware")
+        ~refkind:(A.composite ~exclusive:true ~dependent:true ())
+        ();
+    ];
+
+  (* 2. Create objects bottom-up: parts first, then the whole. *)
+  let arm = Object_manager.create db ~cls:"Arm" ~attrs:[ ("Length", Value.Int 90) ] () in
+  let firmware =
+    Object_manager.create db ~cls:"Firmware" ~attrs:[ ("Version", Value.Str "1.0") ] ()
+  in
+  let robot =
+    Object_manager.create db ~cls:"Robot"
+      ~attrs:
+        [
+          ("Name", Value.Str "R2");
+          ("TheArm", Value.Ref arm);
+          ("TheFirmware", Value.Ref firmware);
+        ]
+      ()
+  in
+
+  (* 3. Query the composite object. *)
+  Format.printf "components of %a: %a@." Oid.pp robot
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Oid.pp)
+    (Traversal.components_of db robot);
+  Format.printf "parents of the arm: %a@."
+    (Format.pp_print_list Oid.pp)
+    (Traversal.parents_of db arm);
+  Format.printf "arm is an exclusive component: %b@."
+    (Traversal.exclusive_component_of db arm robot);
+
+  (* 4. The Make-Component rule at work: the arm cannot join a second
+     robot while attached. *)
+  let robot2 =
+    Object_manager.create db ~cls:"Robot" ~attrs:[ ("Name", Value.Str "R3") ] ()
+  in
+  (match Object_manager.make_component db ~parent:robot2 ~attr:"TheArm" ~child:arm with
+  | () -> assert false
+  | exception Core_error.Error e ->
+      Format.printf "second attachment rejected: %a@." Core_error.pp e);
+
+  (* 5. Deletion: the firmware (dependent) dies with the robot; the arm
+     (independent) survives and is reusable. *)
+  Object_manager.delete db robot;
+  Format.printf "after deleting the robot: arm exists = %b, firmware exists = %b@."
+    (Database.exists db arm) (Database.exists db firmware);
+  Object_manager.make_component db ~parent:robot2 ~attr:"TheArm" ~child:arm;
+  Format.printf "arm reattached to %a@." Oid.pp robot2;
+
+  (* 6. Invariants hold by construction; the checker agrees. *)
+  match Integrity.check db with
+  | [] -> print_endline "integrity: consistent"
+  | violations ->
+      Format.printf "violations:@.%a@."
+        (Format.pp_print_list Integrity.pp_violation)
+        violations

@@ -1,0 +1,1 @@
+lib/authz/auth.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/authz/auth.mli: Format

@@ -1,0 +1,1 @@
+lib/authz/authz_manager.ml: Auth Database Format Hashtbl List Oid Orion_core Orion_schema String Traversal

@@ -1,0 +1,1 @@
+lib/authz/authz_manager.mli: Auth Database Format Oid Orion_core

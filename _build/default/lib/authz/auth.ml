@@ -1,0 +1,104 @@
+type atype = Read | Write
+type sign = Positive | Negative
+type strength = Strong | Weak
+
+type t = { atype : atype; sign : sign; strength : strength }
+
+let make ?(strength = Strong) ?(sign = Positive) atype = { atype; sign; strength }
+
+let equal a b = a = b
+
+let to_string a =
+  Printf.sprintf "%s%s%s"
+    (match a.strength with Strong -> "s" | Weak -> "w")
+    (match a.sign with Positive -> "" | Negative -> "\xc2\xac" (* ¬ *))
+    (match a.atype with Read -> "R" | Write -> "W")
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)
+
+let all =
+  [
+    { atype = Read; sign = Positive; strength = Strong };
+    { atype = Write; sign = Positive; strength = Strong };
+    { atype = Read; sign = Negative; strength = Strong };
+    { atype = Write; sign = Negative; strength = Strong };
+    { atype = Read; sign = Positive; strength = Weak };
+    { atype = Write; sign = Positive; strength = Weak };
+    { atype = Read; sign = Negative; strength = Weak };
+    { atype = Write; sign = Negative; strength = Weak };
+  ]
+
+(* W+ implies R+; R- implies W-; each at the strength of the implier. *)
+let closure a =
+  match (a.atype, a.sign) with
+  | Write, Positive -> [ a; { a with atype = Read } ]
+  | Read, Negative -> [ a; { a with atype = Write } ]
+  | (Read, Positive) | (Write, Negative) -> [ a ]
+
+type combined = Conflict | Effective of t list
+
+let dedup auths =
+  List.fold_left (fun acc a -> if List.mem a acc then acc else acc @ [ a ]) [] auths
+
+let contradiction auths =
+  List.exists
+    (fun a ->
+      List.exists (fun b -> a.atype = b.atype && a.sign <> b.sign) auths)
+    auths
+
+let combine sources =
+  let closed = dedup (List.concat_map closure sources) in
+  let strong, weak = List.partition (fun a -> a.strength = Strong) closed in
+  if contradiction strong then Conflict
+  else
+    (* Strong authorizations override contradicting weak ones. *)
+    let weak =
+      List.filter
+        (fun w ->
+          not
+            (List.exists (fun s -> s.atype = w.atype && s.sign <> w.sign) strong))
+        weak
+    in
+    if contradiction weak then Conflict
+    else
+      (* A weak authorization also adds nothing when the same
+         authorization holds strongly. *)
+      let weak =
+        List.filter
+          (fun w ->
+            not (List.exists (fun s -> s.atype = w.atype && s.sign = w.sign) strong))
+          weak
+      in
+      Effective (strong @ weak)
+
+(* Keep only the strongest representatives: positive W subsumes positive
+   R; negative R subsumes negative W — per strength level. *)
+let strongest auths =
+  List.filter
+    (fun a ->
+      let subsumed_by b =
+        b.strength = a.strength && b.sign = a.sign
+        &&
+        match a.sign with
+        | Positive -> a.atype = Read && b.atype = Write
+        | Negative -> a.atype = Write && b.atype = Read
+      in
+      not (List.exists subsumed_by auths))
+    auths
+
+(* Canonical display order (the {!all} order) so cells compare as
+   strings regardless of combination order. *)
+let canonical auths =
+  List.filter (fun a -> List.mem a auths) all
+
+let display = function
+  | Conflict -> "Conflict"
+  | Effective [] -> "-"
+  | Effective auths -> String.concat " " (List.map to_string (canonical (strongest auths)))
+
+let allows combined op =
+  match combined with
+  | Conflict -> false
+  | Effective auths ->
+      List.exists (fun a -> a.atype = op && a.sign = Positive) auths
+      && not (List.exists (fun a -> a.atype = op && a.sign = Negative) auths)

@@ -1,0 +1,51 @@
+(** Authorization algebra (§6, after [RABI88]).
+
+    An authorization is an access type (Read or Write) with a sign
+    (positive grants, negative prohibits) and a strength (a strong
+    authorization cannot be overridden; a weak one can).  The
+    implication rules are the paper's: a positive W implies a positive
+    R, and a negative R implies a negative W — each at the strength of
+    the implying authorization.
+
+    {!combine} resolves the authorizations implied on one object by
+    several sources (e.g. two composite objects sharing the component,
+    Figure 5): strong–strong and weak–weak contradictions are
+    conflicts; a strong authorization overrides a contradicting weak
+    one (design decision D7). *)
+
+type atype = Read | Write
+type sign = Positive | Negative
+type strength = Strong | Weak
+
+type t = { atype : atype; sign : sign; strength : strength }
+
+val make : ?strength:strength -> ?sign:sign -> atype -> t
+(** Defaults: [Strong], [Positive]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+(** Paper notation: [sR], [sW], [s¬R], [s¬W], [wR], [wW], [w¬R], [w¬W]. *)
+
+val all : t list
+(** The eight authorizations, in the paper's display order. *)
+
+val closure : t -> t list
+(** The authorization together with everything it implies. *)
+
+type combined =
+  | Conflict
+  | Effective of t list
+      (** closed under implication, strong-overrides-weak applied,
+          duplicates removed *)
+
+val combine : t list -> combined
+
+val display : combined -> string
+(** Figure-6 cell rendering: ["Conflict"], or the strongest members of
+    the effective set (positive W subsumes positive R; negative R
+    subsumes negative W), e.g. ["sW"] or ["sR w¬W"]. *)
+
+val allows : combined -> atype -> bool
+(** Does the combined authorization allow the operation: a positive
+    authorization for it is effective and no negative one is. *)

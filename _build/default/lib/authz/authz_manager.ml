@@ -1,0 +1,122 @@
+open Orion_core
+module Schema = Orion_schema.Schema
+
+type subject = string
+
+type target = On_class of string | On_object of Oid.t
+
+let pp_target ppf = function
+  | On_class c -> Format.fprintf ppf "class %s" c
+  | On_object oid -> Format.fprintf ppf "object %a" Oid.pp oid
+
+type grant = { subject : subject; auth : Auth.t; target : target }
+
+type t = {
+  db : Database.t;
+  mutable grants : grant list;
+  memberships : (subject, subject list) Hashtbl.t;  (* member -> roles *)
+}
+
+let create db = { db; grants = []; memberships = Hashtbl.create 16 }
+
+let grants t = t.grants
+
+let add_member t ~role ~member =
+  let existing =
+    match Hashtbl.find_opt t.memberships member with Some l -> l | None -> []
+  in
+  if not (List.mem role existing) then
+    Hashtbl.replace t.memberships member (role :: existing)
+
+let roles_of t subject =
+  let seen = Hashtbl.create 8 in
+  let rec go s acc =
+    match Hashtbl.find_opt t.memberships s with
+    | None -> acc
+    | Some roles ->
+        List.fold_left
+          (fun acc role ->
+            if Hashtbl.mem seen role then acc
+            else begin
+              Hashtbl.replace seen role ();
+              go role (role :: acc)
+            end)
+          acc roles
+  in
+  List.rev (go subject [])
+
+(* The grant applies to [oid] when [oid] is the target object or a
+   component of it, or when the target class is (a superclass of) the
+   class of [oid] or of a composite object containing [oid]. *)
+let applies t oid (g : grant) =
+  let covering = oid :: Traversal.ancestors_of t.db oid in
+  match g.target with
+  | On_object o -> List.exists (Oid.equal o) covering
+  | On_class c ->
+      Schema.mem (Database.schema t.db) c
+      && List.exists
+           (fun covered ->
+             match Database.find t.db covered with
+             | None -> false
+             | Some inst ->
+                 Schema.is_subclass_of (Database.schema t.db) ~sub:inst.cls
+                   ~super:c)
+           covering
+
+let sources_for t ~subject oid =
+  let subjects = subject :: roles_of t subject in
+  t.grants
+  |> List.filter (fun g ->
+         List.exists (String.equal g.subject) subjects && applies t oid g)
+  |> List.map (fun g -> (g, g.auth))
+
+let implied_on t ~subject oid =
+  Auth.combine (List.map snd (sources_for t ~subject oid))
+
+let check t ~subject ~op oid = Auth.allows (implied_on t ~subject oid) op
+
+(* Objects on which the new grant will imply an authorization. *)
+let affected t (g : grant) =
+  match g.target with
+  | On_object o ->
+      if Database.exists t.db o then o :: Traversal.components_of t.db o else []
+  | On_class c ->
+      if not (Schema.mem (Database.schema t.db) c) then []
+      else
+        Database.instances_of t.db ~subclasses:true c
+        |> List.concat_map (fun inst -> inst :: Traversal.components_of t.db inst)
+        |> List.sort_uniq Oid.compare
+
+let grant t ~subject ~auth ~target =
+  let candidate = { subject; auth; target } in
+  let saved = t.grants in
+  t.grants <- t.grants @ [ candidate ];
+  let conflicting =
+    affected t candidate
+    |> List.filter_map (fun oid ->
+           match implied_on t ~subject oid with
+           | Auth.Conflict ->
+               Some
+                 (List.filter
+                    (fun (g, _) -> g != candidate)
+                    (sources_for t ~subject oid))
+           | Auth.Effective _ -> None)
+    |> List.concat_map (List.map fst)
+    |> List.fold_left (fun acc g -> if List.memq g acc then acc else g :: acc) []
+  in
+  if conflicting = [] then Ok ()
+  else begin
+    t.grants <- saved;
+    Error (List.rev conflicting)
+  end
+
+let revoke t ~subject ~auth ~target =
+  let before = List.length t.grants in
+  t.grants <-
+    List.filter
+      (fun g ->
+        not
+          (String.equal g.subject subject && Auth.equal g.auth auth
+          && g.target = target))
+      t.grants;
+  List.length t.grants < before

@@ -1,0 +1,59 @@
+(** Composite objects as a unit of authorization (§6).
+
+    An explicit authorization can be granted on a {e composite class}
+    (implying the same authorization on all instances of the class —
+    subclasses included — and on all their components) or on a
+    {e composite object} (implying it on every component).  Granting
+    checks for conflicts against the authorizations already implied on
+    every affected object and rejects the grant when one arises, as in
+    the paper's [Instance\[o'\]] examples. *)
+
+open Orion_core
+
+type subject = string
+(** A user or a role name; roles group subjects (see {!add_member}) —
+    the [RABI88] subject hierarchy reduced to transitive role
+    membership. *)
+
+type target =
+  | On_class of string
+  | On_object of Oid.t  (** the root of a composite object, or any object *)
+
+val pp_target : Format.formatter -> target -> unit
+
+type grant = { subject : subject; auth : Auth.t; target : target }
+
+type t
+
+val create : Database.t -> t
+
+val grants : t -> grant list
+
+val add_member : t -> role:subject -> member:subject -> unit
+(** [member] (a user or another role) inherits every authorization
+    granted to [role], transitively.  Cycles are tolerated (membership
+    closure uses a visited set). *)
+
+val roles_of : t -> subject -> subject list
+(** Transitive roles of the subject, without the subject itself. *)
+
+val grant :
+  t -> subject:subject -> auth:Auth.t -> target:target -> (unit, grant list) result
+(** Install the authorization unless it conflicts with the
+    authorizations implied on some affected object; on rejection the
+    conflicting existing grants are returned. *)
+
+val revoke : t -> subject:subject -> auth:Auth.t -> target:target -> bool
+(** Remove an explicit grant (true if present). *)
+
+val implied_on : t -> subject:subject -> Oid.t -> Auth.combined
+(** The combination of every authorization the subject holds on the
+    object: explicit grants on it, grants on composite objects it is a
+    component of, and grants on its class or an ancestor's class. *)
+
+val check : t -> subject:subject -> op:Auth.atype -> Oid.t -> bool
+(** [allows (implied_on …) op]. *)
+
+val sources_for : t -> subject:subject -> Oid.t -> (grant * Auth.t) list
+(** The explicit grants contributing to {!implied_on} (for the F4/F5
+    experiments' explanations). *)

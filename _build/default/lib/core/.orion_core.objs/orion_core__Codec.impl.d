@@ -1,0 +1,1 @@
+lib/core/codec.ml: Bytes Database Instance List Oid Orion_storage Printf Rref Value

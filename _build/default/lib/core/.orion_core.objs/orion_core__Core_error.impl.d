@@ -1,0 +1,1 @@
+lib/core/core_error.ml: Format Oid

@@ -1,0 +1,1 @@
+lib/core/core_error.mli: Format Oid

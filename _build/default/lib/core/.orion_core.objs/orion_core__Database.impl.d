@@ -1,0 +1,1 @@
+lib/core/database.ml: Core_error Instance List Oid Option Orion_schema Orion_storage Rref String Value

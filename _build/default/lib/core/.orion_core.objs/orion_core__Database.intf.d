@@ -1,0 +1,1 @@
+lib/core/database.mli: Instance Oid Orion_schema Orion_storage Rref Value

@@ -1,0 +1,1 @@
+lib/core/instance.ml: Format List Oid Orion_storage Printf Rref String Value

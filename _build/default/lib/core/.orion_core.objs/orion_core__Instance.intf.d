@@ -1,0 +1,1 @@
+lib/core/instance.mli: Format Oid Orion_storage Rref Value

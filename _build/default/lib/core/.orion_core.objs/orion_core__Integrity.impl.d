@@ -1,0 +1,1 @@
+lib/core/integrity.ml: Database Format Instance List Object_manager Oid Orion_schema Rref String Topology Value

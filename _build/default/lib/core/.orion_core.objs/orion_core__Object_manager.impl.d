@@ -1,0 +1,1 @@
+lib/core/object_manager.ml: Core_error Database Format Instance List Oid Option Orion_schema Rref String Topology Value

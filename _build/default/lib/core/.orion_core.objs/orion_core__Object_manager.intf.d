@@ -1,0 +1,1 @@
+lib/core/object_manager.mli: Database Instance Oid Orion_schema Value

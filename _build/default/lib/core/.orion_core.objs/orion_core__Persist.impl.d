@@ -1,0 +1,1 @@
+lib/core/persist.ml: Codec Database Format Hashtbl Instance List Oid Option Orion_schema Orion_storage Printf Queue Rref Value

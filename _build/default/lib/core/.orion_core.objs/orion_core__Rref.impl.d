@@ -1,0 +1,1 @@
+lib/core/rref.ml: Format List Oid String

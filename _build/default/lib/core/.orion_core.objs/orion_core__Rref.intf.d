@@ -1,0 +1,1 @@
+lib/core/rref.mli: Format Oid

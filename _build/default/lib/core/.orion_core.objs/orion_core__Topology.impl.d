@@ -1,0 +1,1 @@
+lib/core/topology.ml: Core_error List Rref

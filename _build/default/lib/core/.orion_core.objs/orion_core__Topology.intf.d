@@ -1,0 +1,1 @@
+lib/core/topology.mli: Core_error Rref

@@ -1,0 +1,1 @@
+lib/core/traversal.ml: Database Instance List Oid Option Orion_schema Queue Rref Value

@@ -1,0 +1,1 @@
+lib/core/value.ml: Format Hashtbl List Oid String

@@ -1,0 +1,147 @@
+module W = Orion_storage.Bytes_rw.Writer
+module R = Orion_storage.Bytes_rw.Reader
+
+let corrupt msg = raise (R.Corrupt msg)
+
+let rec write_value w = function
+  | Value.Null -> W.u8 w 0
+  | Value.Int n ->
+      W.u8 w 1;
+      W.int w n
+  | Value.Float f ->
+      W.u8 w 2;
+      W.float w f
+  | Value.Str s ->
+      W.u8 w 3;
+      W.string w s
+  | Value.Bool b ->
+      W.u8 w 4;
+      W.bool w b
+  | Value.Ref oid ->
+      W.u8 w 5;
+      W.int w (Oid.to_int oid)
+  | Value.VSet vs ->
+      W.u8 w 6;
+      W.int w (List.length vs);
+      List.iter (write_value w) vs
+
+let rec read_value r =
+  match R.u8 r with
+  | 0 -> Value.Null
+  | 1 -> Value.Int (R.int r)
+  | 2 -> Value.Float (R.float r)
+  | 3 -> Value.Str (R.string r)
+  | 4 -> Value.Bool (R.bool r)
+  | 5 -> Value.Ref (Oid.of_int (R.int r))
+  | 6 ->
+      let n = R.int r in
+      Value.VSet (List.init n (fun _ -> read_value r))
+  | tag -> corrupt (Printf.sprintf "bad value tag %d" tag)
+
+let write_rref w (r : Rref.t) =
+  W.int w (Oid.to_int r.parent);
+  W.string w r.attr;
+  W.bool w r.exclusive;
+  W.bool w r.dependent
+
+let read_rref r : Rref.t =
+  let parent = Oid.of_int (R.int r) in
+  let attr = R.string r in
+  let exclusive = R.bool r in
+  let dependent = R.bool r in
+  { parent; attr; exclusive; dependent }
+
+let write_gref w (g : Rref.gref) =
+  W.int w (Oid.to_int g.g_parent);
+  W.string w g.g_attr;
+  W.bool w g.g_exclusive;
+  W.bool w g.g_dependent;
+  W.int w g.count
+
+let read_gref r : Rref.gref =
+  let g_parent = Oid.of_int (R.int r) in
+  let g_attr = R.string r in
+  let g_exclusive = R.bool r in
+  let g_dependent = R.bool r in
+  let count = R.int r in
+  { g_parent; g_attr; g_exclusive; g_dependent; count }
+
+let write_list w f items =
+  W.int w (List.length items);
+  List.iter (f w) items
+
+let read_list r f =
+  let n = R.int r in
+  List.init n (fun _ -> f r)
+
+let encode db (inst : Instance.t) =
+  let w = W.create () in
+  W.int w (Oid.to_int inst.oid);
+  W.string w inst.cls;
+  (match inst.kind with
+  | Instance.Plain -> W.u8 w 0
+  | Instance.Generic gi ->
+      W.u8 w 1;
+      write_list w (fun w v -> W.int w (Oid.to_int v)) gi.versions;
+      (match gi.user_default with
+      | None -> W.bool w false
+      | Some d ->
+          W.bool w true;
+          W.int w (Oid.to_int d));
+      W.int w gi.next_version_no;
+      write_list w write_gref gi.grefs
+  | Instance.Version vi ->
+      W.u8 w 2;
+      W.int w (Oid.to_int vi.generic);
+      W.int w vi.version_no;
+      (match vi.derived_from with
+      | None -> W.bool w false
+      | Some d ->
+          W.bool w true;
+          W.int w (Oid.to_int d));
+      W.int w vi.created_at);
+  W.int w inst.cc;
+  write_list w
+    (fun w (name, v) ->
+      W.string w name;
+      write_value w v)
+    inst.attrs;
+  (match Database.rref_repr db with
+  | Database.Inline -> write_list w write_rref inst.rrefs
+  | Database.External -> W.int w 0);
+  W.contents w
+
+let decode data =
+  let r = R.of_bytes data in
+  let oid = Oid.of_int (R.int r) in
+  let cls = R.string r in
+  let kind =
+    match R.u8 r with
+    | 0 -> Instance.Plain
+    | 1 ->
+        let versions = read_list r (fun r -> Oid.of_int (R.int r)) in
+        let user_default =
+          if R.bool r then Some (Oid.of_int (R.int r)) else None
+        in
+        let next_version_no = R.int r in
+        let grefs = read_list r read_gref in
+        Instance.Generic { versions; user_default; next_version_no; grefs }
+    | 2 ->
+        let generic = Oid.of_int (R.int r) in
+        let version_no = R.int r in
+        let derived_from = if R.bool r then Some (Oid.of_int (R.int r)) else None in
+        let created_at = R.int r in
+        Instance.Version { generic; version_no; derived_from; created_at }
+    | tag -> corrupt (Printf.sprintf "bad kind tag %d" tag)
+  in
+  let cc = R.int r in
+  let attrs =
+    read_list r (fun r ->
+        let name = R.string r in
+        let v = read_value r in
+        (name, v))
+  in
+  let rrefs = read_list r read_rref in
+  { Instance.oid; cls; kind; attrs; rrefs; cc; cluster_with = None; rid = None }
+
+let encoded_size db inst = Bytes.length (encode db inst)

@@ -1,0 +1,16 @@
+(** Object (de)serialization for the record store.
+
+    The encoding is self-contained per object: OID, class name, kind
+    (with version/generic bookkeeping), change count, attribute values,
+    and — when the database keeps reverse references inline (§2.4) —
+    the reverse reference list, which is what makes the paper's
+    "object size increases" trade-off measurable (ablation A1). *)
+
+val encode : Database.t -> Instance.t -> bytes
+
+val decode : bytes -> Instance.t
+(** The [rid] and [cluster_with] fields are not part of the image; the
+    decoded instance has them unset.
+    @raise Orion_storage.Bytes_rw.Reader.Corrupt on malformed input. *)
+
+val encoded_size : Database.t -> Instance.t -> int

@@ -1,0 +1,62 @@
+type topology_reason =
+  | Child_has_composite_parent
+  | Child_has_exclusive_parent
+  | Generic_exclusive_other_hierarchy
+  | Would_create_cycle of Oid.t list
+
+type t =
+  | Unknown_object of Oid.t
+  | Not_an_instance_holder of Oid.t
+  | Unknown_attribute of { cls : string; attr : string }
+  | Not_composite_attribute of { cls : string; attr : string }
+  | Type_error of { cls : string; attr : string; value : string; expected : string }
+  | Topology_violation of { child : Oid.t; parent : Oid.t; attr : string; reason : topology_reason }
+  | Not_a_component of { child : Oid.t; parent : Oid.t; attr : string }
+  | Not_versionable of Oid.t
+  | Version_error of { oid : Oid.t; reason : string }
+
+exception Error of t
+
+let raise_error e = raise (Error e)
+
+let pp_reason ppf = function
+  | Child_has_composite_parent ->
+      Format.pp_print_string ppf
+        "target of an exclusive reference already has a composite reference to it"
+  | Child_has_exclusive_parent ->
+      Format.pp_print_string ppf
+        "target of a shared reference already has an exclusive reference to it"
+  | Generic_exclusive_other_hierarchy ->
+      Format.pp_print_string ppf
+        "generic instance already referenced exclusively from a different \
+         version-derivation hierarchy"
+  | Would_create_cycle path ->
+      Format.fprintf ppf "would create a composite cycle through %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " -> ")
+           Oid.pp)
+        path
+
+let pp ppf = function
+  | Unknown_object oid -> Format.fprintf ppf "unknown object %a" Oid.pp oid
+  | Not_an_instance_holder oid ->
+      Format.fprintf ppf "%a is a generic instance and holds no attribute values"
+        Oid.pp oid
+  | Unknown_attribute { cls; attr } ->
+      Format.fprintf ppf "class %s has no attribute %s" cls attr
+  | Not_composite_attribute { cls; attr } ->
+      Format.fprintf ppf "%s.%s is not a composite attribute" cls attr
+  | Type_error { cls; attr; value; expected } ->
+      Format.fprintf ppf "%s.%s: value %s does not conform to %s" cls attr value
+        expected
+  | Topology_violation { child; parent; attr; reason } ->
+      Format.fprintf ppf "cannot make %a a component of %a.%s: %a" Oid.pp child
+        Oid.pp parent attr pp_reason reason
+  | Not_a_component { child; parent; attr } ->
+      Format.fprintf ppf "%a is not a component of %a via %s" Oid.pp child Oid.pp
+        parent attr
+  | Not_versionable oid -> Format.fprintf ppf "%a is not versionable" Oid.pp oid
+  | Version_error { oid; reason } ->
+      Format.fprintf ppf "version error on %a: %s" Oid.pp oid reason
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,35 @@
+(** Errors of the object layer.
+
+    Topology violations correspond one-to-one to the conditions of the
+    Make-Component Rule and Topology Rules 1–3 of §2.2. *)
+
+type topology_reason =
+  | Child_has_composite_parent
+      (** Make-Component 1: the target of a new {e exclusive} reference
+          must not already have any composite reference to it *)
+  | Child_has_exclusive_parent
+      (** Make-Component 2: the target of a new {e shared} reference
+          must not already have an exclusive reference to it *)
+  | Generic_exclusive_other_hierarchy
+      (** CV-2X: a generic instance may have several exclusive
+          composite references only from the same version-derivation
+          hierarchy *)
+  | Would_create_cycle of Oid.t list
+
+type t =
+  | Unknown_object of Oid.t
+  | Not_an_instance_holder of Oid.t
+      (** attribute access on a generic instance *)
+  | Unknown_attribute of { cls : string; attr : string }
+  | Not_composite_attribute of { cls : string; attr : string }
+  | Type_error of { cls : string; attr : string; value : string; expected : string }
+  | Topology_violation of { child : Oid.t; parent : Oid.t; attr : string; reason : topology_reason }
+  | Not_a_component of { child : Oid.t; parent : Oid.t; attr : string }
+  | Not_versionable of Oid.t
+  | Version_error of { oid : Oid.t; reason : string }
+
+exception Error of t
+
+val raise_error : t -> 'a
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

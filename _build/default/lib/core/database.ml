@@ -1,0 +1,175 @@
+module Schema = Orion_schema.Schema
+module Store = Orion_storage.Store
+
+type rref_repr = Inline | External
+
+type t = {
+  schema : Schema.t;
+  store : Store.t;
+  objects : Instance.t Oid.Tbl.t;
+  mutable next_oid : int;
+  mutable clock : int;
+  repr : rref_repr;
+  external_rrefs : Rref.t list ref Oid.Tbl.t;
+  acyclic : bool;
+  mutable access_hook : (Instance.t -> unit) option;
+  mutable current_cc : int;
+  mutable listeners : (int * (event_ -> unit)) list;
+  mutable next_subscription : int;
+}
+
+and event_ =
+  | Created of Oid.t
+  | Deleted of Oid.t
+  | Attr_written of { oid : Oid.t; attr : string; before : Value.t; after : Value.t }
+  | Invalidated
+
+let create ?(page_size = 4096) ?(pool_capacity = 64) ?(rref_repr = Inline)
+    ?(acyclic = true) ?store () =
+  {
+    schema = Schema.create ();
+    store =
+      (match store with
+      | Some store -> store
+      | None -> Store.create ~page_size ~pool_capacity ());
+    objects = Oid.Tbl.create 1024;
+    next_oid = 0;
+    clock = 0;
+    repr = rref_repr;
+    external_rrefs = Oid.Tbl.create 1024;
+    acyclic;
+    access_hook = None;
+    current_cc = 0;
+    listeners = [];
+    next_subscription = 0;
+  }
+
+let schema t = t.schema
+let store t = t.store
+let rref_repr t = t.repr
+let acyclic t = t.acyclic
+
+let fresh_oid t =
+  let oid = Oid.of_int t.next_oid in
+  t.next_oid <- t.next_oid + 1;
+  oid
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let counters t = (t.next_oid, t.clock)
+
+let restore_counters t ~next_oid ~clock =
+  t.next_oid <- next_oid;
+  t.clock <- clock
+
+let set_access_hook t hook = t.access_hook <- hook
+
+type event = event_ =
+  | Created of Oid.t
+  | Deleted of Oid.t
+  | Attr_written of { oid : Oid.t; attr : string; before : Value.t; after : Value.t }
+  | Invalidated
+
+type subscription = int
+
+let subscribe t listener =
+  let id = t.next_subscription in
+  t.next_subscription <- id + 1;
+  t.listeners <- (id, listener) :: t.listeners;
+  id
+
+let unsubscribe t id = t.listeners <- List.filter (fun (i, _) -> i <> id) t.listeners
+
+let emit t event = List.iter (fun (_, listener) -> listener event) t.listeners
+
+let write_value t (inst : Instance.t) attr value =
+  let before = Option.value (Instance.attr inst attr) ~default:Value.Null in
+  Instance.set_attr inst attr value;
+  if t.listeners <> [] && not (Value.equal before value) then
+    emit t (Attr_written { oid = inst.oid; attr; before; after = value })
+
+let current_cc t = t.current_cc
+
+let set_current_cc t cc = t.current_cc <- cc
+
+let add t (inst : Instance.t) = Oid.Tbl.replace t.objects inst.oid inst
+
+let remove t oid =
+  match Oid.Tbl.find_opt t.objects oid with
+  | None -> ()
+  | Some inst ->
+      (match inst.rid with
+      | Some rid -> Store.delete t.store rid
+      | None -> ());
+      Oid.Tbl.remove t.objects oid;
+      Oid.Tbl.remove t.external_rrefs oid;
+      emit t (Deleted oid)
+
+let find t oid = Oid.Tbl.find_opt t.objects oid
+
+let get t oid =
+  match find t oid with
+  | None -> Core_error.raise_error (Core_error.Unknown_object oid)
+  | Some inst ->
+      (match t.access_hook with Some hook -> hook inst | None -> ());
+      inst
+
+let exists t oid = Oid.Tbl.mem t.objects oid
+
+let count t = Oid.Tbl.length t.objects
+
+let iter t f = Oid.Tbl.iter (fun _ inst -> f inst) t.objects
+
+let fold t ~init ~f = Oid.Tbl.fold (fun _ inst acc -> f acc inst) t.objects init
+
+let class_of t oid = (get t oid).cls
+
+let instances_of t ?(subclasses = true) cls =
+  let accepted =
+    if subclasses then cls :: Schema.all_subclasses t.schema cls else [ cls ]
+  in
+  fold t ~init:[] ~f:(fun acc (inst : Instance.t) ->
+      if List.exists (String.equal inst.cls) accepted then inst.oid :: acc
+      else acc)
+  |> List.sort Oid.compare
+
+(* Reverse composite references ------------------------------------------ *)
+
+let external_cell t oid =
+  match Oid.Tbl.find_opt t.external_rrefs oid with
+  | Some cell -> cell
+  | None ->
+      let cell = ref [] in
+      Oid.Tbl.replace t.external_rrefs oid cell;
+      cell
+
+let rrefs t oid =
+  match t.repr with
+  | Inline -> (get t oid).rrefs
+  | External -> !(external_cell t oid)
+
+let set_rrefs t oid refs =
+  match t.repr with
+  | Inline -> (get t oid).rrefs <- refs
+  | External -> external_cell t oid := refs
+
+let add_rref t oid rref = set_rrefs t oid (rrefs t oid @ [ rref ])
+
+let remove_rref t oid ~parent ~attr =
+  let removed = ref None in
+  let rec drop_first = function
+    | [] -> []
+    | (r : Rref.t) :: rest ->
+        if !removed = None && Oid.equal r.parent parent && String.equal r.attr attr
+        then begin
+          removed := Some r;
+          rest
+        end
+        else r :: drop_first rest
+  in
+  set_rrefs t oid (drop_first (rrefs t oid));
+  !removed
+
+let refsets t oid = Rref.classify (rrefs t oid)

@@ -1,0 +1,109 @@
+(** The database: schema + object workspace + record store.
+
+    Reverse composite references can be kept inline in each component
+    (the paper's choice, §2.4: avoids an indirection, grows the object)
+    or in an external index (the alternative §2.4 rejects) — ablation
+    A1; both representations are behind {!rrefs}/{!add_rref}/… so the
+    rest of the system is oblivious. *)
+
+type rref_repr = Inline | External
+
+type t
+
+val create :
+  ?page_size:int ->
+  ?pool_capacity:int ->
+  ?rref_repr:rref_repr ->
+  ?acyclic:bool ->
+  ?store:Orion_storage.Store.t ->
+  unit ->
+  t
+(** Defaults: [Inline] reverse references, [acyclic = true] (composite
+    references must form a DAG; design decision D4).  [?store] reuses
+    an existing record store (database reopening, {!Persist.load});
+    [?page_size]/[?pool_capacity] are ignored when it is given. *)
+
+val schema : t -> Orion_schema.Schema.t
+val store : t -> Orion_storage.Store.t
+val rref_repr : t -> rref_repr
+val acyclic : t -> bool
+
+val fresh_oid : t -> Oid.t
+val tick : t -> int
+(** Monotone logical clock (version timestamps). *)
+
+val counters : t -> int * int
+(** [(next_oid, clock)] — for {!Persist.save}. *)
+
+val restore_counters : t -> next_oid:int -> clock:int -> unit
+(** For {!Persist.load} only. *)
+
+val current_cc : t -> int
+val set_current_cc : t -> int -> unit
+(** The schema-wide change count of §4.3.  New instances are created
+    with the current CC so superseded deferred changes never apply to
+    them; the evolution manager advances it. *)
+
+val set_access_hook : t -> (Instance.t -> unit) option -> unit
+(** Called by {!get} on every object access; the deferred
+    schema-evolution machinery (§4.3) registers its catch-up here. *)
+
+(** {1 Change events}
+
+    Mutation events power the attribute indexes and the change
+    notification service.  They fire on object creation/removal and on
+    every attribute write that goes through the object manager;
+    [Invalidated] signals a bulk state change (transaction rollback)
+    after which listeners must resynchronize. *)
+
+type event =
+  | Created of Oid.t
+  | Deleted of Oid.t
+  | Attr_written of { oid : Oid.t; attr : string; before : Value.t; after : Value.t }
+  | Invalidated
+
+type subscription
+
+val subscribe : t -> (event -> unit) -> subscription
+val unsubscribe : t -> subscription -> unit
+
+val emit : t -> event -> unit
+(** Used by the object manager and the transaction layer; exposed so
+    sibling libraries mutating values directly can stay honest. *)
+
+val write_value : t -> Instance.t -> string -> Value.t -> unit
+(** [Instance.set_attr] plus the {!Attr_written} event (no checks: the
+    callers have already validated; prefer [Object_manager.write_attr]
+    in application code). *)
+
+val add : t -> Instance.t -> unit
+val remove : t -> Oid.t -> unit
+
+val find : t -> Oid.t -> Instance.t option
+(** No access hook: used by internal machinery. *)
+
+val get : t -> Oid.t -> Instance.t
+(** Runs the access hook.  @raise Core_error.Error on unknown OIDs. *)
+
+val exists : t -> Oid.t -> bool
+val count : t -> int
+val iter : t -> (Instance.t -> unit) -> unit
+val fold : t -> init:'a -> f:('a -> Instance.t -> 'a) -> 'a
+
+val instances_of : t -> ?subclasses:bool -> string -> Oid.t list
+(** OIDs of instances of the class ([?subclasses] defaults to [true]),
+    sorted; includes version and generic instances of the class. *)
+
+val class_of : t -> Oid.t -> string
+
+(** {1 Reverse composite references} *)
+
+val rrefs : t -> Oid.t -> Rref.t list
+val set_rrefs : t -> Oid.t -> Rref.t list -> unit
+val add_rref : t -> Oid.t -> Rref.t -> unit
+
+val remove_rref : t -> Oid.t -> parent:Oid.t -> attr:string -> Rref.t option
+(** Remove (one occurrence of) the reverse reference from [parent] via
+    [attr]; returns it. *)
+
+val refsets : t -> Oid.t -> Rref.refsets

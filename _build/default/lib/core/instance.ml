@@ -1,0 +1,58 @@
+type version_info = {
+  generic : Oid.t;
+  version_no : int;
+  derived_from : Oid.t option;
+  created_at : int;
+}
+
+type generic_info = {
+  mutable versions : Oid.t list;
+  mutable user_default : Oid.t option;
+  mutable next_version_no : int;
+  mutable grefs : Rref.gref list;
+}
+
+type kind = Plain | Generic of generic_info | Version of version_info
+
+type t = {
+  oid : Oid.t;
+  cls : string;
+  kind : kind;
+  mutable attrs : (string * Value.t) list;
+  mutable rrefs : Rref.t list;
+  mutable cc : int;
+  mutable cluster_with : Oid.t option;
+  mutable rid : Orion_storage.Store.rid option;
+}
+
+let attr t name = List.assoc_opt name t.attrs
+
+let set_attr t name value =
+  if List.mem_assoc name t.attrs then
+    t.attrs <- List.map (fun (n, v) -> if String.equal n name then (n, value) else (n, v)) t.attrs
+  else t.attrs <- t.attrs @ [ (name, value) ]
+
+let remove_attr t name =
+  t.attrs <- List.filter (fun (n, _) -> not (String.equal n name)) t.attrs
+
+let is_generic t = match t.kind with Generic _ -> true | Plain | Version _ -> false
+
+let is_version t = match t.kind with Version _ -> true | Plain | Generic _ -> false
+
+let generic_info t = match t.kind with Generic g -> Some g | Plain | Version _ -> None
+
+let version_info t = match t.kind with Version v -> Some v | Plain | Generic _ -> None
+
+let pp ppf t =
+  let kind_str =
+    match t.kind with
+    | Plain -> ""
+    | Generic _ -> " generic"
+    | Version v -> Printf.sprintf " v%d" v.version_no
+  in
+  Format.fprintf ppf "@[<hv 2>%a:%s%s%a%a@]" Oid.pp t.oid t.cls kind_str
+    (fun ppf attrs ->
+      List.iter (fun (n, v) -> Format.fprintf ppf "@ %s=%a" n Value.pp v) attrs)
+    t.attrs
+    (fun ppf rrefs -> List.iter (fun r -> Format.fprintf ppf "@ %a" Rref.pp r) rrefs)
+    t.rrefs

@@ -1,0 +1,47 @@
+(** In-memory object representation.
+
+    An instance is either a plain object, a {e version instance}, or a
+    {e generic instance} (§5.1).  Attribute values live on plain and
+    version instances; a generic instance carries the version-derivation
+    bookkeeping and the reverse composite {e generic} references of
+    §5.3.
+
+    Mutation goes through {!Object_manager} / {!Database}; the record is
+    exposed for the managers, the serializer and the integrity checker. *)
+
+type version_info = {
+  generic : Oid.t;
+  version_no : int;
+  derived_from : Oid.t option;  (** parent in the version-derivation hierarchy *)
+  created_at : int;  (** logical timestamp, for the system-default version *)
+}
+
+type generic_info = {
+  mutable versions : Oid.t list;  (** live version instances, oldest first *)
+  mutable user_default : Oid.t option;  (** user-specified default version *)
+  mutable next_version_no : int;
+  mutable grefs : Rref.gref list;
+}
+
+type kind = Plain | Generic of generic_info | Version of version_info
+
+type t = {
+  oid : Oid.t;
+  cls : string;
+  kind : kind;
+  mutable attrs : (string * Value.t) list;
+  mutable rrefs : Rref.t list;  (** unused when the database keeps them externally *)
+  mutable cc : int;  (** change count, deferred schema evolution (§4.3) *)
+  mutable cluster_with : Oid.t option;
+      (** first [:parent] at creation — the clustering hint of §2.3 *)
+  mutable rid : Orion_storage.Store.rid option;  (** set once checkpointed *)
+}
+
+val attr : t -> string -> Value.t option
+val set_attr : t -> string -> Value.t -> unit
+val remove_attr : t -> string -> unit
+val is_generic : t -> bool
+val is_version : t -> bool
+val generic_info : t -> generic_info option
+val version_info : t -> version_info option
+val pp : Format.formatter -> t -> unit

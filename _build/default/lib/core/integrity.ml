@@ -1,0 +1,310 @@
+module A = Orion_schema.Attribute
+module Schema = Orion_schema.Schema
+
+type violation =
+  | Dangling_composite of { parent : Oid.t; attr : string; target : Oid.t }
+  | Missing_rref of { parent : Oid.t; attr : string; child : Oid.t }
+  | Orphan_rref of { child : Oid.t; rref : Rref.t; reason : string }
+  | Topology_broken of Oid.t
+  | Bad_type of { oid : Oid.t; attr : string }
+  | Composite_cycle of Oid.t
+  | Version_broken of { oid : Oid.t; reason : string }
+  | Gref_mismatch of {
+      generic : Oid.t;
+      parent : Oid.t;
+      attr : string;
+      expected : int;
+      actual : int;
+    }
+
+let pp_violation ppf = function
+  | Dangling_composite { parent; attr; target } ->
+      Format.fprintf ppf "dangling composite reference %a.%s -> %a" Oid.pp parent
+        attr Oid.pp target
+  | Missing_rref { parent; attr; child } ->
+      Format.fprintf ppf "missing reverse reference in %a for %a.%s" Oid.pp child
+        Oid.pp parent attr
+  | Orphan_rref { child; rref; reason } ->
+      Format.fprintf ppf "orphan reverse reference %a in %a (%s)" Rref.pp rref
+        Oid.pp child reason
+  | Topology_broken oid ->
+      Format.fprintf ppf "topology rules violated at %a" Oid.pp oid
+  | Bad_type { oid; attr } ->
+      Format.fprintf ppf "ill-typed value at %a.%s" Oid.pp oid attr
+  | Composite_cycle oid ->
+      Format.fprintf ppf "composite cycle through %a" Oid.pp oid
+  | Version_broken { oid; reason } ->
+      Format.fprintf ppf "version bookkeeping broken at %a: %s" Oid.pp oid reason
+  | Gref_mismatch { generic; parent; attr; expected; actual } ->
+      Format.fprintf ppf
+        "generic %a: ref-count for %a.%s is %d but %d references exist" Oid.pp
+        generic Oid.pp parent attr actual expected
+
+let composite_attr_values db (inst : Instance.t) =
+  if Instance.is_generic inst then []
+  else
+    Schema.effective_attributes (Database.schema db) inst.cls
+    |> List.filter_map (fun (a : A.t) ->
+           match Instance.attr inst a.name with
+           | Some v -> Some (a, v)
+           | None -> None)
+
+(* The generic instance a reference to [oid] is accounted at, if any. *)
+let generic_of db oid =
+  match Database.find db oid with
+  | None -> None
+  | Some inst -> (
+      match inst.kind with
+      | Instance.Generic _ -> Some oid
+      | Instance.Version vi -> Some vi.generic
+      | Instance.Plain -> None)
+
+let check db =
+  let violations = ref [] in
+  let report v = violations := v :: !violations in
+  (* Pass 1: forward references. *)
+  Database.iter db (fun inst ->
+      List.iter
+        (fun ((a : A.t), v) ->
+          (* Dangling references are reported as Dangling_composite or
+             (for weak attributes, D3) tolerated; strip them before the
+             type check so they do not double-report as Bad_type. *)
+          let live_v =
+            List.fold_left
+              (fun acc target ->
+                if Database.exists db target then acc else Value.remove_ref acc target)
+              v (Value.refs v)
+          in
+          if not (Object_manager.value_conforms db a live_v) then
+            report (Bad_type { oid = inst.oid; attr = a.name });
+          if A.is_composite a then
+            List.iter
+              (fun target ->
+                match Database.find db target with
+                | None ->
+                    report
+                      (Dangling_composite
+                         { parent = inst.oid; attr = a.name; target })
+                | Some target_inst -> (
+                    match target_inst.kind with
+                    | Instance.Generic gi ->
+                        let pkey =
+                          match generic_of db inst.oid with
+                          | Some g when not (Oid.equal g inst.oid) -> g
+                          | _ -> inst.oid
+                        in
+                        if
+                          not
+                            (List.exists
+                               (fun (g : Rref.gref) ->
+                                 Oid.equal g.g_parent pkey
+                                 && String.equal g.g_attr a.name)
+                               gi.grefs)
+                        then
+                          report
+                            (Missing_rref
+                               { parent = inst.oid; attr = a.name; child = target })
+                    | Instance.Plain | Instance.Version _ ->
+                        if
+                          not
+                            (List.exists
+                               (fun (r : Rref.t) ->
+                                 Oid.equal r.parent inst.oid
+                                 && String.equal r.attr a.name)
+                               (Database.rrefs db target))
+                        then
+                          report
+                            (Missing_rref
+                               { parent = inst.oid; attr = a.name; child = target })))
+              (Value.refs v))
+        (composite_attr_values db inst));
+  (* Pass 2: reverse references and topology. *)
+  Database.iter db (fun inst ->
+      let rrefs = Database.rrefs db inst.oid in
+      List.iter
+        (fun (r : Rref.t) ->
+          match Database.find db r.parent with
+          | None ->
+              report (Orphan_rref { child = inst.oid; rref = r; reason = "parent gone" })
+          | Some parent_inst -> (
+              (match Instance.attr parent_inst r.attr with
+              | Some v when Value.contains_ref v inst.oid -> ()
+              | Some _ | None ->
+                  report
+                    (Orphan_rref
+                       {
+                         child = inst.oid;
+                         rref = r;
+                         reason = "parent value lacks the reference";
+                       }));
+              match Schema.attribute (Database.schema db) parent_inst.cls r.attr with
+              | Some a
+                when A.is_exclusive a = r.exclusive && A.is_dependent a = r.dependent
+                ->
+                  ()
+              | Some _ ->
+                  report
+                    (Orphan_rref
+                       { child = inst.oid; rref = r; reason = "flags disagree with schema" })
+              | None ->
+                  report
+                    (Orphan_rref
+                       { child = inst.oid; rref = r; reason = "attribute gone" })))
+        rrefs;
+      if not (Topology.holds (Rref.classify rrefs)) then
+        report (Topology_broken inst.oid));
+  (* Pass 3: version bookkeeping. *)
+  Database.iter db (fun inst ->
+      match inst.kind with
+      | Instance.Plain -> ()
+      | Instance.Version vi -> (
+          match Database.find db vi.generic with
+          | None ->
+              report (Version_broken { oid = inst.oid; reason = "generic gone" })
+          | Some g -> (
+              match Instance.generic_info g with
+              | Some gi when List.exists (Oid.equal inst.oid) gi.versions -> ()
+              | Some _ ->
+                  report
+                    (Version_broken
+                       { oid = inst.oid; reason = "not listed in its generic" })
+              | None ->
+                  report
+                    (Version_broken
+                       { oid = inst.oid; reason = "generic is not a generic instance" })))
+      | Instance.Generic gi ->
+          if gi.versions = [] then
+            report (Version_broken { oid = inst.oid; reason = "no version instances" });
+          List.iter
+            (fun v ->
+              match Database.find db v with
+              | Some vinst when Instance.is_version vinst -> ()
+              | Some _ | None ->
+                  report
+                    (Version_broken
+                       { oid = inst.oid; reason = "listed version instance gone" }))
+            gi.versions;
+          (* CV-2X at the generic level. *)
+          let exclusive_parents =
+            gi.grefs
+            |> List.filter (fun (g : Rref.gref) -> g.g_exclusive)
+            |> List.map (fun (g : Rref.gref) -> g.g_parent)
+            |> List.sort_uniq Oid.compare
+          in
+          if List.length exclusive_parents > 1 then
+            report
+              (Version_broken
+                 {
+                   oid = inst.oid;
+                   reason = "exclusive references from several hierarchies (CV-2X)";
+                 });
+          (* Ref-counts: recount the composite references accounted here. *)
+          let members = inst.oid :: gi.versions in
+          List.iter
+            (fun (g : Rref.gref) ->
+              let holders =
+                match Database.find db g.g_parent with
+                | Some p -> (
+                    match Instance.generic_info p with
+                    | Some pgi -> pgi.versions
+                    | None -> [ g.g_parent ])
+                | None -> []
+              in
+              let expected =
+                List.fold_left
+                  (fun acc holder ->
+                    match Database.find db holder with
+                    | None -> acc
+                    | Some hinst -> (
+                        match Instance.attr hinst g.g_attr with
+                        | None -> acc
+                        | Some v ->
+                            acc
+                            + List.length
+                                (List.filter
+                                   (fun target ->
+                                     List.exists (Oid.equal target) members)
+                                   (Value.refs v))))
+                  0 holders
+              in
+              if expected <> g.count then
+                report
+                  (Gref_mismatch
+                     {
+                       generic = inst.oid;
+                       parent = g.g_parent;
+                       attr = g.g_attr;
+                       expected;
+                       actual = g.count;
+                     }))
+            gi.grefs);
+  (* Pass 4: acyclicity. *)
+  if Database.acyclic db then begin
+    let color = Oid.Tbl.create 64 in
+    (* 1 = in progress, 2 = done *)
+    let rec visit oid =
+      match Oid.Tbl.find_opt color oid with
+      | Some 1 ->
+          report (Composite_cycle oid);
+          Oid.Tbl.replace color oid 2
+      | Some _ -> ()
+      | None -> (
+          match Database.find db oid with
+          | None -> ()
+          | Some inst ->
+              Oid.Tbl.replace color oid 1;
+              (match inst.kind with
+              | Instance.Generic gi -> List.iter visit gi.versions
+              | Instance.Plain | Instance.Version _ ->
+                  List.iter
+                    (fun ((a : A.t), v) ->
+                      if A.is_composite a then List.iter visit (Value.refs v))
+                    (composite_attr_values db inst));
+              Oid.Tbl.replace color oid 2)
+    in
+    Database.iter db (fun inst -> visit inst.oid)
+  end;
+  List.rev !violations
+
+let dangling_weak_refs db =
+  let acc = ref [] in
+  Database.iter db (fun inst ->
+      List.iter
+        (fun ((a : A.t), v) ->
+          if not (A.is_composite a) then
+            List.iter
+              (fun target ->
+                if not (Database.exists db target) then
+                  acc := (inst.oid, a.name, target) :: !acc)
+              (Value.refs v))
+        (composite_attr_values db inst));
+  List.rev !acc
+
+let scrub_dangling_weak db =
+  let removed = ref 0 in
+  Database.iter db (fun inst ->
+      List.iter
+        (fun ((a : A.t), v) ->
+          if not (A.is_composite a) then begin
+            let dead =
+              List.filter (fun target -> not (Database.exists db target)) (Value.refs v)
+            in
+            if dead <> [] then begin
+              removed := !removed + List.length dead;
+              let scrubbed = List.fold_left Value.remove_ref v dead in
+              Database.write_value db inst a.name scrubbed
+            end
+          end)
+        (composite_attr_values db inst));
+  !removed
+
+let assert_ok db =
+  match check db with
+  | [] -> ()
+  | violations ->
+      let msg =
+        Format.asprintf "@[<v>integrity violations:@,%a@]"
+          (Format.pp_print_list pp_violation)
+          violations
+      in
+      failwith msg

@@ -1,0 +1,39 @@
+(** Whole-database invariant checker.
+
+    Used by the property-based tests: after an arbitrary sequence of
+    operations, [check] must return no violations.  Dangling weak
+    references are reported separately — the paper keeps no reverse
+    references for weak references (D3), so they are legal residue of
+    deletion, not corruption. *)
+
+type violation =
+  | Dangling_composite of { parent : Oid.t; attr : string; target : Oid.t }
+  | Missing_rref of { parent : Oid.t; attr : string; child : Oid.t }
+  | Orphan_rref of { child : Oid.t; rref : Rref.t; reason : string }
+  | Topology_broken of Oid.t
+  | Bad_type of { oid : Oid.t; attr : string }
+  | Composite_cycle of Oid.t
+  | Version_broken of { oid : Oid.t; reason : string }
+  | Gref_mismatch of {
+      generic : Oid.t;
+      parent : Oid.t;
+      attr : string;
+      expected : int;
+      actual : int;
+    }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check : Database.t -> violation list
+
+val dangling_weak_refs : Database.t -> (Oid.t * string * Oid.t) list
+(** [(holder, attr, dead_target)] triples: the residue deletion leaves
+    behind in weak references. *)
+
+val scrub_dangling_weak : Database.t -> int
+(** Remove dangling weak references from attribute values (the residue
+    deletion legally leaves behind, D3) — ORION would run such a
+    scavenger offline.  Returns the number of references removed. *)
+
+val assert_ok : Database.t -> unit
+(** @raise Failure listing the violations, when any. *)

@@ -1,0 +1,580 @@
+module A = Orion_schema.Attribute
+module Domain = Orion_schema.Domain
+module Schema = Orion_schema.Schema
+module E = Core_error
+
+let attribute_exn db cls attr =
+  match Schema.attribute (Database.schema db) cls attr with
+  | Some a -> a
+  | None -> E.raise_error (E.Unknown_attribute { cls; attr })
+
+let get = Database.get
+
+let holder_exn db oid =
+  let inst = get db oid in
+  if Instance.is_generic inst then E.raise_error (E.Not_an_instance_holder oid);
+  inst
+
+(* Type conformance ------------------------------------------------------- *)
+
+let conforms_single db domain v =
+  match (domain, v) with
+  | _, Value.Null -> true
+  | Domain.Primitive Domain.P_integer, Value.Int _ -> true
+  | Domain.Primitive Domain.P_float, Value.Float _ -> true
+  | Domain.Primitive Domain.P_string, Value.Str _ -> true
+  | Domain.Primitive Domain.P_boolean, Value.Bool _ -> true
+  | Domain.Primitive _, (Value.Int _ | Value.Float _ | Value.Str _ | Value.Bool _ | Value.Ref _ | Value.VSet _) ->
+      false
+  | Domain.Class c, Value.Ref oid -> (
+      match Database.find db oid with
+      | None -> false
+      | Some inst ->
+          Schema.is_subclass_of (Database.schema db) ~sub:inst.cls ~super:c)
+  | Domain.Class _, (Value.Int _ | Value.Float _ | Value.Str _ | Value.Bool _ | Value.VSet _) ->
+      false
+  | Domain.Any, (Value.Int _ | Value.Float _ | Value.Str _ | Value.Bool _ | Value.Ref _) ->
+      true
+  | Domain.Any, Value.VSet _ -> false
+
+let value_conforms db (a : A.t) v =
+  match (a.collection, v) with
+  | A.Set, Value.VSet elems -> List.for_all (conforms_single db a.domain) elems
+  | A.Set, Value.Null -> true
+  | A.Set, (Value.Int _ | Value.Float _ | Value.Str _ | Value.Bool _ | Value.Ref _) ->
+      false
+  | A.Single, v -> conforms_single db a.domain v
+
+(* Element-level conformance: a single reference checked against the
+   attribute's domain regardless of the attribute's collection kind. *)
+let check_element_conforms db cls (a : A.t) child =
+  if not (conforms_single db a.domain (Value.Ref child)) then
+    E.raise_error
+      (E.Type_error
+         {
+           cls;
+           attr = a.name;
+           value = Value.to_string (Value.Ref child);
+           expected = Orion_schema.Domain.to_string a.domain;
+         })
+
+let check_conforms db cls (a : A.t) v =
+  if not (value_conforms db a v) then
+    E.raise_error
+      (E.Type_error
+         {
+           cls;
+           attr = a.name;
+           value = Value.to_string v;
+           expected =
+             Format.asprintf "%s%a"
+               (match a.collection with A.Set -> "set-of " | A.Single -> "")
+               Domain.pp a.domain;
+         })
+
+(* Generic-instance bookkeeping ------------------------------------------- *)
+
+(* The key under which a composite reference is accounted at the child's
+   generic instance: the parent's own generic when the parent is a version
+   instance, the parent itself otherwise (§5.3). *)
+let gref_key db parent =
+  match Database.find db parent with
+  | Some inst -> (
+      match Instance.version_info inst with
+      | Some vi -> vi.generic
+      | None -> parent)
+  | None -> parent
+
+let add_gref (gi : Instance.generic_info) ~pkey ~attr ~exclusive ~dependent =
+  match
+    List.find_opt
+      (fun (g : Rref.gref) -> Oid.equal g.g_parent pkey && String.equal g.g_attr attr)
+      gi.grefs
+  with
+  | Some g -> g.count <- g.count + 1
+  | None ->
+      gi.grefs <-
+        gi.grefs
+        @ [
+            {
+              Rref.g_parent = pkey;
+              g_attr = attr;
+              g_exclusive = exclusive;
+              g_dependent = dependent;
+              count = 1;
+            };
+          ]
+
+let decr_gref (gi : Instance.generic_info) ~pkey ~attr =
+  gi.grefs <-
+    List.filter_map
+      (fun (g : Rref.gref) ->
+        if Oid.equal g.g_parent pkey && String.equal g.g_attr attr then begin
+          g.count <- g.count - 1;
+          if g.count <= 0 then None else Some g
+        end
+        else Some g)
+      gi.grefs
+
+let generic_info_exn db goid =
+  match Instance.generic_info (get db goid) with
+  | Some gi -> gi
+  | None ->
+      E.raise_error (E.Version_error { oid = goid; reason = "not a generic instance" })
+
+(* Cycle prevention (design decision D4) ----------------------------------- *)
+
+exception Found_cycle
+
+let composite_children db (inst : Instance.t) =
+  Schema.effective_attributes (Database.schema db) inst.cls
+  |> List.filter_map (fun (a : A.t) ->
+         if A.is_composite a then
+           match Instance.attr inst a.name with
+           | Some v -> Some (a, Value.refs v)
+           | None -> None
+         else None)
+
+let would_cycle db ~parent ~child =
+  if Oid.equal parent child then true
+  else begin
+    let seen = Oid.Tbl.create 16 in
+    let rec visit oid =
+      if Oid.equal oid parent then raise Found_cycle;
+      if not (Oid.Tbl.mem seen oid) then begin
+        Oid.Tbl.add seen oid ();
+        match Database.find db oid with
+        | None -> ()
+        | Some inst -> (
+            match inst.kind with
+            | Instance.Generic gi -> List.iter visit gi.versions
+            | Instance.Plain | Instance.Version _ ->
+                List.iter
+                  (fun (_, targets) -> List.iter visit targets)
+                  (composite_children db inst))
+      end
+    in
+    try
+      visit child;
+      false
+    with Found_cycle -> true
+  end
+
+(* Make-Component (§2.4) ---------------------------------------------------- *)
+
+let check_attach db ~parent ~attr ~(spec : A.t) ~child =
+  let child_inst = get db child in
+  let exclusive = A.is_exclusive spec in
+  if Database.acyclic db && would_cycle db ~parent ~child then
+    E.raise_error
+      (E.Topology_violation
+         { child; parent; attr; reason = E.Would_create_cycle [ parent; child ] });
+  let check_generic_level (gi : Instance.generic_info) =
+    let pkey = gref_key db parent in
+    if
+      exclusive
+      && List.exists
+           (fun (g : Rref.gref) -> g.g_exclusive && not (Oid.equal g.g_parent pkey))
+           gi.grefs
+    then
+      E.raise_error
+        (E.Topology_violation
+           { child; parent; attr; reason = E.Generic_exclusive_other_hierarchy })
+  in
+  match child_inst.kind with
+  | Instance.Generic gi -> check_generic_level gi
+  | Instance.Plain | Instance.Version _ -> (
+      (match Topology.can_make_component (Database.refsets db child) ~exclusive with
+      | Error reason -> E.raise_error (E.Topology_violation { child; parent; attr; reason })
+      | Ok () -> ());
+      match Instance.version_info child_inst with
+      | Some vi -> check_generic_level (generic_info_exn db vi.generic)
+      | None -> ())
+
+let perform_attach db ~parent ~attr ~(spec : A.t) ~child =
+  let child_inst = get db child in
+  let exclusive = A.is_exclusive spec and dependent = A.is_dependent spec in
+  match child_inst.kind with
+  | Instance.Generic gi ->
+      add_gref gi ~pkey:(gref_key db parent) ~attr ~exclusive ~dependent
+  | Instance.Plain | Instance.Version _ -> (
+      Database.add_rref db child { Rref.parent; attr; exclusive; dependent };
+      match Instance.version_info child_inst with
+      | Some vi ->
+          add_gref (generic_info_exn db vi.generic) ~pkey:(gref_key db parent)
+            ~attr ~exclusive ~dependent
+      | None -> ())
+
+let attach_child db ~parent ~attr ~spec ~child =
+  if A.is_composite spec then begin
+    check_attach db ~parent ~attr ~spec ~child;
+    perform_attach db ~parent ~attr ~spec ~child
+  end
+
+(* Scrubbing: remove a dangling composite reference from a parent's value. *)
+let scrub_value db ~parent ~attr ~child =
+  match Database.find db parent with
+  | None -> ()
+  | Some p -> (
+      match Instance.attr p attr with
+      | Some v -> Database.write_value db p attr (Value.remove_ref v child)
+      | None -> ())
+
+(* A gref parent key may be a generic instance; dynamic references live in
+   its version instances' values. *)
+let scrub_from_parent_key db ~pkey ~attr ~child =
+  match Database.find db pkey with
+  | None -> ()
+  | Some p -> (
+      match p.kind with
+      | Instance.Generic gi ->
+          List.iter (fun v -> scrub_value db ~parent:v ~attr ~child) gi.versions
+      | Instance.Plain | Instance.Version _ ->
+          scrub_value db ~parent:pkey ~attr ~child)
+
+(* Deletion (§2.2 Deletion Rule; §5.2 CV-4X; decisions D1/D2/D9) ----------- *)
+
+(* [lost_dep] marks children that lost a dependent reference to the
+   dying set but survived at that moment: a later removal of an
+   independent reference from another dying parent must re-run their
+   existence decision, otherwise the outcome would depend on the order
+   in which the dying parents are processed. *)
+let rec delete_rec_go db lost_dep deleting oid =
+  if not (Oid.Tbl.mem deleting oid) then
+    match Database.find db oid with
+    | None -> ()
+    | Some inst -> (
+        Oid.Tbl.add deleting oid ();
+        match inst.kind with
+        | Instance.Generic gi ->
+            (* CV-4X: all version instances die with the generic. *)
+            List.iter (delete_rec_go db lost_dep deleting) gi.versions;
+            List.iter
+              (fun (g : Rref.gref) ->
+                if not (Oid.Tbl.mem deleting g.g_parent) then
+                  scrub_from_parent_key db ~pkey:g.g_parent ~attr:g.g_attr
+                    ~child:oid)
+              gi.grefs;
+            Database.remove db oid
+        | Instance.Plain | Instance.Version _ ->
+            (* Cascade into components per the Deletion Rule. *)
+            List.iter
+              (fun ((spec : A.t), targets) ->
+                List.iter
+                  (fun child ->
+                    child_on_parent_delete db lost_dep deleting ~parent:oid ~spec
+                      ~child)
+                  targets)
+              (composite_children db inst);
+            (* Detach from surviving parents (D9). *)
+            List.iter
+              (fun (r : Rref.t) ->
+                if not (Oid.Tbl.mem deleting r.parent) then
+                  scrub_value db ~parent:r.parent ~attr:r.attr ~child:oid)
+              (Database.rrefs db oid);
+            (match Instance.version_info inst with
+            | Some vi -> (
+                match Database.find db vi.generic with
+                | Some g when not (Oid.Tbl.mem deleting g.Instance.oid) -> (
+                    match Instance.generic_info g with
+                    | Some gi ->
+                        (* Mirror each remaining reverse reference's
+                           generic-level count before the version goes. *)
+                        List.iter
+                          (fun (r : Rref.t) ->
+                            decr_gref gi ~pkey:(gref_key db r.parent) ~attr:r.attr)
+                          (Database.rrefs db oid);
+                        gi.versions <-
+                          List.filter (fun v -> not (Oid.equal v oid)) gi.versions;
+                        (match gi.user_default with
+                        | Some d when Oid.equal d oid -> gi.user_default <- None
+                        | Some _ | None -> ());
+                        if gi.versions = [] then
+                          delete_rec_go db lost_dep deleting vi.generic
+                    | None -> ())
+                | Some _ | None -> ())
+            | None -> ());
+            Database.remove db oid)
+
+and child_on_parent_delete db lost_dep deleting ~parent ~(spec : A.t) ~child =
+  if (not (Oid.Tbl.mem deleting child)) && Database.exists db child then begin
+    let child_inst = get db child in
+    (* Mark the loss of dependent support; the existence decision then
+       re-runs on every later removal, independent ones included. *)
+    if A.is_dependent spec then Oid.Tbl.replace lost_dep child ();
+    let lost_dependent = Oid.Tbl.mem lost_dep child in
+    (* References from objects already being deleted cannot sustain the
+       child: the dying parent may still hold other (even independent)
+       references through sibling attributes not yet processed. *)
+    let no_live_rrefs () =
+      List.for_all
+        (fun (r : Rref.t) -> Oid.Tbl.mem deleting r.parent)
+        (Database.rrefs db child)
+    in
+    match child_inst.kind with
+    | Instance.Generic gi ->
+        decr_gref gi ~pkey:(gref_key db parent) ~attr:spec.name;
+        if
+          lost_dependent
+          && List.for_all
+               (fun (g : Rref.gref) -> Oid.Tbl.mem deleting g.g_parent)
+               gi.grefs
+        then delete_rec_go db lost_dep deleting child
+    | Instance.Plain ->
+        ignore
+          (Database.remove_rref db child ~parent ~attr:spec.name : Rref.t option);
+        if lost_dependent && no_live_rrefs () then
+          delete_rec_go db lost_dep deleting child
+    | Instance.Version vi ->
+        ignore
+          (Database.remove_rref db child ~parent ~attr:spec.name : Rref.t option);
+        (match Database.find db vi.generic with
+        | Some g -> (
+            match Instance.generic_info g with
+            | Some gi -> decr_gref gi ~pkey:(gref_key db parent) ~attr:spec.name
+            | None -> ())
+        | None -> ());
+        if lost_dependent && no_live_rrefs () then
+          delete_rec_go db lost_dep deleting child
+  end
+
+let delete db oid =
+  ignore (get db oid : Instance.t);
+  delete_rec_go db (Oid.Tbl.create 8) (Oid.Tbl.create 16) oid
+
+(* Detach (reference removal outside deletion; decision D1) ----------------- *)
+
+let detach_child_gen db ~parent ~attr ~(spec : A.t) ~child ~existence =
+  if A.is_composite spec then
+    match Database.find db child with
+    | None -> ()
+    | Some child_inst -> (
+        let dependent = A.is_dependent spec in
+        let auto_delete () =
+          if existence && dependent then delete db child
+        in
+        match child_inst.kind with
+        | Instance.Generic gi ->
+            decr_gref gi ~pkey:(gref_key db parent) ~attr;
+            if gi.grefs = [] then auto_delete ()
+        | Instance.Plain ->
+            ignore (Database.remove_rref db child ~parent ~attr : Rref.t option);
+            if Database.rrefs db child = [] then auto_delete ()
+        | Instance.Version vi ->
+            ignore (Database.remove_rref db child ~parent ~attr : Rref.t option);
+            (match Database.find db vi.generic with
+            | Some g -> (
+                match Instance.generic_info g with
+                | Some gi -> decr_gref gi ~pkey:(gref_key db parent) ~attr
+                | None -> ())
+            | None -> ());
+            if Database.rrefs db child = [] then auto_delete ())
+
+let detach_child db ~parent ~attr ~spec ~child =
+  detach_child_gen db ~parent ~attr ~spec ~child ~existence:true
+
+let detach_child_quiet db ~parent ~attr ~spec ~child =
+  detach_child_gen db ~parent ~attr ~spec ~child ~existence:false
+
+(* Attribute reads and writes ---------------------------------------------- *)
+
+let read_attr db oid attr =
+  let inst = holder_exn db oid in
+  ignore (attribute_exn db inst.cls attr : A.t);
+  Option.value (Instance.attr inst attr) ~default:Value.Null
+
+let write_attr db oid attr value =
+  let inst = holder_exn db oid in
+  let spec = attribute_exn db inst.cls attr in
+  let value = Value.normalize value in
+  check_conforms db inst.cls spec value;
+  if A.is_composite spec then begin
+    let old_refs =
+      match Instance.attr inst attr with Some v -> Value.refs v | None -> []
+    in
+    let new_refs = Value.refs value in
+    let added =
+      List.filter (fun r -> not (List.exists (Oid.equal r) old_refs)) new_refs
+    in
+    let removed =
+      List.filter (fun r -> not (List.exists (Oid.equal r) new_refs)) old_refs
+    in
+    (* Attach first (so a child moving deeper keeps a reference alive),
+       rolling back on failure; then detach with the existence rule. *)
+    let attached = ref [] in
+    (try
+       List.iter
+         (fun child ->
+           attach_child db ~parent:oid ~attr ~spec ~child;
+           attached := child :: !attached)
+         added
+     with exn ->
+       List.iter
+         (fun child ->
+           detach_child_gen db ~parent:oid ~attr ~spec ~child ~existence:false)
+         !attached;
+       raise exn);
+    List.iter
+      (fun child -> detach_child_gen db ~parent:oid ~attr ~spec ~child ~existence:true)
+      removed;
+    (* A cascade triggered by a detach may have scrubbed this value or even
+       deleted some of the new targets; drop references to dead objects. *)
+    let live_value =
+      List.fold_left
+        (fun v r -> if Database.exists db r then v else Value.remove_ref v r)
+        value new_refs
+    in
+    if Database.exists db oid then Database.write_value db inst attr live_value
+  end
+  else Database.write_value db inst attr value
+
+let add_to_set db oid attr child =
+  let inst = holder_exn db oid in
+  ignore (attribute_exn db inst.cls attr : A.t);
+  let old_value = Option.value (Instance.attr inst attr) ~default:Value.Null in
+  let base = match old_value with Value.Null -> Value.VSet [] | v -> v in
+  write_attr db oid attr (Value.add_ref base child)
+
+let remove_from_set db oid attr child =
+  let inst = holder_exn db oid in
+  ignore (attribute_exn db inst.cls attr : A.t);
+  let old_value = Option.value (Instance.attr inst attr) ~default:Value.Null in
+  write_attr db oid attr (Value.remove_ref old_value child)
+
+let make_component db ~parent ~attr ~child =
+  let parent_inst = holder_exn db parent in
+  let spec = attribute_exn db parent_inst.cls attr in
+  if not (A.is_composite spec) then
+    E.raise_error (E.Not_composite_attribute { cls = parent_inst.cls; attr });
+  check_element_conforms db parent_inst.cls spec child;
+  let old_value = Option.value (Instance.attr parent_inst attr) ~default:Value.Null in
+  match spec.collection with
+  | A.Single ->
+      if Value.contains_ref old_value child then ()
+      else write_attr db parent attr (Value.Ref child)
+  | A.Set ->
+      if Value.contains_ref old_value child then ()
+      else add_to_set db parent attr child
+
+let remove_component db ~parent ~attr ~child =
+  let parent_inst = holder_exn db parent in
+  let spec = attribute_exn db parent_inst.cls attr in
+  if not (A.is_composite spec) then
+    E.raise_error (E.Not_composite_attribute { cls = parent_inst.cls; attr });
+  let old_value = Option.value (Instance.attr parent_inst attr) ~default:Value.Null in
+  if not (Value.contains_ref old_value child) then
+    E.raise_error (E.Not_a_component { child; parent; attr });
+  write_attr db parent attr (Value.remove_ref old_value child)
+
+(* Creation (§2.3 make) ------------------------------------------------------ *)
+
+let create_raw db ~cls ~kind =
+  let oid = Database.fresh_oid db in
+  let inst : Instance.t =
+    {
+      oid;
+      cls;
+      kind;
+      attrs = [];
+      rrefs = [];
+      cc = Database.current_cc db;
+      cluster_with = None;
+      rid = None;
+    }
+  in
+  Database.add db inst;
+  Database.emit db (Database.Created oid);
+  oid
+
+let apply_initial_attrs db oid attrs ~undo =
+  let inst = get db oid in
+  List.iter
+    (fun (name, value) ->
+      let spec = attribute_exn db inst.cls name in
+      let value = Value.normalize value in
+      check_conforms db inst.cls spec value;
+      if A.is_composite spec then
+        List.iter
+          (fun child ->
+            attach_child db ~parent:oid ~attr:name ~spec ~child;
+            undo :=
+              (fun () ->
+                detach_child_gen db ~parent:oid ~attr:name ~spec ~child
+                  ~existence:false)
+              :: !undo)
+          (Value.refs value);
+      Database.write_value db inst name value)
+    attrs
+
+let apply_parents db oid parents ~undo =
+  List.iteri
+    (fun i (parent, attr) ->
+      let parent_inst = holder_exn db parent in
+      let spec = attribute_exn db parent_inst.cls attr in
+      check_element_conforms db parent_inst.cls spec oid;
+      let old_value =
+        Option.value (Instance.attr parent_inst attr) ~default:Value.Null
+      in
+      if A.is_composite spec then begin
+        attach_child db ~parent ~attr ~spec ~child:oid;
+        undo :=
+          (fun () ->
+            detach_child_gen db ~parent ~attr ~spec ~child:oid ~existence:false)
+          :: !undo
+      end;
+      (match spec.collection with
+      | A.Single -> Database.write_value db parent_inst attr (Value.Ref oid)
+      | A.Set ->
+          let base =
+            match old_value with Value.Null -> Value.VSet [] | v -> v
+          in
+          Database.write_value db parent_inst attr (Value.add_ref base oid));
+      undo :=
+        (fun () ->
+          match Database.find db parent with
+          | Some p -> Database.write_value db p attr old_value
+          | None -> ())
+        :: !undo;
+      if i = 0 then (get db oid).cluster_with <- Some parent)
+    parents
+
+let create db ~cls ?(parents = []) ?(attrs = []) () =
+  let cdef = Schema.find_exn (Database.schema db) cls in
+  let undo = ref [] in
+  let created =
+    if cdef.versionable then begin
+      let gi : Instance.generic_info =
+        { versions = []; user_default = None; next_version_no = 1; grefs = [] }
+      in
+      let goid = create_raw db ~cls ~kind:(Instance.Generic gi) in
+      let vinfo : Instance.version_info =
+        {
+          generic = goid;
+          version_no = 0;
+          derived_from = None;
+          created_at = Database.tick db;
+        }
+      in
+      let void = create_raw db ~cls ~kind:(Instance.Version vinfo) in
+      gi.versions <- [ void ];
+      gi.next_version_no <- 1;
+      undo :=
+        (fun () ->
+          Database.remove db void;
+          Database.remove db goid)
+        :: !undo;
+      void
+    end
+    else begin
+      let oid = create_raw db ~cls ~kind:Instance.Plain in
+      undo := (fun () -> Database.remove db oid) :: !undo;
+      oid
+    end
+  in
+  (try
+     apply_initial_attrs db created attrs ~undo;
+     apply_parents db created parents ~undo
+   with exn ->
+     List.iter (fun f -> f ()) !undo;
+     raise exn);
+  created

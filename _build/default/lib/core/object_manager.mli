@@ -1,0 +1,108 @@
+(** The object manager: creation, attribute writes, the Make-Component
+    algorithm (§2.4), and the Deletion Rule (§2.2), including the
+    version-instance mechanics of §5.3.
+
+    Design decisions D1/D2 (existence dependency on reference removal)
+    and D4 (acyclicity) from DESIGN.md are implemented here. *)
+
+val create :
+  Database.t ->
+  cls:string ->
+  ?parents:(Oid.t * string) list ->
+  ?attrs:(string * Value.t) list ->
+  unit ->
+  Oid.t
+(** The paper's [make] message.  [?parents] is the [:parent] keyword —
+    each pair [(parent, attribute)] makes the new instance a component
+    of (or merely referenced by, for weak attributes) that parent, with
+    the first parent used as the clustering hint (§2.3).  [?attrs] are
+    the initial attribute values; composite attributes among them
+    perform bottom-up composition of already-existing objects.
+
+    For a versionable class this creates a generic instance plus a
+    first version instance and returns the {e version} instance's OID
+    (its generic is reachable through {!Instance.version_info}).
+
+    All topology checks run before any state is modified. *)
+
+val get : Database.t -> Oid.t -> Instance.t
+
+val read_attr : Database.t -> Oid.t -> string -> Value.t
+(** [Null] when unset.  @raise Core_error.Error for generic instances
+    and unknown attributes. *)
+
+val write_attr : Database.t -> Oid.t -> string -> Value.t -> unit
+(** Full reference maintenance: removed composite targets are detached
+    (with the existence-dependency rule), added targets go through the
+    Make-Component checks; the write is rejected atomically if any
+    check fails. *)
+
+val add_to_set : Database.t -> Oid.t -> string -> Oid.t -> unit
+(** Insert one reference into a set-valued attribute. *)
+
+val remove_from_set : Database.t -> Oid.t -> string -> Oid.t -> unit
+
+val make_component :
+  Database.t -> parent:Oid.t -> attr:string -> child:Oid.t -> unit
+(** Make an {e existing} object a component of [parent] through [attr]
+    (§2.4 algorithm): access the child, verify the Make-Component Rule
+    against its X flags, insert the reverse reference, and add the
+    child to the parent's attribute value. *)
+
+val remove_component :
+  Database.t -> parent:Oid.t -> attr:string -> child:Oid.t -> unit
+(** Drop the reference; if it was a dependent reference and the child
+    is left with no composite reference at all, the child is deleted
+    (existence dependency, D1). *)
+
+val delete : Database.t -> Oid.t -> unit
+(** The Deletion Rule.  Dependent components are deleted recursively
+    when the deleted reference was their last composite reference;
+    independent components survive; remaining parents have the deleted
+    OID scrubbed from their values; weak references are left dangling
+    (D3).  Deleting a generic instance deletes all its versions
+    (CV-4X); deleting the last version deletes the generic. *)
+
+val value_conforms : Database.t -> Orion_schema.Attribute.t -> Value.t -> bool
+(** Type conformance of a value against an attribute: primitives match
+    the primitive domain; references must target live instances of the
+    domain class or a subclass (generic and version instances
+    included); sets require [Set] collections. *)
+
+(** {1 Internals used by Orion_versions} *)
+
+val create_raw :
+  Database.t -> cls:string -> kind:Instance.kind -> Oid.t
+(** Register an empty instance of the given kind; no checks, no
+    parents.  The version manager builds generic/version pairs with
+    this. *)
+
+val attach_child :
+  Database.t ->
+  parent:Oid.t ->
+  attr:string ->
+  spec:Orion_schema.Attribute.t ->
+  child:Oid.t ->
+  unit
+(** Reference bookkeeping only (reverse references, generic ref-counts,
+    topology checks) — does {e not} touch the parent's value.  Exposed
+    for the version manager's derive-copy path. *)
+
+val detach_child :
+  Database.t ->
+  parent:Oid.t ->
+  attr:string ->
+  spec:Orion_schema.Attribute.t ->
+  child:Oid.t ->
+  unit
+(** Inverse of {!attach_child}, applying the existence-dependency rule. *)
+
+val detach_child_quiet :
+  Database.t ->
+  parent:Oid.t ->
+  attr:string ->
+  spec:Orion_schema.Attribute.t ->
+  child:Oid.t ->
+  unit
+(** {!detach_child} without the existence-dependency rule: bookkeeping
+    removal only (rollbacks and the I1 schema change use this). *)

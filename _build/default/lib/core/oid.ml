@@ -1,0 +1,18 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let hash = Hashtbl.hash
+let pp ppf t = Format.fprintf ppf "#%d" t
+let to_string t = Format.asprintf "%a" pp t
+let to_int t = t
+let of_int t = t
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,22 @@
+(** Object identifiers (the paper's UIDs).
+
+    "We say that an object O' has a reference to another object O if O'
+    contains the object identifier (UID) of O" (§2.1).  OIDs are dense
+    integers allocated by the {!Database}; they are never reused, so a
+    dangling weak reference is detectable. *)
+
+type t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val to_int : t -> int
+val of_int : int -> t
+(** For the serializer and tests only. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,333 @@
+module Store = Orion_storage.Store
+module Schema = Orion_schema.Schema
+module A = Orion_schema.Attribute
+module D = Orion_schema.Domain
+module W = Orion_storage.Bytes_rw.Writer
+module R = Orion_storage.Bytes_rw.Reader
+
+let sync_segments db =
+  let store = Database.store db in
+  let wanted = Schema.segment_count (Database.schema db) in
+  while Store.segment_count store < wanted do
+    ignore (Store.new_segment store : Store.segment_id)
+  done
+
+let checkpoint db =
+  sync_segments db;
+  let store = Database.store db in
+  (* Families are placed together: an object is followed immediately by
+     every object whose clustering hint (§2.3 first [:parent]) names it,
+     so the [~near] placement can actually land them on the same page.
+     Placing in arbitrary order would interleave families and defeat
+     the hint. *)
+  let children : Instance.t list Oid.Tbl.t = Oid.Tbl.create 64 in
+  let anchors = ref [] in
+  Database.iter db (fun inst ->
+      match inst.cluster_with with
+      | Some parent when Database.exists db parent ->
+          let existing =
+            match Oid.Tbl.find_opt children parent with Some l -> l | None -> []
+          in
+          Oid.Tbl.replace children parent (inst :: existing)
+      | Some _ | None -> anchors := inst :: !anchors);
+  let written = Oid.Tbl.create 64 in
+  let rec place_family (inst : Instance.t) near =
+    if not (Oid.Tbl.mem written inst.oid) then begin
+      Oid.Tbl.add written inst.oid ();
+      let data = Codec.encode db inst in
+      let segment = Schema.segment_of_class (Database.schema db) inst.cls in
+      let rid =
+        match inst.rid with
+        | Some rid -> Store.update store rid data
+        | None -> Store.insert store ~segment ?near data
+      in
+      inst.rid <- Some rid;
+      let family =
+        match Oid.Tbl.find_opt children inst.oid with Some l -> l | None -> []
+      in
+      List.iter (fun child -> place_family child (Some rid)) family
+    end
+  in
+  List.iter (fun inst -> place_family inst None) !anchors;
+  (* Clustering cycles (mutual hints) leave no anchor; place leftovers. *)
+  Database.iter db (fun inst ->
+      if not (Oid.Tbl.mem written inst.oid) then place_family inst None)
+
+let read_cold db oid =
+  match Database.find db oid with
+  | None -> None
+  | Some inst -> (
+      match inst.rid with
+      | None -> None
+      | Some rid ->
+          Option.map Codec.decode (Store.read (Database.store db) rid))
+
+let walk_cold db root =
+  let schema = Database.schema db in
+  let seen = Oid.Tbl.create 64 in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let oid = Queue.pop queue in
+    if not (Oid.Tbl.mem seen oid) then begin
+      Oid.Tbl.add seen oid ();
+      match read_cold db oid with
+      | None -> ()
+      | Some image ->
+          incr count;
+          (match image.kind with
+          | Instance.Generic gi -> List.iter (fun v -> Queue.add v queue) gi.versions
+          | Instance.Plain | Instance.Version _ ->
+              List.iter
+                (fun (a : A.t) ->
+                  if A.is_composite a then
+                    match Instance.attr image a.name with
+                    | Some v -> List.iter (fun c -> Queue.add c queue) (Value.refs v)
+                    | None -> ())
+                (Schema.effective_attributes schema image.cls))
+    end
+  done;
+  !count
+
+let reload db =
+  let store = Database.store db in
+  let insts = Database.fold db ~init:[] ~f:(fun acc inst -> inst :: acc) in
+  List.iter
+    (fun (inst : Instance.t) ->
+      match inst.rid with
+      | None ->
+          failwith
+            (Format.asprintf "Persist.reload: %a was never checkpointed" Oid.pp
+               inst.oid)
+      | Some rid -> (
+          match Store.read store rid with
+          | None ->
+              failwith
+                (Format.asprintf "Persist.reload: record of %a is gone" Oid.pp
+                   inst.oid)
+          | Some data ->
+              let fresh = Codec.decode data in
+              fresh.rid <- Some rid;
+              fresh.cluster_with <- inst.cluster_with;
+              Database.add db fresh))
+    insts
+
+
+let compact db =
+  sync_segments db;
+  let store = Database.store db in
+  let moves = Hashtbl.create 64 in
+  for seg = 0 to Store.segment_count store - 1 do
+    List.iter
+      (fun (old_rid, new_rid) -> Hashtbl.replace moves old_rid new_rid)
+      (Store.compact_segment store seg)
+  done;
+  let moved = ref 0 in
+  Database.iter db (fun inst ->
+      match inst.Instance.rid with
+      | Some rid -> (
+          match Hashtbl.find_opt moves rid with
+          | Some fresh ->
+              inst.Instance.rid <- Some fresh;
+              incr moved
+          | None -> ())
+      | None -> ());
+  !moved
+
+(* Full save / load -------------------------------------------------------- *)
+
+let catalog_version = 1
+
+let write_domain w = function
+  | D.Primitive D.P_integer -> W.u8 w 0
+  | D.Primitive D.P_float -> W.u8 w 1
+  | D.Primitive D.P_string -> W.u8 w 2
+  | D.Primitive D.P_boolean -> W.u8 w 3
+  | D.Any -> W.u8 w 4
+  | D.Class c ->
+      W.u8 w 5;
+      W.string w c
+
+let read_domain r =
+  match R.u8 r with
+  | 0 -> D.Primitive D.P_integer
+  | 1 -> D.Primitive D.P_float
+  | 2 -> D.Primitive D.P_string
+  | 3 -> D.Primitive D.P_boolean
+  | 4 -> D.Any
+  | 5 -> D.Class (R.string r)
+  | tag -> raise (R.Corrupt (Printf.sprintf "bad domain tag %d" tag))
+
+let write_attribute w (a : A.t) =
+  W.string w a.name;
+  write_domain w a.domain;
+  W.bool w (a.collection = A.Set);
+  (match a.refkind with
+  | A.Weak -> W.u8 w 0
+  | A.Composite { exclusive; dependent } ->
+      W.u8 w 1;
+      W.bool w exclusive;
+      W.bool w dependent);
+  match a.source with
+  | None -> W.bool w false
+  | Some s ->
+      W.bool w true;
+      W.string w s
+
+let read_attribute r : A.t =
+  let name = R.string r in
+  let domain = read_domain r in
+  let collection = if R.bool r then A.Set else A.Single in
+  let refkind =
+    match R.u8 r with
+    | 0 -> A.Weak
+    | 1 ->
+        let exclusive = R.bool r in
+        let dependent = R.bool r in
+        A.Composite { exclusive; dependent }
+    | tag -> raise (R.Corrupt (Printf.sprintf "bad refkind tag %d" tag))
+  in
+  let source = if R.bool r then Some (R.string r) else None in
+  { A.name; domain; collection; refkind; source }
+
+let write_list w f items =
+  W.int w (List.length items);
+  List.iter (f w) items
+
+let read_list r f =
+  let n = R.int r in
+  List.init n (fun _ -> f r)
+
+let write_rid w (rid : Store.rid) =
+  W.int w rid.Store.segment;
+  W.int w rid.Store.page;
+  W.int w rid.Store.slot
+
+let read_rid r : Store.rid =
+  let segment = R.int r in
+  let page = R.int r in
+  let slot = R.int r in
+  { Store.segment; page; slot }
+
+let save db =
+  checkpoint db;
+  let w = W.create () in
+  W.int w catalog_version;
+  W.bool w (Database.rref_repr db = Database.External);
+  W.bool w (Database.acyclic db);
+  let next_oid, clock = Database.counters db in
+  W.int w next_oid;
+  W.int w clock;
+  W.int w (Database.current_cc db);
+  (* Schema. *)
+  let x = Schema.export (Database.schema db) in
+  write_list w
+    (fun w (name, id) ->
+      W.string w name;
+      W.int w id)
+    x.Schema.x_segments;
+  W.int w x.Schema.x_next_segment;
+  write_list w
+    (fun w (name, supers, versionable, segment, attrs) ->
+      W.string w name;
+      write_list w (fun w s -> W.string w s) supers;
+      W.bool w versionable;
+      W.int w segment;
+      write_list w write_attribute attrs)
+    x.Schema.x_classes;
+  (* Object directory. *)
+  let entries = Database.fold db ~init:[] ~f:(fun acc inst -> inst :: acc) in
+  write_list w
+    (fun w (inst : Instance.t) ->
+      W.int w (Oid.to_int inst.oid);
+      (match inst.rid with
+      | Some rid -> write_rid w rid
+      | None -> failwith "Persist.save: object missing after checkpoint");
+      (match inst.cluster_with with
+      | None -> W.bool w false
+      | Some p ->
+          W.bool w true;
+          W.int w (Oid.to_int p));
+      match Database.rref_repr db with
+      | Database.Inline -> W.int w 0
+      | Database.External ->
+          write_list w
+            (fun w (rref : Rref.t) ->
+              W.int w (Oid.to_int rref.Rref.parent);
+              W.string w rref.Rref.attr;
+              W.bool w rref.Rref.exclusive;
+              W.bool w rref.Rref.dependent)
+            (Database.rrefs db inst.oid))
+    entries;
+  Store.write_catalog (Database.store db) (W.contents w)
+
+let load ?rref_repr ?acyclic store =
+  match Store.read_catalog store with
+  | None -> failwith "Persist.load: store has no catalog"
+  | Some data ->
+      let r = R.of_bytes data in
+      let version = R.int r in
+      if version <> catalog_version then
+        failwith (Printf.sprintf "Persist.load: catalog version %d" version);
+      let external_repr = R.bool r in
+      let acyclic_flag = R.bool r in
+      ignore rref_repr;
+      ignore acyclic;
+      let db =
+        Database.create
+          ~rref_repr:(if external_repr then Database.External else Database.Inline)
+          ~acyclic:acyclic_flag ~store ()
+      in
+      let next_oid = R.int r in
+      let clock = R.int r in
+      let cc = R.int r in
+      Database.restore_counters db ~next_oid ~clock;
+      Database.set_current_cc db cc;
+      let x_segments =
+        read_list r (fun r ->
+            let name = R.string r in
+            let id = R.int r in
+            (name, id))
+      in
+      let x_next_segment = R.int r in
+      let x_classes =
+        read_list r (fun r ->
+            let name = R.string r in
+            let supers = read_list r (fun r -> R.string r) in
+            let versionable = R.bool r in
+            let segment = R.int r in
+            let attrs = read_list r read_attribute in
+            (name, supers, versionable, segment, attrs))
+      in
+      Schema.import_into (Database.schema db)
+        { Schema.x_classes; x_segments; x_next_segment };
+      let entries =
+        read_list r (fun r ->
+            let oid = Oid.of_int (R.int r) in
+            let rid = read_rid r in
+            let cluster_with = if R.bool r then Some (Oid.of_int (R.int r)) else None in
+            let rrefs =
+              read_list r (fun r ->
+                  let parent = Oid.of_int (R.int r) in
+                  let attr = R.string r in
+                  let exclusive = R.bool r in
+                  let dependent = R.bool r in
+                  { Rref.parent; attr; exclusive; dependent })
+            in
+            (oid, rid, cluster_with, rrefs))
+      in
+      List.iter
+        (fun (oid, rid, cluster_with, external_rrefs) ->
+          match Store.read store rid with
+          | None ->
+              failwith
+                (Format.asprintf "Persist.load: record of %a is gone" Oid.pp oid)
+          | Some record ->
+              let inst = Codec.decode record in
+              inst.Instance.rid <- Some rid;
+              inst.Instance.cluster_with <- cluster_with;
+              Database.add db inst;
+              if external_repr then Database.set_rrefs db oid external_rrefs)
+        entries;
+      db

@@ -1,0 +1,53 @@
+(** Checkpointing the workspace to the record store.
+
+    ORION keeps an object buffer in front of a page buffer; our
+    workspace plays the object buffer.  [checkpoint] writes every
+    object into its class's segment, honouring the §2.3 clustering
+    rule: an object created with [:parent ...] is placed near its
+    first parent when both classes share a segment.
+
+    [read_cold] and [walk_cold] bypass the workspace and pay page
+    fetches, which is how the clustering experiment (P5) observes the
+    effect of placement. *)
+
+val checkpoint : Database.t -> unit
+(** Write (or rewrite) every live object.  Parents are placed before
+    children so the [~near] hint can take effect. *)
+
+val read_cold : Database.t -> Oid.t -> Instance.t option
+(** Decode the object from its page image (the object must have been
+    checkpointed). *)
+
+val walk_cold : Database.t -> Oid.t -> int
+(** Cold composite traversal: read the root and every component from
+    pages, following composite references in the page images; returns
+    the number of objects visited.  Combine with
+    {!Orion_storage.Store.drop_cache} and the I/O counters. *)
+
+val reload : Database.t -> unit
+(** Replace every in-memory object by its decoded page image
+    (round-trip check; [Failure] if any object was never
+    checkpointed). *)
+
+val compact : Database.t -> int
+(** Compact every segment: live records are rewritten into fresh pages
+    (reclaiming the space of deleted ones) and the objects' RIDs are
+    updated.  Returns the number of records moved.  Objects never
+    checkpointed are unaffected. *)
+
+val save : Database.t -> unit
+(** Full save: {!checkpoint} every object, then write the catalog
+    (schema export, counters, the OID→RID directory — and, for the
+    external reverse-reference representation, the reverse-reference
+    table) into the store's catalog area.  After [save], {!load} on the
+    same store rebuilds an equivalent database. *)
+
+val load :
+  ?rref_repr:Database.rref_repr ->
+  ?acyclic:bool ->
+  Orion_storage.Store.t ->
+  Database.t
+(** Reopen a database around a store previously {!save}d.  The optional
+    flags must match the saving database's (they are also recorded in
+    the catalog; the recorded values win).
+    @raise Failure on a store without a catalog or with a corrupt one. *)

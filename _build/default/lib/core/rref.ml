@@ -1,0 +1,35 @@
+type t = { parent : Oid.t; attr : string; exclusive : bool; dependent : bool }
+
+let equal a b =
+  Oid.equal a.parent b.parent
+  && String.equal a.attr b.attr
+  && a.exclusive = b.exclusive
+  && a.dependent = b.dependent
+
+let pp ppf t =
+  Format.fprintf ppf "<-%a.%s%s%s" Oid.pp t.parent t.attr
+    (if t.exclusive then " X" else "")
+    (if t.dependent then " D" else "")
+
+type gref = {
+  g_parent : Oid.t;
+  g_attr : string;
+  g_exclusive : bool;
+  g_dependent : bool;
+  mutable count : int;
+}
+
+let pp_gref ppf g =
+  Format.fprintf ppf "<~%a.%s%s%s (count %d)" Oid.pp g.g_parent g.g_attr
+    (if g.g_exclusive then " X" else "")
+    (if g.g_dependent then " D" else "")
+    g.count
+
+type refsets = { ix : t list; dx : t list; is_ : t list; ds : t list }
+
+let classify rrefs =
+  let split test refs = List.partition test refs in
+  let exclusive, shared = split (fun r -> r.exclusive) rrefs in
+  let dx, ix = split (fun r -> r.dependent) exclusive in
+  let ds, is_ = split (fun r -> r.dependent) shared in
+  { ix; dx; is_; ds }

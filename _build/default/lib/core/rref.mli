@@ -1,0 +1,50 @@
+(** Reverse composite references (§2.4).
+
+    "A reverse composite reference actually consists of a couple of
+    flags in addition to the object identifier of a parent.  One flag
+    (D) indicates whether the object is a dependent component of the
+    parent; the other flag (X) indicates whether the object is an
+    exclusive component of the parent."
+
+    We additionally record the parent attribute through which the
+    reference was made, which makes scrubbing the parent's value on
+    deletion O(1) instead of a scan (§2.4 lists simplified "deletion
+    and migration" as the reason reverse references are kept in the
+    component at all).
+
+    {!gref} is the {e reverse composite generic reference} of §5.3: it
+    lives in a generic instance, names the parent (the parent's generic
+    instance when the parent is versionable) and carries the ref-count
+    of composite references contributed by the parent's version
+    instances. *)
+
+type t = {
+  parent : Oid.t;
+  attr : string;
+  exclusive : bool;  (** the X flag *)
+  dependent : bool;  (** the D flag *)
+}
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+type gref = {
+  g_parent : Oid.t;
+  g_attr : string;
+  g_exclusive : bool;
+  g_dependent : bool;
+  mutable count : int;  (** the ref-count of §5.3 *)
+}
+
+val pp_gref : Format.formatter -> gref -> unit
+
+(** Classification of a reverse-reference list into the paper's four
+    sets (Definition 1, §2.2). *)
+type refsets = {
+  ix : t list;  (** independent exclusive *)
+  dx : t list;  (** dependent exclusive *)
+  is_ : t list;  (** independent shared *)
+  ds : t list;  (** dependent shared *)
+}
+
+val classify : t list -> refsets

@@ -1,0 +1,21 @@
+let card = List.length
+
+let rule1 (s : Rref.refsets) = card s.ix <= 1 && card s.dx <= 1
+
+let rule2 (s : Rref.refsets) =
+  (card s.ix = 0 || card s.dx = 0) && (card s.dx = 0 || card s.ix = 0)
+
+let rule3 (s : Rref.refsets) =
+  let exclusive = card s.ix + card s.dx in
+  let shared = card s.is_ + card s.ds in
+  (exclusive = 0 || shared = 0) && (shared = 0 || exclusive = 0)
+
+let holds s = rule1 s && rule2 s && rule3 s
+
+let can_make_component (s : Rref.refsets) ~exclusive =
+  let any_composite = card s.ix + card s.dx + card s.is_ + card s.ds > 0 in
+  let any_exclusive = card s.ix + card s.dx > 0 in
+  if exclusive then
+    if any_composite then Error Core_error.Child_has_composite_parent else Ok ()
+  else if any_exclusive then Error Core_error.Child_has_exclusive_parent
+  else Ok ()

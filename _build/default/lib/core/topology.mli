@@ -1,0 +1,26 @@
+(** The topology rules of §2.2, as pure predicates over reverse
+    reference sets.
+
+    The operational checks (the Make-Component Rule) guarantee the
+    rules inductively; the rule predicates themselves are used by the
+    integrity checker and by property-based tests. *)
+
+val rule1 : Rref.refsets -> bool
+(** card(IX(O)) ≤ 1 and card(DX(O)) ≤ 1. *)
+
+val rule2 : Rref.refsets -> bool
+(** An independent exclusive reference excludes a dependent exclusive
+    one, and vice versa. *)
+
+val rule3 : Rref.refsets -> bool
+(** Exclusive references exclude shared ones, and vice versa. *)
+
+val holds : Rref.refsets -> bool
+(** Rules 1–3 together.  (Rule 4 — any number of weak references — is
+    vacuous here because weak references carry no reverse reference.) *)
+
+val can_make_component :
+  Rref.refsets -> exclusive:bool -> (unit, Core_error.topology_reason) result
+(** The Make-Component Rule: [exclusive] is the nature of the composite
+    attribute about to reference the object whose reverse references
+    are given. *)

@@ -1,0 +1,190 @@
+module A = Orion_schema.Attribute
+module Schema = Orion_schema.Schema
+
+type filter = [ `All | `Exclusive | `Shared ]
+
+let default_version db goid =
+  match Database.find db goid with
+  | None -> None
+  | Some inst -> (
+      match Instance.generic_info inst with
+      | None -> None
+      | Some gi -> (
+          match gi.user_default with
+          | Some v when Database.exists db v -> Some v
+          | Some _ | None ->
+              (* System default: timestamp order of creation (§5.1). *)
+              let latest =
+                List.fold_left
+                  (fun best v ->
+                    match Database.find db v with
+                    | None -> best
+                    | Some vinst -> (
+                        match (Instance.version_info vinst, best) with
+                        | Some vi, Some (_, best_at) when vi.created_at <= best_at
+                          ->
+                            best
+                        | Some vi, _ -> Some (v, vi.created_at)
+                        | None, _ -> best))
+                  None gi.versions
+              in
+              Option.map fst latest))
+
+let resolve db oid =
+  match Database.find db oid with
+  | Some inst when Instance.is_generic inst -> (
+      match default_version db oid with Some v -> v | None -> oid)
+  | Some _ | None -> oid
+
+(* Outgoing composite edges of an object, dynamic bindings resolved. *)
+let edges db oid =
+  match Database.find db oid with
+  | None -> []
+  | Some inst ->
+      if Instance.is_generic inst then []
+      else
+        Schema.effective_attributes (Database.schema db) inst.cls
+        |> List.concat_map (fun (a : A.t) ->
+               match a.refkind with
+               | A.Weak -> []
+               | A.Composite { exclusive; _ } -> (
+                   match Instance.attr inst a.name with
+                   | None -> []
+                   | Some v ->
+                       List.map (fun target -> (exclusive, resolve db target)) (Value.refs v)))
+
+(* BFS computing, for every reachable object, the shortest composite
+   distance and whether some reaching path contains a shared reference
+   (the taint); a component is exclusive iff never tainted (D11). *)
+type reach = { mutable dist : int; mutable tainted : bool }
+
+let reachability db root =
+  let info : reach Oid.Tbl.t = Oid.Tbl.create 64 in
+  let order = ref [] in
+  let queue = Queue.create () in
+  Queue.add (root, 0, false) queue;
+  while not (Queue.is_empty queue) do
+    let oid, dist, tainted = Queue.pop queue in
+    let revisit_children =
+      match Oid.Tbl.find_opt info oid with
+      | None ->
+          Oid.Tbl.add info oid { dist; tainted };
+          if not (Oid.equal oid root) then order := oid :: !order;
+          true
+      | Some r ->
+          (* Re-propagate only when the taint is news for this node. *)
+          let taint_news = tainted && not r.tainted in
+          if taint_news then r.tainted <- true;
+          taint_news
+    in
+    if revisit_children then
+      List.iter
+        (fun (exclusive, child) ->
+          Queue.add (child, dist + 1, tainted || not exclusive) queue)
+        (edges db oid)
+  done;
+  (info, List.rev !order)
+
+let matches_classes db classes oid =
+  match classes with
+  | None -> true
+  | Some cls_list -> (
+      match Database.find db oid with
+      | None -> false
+      | Some inst ->
+          List.exists
+            (fun cls ->
+              Schema.mem (Database.schema db) cls
+              && Schema.is_subclass_of (Database.schema db) ~sub:inst.cls ~super:cls)
+            cls_list)
+
+let matches_filter (filter : filter) tainted =
+  match filter with
+  | `All -> true
+  | `Exclusive -> not tainted
+  | `Shared -> tainted
+
+let components_of db ?classes ?level ?(filter = `All) oid =
+  ignore (Database.get db oid : Instance.t);
+  let info, order = reachability db oid in
+  List.filter
+    (fun component ->
+      match Oid.Tbl.find_opt info component with
+      | None -> false
+      | Some r ->
+          (match level with Some l -> r.dist <= l | None -> true)
+          && matches_filter filter r.tainted
+          && matches_classes db classes component)
+    order
+
+let children_of db oid =
+  ignore (Database.get db oid : Instance.t);
+  let seen = Oid.Tbl.create 8 in
+  List.filter_map
+    (fun (_, child) ->
+      if Oid.Tbl.mem seen child then None
+      else begin
+        Oid.Tbl.add seen child ();
+        Some child
+      end)
+    (edges db oid)
+
+(* Upward edges: (parent, exclusive) pairs. *)
+let parent_edges db oid =
+  match Database.find db oid with
+  | None -> []
+  | Some inst -> (
+      match Instance.generic_info inst with
+      | Some gi -> List.map (fun (g : Rref.gref) -> (g.g_parent, g.g_exclusive)) gi.grefs
+      | None ->
+          List.map (fun (r : Rref.t) -> (r.parent, r.exclusive)) (Database.rrefs db oid))
+
+let filter_parents db ?classes ~filter pairs =
+  let seen = Oid.Tbl.create 8 in
+  List.filter_map
+    (fun (parent, exclusive) ->
+      if Oid.Tbl.mem seen parent then None
+      else begin
+        Oid.Tbl.add seen parent ();
+        if
+          matches_filter filter (not exclusive)
+          && matches_classes db classes parent
+        then Some parent
+        else None
+      end)
+    pairs
+
+let parents_of db ?classes ?(filter = `All) oid =
+  ignore (Database.get db oid : Instance.t);
+  filter_parents db ?classes ~filter (parent_edges db oid)
+
+let ancestors_of db ?classes ?(filter = `All) oid =
+  ignore (Database.get db oid : Instance.t);
+  let seen = Oid.Tbl.create 16 in
+  let acc = ref [] in
+  let queue = Queue.create () in
+  let push (parent, exclusive) =
+    if matches_filter filter (not exclusive) && not (Oid.Tbl.mem seen parent)
+    then begin
+      Oid.Tbl.add seen parent ();
+      acc := parent :: !acc;
+      Queue.add parent queue
+    end
+  in
+  List.iter push (parent_edges db oid);
+  while not (Queue.is_empty queue) do
+    let parent = Queue.pop queue in
+    List.iter push (parent_edges db parent)
+  done;
+  List.filter (matches_classes db classes) (List.rev !acc)
+
+let component_of db o1 o2 =
+  List.exists (Oid.equal o1) (components_of db o2)
+
+let child_of db o1 o2 = List.exists (Oid.equal o1) (children_of db o2)
+
+let exclusive_component_of db o1 o2 =
+  List.exists (Oid.equal o1) (components_of db ~filter:`Exclusive o2)
+
+let shared_component_of db o1 o2 =
+  List.exists (Oid.equal o1) (components_of db ~filter:`Shared o2)

@@ -1,0 +1,60 @@
+(** The composite-object operations of §3: determining components,
+    children, parents and ancestors, plus the instance-level
+    predicates.
+
+    Dynamic binding (a reference whose target is a generic instance)
+    resolves to the target's {e default version} during downward
+    traversal (§5.1), so [components_of] reports version instances, not
+    generic instances.  Going upward, a version instance answers from
+    its reverse references and a generic instance answers from its
+    reverse composite generic references (the paper's Figure 3.b note:
+    [parents-of] on generic [b1] yields [a1]).
+
+    Exclusive/shared classification (decision D11): a component is an
+    {e exclusive component} when every composite path reaching it uses
+    exclusive references only; otherwise it is a {e shared component}. *)
+
+type filter = [ `All | `Exclusive | `Shared ]
+
+val default_version : Database.t -> Oid.t -> Oid.t option
+(** Default version of a generic instance: the user-specified one, else
+    the system default — the latest-created version instance (§5.1). *)
+
+val resolve : Database.t -> Oid.t -> Oid.t
+(** Resolve dynamic binding: a generic instance maps to its default
+    version; anything else maps to itself. *)
+
+val components_of :
+  Database.t ->
+  ?classes:string list ->
+  ?level:int ->
+  ?filter:filter ->
+  Oid.t ->
+  Oid.t list
+(** All objects directly or indirectly referenced through composite
+    references.  [?level] limits to components whose shortest path has
+    at most that many composite references; [?classes] keeps instances
+    of the listed classes (or their subclasses); [?filter] keeps
+    exclusive or shared components only.  Results in BFS order. *)
+
+val children_of : Database.t -> Oid.t -> Oid.t list
+(** Level-1 components. *)
+
+val parents_of :
+  Database.t -> ?classes:string list -> ?filter:filter -> Oid.t -> Oid.t list
+
+val ancestors_of :
+  Database.t -> ?classes:string list -> ?filter:filter -> Oid.t -> Oid.t list
+(** With [?filter], ancestors reachable through chains of matching
+    reverse references. *)
+
+val component_of : Database.t -> Oid.t -> Oid.t -> bool
+(** [component_of db o1 o2]: is [o1] a direct or indirect component of
+    [o2]. *)
+
+val child_of : Database.t -> Oid.t -> Oid.t -> bool
+
+val exclusive_component_of : Database.t -> Oid.t -> Oid.t -> bool
+val shared_component_of : Database.t -> Oid.t -> Oid.t -> bool
+(** Per §3.2 these partition components: each returns [false] when the
+    first object is not a component of the second at all. *)

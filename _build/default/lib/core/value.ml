@@ -1,0 +1,81 @@
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Ref of Oid.t
+  | VSet of t list
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Bool x, Bool y -> x = y
+  | Ref x, Ref y -> Oid.equal x y
+  | VSet xs, VSet ys ->
+      List.length xs = List.length ys && List.for_all2 equal xs ys
+  | (Null | Int _ | Float _ | Str _ | Bool _ | Ref _ | VSet _), _ -> false
+
+let rec pp ppf = function
+  | Null -> Format.pp_print_string ppf "nil"
+  | Int n -> Format.pp_print_int ppf n
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "%S" s
+  | Bool b -> Format.pp_print_bool ppf b
+  | Ref oid -> Oid.pp ppf oid
+  | VSet vs ->
+      Format.fprintf ppf "{%a}"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ") pp)
+        vs
+
+let to_string t = Format.asprintf "%a" pp t
+
+let refs t =
+  let rec go acc = function
+    | Ref oid -> oid :: acc
+    | VSet vs -> List.fold_left go acc vs
+    | Null | Int _ | Float _ | Str _ | Bool _ -> acc
+  in
+  let all = List.rev (go [] t) in
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun oid ->
+      if Hashtbl.mem seen oid then false
+      else begin
+        Hashtbl.replace seen oid ();
+        true
+      end)
+    all
+
+let contains_ref t oid = List.exists (Oid.equal oid) (refs t)
+
+let add_ref t oid =
+  match t with
+  | Null -> Ref oid
+  | VSet vs ->
+      if List.exists (fun v -> equal v (Ref oid)) vs then t
+      else VSet (vs @ [ Ref oid ])
+  | Int _ | Float _ | Str _ | Bool _ | Ref _ ->
+      invalid_arg "Value.add_ref: not a set or null"
+
+let rec normalize t =
+  match t with
+  | VSet vs ->
+      let deduped =
+        List.fold_left
+          (fun acc v ->
+            let v = normalize v in
+            if List.exists (equal v) acc then acc else v :: acc)
+          [] vs
+      in
+      VSet (List.rev deduped)
+  | Null | Int _ | Float _ | Str _ | Bool _ | Ref _ -> t
+
+let remove_ref t oid =
+  match t with
+  | Ref o when Oid.equal o oid -> Null
+  | VSet vs -> VSet (List.filter (fun v -> not (equal v (Ref oid))) vs)
+  | Null | Int _ | Float _ | Str _ | Bool _ | Ref _ -> t

@@ -1,0 +1,37 @@
+(** Attribute values.
+
+    A value is a primitive, a reference (the UID of another object), or
+    a set of values (the paper's [set-of] domains).  Whether a
+    reference is weak or composite is a property of the *attribute*
+    (see {!Orion_schema.Attribute}), not of the value. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Ref of Oid.t
+  | VSet of t list  (** order-insensitive; deduplicated on write *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val refs : t -> Oid.t list
+(** All references contained in the value (a [Ref] yields one; a [VSet]
+    yields its member references), in order, deduplicated. *)
+
+val contains_ref : t -> Oid.t -> bool
+
+val add_ref : t -> Oid.t -> t
+(** On [Null] or [VSet]: set insertion (idempotent).  On anything else:
+    [Invalid_argument]. *)
+
+val remove_ref : t -> Oid.t -> t
+(** Remove a reference: [Ref o] becomes [Null]; a [VSet] loses the
+    member.  Values without the reference are returned unchanged. *)
+
+val normalize : t -> t
+(** Deduplicate set members (sets are sets); applied by every write
+    path so stored values never hold a reference twice. *)

@@ -1,0 +1,1 @@
+lib/dsl/dump.ml: Buffer Database Eval Hashtbl Instance Int List Oid Option Orion_core Orion_schema Printf String Value

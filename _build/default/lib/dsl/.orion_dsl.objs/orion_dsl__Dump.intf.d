@@ -1,0 +1,1 @@
+lib/dsl/dump.mli: Eval Orion_core

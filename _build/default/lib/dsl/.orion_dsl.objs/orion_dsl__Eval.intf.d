@@ -1,0 +1,1 @@
+lib/dsl/eval.mli: Database Format Oid Orion_authz Orion_core Orion_evolution Orion_notify Orion_query Orion_util

@@ -1,0 +1,1 @@
+lib/dsl/repl.ml: Eval Format List Orion_core Orion_schema Orion_util String

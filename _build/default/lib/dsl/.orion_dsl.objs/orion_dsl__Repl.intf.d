@@ -1,0 +1,1 @@
+lib/dsl/repl.mli: Eval Orion_util

@@ -1,0 +1,212 @@
+open Orion_core
+module A = Orion_schema.Attribute
+module D = Orion_schema.Domain
+module Schema = Orion_schema.Schema
+module Class_def = Orion_schema.Class_def
+
+let buf_add = Buffer.add_string
+
+(* Schema ---------------------------------------------------------------------- *)
+
+let domain_to_syntax = function
+  | D.Primitive D.P_string -> "String"
+  | D.Primitive D.P_integer -> "Integer"
+  | D.Primitive D.P_float -> "Float"
+  | D.Primitive D.P_boolean -> "Boolean"
+  | D.Any -> "any"
+  | D.Class c -> c
+
+let attribute_to_syntax (a : A.t) =
+  let domain =
+    match a.collection with
+    | A.Single -> domain_to_syntax a.domain
+    | A.Set -> Printf.sprintf "(set-of %s)" (domain_to_syntax a.domain)
+  in
+  let flags =
+    match a.refkind with
+    | A.Weak -> ""
+    | A.Composite { exclusive; dependent } ->
+        Printf.sprintf " :composite true :exclusive %s :dependent %s"
+          (if exclusive then "true" else "nil")
+          (if dependent then "true" else "nil")
+  in
+  Printf.sprintf "(%s :domain %s%s)" a.name domain flags
+
+let dump_schema db =
+  let schema = Database.schema db in
+  let buf = Buffer.create 1024 in
+  buf_add buf ";; schema\n";
+  (* Superclasses before subclasses. *)
+  let emitted = Hashtbl.create 16 in
+  let rec emit (cls : Class_def.t) =
+    if not (Hashtbl.mem emitted cls.name) then begin
+      Hashtbl.replace emitted cls.name ();
+      List.iter (fun super -> emit (Schema.find_exn schema super)) cls.superclasses;
+      buf_add buf (Printf.sprintf "(make-class '%s" cls.name);
+      (match cls.superclasses with
+      | [] -> ()
+      | supers ->
+          buf_add buf (Printf.sprintf " :superclasses (%s)" (String.concat " " supers)));
+      if cls.versionable then buf_add buf " :versionable true";
+      (match cls.own_attributes with
+      | [] -> buf_add buf " :attributes ()"
+      | attrs ->
+          buf_add buf " :attributes (";
+          List.iter (fun a -> buf_add buf ("\n  " ^ attribute_to_syntax a)) attrs;
+          buf_add buf ")");
+      buf_add buf ")\n"
+    end
+  in
+  List.iter emit (Schema.classes schema);
+  Buffer.contents buf
+
+(* Objects ----------------------------------------------------------------------- *)
+
+let name_of oid = Printf.sprintf "o%d" (Oid.to_int oid)
+
+let rec value_to_syntax db v =
+  match v with
+  | Value.Null -> Some "nil"
+  | Value.Int n -> Some (string_of_int n)
+  | Value.Float f -> Some (Printf.sprintf "%h" f)
+  | Value.Str s -> Some (Printf.sprintf "%S" s)
+  | Value.Bool b -> Some (if b then "true" else "false")
+  | Value.Ref oid ->
+      (* Dangling weak residue is dropped from the dump. *)
+      if Database.exists db oid then Some (name_of oid) else None
+  | Value.VSet vs ->
+      let elems = List.filter_map (value_to_syntax db) vs in
+      Some (Printf.sprintf "(%s)" (String.concat " " elems))
+
+let is_reference_attr (a : A.t) = D.class_name a.domain <> None || a.domain = D.Any
+
+let dump_objects db =
+  let schema = Database.schema db in
+  let buf = Buffer.create 4096 in
+  buf_add buf ";; objects (phase 1: creation, phase 2: references)\n";
+  (* Phase 1: create every attribute-holding object bare (primitive
+     attributes inline), versionable families in derivation order. *)
+  let primitive_inits (inst : Instance.t) =
+    List.filter_map
+      (fun (name, v) ->
+        match Schema.attribute schema inst.cls name with
+        | Some a when not (is_reference_attr a) ->
+            Option.map (fun s -> Printf.sprintf " :%s %s" name s) (value_to_syntax db v)
+        | Some _ | None -> None)
+      inst.attrs
+  in
+  let holders =
+    Database.fold db ~init:[] ~f:(fun acc inst ->
+        if Instance.is_generic inst then acc else inst :: acc)
+    |> List.sort (fun (a : Instance.t) b -> Oid.compare a.oid b.oid)
+  in
+  let emitted = Oid.Tbl.create 64 in
+  let emit_plain (inst : Instance.t) =
+    buf_add buf
+      (Printf.sprintf "(setq %s (make %s%s))\n" (name_of inst.oid) inst.cls
+         (String.concat "" (primitive_inits inst)))
+  in
+  let emit_family (generic : Instance.t) (gi : Instance.generic_info) =
+    (* Versions in version-number order; each derived from its recorded
+       parent when alive, else from the previously emitted version.
+       (Version numbers are re-assigned sequentially on restore.) *)
+    let versions =
+      List.filter_map
+        (fun v ->
+          match Database.find db v with
+          | Some vinst -> (
+              match Instance.version_info vinst with
+              | Some vi -> Some (vinst, vi)
+              | None -> None)
+          | None -> None)
+        gi.versions
+      |> List.sort (fun (_, (a : Instance.version_info)) (_, b) ->
+             Int.compare a.version_no b.version_no)
+    in
+    let last = ref None in
+    List.iter
+      (fun ((vinst : Instance.t), (vi : Instance.version_info)) ->
+        (match !last with
+        | None ->
+            buf_add buf
+              (Printf.sprintf "(setq %s (make %s%s))\n" (name_of vinst.oid) vinst.cls
+                 (String.concat "" (primitive_inits vinst)))
+        | Some previous ->
+            let source =
+              match vi.derived_from with
+              | Some parent when Database.exists db parent -> name_of parent
+              | Some _ | None -> name_of previous
+            in
+            buf_add buf
+              (Printf.sprintf "(setq %s (derive-version %s))\n" (name_of vinst.oid)
+                 source));
+        last := Some vinst.oid;
+        Oid.Tbl.replace emitted vinst.oid ())
+      versions;
+    (* Bind the generic and restore the user default, if any. *)
+    (match versions with
+    | (first, _) :: _ ->
+        buf_add buf
+          (Printf.sprintf "(setq %s (generic-of %s))\n" (name_of generic.oid)
+             (name_of first.oid))
+    | [] -> ());
+    match gi.user_default with
+    | Some d when Database.exists db d ->
+        buf_add buf
+          (Printf.sprintf "(set-default-version %s %s)\n" (name_of generic.oid)
+             (name_of d))
+    | Some _ | None -> ()
+  in
+  Database.iter db (fun inst ->
+      match Instance.generic_info inst with
+      | Some gi -> emit_family inst gi
+      | None -> ());
+  List.iter
+    (fun (inst : Instance.t) ->
+      if not (Oid.Tbl.mem emitted inst.oid) then emit_plain inst)
+    holders;
+  (* Phase 2: reference attributes (weak and composite) and the
+     primitive attributes of derived versions (their bare copies). *)
+  buf_add buf ";; phase 2\n";
+  List.iter
+    (fun (inst : Instance.t) ->
+      let is_derived_version =
+        match Instance.version_info inst with
+        | Some vi -> vi.derived_from <> None
+        | None -> false
+      in
+      if is_derived_version then
+        (* derive-version copied the source's values; overwrite every
+           effective attribute with the real state (including Null). *)
+        List.iter
+          (fun (a : A.t) ->
+            let v = Option.value (Instance.attr inst a.name) ~default:Value.Null in
+            match value_to_syntax db v with
+            | Some syntax ->
+                buf_add buf
+                  (Printf.sprintf "(set-attr %s %s %s)\n" (name_of inst.oid) a.name
+                     syntax)
+            | None -> ())
+          (Schema.effective_attributes schema inst.cls)
+      else
+        List.iter
+          (fun (name, v) ->
+            match Schema.attribute schema inst.cls name with
+            | Some a when is_reference_attr a -> (
+                match value_to_syntax db v with
+                | Some "nil" | None -> ()
+                | Some syntax ->
+                    buf_add buf
+                      (Printf.sprintf "(set-attr %s %s %s)\n" (name_of inst.oid)
+                         name syntax))
+            | Some _ | None -> ())
+          inst.attrs)
+    holders;
+  Buffer.contents buf
+
+let dump db = dump_schema db ^ "\n" ^ dump_objects db
+
+let restore src =
+  let env = Eval.create_env () in
+  ignore (Eval.eval_program env src : Eval.v list);
+  env

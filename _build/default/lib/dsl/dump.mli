@@ -1,0 +1,25 @@
+(** Dump and restore a database as an ORION program.
+
+    The schema dumps to [make-class] forms and the objects to [make] /
+    [add-component] forms in dependency order (components before the
+    objects that reference them, so bottom-up creation re-attaches
+    everything).  Version-derivation structure is re-created with
+    [derive-version]; user default versions with [set-default-version].
+
+    [restore] evaluates such a program into a fresh environment; a
+    dump/restore round-trip preserves the composite topology (asserted
+    by the test suite). *)
+
+val dump_schema : Orion_core.Database.t -> string
+(** [make-class] forms, superclasses before subclasses. *)
+
+val dump_objects : Orion_core.Database.t -> string
+(** [setq o<n> (make …)] forms; every object is bound to a stable name
+    derived from its OID. *)
+
+val dump : Orion_core.Database.t -> string
+(** Schema followed by objects. *)
+
+val restore : string -> Eval.env
+(** Evaluate a dump into a fresh environment.
+    @raise Eval.Eval_error on malformed programs. *)

@@ -1,0 +1,734 @@
+open Orion_core
+module Sexp = Orion_util.Sexp
+module A = Orion_schema.Attribute
+module D = Orion_schema.Domain
+module Schema = Orion_schema.Schema
+module VM = Orion_versions.Version_manager
+module Evolution = Orion_evolution.Evolution
+module Authz = Orion_authz.Authz_manager
+module Auth = Orion_authz.Auth
+module Expr = Orion_query.Expr
+module Engine = Orion_query.Engine
+module Notifier = Orion_notify.Notifier
+
+exception Eval_error of string
+
+let fail fmt = Format.kasprintf (fun msg -> raise (Eval_error msg)) fmt
+
+type env = {
+  db : Database.t;
+  evolution : Evolution.t;
+  authz : Authz.t;
+  query : Engine.t;
+  notify : Notifier.t;
+  watches : (string, Notifier.watch) Hashtbl.t;
+  bindings : (string, Oid.t) Hashtbl.t;
+}
+
+let create_env ?db () =
+  let db = match db with Some db -> db | None -> Database.create () in
+  {
+    db;
+    evolution = Evolution.attach db;
+    authz = Authz.create db;
+    query = Engine.create db;
+    notify = Notifier.create db;
+    watches = Hashtbl.create 8;
+    bindings = Hashtbl.create 32;
+  }
+
+let database env = env.db
+let evolution env = env.evolution
+let authz env = env.authz
+let query env = env.query
+let notifier env = env.notify
+
+let bind env name oid = Hashtbl.replace env.bindings name oid
+
+let lookup env name = Hashtbl.find_opt env.bindings name
+
+type v = Obj of Oid.t | Objs of Oid.t list | Bool of bool | Num of int | Str of string | Unit
+
+let name_of env oid =
+  Hashtbl.fold
+    (fun name bound acc -> if Oid.equal bound oid then Some name else acc)
+    env.bindings None
+
+let pp_obj env ppf oid =
+  let cls =
+    match Database.find env.db oid with
+    | Some inst -> ":" ^ inst.Instance.cls
+    | None -> ":?"
+  in
+  match name_of env oid with
+  | Some name -> Format.fprintf ppf "%s[%a%s]" name Oid.pp oid cls
+  | None -> Format.fprintf ppf "%a%s" Oid.pp oid cls
+
+let pp_v env ppf = function
+  | Obj oid -> pp_obj env ppf oid
+  | Objs oids ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space (pp_obj env))
+        oids
+  | Bool b -> Format.pp_print_string ppf (if b then "true" else "nil")
+  | Num n -> Format.pp_print_int ppf n
+  | Str s -> Format.pp_print_string ppf s
+  | Unit -> Format.pp_print_string ppf "ok"
+
+(* Form utilities ------------------------------------------------------------- *)
+
+let unquote = function
+  | Sexp.List [ Sexp.Atom "quote"; form ] -> form
+  | form -> form
+
+let symbol form =
+  match unquote form with
+  | Sexp.Atom a -> a
+  | other -> fail "expected a symbol, got %s" (Sexp.to_string other)
+
+(* Split [forms] into leading positional arguments and keyword pairs. *)
+let kwsplit forms =
+  let rec go acc = function
+    | [] -> (List.rev acc, [])
+    | Sexp.Keyword k :: value :: rest ->
+        let _, kws = go [] rest in
+        (List.rev acc, (k, unquote value) :: kws)
+    | Sexp.Keyword k :: [] -> fail "keyword :%s lacks a value" k
+    | form :: rest ->
+        let positional, kws = go acc rest in
+        (unquote form :: positional, kws)
+  in
+  let positional, kws = go [] forms in
+  (positional, kws)
+
+let kw kws key = List.assoc_opt key kws
+
+let truthy = function
+  | None -> false
+  | Some form -> Sexp.is_true form
+
+let object_of env form =
+  match unquote form with
+  | Sexp.Atom name -> (
+      match lookup env name with
+      | Some oid -> oid
+      | None -> fail "unbound object name %s" name)
+  | other -> fail "expected an object name, got %s" (Sexp.to_string other)
+
+(* Values ---------------------------------------------------------------------- *)
+
+let rec value_of env form =
+  match unquote form with
+  | Sexp.Int n -> Value.Int n
+  | Sexp.Float f -> Value.Float f
+  | Sexp.Str s -> Value.Str s
+  | Sexp.Atom "nil" -> Value.Null
+  | Sexp.Atom "true" -> Value.Bool true
+  | Sexp.Atom "false" -> Value.Bool false
+  | Sexp.Atom name -> (
+      match lookup env name with
+      | Some oid -> Value.Ref oid
+      | None -> fail "unbound object name %s" name)
+  | Sexp.List elems -> Value.VSet (List.map (value_of env) elems)
+  | Sexp.Keyword k -> fail "unexpected keyword :%s in value position" k
+
+(* Domains ----------------------------------------------------------------------- *)
+
+let primitive_domain = function
+  | "String" | "string" -> Some (D.Primitive D.P_string)
+  | "Integer" | "integer" | "int" -> Some (D.Primitive D.P_integer)
+  | "Float" | "float" -> Some (D.Primitive D.P_float)
+  | "Boolean" | "boolean" -> Some (D.Primitive D.P_boolean)
+  | "any" | "Any" -> Some D.Any
+  | _ -> None
+
+let rec domain_of form =
+  match unquote form with
+  | Sexp.Atom name -> (
+      match primitive_domain name with
+      | Some d -> (d, A.Single)
+      | None -> (D.Class name, A.Single))
+  | Sexp.List [ Sexp.Atom "set-of"; inner ] ->
+      let d, _ = domain_of inner in
+      (d, A.Set)
+  | other -> fail "bad domain %s" (Sexp.to_string other)
+
+(* (AttrName :domain D :composite true :exclusive nil :dependent true) *)
+let attribute_of form =
+  match unquote form with
+  | Sexp.List (name_form :: rest) ->
+      let name = symbol name_form in
+      let _, kws = kwsplit rest in
+      let domain, collection =
+        match kw kws "domain" with
+        | Some d -> domain_of d
+        | None -> fail "attribute %s lacks :domain" name
+      in
+      let refkind =
+        if truthy (kw kws "composite") then
+          (* Paper defaults: exclusive and dependent both true. *)
+          let flag key = match kw kws key with None -> true | Some f -> Sexp.is_true f in
+          A.Composite { exclusive = flag "exclusive"; dependent = flag "dependent" }
+        else A.Weak
+      in
+      A.make ~collection ~refkind ~name ~domain ()
+  | other -> fail "bad attribute spec %s" (Sexp.to_string other)
+
+(* Commands ------------------------------------------------------------------------ *)
+
+let eval_make_class env forms =
+  let positional, kws = kwsplit forms in
+  let name =
+    match positional with
+    | [ name_form ] -> symbol name_form
+    | _ -> fail "make-class expects exactly one class name"
+  in
+  let superclasses =
+    match kw kws "superclasses" with
+    | None -> []
+    | Some form when Sexp.is_nil form -> []
+    | Some (Sexp.List supers) -> List.map symbol supers
+    | Some (Sexp.Atom super) -> [ super ]
+    | Some other -> fail "bad :superclasses %s" (Sexp.to_string other)
+  in
+  let attributes =
+    match kw kws "attributes" with
+    | None -> []
+    | Some form when Sexp.is_nil form -> []
+    | Some (Sexp.List attrs) -> List.map attribute_of attrs
+    | Some other -> fail "bad :attributes %s" (Sexp.to_string other)
+  in
+  let versionable = truthy (kw kws "versionable") in
+  let segment =
+    match kw kws "segment" with
+    | Some (Sexp.Str s) -> Some s
+    | Some (Sexp.Atom s) -> Some s
+    | Some other -> fail "bad :segment %s" (Sexp.to_string other)
+    | None -> None
+  in
+  ignore
+    (Schema.define (Database.schema env.db) ~superclasses ~versionable ?segment
+       ~name ~attributes ()
+      : Orion_schema.Class_def.t);
+  Str name
+
+let parents_of_form env form =
+  match unquote form with
+  | Sexp.List pairs ->
+      List.map
+        (fun pair ->
+          match unquote pair with
+          | Sexp.List [ obj; attr ] -> (object_of env obj, symbol attr)
+          | other -> fail "bad :parent entry %s" (Sexp.to_string other))
+        pairs
+  | other -> fail "bad :parent %s" (Sexp.to_string other)
+
+let eval_make env forms =
+  let positional, kws = kwsplit forms in
+  let cls =
+    match positional with
+    | [ cls_form ] -> symbol cls_form
+    | _ -> fail "make expects exactly one class name"
+  in
+  let parents =
+    match kw kws "parent" with Some form -> parents_of_form env form | None -> []
+  in
+  let attrs =
+    List.filter_map
+      (fun (key, form) ->
+        if String.equal key "parent" then None
+        else Some (key, value_of env form))
+      kws
+  in
+  Obj (Object_manager.create env.db ~cls ~parents ~attrs ())
+
+(* (components-of Object [ListofClasses] [Exclusive] [Shared] [Level]) *)
+let traversal_args env rest =
+  let classes = ref None and excl = ref false and shared = ref false and level = ref None in
+  let seen_bool = ref 0 in
+  List.iter
+    (fun form ->
+      match unquote form with
+      | Sexp.List cls_forms -> classes := Some (List.map symbol cls_forms)
+      | Sexp.Int n -> level := Some n
+      | Sexp.Atom ("true" | "t") ->
+          incr seen_bool;
+          if !seen_bool = 1 then excl := true else shared := true
+      | Sexp.Atom "nil" -> incr seen_bool
+      | other -> fail "bad traversal argument %s" (Sexp.to_string other))
+    rest;
+  let filter =
+    match (!excl, !shared) with
+    | true, false -> `Exclusive
+    | false, true -> `Shared
+    | _ -> `All
+  in
+  ignore env;
+  (!classes, filter, !level)
+
+let eval_traversal env op obj rest =
+  let oid = object_of env obj in
+  let classes, filter, level = traversal_args env rest in
+  match op with
+  | `Components -> Objs (Traversal.components_of env.db ?classes ?level ~filter oid)
+  | `Parents -> Objs (Traversal.parents_of env.db ?classes ~filter oid)
+  | `Ancestors -> Objs (Traversal.ancestors_of env.db ?classes ~filter oid)
+
+let eval_class_predicate env pred forms =
+  let schema = Database.schema env.db in
+  match forms with
+  | [ cls_form ] -> Bool (pred schema (symbol cls_form) ?attr:None ())
+  | [ cls_form; attr_form ] ->
+      Bool (pred schema (symbol cls_form) ?attr:(Some (symbol attr_form)) ())
+  | _ -> fail "predicate expects a class and optionally an attribute"
+
+(* Authorizations: sR, wR, s~W / s!W / s¬W … *)
+let auth_of_string s =
+  let open Auth in
+  let strength, rest =
+    if String.length s > 0 && s.[0] = 's' then (Strong, String.sub s 1 (String.length s - 1))
+    else if String.length s > 0 && s.[0] = 'w' then (Weak, String.sub s 1 (String.length s - 1))
+    else fail "bad authorization %s (expected s/w prefix)" s
+  in
+  let sign, rest =
+    if rest = "" then fail "bad authorization %s" s
+    else
+      match rest.[0] with
+      | '~' | '!' -> (Negative, String.sub rest 1 (String.length rest - 1))
+      | '\xc2' when String.length rest >= 2 && rest.[1] = '\xac' ->
+          (Negative, String.sub rest 2 (String.length rest - 2))
+      | _ -> (Positive, rest)
+  in
+  let atype =
+    match rest with
+    | "R" | "r" -> Read
+    | "W" | "w" -> Write
+    | _ -> fail "bad authorization type %s" rest
+  in
+  { atype; sign; strength }
+
+let target_of env form =
+  match unquote form with
+  | Sexp.List [ Sexp.Atom "object"; obj ] -> Authz.On_object (object_of env obj)
+  | Sexp.List [ Sexp.Atom "class"; cls ] -> Authz.On_class (symbol cls)
+  | other -> (
+      (* bare object name or class name *)
+      match other with
+      | Sexp.Atom name -> (
+          match lookup env name with
+          | Some oid -> Authz.On_object oid
+          | None -> Authz.On_class name)
+      | _ -> fail "bad authorization target %s" (Sexp.to_string other))
+
+(* Query expressions --------------------------------------------------------- *)
+
+let path_of form =
+  String.split_on_char '.' (symbol form) |> List.filter (fun s -> s <> "")
+
+let rec expr_of env form =
+  match unquote form with
+  | Sexp.Atom "true" -> Expr.Const true
+  | Sexp.Atom "nil" | Sexp.Atom "false" -> Expr.Const false
+  | Sexp.List (Sexp.Atom op :: args) -> (
+      let cmp c =
+        match args with
+        | [ path; v ] -> Expr.Cmp (c, path_of path, value_of env v)
+        | _ -> fail "comparison expects a path and a value"
+      in
+      match op with
+      | "=" -> (
+          (* (= Path obj) on a bound object means Refers. *)
+          match args with
+          | [ path; Sexp.Atom name ] when lookup env name <> None ->
+              Expr.Refers (path_of path, Option.get (lookup env name))
+          | _ -> cmp Expr.Eq)
+      | "/=" | "!=" -> cmp Expr.Neq
+      | "<" -> cmp Expr.Lt
+      | "<=" -> cmp Expr.Le
+      | ">" -> cmp Expr.Gt
+      | ">=" -> cmp Expr.Ge
+      | "has" -> (
+          match args with
+          | [ path ] -> Expr.Has (path_of path)
+          | _ -> fail "has expects a path")
+      | "is-a" -> (
+          match args with
+          | [ path; cls ] -> Expr.In_class (path_of path, symbol cls)
+          | [ cls ] -> Expr.In_class ([], symbol cls)
+          | _ -> fail "is-a expects [path] class")
+      | "part-of" -> (
+          match args with
+          | [ obj ] -> Expr.Component_of (object_of env obj)
+          | _ -> fail "part-of expects an object")
+      | "and" -> Expr.And (List.map (expr_of env) args)
+      | "or" -> Expr.Or (List.map (expr_of env) args)
+      | "not" -> (
+          match args with
+          | [ e ] -> Expr.Not (expr_of env e)
+          | _ -> fail "not expects one expression")
+      | "exists" -> (
+          match args with
+          | [ path; e ] -> Expr.Exists (path_of path, expr_of env e)
+          | _ -> fail "exists expects a path and an expression")
+      | "forall" -> (
+          match args with
+          | [ path; e ] -> Expr.Forall (path_of path, expr_of env e)
+          | _ -> fail "forall expects a path and an expression")
+      | other -> fail "unknown query operator %s" other)
+  | other -> fail "bad query expression %s" (Sexp.to_string other)
+
+let help_text =
+  {|Commands:
+  (make-class 'Name :superclasses (A B) :versionable true :segment "seg"
+              :attributes ((Attr :domain D :composite true :exclusive nil :dependent true) ...))
+  (make Class :parent ((obj Attr) ...) :Attr value ...)
+  (setq name form)            bind the result object to a name
+  (set-attr obj Attr value)   (get-attr obj Attr)
+  (add-component parent Attr child)   (remove-component parent Attr child)
+  (delete obj)
+  (components-of obj [(Classes)] [Exclusive] [Shared] [Level])
+  (parents-of obj ...)  (ancestors-of obj ...)  (children-of obj)
+  (component-of o1 o2) (child-of o1 o2) (exclusive-component-of o1 o2) (shared-component-of o1 o2)
+  (compositep Class [Attr]) (exclusive-compositep ...) (shared-compositep ...) (dependent-compositep ...)
+  (derive-version v) (versions-of o) (generic-of v) (default-version o) (set-default-version o v)
+  (bind-static holder Attr v) (bind-dynamic holder Attr v)
+  (grant "user" sR target) (revoke "user" sR target) (check "user" R obj) (implied-on "user" obj)
+      target = (object name) | (class Name); auth = s|w [~] R|W
+  (change-attribute-type Class Attr :composite true :exclusive nil :dependent true :mode deferred)
+  (drop-attribute Class Attr) (drop-superclass Class Super) (drop-class Class)
+  (select Class expr) (count-select Class expr) (explain Class expr)
+      expr = (= Path v) (< Path v) ... (has Path) (is-a [Path] Class) (part-of obj)
+             (refers via (= Path obj)) (and ...) (or ...) (not e) (exists Path e) (forall Path e)
+      Path = Attr or Attr.Attr...
+  (create-index Class Attr) (drop-index Class Attr)
+  (watch name obj) (changed name) (changes name) (clear-watch name)
+  (describe obj) (instances-of Class) (integrity-check) (count-objects) (help)|}
+
+let rec eval env form =
+  match form with
+  | Sexp.List (Sexp.Atom op :: rest) -> eval_op env op rest
+  | Sexp.Atom name -> (
+      match lookup env name with
+      | Some oid -> Obj oid
+      | None -> fail "unbound name %s" name)
+  | Sexp.Int n -> Num n
+  | Sexp.Str s -> Str s
+  | other -> fail "cannot evaluate %s" (Sexp.to_string other)
+
+and eval_op env op rest =
+  match op with
+  | "help" -> Str help_text
+  | "progn" ->
+      List.fold_left (fun _ form -> eval env form) Unit rest
+  | "setq" -> (
+      match rest with
+      | [ Sexp.Atom name; form ] -> (
+          match eval env form with
+          | Obj oid ->
+              bind env name oid;
+              Obj oid
+          | _ -> fail "setq expects an object-valued form")
+      | _ -> fail "bad setq")
+  | "make-class" -> eval_make_class env rest
+  | "make" -> eval_make env rest
+  | "set-attr" -> (
+      match rest with
+      | [ obj; attr; v ] ->
+          Object_manager.write_attr env.db (object_of env obj) (symbol attr)
+            (value_of env v);
+          Unit
+      | _ -> fail "bad set-attr")
+  | "get-attr" -> (
+      match rest with
+      | [ obj; attr ] -> (
+          match Object_manager.read_attr env.db (object_of env obj) (symbol attr) with
+          | Value.Ref oid -> Obj oid
+          | Value.VSet vs ->
+              Objs (List.concat_map (fun v -> Value.refs v) vs)
+          | Value.Int n -> Num n
+          | Value.Str s -> Str s
+          | Value.Bool b -> Bool b
+          | Value.Float f -> Str (string_of_float f)
+          | Value.Null -> Unit)
+      | _ -> fail "bad get-attr")
+  | "add-component" -> (
+      match rest with
+      | [ parent; attr; child ] ->
+          Object_manager.make_component env.db ~parent:(object_of env parent)
+            ~attr:(symbol attr) ~child:(object_of env child);
+          Unit
+      | _ -> fail "bad add-component")
+  | "remove-component" -> (
+      match rest with
+      | [ parent; attr; child ] ->
+          Object_manager.remove_component env.db ~parent:(object_of env parent)
+            ~attr:(symbol attr) ~child:(object_of env child);
+          Unit
+      | _ -> fail "bad remove-component")
+  | "delete" -> (
+      match rest with
+      | [ obj ] ->
+          Object_manager.delete env.db (object_of env obj);
+          Unit
+      | _ -> fail "bad delete")
+  | "components-of" -> (
+      match rest with
+      | obj :: args -> eval_traversal env `Components obj args
+      | [] -> fail "bad components-of")
+  | "parents-of" -> (
+      match rest with
+      | obj :: args -> eval_traversal env `Parents obj args
+      | [] -> fail "bad parents-of")
+  | "ancestors-of" -> (
+      match rest with
+      | obj :: args -> eval_traversal env `Ancestors obj args
+      | [] -> fail "bad ancestors-of")
+  | "children-of" -> (
+      match rest with
+      | [ obj ] -> Objs (Traversal.children_of env.db (object_of env obj))
+      | _ -> fail "bad children-of")
+  | "component-of" | "child-of" | "exclusive-component-of" | "shared-component-of"
+    -> (
+      match rest with
+      | [ o1; o2 ] ->
+          let o1 = object_of env o1 and o2 = object_of env o2 in
+          let result =
+            match op with
+            | "component-of" -> Traversal.component_of env.db o1 o2
+            | "child-of" -> Traversal.child_of env.db o1 o2
+            | "exclusive-component-of" -> Traversal.exclusive_component_of env.db o1 o2
+            | _ -> Traversal.shared_component_of env.db o1 o2
+          in
+          Bool result
+      | _ -> fail "bad %s" op)
+  | "compositep" -> eval_class_predicate env Schema.compositep rest
+  | "exclusive-compositep" -> eval_class_predicate env Schema.exclusive_compositep rest
+  | "shared-compositep" -> eval_class_predicate env Schema.shared_compositep rest
+  | "dependent-compositep" -> eval_class_predicate env Schema.dependent_compositep rest
+  | "derive-version" -> (
+      match rest with
+      | [ v ] -> Obj (VM.derive env.db (object_of env v))
+      | _ -> fail "bad derive-version")
+  | "generic-of" -> (
+      match rest with
+      | [ v ] -> Obj (VM.generic_of env.db (object_of env v))
+      | _ -> fail "bad generic-of")
+  | "versions-of" -> (
+      match rest with
+      | [ o ] -> Objs (VM.versions env.db (object_of env o))
+      | _ -> fail "bad versions-of")
+  | "default-version" -> (
+      match rest with
+      | [ o ] -> Obj (VM.default_version env.db (object_of env o))
+      | _ -> fail "bad default-version")
+  | "set-default-version" -> (
+      match rest with
+      | [ o; v ] ->
+          VM.set_default_version env.db (object_of env o)
+            (Some (object_of env v));
+          Unit
+      | _ -> fail "bad set-default-version")
+  | "bind-static" -> (
+      match rest with
+      | [ holder; attr; v ] ->
+          VM.bind_statically env.db ~holder:(object_of env holder)
+            ~attr:(symbol attr) ~version:(object_of env v);
+          Unit
+      | _ -> fail "bad bind-static")
+  | "bind-dynamic" -> (
+      match rest with
+      | [ holder; attr; v ] ->
+          VM.bind_dynamically env.db ~holder:(object_of env holder)
+            ~attr:(symbol attr) (object_of env v);
+          Unit
+      | _ -> fail "bad bind-dynamic")
+  | "grant" -> (
+      match rest with
+      | [ Sexp.Str user; auth_form; target ] -> (
+          let auth = auth_of_string (symbol auth_form) in
+          match
+            Authz.grant env.authz ~subject:user ~auth ~target:(target_of env target)
+          with
+          | Ok () -> Unit
+          | Error conflicting ->
+              Str
+                (Format.asprintf "rejected: conflicts with %d existing grant(s)"
+                   (List.length conflicting)))
+      | _ -> fail "bad grant")
+  | "revoke" -> (
+      match rest with
+      | [ Sexp.Str user; auth_form; target ] ->
+          Bool
+            (Authz.revoke env.authz ~subject:user
+               ~auth:(auth_of_string (symbol auth_form))
+               ~target:(target_of env target))
+      | _ -> fail "bad revoke")
+  | "check" -> (
+      match rest with
+      | [ Sexp.Str user; op_form; obj ] ->
+          let op =
+            match symbol op_form with
+            | "R" | "r" -> Auth.Read
+            | "W" | "w" -> Auth.Write
+            | other -> fail "bad access type %s" other
+          in
+          Bool (Authz.check env.authz ~subject:user ~op (object_of env obj))
+      | _ -> fail "bad check")
+  | "implied-on" -> (
+      match rest with
+      | [ Sexp.Str user; obj ] ->
+          Str (Auth.display (Authz.implied_on env.authz ~subject:user (object_of env obj)))
+      | _ -> fail "bad implied-on")
+  | "change-attribute-type" -> (
+      match rest with
+      | cls :: attr :: kwforms -> (
+          let _, kws = kwsplit kwforms in
+          let to_ =
+            if truthy (kw kws "composite") then
+              let flag key =
+                match kw kws key with None -> true | Some f -> Sexp.is_true f
+              in
+              A.Composite { exclusive = flag "exclusive"; dependent = flag "dependent" }
+            else A.Weak
+          in
+          let mode =
+            match kw kws "mode" with
+            | Some (Sexp.Atom "deferred") -> Evolution.Deferred
+            | Some (Sexp.Atom "immediate") | None -> Evolution.Immediate
+            | Some other -> fail "bad :mode %s" (Sexp.to_string other)
+          in
+          match
+            Evolution.change_attribute_type env.evolution ~mode ~cls:(symbol cls)
+              ~attr:(symbol attr) ~to_ ()
+          with
+          | Ok prims ->
+              Str
+                (String.concat " "
+                   (List.map
+                      (Format.asprintf "%a" Orion_evolution.Change.pp_primitive)
+                      prims))
+          | Error rejection ->
+              Str (Format.asprintf "rejected: %a" Evolution.pp_rejection rejection))
+      | _ -> fail "bad change-attribute-type")
+  | "drop-attribute" -> (
+      match rest with
+      | [ cls; attr ] ->
+          Evolution.drop_attribute env.evolution ~cls:(symbol cls) ~attr:(symbol attr);
+          Unit
+      | _ -> fail "bad drop-attribute")
+  | "drop-superclass" -> (
+      match rest with
+      | [ cls; super ] ->
+          Evolution.drop_superclass env.evolution ~cls:(symbol cls)
+            ~super:(symbol super);
+          Unit
+      | _ -> fail "bad drop-superclass")
+  | "drop-class" -> (
+      match rest with
+      | [ cls ] ->
+          Evolution.drop_class env.evolution (symbol cls);
+          Unit
+      | _ -> fail "bad drop-class")
+  | "select" -> (
+      match rest with
+      | cls :: expr_forms ->
+          let expr =
+            match expr_forms with
+            | [] -> Expr.Const true
+            | [ form ] -> expr_of env form
+            | forms -> Expr.And (List.map (expr_of env) forms)
+          in
+          Objs (Engine.select env.query ~cls:(symbol cls) expr)
+      | [] -> fail "bad select")
+  | "count-select" -> (
+      match rest with
+      | cls :: expr_forms ->
+          let expr =
+            match expr_forms with
+            | [] -> Expr.Const true
+            | [ form ] -> expr_of env form
+            | forms -> Expr.And (List.map (expr_of env) forms)
+          in
+          Num (Engine.count env.query ~cls:(symbol cls) expr)
+      | [] -> fail "bad count-select")
+  | "explain" -> (
+      match rest with
+      | [ cls; form ] ->
+          Str
+            (Format.asprintf "%a" Engine.pp_plan
+               (Engine.explain env.query ~cls:(symbol cls) (expr_of env form)))
+      | _ -> fail "bad explain")
+  | "create-index" -> (
+      match rest with
+      | [ cls; attr ] ->
+          ignore
+            (Engine.add_index env.query ~cls:(symbol cls) ~attr:(symbol attr)
+              : Orion_query.Index.t);
+          Unit
+      | _ -> fail "bad create-index")
+  | "drop-index" -> (
+      match rest with
+      | [ cls; attr ] ->
+          Bool (Engine.drop_index env.query ~cls:(symbol cls) ~attr:(symbol attr))
+      | _ -> fail "bad drop-index")
+  | "watch" -> (
+      match rest with
+      | [ Sexp.Atom name; obj ] ->
+          let w = Notifier.watch env.notify (object_of env obj) in
+          Hashtbl.replace env.watches name w;
+          Unit
+      | _ -> fail "bad watch: (watch name obj)")
+  | "changed" -> (
+      match rest with
+      | [ Sexp.Atom name ] -> (
+          match Hashtbl.find_opt env.watches name with
+          | Some w -> Bool (Notifier.changed env.notify w)
+          | None -> fail "unknown watch %s" name)
+      | _ -> fail "bad changed")
+  | "changes" -> (
+      match rest with
+      | [ Sexp.Atom name ] -> (
+          match Hashtbl.find_opt env.watches name with
+          | Some w ->
+              Str
+                (String.concat "; "
+                   (List.map
+                      (fun { Notifier.member; attr } ->
+                        Format.asprintf "%a%s" Oid.pp member
+                          (match attr with Some a -> "." ^ a | None -> " (deleted)"))
+                      (Notifier.changes env.notify w)))
+          | None -> fail "unknown watch %s" name)
+      | _ -> fail "bad changes")
+  | "clear-watch" -> (
+      match rest with
+      | [ Sexp.Atom name ] -> (
+          match Hashtbl.find_opt env.watches name with
+          | Some w ->
+              Notifier.clear env.notify w;
+              Unit
+          | None -> fail "unknown watch %s" name)
+      | _ -> fail "bad clear-watch")
+  | "describe" -> (
+      match rest with
+      | [ obj ] ->
+          let oid = object_of env obj in
+          Str (Format.asprintf "%a" Instance.pp (Database.get env.db oid))
+      | _ -> fail "bad describe")
+  | "instances-of" -> (
+      match rest with
+      | [ cls ] -> Objs (Database.instances_of env.db (symbol cls))
+      | _ -> fail "bad instances-of")
+  | "count-objects" -> Num (Database.count env.db)
+  | "integrity-check" -> (
+      match Integrity.check env.db with
+      | [] -> Str "consistent"
+      | violations ->
+          Str
+            (Format.asprintf "@[<v>%a@]"
+               (Format.pp_print_list Integrity.pp_violation)
+               violations))
+  | other -> fail "unknown command %s (try (help))" other
+
+let eval_string env src = eval env (Sexp.parse src)
+
+let eval_program env src = List.map (eval env) (Sexp.parse_many src)

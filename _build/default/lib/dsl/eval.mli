@@ -1,0 +1,44 @@
+(** The ORION surface syntax, executable.
+
+    The evaluator implements the message syntax the paper uses
+    verbatim — [(make-class 'Vehicle :superclasses nil :attributes …)],
+    [(make Vehicle :parent ((v1 Tires)) :Color "red")],
+    [(components-of v1 (AutoTires) true nil 2)], the §3.2 predicates —
+    plus commands for the version, authorization and schema-evolution
+    subsystems, so every worked example in the paper can be typed at
+    the REPL exactly as printed.
+
+    Evaluate [(help)] for the command list. *)
+
+open Orion_core
+
+type env
+
+val create_env : ?db:Database.t -> unit -> env
+
+val database : env -> Database.t
+val evolution : env -> Orion_evolution.Evolution.t
+val authz : env -> Orion_authz.Authz_manager.t
+val query : env -> Orion_query.Engine.t
+val notifier : env -> Orion_notify.Notifier.t
+
+type v =
+  | Obj of Oid.t
+  | Objs of Oid.t list
+  | Bool of bool
+  | Num of int
+  | Str of string
+  | Unit
+
+val pp_v : env -> Format.formatter -> v -> unit
+(** Objects print as [#n:Class]; bound names are shown when known. *)
+
+exception Eval_error of string
+
+val eval : env -> Orion_util.Sexp.t -> v
+val eval_string : env -> string -> v
+val eval_program : env -> string -> v list
+(** All forms in the string, in order. *)
+
+val bind : env -> string -> Oid.t -> unit
+val lookup : env -> string -> Oid.t option

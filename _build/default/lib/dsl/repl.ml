@@ -1,0 +1,56 @@
+module Sexp = Orion_util.Sexp
+
+let balanced src =
+  let depth = ref 0 and in_string = ref false and escaped = ref false in
+  String.iter
+    (fun ch ->
+      if !escaped then escaped := false
+      else
+        match ch with
+        | '\\' when !in_string -> escaped := true
+        | '"' -> in_string := not !in_string
+        | '(' when not !in_string -> incr depth
+        | ')' when not !in_string -> decr depth
+        | _ -> ())
+    src;
+  (not !in_string) && !depth <= 0
+
+let run ?env ic oc =
+  let env = match env with Some env -> env | None -> Eval.create_env () in
+  let fmt = Format.formatter_of_out_channel oc in
+  let rec session () =
+    Format.fprintf fmt "orion> %!";
+    match read_form "" with
+    | None -> Format.fprintf fmt "@."
+    | Some "" -> session ()
+    | Some src -> (
+        match Sexp.parse src with
+        | exception Sexp.Parse_error msg ->
+            Format.fprintf fmt "parse error: %s@." msg;
+            session ()
+        | Sexp.List [ Sexp.Atom "quit" ] | Sexp.List [ Sexp.Atom "exit" ] ->
+            Format.fprintf fmt "bye@."
+        | form -> (
+            (match Eval.eval env form with
+            | v -> Format.fprintf fmt "%a@." (Eval.pp_v env) v
+            | exception Eval.Eval_error msg -> Format.fprintf fmt "error: %s@." msg
+            | exception Orion_core.Core_error.Error e ->
+                Format.fprintf fmt "error: %a@." Orion_core.Core_error.pp e
+            | exception Orion_schema.Schema.Error e ->
+                Format.fprintf fmt "schema error: %a@." Orion_schema.Schema.pp_error e);
+            session ()))
+  and read_form acc =
+    match input_line ic with
+    | exception End_of_file -> if String.trim acc = "" then None else Some acc
+    | line ->
+        let acc = if acc = "" then line else acc ^ "\n" ^ line in
+        if balanced acc then Some acc
+        else begin
+          Format.fprintf fmt "  ...> %!";
+          read_form acc
+        end
+  in
+  session ()
+
+let run_script env src =
+  List.map (fun form -> (form, Eval.eval env form)) (Sexp.parse_many src)

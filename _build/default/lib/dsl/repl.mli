@@ -1,0 +1,11 @@
+(** Interactive REPL over {!Eval}: the paper's syntax at a prompt.
+
+    Forms may span lines; input is evaluated once the parentheses
+    balance.  Errors print without ending the session. *)
+
+val run : ?env:Eval.env -> in_channel -> out_channel -> unit
+(** Reads until EOF or [(quit)]. *)
+
+val run_script : Eval.env -> string -> (Orion_util.Sexp.t * Eval.v) list
+(** Evaluate every form of a program text, returning (form, result)
+    pairs — used by [orion run] and the examples. *)

@@ -1,0 +1,1 @@
+lib/evolution/change.ml: Format List Orion_schema

@@ -1,0 +1,1 @@
+lib/evolution/change.mli: Format Orion_schema

@@ -1,0 +1,1 @@
+lib/evolution/evolution.ml: Change Core_error Database Format Fun Instance List Object_manager Oid Operation_log Orion_core Orion_schema Rref String Value

@@ -1,0 +1,1 @@
+lib/evolution/evolution.mli: Change Database Format Instance Oid Orion_core Orion_schema

@@ -1,0 +1,1 @@
+lib/evolution/operation_log.ml: Hashtbl Int List

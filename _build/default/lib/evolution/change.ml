@@ -1,0 +1,37 @@
+module A = Orion_schema.Attribute
+
+type primitive = I1 | I2 | I3 | I4 | D1 | D2 | D3
+
+let pp_primitive ppf p =
+  Format.pp_print_string ppf
+    (match p with
+    | I1 -> "I1"
+    | I2 -> "I2"
+    | I3 -> "I3"
+    | I4 -> "I4"
+    | D1 -> "D1"
+    | D2 -> "D2"
+    | D3 -> "D3")
+
+let classify ~from_ ~to_ =
+  match (from_, to_) with
+  | A.Weak, A.Weak -> []
+  | A.Composite _, A.Weak -> [ I1 ]
+  | A.Weak, A.Composite { exclusive; _ } -> [ (if exclusive then D1 else D2) ]
+  | A.Composite f, A.Composite t ->
+      let exclusivity =
+        match (f.exclusive, t.exclusive) with
+        | true, false -> [ I2 ]
+        | false, true -> [ D3 ]
+        | true, true | false, false -> []
+      in
+      let dependency =
+        match (f.dependent, t.dependent) with
+        | true, false -> [ I3 ]
+        | false, true -> [ I4 ]
+        | true, true | false, false -> []
+      in
+      exclusivity @ dependency
+
+let state_dependent primitives =
+  List.exists (function D1 | D2 | D3 -> true | I1 | I2 | I3 | I4 -> false) primitives

@@ -1,0 +1,26 @@
+(** The attribute-type change taxonomy of §4.2.
+
+    A change from one reference kind to another decomposes into the
+    paper's primitive changes; a change is {e state-dependent} exactly
+    when its decomposition contains D1, D2 or D3 (those require
+    verification of the X flags in the reverse references before they
+    can be accepted), and {e state-independent} otherwise. *)
+
+type primitive =
+  | I1  (** composite → non-composite *)
+  | I2  (** exclusive composite → shared composite *)
+  | I3  (** dependent composite → independent composite *)
+  | I4  (** independent composite → dependent composite *)
+  | D1  (** non-composite → exclusive composite *)
+  | D2  (** non-composite → shared composite *)
+  | D3  (** shared composite → exclusive composite *)
+
+val pp_primitive : Format.formatter -> primitive -> unit
+
+val classify :
+  from_:Orion_schema.Attribute.reference_kind ->
+  to_:Orion_schema.Attribute.reference_kind ->
+  primitive list
+(** Empty list when the kinds are equal. *)
+
+val state_dependent : primitive list -> bool

@@ -1,0 +1,360 @@
+open Orion_core
+module A = Orion_schema.Attribute
+module D = Orion_schema.Domain
+module Schema = Orion_schema.Schema
+module Class_def = Orion_schema.Class_def
+
+type t = {
+  db : Database.t;
+  log : Operation_log.t;
+  mutable busy : bool;  (* reentrancy guard for the access hook *)
+}
+
+type mode = Immediate | Deferred
+
+type rejection =
+  | Not_a_reference of { cls : string; attr : string }
+  | Target_already_composite of Oid.t
+  | Target_referenced_twice of Oid.t
+  | Target_has_exclusive of Oid.t
+  | Target_shared_elsewhere of Oid.t
+  | Would_cycle of Oid.t
+
+let pp_rejection ppf = function
+  | Not_a_reference { cls; attr } ->
+      Format.fprintf ppf "%s.%s has a primitive domain" cls attr
+  | Target_already_composite oid ->
+      Format.fprintf ppf "%a already has a composite reference (D1)" Oid.pp oid
+  | Target_referenced_twice oid ->
+      Format.fprintf ppf "%a would gain two exclusive references (D1)" Oid.pp oid
+  | Target_has_exclusive oid ->
+      Format.fprintf ppf "%a has an exclusive reference (D2, Topology Rule 3)"
+        Oid.pp oid
+  | Target_shared_elsewhere oid ->
+      Format.fprintf ppf "%a has more than one reverse composite reference (D3)"
+        Oid.pp oid
+  | Would_cycle oid ->
+      Format.fprintf ppf "conversion would create a composite cycle through %a"
+        Oid.pp oid
+
+let database t = t.db
+
+(* Catch-up machinery (§4.3). ------------------------------------------------ *)
+
+let class_of_parent_key db pkey =
+  match Database.find db pkey with Some p -> Some p.Instance.cls | None -> None
+
+let rref_matches db ~referencing_cls ~attr (r : Rref.t) =
+  String.equal r.attr attr
+  &&
+  match class_of_parent_key db r.parent with
+  | Some cls -> Schema.is_subclass_of (Database.schema db) ~sub:cls ~super:referencing_cls
+  | None -> false
+
+let gref_matches db ~referencing_cls ~attr (g : Rref.gref) =
+  String.equal g.g_attr attr
+  &&
+  match class_of_parent_key db g.g_parent with
+  | Some cls -> Schema.is_subclass_of (Database.schema db) ~sub:cls ~super:referencing_cls
+  | None -> false
+
+let apply_entry t (inst : Instance.t) entry =
+  let db = t.db in
+  match entry with
+  | Operation_log.Set_flags { referencing_cls; attr; exclusive; dependent } ->
+      let rrefs =
+        List.map
+          (fun (r : Rref.t) ->
+            if rref_matches db ~referencing_cls ~attr r then
+              { r with exclusive; dependent }
+            else r)
+          (Database.rrefs db inst.oid)
+      in
+      Database.set_rrefs db inst.oid rrefs;
+      (match Instance.generic_info inst with
+      | Some gi ->
+          gi.grefs <-
+            List.map
+              (fun (g : Rref.gref) ->
+                if gref_matches db ~referencing_cls ~attr g then
+                  {
+                    g with
+                    Rref.g_exclusive = exclusive;
+                    g_dependent = dependent;
+                  }
+                else g)
+              gi.grefs
+      | None -> ())
+  | Operation_log.Drop_rrefs { referencing_cls; attr } ->
+      let rrefs =
+        List.filter
+          (fun r -> not (rref_matches db ~referencing_cls ~attr r))
+          (Database.rrefs db inst.oid)
+      in
+      Database.set_rrefs db inst.oid rrefs;
+      (match Instance.generic_info inst with
+      | Some gi ->
+          gi.grefs <-
+            List.filter (fun g -> not (gref_matches db ~referencing_cls ~attr g)) gi.grefs
+      | None -> ())
+
+let catch_up_unguarded t (inst : Instance.t) =
+  let current = Operation_log.current_cc t.log in
+  if inst.cc < current then begin
+    let classes =
+      inst.cls :: Schema.all_superclasses (Database.schema t.db) inst.cls
+    in
+    let pending = Operation_log.pending_for t.log ~classes ~since:inst.cc in
+    List.iter (fun (_, entry) -> apply_entry t inst entry) pending;
+    inst.cc <- current
+  end
+
+let catch_up t inst =
+  if not t.busy then begin
+    t.busy <- true;
+    Fun.protect ~finally:(fun () -> t.busy <- false) (fun () -> catch_up_unguarded t inst)
+  end
+
+let attach db =
+  let t = { db; log = Operation_log.create (); busy = false } in
+  Database.set_access_hook db (Some (catch_up t));
+  t
+
+let flush_all t =
+  let insts = Database.fold t.db ~init:[] ~f:(fun acc inst -> inst :: acc) in
+  List.iter (catch_up t) insts
+
+let pending_changes t = Operation_log.entry_count t.log
+
+(* Attribute-type changes (§4.2/§4.3). --------------------------------------- *)
+
+let own_attribute_exn schema cls attr =
+  let cdef = Schema.find_exn schema cls in
+  match Class_def.own_attribute cdef attr with
+  | Some a -> a
+  | None -> raise (Schema.Error (Schema.Unknown_attribute { cls; attr }))
+
+(* Every (holder, target) pair currently linked through [cls.attr]. *)
+let reference_pairs t ~cls ~attr =
+  Database.instances_of t.db ~subclasses:true cls
+  |> List.concat_map (fun holder ->
+         match Database.find t.db holder with
+         | None -> []
+         | Some inst ->
+             if Instance.is_generic inst then []
+             else
+               (match Instance.attr inst attr with
+               | Some v -> Value.refs v
+               | None -> [])
+               |> List.filter (Database.exists t.db)
+               |> List.map (fun target -> (holder, target)))
+
+let composite_parent_count db oid =
+  match Database.find db oid with
+  | None -> 0
+  | Some inst -> (
+      match Instance.generic_info inst with
+      | Some gi -> List.length gi.grefs
+      | None -> List.length (Database.rrefs db oid))
+
+let has_exclusive_parent db oid =
+  match Database.find db oid with
+  | None -> false
+  | Some inst -> (
+      match Instance.generic_info inst with
+      | Some gi -> List.exists (fun (g : Rref.gref) -> g.g_exclusive) gi.grefs
+      | None -> List.exists (fun (r : Rref.t) -> r.exclusive) (Database.rrefs db oid))
+
+exception Reject of rejection
+
+let verify_state_dependent t ~pairs primitives =
+  let check_d1 () =
+    let seen = Oid.Tbl.create 16 in
+    List.iter
+      (fun (_, target) ->
+        if Oid.Tbl.mem seen target then raise (Reject (Target_referenced_twice target));
+        Oid.Tbl.add seen target ();
+        if composite_parent_count t.db target > 0 then
+          raise (Reject (Target_already_composite target)))
+      pairs
+  in
+  let check_d2 () =
+    List.iter
+      (fun (_, target) ->
+        if has_exclusive_parent t.db target then
+          raise (Reject (Target_has_exclusive target)))
+      pairs
+  in
+  let check_d3 () =
+    (* "Reject if an instance O has more than one reverse composite
+       reference and at least one is from an instance of C'." *)
+    List.iter
+      (fun (_, target) ->
+        if composite_parent_count t.db target > 1 then
+          raise (Reject (Target_shared_elsewhere target)))
+      pairs
+  in
+  List.iter
+    (function
+      | Change.D1 -> check_d1 ()
+      | Change.D2 -> check_d2 ()
+      | Change.D3 -> check_d3 ()
+      | Change.I1 | Change.I2 | Change.I3 | Change.I4 -> ())
+    primitives
+
+(* Rewrite flags (I2/I3/I4) or drop reverse references (I1), immediately,
+   for all instances of the domain class. *)
+let apply_immediate t ~domain_cls entry =
+  List.iter
+    (fun oid ->
+      match Database.find t.db oid with
+      | None -> ()
+      | Some inst ->
+          catch_up t inst;
+          apply_entry t inst entry)
+    (Database.instances_of t.db ~subclasses:true domain_cls)
+
+let change_attribute_type t ?(mode = Immediate) ~cls ~attr ~to_ () =
+  let schema = Database.schema t.db in
+  let spec = own_attribute_exn schema cls attr in
+  let primitives = Change.classify ~from_:spec.refkind ~to_ in
+  if primitives = [] then Ok []
+  else
+    match D.class_name spec.domain with
+    | None -> Error (Not_a_reference { cls; attr })
+    | Some domain_cls -> (
+        let pairs = reference_pairs t ~cls ~attr in
+        let new_spec = { spec with A.refkind = to_ } in
+        try
+          verify_state_dependent t ~pairs primitives;
+          match (spec.refkind, to_) with
+          | A.Weak, A.Composite _ ->
+              (* D1/D2: install reverse references; always immediate. *)
+              Schema.replace_attribute schema ~cls new_spec;
+              let attached = ref [] in
+              (try
+                 List.iter
+                   (fun (holder, target) ->
+                     Object_manager.attach_child t.db ~parent:holder ~attr
+                       ~spec:new_spec ~child:target;
+                     attached := (holder, target) :: !attached)
+                   pairs
+               with Core_error.Error (Core_error.Topology_violation v) ->
+                 List.iter
+                   (fun (holder, target) ->
+                     Object_manager.detach_child_quiet t.db ~parent:holder ~attr
+                       ~spec:new_spec ~child:target)
+                   !attached;
+                 Schema.replace_attribute schema ~cls spec;
+                 raise (Reject (Would_cycle v.child)));
+              Ok primitives
+          | A.Composite _, A.Weak -> (
+              (* I1 *)
+              Schema.replace_attribute schema ~cls new_spec;
+              let entry = Operation_log.Drop_rrefs { referencing_cls = cls; attr } in
+              match mode with
+              | Immediate -> apply_immediate t ~domain_cls entry; Ok primitives
+              | Deferred ->
+                  let cc = Operation_log.append t.log ~domain_cls entry in
+                  Database.set_current_cc t.db cc;
+                  Ok primitives)
+          | A.Composite _, A.Composite { exclusive; dependent } -> (
+              (* Flag changes: I2/I3/I4 are state-independent; D3 was
+                 verified above and its flag rewrite needs no further
+                 state inspection, so it can share the machinery —
+                 except that the verification itself was immediate, as
+                 §4.3 requires. *)
+              Schema.replace_attribute schema ~cls new_spec;
+              let entry =
+                Operation_log.Set_flags
+                  { referencing_cls = cls; attr; exclusive; dependent }
+              in
+              match mode with
+              | Immediate -> apply_immediate t ~domain_cls entry; Ok primitives
+              | Deferred when not (Change.state_dependent primitives) ->
+                  let cc = Operation_log.append t.log ~domain_cls entry in
+                  Database.set_current_cc t.db cc;
+                  Ok primitives
+              | Deferred ->
+                  (* D3 requires immediate flag verification; apply now. *)
+                  apply_immediate t ~domain_cls entry;
+                  Ok primitives)
+          | A.Weak, A.Weak -> Ok primitives
+        with Reject r -> Error r)
+
+(* §4.1: dropping attributes, superclasses and classes. ----------------------- *)
+
+let drop_attribute_values t ~holders ~attr ~(spec : A.t) =
+  List.iter
+    (fun holder ->
+      match Database.find t.db holder with
+      | None -> ()
+      | Some inst ->
+          if not (Instance.is_generic inst) then begin
+            (match Instance.attr inst attr with
+            | Some v when A.is_composite spec ->
+                List.iter
+                  (fun target ->
+                    if Database.exists t.db target then
+                      Object_manager.detach_child t.db ~parent:holder ~attr ~spec
+                        ~child:target)
+                  (Value.refs v)
+            | Some _ | None -> ());
+            match Database.find t.db holder with
+            | Some inst ->
+                Database.write_value t.db inst attr Value.Null;
+                Instance.remove_attr inst attr
+            | None -> ()
+          end)
+    holders
+
+let drop_attribute t ~cls ~attr =
+  let schema = Database.schema t.db in
+  let spec = own_attribute_exn schema cls attr in
+  let holders = Database.instances_of t.db ~subclasses:true cls in
+  drop_attribute_values t ~holders ~attr ~spec;
+  ignore (Schema.drop_attribute schema ~cls ~attr : A.t)
+
+(* After a lattice change, reconcile each affected class's instances
+   with the attributes the class lost. *)
+let reconcile_lost_attributes t ~affected ~before =
+  let schema = Database.schema t.db in
+  List.iter
+    (fun cls ->
+      if Schema.mem schema cls then begin
+        let after = Schema.effective_attributes schema cls in
+        let lost =
+          List.filter
+            (fun (a : A.t) ->
+              not (List.exists (fun (b : A.t) -> String.equal a.name b.name) after))
+            (List.assoc cls before)
+        in
+        let holders = Database.instances_of t.db ~subclasses:false cls in
+        List.iter
+          (fun (a : A.t) -> drop_attribute_values t ~holders ~attr:a.name ~spec:a)
+          lost
+      end)
+    affected
+
+let drop_superclass t ~cls ~super =
+  let schema = Database.schema t.db in
+  let affected = cls :: Schema.all_subclasses schema cls in
+  let before =
+    List.map (fun c -> (c, Schema.effective_attributes schema c)) affected
+  in
+  Schema.drop_superclass schema ~cls ~super;
+  reconcile_lost_attributes t ~affected ~before
+
+let drop_class t cls =
+  let schema = Database.schema t.db in
+  let affected = Schema.all_subclasses schema cls in
+  let before =
+    List.map (fun c -> (c, Schema.effective_attributes schema c)) affected
+  in
+  (* Instances of the dropped class are deleted, cascading per the
+     Deletion Rule. *)
+  List.iter
+    (fun oid -> if Database.exists t.db oid then Object_manager.delete t.db oid)
+    (Database.instances_of t.db ~subclasses:false cls);
+  ignore (Schema.drop_class schema cls : Class_def.t);
+  reconcile_lost_attributes t ~affected ~before

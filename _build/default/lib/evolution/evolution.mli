@@ -1,0 +1,71 @@
+(** Schema evolution over live objects (§4).
+
+    One manager is attached to a database; it installs itself as the
+    access hook so that deferred changes catch instances up lazily
+    (§4.3).  Immediate and deferred modes apply to state-independent
+    changes (I1–I4); state-dependent changes (D1–D3) always verify the
+    X flags immediately and are rejected atomically on conflict. *)
+
+open Orion_core
+
+type t
+
+val attach : Database.t -> t
+(** Create the manager and install its catch-up access hook. *)
+
+val database : t -> Database.t
+
+type mode = Immediate | Deferred
+
+type rejection =
+  | Not_a_reference of { cls : string; attr : string }
+      (** the attribute's domain is primitive: it cannot become composite *)
+  | Target_already_composite of Oid.t  (** D1: would gain an exclusive
+      reference while already having a composite reference *)
+  | Target_referenced_twice of Oid.t
+      (** D1: two prospective exclusive references to the same object *)
+  | Target_has_exclusive of Oid.t  (** D2: Topology Rule 3 would break *)
+  | Target_shared_elsewhere of Oid.t
+      (** D3: more than one reverse composite reference, one from C' *)
+  | Would_cycle of Oid.t
+      (** D1/D2: converting the weak references to composite ones would
+          create a composite cycle (design decision D4) *)
+
+val pp_rejection : Format.formatter -> rejection -> unit
+
+val change_attribute_type :
+  t ->
+  ?mode:mode ->
+  cls:string ->
+  attr:string ->
+  to_:Orion_schema.Attribute.reference_kind ->
+  unit ->
+  (Change.primitive list, rejection) result
+(** Change the reference kind of [cls.attr] (an own attribute of
+    [cls]).  Returns the applied decomposition.  [?mode] (default
+    [Immediate]) selects the implementation of the state-independent
+    part; a state-dependent decomposition forces immediate
+    verification per §4.3. *)
+
+val drop_attribute : t -> cls:string -> attr:string -> unit
+(** §4.1(1): objects referenced through the attribute are detached —
+    dependent ones deleted per the Deletion Rule — then the attribute
+    leaves the class (and, by inheritance, its subclasses). *)
+
+val drop_superclass : t -> cls:string -> super:string -> unit
+(** §4.1(3): composite attributes the class loses behave as dropped. *)
+
+val drop_class : t -> string -> unit
+(** §4.1(4): instances of the class are deleted (cascading per the
+    Deletion Rule), subclasses are relinked to its superclasses, and
+    attributes they lose behave as dropped. *)
+
+val catch_up : t -> Instance.t -> unit
+(** Apply pending deferred changes to one instance (the access hook). *)
+
+val flush_all : t -> unit
+(** Catch every instance up (used before integrity checks and by the
+    benchmarks to cost the deferred strategy). *)
+
+val pending_changes : t -> int
+(** Total operation-log entries recorded (monitoring/benchmarks). *)

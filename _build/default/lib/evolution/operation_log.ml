@@ -1,0 +1,41 @@
+type entry =
+  | Set_flags of {
+      referencing_cls : string;
+      attr : string;
+      exclusive : bool;
+      dependent : bool;
+    }
+  | Drop_rrefs of { referencing_cls : string; attr : string }
+
+type t = {
+  logs : (string, (int * entry) list ref) Hashtbl.t;  (* newest first *)
+  mutable cc : int;
+}
+
+let create () = { logs = Hashtbl.create 16; cc = 0 }
+
+let append t ~domain_cls entry =
+  t.cc <- t.cc + 1;
+  let log =
+    match Hashtbl.find_opt t.logs domain_cls with
+    | Some log -> log
+    | None ->
+        let log = ref [] in
+        Hashtbl.replace t.logs domain_cls log;
+        log
+  in
+  log := (t.cc, entry) :: !log;
+  t.cc
+
+let current_cc t = t.cc
+
+let pending_for t ~classes ~since =
+  classes
+  |> List.concat_map (fun cls ->
+         match Hashtbl.find_opt t.logs cls with
+         | None -> []
+         | Some log -> List.filter (fun (cc, _) -> cc > since) !log)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let entry_count t =
+  Hashtbl.fold (fun _ log acc -> acc + List.length !log) t.logs 0

@@ -1,0 +1,34 @@
+(** Operation logs for deferred state-independent changes (§4.3).
+
+    The paper keeps, for each class that is the domain of some
+    attribute, a log of type changes stamped with a change count (CC);
+    every instance carries its own CC and catches up on access.  We use
+    one global monotone CC across all logs (equivalent ordering, one
+    counter), recorded per domain class. *)
+
+type entry =
+  | Set_flags of {
+      referencing_cls : string;
+      attr : string;
+      exclusive : bool;
+      dependent : bool;
+    }  (** I2/I3/I4: rewrite the X/D flags of matching reverse references *)
+  | Drop_rrefs of { referencing_cls : string; attr : string }
+      (** I1: the attribute became non-composite; matching reverse
+          references disappear *)
+
+type t
+
+val create : unit -> t
+
+val append : t -> domain_cls:string -> entry -> int
+(** Record an entry against the domain class; returns the new global CC. *)
+
+val current_cc : t -> int
+
+val pending_for : t -> classes:string list -> since:int -> (int * entry) list
+(** Entries newer than [since] recorded against any of [classes]
+    (an instance consults its own class and all superclasses), in CC
+    order. *)
+
+val entry_count : t -> int

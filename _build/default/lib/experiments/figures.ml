@@ -1,0 +1,903 @@
+open Orion_core
+module A = Orion_schema.Attribute
+module D = Orion_schema.Domain
+module Schema = Orion_schema.Schema
+module VM = Orion_versions.Version_manager
+module Evolution = Orion_evolution.Evolution
+module Change = Orion_evolution.Change
+module Auth = Orion_authz.Auth
+module Authz = Orion_authz.Authz_manager
+module Lock_mode = Orion_locking.Lock_mode
+module Lock_table = Orion_locking.Lock_table
+module Protocol = Orion_locking.Protocol
+module Table = Orion_util.Table
+module Scenarios = Orion_workload.Scenarios
+module Eval = Orion_dsl.Eval
+
+let define db ?superclasses ?versionable ?segment name attrs =
+  ignore
+    (Schema.define (Database.schema db) ?superclasses ?versionable ?segment
+       ~name ~attributes:attrs ()
+      : Orion_schema.Class_def.t)
+
+let comp ?(dependent = true) ?(exclusive = true) () = A.composite ~dependent ~exclusive ()
+
+let cattr ?dependent ?exclusive ?(collection = A.Single) name domain =
+  A.make ~collection ~refkind:(comp ?dependent ?exclusive ()) ~name
+    ~domain:(D.Class domain) ()
+
+let rejects_topology f =
+  match f () with
+  | exception Core_error.Error (Core_error.Topology_violation _) -> true
+  | _ -> false
+
+(* Figure 1 -------------------------------------------------------------- *)
+
+let fig1_derive_copy () =
+  let db = Database.create () in
+  define db ~versionable:true "D" [];
+  define db ~versionable:true "C"
+    [
+      cattr ~dependent:false "Part" "D";
+      cattr ~dependent:true "DepPart" "D";
+      cattr ~dependent:false ~exclusive:false "SharedPart" "D";
+    ];
+  let d_k = Object_manager.create db ~cls:"D" () in
+  let d_dep = Object_manager.create db ~cls:"D" () in
+  let d_sh = Object_manager.create db ~cls:"D" () in
+  let c_i =
+    Object_manager.create db ~cls:"C"
+      ~attrs:
+        [
+          ("Part", Value.Ref d_k);
+          ("DepPart", Value.Ref d_dep);
+          ("SharedPart", Value.Ref d_sh);
+        ]
+      ()
+  in
+  let c_j = VM.derive db c_i in
+  let g_d = VM.generic_of db d_k in
+  let part' = Object_manager.read_attr db c_j "Part" in
+  let dep' = Object_manager.read_attr db c_j "DepPart" in
+  let shared' = Object_manager.read_attr db c_j "SharedPart" in
+  Report.make ~id:"F1" ~title:"Deriving a new version of a composite object"
+    ~body:
+      (Format.asprintf
+         "c_i = %a  statically bound: Part->%a DepPart->%a SharedPart->%a@.\
+          c_j = derive(c_i): Part=%a DepPart=%a SharedPart=%a"
+         Oid.pp c_i Oid.pp d_k Oid.pp d_dep Oid.pp d_sh Value.pp part' Value.pp
+         dep' Value.pp shared')
+    ~checks:
+      [
+        ( "independent exclusive static reference rebinds to the generic (Fig 1.b)",
+          Value.equal part' (Value.Ref g_d) );
+        ("dependent exclusive reference is set to Nil", Value.equal dep' Value.Null);
+        ( "shared static reference copies as is",
+          Value.equal shared' (Value.Ref d_sh) );
+        ("derivation recorded", VM.derived_from db c_j = Some c_i);
+        ("integrity", Integrity.check db = []);
+      ]
+    ()
+
+(* Figure 2 -------------------------------------------------------------- *)
+
+let fig2_versioned_topology () =
+  let db = Database.create () in
+  define db ~versionable:true "D" [];
+  define db ~versionable:true "C" [ cattr ~dependent:false "Part" "D" ];
+  define db ~versionable:true "C2" [ cattr ~dependent:false "Part" "D" ];
+  let d_0 = Object_manager.create db ~cls:"D" () in
+  let c_0 = Object_manager.create db ~cls:"C" ~attrs:[ ("Part", Value.Ref d_0) ] () in
+  let c_1 = VM.derive db c_0 in
+  let d_1 = VM.derive db d_0 in
+  (* Versions c_0 and c_1 of g_c reference versions d_0 and d_1 of g_d. *)
+  VM.bind_statically db ~holder:c_1 ~attr:"Part" ~version:d_1;
+  let second_exclusive_to_same_version () =
+    let c2 = Object_manager.create db ~cls:"C2" () in
+    Object_manager.write_attr db c2 "Part" (Value.Ref d_0)
+  in
+  let other_hierarchy_to_generic () =
+    let c2 = Object_manager.create db ~cls:"C2" () in
+    Object_manager.write_attr db c2 "Part" (Value.Ref (VM.generic_of db d_0))
+  in
+  Report.make ~id:"F2" ~title:"Versioned composite objects (rules CV-1X/CV-2X)"
+    ~body:
+      (Format.asprintf "c0=%a -> d0=%a; c1=%a -> d1=%a (both exclusive, same hierarchy)"
+         Oid.pp c_0 Oid.pp d_0 Oid.pp c_1 Oid.pp d_1)
+    ~checks:
+      [
+        ( "distinct versions may reference distinct versions of the same object",
+          Value.equal (Object_manager.read_attr db c_1 "Part") (Value.Ref d_1) );
+        ( "second exclusive reference to an already-referenced version rejected",
+          rejects_topology second_exclusive_to_same_version );
+        ( "exclusive reference from another hierarchy rejected (CV-2X)",
+          rejects_topology other_hierarchy_to_generic );
+        ("integrity", Integrity.check db = []);
+      ]
+    ()
+
+(* Figure 3 -------------------------------------------------------------- *)
+
+let fig3_refcounts () =
+  let db = Database.create () in
+  define db ~versionable:true "B" [];
+  define db ~versionable:true "A" [ cattr ~dependent:false "Ref" "B" ];
+  let b0 = Object_manager.create db ~cls:"B" () in
+  let a0 = Object_manager.create db ~cls:"A" ~attrs:[ ("Ref", Value.Ref b0) ] () in
+  let g_a = VM.generic_of db a0 and g_b = VM.generic_of db b0 in
+  let gref_count () =
+    match Instance.generic_info (Database.get db g_b) with
+    | Some gi -> (
+        match
+          List.find_opt (fun (g : Rref.gref) -> Oid.equal g.Rref.g_parent g_a) gi.grefs
+        with
+        | Some g -> g.Rref.count
+        | None -> 0)
+    | None -> -1
+  in
+  let count_a = gref_count () in
+  (* Figure 3.b: a second version pair with a static reference. *)
+  let a1 = VM.derive db a0 in
+  let b1 = VM.derive db b0 in
+  VM.bind_statically db ~holder:a1 ~attr:"Ref" ~version:b1;
+  let count_b = gref_count () in
+  let parents_of_generic = Traversal.parents_of db g_b in
+  (* Remove a0.v -> b0.v: count decrements, gref stays. *)
+  Object_manager.write_attr db a0 "Ref" Value.Null;
+  let count_after_first_removal = gref_count () in
+  (* Remove a1.v -> b1.v: count reaches zero, gref disappears. *)
+  Object_manager.write_attr db a1 "Ref" Value.Null;
+  let count_after_second_removal = gref_count () in
+  Report.make ~id:"F3" ~title:"Reverse composite generic references and ref-counts"
+    ~body:
+      (Format.asprintf
+         "ref-count(g_b <- g_a): one static ref: %d; two static refs: %d;@.\
+          after removing first: %d; after removing second: %d"
+         count_a count_b count_after_first_removal count_after_second_removal)
+    ~checks:
+      [
+        ("ref-count 1 with one reference (Fig 3.a)", count_a = 1);
+        ("ref-count 2 with two references (Fig 3.b)", count_b = 2);
+        ( "parents-of on the generic answers the parent generic",
+          parents_of_generic = [ g_a ] );
+        ("removal decrements but keeps the generic reference", count_after_first_removal = 1);
+        ("last removal drops the generic reference", count_after_second_removal = 0);
+        ("integrity", Integrity.check db = []);
+      ]
+    ()
+
+(* Figures 4 and 5: implicit authorization ------------------------------- *)
+
+(* A five-object composite rooted at [i]: i -> {k, j}; j -> {m, n}. *)
+let authz_fixture () =
+  let db = Database.create () in
+  define db "Node" [];
+  define db ~superclasses:[ "Node" ] "Holder"
+    [ cattr ~dependent:false ~exclusive:false ~collection:A.Set "Parts" "Node" ];
+  let node ?parents () =
+    Object_manager.create db ~cls:"Node" ?parents ()
+  in
+  let holder ?parents () = Object_manager.create db ~cls:"Holder" ?parents () in
+  (db, node, holder)
+
+let fig4_authz_composite () =
+  let db, node, holder = authz_fixture () in
+  let i = holder () in
+  let k = node ~parents:[ (i, "Parts") ] () in
+  let j = holder ~parents:[ (i, "Parts") ] () in
+  let m = node ~parents:[ (j, "Parts") ] () in
+  let n = node ~parents:[ (j, "Parts") ] () in
+  let authz = Authz.create db in
+  let ok_grant =
+    Authz.grant authz ~subject:"kim" ~auth:(Auth.make Auth.Read)
+      ~target:(Authz.On_object i)
+    = Ok ()
+  in
+  let all_read =
+    List.for_all
+      (fun oid -> Authz.check authz ~subject:"kim" ~op:Auth.Read oid)
+      [ i; k; j; m; n ]
+  in
+  let none_write =
+    List.for_all
+      (fun oid -> not (Authz.check authz ~subject:"kim" ~op:Auth.Write oid))
+      [ i; k; j; m; n ]
+  in
+  (* A conflicting strong negative on a component is rejected. *)
+  let conflict_rejected =
+    match
+      Authz.grant authz ~subject:"kim"
+        ~auth:(Auth.make ~sign:Auth.Negative Auth.Read)
+        ~target:(Authz.On_object m)
+    with
+    | Error _ -> true
+    | Ok () -> false
+  in
+  Report.make ~id:"F4" ~title:"Implicit authorization on a composite object"
+    ~checks:
+      [
+        ("Read grant on the root accepted", ok_grant);
+        ("implicit Read on every component", all_read);
+        ("no Write implied", none_write);
+        ("conflicting strong ¬R on a component rejected", conflict_rejected);
+      ]
+    ()
+
+let fig5_shared_authz () =
+  let db, node, holder = authz_fixture () in
+  let j = holder () and k = holder () in
+  let o' = node ~parents:[ (j, "Parts"); (k, "Parts") ] () in
+  let authz = Authz.create db in
+  let grant_exn subject auth target =
+    match Authz.grant authz ~subject ~auth ~target with
+    | Ok () -> ()
+    | Error _ -> failwith "unexpected grant conflict"
+  in
+  (* §6: sR from j and sW from k combine to sW on o'. *)
+  grant_exn "u1" (Auth.make Auth.Read) (Authz.On_object j);
+  grant_exn "u1" (Auth.make Auth.Write) (Authz.On_object k);
+  let u1 = Auth.display (Authz.implied_on authz ~subject:"u1" o') in
+  (* §6: s¬R from j and s¬W from k combine to s¬R. *)
+  grant_exn "u2" (Auth.make ~sign:Auth.Negative Auth.Read) (Authz.On_object j);
+  grant_exn "u2" (Auth.make ~sign:Auth.Negative Auth.Write) (Authz.On_object k);
+  let u2 = Auth.display (Authz.implied_on authz ~subject:"u2" o') in
+  (* §6: after s¬R from j, granting sW on k must fail. *)
+  grant_exn "u3" (Auth.make ~sign:Auth.Negative Auth.Read) (Authz.On_object j);
+  let u3_rejected =
+    match
+      Authz.grant authz ~subject:"u3" ~auth:(Auth.make Auth.Write)
+        ~target:(Authz.On_object k)
+    with
+    | Error _ -> true
+    | Ok () -> false
+  in
+  Report.make ~id:"F5" ~title:"Implicit authorizations on a shared component"
+    ~body:(Printf.sprintf "u1: sR(j) + sW(k) on o' => %s\nu2: s¬R(j) + s¬W(k) on o' => %s" u1 u2)
+    ~checks:
+      [
+        ("sR + sW combine to sW (strongest wins)", u1 = "sW");
+        ("s¬R + s¬W combine to s¬R", u2 = Auth.to_string (Auth.make ~sign:Auth.Negative Auth.Read));
+        ("sW after s¬R rejected (¬R implies ¬W)", u3_rejected);
+      ]
+    ()
+
+(* Figure 6 -------------------------------------------------------------- *)
+
+let fig6_matrix () =
+  let labels = List.map Auth.to_string Auth.all in
+  let cell i j =
+    Auth.display (Auth.combine [ List.nth Auth.all i; List.nth Auth.all j ])
+  in
+  let body =
+    Table.render_matrix ~row_labels:labels ~col_labels:labels ~cell
+      ~corner:"on j \\ on k"
+  in
+  let at r c = cell r c in
+  (* Indices: 0 sR, 1 sW, 2 s¬R, 3 s¬W, 4 wR, 5 wW, 6 w¬R, 7 w¬W *)
+  let neg_r = Auth.to_string (Auth.make ~sign:Auth.Negative Auth.Read) in
+  Report.make ~id:"F6" ~title:"Authorization combination matrix" ~body
+    ~checks:
+      [
+        ("sR + sW = sW", at 0 1 = "sW");
+        ("s¬R + s¬W = s¬R", at 2 3 = neg_r);
+        ("s¬R + sW = Conflict", at 2 1 = "Conflict");
+        ("sR + s¬W coexist", at 0 3 = "sR " ^ Auth.to_string (Auth.make ~sign:Auth.Negative Auth.Write));
+        ( "strong overrides the contradicted weak type; its implication \
+           survives (sR + w¬R = sR w¬W)",
+          at 0 6
+          = "sR "
+            ^ Auth.to_string (Auth.make ~strength:Auth.Weak ~sign:Auth.Negative Auth.Write) );
+        ("weak-weak contradiction conflicts", at 4 6 = "Conflict");
+        ("symmetric", List.for_all (fun i -> List.for_all (fun j -> at i j = at j i) [0;1;2;3;4;5;6;7]) [0;1;2;3;4;5;6;7]);
+        ("idempotent diagonal", List.for_all (fun i -> at i i = List.nth labels i) [0;1;2;3]);
+      ]
+    ()
+
+(* Figures 7 and 8 --------------------------------------------------------- *)
+
+let render_compat modes compat =
+  let labels = List.map Lock_mode.to_string modes in
+  Table.render_matrix ~row_labels:labels ~col_labels:labels
+    ~cell:(fun i j ->
+      if compat (List.nth modes i) (List.nth modes j) then "+" else "No")
+    ~corner:"held \\ req"
+
+let fig7_matrix () =
+  let open Lock_mode in
+  let body = render_compat basic compat in
+  Report.make ~id:"F7"
+    ~title:"Compatibility: granularity + exclusive composite locking" ~body
+    ~checks:
+      [
+        ("IS and IX do not conflict", compat IS IX);
+        ("ISO conflicts with IX", not (compat ISO IX));
+        ("IXO conflicts with IS and IX", (not (compat IXO IS)) && not (compat IXO IX));
+        ("SIXO conflicts with IS and IX", (not (compat SIXO IS)) && not (compat SIXO IX));
+        ("ISO compatible with IS (readers coexist)", compat ISO IS);
+        ( "several readers and writers on an exclusive component class",
+          compat ISO ISO && compat ISO IXO && compat IXO IXO );
+        ( "classic granularity sub-matrix",
+          compat IS IS && compat IS IX && compat IS S && compat IS SIX
+          && (not (compat IS X)) && compat IX IX
+          && (not (compat IX S))
+          && (not (compat IX SIX))
+          && (not (compat IX X))
+          && compat S S
+          && (not (compat S SIX))
+          && (not (compat S X))
+          && (not (compat SIX SIX))
+          && not (compat X X) );
+        ( "symmetric",
+          List.for_all
+            (fun a -> List.for_all (fun b -> compat a b = compat b a) basic)
+            basic );
+      ]
+    ()
+
+let fig8_matrix () =
+  let open Lock_mode in
+  let body = render_compat all compat in
+  let corresponds m_s m_o =
+    List.for_all (fun d -> compat m_s d = compat m_o d) [ IS; IX; S; SIX; X ]
+  in
+  let refined_gains =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b ->
+            if (not (compat a b)) && compat_refined a b then
+              Some (Lock_mode.to_string a ^ "/" ^ Lock_mode.to_string b)
+            else None)
+          all)
+      all
+  in
+  Report.make ~id:"F8"
+    ~title:"Compatibility: shared/exclusive composite object locking"
+    ~body:
+      (body ^ "\nRefined matrix (ablation A3) additionally admits: "
+      ^ String.concat " " refined_gains)
+    ~checks:
+      [
+        ("several readers on a shared component class", compat ISOS ISOS);
+        ("only one writer on a shared component class", not (compat IXOS IXOS));
+        ("readers exclude the writer (shared)", not (compat ISOS IXOS));
+        ("IXO compatible with ISOS (Fig 9 examples 1 and 2)", compat IXO ISOS);
+        ("IXO conflicts with IXOS (example 3 vs 1)", not (compat IXO IXOS));
+        ("ISOS corresponds to ISO towards plain modes", corresponds ISOS ISO);
+        ("IXOS corresponds to IXO towards plain modes", corresponds IXOS IXO);
+        ("SIXOS corresponds to SIXO towards plain modes", corresponds SIXOS SIXO);
+        ( "refined matrix admits exclusive-vs-shared write pairs",
+          Lock_mode.compat_refined IXO IXOS && not (compat IXO IXOS) );
+        ( "symmetric",
+          List.for_all
+            (fun a -> List.for_all (fun b -> compat a b = compat b a) all)
+            all );
+      ]
+    ()
+
+(* Figure 9 ----------------------------------------------------------------- *)
+
+let fig9_fixture () =
+  let db = Database.create () in
+  define db "W" [];
+  define db "C" [ cattr ~dependent:false ~collection:A.Set "Ws" "W" ];
+  define db "I" [ cattr ~dependent:false ~collection:A.Set "Cs" "C" ];
+  define db "J"
+    [ cattr ~dependent:false ~exclusive:false ~collection:A.Set "Cs" "C" ];
+  define db "K"
+    [ cattr ~dependent:false ~exclusive:false ~collection:A.Set "Cs" "C" ];
+  let i = Object_manager.create db ~cls:"I" () in
+  let j = Object_manager.create db ~cls:"J" () in
+  let k = Object_manager.create db ~cls:"K" () in
+  (db, i, j, k)
+
+let fig9_protocol () =
+  let db, i, j, k = fig9_fixture () in
+  let set1 = Protocol.composite_object_locks db ~root:i Protocol.Update in
+  let set2 = Protocol.composite_object_locks db ~root:k Protocol.Read_ in
+  let set3 = Protocol.composite_object_locks db ~root:j Protocol.Update in
+  let show set =
+    String.concat ", "
+      (List.map
+         (fun (g, m) ->
+           Format.asprintf "%a:%a" Lock_table.pp_granule g Lock_mode.pp m)
+         set)
+  in
+  (* Execute against the lock table. *)
+  let table = Lock_table.create () in
+  let r1 = Protocol.acquire_all table ~tx:1 set1 in
+  let r2 = Protocol.acquire_all table ~tx:2 set2 in
+  let r3 = Protocol.acquire_all table ~tx:3 set3 in
+  Report.make ~id:"F9" ~title:"Composite locking protocol (§7 examples 1-3)"
+    ~body:
+      (Printf.sprintf "T1 (update composite i): %s\nT2 (read composite k):   %s\nT3 (update composite j): %s"
+         (show set1) (show set2) (show set3))
+    ~checks:
+      [
+        ( "example 1 uses IXO on the exclusive component class C",
+          List.mem (Lock_table.G_class "C", Lock_mode.IXO) set1 );
+        ( "example 2 uses ISOS on C and ISO on W",
+          List.mem (Lock_table.G_class "C", Lock_mode.ISOS) set2
+          && List.mem (Lock_table.G_class "W", Lock_mode.ISO) set2 );
+        ( "example 3 uses IXOS on C and IXO on W",
+          List.mem (Lock_table.G_class "C", Lock_mode.IXOS) set3
+          && List.mem (Lock_table.G_class "W", Lock_mode.IXO) set3 );
+        ( "examples 1 and 2 are compatible",
+          Protocol.compatible_lock_sets set1 set2 () );
+        ( "example 3 incompatible with example 1",
+          not (Protocol.compatible_lock_sets set3 set1 ()) );
+        ( "example 3 incompatible with example 2",
+          not (Protocol.compatible_lock_sets set3 set2 ()) );
+        ("lock table grants T1 and T2", r1 = `Granted && r2 = `Granted);
+        ("lock table blocks T3", match r3 with `Blocked _ -> true | `Granted -> false);
+        ( "T3 proceeds after T1 and T2 release",
+          (let _ = Lock_table.release_all table ~tx:1 in
+           let _ = Lock_table.release_all table ~tx:2 in
+           Protocol.acquire_all table ~tx:3 set3 = `Granted) );
+      ]
+    ()
+
+(* GARZ88 root-locking anomaly ------------------------------------------------ *)
+
+let garz88_anomaly () =
+  let db = Database.create () in
+  define db "Part" [];
+  define db ~superclasses:[ "Part" ] "Asm"
+    [ cattr ~dependent:false ~exclusive:false ~collection:A.Set "Parts" "Part" ];
+  (* Figure 5 shape: roots j and k share o'; root o has component q which
+     is also shared with k. *)
+  let j = Object_manager.create db ~cls:"Asm" () in
+  let k = Object_manager.create db ~cls:"Asm" () in
+  let o = Object_manager.create db ~cls:"Asm" () in
+  let o' =
+    Object_manager.create db ~cls:"Part" ~parents:[ (j, "Parts"); (k, "Parts") ] ()
+  in
+  let q =
+    Object_manager.create db ~cls:"Part" ~parents:[ (o, "Parts"); (k, "Parts") ] ()
+  in
+  let t1 = Protocol.root_locking_locks db o' Protocol.Read_ in
+  let t2 = Protocol.root_locking_locks db o Protocol.Update in
+  let anomaly = Protocol.root_lock_anomaly db ~t1 ~t2 in
+  let explicit_disjoint = Protocol.compatible_lock_sets t1 t2 () in
+  (* Contrast: an exclusive-only hierarchy has no such overlap. *)
+  let db2 = Database.create () in
+  define db2 "Part" [];
+  define db2 ~superclasses:[ "Part" ] "Asm"
+    [ cattr ~dependent:false ~exclusive:true ~collection:A.Set "Parts" "Part" ];
+  let r1 = Object_manager.create db2 ~cls:"Asm" () in
+  let r2 = Object_manager.create db2 ~cls:"Asm" () in
+  let c1 = Object_manager.create db2 ~cls:"Part" ~parents:[ (r1, "Parts") ] () in
+  ignore (Object_manager.create db2 ~cls:"Part" ~parents:[ (r2, "Parts") ] () : Oid.t);
+  let x1 = Protocol.root_locking_locks db2 c1 Protocol.Read_ in
+  let x2 = Protocol.root_locking_locks db2 r2 Protocol.Update in
+  let exclusive_clean = Protocol.root_lock_anomaly db2 ~t1:x1 ~t2:x2 = [] in
+  Report.make ~id:"G1" ~title:"[GARZ88] root locking breaks on shared references"
+    ~body:
+      (Format.asprintf
+         "T1 locks roots of o' (S): %d locks; T2 locks o (X): %d locks;@.\
+          conflicting implicit locks: %s"
+         (List.length t1) (List.length t2)
+         (String.concat ", "
+            (List.map
+               (fun (oid, m1, m2) ->
+                 Format.asprintf "%a (%a vs %a)" Oid.pp oid Lock_mode.pp m1
+                   Lock_mode.pp m2)
+               anomaly)))
+    ~checks:
+      [
+        ( "explicit lock sets do not conflict (the algorithm grants both)",
+          explicit_disjoint );
+        ( "yet implicit locks conflict on the shared component q",
+          List.exists (fun (oid, _, _) -> Oid.equal oid q) anomaly );
+        ("exclusive-only hierarchies show no anomaly", exclusive_clean);
+      ]
+    ()
+
+(* §2.3 worked examples through the DSL ---------------------------------------- *)
+
+let example1_vehicle () =
+  let env = Eval.create_env () in
+  let run src = Eval.eval_string env src in
+  let expect_bool src = match run src with Eval.Bool b -> b | _ -> false in
+  ignore
+    (Eval.eval_program env
+       {|
+(make-class 'Company :attributes ((Name :domain String)))
+(make-class 'AutoBody :attributes ((Name :domain String)))
+(make-class 'AutoDrivetrain :attributes ((Name :domain String)))
+(make-class 'AutoTires :attributes ((Name :domain String)))
+(make-class 'Vehicle :superclasses nil :attributes (
+  (Manufacturer :domain Company)
+  (Body       :domain AutoBody       :composite true :exclusive true :dependent nil)
+  (Drivetrain :domain AutoDrivetrain :composite true :exclusive true :dependent nil)
+  (Tires      :domain (set-of AutoTires) :composite true :exclusive true :dependent nil)
+  (Color :domain String)))
+(setq body (make AutoBody :Name "sedan body"))
+(setq train (make AutoDrivetrain :Name "V6"))
+(setq tire1 (make AutoTires)) (setq tire2 (make AutoTires))
+(setq v1 (make Vehicle :Color "red" :Body body :Drivetrain train :Tires (tire1 tire2)))
+(setq v2 (make Vehicle :Color "blue"))
+|}
+      : Eval.v list);
+  let exclusive_enforced =
+    match run "(add-component v2 Body body)" with
+    | exception Core_error.Error (Core_error.Topology_violation _) -> true
+    | _ -> false
+  in
+  let compositep = expect_bool "(compositep Vehicle)" in
+  let body_is_component = expect_bool "(component-of body v1)" in
+  let body_excl = expect_bool "(exclusive-component-of body v1)" in
+  ignore (run "(delete v1)" : Eval.v);
+  let body_survives =
+    match run "(describe body)" with Eval.Str _ -> true | _ -> false
+  in
+  let reuse_ok =
+    match run "(add-component v2 Body body)" with Eval.Unit -> true | _ -> false
+  in
+  let integrity = match run "(integrity-check)" with
+    | Eval.Str "consistent" -> true
+    | _ -> false
+  in
+  Report.make ~id:"E1" ~title:"Example 1: Vehicle physical part hierarchy (DSL)"
+    ~checks:
+      [
+        ("compositep Vehicle", compositep);
+        ("body is an exclusive component of v1", body_is_component && body_excl);
+        ("a part cannot join a second vehicle", exclusive_enforced);
+        ("parts survive dismantling (independent references)", body_survives);
+        ("parts are re-usable for other vehicles", reuse_ok);
+        ("integrity", integrity);
+      ]
+    ()
+
+let example2_document () =
+  let env = Eval.create_env () in
+  let db = Eval.database env in
+  let run src = Eval.eval_string env src in
+  ignore
+    (Eval.eval_program env
+       {|
+(make-class 'Paragraph :attributes ((Text :domain String)))
+(make-class 'Image :attributes ((File :domain String)))
+(make-class 'Section :attributes (
+  (Content :domain (set-of Paragraph) :composite true :exclusive nil :dependent true)))
+(make-class 'Document :attributes (
+  (Title :domain String)
+  (Authors :domain (set-of String))
+  (Sections :domain (set-of Section) :composite true :exclusive nil :dependent true)
+  (Figures  :domain (set-of Image)   :composite true :exclusive nil :dependent nil)
+  (Annotations :domain (set-of Paragraph) :composite true :exclusive true :dependent true)))
+(setq doc1 (make Document :Title "Composite Objects Revisited"))
+(setq doc2 (make Document :Title "Object-Oriented Databases"))
+(setq sec (make Section :parent ((doc1 Sections) (doc2 Sections))))
+(setq para (make Paragraph :parent ((sec Content)) :Text "shared paragraph"))
+(setq img (make Image :parent ((doc1 Figures)) :File "fig.png"))
+(setq note (make Paragraph :parent ((doc1 Annotations)) :Text "margin note"))
+|}
+      : Eval.v list);
+  let oid name = Option.get (Eval.lookup env name) in
+  let sec = oid "sec" and para = oid "para" and img = oid "img" and note = oid "note" in
+  let shared_between_docs =
+    match run "(parents-of sec)" with Eval.Objs l -> List.length l = 2 | _ -> false
+  in
+  ignore (run "(delete doc1)" : Eval.v);
+  let after_doc1 =
+    Database.exists db sec && Database.exists db para && Database.exists db img
+    && not (Database.exists db note)
+  in
+  ignore (run "(delete doc2)" : Eval.v);
+  let after_doc2 =
+    (not (Database.exists db sec))
+    && (not (Database.exists db para))
+    && Database.exists db img
+  in
+  Report.make ~id:"E2" ~title:"Example 2: Document logical part hierarchy (DSL)"
+    ~checks:
+      [
+        ("a section is shared between two documents", shared_between_docs);
+        ( "deleting one document keeps shared sections; annotations die with it",
+          after_doc1 );
+        ( "deleting the last document deletes sections and paragraphs; images survive",
+          after_doc2 );
+        ("integrity", Integrity.check db = []);
+      ]
+    ()
+
+(* Semantic tables -------------------------------------------------------------- *)
+
+let t1_deletion_semantics () =
+  let run ~dependent ~exclusive =
+    let db = Database.create () in
+    define db "Child" [];
+    define db "Parent"
+      [ cattr ~dependent ~exclusive ~collection:A.Set "Kids" "Child" ];
+    let p1 = Object_manager.create db ~cls:"Parent" () in
+    let c = Object_manager.create db ~cls:"Child" ~parents:[ (p1, "Kids") ] () in
+    let extra_parent =
+      if exclusive then None
+      else begin
+        let p2 = Object_manager.create db ~cls:"Parent" () in
+        Object_manager.make_component db ~parent:p2 ~attr:"Kids" ~child:c;
+        Some p2
+      end
+    in
+    Object_manager.delete db p1;
+    let survives_first = Database.exists db c in
+    let survives_last =
+      match extra_parent with
+      | None -> survives_first
+      | Some p2 ->
+          Object_manager.delete db p2;
+          Database.exists db c
+    in
+    (survives_first, survives_last, Integrity.check db = [])
+  in
+  let dx = run ~dependent:true ~exclusive:true in
+  let ix = run ~dependent:false ~exclusive:true in
+  let ds = run ~dependent:true ~exclusive:false in
+  let is_ = run ~dependent:false ~exclusive:false in
+  let table = Table.create ~headers:[ "reference type"; "del(O') => del(O)?"; "observed" ] in
+  Table.add_row table [ "dependent exclusive"; "yes"; (if not (let a,_,_ = dx in a) then "deleted" else "survived") ];
+  Table.add_row table [ "independent exclusive"; "no"; (if let a,_,_ = ix in a then "survived" else "deleted") ];
+  Table.add_row table [ "dependent shared"; "only when DS(O) = {O'}"; "kept then deleted" ];
+  Table.add_row table [ "independent shared"; "no"; (if let _,b,_ = is_ in b then "survived" else "deleted") ];
+  let third (_, _, x) = x in
+  Report.make ~id:"T1" ~title:"Deletion semantics of the four composite reference types (§2.2)"
+    ~body:(Table.render table)
+    ~checks:
+      [
+        ("dependent exclusive: deleted", (let a, _, _ = dx in not a));
+        ("independent exclusive: survives", (let a, _, _ = ix in a));
+        ( "dependent shared: survives first deletion, dies with the last",
+          (let a, b, _ = ds in a && not b) );
+        ("independent shared: always survives", (let _, b, _ = is_ in b));
+        ("all runs consistent", third dx && third ix && third ds && third is_);
+      ]
+    ()
+
+let t2_topology_rules () =
+  let fresh () =
+    let db = Database.create () in
+    define db "Child" [];
+    define db "Parent"
+      [
+        cattr ~dependent:true ~exclusive:true ~collection:A.Set "DX" "Child";
+        cattr ~dependent:false ~exclusive:true ~collection:A.Set "IX" "Child";
+        cattr ~dependent:true ~exclusive:false ~collection:A.Set "DS" "Child";
+        cattr ~dependent:false ~exclusive:false ~collection:A.Set "IS" "Child";
+        A.make ~name:"WK" ~domain:(D.Class "Child") ~collection:A.Set ();
+      ];
+    let p1 = Object_manager.create db ~cls:"Parent" () in
+    let p2 = Object_manager.create db ~cls:"Parent" () in
+    let c = Object_manager.create db ~cls:"Child" () in
+    (db, p1, p2, c)
+  in
+  let attempt first second =
+    let db, p1, p2, c = fresh () in
+    Object_manager.make_component db ~parent:p1 ~attr:first ~child:c;
+    rejects_topology (fun () ->
+        Object_manager.make_component db ~parent:p2 ~attr:second ~child:c)
+  in
+  let weak_alongside =
+    let db, p1, p2, c = fresh () in
+    Object_manager.make_component db ~parent:p1 ~attr:"DX" ~child:c;
+    Object_manager.add_to_set db p1 "WK" c;
+    Object_manager.add_to_set db p2 "WK" c;
+    Integrity.check db = []
+  in
+  let table = Table.create ~headers:[ "existing ref"; "new ref"; "rule"; "verdict" ] in
+  let record a b rule verdict = Table.add_row table [ a; b; rule; verdict ] in
+  let r1 = attempt "DX" "DX" in
+  record "DX" "DX" "rule 1" (if r1 then "rejected" else "ACCEPTED?");
+  let r2 = attempt "DX" "IX" in
+  record "DX" "IX" "rule 2" (if r2 then "rejected" else "ACCEPTED?");
+  let r3a = attempt "IX" "DS" in
+  record "IX" "DS" "rule 3" (if r3a then "rejected" else "ACCEPTED?");
+  let r3b = attempt "IS" "DX" in
+  record "IS" "DX" "rule 3" (if r3b then "rejected" else "ACCEPTED?");
+  let shared_ok = not (attempt "IS" "DS") in
+  record "IS" "DS" "shared may accumulate" (if shared_ok then "accepted" else "REJECTED?");
+  record "DX" "WK x2" "rule 4" (if weak_alongside then "accepted" else "REJECTED?");
+  Report.make ~id:"T2" ~title:"Topology Rules 1-4 (§2.2)" ~body:(Table.render table)
+    ~checks:
+      [
+        ("rule 1: at most one exclusive reference", r1);
+        ("rule 2: IX and DX are mutually exclusive", r2);
+        ("rule 3: exclusive excludes shared", r3a && r3b);
+        ("shared references accumulate freely", shared_ok);
+        ("rule 4: weak references are unrestricted", weak_alongside);
+      ]
+    ()
+
+let t3_evolution_taxonomy () =
+  let fresh_pair ~refkind =
+    let db = Database.create () in
+    define db "C" [];
+    define db "Cp"
+      [ A.make ~name:"A" ~domain:(D.Class "C") ~collection:A.Set ~refkind () ];
+    let ev = Evolution.attach db in
+    (db, ev)
+  in
+  let link db holder target = Object_manager.make_component db ~parent:holder ~attr:"A" ~child:target in
+  let weak_link db holder target = Object_manager.add_to_set db holder "A" target in
+  (* I2: exclusive -> shared. *)
+  let i2 =
+    let db, ev = fresh_pair ~refkind:(comp ~exclusive:true ~dependent:true ()) in
+    let h = Object_manager.create db ~cls:"Cp" () in
+    let c = Object_manager.create db ~cls:"C" () in
+    link db h c;
+    match
+      Evolution.change_attribute_type ev ~cls:"Cp" ~attr:"A"
+        ~to_:(comp ~exclusive:false ~dependent:true ())
+        ()
+    with
+    | Ok [ Change.I2 ] ->
+        (* Sharing is possible afterwards. *)
+        let h2 = Object_manager.create db ~cls:"Cp" () in
+        link db h2 c;
+        Integrity.check db = []
+    | _ -> false
+  in
+  (* I3/I4 deferred: flags catch up on access. *)
+  let i3_deferred =
+    let db, ev = fresh_pair ~refkind:(comp ~exclusive:true ~dependent:true ()) in
+    let h = Object_manager.create db ~cls:"Cp" () in
+    let c = Object_manager.create db ~cls:"C" () in
+    link db h c;
+    match
+      Evolution.change_attribute_type ev ~mode:Evolution.Deferred ~cls:"Cp"
+        ~attr:"A"
+        ~to_:(comp ~exclusive:true ~dependent:false ())
+        ()
+    with
+    | Ok [ Change.I3 ] ->
+        (* The access hook rewrites the D flag lazily. *)
+        let refs = Database.rrefs db (Database.get db c).Instance.oid in
+        List.for_all (fun (r : Rref.t) -> not r.Rref.dependent) refs
+        && Integrity.check db = []
+    | _ -> false
+  in
+  (* I1: composite -> weak. *)
+  let i1 =
+    let db, ev = fresh_pair ~refkind:(comp ~exclusive:true ~dependent:true ()) in
+    let h = Object_manager.create db ~cls:"Cp" () in
+    let c = Object_manager.create db ~cls:"C" () in
+    link db h c;
+    match
+      Evolution.change_attribute_type ev ~cls:"Cp" ~attr:"A" ~to_:A.Weak ()
+    with
+    | Ok [ Change.I1 ] ->
+        Database.rrefs db c = [] && Database.exists db c && Integrity.check db = []
+    | _ -> false
+  in
+  (* D1 success and failure. *)
+  let d1_ok =
+    let db, ev = fresh_pair ~refkind:A.Weak in
+    let h = Object_manager.create db ~cls:"Cp" () in
+    let c = Object_manager.create db ~cls:"C" () in
+    weak_link db h c;
+    match
+      Evolution.change_attribute_type ev ~cls:"Cp" ~attr:"A"
+        ~to_:(comp ~exclusive:true ~dependent:false ())
+        ()
+    with
+    | Ok [ Change.D1 ] ->
+        List.length (Database.rrefs db c) = 1 && Integrity.check db = []
+    | _ -> false
+  in
+  let d1_rejected =
+    let db, ev = fresh_pair ~refkind:A.Weak in
+    define db "Other" [ cattr ~dependent:false "R" "C" ];
+    let h = Object_manager.create db ~cls:"Cp" () in
+    let c = Object_manager.create db ~cls:"C" () in
+    weak_link db h c;
+    let other = Object_manager.create db ~cls:"Other" () in
+    Object_manager.make_component db ~parent:other ~attr:"R" ~child:c;
+    match
+      Evolution.change_attribute_type ev ~cls:"Cp" ~attr:"A"
+        ~to_:(comp ~exclusive:true ~dependent:false ())
+        ()
+    with
+    | Error (Evolution.Target_already_composite _) -> true
+    | _ -> false
+  in
+  (* D2 rejected when an exclusive reference exists. *)
+  let d2_rejected =
+    let db, ev = fresh_pair ~refkind:A.Weak in
+    define db "Other" [ cattr ~dependent:false ~exclusive:true "R" "C" ];
+    let h = Object_manager.create db ~cls:"Cp" () in
+    let c = Object_manager.create db ~cls:"C" () in
+    weak_link db h c;
+    let other = Object_manager.create db ~cls:"Other" () in
+    Object_manager.make_component db ~parent:other ~attr:"R" ~child:c;
+    match
+      Evolution.change_attribute_type ev ~cls:"Cp" ~attr:"A"
+        ~to_:(comp ~exclusive:false ~dependent:false ())
+        ()
+    with
+    | Error (Evolution.Target_has_exclusive _) -> true
+    | _ -> false
+  in
+  (* D3: shared -> exclusive rejected when shared twice. *)
+  let d3_rejected =
+    let db, ev = fresh_pair ~refkind:(comp ~exclusive:false ~dependent:false ()) in
+    let h1 = Object_manager.create db ~cls:"Cp" () in
+    let h2 = Object_manager.create db ~cls:"Cp" () in
+    let c = Object_manager.create db ~cls:"C" () in
+    link db h1 c;
+    link db h2 c;
+    match
+      Evolution.change_attribute_type ev ~cls:"Cp" ~attr:"A"
+        ~to_:(comp ~exclusive:true ~dependent:false ())
+        ()
+    with
+    | Error (Evolution.Target_shared_elsewhere _) -> true
+    | _ -> false
+  in
+  let d3_ok =
+    let db, ev = fresh_pair ~refkind:(comp ~exclusive:false ~dependent:false ()) in
+    let h1 = Object_manager.create db ~cls:"Cp" () in
+    let c = Object_manager.create db ~cls:"C" () in
+    link db h1 c;
+    match
+      Evolution.change_attribute_type ev ~cls:"Cp" ~attr:"A"
+        ~to_:(comp ~exclusive:true ~dependent:false ())
+        ()
+    with
+    | Ok [ Change.D3 ] ->
+        List.for_all
+          (fun (r : Rref.t) -> r.Rref.exclusive)
+          (Database.rrefs db c)
+        && Integrity.check db = []
+    | _ -> false
+  in
+  let table =
+    Table.create ~headers:[ "change"; "class"; "expected"; "observed" ]
+  in
+  List.iter
+    (fun (change, cls, expected, passed) ->
+      Table.add_row table
+        [ change; cls; expected; (if passed then "as expected" else "MISMATCH") ])
+    [
+      ("composite -> weak", "I1 (state-independent)", "reverse refs dropped, objects kept", i1);
+      ("exclusive -> shared", "I2 (state-independent)", "X flags cleared, sharing allowed", i2);
+      ("dependent -> independent (deferred)", "I3 (state-independent)", "D flags rewritten on access", i3_deferred);
+      ("weak -> exclusive (clean)", "D1 (state-dependent)", "accepted, reverse refs added", d1_ok);
+      ("weak -> exclusive (target composite)", "D1", "rejected", d1_rejected);
+      ("weak -> shared (target exclusive)", "D2", "rejected (Topology Rule 3)", d2_rejected);
+      ("shared -> exclusive (one ref)", "D3", "accepted, X flags set", d3_ok);
+      ("shared -> exclusive (two refs)", "D3", "rejected", d3_rejected);
+    ];
+  Report.make ~id:"T3" ~title:"Attribute type change taxonomy (§4.2)"
+    ~body:(Table.render table)
+    ~checks:
+      [
+        ("I1", i1);
+        ("I2", i2);
+        ("I3 deferred", i3_deferred);
+        ("D1 accepted on clean state", d1_ok);
+        ("D1 rejected on composite target", d1_rejected);
+        ("D2 rejected on exclusive target", d2_rejected);
+        ("D3 accepted on single reference", d3_ok);
+        ("D3 rejected on shared target", d3_rejected);
+      ]
+    ()
+
+let all () =
+  [
+    fig1_derive_copy ();
+    fig2_versioned_topology ();
+    fig3_refcounts ();
+    fig4_authz_composite ();
+    fig5_shared_authz ();
+    fig6_matrix ();
+    fig7_matrix ();
+    fig8_matrix ();
+    fig9_protocol ();
+    garz88_anomaly ();
+    example1_vehicle ();
+    example2_document ();
+    t1_deletion_semantics ();
+    t2_topology_rules ();
+    t3_evolution_taxonomy ();
+  ]

@@ -1,0 +1,63 @@
+(** Reproduction of every figure, worked example and semantic table in
+    the paper.  See DESIGN.md §5 for the experiment index and
+    EXPERIMENTS.md for the paper-vs-measured record. *)
+
+val fig1_derive_copy : unit -> Report.t
+(** Figure 1: deriving a new version of a composite object — an
+    independent exclusive static reference rebinds to the generic, a
+    dependent one becomes Nil. *)
+
+val fig2_versioned_topology : unit -> Report.t
+(** Figure 2: distinct versions of g_c may reference distinct versions
+    of g_d (CV-1X/CV-2X); a second exclusive reference to the same
+    version instance, or from another hierarchy, is rejected. *)
+
+val fig3_refcounts : unit -> Report.t
+(** Figure 3: reverse composite generic references and their
+    ref-counts through the paper's removal walk-through. *)
+
+val fig4_authz_composite : unit -> Report.t
+(** Figure 4: a Read grant on the root implies Read on every
+    component; conflicting grants are rejected. *)
+
+val fig5_shared_authz : unit -> Report.t
+(** Figure 5 + §6 worked examples: implicit authorizations combining
+    on a component shared by two composite objects. *)
+
+val fig6_matrix : unit -> Report.t
+(** Figure 6: the 8×8 authorization combination matrix. *)
+
+val fig7_matrix : unit -> Report.t
+(** Figure 7: lock compatibility for granularity + exclusive composite
+    locking (8 modes). *)
+
+val fig8_matrix : unit -> Report.t
+(** Figure 8: the full 11-mode matrix, including the shared-reference
+    modes. *)
+
+val fig9_protocol : unit -> Report.t
+(** Figure 9 / §7 examples 1–3 executed against the lock table. *)
+
+val garz88_anomaly : unit -> Report.t
+(** The §7 demonstration that the [GARZ88] root-locking algorithm
+    breaks on shared composite references. *)
+
+val example1_vehicle : unit -> Report.t
+(** §2.3 Example 1 driven through the DSL in the paper's own syntax. *)
+
+val example2_document : unit -> Report.t
+(** §2.3 Example 2 driven through the DSL. *)
+
+val t1_deletion_semantics : unit -> Report.t
+(** §2.2: the deletion-propagation table for the four composite
+    reference types. *)
+
+val t2_topology_rules : unit -> Report.t
+(** §2.2: Topology Rules 1–4 as an accept/reject table. *)
+
+val t3_evolution_taxonomy : unit -> Report.t
+(** §4.2: the I1–I4 / D1–D3 change taxonomy with accept/reject
+    outcomes, immediate and deferred. *)
+
+val all : unit -> Report.t list
+(** Every experiment above, in paper order. *)

@@ -1,0 +1,389 @@
+open Orion_core
+module A = Orion_schema.Attribute
+module D = Orion_schema.Domain
+module Schema = Orion_schema.Schema
+module Store = Orion_storage.Store
+module Buffer_pool = Orion_storage.Buffer_pool
+module Evolution = Orion_evolution.Evolution
+module Lock_mode = Orion_locking.Lock_mode
+module Lock_table = Orion_locking.Lock_table
+module Tx_manager = Orion_tx.Tx_manager
+module Scheduler = Orion_tx.Scheduler
+module Part_gen = Orion_workload.Part_gen
+module Trace_gen = Orion_workload.Trace_gen
+module Table = Orion_util.Table
+
+let define db ?superclasses ?versionable ?segment name attrs =
+  ignore
+    (Schema.define (Database.schema db) ?superclasses ?versionable ?segment
+       ~name ~attributes:attrs ()
+      : Orion_schema.Class_def.t)
+
+(* P5: physical clustering (A4). ---------------------------------------------- *)
+
+let vehicle_schema db =
+  (* One shared segment so the [:parent] placement rule applies. *)
+  define db ~segment:"cad" "VPart"
+    [ A.make ~name:"Name" ~domain:(D.Primitive D.P_string) () ];
+  define db ~segment:"cad" "Veh"
+    [
+      A.make ~name:"Parts" ~domain:(D.Class "VPart") ~collection:A.Set
+        ~refkind:(A.composite ~exclusive:true ~dependent:false ())
+        ();
+    ]
+
+let parts_per_vehicle = 12
+
+(* Realistic part payload: a page holds roughly a vehicle's worth of
+   parts, so placement decides the page-fetch count of a traversal. *)
+let part_payload i p = Printf.sprintf "part-%d-%d-%s" i p (String.make 220 'x')
+
+let cold_misses db roots =
+  Persist.checkpoint db;
+  let store = Database.store db in
+  Store.drop_cache store;
+  Store.reset_io_stats store;
+  List.iter (fun root -> ignore (Persist.walk_cold db root : int)) roots;
+  let _, pool = Store.io_stats store in
+  pool.Buffer_pool.misses
+
+let p5_clustering ?(vehicles = 64) () =
+  (* Clustered: parts created with [:parent], landing next to their
+     vehicle. *)
+  let clustered_db = Database.create ~pool_capacity:8 () in
+  vehicle_schema clustered_db;
+  let clustered_roots =
+    List.init vehicles (fun i ->
+        let v = Object_manager.create clustered_db ~cls:"Veh" () in
+        for p = 1 to parts_per_vehicle do
+          ignore
+            (Object_manager.create clustered_db ~cls:"VPart" ~parents:[ (v, "Parts") ]
+               ~attrs:[ ("Name", Value.Str (part_payload i p)) ]
+               ()
+              : Oid.t)
+        done;
+        v)
+  in
+  let clustered = cold_misses clustered_db clustered_roots in
+  (* Scattered: the same content, but parts created round-robin across
+     vehicles and attached afterwards — no placement hint. *)
+  let scattered_db = Database.create ~pool_capacity:8 () in
+  vehicle_schema scattered_db;
+  let scattered_roots =
+    List.init vehicles (fun _ -> Object_manager.create scattered_db ~cls:"Veh" ())
+  in
+  for p = 1 to parts_per_vehicle do
+    List.iteri
+      (fun i v ->
+        let part =
+          Object_manager.create scattered_db ~cls:"VPart"
+            ~attrs:[ ("Name", Value.Str (part_payload i p)) ]
+            ()
+        in
+        Object_manager.make_component scattered_db ~parent:v ~attr:"Parts" ~child:part)
+      scattered_roots
+  done;
+  let scattered = cold_misses scattered_db scattered_roots in
+  let table = Table.create ~headers:[ "placement"; "page misses (cold, all roots)" ] in
+  Table.add_row table [ "clustered with first parent (§2.3)"; string_of_int clustered ];
+  Table.add_row table [ "round-robin scattered"; string_of_int scattered ];
+  Report.make ~id:"P5" ~title:"Physical clustering vs cold composite traversal (A4)"
+    ~body:(Table.render table)
+    ~checks:
+      [
+        ("clustering reduces page misses", clustered < scattered);
+        ( "the reduction is substantial (>= 2x)",
+          scattered >= 2 * clustered );
+        ( "both traversals visit the same objects",
+          Database.count clustered_db = Database.count scattered_db );
+      ]
+    ()
+
+(* P6: composite-object locking vs instance-at-a-time locking (A5). ------------ *)
+
+let p6_composite_vs_instance_locking ?(roots = 8) ?(depth = 3) ?(fanout = 3) () =
+  let forest =
+    Part_gen.generate ~roots { Part_gen.default with depth; fanout; seed = 11 }
+  in
+  let config = { Trace_gen.default with txs = 12; ops_per_tx = 3 } in
+  let run scripts =
+    let manager = Tx_manager.create forest.Part_gen.db in
+    let result = Scheduler.run manager scripts in
+    let stats = Lock_table.stats (Tx_manager.lock_table manager) in
+    (result, stats)
+  in
+  let composite_result, composite_stats =
+    run (Trace_gen.composite_scripts forest.Part_gen.db ~roots:forest.Part_gen.roots config)
+  in
+  let instance_result, instance_stats =
+    run (Trace_gen.instance_scripts forest.Part_gen.db ~roots:forest.Part_gen.roots config)
+  in
+  let table =
+    Table.create
+      ~headers:[ "protocol"; "locks acquired"; "blocks"; "deadlocks"; "rounds" ]
+  in
+  let row name (result : Scheduler.result) (stats : Lock_table.stats) =
+    Table.add_row table
+      [
+        name;
+        string_of_int stats.Lock_table.acquisitions;
+        string_of_int result.Scheduler.blocks;
+        string_of_int result.Scheduler.deadlocks;
+        string_of_int result.Scheduler.rounds;
+      ]
+  in
+  row "composite-object locks (§7)" composite_result composite_stats;
+  row "instance-at-a-time locks" instance_result instance_stats;
+  Report.make ~id:"P6" ~title:"Composite-object locking vs per-instance locking (A5)"
+    ~body:(Table.render table)
+    ~checks:
+      [
+        ( "composite locking takes far fewer lock-table calls",
+          composite_stats.Lock_table.acquisitions * 3
+          < instance_stats.Lock_table.acquisitions );
+        ( "both runs commit all transactions",
+          composite_result.Scheduler.committed = config.Trace_gen.txs
+          && instance_result.Scheduler.committed = config.Trace_gen.txs );
+      ]
+    ()
+
+(* P7: conservative vs refined Figure-8 matrix (A3). ---------------------------- *)
+
+let p7_matrix_ablation ?(txs = 12) () =
+  (* The Figure-9 shape: class C reached exclusively from I-composites
+     and shared from J-composites.  Updates of I-composites (IXO on C)
+     and of J-composites (IXOS on C) conflict under the paper's matrix
+     but not under the refined one. *)
+  let db = Database.create () in
+  define db "Cc" [];
+  define db "I"
+    [
+      A.make ~name:"Cs" ~domain:(D.Class "Cc") ~collection:A.Set
+        ~refkind:(A.composite ~exclusive:true ~dependent:false ())
+        ();
+    ];
+  define db "J"
+    [
+      A.make ~name:"Cs" ~domain:(D.Class "Cc") ~collection:A.Set
+        ~refkind:(A.composite ~exclusive:false ~dependent:false ())
+        ();
+    ];
+  let i_roots = List.init 4 (fun _ -> Object_manager.create db ~cls:"I" ()) in
+  let j_roots = List.init 4 (fun _ -> Object_manager.create db ~cls:"J" ()) in
+  List.iter
+    (fun root ->
+      for _ = 1 to 3 do
+        ignore (Object_manager.create db ~cls:"Cc" ~parents:[ (root, "Cs") ] () : Oid.t)
+      done)
+    (i_roots @ j_roots);
+  let scripts =
+    List.init txs (fun n ->
+        let root =
+          if n mod 2 = 0 then List.nth i_roots (n / 2 mod 4)
+          else List.nth j_roots (n / 2 mod 4)
+        in
+        [ Scheduler.Lock_composite (root, Orion_locking.Protocol.Update) ])
+  in
+  let run compat =
+    let manager = Tx_manager.create ~compat db in
+    Scheduler.run manager scripts
+  in
+  let conservative = run Lock_mode.compat in
+  let refined = run Lock_mode.compat_refined in
+  let table = Table.create ~headers:[ "matrix"; "blocks"; "rounds to finish" ] in
+  Table.add_row table
+    [
+      "paper (Figure 8, conservative)";
+      string_of_int conservative.Scheduler.blocks;
+      string_of_int conservative.Scheduler.rounds;
+    ];
+  Table.add_row table
+    [
+      "refined (Topology-Rule-3 aware)";
+      string_of_int refined.Scheduler.blocks;
+      string_of_int refined.Scheduler.rounds;
+    ];
+  Report.make ~id:"P7" ~title:"Conservative vs refined shared-mode matrix (A3)"
+    ~body:(Table.render table)
+    ~checks:
+      [
+        ("refined matrix blocks less", refined.Scheduler.blocks < conservative.Scheduler.blocks);
+        ( "both complete all transactions",
+          conservative.Scheduler.committed = txs && refined.Scheduler.committed = txs );
+      ]
+    ()
+
+(* A1: reverse-reference representation. ----------------------------------------- *)
+
+let a1_rref_representation ?(n = 200) () =
+  let build repr =
+    let db = Database.create ~rref_repr:repr () in
+    let forest =
+      Part_gen.generate ~db ~roots:4
+        { Part_gen.default with exclusive = false; share_prob = 0.4; seed = 5 }
+    in
+    let total, count =
+      Database.fold db ~init:(0, 0) ~f:(fun (total, count) inst ->
+          (total + Codec.encoded_size db inst, count + 1))
+    in
+    ignore forest;
+    (float_of_int total /. float_of_int (max 1 count), count)
+  in
+  ignore n;
+  let inline_avg, inline_count = build Database.Inline in
+  let external_avg, external_count = build Database.External in
+  let table = Table.create ~headers:[ "representation"; "objects"; "avg encoded bytes" ] in
+  Table.add_row table
+    [ "inline reverse references (§2.4)"; string_of_int inline_count; Printf.sprintf "%.1f" inline_avg ];
+  Table.add_row table
+    [ "external index (rejected by §2.4)"; string_of_int external_count; Printf.sprintf "%.1f" external_avg ];
+  Report.make ~id:"A1" ~title:"Reverse references inline vs external index (A1)"
+    ~body:(Table.render table)
+    ~checks:
+      [
+        ("same content", inline_count = external_count);
+        ("inline representation grows objects", inline_avg > external_avg);
+      ]
+    ()
+
+(* P4: immediate vs deferred schema evolution. ------------------------------------- *)
+
+let p4_evolution_cost ?(instances = 500) ?(changes = 3) () =
+  let build () =
+    let db = Database.create () in
+    define db "C" [];
+    define db "Cp"
+      [
+        A.make ~name:"A" ~domain:(D.Class "C") ~collection:A.Set
+          ~refkind:(A.composite ~exclusive:true ~dependent:true ())
+          ();
+      ];
+    let ev = Evolution.attach db in
+    let targets =
+      List.init instances (fun _ ->
+          let h = Object_manager.create db ~cls:"Cp" () in
+          Object_manager.create db ~cls:"C" ~parents:[ (h, "A") ] ())
+    in
+    (db, ev, targets)
+  in
+  let flip i =
+    (* Alternate the dependent flag: always a state-independent change. *)
+    A.composite ~exclusive:true ~dependent:(i mod 2 = 0) ()
+  in
+  (* Immediate: every change touches every instance of the domain class. *)
+  let _, ev_imm, _ = build () in
+  let imm_touched = ref 0 in
+  for i = 1 to changes do
+    (match
+       Evolution.change_attribute_type ev_imm ~mode:Evolution.Immediate ~cls:"Cp"
+         ~attr:"A" ~to_:(flip i) ()
+     with
+    | Ok _ -> imm_touched := !imm_touched + (instances * 2)
+    (* instances of C and Cp are both in the domain-class closure scan *)
+    | Error _ -> ());
+    ()
+  done;
+  (* Deferred: changes only log; instances catch up when accessed. *)
+  let db_def, ev_def, targets = build () in
+  let stale () =
+    Database.fold db_def ~init:0 ~f:(fun acc inst ->
+        if inst.Instance.cc < Database.current_cc db_def then acc + 1 else acc)
+  in
+  for i = 1 to changes do
+    ignore
+      (Evolution.change_attribute_type ev_def ~mode:Evolution.Deferred ~cls:"Cp"
+         ~attr:"A" ~to_:(flip i) ()
+        : (Orion_evolution.Change.primitive list, Evolution.rejection) result)
+  done;
+  let stale_after_changes = stale () in
+  (* Access 10% of the objects: only they catch up. *)
+  let accessed = List.filteri (fun i _ -> i mod 10 = 0) targets in
+  List.iter (fun oid -> ignore (Database.get db_def oid : Instance.t)) accessed;
+  let stale_after_access = stale () in
+  let table = Table.create ~headers:[ "strategy"; "objects touched" ] in
+  Table.add_row table
+    [ Printf.sprintf "immediate (%d changes)" changes; string_of_int !imm_touched ];
+  Table.add_row table [ "deferred, at change time"; "0" ];
+  Table.add_row table
+    [
+      "deferred, after accessing 10%";
+      string_of_int (stale_after_changes - stale_after_access);
+    ];
+  Report.make ~id:"P4" ~title:"Immediate vs deferred state-independent changes (A2)"
+    ~body:(Table.render table)
+    ~checks:
+      [
+        ( "deferred leaves instances untouched at change time",
+          stale_after_changes >= instances );
+        ( "accessed instances caught up",
+          stale_after_access = stale_after_changes - List.length accessed );
+        ( "deferred database still consistent after full flush",
+          (Evolution.flush_all ev_def;
+           Integrity.check db_def = []) );
+      ]
+    ()
+
+(* P8: lock escalation. ---------------------------------------------------- *)
+
+let p8_lock_escalation ?(objects = 200) ?(threshold = 10) () =
+  let build () =
+    let db = Database.create () in
+    define db "Doc2" [];
+    define db "Box"
+      [
+        A.make ~name:"Docs" ~domain:(D.Class "Doc2") ~collection:A.Set
+          ~refkind:(A.composite ~exclusive:true ~dependent:false ())
+          ();
+      ];
+    let docs = List.init objects (fun _ -> Object_manager.create db ~cls:"Doc2" ()) in
+    (db, docs)
+  in
+  let run escalation =
+    let db, docs = build () in
+    let manager =
+      match escalation with
+      | Some threshold -> Tx_manager.create ~escalation_threshold:threshold db
+      | None -> Tx_manager.create db
+    in
+    let tx = Tx_manager.begin_tx manager in
+    List.iter
+      (fun doc ->
+        match Tx_manager.lock_instance manager tx doc Orion_locking.Protocol.Update with
+        | `Granted -> ()
+        | `Blocked -> failwith "unexpected block")
+      docs;
+    let stats = Lock_table.stats (Tx_manager.lock_table manager) in
+    let escalated = Tx_manager.escalated manager tx in
+    ignore (Tx_manager.commit manager tx : int list);
+    (stats.Lock_table.acquisitions, escalated)
+  in
+  let base_acqs, base_escalated = run None in
+  let esc_acqs, esc_escalated = run (Some threshold) in
+  let table = Table.create ~headers:[ "strategy"; "lock-table calls"; "escalated classes" ] in
+  Table.add_row table
+    [ "per-instance locks only"; string_of_int base_acqs; String.concat "," base_escalated ];
+  Table.add_row table
+    [
+      Printf.sprintf "escalation at %d" threshold;
+      string_of_int esc_acqs;
+      String.concat "," esc_escalated;
+    ];
+  Report.make ~id:"P8" ~title:"Lock escalation: instance locks traded for a class lock"
+    ~body:(Table.render table)
+    ~checks:
+      [
+        ("no escalation without a threshold", base_escalated = []);
+        ("escalation happened", esc_escalated = [ "Doc2" ]);
+        ("escalation cuts lock-table traffic", esc_acqs * 2 < base_acqs);
+      ]
+    ()
+
+let all () =
+  [
+    p4_evolution_cost ();
+    p5_clustering ();
+    p6_composite_vs_instance_locking ();
+    p7_matrix_ablation ();
+    p8_lock_escalation ();
+    a1_rref_representation ();
+  ]

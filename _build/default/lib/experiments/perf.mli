@@ -1,0 +1,33 @@
+(** Quantitative experiments (P-series in DESIGN.md §5): counted
+    effects — page fetches, lock-table events, object sizes — asserted
+    directionally by the tests and printed by the bench harness.
+    Wall-clock timings for the same code paths live in [bench/main.ml]
+    (Bechamel). *)
+
+val p5_clustering : ?vehicles:int -> unit -> Report.t
+(** A4: cold composite traversal, components clustered with their first
+    parent vs scattered round-robin — buffer misses per traversal. *)
+
+val p6_composite_vs_instance_locking :
+  ?roots:int -> ?depth:int -> ?fanout:int -> unit -> Report.t
+(** A5: locks acquired and conflict events for the same trace run with
+    composite-object locks vs instance-at-a-time locks. *)
+
+val p7_matrix_ablation : ?txs:int -> unit -> Report.t
+(** A3: the paper's conservative Figure-8 matrix vs the refined one on
+    a mixed exclusive/shared trace — blocking events admitted. *)
+
+val p8_lock_escalation : ?objects:int -> ?threshold:int -> unit -> Report.t
+(** Escalation trades per-instance lock-table traffic for one class
+    lock (and coarser conflicts). *)
+
+val a1_rref_representation : ?n:int -> unit -> Report.t
+(** A1: inline reverse references grow objects (§2.4's stated cost);
+    the external representation keeps objects small but adds an
+    indirection.  Reports average encoded object sizes. *)
+
+val p4_evolution_cost : ?instances:int -> ?changes:int -> unit -> Report.t
+(** A2: instances touched at change time (immediate) vs on first access
+    (deferred). *)
+
+val all : unit -> Report.t list

@@ -1,0 +1,21 @@
+type t = {
+  id : string;
+  title : string;
+  body : string;
+  checks : (string * bool) list;
+}
+
+let ok t = List.for_all snd t.checks
+
+let make ~id ~title ?(body = "") ~checks () = { id; title; body; checks }
+
+let pp ppf t =
+  Format.fprintf ppf "=== %s: %s ===@." t.id t.title;
+  if t.body <> "" then Format.fprintf ppf "%s@." t.body;
+  List.iter
+    (fun (name, passed) ->
+      Format.fprintf ppf "  [%s] %s@." (if passed then "PASS" else "FAIL") name)
+    t.checks;
+  Format.fprintf ppf "  => %s@." (if ok t then "OK" else "FAILED")
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,18 @@
+(** Experiment reports: every figure/table reproduction yields one,
+    asserted by the tests and printed by [bench/main.exe]. *)
+
+type t = {
+  id : string;  (** e.g. "F7" *)
+  title : string;
+  body : string;  (** the reproduced artifact (matrix, trace, …) *)
+  checks : (string * bool) list;  (** named assertions *)
+}
+
+val ok : t -> bool
+
+val make :
+  id:string -> title:string -> ?body:string -> checks:(string * bool) list -> unit -> t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/locking/lock_mode.ml: Format List String

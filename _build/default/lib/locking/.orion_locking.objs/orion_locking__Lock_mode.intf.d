@@ -1,0 +1,1 @@
+lib/locking/lock_mode.mli: Format

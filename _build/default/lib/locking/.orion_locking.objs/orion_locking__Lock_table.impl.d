@@ -1,0 +1,1 @@
+lib/locking/lock_table.ml: Format Hashtbl Int List Lock_mode Oid Orion_core

@@ -1,0 +1,1 @@
+lib/locking/lock_table.mli: Format Lock_mode Oid Orion_core

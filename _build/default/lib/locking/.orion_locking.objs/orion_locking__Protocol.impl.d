@@ -1,0 +1,1 @@
+lib/locking/protocol.ml: Database Instance List Lock_mode Lock_table Oid Orion_core Orion_schema Traversal

@@ -1,0 +1,1 @@
+lib/locking/protocol.mli: Database Lock_mode Lock_table Oid Orion_core

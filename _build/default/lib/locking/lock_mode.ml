@@ -1,0 +1,107 @@
+type t = IS | IX | S | SIX | X | ISO | IXO | SIXO | ISOS | IXOS | SIXOS
+
+let all = [ IS; IX; S; SIX; X; ISO; IXO; SIXO; ISOS; IXOS; SIXOS ]
+
+let basic = [ IS; IX; S; SIX; X; ISO; IXO; SIXO ]
+
+let to_string = function
+  | IS -> "IS"
+  | IX -> "IX"
+  | S -> "S"
+  | SIX -> "SIX"
+  | X -> "X"
+  | ISO -> "ISO"
+  | IXO -> "IXO"
+  | SIXO -> "SIXO"
+  | ISOS -> "ISOS"
+  | IXOS -> "IXOS"
+  | SIXOS -> "SIXOS"
+
+let pp ppf m = Format.pp_print_string ppf (to_string m)
+
+let of_string s = List.find_opt (fun m -> String.equal (to_string m) s) all
+
+(* Coverage of a mode at a component class, by access family:
+   - [d]: direct access to instances (finer granule: instance locks);
+   - [x]: through exclusive-reference composite objects (finer granule:
+     root locks; distinct roots have disjoint exclusive component sets);
+   - [s]: through shared-reference composite objects (root locks exist
+     but a shared component belongs to several roots, so they cannot
+     disambiguate "some" coverage). *)
+type cov = No | Some_ | All
+
+type facets = { dr : cov; dw : cov; xr : cov; xw : cov; sr : cov; sw : cov }
+
+let none = { dr = No; dw = No; xr = No; xw = No; sr = No; sw = No }
+
+let facets = function
+  | IS -> { none with dr = Some_ }
+  | IX -> { none with dr = Some_; dw = Some_ }
+  | S -> { none with dr = All }
+  | SIX -> { none with dr = All; dw = Some_ }
+  | X -> { none with dr = All; dw = All }
+  | ISO -> { none with xr = Some_ }
+  | IXO -> { none with xr = Some_; xw = Some_ }
+  | SIXO -> { none with xr = All; xw = Some_ }
+  | ISOS -> { none with sr = Some_ }
+  | IXOS -> { none with sr = Some_; sw = Some_ }
+  | SIXOS -> { none with sr = All; sw = Some_ }
+
+(* A write coverage [w] against an access coverage [a]: safe only when
+   both are "some" and a shared finer granule resolves the overlap. *)
+let write_clash ~finer w a =
+  w <> No && a <> No && not (finer && w = Some_ && a = Some_)
+
+let family_clash ~finer (r1, w1) (r2, w2) =
+  write_clash ~finer w1 r2 || write_clash ~finer w1 w2 || write_clash ~finer w2 r1
+
+let compat_gen ~conservative_xs m1 m2 =
+  let f1 = facets m1 and f2 = facets m2 in
+  let d1 = (f1.dr, f1.dw) and d2 = (f2.dr, f2.dw) in
+  let x1 = (f1.xr, f1.xw) and x2 = (f2.xr, f2.xw) in
+  let s1 = (f1.sr, f1.sw) and s2 = (f2.sr, f2.sw) in
+  let clash =
+    family_clash ~finer:true d1 d2
+    || family_clash ~finer:true x1 x2
+    || family_clash ~finer:false s1 s2
+    (* Direct access shares no granule with composite-object locking:
+       ISO conflicts with IX; IXO and SIXO conflict with IS and IX
+       (the paper's stated constraints). *)
+    || family_clash ~finer:false d1 x2
+    || family_clash ~finer:false x1 d2
+    || family_clash ~finer:false d1 s2
+    || family_clash ~finer:false s1 d2
+    (* Exclusive-side vs shared-side composite coverage: disjoint by
+       Topology Rule 3, but the paper keeps write-write conservative
+       (Figure 9: example 3 is incompatible with example 1).  The
+       refined matrix (ablation A3) drops this clause. *)
+    || (conservative_xs && (snd x1 <> No && snd s2 <> No || snd s1 <> No && snd x2 <> No))
+  in
+  not clash
+
+let compat = compat_gen ~conservative_xs:true
+
+let compat_refined = compat_gen ~conservative_xs:false
+
+let cov_le a b =
+  match (a, b) with
+  | No, _ -> true
+  | Some_, (Some_ | All) -> true
+  | All, All -> true
+  | (Some_ | All), _ -> false
+
+let cov_max a b = if cov_le a b then b else a
+
+let supremum m1 m2 =
+  let f1 = facets m1 and f2 = facets m2 in
+  let want =
+    {
+      dr = cov_max f1.dr f2.dr;
+      dw = cov_max f1.dw f2.dw;
+      xr = cov_max f1.xr f2.xr;
+      xw = cov_max f1.xw f2.xw;
+      sr = cov_max f1.sr f2.sr;
+      sw = cov_max f1.sw f2.sw;
+    }
+  in
+  List.find_opt (fun m -> facets m = want) all

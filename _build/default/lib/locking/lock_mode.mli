@@ -1,0 +1,49 @@
+(** Lock modes for granularity locking extended with composite objects
+    (§7, Figures 7 and 8).
+
+    Beyond the five [GRAY78] modes, the paper introduces ISO/IXO/SIXO
+    for component classes reached through {e exclusive} composite
+    references and ISOS/IXOS/SIXOS for component classes reached
+    through {e shared} composite references.
+
+    The compatibility matrices are {e derived}, not transcribed: each
+    mode is given its coverage at a component class — what it may read
+    or write directly (with instance locks as the finer granule), via
+    exclusive-reference composite objects (root locks as the finer
+    granule, and distinct roots have disjoint exclusive component
+    sets), or via shared-reference composite objects (root locks
+    cannot disambiguate: a shared component belongs to several roots).
+    Two modes conflict when a write of one may overlap an access of
+    the other with no finer granule to resolve it.  The paper's
+    textual constraints and the §7 worked examples pin every entry;
+    see DESIGN.md decisions D5/D6.
+
+    [compat_refined] is ablation A3: it additionally exploits Topology
+    Rule 3 (an object with an exclusive reference has no shared ones,
+    so exclusive-side and shared-side coverage are provably disjoint)
+    to admit exclusive-side vs shared-side write–write pairs that the
+    paper's matrix conservatively rejects. *)
+
+type t = IS | IX | S | SIX | X | ISO | IXO | SIXO | ISOS | IXOS | SIXOS
+
+val all : t list
+(** The eleven modes in the Figure-8 display order. *)
+
+val basic : t list
+(** The eight modes of Figure 7. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val of_string : string -> t option
+
+val compat : t -> t -> bool
+(** The paper's matrix (Figure 8; restricted to {!basic} it is
+    Figure 7).  Symmetric. *)
+
+val compat_refined : t -> t -> bool
+(** Ablation A3; compatible whenever {!compat} is, and strictly more
+    often on exclusive-vs-shared write pairs. *)
+
+val supremum : t -> t -> t option
+(** Least mode covering both (used for lock conversion), when one
+    exists within the same family. *)

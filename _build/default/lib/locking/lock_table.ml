@@ -1,0 +1,197 @@
+open Orion_core
+
+type granule = G_class of string | G_instance of Oid.t
+
+let pp_granule ppf = function
+  | G_class c -> Format.fprintf ppf "class %s" c
+  | G_instance oid -> Format.fprintf ppf "instance %a" Oid.pp oid
+
+type tx_id = int
+
+type entry = {
+  mutable granted : (tx_id * Lock_mode.t) list;
+  mutable queue : (tx_id * Lock_mode.t) list;  (* FIFO, head first *)
+}
+
+type t = {
+  compat : Lock_mode.t -> Lock_mode.t -> bool;
+  entries : (granule, entry) Hashtbl.t;
+  mutable acquisitions : int;
+  mutable blocks : int;
+  mutable wakeups : int;
+}
+
+type stats = { acquisitions : int; blocks : int; wakeups : int }
+
+let create ?(compat = Lock_mode.compat) () =
+  { compat; entries = Hashtbl.create 64; acquisitions = 0; blocks = 0; wakeups = 0 }
+
+let entry t granule =
+  match Hashtbl.find_opt t.entries granule with
+  | Some e -> e
+  | None ->
+      let e = { granted = []; queue = [] } in
+      Hashtbl.replace t.entries granule e;
+      e
+
+let compatible_with_others t entry ~tx mode =
+  List.for_all
+    (fun (holder, held) -> holder = tx || t.compat mode held)
+    entry.granted
+
+let covered entry ~tx mode =
+  List.exists
+    (fun (holder, held) ->
+      holder = tx
+      && (held = mode
+         || match Lock_mode.supremum held mode with
+            | Some sup -> sup = held
+            | None -> false))
+    entry.granted
+
+let holds t ~tx granule mode = covered (entry t granule) ~tx mode
+
+let acquire t ~tx granule mode =
+  let e = entry t granule in
+  if List.exists (fun (waiter, m) -> waiter = tx && m = mode) e.queue then
+    (* Re-polling a still-queued request does not queue it twice. *)
+    `Blocked
+  else begin
+  t.acquisitions <- t.acquisitions + 1;
+  if covered e ~tx mode then `Granted
+  else if
+    (* FIFO fairness: a request must also wait behind queued requests of
+       other transactions unless it is already a holder upgrading. *)
+    compatible_with_others t e ~tx mode
+    && (e.queue = [] || List.mem_assoc tx e.granted)
+  then begin
+    e.granted <- e.granted @ [ (tx, mode) ];
+    `Granted
+  end
+  else begin
+    t.blocks <- t.blocks + 1;
+    e.queue <- e.queue @ [ (tx, mode) ];
+    `Blocked
+  end
+  end
+
+let try_acquire t ~tx granule mode =
+  let e = entry t granule in
+  if covered e ~tx mode then true
+  else if
+    compatible_with_others t e ~tx mode
+    && (e.queue = [] || List.mem_assoc tx e.granted)
+  then begin
+    t.acquisitions <- t.acquisitions + 1;
+    e.granted <- e.granted @ [ (tx, mode) ];
+    true
+  end
+  else false
+
+let holders t granule = (entry t granule).granted
+
+let locks_of t ~tx =
+  Hashtbl.fold
+    (fun granule e acc ->
+      List.fold_left
+        (fun acc (holder, mode) -> if holder = tx then (granule, mode) :: acc else acc)
+        acc e.granted)
+    t.entries []
+
+let waiting t =
+  Hashtbl.fold
+    (fun granule e acc ->
+      List.fold_left (fun acc (tx, mode) -> (tx, granule, mode) :: acc) acc e.queue)
+    t.entries []
+
+(* Promote queued requests that have become compatible, FIFO. *)
+let promote t e =
+  let woken = ref [] in
+  let rec go queue =
+    match queue with
+    | [] -> []
+    | (tx, mode) :: rest ->
+        if compatible_with_others t e ~tx mode then begin
+          e.granted <- e.granted @ [ (tx, mode) ];
+          t.wakeups <- t.wakeups + 1;
+          woken := tx :: !woken;
+          go rest
+        end
+        else (tx, mode) :: rest
+        (* strict FIFO: stop at the first request that must keep waiting *)
+  in
+  e.queue <- go e.queue;
+  !woken
+
+let release_all t ~tx =
+  let woken = ref [] in
+  Hashtbl.iter
+    (fun _ e ->
+      e.granted <- List.filter (fun (holder, _) -> holder <> tx) e.granted;
+      e.queue <- List.filter (fun (waiter, _) -> waiter <> tx) e.queue)
+    t.entries;
+  Hashtbl.iter (fun _ e -> woken := promote t e @ !woken) t.entries;
+  (* Fully unblocked = no queued request left anywhere. *)
+  let still_queued = List.map (fun (tx, _, _) -> tx) (waiting t) in
+  List.sort_uniq Int.compare
+    (List.filter (fun tx -> not (List.mem tx still_queued)) !woken)
+
+let blocked_on t ~tx =
+  Hashtbl.fold
+    (fun _ e acc ->
+      if List.exists (fun (waiter, _) -> waiter = tx) e.queue then begin
+        (* Waits-for edges: holders whose mode is incompatible, plus —
+           because grants are FIFO — every distinct transaction queued
+           ahead of this one. *)
+        let rec ahead acc = function
+          | [] -> acc
+          | (waiter, _) :: _ when waiter = tx -> acc
+          | (waiter, _) :: rest -> ahead (waiter :: acc) rest
+        in
+        let acc = ahead acc e.queue in
+        List.fold_left
+          (fun acc (waiter, mode) ->
+            if waiter = tx then
+              List.fold_left
+                (fun acc (holder, held) ->
+                  if holder <> tx && not (t.compat mode held) then holder :: acc
+                  else acc)
+                acc e.granted
+            else acc)
+          acc e.queue
+      end
+      else acc)
+    t.entries []
+  |> List.filter (fun other -> other <> tx)
+  |> List.sort_uniq Int.compare
+
+let find_deadlock t =
+  let txs =
+    List.sort_uniq Int.compare (List.map (fun (tx, _, _) -> tx) (waiting t))
+  in
+  let rec dfs path visited tx =
+    if List.mem tx path then
+      (* Cycle: the suffix of the path from the first occurrence. *)
+      let rec suffix = function
+        | [] -> []
+        | x :: rest -> if x = tx then x :: rest else suffix rest
+      in
+      Some (suffix (List.rev path))
+    else if List.mem tx visited then None
+    else
+      List.fold_left
+        (fun acc next ->
+          match acc with Some _ -> acc | None -> dfs (tx :: path) (tx :: visited) next)
+        None (blocked_on t ~tx)
+  in
+  List.fold_left
+    (fun acc tx -> match acc with Some _ -> acc | None -> dfs [] [] tx)
+    None txs
+
+let stats (t : t) =
+  { acquisitions = t.acquisitions; blocks = t.blocks; wakeups = t.wakeups }
+
+let reset_stats (t : t) =
+  t.acquisitions <- 0;
+  t.blocks <- 0;
+  t.wakeups <- 0

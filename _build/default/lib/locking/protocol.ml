@@ -1,0 +1,115 @@
+open Orion_core
+module Schema = Orion_schema.Schema
+
+type access = Read_ | Update
+
+let lock_for_access access role =
+  match (access, role) with
+  | Read_, `Class -> Lock_mode.IS
+  | Update, `Class -> Lock_mode.IX
+  | Read_, `Instance -> Lock_mode.S
+  | Update, `Instance -> Lock_mode.X
+  | Read_, `Comp_x -> Lock_mode.ISO
+  | Update, `Comp_x -> Lock_mode.IXO
+  | Read_, `Comp_s -> Lock_mode.ISOS
+  | Update, `Comp_s -> Lock_mode.IXOS
+
+let composite_object_locks db ~root access =
+  let inst = Database.get db root in
+  let components =
+    Schema.composite_class_hierarchy (Database.schema db) inst.Instance.cls
+  in
+  [
+    (Lock_table.G_class inst.Instance.cls, lock_for_access access `Class);
+    (Lock_table.G_instance root, lock_for_access access `Instance);
+  ]
+  @ List.map
+      (fun (c : Schema.component_class) ->
+        let role = match c.via with `Exclusive -> `Comp_x | `Shared -> `Comp_s in
+        (Lock_table.G_class c.component, lock_for_access access role))
+      components
+
+let instance_locks db oid access =
+  let inst = Database.get db oid in
+  [
+    (Lock_table.G_class inst.Instance.cls, lock_for_access access `Class);
+    (Lock_table.G_instance oid, lock_for_access access `Instance);
+  ]
+
+let acquire_all table ~tx locks =
+  let rec go = function
+    | [] -> `Granted
+    | (granule, mode) :: rest -> (
+        match Lock_table.acquire table ~tx granule mode with
+        | `Granted -> go rest
+        | `Blocked -> `Blocked (granule, mode))
+  in
+  go locks
+
+let compatible_lock_sets set1 set2 ?(compat = Lock_mode.compat) () =
+  List.for_all
+    (fun (g1, m1) ->
+      List.for_all
+        (fun (g2, m2) -> (not (g1 = g2)) || compat m1 m2)
+        set2)
+    set1
+
+(* Hierarchy scans (the S/SIX/X rows of Figures 7 and 8) ---------------------- *)
+
+type scan_access = Scan_read | Scan_update_some | Scan_update_all
+
+let hierarchy_scan_locks db ~root_cls access =
+  let components = Schema.composite_class_hierarchy (Database.schema db) root_cls in
+  let root_mode, comp_mode =
+    match access with
+    | Scan_read -> (Lock_mode.S, fun _ -> Lock_mode.S)
+    | Scan_update_some ->
+        ( Lock_mode.SIX,
+          function `Exclusive -> Lock_mode.SIXO | `Shared -> Lock_mode.SIXOS )
+    | Scan_update_all -> (Lock_mode.X, fun _ -> Lock_mode.X)
+  in
+  (Lock_table.G_class root_cls, root_mode)
+  :: List.map
+       (fun (c : Schema.component_class) ->
+         (Lock_table.G_class c.component, comp_mode c.via))
+       components
+
+(* GARZ88 root locking -------------------------------------------------------- *)
+
+let roots_of db oid =
+  let ancestors = Traversal.ancestors_of db oid in
+  let parentless o = Traversal.parents_of db o = [] in
+  match List.filter parentless ancestors with
+  | [] -> if parentless oid then [ oid ] else []
+  | roots -> roots
+
+let root_locking_locks db oid access =
+  let mode = lock_for_access access `Instance in
+  let self = (Lock_table.G_instance oid, mode) in
+  let root_locks =
+    List.map (fun root -> (Lock_table.G_instance root, mode)) (roots_of db oid)
+  in
+  self :: List.filter (fun (g, _) -> g <> fst self) root_locks
+
+let implicit_coverage db locks =
+  locks
+  |> List.concat_map (fun (granule, mode) ->
+         match granule with
+         | Lock_table.G_class _ -> []
+         | Lock_table.G_instance root ->
+             (root, mode)
+             :: List.map
+                  (fun component -> (component, mode))
+                  (Traversal.components_of db root))
+
+let root_lock_anomaly db ~t1 ~t2 =
+  let cover1 = implicit_coverage db t1 and cover2 = implicit_coverage db t2 in
+  List.concat_map
+    (fun (oid1, m1) ->
+      List.filter_map
+        (fun (oid2, m2) ->
+          if Oid.equal oid1 oid2 && not (Lock_mode.compat m1 m2) then
+            Some (oid1, m1, m2)
+          else None)
+        cover2)
+    cover1

@@ -1,0 +1,91 @@
+(** The composite-object locking protocols of §7.
+
+    [composite_object_locks] renders the paper's protocol: to access a
+    composite object, lock the root's class in IS/IX, the root instance
+    in S/X, and every component class of the composite class hierarchy
+    in ISO/IXO (reached via exclusive references) or ISOS/IXOS (via
+    shared references).  A class reachable both ways gets the supremum
+    of the two intention modes on both sides (rendered as two locks).
+
+    [instance_locks] is the plain granularity protocol for direct
+    instance access: class in IS/IX, instance in S/X.
+
+    [root_locking_locks] is the [GARZ88] algorithm: on direct access to
+    a component, lock the roots of the composite objects containing it;
+    the locks on those roots implicitly cover all their components.
+    {!root_lock_anomaly} reproduces §7's demonstration that the
+    algorithm breaks for shared composite references. *)
+
+open Orion_core
+
+type access = Read_ | Update
+
+val lock_for_access : access -> [ `Class | `Instance | `Comp_x | `Comp_s ] -> Lock_mode.t
+(** IS/IX, S/X, ISO/IXO, ISOS/IXOS respectively. *)
+
+val composite_object_locks :
+  Database.t -> root:Oid.t -> access -> (Lock_table.granule * Lock_mode.t) list
+
+val instance_locks :
+  Database.t -> Oid.t -> access -> (Lock_table.granule * Lock_mode.t) list
+
+val acquire_all :
+  Lock_table.t ->
+  tx:Lock_table.tx_id ->
+  (Lock_table.granule * Lock_mode.t) list ->
+  [ `Granted | `Blocked of Lock_table.granule * Lock_mode.t ]
+(** Acquire in order; stop at (and report) the first blocked request. *)
+
+val compatible_lock_sets :
+  (Lock_table.granule * Lock_mode.t) list ->
+  (Lock_table.granule * Lock_mode.t) list ->
+  ?compat:(Lock_mode.t -> Lock_mode.t -> bool) ->
+  unit ->
+  bool
+(** Could two transactions hold these lock sets simultaneously (the
+    F9 experiment's question). *)
+
+(** {1 Hierarchy scans}
+
+    §7 lists S, SIX and X among the legal modes for the root class and
+    the component classes: operations over {e all} composite objects of
+    a hierarchy.  [hierarchy_scan_locks] renders them: a scan read
+    locks the root class and every component class in S; a scan that
+    updates some composite objects uses SIX at the root class and
+    SIXO/SIXOS at the component classes (the individual roots being
+    updated are then X-locked via {!composite_object_locks}); a bulk
+    rewrite uses X everywhere. *)
+
+type scan_access =
+  | Scan_read
+  | Scan_update_some  (** read all composite objects, update a few *)
+  | Scan_update_all
+
+val hierarchy_scan_locks :
+  Database.t -> root_cls:string -> scan_access -> (Lock_table.granule * Lock_mode.t) list
+
+(** {1 The [GARZ88] root-locking algorithm} *)
+
+val roots_of : Database.t -> Oid.t -> Oid.t list
+(** Roots of the composite objects containing the object: its ancestors
+    without composite parents (or the object itself when it has none). *)
+
+val root_locking_locks :
+  Database.t -> Oid.t -> access -> (Lock_table.granule * Lock_mode.t) list
+(** Locks the algorithm takes: the object itself plus S/X on each root. *)
+
+val implicit_coverage :
+  Database.t ->
+  (Lock_table.granule * Lock_mode.t) list ->
+  (Oid.t * Lock_mode.t) list
+(** The instance-level locks implied by root locks: every component of
+    an S/X-locked root is implicitly locked in that mode. *)
+
+val root_lock_anomaly :
+  Database.t ->
+  t1:(Lock_table.granule * Lock_mode.t) list ->
+  t2:(Lock_table.granule * Lock_mode.t) list ->
+  (Oid.t * Lock_mode.t * Lock_mode.t) list
+(** Conflicting implicit instance locks two transactions would both
+    hold even though the explicit lock sets are disjoint — the §7
+    shared-reference anomaly.  Empty for exclusive-only hierarchies. *)

@@ -1,0 +1,1 @@
+lib/notify/notifier.ml: Database List Oid Orion_core Traversal

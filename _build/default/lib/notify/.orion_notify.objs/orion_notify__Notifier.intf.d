@@ -1,0 +1,1 @@
+lib/notify/notifier.mli: Database Oid Orion_core

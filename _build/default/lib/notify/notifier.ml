@@ -1,0 +1,79 @@
+open Orion_core
+
+type change = { member : Oid.t; attr : string option }
+
+type watch = { id : int; w_root : Oid.t; mutable log : change list (* newest first *) }
+
+type t = {
+  db : Database.t;
+  mutable watches : watch list;
+  mutable next_watch : int;
+  subscription : Database.subscription option ref;
+}
+
+let root w = w.w_root
+
+let record w change =
+  if not (List.mem change w.log) then w.log <- change :: w.log
+
+(* The watches whose composite object currently contains [member]: the
+   member itself, or one of its composite ancestors, is the watched
+   root.  Ancestors are found through the reverse references, so shared
+   components notify every containing composite object. *)
+let covering t member =
+  match Database.find t.db member with
+  | None -> List.filter (fun w -> Oid.equal w.w_root member) t.watches
+  | Some _ ->
+      let up = member :: Traversal.ancestors_of t.db member in
+      (* A watch on a version instance also covers members reached from
+         it; approximate by also matching the generic's versions. *)
+      List.filter (fun w -> List.exists (Oid.equal w.w_root) up) t.watches
+
+let on_event t = function
+  | Database.Attr_written { oid; attr; _ } ->
+      List.iter (fun w -> record w { member = oid; attr = Some attr }) (covering t oid)
+  | Database.Deleted oid ->
+      (* Former parents are gone from the reverse references by now;
+         component deletion is visible through the scrub writes on the
+         surviving parents.  Only a watched root's own deletion must be
+         reported here. *)
+      List.iter
+        (fun w ->
+          if Oid.equal w.w_root oid then record w { member = oid; attr = None })
+        t.watches
+  | Database.Created _ -> ()
+  | Database.Invalidated ->
+      List.iter
+        (fun w -> record w { member = w.w_root; attr = None })
+        t.watches
+
+let create db =
+  let t = { db; watches = []; next_watch = 0; subscription = ref None } in
+  t.subscription := Some (Database.subscribe db (on_event t));
+  t
+
+let detach t =
+  match !(t.subscription) with
+  | Some s ->
+      Database.unsubscribe t.db s;
+      t.subscription := None
+  | None -> ()
+
+let watch t oid =
+  let w = { id = t.next_watch; w_root = oid; log = [] } in
+  t.next_watch <- t.next_watch + 1;
+  t.watches <- w :: t.watches;
+  w
+
+let unwatch t w = t.watches <- List.filter (fun x -> x.id <> w.id) t.watches
+
+let changed _t w = w.log <> []
+
+let changes _t w = List.rev w.log
+
+let clear _t w = w.log <- []
+
+let dirty_roots t =
+  t.watches
+  |> List.filter_map (fun w -> if w.log <> [] then Some w.w_root else None)
+  |> List.sort_uniq Oid.compare

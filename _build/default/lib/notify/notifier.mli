@@ -1,0 +1,52 @@
+(** Change notification for composite objects.
+
+    The paper's version model builds on [CHOU88] ("Versions and Change
+    Notification in an Object-Oriented Database System"): designers
+    watching a composite design want to learn that {e some} component
+    changed, without polling every component.  This is the flag-based
+    ("passive") variant: watching a root raises a change flag whenever
+    a component's attribute is written, a component is attached or
+    detached (both surface as attribute writes on some member), or the
+    root itself is deleted; the watcher reads and clears the flag at
+    its own pace.
+
+    Changes to an object reach every watched root it is currently a
+    component of (through the reverse composite references), so shared
+    components notify all their containing composite objects.
+    Transaction rollback conservatively marks every watch changed. *)
+
+open Orion_core
+
+type t
+
+val create : Database.t -> t
+
+val detach : t -> unit
+(** Remove the database subscription; the notifier goes quiet. *)
+
+type watch
+
+val watch : t -> Oid.t -> watch
+(** Watch the composite object rooted at the OID.  Watching a version
+    instance also reacts to changes reached through its components'
+    dynamic bindings (resolved at event time). *)
+
+val unwatch : t -> watch -> unit
+
+val root : watch -> Oid.t
+
+type change = {
+  member : Oid.t;  (** the object that changed (the root itself included) *)
+  attr : string option;  (** [None] when the member was deleted *)
+}
+
+val changed : t -> watch -> bool
+
+val changes : t -> watch -> change list
+(** Accumulated since the last {!clear}, oldest first; deduplicated per
+    (member, attr). *)
+
+val clear : t -> watch -> unit
+
+val dirty_roots : t -> Oid.t list
+(** Roots of all currently changed watches (sorted, deduplicated). *)

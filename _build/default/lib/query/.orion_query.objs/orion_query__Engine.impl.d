@@ -1,0 +1,1 @@
+lib/query/engine.ml: Database Expr Format Index Instance List Oid Orion_core Orion_schema String

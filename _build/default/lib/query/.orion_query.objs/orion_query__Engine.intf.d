@@ -1,0 +1,1 @@
+lib/query/engine.mli: Database Expr Format Index Oid Orion_core

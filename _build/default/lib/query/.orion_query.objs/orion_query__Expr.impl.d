@@ -1,0 +1,1 @@
+lib/query/expr.ml: Database Float Format Instance Int List Oid Orion_core Orion_schema String Traversal Value

@@ -1,0 +1,1 @@
+lib/query/expr.mli: Database Format Oid Orion_core Value

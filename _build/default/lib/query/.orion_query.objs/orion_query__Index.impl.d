@@ -1,0 +1,1 @@
+lib/query/index.ml: Database Hashtbl Instance List Oid Orion_core Orion_schema String Value

@@ -1,0 +1,1 @@
+lib/query/index.mli: Database Oid Orion_core Value

@@ -1,0 +1,89 @@
+open Orion_core
+module Schema = Orion_schema.Schema
+
+type t = { db : Database.t; mutable indexes : Index.t list }
+
+let create db = { db; indexes = [] }
+
+let database t = t.db
+
+let find_index t ~cls ~attr =
+  List.find_opt
+    (fun idx -> String.equal (Index.cls idx) cls && String.equal (Index.attr idx) attr)
+    t.indexes
+
+let add_index t ~cls ~attr =
+  match find_index t ~cls ~attr with
+  | Some idx -> idx
+  | None ->
+      let idx = Index.create t.db ~cls ~attr in
+      t.indexes <- idx :: t.indexes;
+      idx
+
+let drop_index t ~cls ~attr =
+  match find_index t ~cls ~attr with
+  | None -> false
+  | Some idx ->
+      Index.drop idx;
+      t.indexes <-
+        List.filter
+          (fun i ->
+            not (String.equal (Index.cls i) cls && String.equal (Index.attr i) attr))
+          t.indexes;
+      true
+
+let indexes t = List.map (fun idx -> (Index.cls idx, Index.attr idx)) t.indexes
+
+type plan = Index_lookup of { cls : string; attr : string } | Scan
+
+let pp_plan ppf = function
+  | Index_lookup { cls; attr } -> Format.fprintf ppf "index %s.%s" cls attr
+  | Scan -> Format.pp_print_string ppf "scan"
+
+(* An index on the queried class itself (not a superclass: its coverage
+   could miss sibling instances... an index on a SUPERCLASS covers the
+   subclass extension too, so it is usable; an index on a subclass is
+   not). *)
+let usable_index t ~cls ~attr =
+  List.find_opt
+    (fun idx ->
+      String.equal (Index.attr idx) attr
+      && Schema.mem (Database.schema t.db) (Index.cls idx)
+      && Schema.is_subclass_of (Database.schema t.db) ~sub:cls ~super:(Index.cls idx))
+    t.indexes
+
+let plan_for t ~cls expr =
+  match Expr.indexable expr with
+  | Some (attr, _) -> (
+      match usable_index t ~cls ~attr with
+      | Some idx -> Index_lookup { cls = Index.cls idx; attr }
+      | None -> Scan)
+  | None -> Scan
+
+let explain t ~cls expr = plan_for t ~cls expr
+
+let member_of_class t ~cls ~subclasses oid =
+  match Database.find t.db oid with
+  | None -> false
+  | Some inst ->
+      (not (Instance.is_generic inst))
+      &&
+      if subclasses then
+        Schema.is_subclass_of (Database.schema t.db) ~sub:inst.Instance.cls ~super:cls
+      else String.equal inst.Instance.cls cls
+
+let select t ~cls ?(subclasses = true) expr =
+  let candidates =
+    match Expr.indexable expr with
+    | Some (attr, v) -> (
+        match usable_index t ~cls ~attr with
+        | Some idx -> Index.lookup idx v
+        | None -> Database.instances_of t.db ~subclasses cls)
+    | None -> Database.instances_of t.db ~subclasses cls
+  in
+  candidates
+  |> List.filter (fun oid ->
+         member_of_class t ~cls ~subclasses oid && Expr.eval t.db oid expr)
+  |> List.sort_uniq Oid.compare
+
+let count t ~cls ?subclasses expr = List.length (select t ~cls ?subclasses expr)

@@ -1,0 +1,34 @@
+(** The select engine: associative access over a class extension.
+
+    [select] evaluates a predicate against the instances of a class
+    (subclasses included, generic instances excluded).  When an
+    attribute index exists for the class and the predicate contains an
+    indexable equality conjunct ({!Expr.indexable}), the candidates
+    come from the index instead of a scan; the full predicate is always
+    re-checked, so indexes are purely an access path. *)
+
+open Orion_core
+
+type t
+
+val create : Database.t -> t
+
+val database : t -> Database.t
+
+val add_index : t -> cls:string -> attr:string -> Index.t
+(** Idempotent per (cls, attr): returns the existing index if any. *)
+
+val drop_index : t -> cls:string -> attr:string -> bool
+
+val indexes : t -> (string * string) list
+
+type plan = Index_lookup of { cls : string; attr : string } | Scan
+
+val pp_plan : Format.formatter -> plan -> unit
+
+val explain : t -> cls:string -> Expr.t -> plan
+
+val select : t -> cls:string -> ?subclasses:bool -> Expr.t -> Oid.t list
+(** Sorted by OID. *)
+
+val count : t -> cls:string -> ?subclasses:bool -> Expr.t -> int

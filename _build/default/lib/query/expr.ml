@@ -1,0 +1,143 @@
+open Orion_core
+module Schema = Orion_schema.Schema
+
+type comparison = Eq | Neq | Lt | Le | Gt | Ge
+
+type path = string list
+
+type t =
+  | Const of bool
+  | Cmp of comparison * path * Value.t
+  | Refers of path * Oid.t
+  | Has of path
+  | In_class of path * string
+  | Component_of of Oid.t
+  | And of t list
+  | Or of t list
+  | Not of t
+  | Exists of path * t
+  | Forall of path * t
+
+let pp_comparison ppf c =
+  Format.pp_print_string ppf
+    (match c with Eq -> "=" | Neq -> "/=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=")
+
+let pp_path ppf path = Format.pp_print_string ppf (String.concat "." path)
+
+let rec pp ppf = function
+  | Const b -> Format.pp_print_bool ppf b
+  | Cmp (c, path, v) ->
+      Format.fprintf ppf "(%a %a %a)" pp_comparison c pp_path path Value.pp v
+  | Refers (path, oid) -> Format.fprintf ppf "(refers %a %a)" pp_path path Oid.pp oid
+  | Has path -> Format.fprintf ppf "(has %a)" pp_path path
+  | In_class (path, cls) -> Format.fprintf ppf "(is-a %a %s)" pp_path path cls
+  | Component_of oid -> Format.fprintf ppf "(part-of %a)" Oid.pp oid
+  | And es ->
+      Format.fprintf ppf "(and %a)" (Format.pp_print_list ~pp_sep:Format.pp_print_space pp) es
+  | Or es ->
+      Format.fprintf ppf "(or %a)" (Format.pp_print_list ~pp_sep:Format.pp_print_space pp) es
+  | Not e -> Format.fprintf ppf "(not %a)" pp e
+  | Exists (path, e) -> Format.fprintf ppf "(exists %a %a)" pp_path path pp e
+  | Forall (path, e) -> Format.fprintf ppf "(forall %a %a)" pp_path path pp e
+
+(* Path resolution ------------------------------------------------------------ *)
+
+let rec flatten v acc =
+  match v with
+  | Value.VSet vs -> List.fold_left (fun acc v -> flatten v acc) acc vs
+  | Value.Null -> acc
+  | other -> other :: acc
+
+let step db values attr =
+  List.concat_map
+    (fun v ->
+      match v with
+      | Value.Ref target -> (
+          (* Dynamic bindings resolve through the default version. *)
+          let resolved = Traversal.resolve db target in
+          match Database.find db resolved with
+          | None -> []
+          | Some inst -> (
+              if Instance.is_generic inst then []
+              else
+                match Instance.attr inst attr with
+                | Some next -> flatten next []
+                | None -> []))
+      | Value.Null | Value.Int _ | Value.Float _ | Value.Str _ | Value.Bool _
+      | Value.VSet _ ->
+          [])
+    values
+
+let resolve_path db oid path =
+  List.fold_left (step db) [ Value.Ref oid ] path
+
+(* Objects (not primitive leaves) reached by a path. *)
+let objects_at db oid path =
+  resolve_path db oid path
+  |> List.filter_map (function
+       | Value.Ref target ->
+           let resolved = Traversal.resolve db target in
+           if Database.exists db resolved then Some resolved else None
+       | Value.Null | Value.Int _ | Value.Float _ | Value.Str _ | Value.Bool _
+       | Value.VSet _ ->
+           None)
+
+(* Comparisons: same-constructor primitives only, no coercion. *)
+let compare_values c a b =
+  let ordered lt le gt ge cmp =
+    match c with
+    | Lt -> lt cmp
+    | Le -> le cmp
+    | Gt -> gt cmp
+    | Ge -> ge cmp
+    | Eq | Neq -> assert false
+  in
+  match c with
+  | Eq -> Value.equal a b
+  | Neq -> not (Value.equal a b)
+  | Lt | Le | Gt | Ge -> (
+      let of_cmp cmp =
+        ordered (fun n -> n < 0) (fun n -> n <= 0) (fun n -> n > 0) (fun n -> n >= 0) cmp
+      in
+      match (a, b) with
+      | Value.Int x, Value.Int y -> of_cmp (Int.compare x y)
+      | Value.Float x, Value.Float y -> of_cmp (Float.compare x y)
+      | Value.Str x, Value.Str y -> of_cmp (String.compare x y)
+      | _ -> false)
+
+let rec eval db oid expr =
+  match expr with
+  | Const b -> b
+  | Cmp (c, path, v) ->
+      List.exists (fun reached -> compare_values c reached v) (resolve_path db oid path)
+  | Refers (path, target) ->
+      List.exists
+        (function Value.Ref r -> Oid.equal r target | _ -> false)
+        (resolve_path db oid path)
+  | Has path -> resolve_path db oid path <> []
+  | In_class (path, cls) ->
+      let candidates = match path with [] -> [ oid ] | _ -> objects_at db oid path in
+      List.exists
+        (fun candidate ->
+          match Database.find db candidate with
+          | Some inst ->
+              Schema.mem (Database.schema db) cls
+              && Schema.is_subclass_of (Database.schema db) ~sub:inst.Instance.cls
+                   ~super:cls
+          | None -> false)
+        candidates
+  | Component_of whole -> Traversal.component_of db oid whole
+  | And es -> List.for_all (eval db oid) es
+  | Or es -> List.exists (eval db oid) es
+  | Not e -> not (eval db oid e)
+  | Exists (path, e) -> List.exists (fun o -> eval db o e) (objects_at db oid path)
+  | Forall (path, e) -> List.for_all (fun o -> eval db o e) (objects_at db oid path)
+
+let rec indexable = function
+  | Cmp (Eq, [ attr ], (Value.Int _ | Value.Str _ | Value.Bool _ | Value.Float _ as v))
+    ->
+      Some (attr, v)
+  | And es -> List.find_map indexable es
+  | Const _ | Cmp _ | Refers _ | Has _ | In_class _ | Component_of _ | Or _ | Not _
+  | Exists _ | Forall _ ->
+      None

@@ -1,0 +1,48 @@
+(** Query predicates over objects and composite paths.
+
+    ORION ([BANE87a]) evaluates queries against a class with predicates
+    that may traverse nested attributes; here a {e path} is a sequence
+    of attribute names followed from the candidate object, fanning out
+    through set values and resolving dynamic bindings through default
+    versions.  Comparisons over a path hold when {e some} resolved
+    value satisfies them (existential semantics); [Forall] provides the
+    universal form. *)
+
+open Orion_core
+
+type comparison = Eq | Neq | Lt | Le | Gt | Ge
+
+type path = string list
+
+type t =
+  | Const of bool
+  | Cmp of comparison * path * Value.t
+      (** some value reached by the path compares as given; only
+          same-constructor primitive comparisons hold (no coercion) *)
+  | Refers of path * Oid.t  (** some reached reference is this object *)
+  | Has of path  (** the path reaches at least one non-null value *)
+  | In_class of path * string
+      (** some reached object is an instance of the class (subclasses
+          included); the empty path tests the candidate itself *)
+  | Component_of of Oid.t  (** the candidate is part of that object *)
+  | And of t list
+  | Or of t list
+  | Not of t
+  | Exists of path * t
+      (** some object reached by the path satisfies the sub-predicate *)
+  | Forall of path * t
+      (** every object reached by the path does (vacuously true) *)
+
+val pp : Format.formatter -> t -> unit
+
+val resolve_path : Database.t -> Oid.t -> path -> Value.t list
+(** Leaf values reached from the object: follows references between
+    steps (through default versions for dynamic bindings), flattens
+    sets, skips dangling references and missing attributes. *)
+
+val eval : Database.t -> Oid.t -> t -> bool
+
+val indexable : t -> (string * Value.t) option
+(** [Some (attr, v)] when the predicate (or one conjunct of a top-level
+    [And]) is an equality on a single-step path against a primitive
+    value — the case an attribute index can serve. *)

@@ -1,0 +1,114 @@
+open Orion_core
+module Schema = Orion_schema.Schema
+
+type t = {
+  db : Database.t;
+  cls : string;
+  attr : string;
+  buckets : (Value.t, Oid.Set.t ref) Hashtbl.t;
+  postings : Value.t list Oid.Tbl.t;  (* reverse map for removal *)
+  subscription : Database.subscription option ref;
+}
+
+let cls t = t.cls
+
+let attr t = t.attr
+
+let leaf_values v =
+  let rec go v acc =
+    match v with
+    | Value.VSet vs -> List.fold_left (fun acc v -> go v acc) acc vs
+    | Value.Null -> acc
+    | other -> other :: acc
+  in
+  go v []
+
+let covered t oid =
+  match Database.find t.db oid with
+  | None -> false
+  | Some inst ->
+      (not (Instance.is_generic inst))
+      && Schema.mem (Database.schema t.db) t.cls
+      && Schema.is_subclass_of (Database.schema t.db) ~sub:inst.Instance.cls
+           ~super:t.cls
+
+let bucket t v =
+  match Hashtbl.find_opt t.buckets v with
+  | Some b -> b
+  | None ->
+      let b = ref Oid.Set.empty in
+      Hashtbl.replace t.buckets v b;
+      b
+
+let unpost t oid =
+  match Oid.Tbl.find_opt t.postings oid with
+  | None -> ()
+  | Some values ->
+      List.iter
+        (fun v ->
+          match Hashtbl.find_opt t.buckets v with
+          | Some b ->
+              b := Oid.Set.remove oid !b;
+              if Oid.Set.is_empty !b then Hashtbl.remove t.buckets v
+          | None -> ())
+        values;
+      Oid.Tbl.remove t.postings oid
+
+let post t oid value =
+  let leaves = leaf_values value in
+  List.iter (fun v -> (bucket t v) := Oid.Set.add oid !(bucket t v)) leaves;
+  Oid.Tbl.replace t.postings oid leaves
+
+let index_object t (inst : Instance.t) =
+  if covered t inst.oid then
+    match Instance.attr inst t.attr with
+    | Some v -> post t inst.oid v
+    | None -> ()
+
+let rebuild t =
+  Hashtbl.reset t.buckets;
+  Oid.Tbl.reset t.postings;
+  Database.iter t.db (fun inst -> index_object t inst)
+
+let on_event t = function
+  | Database.Created oid -> (
+      match Database.find t.db oid with
+      | Some inst -> index_object t inst
+      | None -> ())
+  | Database.Deleted oid -> unpost t oid
+  | Database.Attr_written { oid; attr; after; _ } ->
+      if String.equal attr t.attr && covered t oid then begin
+        unpost t oid;
+        post t oid after
+      end
+  | Database.Invalidated -> rebuild t
+
+let create db ~cls ~attr =
+  let t =
+    {
+      db;
+      cls;
+      attr;
+      buckets = Hashtbl.create 256;
+      postings = Oid.Tbl.create 256;
+      subscription = ref None;
+    }
+  in
+  rebuild t;
+  t.subscription := Some (Database.subscribe db (on_event t));
+  t
+
+let lookup t v =
+  match Hashtbl.find_opt t.buckets v with
+  | Some b -> Oid.Set.elements !b
+  | None -> []
+
+let entry_count t =
+  Hashtbl.fold (fun _ b acc -> acc + Oid.Set.cardinal !b) t.buckets 0
+
+let drop t =
+  match !(t.subscription) with
+  | Some s ->
+      Database.unsubscribe t.db s;
+      t.subscription := None
+  | None -> ()

@@ -1,0 +1,29 @@
+(** Attribute indexes.
+
+    An index on [(cls, attr)] maps every leaf value of that attribute
+    (set members individually) to the instances of [cls] — subclasses
+    included — holding it.  The index subscribes to the database's
+    change events and stays consistent through creation, deletion,
+    attribute writes and transaction rollback ([Invalidated] triggers a
+    rebuild). *)
+
+open Orion_core
+
+type t
+
+val create : Database.t -> cls:string -> attr:string -> t
+(** Builds the index from the current extension and installs the
+    maintenance subscription. *)
+
+val cls : t -> string
+val attr : t -> string
+
+val lookup : t -> Value.t -> Oid.t list
+(** Instances whose attribute holds the value (sorted). *)
+
+val entry_count : t -> int
+(** Total (value, oid) postings. *)
+
+val drop : t -> unit
+(** Remove the maintenance subscription; the index must not be used
+    afterwards. *)

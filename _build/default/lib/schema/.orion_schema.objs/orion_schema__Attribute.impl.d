@@ -1,0 +1,1 @@
+lib/schema/attribute.ml: Domain Format

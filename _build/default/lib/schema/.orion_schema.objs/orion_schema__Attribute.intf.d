@@ -1,0 +1,1 @@
+lib/schema/attribute.mli: Domain Format

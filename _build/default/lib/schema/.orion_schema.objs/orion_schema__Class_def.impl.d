@@ -1,0 +1,1 @@
+lib/schema/class_def.ml: Attribute Format List String

@@ -1,0 +1,1 @@
+lib/schema/domain.ml: Format String

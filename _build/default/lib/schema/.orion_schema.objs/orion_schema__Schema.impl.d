@@ -1,0 +1,1 @@
+lib/schema/schema.ml: Attribute Class_def Domain Format Hashtbl List Option String

@@ -1,0 +1,44 @@
+type reference_kind =
+  | Weak
+  | Composite of { exclusive : bool; dependent : bool }
+
+type collection = Single | Set
+
+type t = {
+  name : string;
+  domain : Domain.t;
+  collection : collection;
+  refkind : reference_kind;
+  source : string option;
+}
+
+let make ?(collection = Single) ?(refkind = Weak) ?source ~name ~domain () =
+  { name; domain; collection; refkind; source }
+
+let composite ?(dependent = true) ?(exclusive = true) () =
+  Composite { exclusive; dependent }
+
+let is_composite t = match t.refkind with Composite _ -> true | Weak -> false
+
+let is_exclusive t =
+  match t.refkind with Composite { exclusive; _ } -> exclusive | Weak -> false
+
+let is_shared t =
+  match t.refkind with
+  | Composite { exclusive; _ } -> not exclusive
+  | Weak -> false
+
+let is_dependent t =
+  match t.refkind with Composite { dependent; _ } -> dependent | Weak -> false
+
+let pp_refkind ppf = function
+  | Weak -> Format.pp_print_string ppf "weak"
+  | Composite { exclusive; dependent } ->
+      Format.fprintf ppf "%s %s composite"
+        (if dependent then "dependent" else "independent")
+        (if exclusive then "exclusive" else "shared")
+
+let pp ppf t =
+  Format.fprintf ppf "%s : %s%a [%a]" t.name
+    (match t.collection with Single -> "" | Set -> "set-of ")
+    Domain.pp t.domain pp_refkind t.refkind

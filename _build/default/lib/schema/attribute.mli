@@ -1,0 +1,49 @@
+(** Attribute specifications.
+
+    §2.1 distinguishes five reference types between a pair of objects;
+    which of them an attribute carries is declared on the attribute
+    (§2.3): [:composite], [:exclusive] and [:dependent], the latter two
+    defaulting to [true] for compatibility with the [KIM87b] model
+    (whose only composite reference was the dependent exclusive one). *)
+
+type reference_kind =
+  | Weak  (** the plain object reference, no IS-PART-OF semantics *)
+  | Composite of { exclusive : bool; dependent : bool }
+
+type collection = Single | Set  (** [Set] renders the paper's [set-of] domains *)
+
+type t = {
+  name : string;
+  domain : Domain.t;
+  collection : collection;
+  refkind : reference_kind;
+  source : string option;
+      (** class that introduced the attribute, when inherited *)
+}
+
+val make :
+  ?collection:collection ->
+  ?refkind:reference_kind ->
+  ?source:string ->
+  name:string ->
+  domain:Domain.t ->
+  unit ->
+  t
+(** Defaults: [Single], [Weak]. *)
+
+val composite : ?dependent:bool -> ?exclusive:bool -> unit -> reference_kind
+(** Composite reference with the paper's defaults
+    ([exclusive = true], [dependent = true]). *)
+
+val is_composite : t -> bool
+val is_exclusive : t -> bool
+(** [false] for weak attributes. *)
+
+val is_shared : t -> bool
+(** Composite and not exclusive. *)
+
+val is_dependent : t -> bool
+(** [false] for weak attributes. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_refkind : Format.formatter -> reference_kind -> unit

@@ -1,0 +1,21 @@
+type t = {
+  name : string;
+  mutable superclasses : string list;
+  mutable own_attributes : Attribute.t list;
+  versionable : bool;
+  segment : int;
+}
+
+let own_attribute t name =
+  List.find_opt (fun (a : Attribute.t) -> String.equal a.name name) t.own_attributes
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>(class %s%s :segment %d%s%a)@]" t.name
+    (match t.superclasses with
+    | [] -> ""
+    | supers -> " :superclasses (" ^ String.concat " " supers ^ ")")
+    t.segment
+    (if t.versionable then " :versionable" else "")
+    (fun ppf attrs ->
+      List.iter (fun a -> Format.fprintf ppf "@,%a" Attribute.pp a) attrs)
+    t.own_attributes

@@ -1,0 +1,19 @@
+(** Class definitions.
+
+    Fields are mutable because schema evolution (§4) changes live
+    classes; all mutation must go through {!Schema} (and
+    [Orion_evolution]) so that indexes, caches and instance-level
+    semantics stay consistent. *)
+
+type t = {
+  name : string;
+  mutable superclasses : string list;
+  mutable own_attributes : Attribute.t list;
+  versionable : bool;
+      (** §5.1: instances of a versionable class are versionable objects *)
+  segment : int;  (** physical clustering segment (shared across classes) *)
+}
+
+val own_attribute : t -> string -> Attribute.t option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+type primitive = P_integer | P_float | P_string | P_boolean
+
+type t = Primitive of primitive | Class of string | Any
+
+let equal a b =
+  match (a, b) with
+  | Primitive x, Primitive y -> x = y
+  | Class x, Class y -> String.equal x y
+  | Any, Any -> true
+  | (Primitive _ | Class _ | Any), _ -> false
+
+let pp ppf = function
+  | Primitive P_integer -> Format.pp_print_string ppf "integer"
+  | Primitive P_float -> Format.pp_print_string ppf "float"
+  | Primitive P_string -> Format.pp_print_string ppf "string"
+  | Primitive P_boolean -> Format.pp_print_string ppf "boolean"
+  | Class c -> Format.pp_print_string ppf c
+  | Any -> Format.pp_print_string ppf "any"
+
+let to_string t = Format.asprintf "%a" pp t
+
+let class_name = function Class c -> Some c | Primitive _ | Any -> None

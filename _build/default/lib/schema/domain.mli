@@ -1,0 +1,22 @@
+(** Attribute domains.
+
+    "The values of an attribute of a class C' are instances of a class
+    C; the class C is the domain of the attribute" (§2.1).  Primitive
+    classes (integer, string, …) have no attributes; any other domain
+    names a user-defined class, resolved by name against the schema so
+    classes may reference classes defined later (bottom-up or mutually
+    recursive schemas). *)
+
+type primitive = P_integer | P_float | P_string | P_boolean
+
+type t =
+  | Primitive of primitive
+  | Class of string  (** by class name; resolved against {!Schema.t} *)
+  | Any  (** unconstrained, for untyped attributes *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val class_name : t -> string option
+(** [Some c] when the domain is the user-defined class [c]. *)

@@ -1,0 +1,358 @@
+type error =
+  | Unknown_class of string
+  | Duplicate_class of string
+  | Unknown_attribute of { cls : string; attr : string }
+  | Duplicate_attribute of { cls : string; attr : string }
+  | Lattice_cycle of string list
+  | Invalid_attribute of { cls : string; attr : string; reason : string }
+  | Not_a_superclass of { cls : string; super : string }
+
+exception Error of error
+
+let pp_error ppf = function
+  | Unknown_class c -> Format.fprintf ppf "unknown class %s" c
+  | Duplicate_class c -> Format.fprintf ppf "class %s already defined" c
+  | Unknown_attribute { cls; attr } ->
+      Format.fprintf ppf "class %s has no attribute %s" cls attr
+  | Duplicate_attribute { cls; attr } ->
+      Format.fprintf ppf "class %s: duplicate attribute %s" cls attr
+  | Lattice_cycle path ->
+      Format.fprintf ppf "class lattice cycle: %s" (String.concat " -> " path)
+  | Invalid_attribute { cls; attr; reason } ->
+      Format.fprintf ppf "class %s, attribute %s: %s" cls attr reason
+  | Not_a_superclass { cls; super } ->
+      Format.fprintf ppf "%s is not a superclass of %s" super cls
+
+let error e = raise (Error e)
+
+type t = {
+  by_name : (string, Class_def.t) Hashtbl.t;
+  segments : (string, int) Hashtbl.t;  (* segment name -> id *)
+  mutable next_segment : int;
+  mutable version : int;
+}
+
+let create () =
+  { by_name = Hashtbl.create 32; segments = Hashtbl.create 32; next_segment = 0; version = 0 }
+
+let bump t = t.version <- t.version + 1
+
+let version t = t.version
+
+let find t name = Hashtbl.find_opt t.by_name name
+
+let find_exn t name =
+  match find t name with Some c -> c | None -> error (Unknown_class name)
+
+let mem t name = Hashtbl.mem t.by_name name
+
+let classes t =
+  Hashtbl.fold (fun _ c acc -> c :: acc) t.by_name []
+  |> List.sort (fun (a : Class_def.t) b -> String.compare a.name b.name)
+
+let segment_for t name =
+  match Hashtbl.find_opt t.segments name with
+  | Some id -> id
+  | None ->
+      let id = t.next_segment in
+      t.next_segment <- id + 1;
+      Hashtbl.replace t.segments name id;
+      id
+
+let segment_of_class t name = (find_exn t name).segment
+
+let segment_count t = t.next_segment
+
+let validate_attribute cls (a : Attribute.t) =
+  match (a.refkind, a.domain) with
+  | Attribute.Composite _, (Domain.Primitive _ | Domain.Any) ->
+      error
+        (Invalid_attribute
+           {
+             cls;
+             attr = a.name;
+             reason = "a composite attribute requires a class domain";
+           })
+  | (Attribute.Composite _ | Attribute.Weak), _ -> ()
+
+let check_duplicate_attrs cls attrs =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (a : Attribute.t) ->
+      if Hashtbl.mem seen a.name then
+        error (Duplicate_attribute { cls; attr = a.name });
+      Hashtbl.replace seen a.name ())
+    attrs
+
+let define t ?(superclasses = []) ?(versionable = false) ?segment ~name
+    ~attributes () =
+  if mem t name then error (Duplicate_class name);
+  List.iter (fun super -> ignore (find_exn t super : Class_def.t)) superclasses;
+  check_duplicate_attrs name attributes;
+  List.iter (validate_attribute name) attributes;
+  let segment_name = Option.value segment ~default:name in
+  let cls : Class_def.t =
+    {
+      name;
+      superclasses;
+      own_attributes = attributes;
+      versionable;
+      segment = segment_for t segment_name;
+    }
+  in
+  Hashtbl.replace t.by_name name cls;
+  bump t;
+  cls
+
+(* Lattice -------------------------------------------------------------- *)
+
+let superclasses t name = (find_exn t name).superclasses
+
+let all_superclasses t name =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec go cls =
+    List.iter
+      (fun super ->
+        if not (Hashtbl.mem seen super) then begin
+          Hashtbl.replace seen super ();
+          acc := super :: !acc;
+          go super
+        end)
+      (superclasses t cls)
+  in
+  go name;
+  List.rev !acc
+
+let subclasses t name =
+  ignore (find_exn t name : Class_def.t);
+  classes t
+  |> List.filter_map (fun (c : Class_def.t) ->
+         if List.exists (String.equal name) c.superclasses then Some c.name
+         else None)
+
+let all_subclasses t name =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec go cls =
+    List.iter
+      (fun sub ->
+        if not (Hashtbl.mem seen sub) then begin
+          Hashtbl.replace seen sub ();
+          acc := sub :: !acc;
+          go sub
+        end)
+      (subclasses t cls)
+  in
+  go name;
+  List.rev !acc
+
+let is_subclass_of t ~sub ~super =
+  String.equal sub super || List.exists (String.equal super) (all_superclasses t sub)
+
+(* Attributes ------------------------------------------------------------ *)
+
+let effective_attributes t name =
+  let cls = find_exn t name in
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let add (a : Attribute.t) =
+    if not (Hashtbl.mem seen a.name) then begin
+      Hashtbl.replace seen a.name ();
+      acc := a :: !acc
+    end
+  in
+  List.iter add cls.own_attributes;
+  (* Superclass order resolves conflicts: first superclass wins. *)
+  let rec inherit_from super_name =
+    let super = find_exn t super_name in
+    List.iter
+      (fun (a : Attribute.t) ->
+        add { a with source = Some (Option.value a.source ~default:super_name) })
+      super.own_attributes;
+    List.iter inherit_from super.superclasses
+  in
+  List.iter inherit_from cls.superclasses;
+  List.rev !acc
+
+let attribute t cls attr =
+  List.find_opt
+    (fun (a : Attribute.t) -> String.equal a.name attr)
+    (effective_attributes t cls)
+
+let attribute_exn t cls attr =
+  match attribute t cls attr with
+  | Some a -> a
+  | None -> error (Unknown_attribute { cls; attr })
+
+let referencing_attributes t cls =
+  ignore (find_exn t cls : Class_def.t);
+  classes t
+  |> List.concat_map (fun (c : Class_def.t) ->
+         effective_attributes t c.name
+         |> List.filter_map (fun (a : Attribute.t) ->
+                match a.source with
+                | Some _ -> None (* count each attribute once, at its definer *)
+                | None ->
+                    if Domain.equal a.domain (Domain.Class cls) then Some (c, a)
+                    else None))
+
+(* Predicates ------------------------------------------------------------ *)
+
+let predicate t cls ?attr ~test () =
+  match attr with
+  | Some attr -> test (attribute_exn t cls attr)
+  | None -> List.exists test (effective_attributes t cls)
+
+let compositep t cls ?attr () = predicate t cls ?attr ~test:Attribute.is_composite ()
+
+let exclusive_compositep t cls ?attr () =
+  predicate t cls ?attr ~test:Attribute.is_exclusive ()
+
+let shared_compositep t cls ?attr () = predicate t cls ?attr ~test:Attribute.is_shared ()
+
+let dependent_compositep t cls ?attr () =
+  predicate t cls ?attr ~test:Attribute.is_dependent ()
+
+(* Composite class hierarchy ---------------------------------------------- *)
+
+type component_class = { component : string; via : [ `Exclusive | `Shared ] }
+
+let composite_class_hierarchy t root =
+  ignore (find_exn t root : Class_def.t);
+  let seen = Hashtbl.create 16 in (* (class, via) pairs *)
+  let acc = ref [] in
+  let rec visit cls_name =
+    List.iter
+      (fun (a : Attribute.t) ->
+        match (a.refkind, Domain.class_name a.domain) with
+        | Attribute.Composite { exclusive; _ }, Some domain_cls
+          when mem t domain_cls ->
+            let via = if exclusive then `Exclusive else `Shared in
+            let targets = domain_cls :: all_subclasses t domain_cls in
+            List.iter
+              (fun target ->
+                if not (Hashtbl.mem seen (target, via)) then begin
+                  Hashtbl.replace seen (target, via) ();
+                  acc := { component = target; via } :: !acc;
+                  visit target
+                end)
+              targets
+        | (Attribute.Composite _ | Attribute.Weak), _ -> ())
+      (effective_attributes t cls_name)
+  in
+  visit root;
+  List.rev !acc
+
+(* Export / import --------------------------------------------------------- *)
+
+type exported = {
+  x_classes : (string * string list * bool * int * Attribute.t list) list;
+  x_segments : (string * int) list;
+  x_next_segment : int;
+}
+
+let export t =
+  (* Topological order: superclasses before subclasses, so import can
+     replay through [define]-like validation. *)
+  let emitted = Hashtbl.create 16 in
+  let ordered = ref [] in
+  let rec visit (c : Class_def.t) =
+    if not (Hashtbl.mem emitted c.name) then begin
+      Hashtbl.replace emitted c.name ();
+      List.iter (fun super -> visit (find_exn t super)) c.superclasses;
+      ordered := c :: !ordered
+    end
+  in
+  List.iter visit (classes t);
+  {
+    x_classes =
+      List.rev_map
+        (fun (c : Class_def.t) ->
+          (c.name, c.superclasses, c.versionable, c.segment, c.own_attributes))
+        !ordered;
+    x_segments = Hashtbl.fold (fun name id acc -> (name, id) :: acc) t.segments [];
+    x_next_segment = t.next_segment;
+  }
+
+let import_into t exported =
+  List.iter (fun (name, id) -> Hashtbl.replace t.segments name id) exported.x_segments;
+  t.next_segment <- max t.next_segment exported.x_next_segment;
+  List.iter
+    (fun (name, superclasses, versionable, segment, own_attributes) ->
+      if mem t name then error (Duplicate_class name);
+      List.iter (fun super -> ignore (find_exn t super : Class_def.t)) superclasses;
+      check_duplicate_attrs name own_attributes;
+      List.iter (validate_attribute name) own_attributes;
+      Hashtbl.replace t.by_name name
+        { Class_def.name; superclasses; own_attributes; versionable; segment };
+      bump t)
+    exported.x_classes
+
+(* Mutators --------------------------------------------------------------- *)
+
+let add_attribute t ~cls attr =
+  let c = find_exn t cls in
+  if Class_def.own_attribute c attr.Attribute.name <> None then
+    error (Duplicate_attribute { cls; attr = attr.Attribute.name });
+  validate_attribute cls attr;
+  c.own_attributes <- c.own_attributes @ [ attr ];
+  bump t
+
+let drop_attribute t ~cls ~attr =
+  let c = find_exn t cls in
+  match Class_def.own_attribute c attr with
+  | None -> error (Unknown_attribute { cls; attr })
+  | Some a ->
+      c.own_attributes <-
+        List.filter (fun (x : Attribute.t) -> not (String.equal x.name attr)) c.own_attributes;
+      bump t;
+      a
+
+let replace_attribute t ~cls (attr : Attribute.t) =
+  let c = find_exn t cls in
+  if Class_def.own_attribute c attr.name = None then
+    error (Unknown_attribute { cls; attr = attr.name });
+  validate_attribute cls attr;
+  c.own_attributes <-
+    List.map
+      (fun (x : Attribute.t) -> if String.equal x.name attr.name then attr else x)
+      c.own_attributes;
+  bump t
+
+let add_superclass t ~cls ~super =
+  let c = find_exn t cls in
+  ignore (find_exn t super : Class_def.t);
+  if is_subclass_of t ~sub:super ~super:cls then
+    error (Lattice_cycle [ cls; super; cls ]);
+  if not (List.exists (String.equal super) c.superclasses) then begin
+    c.superclasses <- c.superclasses @ [ super ];
+    bump t
+  end
+
+let drop_superclass t ~cls ~super =
+  let c = find_exn t cls in
+  if not (List.exists (String.equal super) c.superclasses) then
+    error (Not_a_superclass { cls; super });
+  c.superclasses <- List.filter (fun s -> not (String.equal s super)) c.superclasses;
+  bump t
+
+let drop_class t name =
+  let c = find_exn t name in
+  let subs = subclasses t name in
+  (* §4.1(4): subclasses of C become immediate subclasses of C's
+     superclasses. *)
+  List.iter
+    (fun sub_name ->
+      let sub = find_exn t sub_name in
+      let without = List.filter (fun s -> not (String.equal s name)) sub.superclasses in
+      let inheriting =
+        List.filter
+          (fun super -> not (List.exists (String.equal super) without))
+          c.superclasses
+      in
+      sub.superclasses <- without @ inheriting)
+    subs;
+  Hashtbl.remove t.by_name name;
+  bump t;
+  c

@@ -1,0 +1,133 @@
+(** The schema catalog: classes, the class lattice, attribute
+    inheritance, and the class-level predicates of §3.2.
+
+    The lattice supports multiple inheritance; name conflicts among
+    inherited attributes resolve in superclass order (first superclass
+    wins), and an own attribute overrides any inherited one — the
+    [BANE87a] ORION rule. *)
+
+type t
+
+type error =
+  | Unknown_class of string
+  | Duplicate_class of string
+  | Unknown_attribute of { cls : string; attr : string }
+  | Duplicate_attribute of { cls : string; attr : string }
+  | Lattice_cycle of string list
+  | Invalid_attribute of { cls : string; attr : string; reason : string }
+  | Not_a_superclass of { cls : string; super : string }
+
+exception Error of error
+
+val pp_error : Format.formatter -> error -> unit
+
+val create : unit -> t
+
+val define :
+  t ->
+  ?superclasses:string list ->
+  ?versionable:bool ->
+  ?segment:string ->
+  name:string ->
+  attributes:Attribute.t list ->
+  unit ->
+  Class_def.t
+(** Define a class.  Superclasses must already exist; attribute domains
+    may reference classes defined later.  [?segment] names a clustering
+    segment — classes naming the same segment share pages (§2.3);
+    default: a fresh segment per class.
+    @raise Error on duplicate class / attribute, unknown superclass or
+    composite attribute with a primitive domain. *)
+
+val find : t -> string -> Class_def.t option
+val find_exn : t -> string -> Class_def.t
+val mem : t -> string -> bool
+val classes : t -> Class_def.t list
+val segment_of_class : t -> string -> int
+val segment_count : t -> int
+
+val version : t -> int
+(** Monotone counter bumped by every schema mutation (used by caches
+    and by the deferred-evolution machinery). *)
+
+(** {1 Lattice} *)
+
+val superclasses : t -> string -> string list
+val all_superclasses : t -> string -> string list
+(** Transitive, without [cls] itself, in DFS order. *)
+
+val subclasses : t -> string -> string list
+val all_subclasses : t -> string -> string list
+val is_subclass_of : t -> sub:string -> super:string -> bool
+(** Reflexive. *)
+
+(** {1 Attributes} *)
+
+val effective_attributes : t -> string -> Attribute.t list
+(** Own attributes plus inherited ones after conflict resolution.
+    Inherited attributes carry [source = Some defining_class]. *)
+
+val attribute : t -> string -> string -> Attribute.t option
+val attribute_exn : t -> string -> string -> Attribute.t
+
+val referencing_attributes : t -> string -> (Class_def.t * Attribute.t) list
+(** All [(c', a)] such that attribute [a] of class [c'] has domain
+    [cls] (exactly; no subclass expansion). *)
+
+(** {1 Predicates (§3.2)} *)
+
+val compositep : t -> string -> ?attr:string -> unit -> bool
+(** With [?attr]: does that (effective) attribute carry a composite
+    reference.  Without: does the class have at least one. *)
+
+val exclusive_compositep : t -> string -> ?attr:string -> unit -> bool
+val shared_compositep : t -> string -> ?attr:string -> unit -> bool
+val dependent_compositep : t -> string -> ?attr:string -> unit -> bool
+
+(** {1 Composite class hierarchy (§2.1, §7)} *)
+
+type component_class = {
+  component : string;
+  via : [ `Exclusive | `Shared ];
+      (** the nature of (some) composite reference path reaching it *)
+}
+
+val composite_class_hierarchy : t -> string -> component_class list
+(** Component classes reachable from [root] through composite
+    attributes, transitively, each tagged by the reference nature by
+    which it is reached; a class reachable both ways appears twice.
+    Domain classes are expanded with their subclasses (an attribute of
+    domain C may hold instances of any subclass of C). *)
+
+(** {1 Export / import (database save and load)} *)
+
+type exported = {
+  x_classes :
+    (string * string list * bool * int * Attribute.t list) list;
+      (** name, superclasses, versionable, segment, own attributes —
+          in definition-compatible order (superclasses first) *)
+  x_segments : (string * int) list;
+  x_next_segment : int;
+}
+
+val export : t -> exported
+
+val import_into : t -> exported -> unit
+(** Populate an empty schema from an export.
+    @raise Error if the schema already defines one of the classes. *)
+
+(** {1 Mutators (used by Orion_evolution)} *)
+
+val add_attribute : t -> cls:string -> Attribute.t -> unit
+val drop_attribute : t -> cls:string -> attr:string -> Attribute.t
+(** Returns the dropped attribute.  Fails on inherited (non-own)
+    attributes: drop them in the defining class. *)
+
+val replace_attribute : t -> cls:string -> Attribute.t -> unit
+(** Replace the own attribute of the same name. *)
+
+val add_superclass : t -> cls:string -> super:string -> unit
+val drop_superclass : t -> cls:string -> super:string -> unit
+val drop_class : t -> string -> Class_def.t
+(** Removes the class; its subclasses become immediate subclasses of
+    its superclasses (§4.1 item 4).  Returns the dropped definition. *)

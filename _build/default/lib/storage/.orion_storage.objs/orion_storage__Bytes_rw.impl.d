@@ -1,0 +1,1 @@
+lib/storage/bytes_rw.ml: Buffer Bytes Char Int64 String

@@ -1,0 +1,1 @@
+lib/storage/bytes_rw.mli:

@@ -1,0 +1,1 @@
+lib/storage/store.ml: Buffer Buffer_pool Bytes Bytes_rw Disk Fun Hashtbl Int Int32 List Option Page Printf

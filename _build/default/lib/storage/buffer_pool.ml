@@ -1,0 +1,83 @@
+type frame = { page : Page.t; mutable dirty : bool; mutable last_use : int }
+
+type t = {
+  disk : Disk.t;
+  capacity : int;
+  frames : (int, frame) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int }
+
+let create ~capacity disk =
+  if capacity < 1 then invalid_arg "Buffer_pool.create: capacity < 1";
+  {
+    disk;
+    capacity;
+    frames = Hashtbl.create (2 * capacity);
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let write_back t page_no frame =
+  if frame.dirty then begin
+    Disk.write t.disk page_no (Page.image frame.page);
+    frame.dirty <- false
+  end
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun page_no frame acc ->
+        match acc with
+        | Some (_, best) when best.last_use <= frame.last_use -> acc
+        | _ -> Some (page_no, frame))
+      t.frames None
+  in
+  match victim with
+  | None -> ()
+  | Some (page_no, frame) ->
+      write_back t page_no frame;
+      Hashtbl.remove t.frames page_no;
+      t.evictions <- t.evictions + 1
+
+let get t page_no =
+  match Hashtbl.find_opt t.frames page_no with
+  | Some frame ->
+      t.hits <- t.hits + 1;
+      frame.last_use <- tick t;
+      frame.page
+  | None ->
+      t.misses <- t.misses + 1;
+      if Hashtbl.length t.frames >= t.capacity then evict_lru t;
+      let page = Page.wrap (Disk.read t.disk page_no) in
+      let frame = { page; dirty = false; last_use = tick t } in
+      Hashtbl.replace t.frames page_no frame;
+      page
+
+let mark_dirty t page_no =
+  match Hashtbl.find_opt t.frames page_no with
+  | Some frame -> frame.dirty <- true
+  | None -> invalid_arg "Buffer_pool.mark_dirty: page not resident"
+
+let flush t = Hashtbl.iter (fun page_no frame -> write_back t page_no frame) t.frames
+
+let drop_all t =
+  flush t;
+  Hashtbl.reset t.frames
+
+let stats (t : t) = { hits = t.hits; misses = t.misses; evictions = t.evictions }
+
+let reset_stats (t : t) =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0

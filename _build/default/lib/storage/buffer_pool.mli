@@ -1,0 +1,29 @@
+(** LRU buffer pool over the simulated {!Disk}.
+
+    All page traffic in {!Store} flows through a pool, so the hit/miss
+    counters directly expose how physical clustering changes the number
+    of page fetches of a composite-object traversal (experiment P5). *)
+
+type t
+
+type stats = { hits : int; misses : int; evictions : int }
+
+val create : capacity:int -> Disk.t -> t
+(** [capacity] is the number of resident page frames (>= 1). *)
+
+val get : t -> int -> Page.t
+(** Pin-free access: returns the resident page, fetching and possibly
+    evicting (write-back) on a miss.  The returned page aliases the
+    frame; call {!mark_dirty} after mutating it. *)
+
+val mark_dirty : t -> int -> unit
+
+val flush : t -> unit
+(** Write back every dirty frame. *)
+
+val drop_all : t -> unit
+(** Write back and empty the pool (used to measure cold traversals). *)
+
+val stats : t -> stats
+
+val reset_stats : t -> unit

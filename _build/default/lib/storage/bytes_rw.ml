@@ -1,0 +1,78 @@
+module Writer = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 64
+
+  let contents t = Buffer.to_bytes t
+
+  let u8 t v = Buffer.add_char t (Char.chr (v land 0xff))
+
+  let uvarint t v =
+    let rec go v =
+      if v land lnot 0x7f = 0 then u8 t v
+      else begin
+        u8 t ((v land 0x7f) lor 0x80);
+        go (v lsr 7)
+      end
+    in
+    go v
+
+  (* Zig-zag: OCaml ints are 63-bit, so [v asr 62] is the sign mask. *)
+  let int t v = uvarint t ((v lsl 1) lxor (v asr 62))
+
+  let float t v =
+    let bits = Int64.bits_of_float v in
+    for i = 0 to 7 do
+      u8 t (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff)
+    done
+
+  let string t s =
+    uvarint t (String.length s);
+    Buffer.add_string t s
+
+  let bool t b = u8 t (if b then 1 else 0)
+end
+
+module Reader = struct
+  type t = { src : bytes; mutable pos : int }
+
+  exception Corrupt of string
+
+  let of_bytes src = { src; pos = 0 }
+
+  let at_end t = t.pos >= Bytes.length t.src
+
+  let u8 t =
+    if at_end t then raise (Corrupt "unexpected end of record");
+    let v = Char.code (Bytes.get t.src t.pos) in
+    t.pos <- t.pos + 1;
+    v
+
+  let uvarint t =
+    let rec go shift acc =
+      let b = u8 t in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let int t =
+    let encoded = uvarint t in
+    (encoded lsr 1) lxor (-(encoded land 1))
+
+  let float t =
+    let bits = ref 0L in
+    for i = 0 to 7 do
+      bits := Int64.logor !bits (Int64.shift_left (Int64.of_int (u8 t)) (8 * i))
+    done;
+    Int64.float_of_bits !bits
+
+  let string t =
+    let len = uvarint t in
+    if t.pos + len > Bytes.length t.src then raise (Corrupt "string overruns record");
+    let s = Bytes.sub_string t.src t.pos len in
+    t.pos <- t.pos + len;
+    s
+
+  let bool t = u8 t <> 0
+end

@@ -1,0 +1,33 @@
+(** Binary encoding primitives used by the object serializer.
+
+    Integers use zig-zag varint encoding; strings are length-prefixed;
+    floats are stored as their 64-bit IEEE image. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+  val contents : t -> bytes
+  val u8 : t -> int -> unit
+
+  val int : t -> int -> unit
+  (** Zig-zag varint over the full [int] range. *)
+
+  val float : t -> float -> unit
+  val string : t -> string -> unit
+  val bool : t -> bool -> unit
+end
+
+module Reader : sig
+  type t
+
+  exception Corrupt of string
+
+  val of_bytes : bytes -> t
+  val at_end : t -> bool
+  val u8 : t -> int
+  val int : t -> int
+  val float : t -> float
+  val string : t -> string
+  val bool : t -> bool
+end

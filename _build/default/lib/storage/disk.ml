@@ -1,0 +1,42 @@
+type t = {
+  page_size : int;
+  pages : (int, bytes) Hashtbl.t;
+  mutable next_page : int;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+type stats = { reads : int; writes : int; allocated : int }
+
+let create ~page_size =
+  if page_size < 64 then invalid_arg "Disk.create: page_size too small";
+  { page_size; pages = Hashtbl.create 256; next_page = 0; reads = 0; writes = 0 }
+
+let page_size t = t.page_size
+
+let alloc t =
+  let page_no = t.next_page in
+  t.next_page <- t.next_page + 1;
+  Hashtbl.replace t.pages page_no (Bytes.make t.page_size '\000');
+  page_no
+
+let read t page_no =
+  match Hashtbl.find_opt t.pages page_no with
+  | None -> invalid_arg (Printf.sprintf "Disk.read: unallocated page %d" page_no)
+  | Some image ->
+      t.reads <- t.reads + 1;
+      Bytes.copy image
+
+let write t page_no image =
+  if Bytes.length image <> t.page_size then
+    invalid_arg "Disk.write: image size mismatch";
+  if not (Hashtbl.mem t.pages page_no) then
+    invalid_arg (Printf.sprintf "Disk.write: unallocated page %d" page_no);
+  t.writes <- t.writes + 1;
+  Hashtbl.replace t.pages page_no (Bytes.copy image)
+
+let stats (t : t) = { reads = t.reads; writes = t.writes; allocated = t.next_page }
+
+let reset_stats (t : t) =
+  t.reads <- 0;
+  t.writes <- 0

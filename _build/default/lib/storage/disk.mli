@@ -1,0 +1,30 @@
+(** Simulated disk.
+
+    The paper's ORION prototype ran against a page server; we are
+    laptop-scale, so the "disk" is an in-memory map from page number to
+    page image, instrumented with read/write counters.  All I/O-cost
+    observations in the benchmarks (physical clustering, cold composite
+    traversals) are expressed in these counters, which is exactly the
+    quantity the paper's clustering argument is about. *)
+
+type t
+
+type stats = { reads : int; writes : int; allocated : int }
+
+val create : page_size:int -> t
+
+val page_size : t -> int
+
+val alloc : t -> int
+(** Allocate a fresh zeroed page; returns its page number. *)
+
+val read : t -> int -> bytes
+(** Fetch a copy of the page image (counted as one physical read). *)
+
+val write : t -> int -> bytes -> unit
+(** Store a page image (counted as one physical write).
+    @raise Invalid_argument if the image size differs from [page_size]. *)
+
+val stats : t -> stats
+
+val reset_stats : t -> unit

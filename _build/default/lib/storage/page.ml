@@ -1,0 +1,118 @@
+(* Layout:
+     bytes 0..1   nslots (u16)
+     bytes 2..3   free_off (u16), first unused byte above the records
+     records      [len:u16][payload], each reserving [cap] bytes in total
+     directory    4 bytes per slot at the page tail, slot 0 last:
+                  [off:u16][capword:u16], dead flag = high bit of capword.
+   Capacities are remembered across delete so dead slots can be reused by a
+   later insert of a record that fits. *)
+
+type t = bytes
+
+let header_size = 4
+let entry_size = 4
+let dead_bit = 0x8000
+
+let wrap image = image
+
+let init image =
+  Bytes.fill image 0 (Bytes.length image) '\000';
+  Bytes.set_uint16_le image 0 0;
+  Bytes.set_uint16_le image 2 header_size;
+  image
+
+let image t = t
+
+let slot_count t = Bytes.get_uint16_le t 0
+
+let free_off t = Bytes.get_uint16_le t 2
+
+let set_slot_count t n = Bytes.set_uint16_le t 0 n
+
+let set_free_off t off = Bytes.set_uint16_le t 2 off
+
+let entry_pos t slot = Bytes.length t - (entry_size * (slot + 1))
+
+let entry t slot =
+  let pos = entry_pos t slot in
+  let off = Bytes.get_uint16_le t pos in
+  let capword = Bytes.get_uint16_le t (pos + 2) in
+  (off, capword land lnot dead_bit, capword land dead_bit <> 0)
+
+let set_entry t slot ~off ~cap ~dead =
+  let pos = entry_pos t slot in
+  Bytes.set_uint16_le t pos off;
+  Bytes.set_uint16_le t (pos + 2) (if dead then cap lor dead_bit else cap)
+
+let live_slots t =
+  let n = slot_count t in
+  let rec go slot acc =
+    if slot < 0 then acc
+    else
+      let _, _, dead = entry t slot in
+      go (slot - 1) (if dead then acc else slot :: acc)
+  in
+  go (n - 1) []
+
+let dir_start t = Bytes.length t - (entry_size * slot_count t)
+
+let free_space t = max 0 (dir_start t - free_off t - entry_size - 2)
+
+let write_record t ~off record =
+  Bytes.set_uint16_le t off (Bytes.length record);
+  Bytes.blit record 0 t (off + 2) (Bytes.length record)
+
+let find_dead_fit t need =
+  let n = slot_count t in
+  let rec go slot =
+    if slot >= n then None
+    else
+      let _, cap, dead = entry t slot in
+      if dead && cap >= need then Some slot else go (slot + 1)
+  in
+  go 0
+
+let insert t record =
+  let need = 2 + Bytes.length record in
+  match find_dead_fit t need with
+  | Some slot ->
+      let off, cap, _ = entry t slot in
+      write_record t ~off record;
+      set_entry t slot ~off ~cap ~dead:false;
+      Some slot
+  | None ->
+      let n = slot_count t in
+      let off = free_off t in
+      if off + need > dir_start t - entry_size then None
+      else begin
+        write_record t ~off record;
+        set_entry t n ~off ~cap:need ~dead:false;
+        set_slot_count t (n + 1);
+        set_free_off t (off + need);
+        Some n
+      end
+
+let read_slot t slot =
+  if slot < 0 || slot >= slot_count t then None
+  else
+    let off, _, dead = entry t slot in
+    if dead then None
+    else
+      let len = Bytes.get_uint16_le t off in
+      Some (Bytes.sub t (off + 2) len)
+
+let delete_slot t slot =
+  if slot >= 0 && slot < slot_count t then
+    let off, cap, dead = entry t slot in
+    if not dead then set_entry t slot ~off ~cap ~dead:true
+
+let update_slot t slot record =
+  if slot < 0 || slot >= slot_count t then false
+  else
+    let off, cap, dead = entry t slot in
+    let need = 2 + Bytes.length record in
+    if dead || cap < need then false
+    else begin
+      write_record t ~off record;
+      true
+    end

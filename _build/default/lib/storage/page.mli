@@ -1,0 +1,44 @@
+(** Slotted pages.
+
+    A page image is a byte buffer with a 4-byte header
+    ([nslots:u16], [free_off:u16]), records growing from the header
+    upward and a slot directory growing from the end downward.  Each
+    directory entry is 4 bytes ([off:u16], [len:u16]); a dead slot is
+    marked with [len = 0xffff] and may be reused by later inserts.
+    Records are never moved within a page, so slot numbers are stable
+    identifiers for the lifetime of a record. *)
+
+type t
+(** A mutable view over a page image. *)
+
+val wrap : bytes -> t
+(** View an existing image (e.g. one fetched from {!Disk}). *)
+
+val init : bytes -> t
+(** Format a fresh image as an empty slotted page. *)
+
+val image : t -> bytes
+(** The underlying buffer (shared, not copied). *)
+
+val slot_count : t -> int
+(** Number of directory entries, live and dead. *)
+
+val live_slots : t -> int list
+(** Slot numbers of live records, ascending. *)
+
+val free_space : t -> int
+(** Bytes available for one more record (directory growth accounted). *)
+
+val insert : t -> bytes -> int option
+(** [insert page record] places [record] and returns its slot, or
+    [None] when the page cannot hold it. *)
+
+val read_slot : t -> int -> bytes option
+(** [None] when the slot is dead or out of range. *)
+
+val delete_slot : t -> int -> unit
+(** Deleting a dead slot is a no-op. *)
+
+val update_slot : t -> int -> bytes -> bool
+(** In-place update; succeeds only when the new record is no longer
+    than the space originally allocated to the slot. *)

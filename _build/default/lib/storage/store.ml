@@ -1,0 +1,332 @@
+type segment_id = int
+
+type rid = { segment : segment_id; page : int; slot : int }
+
+type segment = {
+  mutable pages : int list;  (* most recently filled first *)
+  live : (rid, unit) Hashtbl.t;
+}
+
+type t = {
+  disk : Disk.t;
+  pool : Buffer_pool.t;
+  segments : (segment_id, segment) Hashtbl.t;
+  mutable next_segment : segment_id;
+  mutable free_pages : int list;  (* recycled long-record pages *)
+  mutable catalog_page : int option;
+}
+
+let long_slot = -1
+
+let create ?(page_size = 4096) ?(pool_capacity = 64) () =
+  if page_size > 32768 then invalid_arg "Store.create: page_size > 32768";
+  let disk = Disk.create ~page_size in
+  {
+    disk;
+    pool = Buffer_pool.create ~capacity:pool_capacity disk;
+    segments = Hashtbl.create 16;
+    next_segment = 0;
+    free_pages = [];
+    catalog_page = None;
+  }
+
+let new_segment t =
+  let id = t.next_segment in
+  t.next_segment <- id + 1;
+  Hashtbl.replace t.segments id { pages = []; live = Hashtbl.create 64 };
+  id
+
+let segment_count t = t.next_segment
+
+let segment t id =
+  match Hashtbl.find_opt t.segments id with
+  | Some seg -> seg
+  | None -> invalid_arg (Printf.sprintf "Store: unknown segment %d" id)
+
+let alloc_page t =
+  match t.free_pages with
+  | page :: rest ->
+      t.free_pages <- rest;
+      page
+  | [] -> Disk.alloc t.disk
+
+(* Long records: chain of whole pages, each laid out as
+   [next:u32 le, 0xffffffff = none][len:u16][chunk]. *)
+
+let no_next = 0xffffffff
+
+let chunk_capacity t = Disk.page_size t.disk - 6
+
+let write_long t data =
+  let cap = chunk_capacity t in
+  let total = Bytes.length data in
+  let npages = max 1 ((total + cap - 1) / cap) in
+  let pages = List.init npages (fun _ -> alloc_page t) in
+  let rec fill offset = function
+    | [] -> ()
+    | page_no :: rest ->
+        let chunk_len = min cap (total - offset) in
+        let page = Buffer_pool.get t.pool page_no in
+        let image = Page.image page in
+        let next = match rest with [] -> no_next | next_page :: _ -> next_page in
+        Bytes.set_int32_le image 0 (Int32.of_int next);
+        Bytes.set_uint16_le image 4 chunk_len;
+        Bytes.blit data offset image 6 chunk_len;
+        Buffer_pool.mark_dirty t.pool page_no;
+        fill (offset + chunk_len) rest
+  in
+  fill 0 pages;
+  List.hd pages
+
+let read_long t first_page =
+  let buf = Buffer.create (chunk_capacity t) in
+  let rec go page_no =
+    let page = Buffer_pool.get t.pool page_no in
+    let image = Page.image page in
+    let next = Int32.to_int (Bytes.get_int32_le image 0) land 0xffffffff in
+    let len = Bytes.get_uint16_le image 4 in
+    Buffer.add_subbytes buf image 6 len;
+    if next <> no_next then go next
+  in
+  go first_page;
+  Buffer.to_bytes buf
+
+let free_long t first_page =
+  let rec go page_no =
+    let page = Buffer_pool.get t.pool page_no in
+    let image = Page.image page in
+    let next = Int32.to_int (Bytes.get_int32_le image 0) land 0xffffffff in
+    t.free_pages <- page_no :: t.free_pages;
+    if next <> no_next then go next
+  in
+  go first_page
+
+let write_catalog t data =
+  (match t.catalog_page with
+  | Some page -> free_long t page
+  | None -> ());
+  t.catalog_page <- Some (write_long t data)
+
+let read_catalog t = Option.map (read_long t) t.catalog_page
+
+let max_inline t = Disk.page_size t.disk - 4 (* header *) - 4 (* entry *) - 2
+
+let fresh_segment_page t seg =
+  let page_no = alloc_page t in
+  let page = Buffer_pool.get t.pool page_no in
+  ignore (Page.init (Page.image page) : Page.t);
+  Buffer_pool.mark_dirty t.pool page_no;
+  seg.pages <- page_no :: seg.pages;
+  page_no
+
+let try_insert_on t page_no data =
+  let page = Buffer_pool.get t.pool page_no in
+  match Page.insert page data with
+  | Some slot ->
+      Buffer_pool.mark_dirty t.pool page_no;
+      Some slot
+  | None -> None
+
+let insert t ~segment:seg_id ?near data =
+  let seg = segment t seg_id in
+  let placed =
+    if Bytes.length data > max_inline t then
+      Some { segment = seg_id; page = write_long t data; slot = long_slot }
+    else
+      (* Placement preference: the [near] record's page (clustering with
+         the first parent, §2.3), then the segment's most recent pages,
+         then a fresh page. *)
+      let candidates =
+        (match near with
+        | Some n when n.segment = seg_id && n.slot <> long_slot -> [ n.page ]
+        | Some _ | None -> [])
+        @ (match seg.pages with a :: b :: _ -> [ a; b ] | rest -> rest)
+      in
+      let rec try_pages = function
+        | [] -> None
+        | page_no :: rest -> (
+            match try_insert_on t page_no data with
+            | Some slot -> Some { segment = seg_id; page = page_no; slot }
+            | None -> try_pages rest)
+      in
+      (match try_pages candidates with
+      | Some rid -> Some rid
+      | None ->
+          let page_no = fresh_segment_page t seg in
+          (match try_insert_on t page_no data with
+          | Some slot -> Some { segment = seg_id; page = page_no; slot }
+          | None -> None))
+  in
+  match placed with
+  | Some rid ->
+      Hashtbl.replace seg.live rid ();
+      rid
+  | None -> invalid_arg "Store.insert: record does not fit a fresh page"
+
+let read t rid =
+  let seg = segment t rid.segment in
+  if not (Hashtbl.mem seg.live rid) then None
+  else if rid.slot = long_slot then Some (read_long t rid.page)
+  else
+    let page = Buffer_pool.get t.pool rid.page in
+    Page.read_slot page rid.slot
+
+let delete t rid =
+  let seg = segment t rid.segment in
+  if Hashtbl.mem seg.live rid then begin
+    Hashtbl.remove seg.live rid;
+    if rid.slot = long_slot then free_long t rid.page
+    else begin
+      let page = Buffer_pool.get t.pool rid.page in
+      Page.delete_slot page rid.slot;
+      Buffer_pool.mark_dirty t.pool rid.page
+    end
+  end
+
+let update t rid data =
+  let seg = segment t rid.segment in
+  if not (Hashtbl.mem seg.live rid) then
+    invalid_arg "Store.update: record not live";
+  if rid.slot <> long_slot && Bytes.length data <= max_inline t then begin
+    let page = Buffer_pool.get t.pool rid.page in
+    if Page.update_slot page rid.slot data then begin
+      Buffer_pool.mark_dirty t.pool rid.page;
+      rid
+    end
+    else begin
+      delete t rid;
+      insert t ~segment:rid.segment ~near:rid data
+    end
+  end
+  else begin
+    delete t rid;
+    insert t ~segment:rid.segment data
+  end
+
+let iter_segment t seg_id f =
+  let seg = segment t seg_id in
+  let rids = Hashtbl.fold (fun rid () acc -> rid :: acc) seg.live [] in
+  List.iter
+    (fun rid -> match read t rid with Some data -> f rid data | None -> ())
+    rids
+
+let record_count t seg_id = Hashtbl.length (segment t seg_id).live
+
+let drop_cache t = Buffer_pool.drop_all t.pool
+
+let compact_segment t seg_id =
+  let seg = segment t seg_id in
+  let rids = Hashtbl.fold (fun rid () acc -> rid :: acc) seg.live [] in
+  let short_rids = List.filter (fun rid -> rid.slot <> long_slot) rids in
+  let contents =
+    List.filter_map
+      (fun rid -> Option.map (fun data -> (rid, data)) (read t rid))
+      short_rids
+  in
+  (* Free the old pages wholesale, then refill fresh ones. *)
+  let old_pages = seg.pages in
+  seg.pages <- [];
+  List.iter (fun rid -> Hashtbl.remove seg.live rid) short_rids;
+  t.free_pages <- old_pages @ t.free_pages;
+  List.map
+    (fun (old_rid, data) ->
+      let fresh = insert t ~segment:seg_id data in
+      (old_rid, fresh))
+    contents
+
+(* File serialization -------------------------------------------------------- *)
+
+let file_magic = "ORION-STORE-1\n"
+
+let save_file t path =
+  Buffer_pool.flush t.pool;
+  let w = Bytes_rw.Writer.create () in
+  let module W = Bytes_rw.Writer in
+  W.string w file_magic;
+  W.int w (Disk.page_size t.disk);
+  (* Disk pages. *)
+  let stats = Disk.stats t.disk in
+  W.int w stats.Disk.allocated;
+  for page_no = 0 to stats.Disk.allocated - 1 do
+    W.string w (Bytes.to_string (Disk.read t.disk page_no))
+  done;
+  (* Segments. *)
+  W.int w t.next_segment;
+  let segs =
+    Hashtbl.fold (fun id seg acc -> (id, seg) :: acc) t.segments []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  W.int w (List.length segs);
+  List.iter
+    (fun (id, seg) ->
+      W.int w id;
+      W.int w (List.length seg.pages);
+      List.iter (W.int w) seg.pages;
+      W.int w (Hashtbl.length seg.live);
+      Hashtbl.iter
+        (fun rid () ->
+          W.int w rid.segment;
+          W.int w rid.page;
+          W.int w rid.slot)
+        seg.live)
+    segs;
+  W.int w (List.length t.free_pages);
+  List.iter (W.int w) t.free_pages;
+  (match t.catalog_page with
+  | None -> W.bool w false
+  | Some page ->
+      W.bool w true;
+      W.int w page);
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_bytes oc (W.contents w))
+
+let load_file ?(pool_capacity = 64) path =
+  let ic = open_in_bin path in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let module R = Bytes_rw.Reader in
+  let r = R.of_bytes (Bytes.of_string data) in
+  (try
+     let magic = R.string r in
+     if magic <> file_magic then failwith "bad magic"
+   with _ -> failwith (path ^ ": not an orion store file"));
+  let page_size = R.int r in
+  let t = create ~page_size ~pool_capacity () in
+  let allocated = R.int r in
+  for _ = 1 to allocated do
+    let image = Bytes.of_string (R.string r) in
+    let page_no = Disk.alloc t.disk in
+    Disk.write t.disk page_no image
+  done;
+  t.next_segment <- R.int r;
+  let nsegs = R.int r in
+  for _ = 1 to nsegs do
+    let id = R.int r in
+    let npages = R.int r in
+    let pages = List.init npages (fun _ -> R.int r) in
+    let live = Hashtbl.create 64 in
+    let nlive = R.int r in
+    for _ = 1 to nlive do
+      let segment = R.int r in
+      let page = R.int r in
+      let slot = R.int r in
+      Hashtbl.replace live { segment; page; slot } ()
+    done;
+    Hashtbl.replace t.segments id { pages; live }
+  done;
+  let nfree = R.int r in
+  t.free_pages <- List.init nfree (fun _ -> R.int r);
+  t.catalog_page <- (if R.bool r then Some (R.int r) else None);
+  Disk.reset_stats t.disk;
+  t
+
+let io_stats t = (Disk.stats t.disk, Buffer_pool.stats t.pool)
+
+let reset_io_stats t =
+  Disk.reset_stats t.disk;
+  Buffer_pool.reset_stats t.pool

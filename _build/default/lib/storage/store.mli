@@ -1,0 +1,74 @@
+(** Record store: segments, record identifiers and physical clustering.
+
+    A {e segment} is ORION's clustering unit: a set of pages holding the
+    instances of one or more classes.  The paper (§2.3) clusters a new
+    instance with its first parent when both classes live in the same
+    segment — the [?near] hint implements exactly that placement.
+
+    Records larger than a page spill to a chained long-record
+    representation whose I/O cost (one fetch per chain page) is visible
+    in the disk counters. *)
+
+type t
+
+type segment_id = int
+
+type rid = { segment : segment_id; page : int; slot : int }
+(** [slot = -1] marks a long (page-chained) record. *)
+
+val create : ?page_size:int -> ?pool_capacity:int -> unit -> t
+(** Defaults: 4096-byte pages, 64-frame pool. *)
+
+val new_segment : t -> segment_id
+
+val segment_count : t -> int
+
+val insert : t -> segment:segment_id -> ?near:rid -> bytes -> rid
+(** Place a record; with [~near] (a record of the same segment), try the
+    same page first so parent and component share a page when space
+    permits. *)
+
+val read : t -> rid -> bytes option
+
+val update : t -> rid -> bytes -> rid
+(** In-place when the new image fits the original allocation; otherwise
+    the record moves and the new rid is returned. *)
+
+val delete : t -> rid -> unit
+
+val iter_segment : t -> segment_id -> (rid -> bytes -> unit) -> unit
+(** Live records of the segment, in unspecified order, paying buffer
+    traffic for each page touched. *)
+
+val record_count : t -> segment_id -> int
+
+val drop_cache : t -> unit
+(** Flush and empty the buffer pool: the next traversal is cold. *)
+
+val write_catalog : t -> bytes -> unit
+(** Store a catalog blob (superblock role: schema + object directory
+    for {!val-read_catalog} after reopening the database around this
+    store).  Replaces any previous catalog. *)
+
+val read_catalog : t -> bytes option
+
+val compact_segment : t -> segment_id -> (rid * rid) list
+(** Rewrite every live record of the segment into fresh pages (long
+    records are left in place: they own their pages already), freeing
+    the old pages for reuse.  Returns the (old, new) moves; callers
+    holding RIDs must apply them. *)
+
+(** {1 File serialization}
+
+    The simulated disk plus the store's bookkeeping (segments, live
+    records, free pages, catalog pointer) written to a real file in a
+    hand-rolled binary format, so a database survives process restarts
+    ([orion repl --db file]). *)
+
+val save_file : t -> string -> unit
+val load_file : ?pool_capacity:int -> string -> t
+(** @raise Failure on a missing or corrupt file. *)
+
+val io_stats : t -> Disk.stats * Buffer_pool.stats
+
+val reset_io_stats : t -> unit

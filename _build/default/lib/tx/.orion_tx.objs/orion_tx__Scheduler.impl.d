@@ -1,0 +1,1 @@
+lib/tx/scheduler.ml: Database List Oid Orion_core Orion_locking Tx_manager

@@ -1,0 +1,1 @@
+lib/tx/scheduler.mli: Database Oid Orion_core Orion_locking Tx_manager

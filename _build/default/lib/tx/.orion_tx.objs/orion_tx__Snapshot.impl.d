@@ -1,0 +1,1 @@
+lib/tx/snapshot.ml: Database Instance List Oid Orion_core Rref

@@ -1,0 +1,1 @@
+lib/tx/snapshot.mli: Database Oid Orion_core

@@ -1,0 +1,1 @@
+lib/tx/tx_manager.ml: Database Hashtbl Instance List Object_manager Oid Option Orion_core Orion_locking Snapshot String Traversal Value

@@ -1,0 +1,1 @@
+lib/tx/tx_manager.mli: Database Oid Orion_core Orion_locking Value

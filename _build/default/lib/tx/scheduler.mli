@@ -1,0 +1,29 @@
+(** A round-robin interleaving scheduler for lock-protocol simulations
+    (benchmarks P6/P7).
+
+    Each script is a sequence of steps run inside one transaction;
+    blocked transactions retry their pending step on later rounds;
+    deadlocks abort the youngest participant, whose script restarts
+    from the beginning as a fresh transaction. *)
+
+open Orion_core
+
+type step =
+  | Lock_composite of Oid.t * Orion_locking.Protocol.access
+  | Lock_instance of Oid.t * Orion_locking.Protocol.access
+  | Mutate of (Database.t -> unit)
+      (** runs when reached (locks must have been scripted before it) *)
+
+type script = step list
+
+type result = {
+  committed : int;
+  aborted : int;
+  rounds : int;  (** scheduler rounds until completion *)
+  blocks : int;  (** lock-table block events *)
+  deadlocks : int;
+}
+
+val run : ?max_rounds:int -> Tx_manager.t -> script list -> result
+(** @raise Failure when [max_rounds] (default 100000) rounds pass
+    without completing, which would indicate a scheduling bug. *)

@@ -1,0 +1,22 @@
+(** Object snapshots for transaction undo.
+
+    A snapshot deep-copies the mutable state of a set of instances
+    (attribute values, reverse references — inline or external —,
+    version/generic bookkeeping).  Restoring re-adds deleted objects
+    and rolls every captured field back; objects created after the
+    snapshot are untouched (the transaction layer removes those
+    separately). *)
+
+open Orion_core
+
+type t
+
+val take : Database.t -> Oid.t list -> t
+
+val extend : t -> Database.t -> Oid.t list -> unit
+(** Capture more objects into the same snapshot (first capture of an
+    OID wins, so a snapshot taken at operation start is preserved). *)
+
+val restore : t -> Database.t -> unit
+
+val captured : t -> Oid.t list

@@ -1,0 +1,212 @@
+open Orion_core
+module Lock_table = Orion_locking.Lock_table
+module Lock_mode = Orion_locking.Lock_mode
+module Protocol = Orion_locking.Protocol
+
+type state = Active | Blocked | Committed | Aborted
+
+type tx = {
+  id : int;
+  mutable tx_state : state;
+  snapshot : Snapshot.t;
+  mutable created : Oid.t list;
+  instance_locks : (string * Protocol.access, int) Hashtbl.t;
+      (* per-class instance-lock counts, for escalation *)
+  mutable escalated_classes : (string * Protocol.access) list;
+}
+
+type t = {
+  db : Database.t;
+  table : Lock_table.t;
+  txs : (int, tx) Hashtbl.t;
+  mutable next_tx : int;
+  escalation_threshold : int option;
+}
+
+let create ?compat ?escalation_threshold db =
+  {
+    db;
+    table = Lock_table.create ?compat ();
+    txs = Hashtbl.create 16;
+    next_tx = 0;
+    escalation_threshold;
+  }
+
+let database t = t.db
+let lock_table t = t.table
+
+let begin_tx t =
+  let id = t.next_tx in
+  t.next_tx <- id + 1;
+  let tx =
+    {
+      id;
+      tx_state = Active;
+      snapshot = Snapshot.take t.db [];
+      created = [];
+      instance_locks = Hashtbl.create 8;
+      escalated_classes = [];
+    }
+  in
+  Hashtbl.replace t.txs id tx;
+  tx
+
+let tx_id tx = tx.id
+let state tx = tx.tx_state
+
+(* Locking ------------------------------------------------------------------ *)
+
+let acquire_set t tx locks =
+  match Protocol.acquire_all t.table ~tx:tx.id locks with
+  | `Granted ->
+      tx.tx_state <- Active;
+      `Granted
+  | `Blocked _ ->
+      tx.tx_state <- Blocked;
+      `Blocked
+
+let lock_composite t tx ~root access =
+  acquire_set t tx (Protocol.composite_object_locks t.db ~root access)
+
+(* Escalation: at the threshold, trade n instance locks for one
+   whole-class lock (classic multi-granularity escalation; §7's
+   protocols make the class granule available for exactly this). *)
+let escalation_mode access =
+  match access with Protocol.Read_ -> Lock_mode.S | Protocol.Update -> Lock_mode.X
+
+let covers_access held wanted =
+  match (held, wanted) with
+  | _, Protocol.Read_ -> true
+  | Protocol.Update, Protocol.Update -> true
+  | Protocol.Read_, Protocol.Update -> false
+
+let lock_instance t tx oid access =
+  let cls = Database.class_of t.db oid in
+  if
+    List.exists
+      (fun (c, held) -> String.equal c cls && covers_access held access)
+      tx.escalated_classes
+  then begin
+    tx.tx_state <- Active;
+    `Granted
+  end
+  else begin
+    let result = acquire_set t tx (Protocol.instance_locks t.db oid access) in
+    (match (result, t.escalation_threshold) with
+    | `Granted, Some threshold ->
+        let key = (cls, access) in
+        let count = 1 + Option.value (Hashtbl.find_opt tx.instance_locks key) ~default:0 in
+        Hashtbl.replace tx.instance_locks key count;
+        if
+          count >= threshold
+          && Lock_table.try_acquire t.table ~tx:tx.id (Lock_table.G_class cls)
+               (escalation_mode access)
+        then tx.escalated_classes <- key :: tx.escalated_classes
+    | (`Granted | `Blocked), _ -> ());
+    result
+  end
+
+let escalated _t tx =
+  List.sort_uniq String.compare (List.map fst tx.escalated_classes)
+
+(* Undo capture -------------------------------------------------------------- *)
+
+(* Close a touched set over version bookkeeping: a version instance
+   drags in its generic and every sibling version (a cascade may delete
+   the whole versionable object). *)
+let with_generics db oids =
+  let extra =
+    List.concat_map
+      (fun oid ->
+        match Database.find db oid with
+        | None -> []
+        | Some inst -> (
+            let family goid =
+              match Database.find db goid with
+              | Some g -> (
+                  match Instance.generic_info g with
+                  | Some gi -> goid :: gi.versions
+                  | None -> [ goid ])
+              | None -> []
+            in
+            match inst.Instance.kind with
+            | Instance.Version vi -> family vi.generic
+            | Instance.Generic _ -> family oid
+            | Instance.Plain -> []))
+      oids
+  in
+  List.sort_uniq Oid.compare (oids @ extra)
+
+let capture t tx oids = Snapshot.extend tx.snapshot t.db (with_generics t.db oids)
+
+let value_refs_of db oid attr =
+  match Database.find db oid with
+  | None -> []
+  | Some inst -> (
+      match Instance.attr inst attr with Some v -> Value.refs v | None -> [])
+
+(* Updates -------------------------------------------------------------------- *)
+
+let create_object t tx ~cls ?(parents = []) ?(attrs = []) () =
+  capture t tx
+    (List.map fst parents @ List.concat_map (fun (_, v) -> Value.refs v) attrs);
+  let oid = Object_manager.create t.db ~cls ~parents ~attrs () in
+  (* A versionable create also made a generic instance; track both. *)
+  let created =
+    match Database.find t.db oid with
+    | Some inst -> (
+        match Instance.version_info inst with
+        | Some vi -> [ oid; vi.generic ]
+        | None -> [ oid ])
+    | None -> [ oid ]
+  in
+  tx.created <- created @ tx.created;
+  oid
+
+let write_attr t tx oid attr value =
+  capture t tx ((oid :: value_refs_of t.db oid attr) @ Value.refs value);
+  Object_manager.write_attr t.db oid attr value
+
+let make_component t tx ~parent ~attr ~child =
+  capture t tx [ parent; child ];
+  Object_manager.make_component t.db ~parent ~attr ~child
+
+let remove_component t tx ~parent ~attr ~child =
+  (* Removal may cascade a deletion into the child's components. *)
+  capture t tx
+    ((parent :: child :: Traversal.components_of t.db child)
+    @ Traversal.parents_of t.db child);
+  Object_manager.remove_component t.db ~parent ~attr ~child
+
+let delete_object t tx oid =
+  let comps = oid :: Traversal.components_of t.db oid in
+  let touched = comps @ List.concat_map (fun o -> Traversal.parents_of t.db o) comps in
+  capture t tx touched;
+  Object_manager.delete t.db oid
+
+(* Completion ------------------------------------------------------------------ *)
+
+let finish t tx state =
+  tx.tx_state <- state;
+  let unblocked = Lock_table.release_all t.table ~tx:tx.id in
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt t.txs id with
+      | Some other when other.tx_state = Blocked -> other.tx_state <- Active
+      | Some _ | None -> ())
+    unblocked;
+  unblocked
+
+let commit t tx = finish t tx Committed
+
+let abort t tx =
+  (* Restore first: an object created by this transaction may have been
+     captured by a later operation's snapshot, and restoring it after
+     removal would resurrect it. *)
+  Snapshot.restore tx.snapshot t.db;
+  List.iter
+    (fun oid -> if Database.exists t.db oid then Database.remove t.db oid)
+    tx.created;
+  finish t tx Aborted
+
+let find_deadlock t = Lock_table.find_deadlock t.table

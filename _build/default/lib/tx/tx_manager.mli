@@ -1,0 +1,79 @@
+(** Transactions over the composite-object store.
+
+    Strict two-phase locking against {!Orion_locking.Lock_table} using
+    the §7 protocols, with snapshot-based undo: each update operation
+    captures the objects it may touch before mutating, and abort
+    restores them.  This is a single-process simulation — [`Blocked]
+    results park the transaction rather than suspend a thread; the
+    {!Scheduler} drives interleavings for the concurrency benchmarks. *)
+
+open Orion_core
+
+type t
+
+type tx
+
+type state = Active | Blocked | Committed | Aborted
+
+val create :
+  ?compat:(Orion_locking.Lock_mode.t -> Orion_locking.Lock_mode.t -> bool) ->
+  ?escalation_threshold:int ->
+  Database.t ->
+  t
+(** [?escalation_threshold]: when a transaction accumulates that many
+    instance locks on one class, the manager opportunistically upgrades
+    to a whole-class S/X lock ({!Orion_locking.Lock_table.try_acquire});
+    further instance locks on the class are then free.  Default: no
+    escalation. *)
+
+val database : t -> Database.t
+val lock_table : t -> Orion_locking.Lock_table.t
+
+val begin_tx : t -> tx
+val tx_id : tx -> int
+val state : tx -> state
+
+(** {1 Locking}
+
+    Lock acquisition returns [`Blocked] when the request queues; the
+    transaction is then parked until a release unblocks it. *)
+
+val lock_composite :
+  t -> tx -> root:Oid.t -> Orion_locking.Protocol.access -> [ `Granted | `Blocked ]
+
+val lock_instance :
+  t -> tx -> Oid.t -> Orion_locking.Protocol.access -> [ `Granted | `Blocked ]
+
+val escalated : t -> tx -> string list
+(** Classes on which the transaction's instance locks escalated to a
+    class lock. *)
+
+(** {1 Updates with undo} *)
+
+val create_object :
+  t ->
+  tx ->
+  cls:string ->
+  ?parents:(Oid.t * string) list ->
+  ?attrs:(string * Value.t) list ->
+  unit ->
+  Oid.t
+
+val write_attr : t -> tx -> Oid.t -> string -> Value.t -> unit
+
+val make_component : t -> tx -> parent:Oid.t -> attr:string -> child:Oid.t -> unit
+
+val remove_component : t -> tx -> parent:Oid.t -> attr:string -> child:Oid.t -> unit
+
+val delete_object : t -> tx -> Oid.t -> unit
+
+(** {1 Completion} *)
+
+val commit : t -> tx -> int list
+(** Release locks; returns transactions unblocked by the release. *)
+
+val abort : t -> tx -> int list
+(** Undo every update of the transaction (newest first), release
+    locks; returns unblocked transactions. *)
+
+val find_deadlock : t -> int list option

@@ -1,0 +1,1 @@
+lib/util/sexp.ml: Buffer Format List Printf String

@@ -1,0 +1,172 @@
+type t =
+  | Atom of string
+  | Keyword of string
+  | Str of string
+  | Int of int
+  | Float of float
+  | List of t list
+
+exception Parse_error of string
+
+let error pos msg = raise (Parse_error (Printf.sprintf "at %d: %s" pos msg))
+
+(* Reader.  A hand-written recursive-descent reader over a string with an
+   explicit cursor.  ['form] expands to [(quote form)] as in Lisp, so the
+   paper's [(make-class 'Vehicle ...)] parses naturally. *)
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let is_delim = function
+  | '(' | ')' | '"' | '\'' | ';' -> true
+  | ch -> is_space ch
+
+let rec skip_blanks c =
+  match peek c with
+  | Some ch when is_space ch ->
+      advance c;
+      skip_blanks c
+  | Some ';' ->
+      (* comment to end of line *)
+      let rec to_eol () =
+        match peek c with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance c;
+            to_eol ()
+      in
+      to_eol ();
+      skip_blanks c
+  | Some _ | None -> ()
+
+let read_string_lit c =
+  let start = c.pos in
+  advance c (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> error start "unterminated string"
+    | Some '"' ->
+        advance c;
+        Str (Buffer.contents buf)
+    | Some '\\' ->
+        advance c;
+        (match peek c with
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some ch -> Buffer.add_char buf ch
+        | None -> error c.pos "dangling escape");
+        advance c;
+        go ()
+    | Some ch ->
+        Buffer.add_char buf ch;
+        advance c;
+        go ()
+  in
+  go ()
+
+let classify_token tok =
+  if tok = "" then error 0 "empty token"
+  else if tok.[0] = ':' then Keyword (String.sub tok 1 (String.length tok - 1))
+  else
+    match int_of_string_opt tok with
+    | Some n -> Int n
+    | None -> (
+        match float_of_string_opt tok with
+        | Some f when String.exists (fun ch -> ch = '.' || ch = 'e' || ch = 'E') tok
+          ->
+            Float f
+        | _ -> Atom tok)
+
+let read_token c =
+  let start = c.pos in
+  let rec go () =
+    match peek c with
+    | Some ch when not (is_delim ch) ->
+        advance c;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  classify_token (String.sub c.src start (c.pos - start))
+
+let rec read_form c =
+  skip_blanks c;
+  match peek c with
+  | None -> error c.pos "unexpected end of input"
+  | Some '(' ->
+      advance c;
+      read_list c []
+  | Some ')' -> error c.pos "unexpected ')'"
+  | Some '"' -> read_string_lit c
+  | Some '\'' ->
+      advance c;
+      let quoted = read_form c in
+      List [ Atom "quote"; quoted ]
+  | Some _ -> read_token c
+
+and read_list c acc =
+  skip_blanks c;
+  match peek c with
+  | None -> error c.pos "unterminated list"
+  | Some ')' ->
+      advance c;
+      List (List.rev acc)
+  | Some _ ->
+      let form = read_form c in
+      read_list c (form :: acc)
+
+let parse s =
+  let c = { src = s; pos = 0 } in
+  let form = read_form c in
+  skip_blanks c;
+  (match peek c with
+  | Some _ -> error c.pos "trailing input after form"
+  | None -> ());
+  form
+
+let parse_many s =
+  let c = { src = s; pos = 0 } in
+  let rec go acc =
+    skip_blanks c;
+    match peek c with
+    | None -> List.rev acc
+    | Some _ -> go (read_form c :: acc)
+  in
+  go []
+
+let rec pp ppf = function
+  | Atom a -> Format.pp_print_string ppf a
+  | Keyword k -> Format.fprintf ppf ":%s" k
+  | Str s -> Format.fprintf ppf "%S" s
+  | Int n -> Format.pp_print_int ppf n
+  | Float f -> Format.fprintf ppf "%g" f
+  | List [ Atom "quote"; form ] -> Format.fprintf ppf "'%a" pp form
+  | List forms ->
+      (* A horizontal box: s-expressions print on one line (REPL echo). *)
+      Format.fprintf ppf "@[<h>(%a)@]"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp)
+        forms
+
+let to_string form = Format.asprintf "%a" pp form
+
+let rec equal a b =
+  match (a, b) with
+  | Atom x, Atom y | Keyword x, Keyword y | Str x, Str y -> String.equal x y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | List xs, List ys -> List.length xs = List.length ys && List.for_all2 equal xs ys
+  | (Atom _ | Keyword _ | Str _ | Int _ | Float _ | List _), _ -> false
+
+let atom = function Atom a -> Some a | _ -> None
+
+let nil = Atom "nil"
+
+let is_nil = function Atom "nil" | List [] -> true | _ -> false
+
+let is_true = function Atom "true" | Atom "t" -> true | _ -> false

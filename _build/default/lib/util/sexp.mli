@@ -1,0 +1,45 @@
+(** S-expressions for the ORION surface syntax.
+
+    The paper writes its data-definition and message syntax in a Lisp
+    dialect, e.g. [(make-class 'Vehicle :superclasses nil :attributes ...)].
+    This module provides the reader and printer for that dialect: atoms,
+    [:keywords], quoted forms, strings, integers, floats and lists. *)
+
+type t =
+  | Atom of string  (** a symbol, e.g. [make-class], [nil], [true] *)
+  | Keyword of string  (** [:composite] is represented as [Keyword "composite"] *)
+  | Str of string  (** a double-quoted string literal *)
+  | Int of int
+  | Float of float
+  | List of t list
+
+exception Parse_error of string
+(** Raised by the reader on malformed input; the message carries a
+    position and a description. *)
+
+val parse : string -> t
+(** [parse s] reads exactly one s-expression from [s]. Trailing
+    whitespace is permitted; trailing forms are not.
+    @raise Parse_error on malformed input. *)
+
+val parse_many : string -> t list
+(** [parse_many s] reads all s-expressions in [s]. *)
+
+val to_string : t -> string
+(** Canonical printed form, re-parseable by {!parse}. *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+
+(** Convenience accessors used by the DSL evaluator. *)
+
+val atom : t -> string option
+val nil : t
+(** The atom [nil]. *)
+
+val is_nil : t -> bool
+(** [true] for the atom [nil] and the empty list. *)
+
+val is_true : t -> bool
+(** [true] for the atoms [true] and [t]. *)

@@ -1,0 +1,49 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let nth_or_empty row i = match List.nth_opt row i with Some s -> s | None -> ""
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.fold_left (fun acc row -> max acc (List.length row)) 0 all in
+  let width j =
+    List.fold_left (fun acc row -> max acc (String.length (nth_or_empty row j))) 0 all
+  in
+  let widths = List.init ncols width in
+  let buf = Buffer.create 256 in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let emit_row row =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun j w ->
+        Buffer.add_string buf (pad (nth_or_empty row j) w);
+        Buffer.add_string buf (if j = ncols - 1 then " |" else " | "))
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let rule () =
+    Buffer.add_char buf '+';
+    List.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  rule ();
+  emit_row t.headers;
+  rule ();
+  List.iter emit_row rows;
+  rule ();
+  Buffer.contents buf
+
+let render_matrix ~row_labels ~col_labels ~cell ~corner =
+  let t = create ~headers:(corner :: col_labels) in
+  List.iteri
+    (fun i label -> add_row t (label :: List.mapi (fun j _ -> cell i j) col_labels))
+    row_labels;
+  render t

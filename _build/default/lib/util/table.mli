@@ -1,0 +1,27 @@
+(** ASCII table rendering.
+
+    Used to print the paper's matrices (Figures 6, 7 and 8) and the
+    experiment summary tables in a form directly comparable with the
+    paper. *)
+
+type t
+
+val create : headers:string list -> t
+(** A table whose first row is [headers]. *)
+
+val add_row : t -> string list -> unit
+(** Rows may be ragged; missing cells render empty.  Rows appear in
+    insertion order. *)
+
+val render : t -> string
+(** Box-drawn rendering with every column padded to its widest cell. *)
+
+val render_matrix :
+  row_labels:string list ->
+  col_labels:string list ->
+  cell:(int -> int -> string) ->
+  corner:string ->
+  string
+(** [render_matrix] renders a labelled square/rectangular matrix;
+    [cell i j] supplies the content for row [i], column [j], and
+    [corner] is printed in the top-left header cell. *)

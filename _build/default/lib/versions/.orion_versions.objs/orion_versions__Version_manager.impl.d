@@ -1,0 +1,1 @@
+lib/versions/version_manager.ml: Core_error Database Format Instance List Object_manager Oid Option Orion_core Orion_schema Traversal Value

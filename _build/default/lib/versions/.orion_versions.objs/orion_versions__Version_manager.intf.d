@@ -1,0 +1,1 @@
+lib/versions/version_manager.mli: Database Format Oid Orion_core

@@ -1,0 +1,192 @@
+open Orion_core
+module A = Orion_schema.Attribute
+module Schema = Orion_schema.Schema
+module E = Core_error
+
+let not_versionable oid = E.raise_error (E.Not_versionable oid)
+
+let is_versionable db oid =
+  match Database.find db oid with
+  | None -> false
+  | Some inst -> (
+      match inst.kind with
+      | Instance.Generic _ | Instance.Version _ -> true
+      | Instance.Plain -> false)
+
+let generic_of db oid =
+  let inst = Database.get db oid in
+  match inst.kind with
+  | Instance.Generic _ -> oid
+  | Instance.Version vi -> vi.generic
+  | Instance.Plain -> not_versionable oid
+
+let generic_info_exn db oid =
+  match Instance.generic_info (Database.get db (generic_of db oid)) with
+  | Some gi -> gi
+  | None -> not_versionable oid
+
+let versions db oid = (generic_info_exn db oid).versions
+
+let version_info_exn db oid =
+  match Instance.version_info (Database.get db oid) with
+  | Some vi -> vi
+  | None -> not_versionable oid
+
+let version_no db oid = (version_info_exn db oid).version_no
+
+let derived_from db oid = (version_info_exn db oid).derived_from
+
+let default_version db oid =
+  let goid = generic_of db oid in
+  match Traversal.default_version db goid with
+  | Some v -> v
+  | None ->
+      E.raise_error
+        (E.Version_error { oid = goid; reason = "no live version instance" })
+
+let set_default_version db oid version =
+  let gi = generic_info_exn db oid in
+  (match version with
+  | Some v when not (List.exists (Oid.equal v) gi.versions) ->
+      E.raise_error
+        (E.Version_error
+           { oid = v; reason = "not a version instance of this object" })
+  | Some _ | None -> ());
+  gi.user_default <- version
+
+(* Derivation (Figure 1, rules CV-1X/CV-2X). ------------------------------- *)
+
+(* How one copied reference target translates into the derived version. *)
+let translate_ref db ~(spec : A.t) target =
+  match Database.find db target with
+  | None -> None (* dangling weak residue: do not propagate *)
+  | Some target_inst -> (
+      if not (A.is_composite spec) then Some target
+      else
+        match target_inst.kind with
+        | Instance.Plain ->
+            (* A plain object: an exclusive reference cannot be duplicated
+               at all; a shared one can. *)
+            if A.is_exclusive spec then None else Some target
+        | Instance.Generic _ -> Some target (* dynamic binding copies as is *)
+        | Instance.Version vi ->
+            if A.is_exclusive spec then
+              if A.is_dependent spec then None (* set to Nil *)
+              else Some vi.generic (* rebound to the generic, Fig. 1.b *)
+            else Some target (* shared static reference copies as is *))
+
+let translate_value db ~spec v =
+  match v with
+  | Value.Ref target -> (
+      match translate_ref db ~spec target with
+      | Some target' -> Value.Ref target'
+      | None -> Value.Null)
+  | Value.VSet elems ->
+      Value.VSet
+        (List.filter_map
+           (fun elem ->
+             match elem with
+             | Value.Ref target ->
+                 Option.map (fun t -> Value.Ref t) (translate_ref db ~spec target)
+             | other -> Some other)
+           elems)
+  | Value.Null | Value.Int _ | Value.Float _ | Value.Str _ | Value.Bool _ -> v
+
+let derive db source =
+  let vi = version_info_exn db source in
+  let source_inst = Database.get db source in
+  let gi = generic_info_exn db source in
+  let new_vi : Instance.version_info =
+    {
+      generic = vi.generic;
+      version_no = gi.next_version_no;
+      derived_from = Some source;
+      created_at = Database.tick db;
+    }
+  in
+  let fresh =
+    Object_manager.create_raw db ~cls:source_inst.cls
+      ~kind:(Instance.Version new_vi)
+  in
+  gi.next_version_no <- gi.next_version_no + 1;
+  gi.versions <- gi.versions @ [ fresh ];
+  let schema = Database.schema db in
+  (try
+     List.iter
+       (fun (name, v) ->
+         match Schema.attribute schema source_inst.cls name with
+         | None -> ()
+         | Some spec ->
+             let copied = translate_value db ~spec v in
+             if A.is_composite spec then
+               List.iter
+                 (fun child ->
+                   Object_manager.attach_child db ~parent:fresh ~attr:name ~spec
+                     ~child)
+                 (Value.refs copied);
+             Database.write_value db (Database.get db fresh) name copied)
+       source_inst.attrs
+   with exn ->
+     (* Roll the half-built version back. *)
+     Object_manager.delete db fresh;
+     raise exn);
+  fresh
+
+(* Binding changes. ----------------------------------------------------------- *)
+
+let swap_ref db ~holder ~attr ~old_target ~new_target =
+  let v = Object_manager.read_attr db holder attr in
+  if not (Value.contains_ref v old_target) then
+    E.raise_error (E.Not_a_component { child = old_target; parent = holder; attr });
+  let v' = Value.add_ref (Value.remove_ref v old_target) new_target in
+  Object_manager.write_attr db holder attr v'
+
+let bind_dynamically db ~holder ~attr version =
+  let goid = generic_of db version in
+  if Oid.equal goid version then
+    E.raise_error
+      (E.Version_error { oid = version; reason = "already dynamically bound" });
+  swap_ref db ~holder ~attr ~old_target:version ~new_target:goid
+
+let bind_statically db ~holder ~attr ~version =
+  let goid = generic_of db version in
+  swap_ref db ~holder ~attr ~old_target:goid ~new_target:version
+
+(* Derivation hierarchy. ------------------------------------------------------ *)
+
+type tree = { node : Oid.t; no : int; children : tree list }
+
+let derivation_tree db oid =
+  let gi = generic_info_exn db oid in
+  let infos =
+    List.filter_map
+      (fun v ->
+        match Database.find db v with
+        | Some inst -> Option.map (fun vi -> (v, vi)) (Instance.version_info inst)
+        | None -> None)
+      gi.versions
+  in
+  let rec build v (vi : Instance.version_info) =
+    let children =
+      List.filter_map
+        (fun (child, (child_vi : Instance.version_info)) ->
+          match child_vi.derived_from with
+          | Some parent when Oid.equal parent v -> Some (build child child_vi)
+          | Some _ | None -> None)
+        infos
+    in
+    { node = v; no = vi.version_no; children }
+  in
+  List.filter_map
+    (fun (v, (vi : Instance.version_info)) ->
+      match vi.derived_from with
+      | None -> Some (build v vi)
+      | Some parent when not (Database.exists db parent) -> Some (build v vi)
+      | Some _ -> None)
+    infos
+
+let rec pp_tree ppf tree =
+  Format.fprintf ppf "@[<v 2>v%d %a%a@]" tree.no Oid.pp tree.node
+    (fun ppf children ->
+      List.iter (fun child -> Format.fprintf ppf "@,%a" pp_tree child) children)
+    tree.children

@@ -1,0 +1,68 @@
+(** Versions of composite objects (§5).
+
+    The ORION model: an instance of a versionable class is a
+    {e versionable object} — a generic instance collecting {e version
+    instances} related by derivation.  A reference to a version
+    instance is a {e static} binding; a reference to the generic
+    instance is a {e dynamic} binding, resolved to the default version.
+
+    Rules CV-1X…CV-4X are enforced partly here and partly in the core
+    object manager (topology checks at both the version-instance and
+    the generic-instance level; recursive deletion).  {!derive}
+    implements the Figure-1 copy semantics. *)
+
+open Orion_core
+
+val is_versionable : Database.t -> Oid.t -> bool
+
+val generic_of : Database.t -> Oid.t -> Oid.t
+(** The generic instance of a version instance (or the argument itself
+    when it is already generic).
+    @raise Core_error.Error when the object is not versionable. *)
+
+val versions : Database.t -> Oid.t -> Oid.t list
+(** All live version instances of the versionable object designated by
+    any of its members, oldest first. *)
+
+val version_no : Database.t -> Oid.t -> int
+
+val derived_from : Database.t -> Oid.t -> Oid.t option
+
+val derive : Database.t -> Oid.t -> Oid.t
+(** Derive a new version instance from an existing one.  Attribute
+    values are copied with the §5.2 rules:
+    - a weak reference or a shared composite reference is copied as is;
+    - an {e independent exclusive} static reference to a version
+      instance [d_k] is rebound to the generic instance [g_d]
+      (Figure 1.b) — keeping it would violate CV-2X;
+    - a {e dependent exclusive} static reference is set to Nil;
+    - a dynamic reference (to a generic instance) is copied as is.
+    Reverse references of the source version are {e not} copied: the
+    parents still reference the original. *)
+
+val set_default_version : Database.t -> Oid.t -> Oid.t option -> unit
+(** Set (or clear, restoring the system default) the user default
+    version of a versionable object.
+    @raise Core_error.Error if the version does not belong to it. *)
+
+val default_version : Database.t -> Oid.t -> Oid.t
+(** Resolve the default version of a versionable object (§5.1): the
+    user-specified default if any, else the version instance with the
+    latest creation timestamp. *)
+
+val bind_dynamically : Database.t -> holder:Oid.t -> attr:string -> Oid.t -> unit
+(** Replace a reference to a version instance in [holder.attr] by a
+    reference to its generic instance. *)
+
+val bind_statically :
+  Database.t -> holder:Oid.t -> attr:string -> version:Oid.t -> unit
+(** Replace a reference to the generic instance of [version] in
+    [holder.attr] by a direct reference to [version]. *)
+
+type tree = { node : Oid.t; no : int; children : tree list }
+
+val derivation_tree : Database.t -> Oid.t -> tree list
+(** The version-derivation hierarchy of a versionable object: roots are
+    the underived versions. *)
+
+val pp_tree : Format.formatter -> tree -> unit

@@ -1,0 +1,1 @@
+lib/workload/doc_gen.ml: Core_error Database List Object_manager Oid Orion_core Orion_schema Printf Random Scenarios Value

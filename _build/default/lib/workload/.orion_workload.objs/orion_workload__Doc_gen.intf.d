@@ -1,0 +1,1 @@
+lib/workload/doc_gen.mli: Database Oid Orion_core Scenarios

@@ -1,0 +1,1 @@
+lib/workload/part_gen.ml: Core_error Database List Object_manager Oid Orion_core Orion_schema Random Value

@@ -1,0 +1,1 @@
+lib/workload/part_gen.mli: Database Oid Orion_core

@@ -1,0 +1,1 @@
+lib/workload/scenarios.ml: Database List Object_manager Oid Orion_core Orion_schema Printf Value

@@ -1,0 +1,1 @@
+lib/workload/scenarios.mli: Database Oid Orion_core

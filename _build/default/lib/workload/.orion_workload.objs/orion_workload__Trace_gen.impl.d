@@ -1,0 +1,1 @@
+lib/workload/trace_gen.ml: List Orion_core Orion_locking Orion_tx Random Traversal

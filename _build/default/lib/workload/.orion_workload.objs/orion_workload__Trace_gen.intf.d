@@ -1,0 +1,1 @@
+lib/workload/trace_gen.mli: Database Oid Orion_core Orion_tx

@@ -1,0 +1,112 @@
+open Orion_core
+module Schema = Orion_schema.Schema
+
+type config = {
+  documents : int;
+  sections_per_doc : int;
+  paragraphs_per_section : int;
+  share_section : float;
+  share_paragraph : float;
+  annotations_per_doc : int;
+  figures_per_doc : int;
+  seed : int;
+}
+
+let default =
+  {
+    documents = 10;
+    sections_per_doc = 3;
+    paragraphs_per_section = 4;
+    share_section = 0.3;
+    share_paragraph = 0.2;
+    annotations_per_doc = 1;
+    figures_per_doc = 1;
+    seed = 77;
+  }
+
+type corpus = {
+  db : Database.t;
+  classes : Scenarios.document_classes;
+  docs : Oid.t list;
+  total : int;
+  shared_sections : int;
+}
+
+let generate ?db config =
+  let db = match db with Some db -> db | None -> Database.create () in
+  let classes =
+    if Schema.mem (Database.schema db) "Document" then
+      {
+        Scenarios.document = "Document";
+        section = "Section";
+        paragraph = "Paragraph";
+        image = "Image";
+      }
+    else Scenarios.define_document_schema db
+  in
+  let rng = Random.State.make [| config.seed |] in
+  let total = ref 0 in
+  let fresh cls ?parents attrs =
+    incr total;
+    Object_manager.create db ~cls ?parents ~attrs ()
+  in
+  let sections : Oid.t list ref = ref [] in
+  let paragraphs : Oid.t list ref = ref [] in
+  let shared_sections = ref 0 in
+  let pick pool = List.nth pool (Random.State.int rng (List.length pool)) in
+  let make_paragraph section i =
+    if !paragraphs <> [] && Random.State.float rng 1.0 < config.share_paragraph
+    then
+      let existing = pick !paragraphs in
+      try Object_manager.make_component db ~parent:section ~attr:"Content" ~child:existing
+      with Core_error.Error _ -> ()
+    else
+      let p =
+        fresh classes.Scenarios.paragraph
+          ~parents:[ (section, "Content") ]
+          [ ("Text", Value.Str (Printf.sprintf "paragraph %d" i)) ]
+      in
+      paragraphs := p :: !paragraphs
+  in
+  let make_section doc =
+    if !sections <> [] && Random.State.float rng 1.0 < config.share_section then begin
+      let existing = pick !sections in
+      try
+        Object_manager.make_component db ~parent:doc ~attr:"Sections" ~child:existing;
+        incr shared_sections
+      with Core_error.Error _ -> ()
+    end
+    else begin
+      let s = fresh classes.Scenarios.section ~parents:[ (doc, "Sections") ] [] in
+      sections := s :: !sections;
+      for i = 1 to config.paragraphs_per_section do
+        make_paragraph s i
+      done
+    end
+  in
+  let docs =
+    List.init config.documents (fun i ->
+        let doc =
+          fresh classes.Scenarios.document
+            [ ("Title", Value.Str (Printf.sprintf "doc-%03d" i)) ]
+        in
+        for _ = 1 to config.sections_per_doc do
+          make_section doc
+        done;
+        for a = 1 to config.annotations_per_doc do
+          ignore
+            (fresh classes.Scenarios.paragraph
+               ~parents:[ (doc, "Annotations") ]
+               [ ("Text", Value.Str (Printf.sprintf "note %d" a)) ]
+              : Oid.t)
+        done;
+        for f = 1 to config.figures_per_doc do
+          ignore
+            (fresh classes.Scenarios.image
+               ~parents:[ (doc, "Figures") ]
+               [ ("File", Value.Str (Printf.sprintf "fig-%d-%d.png" i f)) ]
+              : Oid.t)
+        done;
+        doc)
+  in
+  { db; classes; docs; total = !total; shared_sections = !shared_sections }

@@ -1,0 +1,37 @@
+(** Seeded generator of document corpora (the paper's Example-2 shape):
+    documents over shared sections over shared paragraphs, with
+    annotations (dependent exclusive) and figures (independent shared).
+
+    Sharing follows the logical-part-hierarchy idea: a new document
+    reuses an existing section with probability [share_section]; a new
+    section reuses an existing paragraph with probability
+    [share_paragraph]. *)
+
+open Orion_core
+
+type config = {
+  documents : int;
+  sections_per_doc : int;
+  paragraphs_per_section : int;
+  share_section : float;
+  share_paragraph : float;
+  annotations_per_doc : int;
+  figures_per_doc : int;
+  seed : int;
+}
+
+val default : config
+(** 10 docs × 3 sections × 4 paragraphs, sharing 0.3/0.2, 1 annotation,
+    1 figure, seed 77. *)
+
+type corpus = {
+  db : Database.t;
+  classes : Scenarios.document_classes;
+  docs : Oid.t list;
+  total : int;
+  shared_sections : int;  (** reuse events that succeeded *)
+}
+
+val generate : ?db:Database.t -> config -> corpus
+(** With [?db] the Example-2 schema must either be absent (it is
+    defined) or have been defined by {!Scenarios.define_document_schema}. *)

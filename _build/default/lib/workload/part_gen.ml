@@ -1,0 +1,86 @@
+open Orion_core
+module A = Orion_schema.Attribute
+module D = Orion_schema.Domain
+module Schema = Orion_schema.Schema
+
+type config = {
+  depth : int;
+  fanout : int;
+  exclusive : bool;
+  dependent : bool;
+  share_prob : float;
+  seed : int;
+}
+
+let default =
+  { depth = 3; fanout = 3; exclusive = true; dependent = true; share_prob = 0.2; seed = 42 }
+
+type forest = { db : Database.t; roots : Oid.t list; node_class : string; total : int }
+
+let node_class_name config = if config.exclusive then "PhysNode" else "LogNode"
+
+let ensure_schema db config =
+  let schema = Database.schema db in
+  let name = node_class_name config in
+  if not (Schema.mem schema name) then begin
+    (* Self-referential composite class: every node can hold subparts. *)
+    ignore
+      (Schema.define schema ~name
+         ~attributes:[ A.make ~name:"Tag" ~domain:(D.Primitive D.P_integer) () ]
+         ()
+        : Orion_schema.Class_def.t);
+    Schema.add_attribute schema ~cls:name
+      (A.make ~name:"Subs" ~domain:(D.Class name) ~collection:A.Set
+         ~refkind:
+           (A.composite ~exclusive:config.exclusive ~dependent:config.dependent ())
+         ())
+  end;
+  name
+
+let generate ?db ~roots config =
+  let db = match db with Some db -> db | None -> Database.create () in
+  let node_class = ensure_schema db config in
+  let rng = Random.State.make [| config.seed |] in
+  let total = ref 0 in
+  let shareable : Oid.t list ref = ref [] in
+  let fresh ?parents tag =
+    incr total;
+    Object_manager.create db ~cls:node_class ?parents
+      ~attrs:[ ("Tag", Value.Int tag) ]
+      ()
+  in
+  let rec build_children parent depth =
+    if depth > 0 then begin
+      let n = max 1 (config.fanout - 1 + Random.State.int rng 3) in
+      for i = 1 to n do
+        let reuse =
+          (not config.exclusive)
+          && !shareable <> []
+          && Random.State.float rng 1.0 < config.share_prob
+        in
+        if reuse then begin
+          let candidate =
+            List.nth !shareable (Random.State.int rng (List.length !shareable))
+          in
+          (* Sharing an existing logical part: legal because only
+             shared-reference nodes are candidates. *)
+          try
+            Object_manager.make_component db ~parent ~attr:"Subs" ~child:candidate
+          with Core_error.Error _ -> ()
+          (* cycle guard may reject; skip *)
+        end
+        else begin
+          let child = fresh ~parents:[ (parent, "Subs") ] (depth * 100 + i) in
+          if not config.exclusive then shareable := child :: !shareable;
+          build_children child (depth - 1)
+        end
+      done
+    end
+  in
+  let root_oids =
+    List.init roots (fun i ->
+        let root = fresh i in
+        build_children root config.depth;
+        root)
+  in
+  { db; roots = root_oids; node_class; total = !total }

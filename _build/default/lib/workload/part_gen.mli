@@ -1,0 +1,34 @@
+(** Seeded generator of part hierarchies (the CAD-style workloads the
+    paper's introduction motivates).
+
+    A {e physical} hierarchy uses exclusive composite references; a
+    {e logical} one uses shared references and reuses existing nodes
+    with probability [share_prob] (bounded so Topology Rule 3 is never
+    violated: only nodes already reached through shared references are
+    candidates for sharing). *)
+
+open Orion_core
+
+type config = {
+  depth : int;  (** levels below each root *)
+  fanout : int;  (** children per node (±1 jitter) *)
+  exclusive : bool;  (** physical (exclusive) vs logical (shared) *)
+  dependent : bool;
+  share_prob : float;  (** logical hierarchies only *)
+  seed : int;
+}
+
+val default : config
+(** depth 3, fanout 3, exclusive, dependent, share 0.2, seed 42. *)
+
+type forest = {
+  db : Database.t;
+  roots : Oid.t list;
+  node_class : string;
+  total : int;  (** objects created *)
+}
+
+val generate : ?db:Database.t -> roots:int -> config -> forest
+(** With [?db], the node class must not already exist unless it was
+    created by a previous [generate] on the same database with the
+    same reference nature. *)

@@ -1,0 +1,170 @@
+open Orion_core
+module A = Orion_schema.Attribute
+module D = Orion_schema.Domain
+module Schema = Orion_schema.Schema
+
+type vehicle_classes = {
+  vehicle : string;
+  auto_body : string;
+  auto_drivetrain : string;
+  auto_tires : string;
+  company : string;
+}
+
+let define_vehicle_schema db =
+  let schema = Database.schema db in
+  let simple name =
+    ignore
+      (Schema.define schema ~name
+         ~attributes:
+           [ A.make ~name:"Name" ~domain:(D.Primitive D.P_string) () ]
+         ()
+        : Orion_schema.Class_def.t)
+  in
+  simple "Company";
+  simple "AutoBody";
+  simple "AutoDrivetrain";
+  simple "AutoTires";
+  (* Example 1: independent exclusive composite references — parts are
+     used by at most one vehicle but survive its dismantling. *)
+  let part_ref = A.composite ~dependent:false ~exclusive:true () in
+  ignore
+    (Schema.define schema ~name:"Vehicle"
+       ~attributes:
+         [
+           A.make ~name:"Manufacturer" ~domain:(D.Class "Company") ();
+           A.make ~name:"Body" ~domain:(D.Class "AutoBody") ~refkind:part_ref ();
+           A.make ~name:"Drivetrain" ~domain:(D.Class "AutoDrivetrain")
+             ~refkind:part_ref ();
+           A.make ~name:"Tires" ~domain:(D.Class "AutoTires") ~collection:A.Set
+             ~refkind:part_ref ();
+           A.make ~name:"Color" ~domain:(D.Primitive D.P_string) ();
+         ]
+       ()
+      : Orion_schema.Class_def.t);
+  {
+    vehicle = "Vehicle";
+    auto_body = "AutoBody";
+    auto_drivetrain = "AutoDrivetrain";
+    auto_tires = "AutoTires";
+    company = "Company";
+  }
+
+type document_classes = {
+  document : string;
+  section : string;
+  paragraph : string;
+  image : string;
+}
+
+let define_document_schema db =
+  let schema = Database.schema db in
+  ignore
+    (Schema.define schema ~name:"Paragraph"
+       ~attributes:[ A.make ~name:"Text" ~domain:(D.Primitive D.P_string) () ]
+       ()
+      : Orion_schema.Class_def.t);
+  ignore
+    (Schema.define schema ~name:"Image"
+       ~attributes:[ A.make ~name:"File" ~domain:(D.Primitive D.P_string) () ]
+       ()
+      : Orion_schema.Class_def.t);
+  ignore
+    (Schema.define schema ~name:"Section"
+       ~attributes:
+         [
+           A.make ~name:"Content" ~domain:(D.Class "Paragraph") ~collection:A.Set
+             ~refkind:(A.composite ~dependent:true ~exclusive:false ())
+             ();
+         ]
+       ()
+      : Orion_schema.Class_def.t);
+  ignore
+    (Schema.define schema ~name:"Document"
+       ~attributes:
+         [
+           A.make ~name:"Title" ~domain:(D.Primitive D.P_string) ();
+           A.make ~name:"Authors" ~domain:(D.Primitive D.P_string)
+             ~collection:A.Set ();
+           A.make ~name:"Sections" ~domain:(D.Class "Section") ~collection:A.Set
+             ~refkind:(A.composite ~dependent:true ~exclusive:false ())
+             ();
+           A.make ~name:"Figures" ~domain:(D.Class "Image") ~collection:A.Set
+             ~refkind:(A.composite ~dependent:false ~exclusive:false ())
+             ();
+           A.make ~name:"Annotations" ~domain:(D.Class "Paragraph")
+             ~collection:A.Set
+             ~refkind:(A.composite ~dependent:true ~exclusive:true ())
+             ();
+         ]
+       ()
+      : Orion_schema.Class_def.t);
+  {
+    document = "Document";
+    section = "Section";
+    paragraph = "Paragraph";
+    image = "Image";
+  }
+
+type vehicle = {
+  v_vehicle : Oid.t;
+  v_body : Oid.t;
+  v_drivetrain : Oid.t;
+  v_tires : Oid.t list;
+}
+
+let build_vehicle db (c : vehicle_classes) ?(tires = 4) ~color () =
+  (* Bottom-up creation: the parts exist before the vehicle (one of the
+     §1 shortcomings the extended model removes). *)
+  let body = Object_manager.create db ~cls:c.auto_body () in
+  let drivetrain = Object_manager.create db ~cls:c.auto_drivetrain () in
+  let tire_oids =
+    List.init tires (fun _ -> Object_manager.create db ~cls:c.auto_tires ())
+  in
+  let vehicle =
+    Object_manager.create db ~cls:c.vehicle
+      ~attrs:
+        [
+          ("Color", Value.Str color);
+          ("Body", Value.Ref body);
+          ("Drivetrain", Value.Ref drivetrain);
+          ("Tires", Value.VSet (List.map (fun t -> Value.Ref t) tire_oids));
+        ]
+      ()
+  in
+  { v_vehicle = vehicle; v_body = body; v_drivetrain = drivetrain; v_tires = tire_oids }
+
+type document = {
+  d_document : Oid.t;
+  d_sections : Oid.t list;
+  d_paragraphs : Oid.t list list;
+}
+
+let build_document db (c : document_classes) ~title ~sections
+    ~paragraphs_per_section =
+  let doc =
+    Object_manager.create db ~cls:c.document ~attrs:[ ("Title", Value.Str title) ]
+      ()
+  in
+  let section_data =
+    List.init sections (fun i ->
+        let section =
+          Object_manager.create db ~cls:c.section
+            ~parents:[ (doc, "Sections") ]
+            ()
+        in
+        let paragraphs =
+          List.init paragraphs_per_section (fun j ->
+              Object_manager.create db ~cls:c.paragraph
+                ~parents:[ (section, "Content") ]
+                ~attrs:
+                  [ ("Text", Value.Str (Printf.sprintf "s%d p%d of %s" i j title)) ]
+                ())
+        in
+        (section, paragraphs))
+  in
+  {
+    d_document = doc;
+    d_sections = List.map fst section_data;
+    d_paragraphs = List.map snd section_data;
+  }

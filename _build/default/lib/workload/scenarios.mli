@@ -1,0 +1,66 @@
+(** The paper's worked schemas, reusable by tests, examples and
+    benchmarks.
+
+    [vehicle] is Example 1 (§2.3): a {e physical} part hierarchy —
+    every composite attribute is an independent exclusive reference, so
+    parts belong to at most one vehicle but survive dismantling.
+
+    [document] is Example 2 (§2.3): a {e logical} part hierarchy —
+    sections and paragraphs are dependent shared (they live while at
+    least one document/section holds them), annotations are dependent
+    exclusive, figures are independent shared. *)
+
+open Orion_core
+
+type vehicle_classes = {
+  vehicle : string;
+  auto_body : string;
+  auto_drivetrain : string;
+  auto_tires : string;
+  company : string;
+}
+
+val define_vehicle_schema : Database.t -> vehicle_classes
+(** Classes: [Company], [AutoBody], [AutoDrivetrain], [AutoTires],
+    [Vehicle] with attributes [Manufacturer] (weak), [Body],
+    [Drivetrain] (independent exclusive), [Tires] (set-of, independent
+    exclusive) and [Color] (string), mirroring the paper's
+    [make-class 'Vehicle]. *)
+
+type document_classes = {
+  document : string;
+  section : string;
+  paragraph : string;
+  image : string;
+}
+
+val define_document_schema : Database.t -> document_classes
+(** Classes: [Paragraph], [Image], [Section] (Content: set-of Paragraph,
+    dependent shared), [Document] (Title, Authors, Sections: dependent
+    shared; Figures: independent shared; Annotations: set-of Paragraph,
+    dependent exclusive). *)
+
+type vehicle = {
+  v_vehicle : Oid.t;
+  v_body : Oid.t;
+  v_drivetrain : Oid.t;
+  v_tires : Oid.t list;
+}
+
+val build_vehicle :
+  Database.t -> vehicle_classes -> ?tires:int -> color:string -> unit -> vehicle
+(** Bottom-up: parts created first, then assembled into a vehicle. *)
+
+type document = {
+  d_document : Oid.t;
+  d_sections : Oid.t list;
+  d_paragraphs : Oid.t list list;  (** per section *)
+}
+
+val build_document :
+  Database.t ->
+  document_classes ->
+  title:string ->
+  sections:int ->
+  paragraphs_per_section:int ->
+  document

@@ -1,0 +1,31 @@
+open Orion_core
+module Scheduler = Orion_tx.Scheduler
+module Protocol = Orion_locking.Protocol
+
+type config = { txs : int; ops_per_tx : int; update_ratio : float; seed : int }
+
+let default = { txs = 16; ops_per_tx = 4; update_ratio = 0.3; seed = 7 }
+
+let accesses rng config =
+  List.init config.ops_per_tx (fun _ ->
+      if Random.State.float rng 1.0 < config.update_ratio then Protocol.Update
+      else Protocol.Read_)
+
+let pick rng items = List.nth items (Random.State.int rng (List.length items))
+
+let composite_scripts _db ~roots config =
+  let rng = Random.State.make [| config.seed |] in
+  List.init config.txs (fun _ ->
+      List.map
+        (fun access -> Scheduler.Lock_composite (pick rng roots, access))
+        (accesses rng config))
+
+let instance_scripts db ~roots config =
+  let rng = Random.State.make [| config.seed |] in
+  List.init config.txs (fun _ ->
+      List.concat_map
+        (fun access ->
+          let root = pick rng roots in
+          let members = root :: Traversal.components_of db root in
+          List.map (fun oid -> Scheduler.Lock_instance (oid, access)) members)
+        (accesses rng config))

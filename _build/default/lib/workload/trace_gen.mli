@@ -1,0 +1,23 @@
+(** Seeded transaction-script generator for the concurrency
+    benchmarks (P6/P7). *)
+
+open Orion_core
+
+type config = {
+  txs : int;
+  ops_per_tx : int;
+  update_ratio : float;  (** fraction of composite accesses that update *)
+  seed : int;
+}
+
+val default : config
+(** 16 transactions, 4 ops each, 30% updates, seed 7. *)
+
+val composite_scripts :
+  Database.t -> roots:Oid.t list -> config -> Orion_tx.Scheduler.script list
+(** Each op locks a whole composite object through the §7 protocol. *)
+
+val instance_scripts :
+  Database.t -> roots:Oid.t list -> config -> Orion_tx.Scheduler.script list
+(** The instance-at-a-time alternative: each op locks the root and
+    every component individually. *)

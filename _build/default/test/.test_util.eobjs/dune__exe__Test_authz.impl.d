@@ -1,0 +1,1 @@
+test/test_authz.ml: Alcotest Database List Object_manager Oid Orion_authz Orion_core Orion_schema QCheck QCheck_alcotest

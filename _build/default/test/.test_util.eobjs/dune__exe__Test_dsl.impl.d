@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest Core_error Database Filename List Oid Option Orion_core Orion_dsl Orion_schema Orion_versions String Sys

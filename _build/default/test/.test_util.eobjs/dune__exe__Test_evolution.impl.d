@@ -1,0 +1,1 @@
+test/test_evolution.ml: Alcotest Database Format Gen Instance Integrity List Object_manager Orion_core Orion_evolution Orion_schema QCheck QCheck_alcotest Rref Traversal Value

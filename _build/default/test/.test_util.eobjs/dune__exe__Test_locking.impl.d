@@ -1,0 +1,1 @@
+test/test_locking.ml: Alcotest Database List Object_manager Oid Orion_core Orion_locking Orion_schema Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Core_error Database Instance Integrity List Object_manager Oid Orion_core Orion_schema Printf QCheck QCheck_alcotest Traversal

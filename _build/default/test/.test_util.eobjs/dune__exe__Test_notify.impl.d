@@ -1,0 +1,1 @@
+test/test_notify.ml: Alcotest Database List Object_manager Oid Orion_core Orion_notify Orion_schema Orion_tx Value

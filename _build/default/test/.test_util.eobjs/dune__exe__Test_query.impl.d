@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Core_error Database Gen List Object_manager Oid Option Orion_core Orion_dsl Orion_query Orion_schema Orion_tx QCheck QCheck_alcotest String Value

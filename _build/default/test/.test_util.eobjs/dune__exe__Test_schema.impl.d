@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest List Option Orion_schema

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Bytes Char Filename Gen List Option Orion_storage QCheck QCheck_alcotest String Sys

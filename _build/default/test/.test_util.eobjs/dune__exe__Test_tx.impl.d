@@ -1,0 +1,1 @@
+test/test_tx.ml: Alcotest Core_error Database Format Gen Integrity List Object_manager Oid Orion_core Orion_locking Orion_schema Orion_tx Orion_workload Printf QCheck QCheck_alcotest Traversal Value

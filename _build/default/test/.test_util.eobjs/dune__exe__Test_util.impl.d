@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest List Orion_util Printf QCheck QCheck_alcotest String

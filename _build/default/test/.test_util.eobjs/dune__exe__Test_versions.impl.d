@@ -1,0 +1,1 @@
+test/test_versions.ml: Alcotest Core_error Database Format Gen Instance Integrity List Object_manager Oid Orion_core Orion_schema Orion_versions QCheck QCheck_alcotest Traversal Value

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Database Instance Integrity List Object_manager Orion_core Orion_tx Orion_workload Traversal

@@ -1,0 +1,242 @@
+(* Tests for Orion_authz: the §6 authorization model — implication
+   closure, strong/weak combination, implicit authorization through
+   composite objects and classes, grant-time conflict rejection. *)
+
+open Orion_core
+module A = Orion_schema.Attribute
+module D = Orion_schema.Domain
+module Schema = Orion_schema.Schema
+module Auth = Orion_authz.Auth
+module Authz = Orion_authz.Authz_manager
+
+let sR = Auth.make Auth.Read
+let sW = Auth.make Auth.Write
+let snR = Auth.make ~sign:Auth.Negative Auth.Read
+let snW = Auth.make ~sign:Auth.Negative Auth.Write
+let wR = Auth.make ~strength:Auth.Weak Auth.Read
+let wW = Auth.make ~strength:Auth.Weak Auth.Write
+let wnR = Auth.make ~strength:Auth.Weak ~sign:Auth.Negative Auth.Read
+let wnW = Auth.make ~strength:Auth.Weak ~sign:Auth.Negative Auth.Write
+
+(* Pure algebra ------------------------------------------------------------ *)
+
+let test_closure () =
+  Alcotest.(check int) "W+ implies R+" 2 (List.length (Auth.closure sW));
+  Alcotest.(check int) "R- implies W-" 2 (List.length (Auth.closure snR));
+  Alcotest.(check int) "R+ implies nothing more" 1 (List.length (Auth.closure sR));
+  Alcotest.(check int) "W- implies nothing more" 1 (List.length (Auth.closure snW))
+
+let display auths = Auth.display (Auth.combine auths)
+
+let test_combination_examples () =
+  (* The four worked cases in §6. *)
+  Alcotest.(check string) "sR + sW" "sW" (display [ sR; sW ]);
+  Alcotest.(check string) "s¬R + s¬W" (Auth.to_string snR) (display [ snR; snW ]);
+  Alcotest.(check string) "s¬R + sW conflicts" "Conflict" (display [ snR; sW ]);
+  Alcotest.(check string) "sR + s¬W coexist"
+    (Auth.to_string sR ^ " " ^ Auth.to_string snW)
+    (display [ sR; snW ])
+
+let test_strong_overrides_weak () =
+  Alcotest.(check string) "sR overrides w¬R on R"
+    (Auth.to_string sR ^ " " ^ Auth.to_string wnW)
+    (display [ sR; wnR ]);
+  Alcotest.(check string) "sW overrides w¬R entirely" "sW" (display [ sW; wnR ]);
+  Alcotest.(check string) "weak-weak contradiction" "Conflict" (display [ wR; wnR ]);
+  Alcotest.(check string) "weak pair compatible"
+    (Auth.to_string wW) (display [ wR; wW ])
+
+let test_allows () =
+  let allows auths op = Auth.allows (Auth.combine auths) op in
+  Alcotest.(check bool) "sW allows W" true (allows [ sW ] Auth.Write);
+  Alcotest.(check bool) "sW allows R (implied)" true (allows [ sW ] Auth.Read);
+  Alcotest.(check bool) "sR does not allow W" false (allows [ sR ] Auth.Write);
+  Alcotest.(check bool) "s¬R blocks even with wR" false (allows [ snR; wR ] Auth.Read);
+  Alcotest.(check bool) "conflict allows nothing" false (allows [ snR; sW ] Auth.Read);
+  Alcotest.(check bool) "empty allows nothing" false (allows [] Auth.Read)
+
+let test_display_canonical () =
+  Alcotest.(check string) "order independent" (display [ sR; snW ])
+    (display [ snW; sR ]);
+  Alcotest.(check string) "empty" "-" (Auth.display (Auth.Effective []))
+
+(* Manager ------------------------------------------------------------------- *)
+
+let fixture () =
+  let db = Database.create () in
+  let schema = Database.schema db in
+  let define ?superclasses name attrs =
+    ignore
+      (Schema.define schema ?superclasses ~name ~attributes:attrs ()
+        : Orion_schema.Class_def.t)
+  in
+  define "Node" [];
+  define ~superclasses:[ "Node" ] "Folder"
+    [
+      A.make ~name:"Items" ~domain:(D.Class "Node") ~collection:A.Set
+        ~refkind:(A.composite ~exclusive:false ~dependent:false ())
+        ();
+    ];
+  (db, Authz.create db)
+
+let must = function
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "unexpected grant conflict"
+
+let test_grant_on_object_implies_components () =
+  let db, authz = fixture () in
+  let root = Object_manager.create db ~cls:"Folder" () in
+  let child = Object_manager.create db ~cls:"Node" ~parents:[ (root, "Items") ] () in
+  let outsider = Object_manager.create db ~cls:"Node" () in
+  must (Authz.grant authz ~subject:"u" ~auth:sR ~target:(Authz.On_object root));
+  Alcotest.(check bool) "root readable" true
+    (Authz.check authz ~subject:"u" ~op:Auth.Read root);
+  Alcotest.(check bool) "component readable" true
+    (Authz.check authz ~subject:"u" ~op:Auth.Read child);
+  Alcotest.(check bool) "outsider not covered" false
+    (Authz.check authz ~subject:"u" ~op:Auth.Read outsider);
+  Alcotest.(check bool) "different subject not covered" false
+    (Authz.check authz ~subject:"v" ~op:Auth.Read child)
+
+let test_grant_on_class_implies_instances_and_components () =
+  let db, authz = fixture () in
+  let root = Object_manager.create db ~cls:"Folder" () in
+  let child = Object_manager.create db ~cls:"Node" ~parents:[ (root, "Items") ] () in
+  must (Authz.grant authz ~subject:"u" ~auth:sR ~target:(Authz.On_class "Folder"));
+  Alcotest.(check bool) "instance covered" true
+    (Authz.check authz ~subject:"u" ~op:Auth.Read root);
+  Alcotest.(check bool) "instance's components covered" true
+    (Authz.check authz ~subject:"u" ~op:Auth.Read child);
+  (* But "the authorization on Vehicle does not imply the same
+     authorization on all instances of AutoBody" (§6): a free-standing
+     Node instance is NOT covered by the grant on Folder. *)
+  let free = Object_manager.create db ~cls:"Node" () in
+  Alcotest.(check bool) "free instance of component class not covered" false
+    (Authz.check authz ~subject:"u" ~op:Auth.Read free)
+
+let test_component_added_later_is_covered () =
+  let db, authz = fixture () in
+  let root = Object_manager.create db ~cls:"Folder" () in
+  must (Authz.grant authz ~subject:"u" ~auth:sW ~target:(Authz.On_object root));
+  let late = Object_manager.create db ~cls:"Node" ~parents:[ (root, "Items") ] () in
+  Alcotest.(check bool) "writable via late membership" true
+    (Authz.check authz ~subject:"u" ~op:Auth.Write late)
+
+let test_shared_component_combination () =
+  let db, authz = fixture () in
+  let j = Object_manager.create db ~cls:"Folder" () in
+  let k = Object_manager.create db ~cls:"Folder" () in
+  let o' =
+    Object_manager.create db ~cls:"Node" ~parents:[ (j, "Items"); (k, "Items") ] ()
+  in
+  must (Authz.grant authz ~subject:"u" ~auth:sR ~target:(Authz.On_object j));
+  must (Authz.grant authz ~subject:"u" ~auth:sW ~target:(Authz.On_object k));
+  Alcotest.(check string) "strongest of the implied" "sW"
+    (Auth.display (Authz.implied_on authz ~subject:"u" o'));
+  Alcotest.(check int) "two contributing grants" 2
+    (List.length (Authz.sources_for authz ~subject:"u" o'))
+
+let test_conflicting_grant_rejected_and_rolled_back () =
+  let db, authz = fixture () in
+  let j = Object_manager.create db ~cls:"Folder" () in
+  let k = Object_manager.create db ~cls:"Folder" () in
+  ignore
+    (Object_manager.create db ~cls:"Node" ~parents:[ (j, "Items"); (k, "Items") ] ()
+      : Oid.t);
+  must (Authz.grant authz ~subject:"u" ~auth:snR ~target:(Authz.On_object j));
+  (match Authz.grant authz ~subject:"u" ~auth:sW ~target:(Authz.On_object k) with
+  | Error conflicting ->
+      Alcotest.(check int) "names the conflicting grant" 1 (List.length conflicting)
+  | Ok () -> Alcotest.fail "expected rejection");
+  Alcotest.(check int) "rejected grant not installed" 1
+    (List.length (Authz.grants authz));
+  (* Weak grants may contradict strong ones: overridable, accepted. *)
+  must (Authz.grant authz ~subject:"u" ~auth:wW ~target:(Authz.On_object k))
+
+let test_roles () =
+  let db, authz = fixture () in
+  let root = Object_manager.create db ~cls:"Folder" () in
+  let child = Object_manager.create db ~cls:"Node" ~parents:[ (root, "Items") ] () in
+  Authz.add_member authz ~role:"designers" ~member:"kim";
+  Authz.add_member authz ~role:"staff" ~member:"designers";
+  must (Authz.grant authz ~subject:"staff" ~auth:sR ~target:(Authz.On_object root));
+  Alcotest.(check bool) "member reads via nested role" true
+    (Authz.check authz ~subject:"kim" ~op:Auth.Read child);
+  Alcotest.(check bool) "non-member denied" false
+    (Authz.check authz ~subject:"lee" ~op:Auth.Read child);
+  Alcotest.(check (list Alcotest.string)) "transitive roles"
+    [ "designers"; "staff" ]
+    (List.sort compare (Authz.roles_of authz "kim"));
+  (* A strong role prohibition combines with (and can conflict against)
+     the member's own grants. *)
+  must (Authz.grant authz ~subject:"kim" ~auth:wW ~target:(Authz.On_object root));
+  Alcotest.(check bool) "weak personal W on top of role R" true
+    (Authz.check authz ~subject:"kim" ~op:Auth.Write child)
+
+let test_revoke () =
+  let db, authz = fixture () in
+  let root = Object_manager.create db ~cls:"Folder" () in
+  must (Authz.grant authz ~subject:"u" ~auth:sR ~target:(Authz.On_object root));
+  Alcotest.(check bool) "revoked" true
+    (Authz.revoke authz ~subject:"u" ~auth:sR ~target:(Authz.On_object root));
+  Alcotest.(check bool) "second revoke is false" false
+    (Authz.revoke authz ~subject:"u" ~auth:sR ~target:(Authz.On_object root));
+  Alcotest.(check bool) "no access afterwards" false
+    (Authz.check authz ~subject:"u" ~op:Auth.Read root)
+
+(* Properties ------------------------------------------------------------------ *)
+
+let auth_gen =
+  QCheck.Gen.oneofl [ sR; sW; snR; snW; wR; wW; wnR; wnW ]
+
+let prop_combine_commutative =
+  QCheck.Test.make ~name:"combine is order-insensitive (display)" ~count:300
+    QCheck.(make QCheck.Gen.(pair auth_gen auth_gen))
+    (fun (a, b) -> display [ a; b ] = display [ b; a ])
+
+let prop_combine_idempotent =
+  QCheck.Test.make ~name:"combining an authorization with itself changes nothing"
+    ~count:100
+    QCheck.(make auth_gen)
+    (fun a -> display [ a; a ] = display [ a ])
+
+let prop_strong_conflict_symmetric =
+  QCheck.Test.make ~name:"conflicts are symmetric" ~count:300
+    QCheck.(make QCheck.Gen.(pair auth_gen auth_gen))
+    (fun (a, b) ->
+      (Auth.combine [ a; b ] = Auth.Conflict)
+      = (Auth.combine [ b; a ] = Auth.Conflict))
+
+let () =
+  Alcotest.run "orion_authz"
+    [
+      ( "algebra",
+        [
+          Alcotest.test_case "closure" `Quick test_closure;
+          Alcotest.test_case "worked examples" `Quick test_combination_examples;
+          Alcotest.test_case "strong vs weak" `Quick test_strong_overrides_weak;
+          Alcotest.test_case "allows" `Quick test_allows;
+          Alcotest.test_case "display canonical" `Quick test_display_canonical;
+        ] );
+      ( "implicit authorization",
+        [
+          Alcotest.test_case "grant on composite object" `Quick
+            test_grant_on_object_implies_components;
+          Alcotest.test_case "grant on composite class" `Quick
+            test_grant_on_class_implies_instances_and_components;
+          Alcotest.test_case "late components covered" `Quick
+            test_component_added_later_is_covered;
+          Alcotest.test_case "shared component combination" `Quick
+            test_shared_component_combination;
+          Alcotest.test_case "conflict rejection" `Quick
+            test_conflicting_grant_rejected_and_rolled_back;
+          Alcotest.test_case "roles" `Quick test_roles;
+          Alcotest.test_case "revoke" `Quick test_revoke;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_combine_commutative;
+          QCheck_alcotest.to_alcotest prop_combine_idempotent;
+          QCheck_alcotest.to_alcotest prop_strong_conflict_symmetric;
+        ] );
+    ]

@@ -1,0 +1,964 @@
+(* Tests for Orion_core: the extended composite-object model of §2–§3.
+   The scenario tests mirror the paper's Examples 1 and 2; the table
+   tests T1/T2 exercise the Deletion Rule and the Topology Rules case
+   by case; qcheck properties check the integrity invariants under
+   random operation sequences. *)
+
+open Orion_core
+module A = Orion_schema.Attribute
+module D = Orion_schema.Domain
+module Schema = Orion_schema.Schema
+module Scenarios = Orion_workload.Scenarios
+
+let oid = Alcotest.testable Oid.pp Oid.equal
+
+let check_integrity db =
+  match Integrity.check db with
+  | [] -> ()
+  | violations ->
+      Alcotest.failf "integrity: %a"
+        (Format.pp_print_list Integrity.pp_violation)
+        violations
+
+let raises_topology f =
+  match f () with
+  | exception Core_error.Error (Core_error.Topology_violation _) -> true
+  | _ -> false
+
+(* A reusable fixture: one parent class with an attribute per reference
+   type, one child class.  [refkinds] names: DX, IX, DS, IS, WK. *)
+let ref_fixture () =
+  let db = Database.create () in
+  let schema = Database.schema db in
+  ignore
+    (Schema.define schema ~name:"Child"
+       ~attributes:[ A.make ~name:"Name" ~domain:(D.Primitive D.P_string) () ]
+       ()
+      : Orion_schema.Class_def.t);
+  ignore
+    (Schema.define schema ~name:"Loner" ~attributes:[] ()
+      : Orion_schema.Class_def.t);
+  let comp ~dependent ~exclusive = A.composite ~dependent ~exclusive () in
+  (* Parent is a subclass of Child so parents can nest under parents
+     (the reference attributes' domain is Child). *)
+  ignore
+    (Schema.define schema ~name:"Parent" ~superclasses:[ "Child" ]
+       ~attributes:
+         [
+           A.make ~name:"DX" ~domain:(D.Class "Child") ~collection:A.Set
+             ~refkind:(comp ~dependent:true ~exclusive:true) ();
+           A.make ~name:"IX" ~domain:(D.Class "Child") ~collection:A.Set
+             ~refkind:(comp ~dependent:false ~exclusive:true) ();
+           A.make ~name:"DS" ~domain:(D.Class "Child") ~collection:A.Set
+             ~refkind:(comp ~dependent:true ~exclusive:false) ();
+           A.make ~name:"IS" ~domain:(D.Class "Child") ~collection:A.Set
+             ~refkind:(comp ~dependent:false ~exclusive:false) ();
+           A.make ~name:"WK" ~domain:(D.Class "Child") ~collection:A.Set ();
+         ]
+       ()
+      : Orion_schema.Class_def.t);
+  db
+
+let new_parent db = Object_manager.create db ~cls:"Parent" ()
+let new_child db = Object_manager.create db ~cls:"Child" ()
+
+(* T1: the deletion semantics of §2.2, rule by rule. ---------------------- *)
+
+let test_deletion_rule_dx () =
+  let db = ref_fixture () in
+  let p = new_parent db and c = new_child db in
+  Object_manager.make_component db ~parent:p ~attr:"DX" ~child:c;
+  Object_manager.delete db p;
+  Alcotest.(check bool) "dependent exclusive component deleted" false
+    (Database.exists db c);
+  check_integrity db
+
+let test_deletion_rule_ix () =
+  let db = ref_fixture () in
+  let p = new_parent db and c = new_child db in
+  Object_manager.make_component db ~parent:p ~attr:"IX" ~child:c;
+  Object_manager.delete db p;
+  Alcotest.(check bool) "independent exclusive component survives" true
+    (Database.exists db c);
+  Alcotest.(check (list oid)) "no parents left" [] (Traversal.parents_of db c);
+  check_integrity db
+
+let test_deletion_rule_ds () =
+  let db = ref_fixture () in
+  let p1 = new_parent db and p2 = new_parent db and c = new_child db in
+  Object_manager.make_component db ~parent:p1 ~attr:"DS" ~child:c;
+  Object_manager.make_component db ~parent:p2 ~attr:"DS" ~child:c;
+  Object_manager.delete db p1;
+  Alcotest.(check bool) "survives while DS(O) non-empty" true (Database.exists db c);
+  Object_manager.delete db p2;
+  Alcotest.(check bool) "deleted with the last dependent shared parent" false
+    (Database.exists db c);
+  check_integrity db
+
+let test_deletion_rule_is () =
+  let db = ref_fixture () in
+  let p1 = new_parent db and p2 = new_parent db and c = new_child db in
+  Object_manager.make_component db ~parent:p1 ~attr:"IS" ~child:c;
+  Object_manager.make_component db ~parent:p2 ~attr:"IS" ~child:c;
+  Object_manager.delete db p1;
+  Object_manager.delete db p2;
+  Alcotest.(check bool) "independent shared component survives" true
+    (Database.exists db c);
+  check_integrity db
+
+let test_deletion_rule_ds_with_is () =
+  (* Decision D2: DS(O) = {O'} but IS(O) non-empty — O survives. *)
+  let db = ref_fixture () in
+  let pd = new_parent db and pi = new_parent db and c = new_child db in
+  Object_manager.make_component db ~parent:pd ~attr:"DS" ~child:c;
+  Object_manager.make_component db ~parent:pi ~attr:"IS" ~child:c;
+  Object_manager.delete db pd;
+  Alcotest.(check bool) "sustained by independent shared parent" true
+    (Database.exists db c);
+  Alcotest.(check (list oid)) "one parent left" [ pi ] (Traversal.parents_of db c);
+  check_integrity db
+
+let test_deletion_rule_recursive () =
+  (* Rule 3 of the Deletion Rule: transitive dependent chains die. *)
+  let db = ref_fixture () in
+  let p = new_parent db in
+  let mid = Object_manager.create db ~cls:"Parent" ~parents:[ (p, "DX") ] () in
+  let leaf = Object_manager.create db ~cls:"Child" ~parents:[ (mid, "DS") ] () in
+  let free = Object_manager.create db ~cls:"Child" ~parents:[ (mid, "IX") ] () in
+  Object_manager.delete db p;
+  Alcotest.(check bool) "mid deleted" false (Database.exists db mid);
+  Alcotest.(check bool) "leaf deleted transitively" false (Database.exists db leaf);
+  Alcotest.(check bool) "independent leaf survives" true (Database.exists db free);
+  check_integrity db
+
+let test_deletion_weak_dangles () =
+  let db = ref_fixture () in
+  let p = new_parent db and c = new_child db in
+  Object_manager.add_to_set db p "WK" c;
+  Object_manager.delete db c;
+  Alcotest.(check bool) "holder survives" true (Database.exists db p);
+  let dangling = Integrity.dangling_weak_refs db in
+  Alcotest.(check int) "one dangling weak reference" 1 (List.length dangling);
+  check_integrity db
+
+(* T2: the Topology Rules, adversarially. --------------------------------- *)
+
+let test_topology_two_exclusive () =
+  let db = ref_fixture () in
+  let p1 = new_parent db and p2 = new_parent db and c = new_child db in
+  Object_manager.make_component db ~parent:p1 ~attr:"DX" ~child:c;
+  Alcotest.(check bool) "second exclusive rejected (rule 1)" true
+    (raises_topology (fun () ->
+         Object_manager.make_component db ~parent:p2 ~attr:"DX" ~child:c));
+  Alcotest.(check bool) "IX after DX rejected (rule 2)" true
+    (raises_topology (fun () ->
+         Object_manager.make_component db ~parent:p2 ~attr:"IX" ~child:c));
+  check_integrity db
+
+let test_topology_exclusive_vs_shared () =
+  let db = ref_fixture () in
+  let p1 = new_parent db and p2 = new_parent db and c = new_child db in
+  Object_manager.make_component db ~parent:p1 ~attr:"IX" ~child:c;
+  Alcotest.(check bool) "shared after exclusive rejected (rule 3)" true
+    (raises_topology (fun () ->
+         Object_manager.make_component db ~parent:p2 ~attr:"DS" ~child:c));
+  check_integrity db
+
+let test_topology_shared_vs_exclusive () =
+  let db = ref_fixture () in
+  let p1 = new_parent db and p2 = new_parent db and c = new_child db in
+  Object_manager.make_component db ~parent:p1 ~attr:"IS" ~child:c;
+  Alcotest.(check bool) "exclusive after shared rejected (rule 3)" true
+    (raises_topology (fun () ->
+         Object_manager.make_component db ~parent:p2 ~attr:"DX" ~child:c));
+  (* More shared references remain fine. *)
+  Object_manager.make_component db ~parent:p2 ~attr:"DS" ~child:c;
+  check_integrity db
+
+let test_topology_weak_unrestricted () =
+  (* Rule 4: any number of weak references, even alongside composite
+     ones. *)
+  let db = ref_fixture () in
+  let p1 = new_parent db and p2 = new_parent db and c = new_child db in
+  Object_manager.make_component db ~parent:p1 ~attr:"DX" ~child:c;
+  Object_manager.add_to_set db p1 "WK" c;
+  Object_manager.add_to_set db p2 "WK" c;
+  Alcotest.(check int) "one composite parent" 1
+    (List.length (Traversal.parents_of db c));
+  check_integrity db
+
+let test_cycle_rejected () =
+  let db = ref_fixture () in
+  let a = new_parent db and b = new_parent db in
+  Object_manager.make_component db ~parent:a ~attr:"IS" ~child:b;
+  Alcotest.(check bool) "direct cycle rejected" true
+    (raises_topology (fun () ->
+         Object_manager.make_component db ~parent:b ~attr:"IS" ~child:a));
+  Alcotest.(check bool) "self cycle rejected" true
+    (raises_topology (fun () ->
+         Object_manager.make_component db ~parent:a ~attr:"IS" ~child:a));
+  check_integrity db
+
+(* Example 1: the Vehicle physical part hierarchy. ------------------------- *)
+
+let test_vehicle_scenario () =
+  let db = Database.create () in
+  let classes = Scenarios.define_vehicle_schema db in
+  let v1 = Scenarios.build_vehicle db classes ~color:"red" () in
+  let v2 = Scenarios.build_vehicle db classes ~color:"blue" () in
+  (* A part may be used by only one vehicle at a time. *)
+  Alcotest.(check bool) "part not shareable across vehicles" true
+    (raises_topology (fun () ->
+         Object_manager.make_component db ~parent:v2.v_vehicle ~attr:"Body"
+           ~child:v1.v_body));
+  (* Dismantle vehicle 1: parts survive (independent references) ... *)
+  Object_manager.delete db v1.v_vehicle;
+  Alcotest.(check bool) "body survives dismantling" true
+    (Database.exists db v1.v_body);
+  (* ... and can now be re-used for another vehicle. *)
+  Object_manager.make_component db ~parent:v2.v_vehicle ~attr:"Tires"
+    ~child:(List.hd v1.v_tires);
+  Alcotest.(check int) "vehicle 2 has 5 tires" 5
+    (List.length
+       (Traversal.components_of db ~classes:[ classes.auto_tires ] v2.v_vehicle));
+  check_integrity db
+
+let test_vehicle_components_of () =
+  let db = Database.create () in
+  let classes = Scenarios.define_vehicle_schema db in
+  let v = Scenarios.build_vehicle db classes ~tires:4 ~color:"red" () in
+  let comps = Traversal.components_of db v.v_vehicle in
+  Alcotest.(check int) "1 body + 1 drivetrain + 4 tires" 6 (List.length comps);
+  Alcotest.(check bool) "body is a component" true
+    (Traversal.component_of db v.v_body v.v_vehicle);
+  Alcotest.(check bool) "body is a child" true
+    (Traversal.child_of db v.v_body v.v_vehicle);
+  Alcotest.(check bool) "exclusive component" true
+    (Traversal.exclusive_component_of db v.v_body v.v_vehicle);
+  Alcotest.(check bool) "not a shared component" false
+    (Traversal.shared_component_of db v.v_body v.v_vehicle);
+  Alcotest.(check (list oid)) "parents of body" [ v.v_vehicle ]
+    (Traversal.parents_of db v.v_body);
+  check_integrity db
+
+(* Example 2: the Document logical part hierarchy. -------------------------- *)
+
+let document_fixture () =
+  let db = Database.create () in
+  let classes = Scenarios.define_document_schema db in
+  (db, classes)
+
+let test_document_sharing () =
+  let db, classes = document_fixture () in
+  let d1 =
+    Scenarios.build_document db classes ~title:"one" ~sections:2
+      ~paragraphs_per_section:3
+  in
+  let d2 =
+    Scenarios.build_document db classes ~title:"two" ~sections:1
+      ~paragraphs_per_section:2
+  in
+  (* An identical chapter may be part of two different books (§1). *)
+  let shared_section = List.hd d1.d_sections in
+  Object_manager.make_component db ~parent:d2.d_document ~attr:"Sections"
+    ~child:shared_section;
+  Alcotest.(check bool) "shared component of d2" true
+    (Traversal.shared_component_of db shared_section d2.d_document);
+  (* Deleting document one keeps the shared section alive... *)
+  Object_manager.delete db d1.d_document;
+  Alcotest.(check bool) "shared section survives" true
+    (Database.exists db shared_section);
+  (* ...but the unshared section of document one is gone. *)
+  Alcotest.(check bool) "unshared section deleted" false
+    (Database.exists db (List.nth d1.d_sections 1));
+  (* Deleting document two now removes the section and its paragraphs. *)
+  Object_manager.delete db d2.d_document;
+  Alcotest.(check bool) "section gone with last document" false
+    (Database.exists db shared_section);
+  List.iter
+    (fun paragraph ->
+      Alcotest.(check bool) "paragraph gone" false (Database.exists db paragraph))
+    (List.hd d1.d_paragraphs);
+  check_integrity db
+
+let test_document_annotations_exclusive () =
+  let db, classes = document_fixture () in
+  let d1 =
+    Scenarios.build_document db classes ~title:"one" ~sections:1
+      ~paragraphs_per_section:1
+  in
+  let d2 =
+    Scenarios.build_document db classes ~title:"two" ~sections:1
+      ~paragraphs_per_section:1
+  in
+  let annotation =
+    Object_manager.create db ~cls:classes.paragraph
+      ~parents:[ (d1.d_document, "Annotations") ]
+      ~attrs:[ ("Text", Value.Str "margin note") ]
+      ()
+  in
+  (* Annotations are not shared among documents. *)
+  Alcotest.(check bool) "annotation not shareable" true
+    (raises_topology (fun () ->
+         Object_manager.make_component db ~parent:d2.d_document
+           ~attr:"Annotations" ~child:annotation));
+  Object_manager.delete db d1.d_document;
+  Alcotest.(check bool) "annotation dies with its document" false
+    (Database.exists db annotation);
+  check_integrity db
+
+let test_document_figures_independent () =
+  let db, classes = document_fixture () in
+  let d =
+    Scenarios.build_document db classes ~title:"illustrated" ~sections:1
+      ~paragraphs_per_section:1
+  in
+  let image =
+    Object_manager.create db ~cls:classes.image
+      ~parents:[ (d.d_document, "Figures") ]
+      ~attrs:[ ("File", Value.Str "fig1.png") ]
+      ()
+  in
+  Object_manager.delete db d.d_document;
+  (* The existence of images does not depend on the documents containing
+     them. *)
+  Alcotest.(check bool) "image survives" true (Database.exists db image);
+  check_integrity db
+
+let test_document_remove_component_existence () =
+  (* Decision D1: removing the last dependent reference deletes the
+     component ("a section exists if it belongs to at least one
+     document"). *)
+  let db, classes = document_fixture () in
+  let d =
+    Scenarios.build_document db classes ~title:"doc" ~sections:1
+      ~paragraphs_per_section:2
+  in
+  let section = List.hd d.d_sections in
+  Object_manager.remove_component db ~parent:d.d_document ~attr:"Sections"
+    ~child:section;
+  Alcotest.(check bool) "section deleted on last removal" false
+    (Database.exists db section);
+  Alcotest.(check bool) "document remains" true (Database.exists db d.d_document);
+  check_integrity db
+
+(* Bottom-up creation with multiple parents (§2.3 make). ------------------- *)
+
+let test_make_with_multiple_parents () =
+  let db, classes = document_fixture () in
+  let d1 =
+    Scenarios.build_document db classes ~title:"a" ~sections:0
+      ~paragraphs_per_section:0
+  in
+  let d2 =
+    Scenarios.build_document db classes ~title:"b" ~sections:0
+      ~paragraphs_per_section:0
+  in
+  (* Simultaneously a part of two documents: must be shared attributes. *)
+  let section =
+    Object_manager.create db ~cls:classes.section
+      ~parents:[ (d1.d_document, "Sections"); (d2.d_document, "Sections") ]
+      ()
+  in
+  Alcotest.(check int) "two parents" 2
+    (List.length (Traversal.parents_of db section));
+  (* Clustering hint is the first parent. *)
+  let inst = Database.get db section in
+  Alcotest.(check (option oid)) "clustered with first parent"
+    (Some d1.d_document) inst.Instance.cluster_with;
+  check_integrity db
+
+let test_make_multiple_exclusive_parents_rejected () =
+  let db = ref_fixture () in
+  let p1 = new_parent db and p2 = new_parent db in
+  (match
+     Object_manager.create db ~cls:"Child"
+       ~parents:[ (p1, "DX"); (p2, "DX") ]
+       ()
+   with
+  | exception Core_error.Error (Core_error.Topology_violation _) -> ()
+  | _ -> Alcotest.fail "expected topology violation");
+  (* The failed make must leave no residue. *)
+  Alcotest.(check int) "no objects created" 2 (Database.count db);
+  Alcotest.(check (list oid)) "p1 value clean" []
+    (Value.refs (Object_manager.read_attr db p1 "DX"));
+  check_integrity db
+
+(* Traversal filters. -------------------------------------------------------- *)
+
+let test_components_levels_and_classes () =
+  let db = ref_fixture () in
+  let root = new_parent db in
+  let mid = Object_manager.create db ~cls:"Parent" ~parents:[ (root, "DX") ] () in
+  let leaf = Object_manager.create db ~cls:"Child" ~parents:[ (mid, "DX") ] () in
+  Alcotest.(check (list oid)) "level 1" [ mid ]
+    (Traversal.components_of db ~level:1 root);
+  Alcotest.(check (list oid)) "level 2" [ mid; leaf ]
+    (Traversal.components_of db ~level:2 root);
+  Alcotest.(check (list oid)) "class filter with subclasses" [ mid; leaf ]
+    (Traversal.components_of db ~classes:[ "Child" ] root);
+  Alcotest.(check (list oid)) "narrow class filter" [ mid ]
+    (Traversal.components_of db ~classes:[ "Parent" ] root);
+  Alcotest.(check (list oid)) "ancestors of leaf" [ mid; root ]
+    (Traversal.ancestors_of db leaf);
+  check_integrity db
+
+let test_exclusive_shared_partition () =
+  let db = ref_fixture () in
+  let root = new_parent db in
+  let excl = Object_manager.create db ~cls:"Child" ~parents:[ (root, "DX") ] () in
+  let shared = Object_manager.create db ~cls:"Child" ~parents:[ (root, "DS") ] () in
+  Alcotest.(check (list oid)) "exclusive filter" [ excl ]
+    (Traversal.components_of db ~filter:`Exclusive root);
+  Alcotest.(check (list oid)) "shared filter" [ shared ]
+    (Traversal.components_of db ~filter:`Shared root);
+  (* An exclusive subtree below a shared link is tainted shared (D11). *)
+  let sub = Object_manager.create db ~cls:"Parent" ~parents:[ (root, "DS") ] () in
+  let below = Object_manager.create db ~cls:"Child" ~parents:[ (sub, "DX") ] () in
+  Alcotest.(check bool) "below shared link is shared" true
+    (Traversal.shared_component_of db below root);
+  check_integrity db
+
+let test_single_attr_replacement () =
+  (* make_component on an occupied Single attribute replaces the child
+     (write semantics): the old independent child is detached, the old
+     dependent child is deleted. *)
+  let db = Database.create () in
+  let schema = Database.schema db in
+  ignore
+    (Schema.define schema ~name:"Part" ~attributes:[] ()
+      : Orion_schema.Class_def.t);
+  ignore
+    (Schema.define schema ~name:"Holder"
+       ~attributes:
+         [
+           A.make ~name:"IndepSlot" ~domain:(D.Class "Part")
+             ~refkind:(A.composite ~exclusive:true ~dependent:false ())
+             ();
+           A.make ~name:"DepSlot" ~domain:(D.Class "Part")
+             ~refkind:(A.composite ~exclusive:true ~dependent:true ())
+             ();
+         ]
+       ()
+      : Orion_schema.Class_def.t);
+  let h = Object_manager.create db ~cls:"Holder" () in
+  let p1 = Object_manager.create db ~cls:"Part" () in
+  let p2 = Object_manager.create db ~cls:"Part" () in
+  Object_manager.make_component db ~parent:h ~attr:"IndepSlot" ~child:p1;
+  Object_manager.make_component db ~parent:h ~attr:"IndepSlot" ~child:p2;
+  Alcotest.(check bool) "p1 detached but alive" true
+    (Database.exists db p1 && Traversal.parents_of db p1 = []);
+  Alcotest.(check bool) "p2 installed" true (Traversal.child_of db p2 h);
+  let d1 = Object_manager.create db ~cls:"Part" () in
+  let d2 = Object_manager.create db ~cls:"Part" () in
+  Object_manager.make_component db ~parent:h ~attr:"DepSlot" ~child:d1;
+  Object_manager.make_component db ~parent:h ~attr:"DepSlot" ~child:d2;
+  Alcotest.(check bool) "old dependent child deleted on replacement" false
+    (Database.exists db d1);
+  check_integrity db
+
+let test_parents_filters () =
+  let db = ref_fixture () in
+  let c = new_child db in
+  let pe = new_parent db and ps = new_parent db in
+  Object_manager.make_component db ~parent:ps ~attr:"DS" ~child:c;
+  Object_manager.make_component db ~parent:pe ~attr:"IS" ~child:c;
+  Alcotest.(check int) "all parents" 2 (List.length (Traversal.parents_of db c));
+  Alcotest.(check (list oid)) "shared filter keeps both" [ ps; pe ]
+    (Traversal.parents_of db ~filter:`Shared c);
+  Alcotest.(check (list oid)) "exclusive filter drops both" []
+    (Traversal.parents_of db ~filter:`Exclusive c);
+  Alcotest.(check (list oid)) "class filter" [ ps; pe ]
+    (Traversal.parents_of db ~classes:[ "Parent" ] c);
+  Alcotest.(check (list oid)) "class filter misses" []
+    (Traversal.parents_of db ~classes:[ "Loner" ] c);
+  check_integrity db
+
+let test_generic_has_no_attrs () =
+  let db = Database.create () in
+  ignore
+    (Schema.define (Database.schema db) ~versionable:true ~name:"V"
+       ~attributes:[ A.make ~name:"X" ~domain:(D.Primitive D.P_integer) () ]
+       ()
+      : Orion_schema.Class_def.t);
+  let v = Object_manager.create db ~cls:"V" () in
+  let g =
+    match Instance.version_info (Database.get db v) with
+    | Some vi -> vi.Instance.generic
+    | None -> Alcotest.fail "expected a version instance"
+  in
+  (match Object_manager.write_attr db g "X" (Value.Int 1) with
+  | exception Core_error.Error (Core_error.Not_an_instance_holder _) -> ()
+  | _ -> Alcotest.fail "expected Not_an_instance_holder");
+  check_integrity db
+
+(* Attribute writes. --------------------------------------------------------- *)
+
+let test_write_attr_diff_semantics () =
+  let db = ref_fixture () in
+  let p = new_parent db in
+  let c1 = new_child db and c2 = new_child db in
+  Object_manager.write_attr db p "IX" (Value.VSet [ Value.Ref c1 ]);
+  Object_manager.write_attr db p "IX" (Value.VSet [ Value.Ref c1; Value.Ref c2 ]);
+  Alcotest.(check int) "two components" 2
+    (List.length (Traversal.children_of db p));
+  (* Replacing the set detaches c1 (independent: survives). *)
+  Object_manager.write_attr db p "IX" (Value.VSet [ Value.Ref c2 ]);
+  Alcotest.(check bool) "c1 detached but alive" true (Database.exists db c1);
+  Alcotest.(check (list oid)) "c1 has no parents" [] (Traversal.parents_of db c1);
+  check_integrity db
+
+let test_write_attr_dependent_replacement_deletes () =
+  let db = ref_fixture () in
+  let p = new_parent db in
+  let c1 = new_child db in
+  Object_manager.write_attr db p "DX" (Value.VSet [ Value.Ref c1 ]);
+  Object_manager.write_attr db p "DX" (Value.VSet []);
+  Alcotest.(check bool) "dependent exclusive child deleted on removal" false
+    (Database.exists db c1);
+  check_integrity db
+
+let test_type_errors () =
+  let db = ref_fixture () in
+  let p = new_parent db in
+  let expect_type_error f =
+    match f () with
+    | exception Core_error.Error (Core_error.Type_error _) -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "int into set-of Child" true
+    (expect_type_error (fun () ->
+         Object_manager.write_attr db p "DX" (Value.Int 3)));
+  let loner = Object_manager.create db ~cls:"Loner" () in
+  Alcotest.(check bool) "wrong class" true
+    (expect_type_error (fun () ->
+         Object_manager.write_attr db p "DX" (Value.VSet [ Value.Ref loner ])));
+  Alcotest.(check bool) "unknown attribute" true
+    (match Object_manager.write_attr db p "Nope" Value.Null with
+    | exception Core_error.Error (Core_error.Unknown_attribute _) -> true
+    | _ -> false);
+  check_integrity db
+
+(* Persistence. --------------------------------------------------------------- *)
+
+let test_codec_roundtrip () =
+  let db = ref_fixture () in
+  let p = new_parent db in
+  let c =
+    Object_manager.create db ~cls:"Child"
+      ~parents:[ (p, "DS") ]
+      ~attrs:[ ("Name", Value.Str "child") ]
+      ()
+  in
+  let inst = Database.get db c in
+  let decoded = Codec.decode (Codec.encode db inst) in
+  Alcotest.(check oid) "oid" inst.Instance.oid decoded.Instance.oid;
+  Alcotest.(check string) "class" inst.Instance.cls decoded.Instance.cls;
+  Alcotest.(check bool) "attrs preserved" true
+    (Value.equal
+       (Option.get (Instance.attr decoded "Name"))
+       (Value.Str "child"));
+  Alcotest.(check int) "rrefs preserved" 1 (List.length decoded.Instance.rrefs)
+
+let test_checkpoint_reload () =
+  let db = Database.create () in
+  let classes = Scenarios.define_vehicle_schema db in
+  let v = Scenarios.build_vehicle db classes ~color:"green" () in
+  Persist.checkpoint db;
+  Persist.reload db;
+  Alcotest.(check int) "components intact after reload" 6
+    (List.length (Traversal.components_of db v.v_vehicle));
+  Alcotest.(check bool) "color intact" true
+    (Value.equal
+       (Object_manager.read_attr db v.v_vehicle "Color")
+       (Value.Str "green"));
+  check_integrity db
+
+let test_save_load_roundtrip () =
+  let db = Database.create () in
+  let classes = Scenarios.define_document_schema db in
+  let d1 =
+    Scenarios.build_document db classes ~title:"persisted" ~sections:2
+      ~paragraphs_per_section:2
+  in
+  let d2 =
+    Scenarios.build_document db classes ~title:"other" ~sections:1
+      ~paragraphs_per_section:1
+  in
+  Object_manager.make_component db ~parent:d2.Scenarios.d_document ~attr:"Sections"
+    ~child:(List.hd d1.Scenarios.d_sections);
+  Persist.save db;
+  let reopened = Persist.load (Database.store db) in
+  Alcotest.(check int) "same object count" (Database.count db)
+    (Database.count reopened);
+  Alcotest.(check bool) "schema restored" true
+    (Schema.mem (Database.schema reopened) classes.Scenarios.document);
+  Alcotest.(check bool) "title restored" true
+    (Value.equal
+       (Object_manager.read_attr reopened d1.Scenarios.d_document "Title")
+       (Value.Str "persisted"));
+  Alcotest.(check int) "shared section keeps two parents" 2
+    (List.length (Traversal.parents_of reopened (List.hd d1.Scenarios.d_sections)));
+  (* New OIDs continue beyond the saved counter. *)
+  let fresh =
+    Object_manager.create reopened ~cls:classes.Scenarios.paragraph ()
+  in
+  Alcotest.(check bool) "fresh oid is new" false
+    (Database.exists db fresh && Oid.to_int fresh < Database.count db);
+  (match Integrity.check reopened with
+  | [] -> ()
+  | violations ->
+      Alcotest.failf "reopened integrity: %a"
+        (Format.pp_print_list Integrity.pp_violation)
+        violations);
+  (* Deletion semantics still work after reopening. *)
+  Object_manager.delete reopened d2.Scenarios.d_document;
+  Object_manager.delete reopened d1.Scenarios.d_document;
+  check_integrity reopened
+
+let test_save_load_external_repr () =
+  let db = Database.create ~rref_repr:Database.External () in
+  let classes = Scenarios.define_vehicle_schema db in
+  let v = Scenarios.build_vehicle db classes ~color:"silver" () in
+  Persist.save db;
+  let reopened = Persist.load (Database.store db) in
+  Alcotest.(check bool) "external repr restored" true
+    (Database.rref_repr reopened = Database.External);
+  Alcotest.(check (list oid)) "reverse references restored" [ v.Scenarios.v_vehicle ]
+    (Traversal.parents_of reopened v.Scenarios.v_body);
+  check_integrity reopened
+
+let test_load_without_catalog_fails () =
+  let store = Orion_storage.Store.create () in
+  match Persist.load store with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure"
+
+let test_compaction () =
+  let db = Database.create ~page_size:512 () in
+  let classes = Scenarios.define_vehicle_schema db in
+  let fleet =
+    List.init 12 (fun i ->
+        Scenarios.build_vehicle db classes ~color:(Printf.sprintf "c%d" i) ())
+  in
+  Persist.checkpoint db;
+  (* Delete most of the fleet: pages now hold mostly dead slots. *)
+  List.iteri
+    (fun i v -> if i > 1 then Object_manager.delete db v.Scenarios.v_vehicle)
+    fleet;
+  let moved = Persist.compact db in
+  Alcotest.(check bool) "some records moved" true (moved > 0);
+  (* Survivors still read back from their (new) RIDs. *)
+  let survivor = List.hd fleet in
+  (match Persist.read_cold db survivor.Scenarios.v_vehicle with
+  | Some image ->
+      Alcotest.(check string) "class intact" classes.Scenarios.vehicle
+        image.Instance.cls
+  | None -> Alcotest.fail "survivor unreadable after compaction");
+  Persist.checkpoint db;
+  Persist.reload db;
+  Alcotest.(check int) "components intact" 6
+    (List.length (Traversal.components_of db survivor.Scenarios.v_vehicle));
+  check_integrity db
+
+let test_scrub_dangling_weak () =
+  let db = ref_fixture () in
+  let p = new_parent db in
+  let c1 = new_child db and c2 = new_child db in
+  Object_manager.add_to_set db p "WK" c1;
+  Object_manager.add_to_set db p "WK" c2;
+  Object_manager.delete db c1;
+  Alcotest.(check int) "one dangling" 1 (List.length (Integrity.dangling_weak_refs db));
+  Alcotest.(check int) "one scrubbed" 1 (Integrity.scrub_dangling_weak db);
+  Alcotest.(check int) "none left" 0 (List.length (Integrity.dangling_weak_refs db));
+  Alcotest.(check (list oid)) "live reference kept" [ c2 ]
+    (Value.refs (Object_manager.read_attr db p "WK"));
+  Alcotest.(check int) "idempotent" 0 (Integrity.scrub_dangling_weak db);
+  check_integrity db
+
+let test_cold_walk () =
+  let db = Database.create () in
+  let classes = Scenarios.define_vehicle_schema db in
+  let v = Scenarios.build_vehicle db classes ~tires:4 ~color:"grey" () in
+  Persist.checkpoint db;
+  Orion_storage.Store.drop_cache (Database.store db);
+  let visited = Persist.walk_cold db v.v_vehicle in
+  Alcotest.(check int) "visits vehicle + 6 parts" 7 visited
+
+(* External reverse-reference representation (ablation A1). ------------------- *)
+
+let test_external_rref_repr () =
+  let db = Database.create ~rref_repr:Database.External () in
+  let schema = Database.schema db in
+  ignore
+    (Schema.define schema ~name:"Child" ~attributes:[] ()
+      : Orion_schema.Class_def.t);
+  ignore
+    (Schema.define schema ~name:"Parent"
+       ~attributes:
+         [
+           A.make ~name:"Kids" ~domain:(D.Class "Child") ~collection:A.Set
+             ~refkind:(A.composite ()) ();
+         ]
+       ()
+      : Orion_schema.Class_def.t);
+  let p = Object_manager.create db ~cls:"Parent" () in
+  let c = Object_manager.create db ~cls:"Child" ~parents:[ (p, "Kids") ] () in
+  Alcotest.(check (list oid)) "parents via external index" [ p ]
+    (Traversal.parents_of db c);
+  Alcotest.(check int) "instance record itself holds none" 0
+    (List.length (Database.get db c).Instance.rrefs);
+  Object_manager.delete db p;
+  Alcotest.(check bool) "cascade works" false (Database.exists db c);
+  check_integrity db
+
+let test_duplicate_set_members_normalized () =
+  let db = ref_fixture () in
+  let p = new_parent db and c = new_child db in
+  Object_manager.write_attr db p "IS" (Value.VSet [ Value.Ref c; Value.Ref c ]);
+  (match Object_manager.read_attr db p "IS" with
+  | Value.VSet [ Value.Ref stored ] -> Alcotest.(check oid) "deduped" c stored
+  | v -> Alcotest.failf "expected singleton set, got %s" (Value.to_string v));
+  Alcotest.(check int) "single reverse reference" 1
+    (List.length (Database.rrefs db c));
+  check_integrity db
+
+let test_same_child_two_attributes () =
+  (* One parent may reference the same child through two different
+     shared attributes; each contributes its own reverse reference. *)
+  let db = ref_fixture () in
+  let p = new_parent db and c = new_child db in
+  Object_manager.make_component db ~parent:p ~attr:"IS" ~child:c;
+  Object_manager.make_component db ~parent:p ~attr:"DS" ~child:c;
+  Alcotest.(check int) "two reverse references" 2
+    (List.length (Database.rrefs db c));
+  Alcotest.(check (list oid)) "one distinct parent" [ p ]
+    (Traversal.parents_of db c);
+  (* Deleting the parent removes both; the DS reference makes the child
+     existence-dependent. *)
+  Object_manager.delete db p;
+  Alcotest.(check bool) "child deleted (dependent ref present)" false
+    (Database.exists db c);
+  check_integrity db
+
+let test_level_is_shortest_path () =
+  (* §2.2: "0 is a level n component of 0' if the SHORTEST path between
+     0 and 0' has n composite references."  Reach leaf both directly
+     (level 1) and through mid (level 2): level-1 filter must keep it. *)
+  let db = ref_fixture () in
+  let root = new_parent db in
+  let mid = Object_manager.create db ~cls:"Parent" ~parents:[ (root, "DS") ] () in
+  let leaf = Object_manager.create db ~cls:"Child" ~parents:[ (root, "IS") ] () in
+  Object_manager.make_component db ~parent:mid ~attr:"DS" ~child:leaf;
+  Alcotest.(check bool) "leaf at level 1" true
+    (List.exists (Oid.equal leaf) (Traversal.components_of db ~level:1 root));
+  check_integrity db
+
+let codec_roundtrip_property =
+  QCheck.Test.make ~name:"codec roundtrip on random objects" ~count:80
+    QCheck.(make Gen.(list_size (int_bound 30) (pair (int_bound 4) small_nat)))
+    (fun ops ->
+      (* Build a database with random structure, then every object must
+         decode back identically. *)
+      let db = ref_fixture () in
+      let objects = ref [] in
+      let pick idx =
+        match !objects with
+        | [] -> None
+        | l -> Some (List.nth l (idx mod List.length l))
+      in
+      List.iter
+        (fun (op, x) ->
+          objects := List.filter (Database.exists db) !objects;
+          try
+            match op with
+            | 0 | 1 ->
+                objects :=
+                  Object_manager.create db
+                    ~cls:(if op = 0 then "Parent" else "Child")
+                    ~attrs:[ ("Name", Value.Str (string_of_int x)) ]
+                    ()
+                  :: !objects
+            | 2 -> (
+                match (pick x, pick (x + 1)) with
+                | Some parent, Some child
+                  when String.equal (Database.class_of db parent) "Parent" ->
+                    Object_manager.make_component db ~parent ~attr:"IS" ~child
+                | _ -> ())
+            | _ -> (
+                match pick x with
+                | Some victim -> Object_manager.delete db victim
+                | None -> ())
+          with Core_error.Error _ -> ())
+        ops;
+      Database.fold db ~init:true ~f:(fun acc inst ->
+          acc
+          &&
+          let decoded = Codec.decode (Codec.encode db inst) in
+          Oid.equal decoded.Instance.oid inst.Instance.oid
+          && String.equal decoded.Instance.cls inst.Instance.cls
+          && List.length decoded.Instance.attrs = List.length inst.Instance.attrs
+          && List.for_all2
+               (fun (n1, v1) (n2, v2) -> String.equal n1 n2 && Value.equal v1 v2)
+               decoded.Instance.attrs inst.Instance.attrs
+          && decoded.Instance.rrefs = inst.Instance.rrefs))
+
+(* qcheck: random operation sequences preserve every invariant. ------------- *)
+
+let random_ops_property =
+  QCheck.Test.make ~name:"random operations preserve integrity" ~count:60
+    QCheck.(make Gen.(list_size (int_bound 120) (pair (int_bound 5) (pair small_nat small_nat))))
+    (fun ops ->
+      let db = ref_fixture () in
+      let objects = ref [] in
+      let pick idx =
+        match !objects with
+        | [] -> None
+        | l -> Some (List.nth l (idx mod List.length l))
+      in
+      let attr_of i =
+        match i mod 5 with
+        | 0 -> "DX"
+        | 1 -> "IX"
+        | 2 -> "DS"
+        | 3 -> "IS"
+        | _ -> "WK"
+      in
+      List.iter
+        (fun (op, (x, y)) ->
+          let refresh () =
+            objects := List.filter (Database.exists db) !objects
+          in
+          refresh ();
+          (try
+             match op with
+             | 0 ->
+                 let cls = if x mod 2 = 0 then "Parent" else "Child" in
+                 objects := Object_manager.create db ~cls () :: !objects
+             | 1 -> (
+                 match (pick x, pick y) with
+                 | Some parent, Some child
+                   when String.equal (Database.class_of db parent) "Parent" ->
+                     Object_manager.make_component db ~parent
+                       ~attr:(attr_of (x + y)) ~child
+                 | _ -> ())
+             | 2 -> (
+                 match pick x with
+                 | Some victim -> Object_manager.delete db victim
+                 | None -> ())
+             | 3 -> (
+                 match (pick x, pick y) with
+                 | Some parent, Some child
+                   when String.equal (Database.class_of db parent) "Parent" ->
+                     let attr = attr_of (x + y) in
+                     let v = Object_manager.read_attr db parent attr in
+                     if Value.contains_ref v child then
+                       Object_manager.remove_component db ~parent ~attr ~child
+                 | _ -> ())
+             | 4 -> (
+                 match (pick x, pick y) with
+                 | Some parent, Some child
+                   when String.equal (Database.class_of db parent) "Parent" ->
+                     Object_manager.add_to_set db parent "WK" child
+                 | _ -> ())
+             | _ -> ()
+           with Core_error.Error _ -> ())
+          (* rejected operations are fine; corruption is not *))
+        ops;
+      Integrity.check db = [])
+
+let () =
+  Alcotest.run "orion_core"
+    [
+      ( "deletion-rule (T1)",
+        [
+          Alcotest.test_case "dependent exclusive" `Quick test_deletion_rule_dx;
+          Alcotest.test_case "independent exclusive" `Quick test_deletion_rule_ix;
+          Alcotest.test_case "dependent shared" `Quick test_deletion_rule_ds;
+          Alcotest.test_case "independent shared" `Quick test_deletion_rule_is;
+          Alcotest.test_case "DS sustained by IS (D2)" `Quick
+            test_deletion_rule_ds_with_is;
+          Alcotest.test_case "recursive" `Quick test_deletion_rule_recursive;
+          Alcotest.test_case "weak dangles (D3)" `Quick test_deletion_weak_dangles;
+        ] );
+      ( "topology-rules (T2)",
+        [
+          Alcotest.test_case "two exclusive" `Quick test_topology_two_exclusive;
+          Alcotest.test_case "exclusive then shared" `Quick
+            test_topology_exclusive_vs_shared;
+          Alcotest.test_case "shared then exclusive" `Quick
+            test_topology_shared_vs_exclusive;
+          Alcotest.test_case "weak unrestricted" `Quick
+            test_topology_weak_unrestricted;
+          Alcotest.test_case "cycles rejected (D4)" `Quick test_cycle_rejected;
+        ] );
+      ( "vehicle (E1)",
+        [
+          Alcotest.test_case "reuse after dismantle" `Quick test_vehicle_scenario;
+          Alcotest.test_case "components-of" `Quick test_vehicle_components_of;
+        ] );
+      ( "document (E2)",
+        [
+          Alcotest.test_case "shared sections" `Quick test_document_sharing;
+          Alcotest.test_case "annotations exclusive" `Quick
+            test_document_annotations_exclusive;
+          Alcotest.test_case "figures independent" `Quick
+            test_document_figures_independent;
+          Alcotest.test_case "existence dependency (D1)" `Quick
+            test_document_remove_component_existence;
+        ] );
+      ( "make (§2.3)",
+        [
+          Alcotest.test_case "multiple parents" `Quick
+            test_make_with_multiple_parents;
+          Alcotest.test_case "exclusive multi-parent rejected" `Quick
+            test_make_multiple_exclusive_parents_rejected;
+        ] );
+      ( "traversal (§3)",
+        [
+          Alcotest.test_case "levels and classes" `Quick
+            test_components_levels_and_classes;
+          Alcotest.test_case "exclusive/shared partition" `Quick
+            test_exclusive_shared_partition;
+          Alcotest.test_case "parents filters" `Quick test_parents_filters;
+          Alcotest.test_case "single-slot replacement" `Quick
+            test_single_attr_replacement;
+          Alcotest.test_case "generic holds no attributes" `Quick
+            test_generic_has_no_attrs;
+        ] );
+      ( "writes",
+        [
+          Alcotest.test_case "set diff semantics" `Quick
+            test_write_attr_diff_semantics;
+          Alcotest.test_case "duplicate set members" `Quick
+            test_duplicate_set_members_normalized;
+          Alcotest.test_case "same child, two attributes" `Quick
+            test_same_child_two_attributes;
+          Alcotest.test_case "level is shortest path" `Quick
+            test_level_is_shortest_path;
+          Alcotest.test_case "dependent replacement" `Quick
+            test_write_attr_dependent_replacement_deletes;
+          Alcotest.test_case "type errors" `Quick test_type_errors;
+        ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "codec roundtrip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "checkpoint/reload" `Quick test_checkpoint_reload;
+          Alcotest.test_case "cold walk" `Quick test_cold_walk;
+          Alcotest.test_case "save/load" `Quick test_save_load_roundtrip;
+          Alcotest.test_case "save/load external rrefs" `Quick
+            test_save_load_external_repr;
+          Alcotest.test_case "load without catalog" `Quick
+            test_load_without_catalog_fails;
+          Alcotest.test_case "compaction" `Quick test_compaction;
+          Alcotest.test_case "weak-ref scavenger" `Quick test_scrub_dangling_weak;
+        ] );
+      ( "representations",
+        [ Alcotest.test_case "external rrefs (A1)" `Quick test_external_rref_repr ]
+      );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest random_ops_property;
+          QCheck_alcotest.to_alcotest codec_roundtrip_property;
+        ] );
+    ]

@@ -1,0 +1,332 @@
+(* Tests for Orion_dsl: the paper's surface syntax end to end —
+   make-class keyword defaults, make with :parent, the §3 messages,
+   version/authorization/evolution commands, and error reporting. *)
+
+open Orion_core
+module Eval = Orion_dsl.Eval
+module Repl = Orion_dsl.Repl
+module Schema = Orion_schema.Schema
+module A = Orion_schema.Attribute
+
+let env_with program =
+  let env = Eval.create_env () in
+  ignore (Eval.eval_program env program : Eval.v list);
+  env
+
+let eval_bool env src =
+  match Eval.eval_string env src with
+  | Eval.Bool b -> b
+  | other -> Alcotest.failf "expected bool, got %a" (Eval.pp_v env) other
+
+let eval_num env src =
+  match Eval.eval_string env src with
+  | Eval.Num n -> n
+  | other -> Alcotest.failf "expected number, got %a" (Eval.pp_v env) other
+
+let eval_objs env src =
+  match Eval.eval_string env src with
+  | Eval.Objs l -> l
+  | Eval.Obj o -> [ o ]
+  | other -> Alcotest.failf "expected objects, got %a" (Eval.pp_v env) other
+
+let test_make_class_defaults () =
+  (* §2.3: "The default value for both the exclusive and dependent
+     keywords is True". *)
+  let env =
+    env_with
+      {|
+(make-class 'P :attributes ((X :domain String)))
+(make-class 'Q :attributes ((R :domain P :composite true)))
+|}
+  in
+  let schema = Database.schema (Eval.database env) in
+  let attr = Option.get (Schema.attribute schema "Q" "R") in
+  Alcotest.(check bool) "exclusive by default" true (A.is_exclusive attr);
+  Alcotest.(check bool) "dependent by default" true (A.is_dependent attr);
+  Alcotest.(check bool) "compositep" true (eval_bool env "(compositep Q R)")
+
+let test_make_class_superclasses_and_sets () =
+  let env =
+    env_with
+      {|
+(make-class 'Base :attributes ((Name :domain String)))
+(make-class 'Derived :superclasses (Base)
+            :attributes ((Items :domain (set-of Base) :composite true :exclusive nil :dependent nil)))
+|}
+  in
+  let schema = Database.schema (Eval.database env) in
+  Alcotest.(check bool) "lattice edge" true
+    (Schema.is_subclass_of schema ~sub:"Derived" ~super:"Base");
+  let attr = Option.get (Schema.attribute schema "Derived" "Items") in
+  Alcotest.(check bool) "set-of" true (attr.A.collection = A.Set);
+  Alcotest.(check bool) "shared" true (A.is_shared attr);
+  Alcotest.(check bool) "inherited attribute visible" true
+    (Schema.attribute schema "Derived" "Name" <> None)
+
+let doc_program =
+  {|
+(make-class 'Para :attributes ((Text :domain String)))
+(make-class 'Sec :attributes (
+  (Content :domain (set-of Para) :composite true :exclusive nil :dependent true)))
+(make-class 'Doc :attributes (
+  (Title :domain String)
+  (Secs :domain (set-of Sec) :composite true :exclusive nil :dependent true)))
+(setq d1 (make Doc :Title "one"))
+(setq d2 (make Doc :Title "two"))
+(setq s (make Sec :parent ((d1 Secs) (d2 Secs))))
+(setq p (make Para :parent ((s Content)) :Text "body"))
+|}
+
+let test_make_with_parents_and_traversal () =
+  let env = env_with doc_program in
+  Alcotest.(check int) "components of d1" 2
+    (List.length (eval_objs env "(components-of d1)"));
+  Alcotest.(check int) "level 1 only" 1
+    (List.length (eval_objs env "(components-of d1 nil nil 1)"));
+  Alcotest.(check int) "class filter" 1
+    (List.length (eval_objs env "(components-of d1 (Para))"));
+  Alcotest.(check int) "parents of s" 2 (List.length (eval_objs env "(parents-of s)"));
+  Alcotest.(check int) "ancestors of p" 3
+    (List.length (eval_objs env "(ancestors-of p)"));
+  Alcotest.(check bool) "component-of" true (eval_bool env "(component-of p d1)");
+  Alcotest.(check bool) "child-of direct" true (eval_bool env "(child-of s d1)");
+  Alcotest.(check bool) "child-of indirect is false" false
+    (eval_bool env "(child-of p d1)");
+  Alcotest.(check bool) "shared-component-of" true
+    (eval_bool env "(shared-component-of s d1)");
+  Alcotest.(check bool) "exclusive-component-of is false" false
+    (eval_bool env "(exclusive-component-of s d1)")
+
+let test_deletion_through_dsl () =
+  let env = env_with doc_program in
+  ignore (Eval.eval_string env "(delete d1)" : Eval.v);
+  Alcotest.(check bool) "shared section survives" true
+    (Eval.lookup env "s" <> None
+    && Database.exists (Eval.database env) (Option.get (Eval.lookup env "s")));
+  ignore (Eval.eval_string env "(delete d2)" : Eval.v);
+  Alcotest.(check int) "everything gone" 0 (eval_num env "(count-objects)");
+  (match Eval.eval_string env "(integrity-check)" with
+  | Eval.Str "consistent" -> ()
+  | other ->
+      Alcotest.failf "inconsistent: %a" (Eval.pp_v env) other)
+
+let test_set_and_get_attr () =
+  let env =
+    env_with
+      {|
+(make-class 'Thing :attributes ((N :domain Integer) (S :domain String)))
+(setq t1 (make Thing :N 42))
+|}
+  in
+  Alcotest.(check int) "get int" 42 (eval_num env "(get-attr t1 N)");
+  ignore (Eval.eval_string env {|(set-attr t1 S "hello")|} : Eval.v);
+  (match Eval.eval_string env "(get-attr t1 S)" with
+  | Eval.Str "hello" -> ()
+  | other -> Alcotest.failf "wrong value: %a" (Eval.pp_v env) other)
+
+let test_versions_through_dsl () =
+  let env =
+    env_with
+      {|
+(make-class 'Design :versionable true :attributes ((Rev :domain Integer)))
+(setq v0 (make Design :Rev 1))
+(setq v1 (derive-version v0))
+|}
+  in
+  Alcotest.(check int) "two versions" 2 (List.length (eval_objs env "(versions-of v0)"));
+  let v1 = Option.get (Eval.lookup env "v1") in
+  (match Eval.eval_string env "(default-version v0)" with
+  | Eval.Obj d -> Alcotest.(check bool) "default is latest" true (Oid.equal d v1)
+  | other -> Alcotest.failf "expected object: %a" (Eval.pp_v env) other);
+  ignore (Eval.eval_string env "(set-default-version v0 v0)" : Eval.v);
+  match Eval.eval_string env "(default-version v1)" with
+  | Eval.Obj d ->
+      Alcotest.(check bool) "user default" true
+        (Oid.equal d (Option.get (Eval.lookup env "v0")))
+  | other -> Alcotest.failf "expected object: %a" (Eval.pp_v env) other
+
+let test_authz_through_dsl () =
+  let env = env_with doc_program in
+  (match Eval.eval_string env {|(grant "kim" sR (object d1))|} with
+  | Eval.Unit -> ()
+  | other -> Alcotest.failf "grant failed: %a" (Eval.pp_v env) other);
+  Alcotest.(check bool) "read allowed on component" true
+    (eval_bool env {|(check "kim" R p)|});
+  Alcotest.(check bool) "write denied" false (eval_bool env {|(check "kim" W p)|});
+  (match Eval.eval_string env {|(implied-on "kim" p)|} with
+  | Eval.Str "sR" -> ()
+  | other -> Alcotest.failf "implied-on: %a" (Eval.pp_v env) other);
+  (* Conflicting grant reports rejection rather than raising. *)
+  (match Eval.eval_string env {|(grant "kim" s~R (object d2))|} with
+  | Eval.Str msg ->
+      Alcotest.(check bool) "mentions rejection" true
+        (String.length msg >= 8 && String.sub msg 0 8 = "rejected")
+  | other -> Alcotest.failf "expected rejection string: %a" (Eval.pp_v env) other)
+
+let test_evolution_through_dsl () =
+  let env = env_with doc_program in
+  (match
+     Eval.eval_string env
+       "(change-attribute-type Doc Secs :composite true :exclusive nil :dependent nil)"
+   with
+  | Eval.Str "I3" -> ()
+  | other -> Alcotest.failf "expected I3: %a" (Eval.pp_v env) other);
+  (* Now deleting both documents keeps the section (independent). *)
+  ignore (Eval.eval_string env "(delete d1)" : Eval.v);
+  ignore (Eval.eval_string env "(delete d2)" : Eval.v);
+  let s = Option.get (Eval.lookup env "s") in
+  Alcotest.(check bool) "section survives after I3" true
+    (Database.exists (Eval.database env) s);
+  ignore (Eval.eval_string env "(drop-attribute Sec Content)" : Eval.v);
+  Alcotest.(check bool) "drop-attribute applied" false
+    (eval_bool env "(compositep Sec)")
+
+let test_errors_are_reported () =
+  let env = env_with "(make-class 'K :attributes ((X :domain String)))" in
+  let expect_error src =
+    match Eval.eval_string env src with
+    | exception Eval.Eval_error _ -> true
+    | exception Core_error.Error _ -> true
+    | exception Orion_schema.Schema.Error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "unbound name" true (expect_error "(delete nobody)");
+  Alcotest.(check bool) "unknown command" true (expect_error "(frobnicate)");
+  Alcotest.(check bool) "unknown class" true (expect_error "(make Ghost)");
+  Alcotest.(check bool) "unknown attribute" true
+    (expect_error {|(setq k (make K :Nope 3))|})
+
+let test_repl_script_and_balanced () =
+  let env = Eval.create_env () in
+  let results =
+    Repl.run_script env
+      "(make-class 'Z :attributes ((N :domain Integer)))\n(setq z (make Z :N 7))\n(get-attr z N)"
+  in
+  Alcotest.(check int) "three results" 3 (List.length results);
+  (match List.rev results with
+  | (_, Eval.Num 7) :: _ -> ()
+  | _ -> Alcotest.fail "last result should be 7");
+  (* Multi-line REPL input through a pipe. *)
+  let input = "(make-class 'Y\n  :attributes ((M :domain Integer)))\n(quit)\n" in
+  let tmp_in = Filename.temp_file "orion" ".in" in
+  let oc = open_out tmp_in in
+  output_string oc input;
+  close_out oc;
+  let ic = open_in tmp_in in
+  let tmp_out = Filename.temp_file "orion" ".out" in
+  let out = open_out tmp_out in
+  Repl.run ic out;
+  close_in ic;
+  close_out out;
+  let ic = open_in tmp_out in
+  let n = in_channel_length ic in
+  let captured = really_input_string ic n in
+  close_in ic;
+  Sys.remove tmp_in;
+  Sys.remove tmp_out;
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "class echoed" true (contains captured "Y");
+  Alcotest.(check bool) "session closed" true (contains captured "bye")
+
+let test_watch_through_dsl () =
+  let env = env_with doc_program in
+  ignore (Eval.eval_string env "(watch w1 d1)" : Eval.v);
+  Alcotest.(check bool) "initially quiet" false (eval_bool env "(changed w1)");
+  ignore (Eval.eval_string env {|(set-attr p Text "edited")|} : Eval.v);
+  Alcotest.(check bool) "flag raised" true (eval_bool env "(changed w1)");
+  (match Eval.eval_string env "(changes w1)" with
+  | Eval.Str s -> Alcotest.(check bool) "mentions Text" true
+      (let contains s sub =
+         let n = String.length s and m = String.length sub in
+         let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+         go 0
+       in
+       contains s ".Text")
+  | other -> Alcotest.failf "unexpected %a" (Eval.pp_v env) other);
+  ignore (Eval.eval_string env "(clear-watch w1)" : Eval.v);
+  Alcotest.(check bool) "cleared" false (eval_bool env "(changed w1)")
+
+let test_misc_commands () =
+  let env = env_with doc_program in
+  (match Eval.eval_string env "(progn (count-objects) (instances-of Doc))" with
+  | Eval.Objs l -> Alcotest.(check int) "progn returns last" 2 (List.length l)
+  | other -> Alcotest.failf "unexpected %a" (Eval.pp_v env) other);
+  (match Eval.eval_string env "(describe s)" with
+  | Eval.Str text ->
+      Alcotest.(check bool) "describe mentions the class" true
+        (let contains s sub =
+           let n = String.length s and m = String.length sub in
+           let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+           go 0
+         in
+         contains text "Sec")
+  | other -> Alcotest.failf "unexpected %a" (Eval.pp_v env) other);
+  ignore (Eval.eval_string env "(create-index Doc Title)" : Eval.v);
+  Alcotest.(check bool) "drop-index true" true (eval_bool env "(drop-index Doc Title)");
+  Alcotest.(check bool) "drop-index again false" false
+    (eval_bool env "(drop-index Doc Title)");
+  (* generic-of on a versionable object through the DSL. *)
+  ignore
+    (Eval.eval_program env
+       {|
+(make-class 'Vd :versionable true :attributes ())
+(setq vv (make Vd))
+(setq gg (generic-of vv))
+|}
+      : Eval.v list);
+  let vv = Option.get (Eval.lookup env "vv") in
+  let gg = Option.get (Eval.lookup env "gg") in
+  Alcotest.(check bool) "generic-of bound" true
+    (Oid.equal gg
+       (Orion_versions.Version_manager.generic_of (Eval.database env) vv))
+
+let test_help_lists_commands () =
+  let env = Eval.create_env () in
+  match Eval.eval_string env "(help)" with
+  | Eval.Str text ->
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      List.iter
+        (fun cmd ->
+          Alcotest.(check bool) ("help mentions " ^ cmd) true (contains text cmd))
+        [ "make-class"; "components-of"; "derive-version"; "grant"; "change-attribute-type" ]
+  | other -> Alcotest.failf "expected help text: %a" (Eval.pp_v env) other
+
+let () =
+  Alcotest.run "orion_dsl"
+    [
+      ( "make-class",
+        [
+          Alcotest.test_case "keyword defaults (§2.3)" `Quick test_make_class_defaults;
+          Alcotest.test_case "superclasses and sets" `Quick
+            test_make_class_superclasses_and_sets;
+        ] );
+      ( "messages (§2.3/§3)",
+        [
+          Alcotest.test_case "make/:parent + traversal" `Quick
+            test_make_with_parents_and_traversal;
+          Alcotest.test_case "deletion" `Quick test_deletion_through_dsl;
+          Alcotest.test_case "set/get attr" `Quick test_set_and_get_attr;
+        ] );
+      ( "subsystem commands",
+        [
+          Alcotest.test_case "versions" `Quick test_versions_through_dsl;
+          Alcotest.test_case "authorization" `Quick test_authz_through_dsl;
+          Alcotest.test_case "evolution" `Quick test_evolution_through_dsl;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "errors reported" `Quick test_errors_are_reported;
+          Alcotest.test_case "watch commands" `Quick test_watch_through_dsl;
+          Alcotest.test_case "misc commands" `Quick test_misc_commands;
+          Alcotest.test_case "repl/script" `Quick test_repl_script_and_balanced;
+          Alcotest.test_case "help" `Quick test_help_lists_commands;
+        ] );
+    ]

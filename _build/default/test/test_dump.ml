@@ -1,0 +1,158 @@
+(* Tests for Orion_dsl.Dump: dumping a database as an ORION program and
+   restoring it preserves schema and composite topology. *)
+
+open Orion_core
+module Eval = Orion_dsl.Eval
+module Dump = Orion_dsl.Dump
+module Schema = Orion_schema.Schema
+module A = Orion_schema.Attribute
+module VM = Orion_versions.Version_manager
+module Scenarios = Orion_workload.Scenarios
+module Part_gen = Orion_workload.Part_gen
+
+let restore_of db = Dump.restore (Dump.dump db)
+
+(* Compare the composite topology of two databases up to the stable
+   naming (o<oid> in the dump equals the original OID). *)
+let same_topology original env =
+  let restored = Eval.database env in
+  Database.count original = Database.count restored
+  && Database.fold original ~init:true ~f:(fun acc (inst : Instance.t) ->
+         acc
+         &&
+         match Eval.lookup env (Printf.sprintf "o%d" (Oid.to_int inst.oid)) with
+         | None -> Instance.is_generic inst (* generics bound lazily *)
+         | Some mapped -> (
+             match Database.find restored mapped with
+             | None -> false
+             | Some r_inst ->
+                 String.equal inst.cls r_inst.Instance.cls
+                 && List.length (Database.rrefs original inst.oid)
+                    = List.length (Database.rrefs restored mapped)))
+
+let test_schema_roundtrip () =
+  let db = Database.create () in
+  let _ = Scenarios.define_vehicle_schema db in
+  let _ = Scenarios.define_document_schema db in
+  let env = Dump.restore (Dump.dump_schema db) in
+  let schema = Database.schema (Eval.database env) in
+  List.iter
+    (fun cls ->
+      Alcotest.(check bool) (cls ^ " restored") true (Schema.mem schema cls))
+    [ "Vehicle"; "AutoBody"; "Document"; "Section"; "Paragraph"; "Image" ];
+  let attr = Option.get (Schema.attribute schema "Document" "Sections") in
+  Alcotest.(check bool) "flags preserved" true
+    (A.is_composite attr && A.is_shared attr && A.is_dependent attr);
+  let tires = Option.get (Schema.attribute schema "Vehicle" "Tires") in
+  Alcotest.(check bool) "set-of preserved" true (tires.A.collection = A.Set)
+
+let test_objects_roundtrip () =
+  let db = Database.create () in
+  let classes = Scenarios.define_document_schema db in
+  let d1 =
+    Scenarios.build_document db classes ~title:"one" ~sections:2
+      ~paragraphs_per_section:2
+  in
+  let d2 =
+    Scenarios.build_document db classes ~title:"two" ~sections:1
+      ~paragraphs_per_section:1
+  in
+  (* Introduce sharing so reverse-reference counts are non-trivial. *)
+  Object_manager.make_component db ~parent:d2.Scenarios.d_document ~attr:"Sections"
+    ~child:(List.hd d1.Scenarios.d_sections);
+  let env = restore_of db in
+  Alcotest.(check bool) "topology preserved" true (same_topology db env);
+  Integrity.assert_ok (Eval.database env);
+  (* The shared section still has two document parents. *)
+  let section_name =
+    Printf.sprintf "o%d" (Oid.to_int (List.hd d1.Scenarios.d_sections))
+  in
+  let restored_section = Option.get (Eval.lookup env section_name) in
+  Alcotest.(check int) "two parents after restore" 2
+    (List.length (Traversal.parents_of (Eval.database env) restored_section))
+
+let test_random_forest_roundtrip () =
+  let forest =
+    Part_gen.generate ~roots:3
+      { Part_gen.default with exclusive = false; share_prob = 0.3; seed = 17 }
+  in
+  let env = restore_of forest.Part_gen.db in
+  Alcotest.(check bool) "topology preserved" true
+    (same_topology forest.Part_gen.db env);
+  Integrity.assert_ok (Eval.database env)
+
+let test_versions_roundtrip () =
+  let db = Database.create () in
+  let define ?versionable name attrs =
+    ignore
+      (Schema.define (Database.schema db) ?versionable ~name ~attributes:attrs ()
+        : Orion_schema.Class_def.t)
+  in
+  define ~versionable:true "M"
+    [ A.make ~name:"Rev" ~domain:(Orion_schema.Domain.Primitive Orion_schema.Domain.P_integer) () ];
+  let v0 = Object_manager.create db ~cls:"M" ~attrs:[ ("Rev", Value.Int 0) ] () in
+  let v1 = VM.derive db v0 in
+  Object_manager.write_attr db v1 "Rev" (Value.Int 1);
+  let v2 = VM.derive db v1 in
+  Object_manager.write_attr db v2 "Rev" (Value.Int 2);
+  VM.set_default_version db (VM.generic_of db v0) (Some v1);
+  let env = restore_of db in
+  let rdb = Eval.database env in
+  let r_v0 = Option.get (Eval.lookup env (Printf.sprintf "o%d" (Oid.to_int v0))) in
+  let r_v1 = Option.get (Eval.lookup env (Printf.sprintf "o%d" (Oid.to_int v1))) in
+  Alcotest.(check int) "three versions" 3 (List.length (VM.versions rdb r_v0));
+  Alcotest.(check bool) "derivation chain" true
+    (VM.derived_from rdb r_v1 = Some r_v0);
+  Alcotest.(check bool) "user default restored" true
+    (Oid.equal (VM.default_version rdb (VM.generic_of rdb r_v0)) r_v1);
+  Alcotest.(check bool) "attribute values restored" true
+    (Value.equal (Object_manager.read_attr rdb r_v1 "Rev") (Value.Int 1));
+  Integrity.assert_ok rdb
+
+let test_dangling_weak_dropped () =
+  let db = Database.create () in
+  let define name attrs =
+    ignore
+      (Schema.define (Database.schema db) ~name ~attributes:attrs ()
+        : Orion_schema.Class_def.t)
+  in
+  define "T" [];
+  define "H" [ A.make ~name:"W" ~domain:(Orion_schema.Domain.Class "T") () ];
+  let t = Object_manager.create db ~cls:"T" () in
+  let h = Object_manager.create db ~cls:"H" ~attrs:[ ("W", Value.Ref t) ] () in
+  Object_manager.delete db t;
+  ignore h;
+  (* The dangling weak reference must not break the dump. *)
+  let env = restore_of db in
+  Integrity.assert_ok (Eval.database env);
+  Alcotest.(check int) "one object restored" 1 (Database.count (Eval.database env))
+
+module Doc_gen = Orion_workload.Doc_gen
+
+let prop_dump_restore_topology =
+  QCheck.Test.make ~name:"dump/restore preserves random corpora" ~count:15
+    QCheck.(make QCheck.Gen.(int_bound 10_000))
+    (fun seed ->
+      let corpus =
+        Doc_gen.generate
+          { Doc_gen.default with documents = 6; seed; share_section = 0.4 }
+      in
+      let db = corpus.Doc_gen.db in
+      let env = restore_of db in
+      same_topology db env
+      && Integrity.check (Eval.database env) = [])
+
+let () =
+  Alcotest.run "orion_dump"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "schema" `Quick test_schema_roundtrip;
+          Alcotest.test_case "documents with sharing" `Quick test_objects_roundtrip;
+          Alcotest.test_case "random logical forest" `Quick
+            test_random_forest_roundtrip;
+          Alcotest.test_case "versions" `Quick test_versions_roundtrip;
+          Alcotest.test_case "dangling weak refs" `Quick test_dangling_weak_dropped;
+          QCheck_alcotest.to_alcotest prop_dump_restore_topology;
+        ] );
+    ]

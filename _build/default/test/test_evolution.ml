@@ -1,0 +1,392 @@
+(* Tests for Orion_evolution: the §4 schema evolution semantics —
+   dropping attributes/superclasses/classes with Deletion-Rule
+   behaviour, the I/D change taxonomy, immediate vs deferred
+   application and the CC catch-up machinery. *)
+
+open Orion_core
+module A = Orion_schema.Attribute
+module D = Orion_schema.Domain
+module Schema = Orion_schema.Schema
+module Change = Orion_evolution.Change
+module Evolution = Orion_evolution.Evolution
+
+let check_integrity db =
+  match Integrity.check db with
+  | [] -> ()
+  | violations ->
+      Alcotest.failf "integrity: %a"
+        (Format.pp_print_list Integrity.pp_violation)
+        violations
+
+let comp ?(dependent = true) ?(exclusive = true) () =
+  A.composite ~dependent ~exclusive ()
+
+let fixture ?(refkind = comp ()) () =
+  let db = Database.create () in
+  let schema = Database.schema db in
+  let define ?superclasses name attrs =
+    ignore
+      (Schema.define schema ?superclasses ~name ~attributes:attrs ()
+        : Orion_schema.Class_def.t)
+  in
+  define "C" [ A.make ~name:"Tag" ~domain:(D.Primitive D.P_string) () ];
+  define "Cp"
+    [
+      A.make ~name:"A" ~domain:(D.Class "C") ~collection:A.Set ~refkind ();
+      A.make ~name:"Plain" ~domain:(D.Primitive D.P_integer) ();
+    ];
+  let ev = Evolution.attach db in
+  (db, ev)
+
+let linked db =
+  let h = Object_manager.create db ~cls:"Cp" () in
+  let c = Object_manager.create db ~cls:"C" ~parents:[ (h, "A") ] () in
+  (h, c)
+
+(* Taxonomy classification (pure). *)
+let test_classification () =
+  let open Change in
+  let w = A.Weak in
+  let c ~e ~d = A.Composite { exclusive = e; dependent = d } in
+  let check name expected from_ to_ =
+    Alcotest.(check (list (Alcotest.testable pp_primitive ( = ))))
+      name expected (classify ~from_ ~to_)
+  in
+  check "no change" [] w w;
+  check "I1" [ I1 ] (c ~e:true ~d:true) w;
+  check "D1" [ D1 ] w (c ~e:true ~d:false);
+  check "D2" [ D2 ] w (c ~e:false ~d:true);
+  check "I2" [ I2 ] (c ~e:true ~d:true) (c ~e:false ~d:true);
+  check "D3" [ D3 ] (c ~e:false ~d:true) (c ~e:true ~d:true);
+  check "I3" [ I3 ] (c ~e:true ~d:true) (c ~e:true ~d:false);
+  check "I4" [ I4 ] (c ~e:true ~d:false) (c ~e:true ~d:true);
+  check "compound I2+I3" [ I2; I3 ] (c ~e:true ~d:true) (c ~e:false ~d:false);
+  check "compound D3+I4" [ D3; I4 ] (c ~e:false ~d:false) (c ~e:true ~d:true);
+  Alcotest.(check bool) "D-changes are state dependent" true
+    (state_dependent [ I2; D3 ]);
+  Alcotest.(check bool) "I-changes are not" false (state_dependent [ I1; I2; I3; I4 ])
+
+let test_drop_attribute_deletes_dependents () =
+  let db, ev = fixture () in
+  let h, c = linked db in
+  Evolution.drop_attribute ev ~cls:"Cp" ~attr:"A";
+  Alcotest.(check bool) "dependent component deleted" false (Database.exists db c);
+  Alcotest.(check bool) "holder survives" true (Database.exists db h);
+  Alcotest.(check bool) "attribute gone from schema" true
+    (Schema.attribute (Database.schema db) "Cp" "A" = None);
+  check_integrity db
+
+let test_drop_attribute_keeps_independents () =
+  let db, ev = fixture ~refkind:(comp ~dependent:false ()) () in
+  let _, c = linked db in
+  Evolution.drop_attribute ev ~cls:"Cp" ~attr:"A";
+  Alcotest.(check bool) "independent component survives" true (Database.exists db c);
+  Alcotest.(check (list Alcotest.int)) "no reverse references left" []
+    (List.map (fun _ -> 0) (Database.rrefs db c));
+  check_integrity db
+
+let test_drop_superclass () =
+  let db, ev = fixture () in
+  let schema = Database.schema db in
+  ignore
+    (Schema.define schema ~name:"Sub" ~superclasses:[ "Cp" ] ~attributes:[] ()
+      : Orion_schema.Class_def.t);
+  let h = Object_manager.create db ~cls:"Sub" () in
+  let c = Object_manager.create db ~cls:"C" ~parents:[ (h, "A") ] () in
+  Evolution.drop_superclass ev ~cls:"Sub" ~super:"Cp";
+  Alcotest.(check bool) "lost composite attribute cascades" false
+    (Database.exists db c);
+  Alcotest.(check bool) "holder survives" true (Database.exists db h);
+  Alcotest.(check bool) "attribute no longer effective" true
+    (Schema.attribute schema "Sub" "A" = None);
+  check_integrity db
+
+let test_drop_class () =
+  let db, ev = fixture () in
+  let schema = Database.schema db in
+  ignore
+    (Schema.define schema ~name:"Sub" ~superclasses:[ "Cp" ] ~attributes:[] ()
+      : Orion_schema.Class_def.t);
+  let h, c = linked db in
+  let sub = Object_manager.create db ~cls:"Sub" () in
+  let sub_c = Object_manager.create db ~cls:"C" ~parents:[ (sub, "A") ] () in
+  Evolution.drop_class ev "Cp";
+  Alcotest.(check bool) "instances of the class deleted" false (Database.exists db h);
+  Alcotest.(check bool) "their dependent components deleted" false
+    (Database.exists db c);
+  Alcotest.(check bool) "subclass instances survive" true (Database.exists db sub);
+  Alcotest.(check bool) "but lose the inherited composite components" false
+    (Database.exists db sub_c);
+  Alcotest.(check bool) "class gone" false (Schema.mem schema "Cp");
+  check_integrity db
+
+let expect_ok = function
+  | Ok prims -> prims
+  | Error r -> Alcotest.failf "unexpected rejection: %a" Evolution.pp_rejection r
+
+let test_i1_immediate_and_deferred () =
+  List.iter
+    (fun mode ->
+      let db, ev = fixture () in
+      let _, c = linked db in
+      let prims =
+        expect_ok
+          (Evolution.change_attribute_type ev ~mode ~cls:"Cp" ~attr:"A" ~to_:A.Weak ())
+      in
+      Alcotest.(check int) "classified I1" 1 (List.length prims);
+      (* Deferred: the reverse reference disappears on first access. *)
+      ignore (Database.get db c : Instance.t);
+      Alcotest.(check int) "reverse references dropped" 0
+        (List.length (Database.rrefs db c));
+      Alcotest.(check bool) "object survives I1" true (Database.exists db c);
+      Evolution.flush_all ev;
+      check_integrity db)
+    [ Evolution.Immediate; Evolution.Deferred ]
+
+let test_i2_allows_sharing_afterwards () =
+  let db, ev = fixture () in
+  let _, c = linked db in
+  ignore
+    (expect_ok
+       (Evolution.change_attribute_type ev ~cls:"Cp" ~attr:"A"
+          ~to_:(comp ~exclusive:false ())
+          ()));
+  let h2 = Object_manager.create db ~cls:"Cp" () in
+  Object_manager.make_component db ~parent:h2 ~attr:"A" ~child:c;
+  Alcotest.(check int) "two parents now" 2
+    (List.length (Traversal.parents_of db c));
+  check_integrity db
+
+let test_i4_then_deletion_semantics_change () =
+  (* independent -> dependent (I4): after the change, deleting the
+     holder must delete the component. *)
+  let db, ev = fixture ~refkind:(comp ~dependent:false ()) () in
+  let h, c = linked db in
+  ignore
+    (expect_ok
+       (Evolution.change_attribute_type ev ~cls:"Cp" ~attr:"A"
+          ~to_:(comp ~dependent:true ())
+          ()));
+  Object_manager.delete db h;
+  Alcotest.(check bool) "component now dependent: deleted" false
+    (Database.exists db c);
+  check_integrity db
+
+let test_deferred_catch_up_on_access () =
+  let db, ev = fixture () in
+  let _, c = linked db in
+  ignore
+    (expect_ok
+       (Evolution.change_attribute_type ev ~mode:Evolution.Deferred ~cls:"Cp"
+          ~attr:"A"
+          ~to_:(comp ~dependent:false ())
+          ()));
+  (* Before any access the stored flag is stale; reading through the
+     hook repairs it. *)
+  let refs = Database.rrefs db c in
+  Alcotest.(check bool) "flag repaired lazily" true
+    (List.for_all (fun (r : Rref.t) -> not r.Rref.dependent) refs);
+  check_integrity db
+
+let test_deferred_multiple_changes_in_order () =
+  let db, ev = fixture () in
+  let _, c = linked db in
+  let change to_ =
+    ignore
+      (expect_ok
+         (Evolution.change_attribute_type ev ~mode:Evolution.Deferred ~cls:"Cp"
+            ~attr:"A" ~to_ ()))
+  in
+  change (comp ~dependent:false ());
+  change (comp ~dependent:false ~exclusive:false ());
+  change (comp ~dependent:true ~exclusive:false ());
+  (* One access applies all three in CC order; the final state wins. *)
+  let refs = Database.rrefs db c in
+  Alcotest.(check bool) "final flags: dependent shared" true
+    (List.for_all
+       (fun (r : Rref.t) -> r.Rref.dependent && not r.Rref.exclusive)
+       refs);
+  Evolution.flush_all ev;
+  check_integrity db
+
+let test_new_instance_skips_old_entries () =
+  (* §4.3: "when a new instance is created, its CC is set to the current
+     CC of the class" — stale log entries never apply to it. *)
+  let db, ev = fixture () in
+  ignore
+    (expect_ok
+       (Evolution.change_attribute_type ev ~mode:Evolution.Deferred ~cls:"Cp"
+          ~attr:"A" ~to_:A.Weak ()));
+  (* Make it composite again (D2 is immediate). *)
+  ignore
+    (expect_ok
+       (Evolution.change_attribute_type ev ~cls:"Cp" ~attr:"A"
+          ~to_:(comp ~exclusive:false ~dependent:false ())
+          ()));
+  let h, c = linked db in
+  ignore h;
+  (* Accessing the fresh object must NOT apply the old Drop_rrefs. *)
+  ignore (Database.get db c : Instance.t);
+  Alcotest.(check int) "reverse reference intact" 1
+    (List.length (Database.rrefs db c));
+  check_integrity db
+
+let test_d1_verification () =
+  let db, ev = fixture ~refkind:A.Weak () in
+  let h = Object_manager.create db ~cls:"Cp" () in
+  let c = Object_manager.create db ~cls:"C" () in
+  Object_manager.add_to_set db h "A" c;
+  (* Clean: accepted, reverse references installed. *)
+  ignore
+    (expect_ok
+       (Evolution.change_attribute_type ev ~cls:"Cp" ~attr:"A"
+          ~to_:(comp ~exclusive:true ~dependent:false ())
+          ()));
+  Alcotest.(check int) "reverse reference added" 1
+    (List.length (Database.rrefs db c));
+  check_integrity db
+
+let test_d1_rejects_double_reference () =
+  let db, ev = fixture ~refkind:A.Weak () in
+  let h1 = Object_manager.create db ~cls:"Cp" () in
+  let h2 = Object_manager.create db ~cls:"Cp" () in
+  let c = Object_manager.create db ~cls:"C" () in
+  Object_manager.add_to_set db h1 "A" c;
+  Object_manager.add_to_set db h2 "A" c;
+  (match
+     Evolution.change_attribute_type ev ~cls:"Cp" ~attr:"A"
+       ~to_:(comp ~exclusive:true ~dependent:false ())
+       ()
+   with
+  | Error (Evolution.Target_referenced_twice _) -> ()
+  | Ok _ -> Alcotest.fail "expected rejection"
+  | Error r -> Alcotest.failf "wrong rejection: %a" Evolution.pp_rejection r);
+  (* Rejected atomically: still weak, no reverse references. *)
+  Alcotest.(check int) "no reverse refs" 0 (List.length (Database.rrefs db c));
+  Alcotest.(check bool) "schema unchanged" false
+    (Schema.compositep (Database.schema db) "Cp" ~attr:"A" ());
+  check_integrity db
+
+let test_d2_then_existing_values_become_components () =
+  let db, ev = fixture ~refkind:A.Weak () in
+  let h = Object_manager.create db ~cls:"Cp" () in
+  let c = Object_manager.create db ~cls:"C" () in
+  Object_manager.add_to_set db h "A" c;
+  ignore
+    (expect_ok
+       (Evolution.change_attribute_type ev ~cls:"Cp" ~attr:"A"
+          ~to_:(comp ~exclusive:false ~dependent:true ())
+          ()));
+  Alcotest.(check bool) "now a component" true (Traversal.component_of db c h);
+  (* And deletion semantics apply. *)
+  Object_manager.delete db h;
+  Alcotest.(check bool) "dependent component dies" false (Database.exists db c);
+  check_integrity db
+
+let test_d_change_rejects_cycle () =
+  (* Weak references may form cycles; converting them to composite must
+     be refused when it would create a composite cycle (decision D4). *)
+  let db = Database.create () in
+  let schema = Database.schema db in
+  ignore
+    (Schema.define schema ~name:"N"
+       ~attributes:[ A.make ~name:"Next" ~domain:(D.Class "N") () ]
+       ()
+      : Orion_schema.Class_def.t);
+  let ev = Evolution.attach db in
+  let a = Object_manager.create db ~cls:"N" () in
+  let b = Object_manager.create db ~cls:"N" ~attrs:[ ("Next", Value.Ref a) ] () in
+  Object_manager.write_attr db a "Next" (Value.Ref b);
+  (match
+     Evolution.change_attribute_type ev ~cls:"N" ~attr:"Next"
+       ~to_:(comp ~exclusive:false ~dependent:false ())
+       ()
+   with
+  | Error (Evolution.Would_cycle _) -> ()
+  | Ok _ -> Alcotest.fail "expected cycle rejection"
+  | Error r -> Alcotest.failf "wrong rejection: %a" Evolution.pp_rejection r);
+  Alcotest.(check bool) "schema rolled back" false
+    (Schema.compositep schema "N" ~attr:"Next" ());
+  check_integrity db
+
+let test_primitive_domain_cannot_become_composite () =
+  let db, ev = fixture () in
+  ignore db;
+  match
+    Evolution.change_attribute_type ev ~cls:"Cp" ~attr:"Plain" ~to_:(comp ()) ()
+  with
+  | Error (Evolution.Not_a_reference _) -> ()
+  | Ok _ -> Alcotest.fail "expected Not_a_reference"
+  | Error r -> Alcotest.failf "wrong rejection: %a" Evolution.pp_rejection r
+
+(* Property: for any sequence of legal state-independent flips, the
+   deferred strategy flushed at the end agrees with the immediate one. *)
+let prop_deferred_equals_immediate =
+  QCheck.Test.make ~name:"deferred+flush == immediate" ~count:30
+    QCheck.(make Gen.(list_size (int_bound 8) (pair bool bool)))
+    (fun flips ->
+      let run mode =
+        let db, ev = fixture () in
+        let _, c = linked db in
+        List.iter
+          (fun (exclusive, dependent) ->
+            match
+              Evolution.change_attribute_type ev ~mode ~cls:"Cp" ~attr:"A"
+                ~to_:(A.Composite { exclusive; dependent })
+                ()
+            with
+            | Ok _ | Error _ -> ())
+          flips;
+        Evolution.flush_all ev;
+        (Database.rrefs db c, Integrity.check db = [])
+      in
+      let refs_imm, ok_imm = run Evolution.Immediate in
+      let refs_def, ok_def = run Evolution.Deferred in
+      ok_imm && ok_def
+      && List.length refs_imm = List.length refs_def
+      && List.for_all2
+           (fun (a : Rref.t) (b : Rref.t) ->
+             a.Rref.exclusive = b.Rref.exclusive
+             && a.Rref.dependent = b.Rref.dependent)
+           refs_imm refs_def)
+
+let () =
+  Alcotest.run "orion_evolution"
+    [
+      ("taxonomy", [ Alcotest.test_case "classification" `Quick test_classification ]);
+      ( "drops (§4.1)",
+        [
+          Alcotest.test_case "drop attribute: dependents die" `Quick
+            test_drop_attribute_deletes_dependents;
+          Alcotest.test_case "drop attribute: independents live" `Quick
+            test_drop_attribute_keeps_independents;
+          Alcotest.test_case "drop superclass" `Quick test_drop_superclass;
+          Alcotest.test_case "drop class" `Quick test_drop_class;
+        ] );
+      ( "state-independent (§4.2-4.3)",
+        [
+          Alcotest.test_case "I1 both modes" `Quick test_i1_immediate_and_deferred;
+          Alcotest.test_case "I2 enables sharing" `Quick
+            test_i2_allows_sharing_afterwards;
+          Alcotest.test_case "I4 changes deletion" `Quick
+            test_i4_then_deletion_semantics_change;
+          Alcotest.test_case "deferred catch-up" `Quick
+            test_deferred_catch_up_on_access;
+          Alcotest.test_case "deferred ordering" `Quick
+            test_deferred_multiple_changes_in_order;
+          Alcotest.test_case "new instances skip old entries" `Quick
+            test_new_instance_skips_old_entries;
+        ] );
+      ( "state-dependent (§4.2-4.3)",
+        [
+          Alcotest.test_case "D1 verification" `Quick test_d1_verification;
+          Alcotest.test_case "D1 double reference" `Quick
+            test_d1_rejects_double_reference;
+          Alcotest.test_case "D2 components gain semantics" `Quick
+            test_d2_then_existing_values_become_components;
+          Alcotest.test_case "cycle rejection" `Quick test_d_change_rejects_cycle;
+          Alcotest.test_case "primitive domain" `Quick
+            test_primitive_domain_cannot_become_composite;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_deferred_equals_immediate ]);
+    ]

@@ -1,0 +1,53 @@
+(* Every figure/table reproduction must pass all of its checks.  The
+   detailed per-subsystem behaviour is tested in the other suites; this
+   one asserts the paper-facing experiment reports. *)
+
+module Figures = Orion_experiments.Figures
+module Perf = Orion_experiments.Perf
+module Report = Orion_experiments.Report
+
+let test_report make () =
+  let report = make () in
+  if not (Report.ok report) then
+    Alcotest.failf "experiment failed:@.%a" Report.pp report
+
+let case id make = Alcotest.test_case id `Quick (test_report make)
+
+let () =
+  Alcotest.run "orion_experiments"
+    [
+      ( "figures",
+        [
+          case "F1 derive copy semantics" Figures.fig1_derive_copy;
+          case "F2 versioned topology" Figures.fig2_versioned_topology;
+          case "F3 ref-counts" Figures.fig3_refcounts;
+          case "F4 authz on composite" Figures.fig4_authz_composite;
+          case "F5 shared authz" Figures.fig5_shared_authz;
+          case "F6 authorization matrix" Figures.fig6_matrix;
+          case "F7 lock matrix (exclusive)" Figures.fig7_matrix;
+          case "F8 lock matrix (shared)" Figures.fig8_matrix;
+          case "F9 locking protocol" Figures.fig9_protocol;
+          case "G1 root-locking anomaly" Figures.garz88_anomaly;
+        ] );
+      ( "examples",
+        [
+          case "E1 vehicle" Figures.example1_vehicle;
+          case "E2 document" Figures.example2_document;
+        ] );
+      ( "tables",
+        [
+          case "T1 deletion semantics" Figures.t1_deletion_semantics;
+          case "T2 topology rules" Figures.t2_topology_rules;
+          case "T3 evolution taxonomy" Figures.t3_evolution_taxonomy;
+        ] );
+      ( "performance",
+        [
+          case "P4 evolution cost" (fun () -> Perf.p4_evolution_cost ());
+          case "P5 clustering" (fun () -> Perf.p5_clustering ());
+          case "P6 composite vs instance locking" (fun () ->
+              Perf.p6_composite_vs_instance_locking ());
+          case "P7 matrix ablation" (fun () -> Perf.p7_matrix_ablation ());
+          case "P8 lock escalation" (fun () -> Perf.p8_lock_escalation ());
+          case "A1 rref representation" (fun () -> Perf.a1_rref_representation ());
+        ] );
+    ]

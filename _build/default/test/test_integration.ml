@@ -1,0 +1,208 @@
+(* End-to-end integration: one design-studio story exercising every
+   subsystem together — DSL schema definition, composite objects,
+   versions, queries with indexes, change notification, transactions
+   with rollback, schema evolution, authorization, full save/load and
+   dump/restore — asserting database integrity at every stage. *)
+
+open Orion_core
+module A = Orion_schema.Attribute
+module Schema = Orion_schema.Schema
+module VM = Orion_versions.Version_manager
+module Evolution = Orion_evolution.Evolution
+module Auth = Orion_authz.Auth
+module Authz = Orion_authz.Authz_manager
+module Expr = Orion_query.Expr
+module Engine = Orion_query.Engine
+module Notifier = Orion_notify.Notifier
+module Tx = Orion_tx.Tx_manager
+module Protocol = Orion_locking.Protocol
+module Eval = Orion_dsl.Eval
+module Dump = Orion_dsl.Dump
+
+let stage db name =
+  match Integrity.check db with
+  | [] -> ()
+  | violations ->
+      Alcotest.failf "integrity after %s:@.%a" name
+        (Format.pp_print_list Integrity.pp_violation)
+        violations
+
+let schema_program =
+  {|
+(make-class 'Cell :attributes ((Id :domain String) (Area :domain Integer)))
+(make-class 'Block :attributes (
+  (Name :domain String)
+  (Cells :domain (set-of Cell) :composite true :exclusive nil :dependent nil)))
+(make-class 'Board :versionable true :attributes (
+  (Name :domain String)
+  (Blocks :domain (set-of Block) :composite true :exclusive true :dependent true)))
+|}
+
+let test_design_studio () =
+  let env = Eval.create_env () in
+  let db = Eval.database env in
+  ignore (Eval.eval_program env schema_program : Eval.v list);
+
+  (* -- Build the design bottom-up (shared standard cells). ---------- *)
+  let cell id area =
+    Object_manager.create db ~cls:"Cell"
+      ~attrs:[ ("Id", Value.Str id); ("Area", Value.Int area) ]
+      ()
+  in
+  let nand = cell "nand2" 4 and inv = cell "inv" 2 and ff = cell "dff" 9 in
+  let block name cells =
+    Object_manager.create db ~cls:"Block"
+      ~attrs:
+        [
+          ("Name", Value.Str name);
+          ("Cells", Value.VSet (List.map (fun c -> Value.Ref c) cells));
+        ]
+      ()
+  in
+  let alu = block "alu" [ nand; inv ] in
+  let regs = block "regs" [ ff; inv ] in
+  let board =
+    Object_manager.create db ~cls:"Board"
+      ~attrs:
+        [
+          ("Name", Value.Str "main");
+          ("Blocks", Value.VSet [ Value.Ref alu; Value.Ref regs ]);
+        ]
+      ()
+  in
+  stage db "construction";
+  Alcotest.(check bool) "inv shared by both blocks" true
+    (List.length (Traversal.parents_of db inv) = 2);
+  Alcotest.(check int) "board components" 5
+    (List.length (Traversal.components_of db board));
+
+  (* -- Queries with an index. --------------------------------------- *)
+  let engine = Engine.create db in
+  ignore (Engine.add_index engine ~cls:"Cell" ~attr:"Id" : Orion_query.Index.t);
+  let big_cells = Expr.Cmp (Expr.Gt, [ "Area" ], Value.Int 3) in
+  Alcotest.(check int) "two big cells" 2 (Engine.count engine ~cls:"Cell" big_cells);
+  let blocks_with_big =
+    Engine.select engine ~cls:"Block" (Expr.Exists ([ "Cells" ], big_cells))
+  in
+  Alcotest.(check int) "both blocks have one" 2 (List.length blocks_with_big);
+
+  (* -- Change notification + a transaction that aborts. -------------- *)
+  let notifier = Eval.notifier env in
+  let w = Notifier.watch notifier board in
+  Notifier.clear notifier w;
+  let manager = Tx.create db in
+  let tx = Tx.begin_tx manager in
+  Alcotest.(check bool) "tx locks the composite board" true
+    (Tx.lock_composite manager tx ~root:board Protocol.Update = `Granted);
+  Tx.write_attr manager tx nand "Area" (Value.Int 5);
+  Alcotest.(check bool) "watcher saw the component write" true
+    (Notifier.changed notifier w);
+  ignore (Tx.abort manager tx : int list);
+  Alcotest.(check bool) "abort rolled the write back" true
+    (Value.equal (Object_manager.read_attr db nand "Area") (Value.Int 4));
+  stage db "transaction rollback";
+  Alcotest.(check (list Alcotest.int)) "index agrees after rollback"
+    (List.map Oid.to_int (Engine.select engine ~cls:"Cell" big_cells))
+    (List.map Oid.to_int [ nand; ff ]);
+
+  (* -- Versions: derive the board, rebind a block. ------------------- *)
+  let board_v1 = VM.derive db board in
+  Alcotest.(check bool) "dependent exclusive blocks become Nil on derive" true
+    (Value.equal (Object_manager.read_attr db board_v1 "Blocks") (Value.VSet []));
+  let alu2 = block "alu-v2" [ nand ] in
+  Object_manager.write_attr db board_v1 "Blocks" (Value.VSet [ Value.Ref alu2 ]);
+  VM.set_default_version db (VM.generic_of db board) (Some board_v1);
+  stage db "versioning";
+
+  (* -- Schema evolution: blocks become shareable (I2). ---------------- *)
+  (match
+     Evolution.change_attribute_type (Eval.evolution env) ~cls:"Board"
+       ~attr:"Blocks"
+       ~to_:(A.composite ~exclusive:false ~dependent:true ())
+       ()
+   with
+  | Ok [ Orion_evolution.Change.I2 ] -> ()
+  | Ok other ->
+      Alcotest.failf "unexpected classification (%d)" (List.length other)
+  | Error r -> Alcotest.failf "rejected: %a" Evolution.pp_rejection r);
+  (* Now the two board versions can share a block. *)
+  Object_manager.make_component db ~parent:board_v1 ~attr:"Blocks" ~child:regs;
+  Alcotest.(check int) "regs now in two boards" 2
+    (List.length (Traversal.parents_of db regs));
+  stage db "evolution";
+
+  (* -- Authorization on the composite board. ------------------------- *)
+  let authz = Eval.authz env in
+  Authz.add_member authz ~role:"designers" ~member:"kim";
+  (match
+     Authz.grant authz ~subject:"designers" ~auth:(Auth.make Auth.Write)
+       ~target:(Authz.On_object board_v1)
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "grant failed");
+  Alcotest.(check bool) "role member writes a shared component" true
+    (Authz.check authz ~subject:"kim" ~op:Auth.Write regs);
+  Alcotest.(check bool) "outsider denied" false
+    (Authz.check authz ~subject:"mallory" ~op:Auth.Read regs);
+
+  (* -- Full save / load. ---------------------------------------------- *)
+  Persist.save db;
+  let reopened = Persist.load (Database.store db) in
+  stage reopened "reopen";
+  Alcotest.(check int) "same population" (Database.count db)
+    (Database.count reopened);
+  Alcotest.(check bool) "version structure survives" true
+    (List.length (VM.versions reopened board) = 2
+    && Oid.equal (VM.default_version reopened (VM.generic_of reopened board)) board_v1);
+  let engine2 = Engine.create reopened in
+  Alcotest.(check int) "query over the reopened database" 2
+    (Engine.count engine2 ~cls:"Cell" big_cells);
+
+  (* -- Dump / restore preserves the topology. ------------------------- *)
+  let env2 = Dump.restore (Dump.dump reopened) in
+  stage (Eval.database env2) "dump/restore";
+  Alcotest.(check int) "restored population" (Database.count reopened)
+    (Database.count (Eval.database env2))
+
+(* Duality properties over random forests: components/ancestors are
+   converse relations, and exclusive/shared partition the components. *)
+let prop_traversal_duality =
+  QCheck.Test.make ~name:"components-of and ancestors-of are converse" ~count:25
+    QCheck.(make QCheck.Gen.(pair (int_bound 1000) bool))
+    (fun (seed, exclusive) ->
+      let forest =
+        Orion_workload.Part_gen.generate ~roots:2
+          {
+            Orion_workload.Part_gen.default with
+            seed;
+            exclusive;
+            share_prob = 0.35;
+            depth = 3;
+          }
+      in
+      let db = forest.Orion_workload.Part_gen.db in
+      let objects = Database.fold db ~init:[] ~f:(fun acc i -> i.Instance.oid :: acc) in
+      List.for_all
+        (fun root ->
+          let comps = Traversal.components_of db root in
+          List.for_all
+            (fun o ->
+              let is_comp = List.exists (Oid.equal o) comps in
+              let has_anc = List.exists (Oid.equal root) (Traversal.ancestors_of db o) in
+              is_comp = has_anc)
+            objects
+          &&
+          (* Partition: exclusive + shared = all, disjoint. *)
+          let ex = Traversal.components_of db ~filter:`Exclusive root in
+          let sh = Traversal.components_of db ~filter:`Shared root in
+          List.length ex + List.length sh = List.length comps
+          && List.for_all (fun o -> not (List.exists (Oid.equal o) sh)) ex)
+        forest.Orion_workload.Part_gen.roots)
+
+let () =
+  Alcotest.run "orion_integration"
+    [
+      ( "end-to-end",
+        [ Alcotest.test_case "design studio" `Quick test_design_studio ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_traversal_duality ]);
+    ]

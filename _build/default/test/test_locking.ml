@@ -1,0 +1,303 @@
+(* Tests for Orion_locking: mode compatibility (Figures 7/8), the lock
+   table (FIFO queues, conversion, deadlock detection), the composite
+   protocols and the GARZ88 root-locking algorithm. *)
+
+open Orion_core
+module A = Orion_schema.Attribute
+module D = Orion_schema.Domain
+module Schema = Orion_schema.Schema
+module LM = Orion_locking.Lock_mode
+module LT = Orion_locking.Lock_table
+module Protocol = Orion_locking.Protocol
+
+(* Modes -------------------------------------------------------------------- *)
+
+let test_textual_constraints () =
+  let open LM in
+  (* Every constraint stated in §7's prose. *)
+  Alcotest.(check bool) "IS || IX" true (compat IS IX);
+  Alcotest.(check bool) "ISO conflicts IX" false (compat ISO IX);
+  Alcotest.(check bool) "IXO conflicts IS" false (compat IXO IS);
+  Alcotest.(check bool) "IXO conflicts IX" false (compat IXO IX);
+  Alcotest.(check bool) "SIXO conflicts IS" false (compat SIXO IS);
+  Alcotest.(check bool) "SIXO conflicts IX" false (compat SIXO IX);
+  (* "several readers and writers on a component class of exclusive
+     references" *)
+  Alcotest.(check bool) "ISO || ISO" true (compat ISO ISO);
+  Alcotest.(check bool) "ISO || IXO" true (compat ISO IXO);
+  Alcotest.(check bool) "IXO || IXO" true (compat IXO IXO);
+  (* "several readers and one writer on a component class of shared
+     references" *)
+  Alcotest.(check bool) "ISOS || ISOS" true (compat ISOS ISOS);
+  Alcotest.(check bool) "ISOS conflicts IXOS" false (compat ISOS IXOS);
+  Alcotest.(check bool) "IXOS conflicts IXOS" false (compat IXOS IXOS);
+  (* Figure-9 example consequences. *)
+  Alcotest.(check bool) "IXO || ISOS (examples 1,2)" true (compat IXO ISOS);
+  Alcotest.(check bool) "IXO conflicts IXOS (example 3 vs 1)" false (compat IXO IXOS)
+
+let test_matrix_symmetric_and_x_exclusive () =
+  let open LM in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.(check bool)
+            (Printf.sprintf "sym %s/%s" (to_string a) (to_string b))
+            (compat a b) (compat b a))
+        all;
+      Alcotest.(check bool)
+        (Printf.sprintf "X conflicts %s" (to_string a))
+        false (compat X a))
+    all
+
+let test_refined_superset () =
+  let open LM in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if compat a b then
+            Alcotest.(check bool)
+              (Printf.sprintf "refined admits %s/%s" (to_string a) (to_string b))
+              true (compat_refined a b))
+        all)
+    all;
+  Alcotest.(check bool) "refined admits IXO || IXOS" true (compat_refined IXO IXOS);
+  Alcotest.(check bool) "refined still blocks IXOS || IXOS" false
+    (compat_refined IXOS IXOS)
+
+let mode_t = Alcotest.testable LM.pp ( = )
+
+let test_supremum () =
+  let open LM in
+  Alcotest.(check (option mode_t)) "IS v IX" (Some IX) (supremum IS IX);
+  Alcotest.(check (option mode_t)) "S v IX" (Some SIX) (supremum S IX);
+  Alcotest.(check (option mode_t)) "S v X" (Some X) (supremum S X);
+  Alcotest.(check (option mode_t)) "ISO v IXO" (Some IXO) (supremum ISO IXO);
+  Alcotest.(check (option mode_t)) "cross-family none" None (supremum IS ISO)
+
+let test_of_string () =
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (LM.to_string m) true
+        (LM.of_string (LM.to_string m) = Some m))
+    LM.all;
+  Alcotest.(check bool) "junk" true (LM.of_string "Z" = None)
+
+(* Lock table ------------------------------------------------------------------ *)
+
+let g1 = LT.G_class "C"
+let gi oid = LT.G_instance (Oid.of_int oid)
+
+let test_grant_and_conflict () =
+  let t = LT.create () in
+  Alcotest.(check bool) "t1 S granted" true (LT.acquire t ~tx:1 g1 LM.S = `Granted);
+  Alcotest.(check bool) "t2 IS granted" true (LT.acquire t ~tx:2 g1 LM.IS = `Granted);
+  Alcotest.(check bool) "t3 IX blocked" true (LT.acquire t ~tx:3 g1 LM.IX = `Blocked);
+  Alcotest.(check int) "two holders" 2 (List.length (LT.holders t g1));
+  Alcotest.(check int) "one waiter" 1 (List.length (LT.waiting t))
+
+let test_fifo_wakeup () =
+  let t = LT.create () in
+  ignore (LT.acquire t ~tx:1 g1 LM.X);
+  Alcotest.(check bool) "t2 queued" true (LT.acquire t ~tx:2 g1 LM.S = `Blocked);
+  Alcotest.(check bool) "t3 queued" true (LT.acquire t ~tx:3 g1 LM.S = `Blocked);
+  let woken = LT.release_all t ~tx:1 in
+  Alcotest.(check (list Alcotest.int)) "both readers wake" [ 2; 3 ] woken;
+  Alcotest.(check int) "both granted" 2 (List.length (LT.holders t g1))
+
+let test_fifo_no_overtaking () =
+  let t = LT.create () in
+  ignore (LT.acquire t ~tx:1 g1 LM.S);
+  ignore (LT.acquire t ~tx:2 g1 LM.X) (* blocked *);
+  (* A new reader must NOT jump the queued writer. *)
+  Alcotest.(check bool) "reader waits behind writer" true
+    (LT.acquire t ~tx:3 g1 LM.S = `Blocked);
+  let woken = LT.release_all t ~tx:1 in
+  Alcotest.(check (list Alcotest.int)) "writer first" [ 2 ] woken
+
+let test_reacquire_held_is_granted () =
+  let t = LT.create () in
+  ignore (LT.acquire t ~tx:1 g1 LM.IX);
+  Alcotest.(check bool) "same mode again" true (LT.acquire t ~tx:1 g1 LM.IX = `Granted);
+  Alcotest.(check bool) "covered mode (IX covers IS)" true
+    (LT.acquire t ~tx:1 g1 LM.IS = `Granted);
+  Alcotest.(check bool) "holds" true (LT.holds t ~tx:1 g1 LM.IS)
+
+let test_self_upgrade () =
+  let t = LT.create () in
+  ignore (LT.acquire t ~tx:1 g1 LM.IS);
+  (* Upgrading against only one's own locks succeeds. *)
+  Alcotest.(check bool) "upgrade to X" true (LT.acquire t ~tx:1 g1 LM.X = `Granted)
+
+let test_deadlock_detection () =
+  let t = LT.create () in
+  ignore (LT.acquire t ~tx:1 (gi 1) LM.X);
+  ignore (LT.acquire t ~tx:2 (gi 2) LM.X);
+  Alcotest.(check bool) "t1 waits for t2" true (LT.acquire t ~tx:1 (gi 2) LM.X = `Blocked);
+  Alcotest.(check bool) "no deadlock yet" true (LT.find_deadlock t = None);
+  Alcotest.(check bool) "t2 waits for t1" true (LT.acquire t ~tx:2 (gi 1) LM.X = `Blocked);
+  (match LT.find_deadlock t with
+  | Some cycle ->
+      Alcotest.(check bool) "cycle has both" true
+        (List.mem 1 cycle && List.mem 2 cycle)
+  | None -> Alcotest.fail "deadlock not found");
+  (* Breaking it by releasing one transaction clears the cycle. *)
+  ignore (LT.release_all t ~tx:2 : int list);
+  Alcotest.(check bool) "cleared" true (LT.find_deadlock t = None)
+
+let test_release_drops_queue_entries () =
+  let t = LT.create () in
+  ignore (LT.acquire t ~tx:1 g1 LM.X);
+  ignore (LT.acquire t ~tx:2 g1 LM.X) (* queued *);
+  ignore (LT.release_all t ~tx:2 : int list);
+  Alcotest.(check int) "queue empty" 0 (List.length (LT.waiting t))
+
+(* Protocols --------------------------------------------------------------------- *)
+
+let protocol_fixture () =
+  let db = Database.create () in
+  let define name attrs =
+    ignore
+      (Schema.define (Database.schema db) ~name ~attributes:attrs ()
+        : Orion_schema.Class_def.t)
+  in
+  define "W" [];
+  define "C"
+    [
+      A.make ~name:"Ws" ~domain:(D.Class "W") ~collection:A.Set
+        ~refkind:(A.composite ~exclusive:true ~dependent:false ())
+        ();
+    ];
+  define "Root"
+    [
+      A.make ~name:"Cs" ~domain:(D.Class "C") ~collection:A.Set
+        ~refkind:(A.composite ~exclusive:false ~dependent:false ())
+        ();
+    ];
+  let root = Object_manager.create db ~cls:"Root" () in
+  let c = Object_manager.create db ~cls:"C" ~parents:[ (root, "Cs") ] () in
+  let w = Object_manager.create db ~cls:"W" ~parents:[ (c, "Ws") ] () in
+  (db, root, c, w)
+
+let has set granule mode = List.mem (granule, mode) set
+
+let test_composite_lock_set () =
+  let db, root, _, _ = protocol_fixture () in
+  let set = Protocol.composite_object_locks db ~root Protocol.Read_ in
+  Alcotest.(check bool) "root class IS" true (has set (LT.G_class "Root") LM.IS);
+  Alcotest.(check bool) "root instance S" true (has set (LT.G_instance root) LM.S);
+  Alcotest.(check bool) "shared component class ISOS" true
+    (has set (LT.G_class "C") LM.ISOS);
+  Alcotest.(check bool) "exclusive component class ISO" true
+    (has set (LT.G_class "W") LM.ISO);
+  let set_u = Protocol.composite_object_locks db ~root Protocol.Update in
+  Alcotest.(check bool) "update: IX/X/IXOS/IXO" true
+    (has set_u (LT.G_class "Root") LM.IX
+    && has set_u (LT.G_instance root) LM.X
+    && has set_u (LT.G_class "C") LM.IXOS
+    && has set_u (LT.G_class "W") LM.IXO)
+
+let test_instance_lock_set () =
+  let db, _, c, _ = protocol_fixture () in
+  let set = Protocol.instance_locks db c Protocol.Update in
+  Alcotest.(check int) "two locks" 2 (List.length set);
+  Alcotest.(check bool) "class IX + instance X" true
+    (has set (LT.G_class "C") LM.IX && has set (LT.G_instance c) LM.X)
+
+let test_roots_of () =
+  let db, root, c, w = protocol_fixture () in
+  Alcotest.(check (list (Alcotest.testable Oid.pp Oid.equal))) "roots of w" [ root ]
+    (Protocol.roots_of db w);
+  Alcotest.(check (list (Alcotest.testable Oid.pp Oid.equal))) "roots of c" [ root ]
+    (Protocol.roots_of db c);
+  Alcotest.(check (list (Alcotest.testable Oid.pp Oid.equal)))
+    "a root is its own root" [ root ] (Protocol.roots_of db root)
+
+let test_hierarchy_scan_locks () =
+  let db, root, _, _ = protocol_fixture () in
+  let scan = Protocol.hierarchy_scan_locks db ~root_cls:"Root" Protocol.Scan_read in
+  Alcotest.(check bool) "scan read: S everywhere" true
+    (has scan (LT.G_class "Root") LM.S
+    && has scan (LT.G_class "C") LM.S
+    && has scan (LT.G_class "W") LM.S);
+  let six = Protocol.hierarchy_scan_locks db ~root_cls:"Root" Protocol.Scan_update_some in
+  Alcotest.(check bool) "scan update: SIX/SIXOS/SIXO" true
+    (has six (LT.G_class "Root") LM.SIX
+    && has six (LT.G_class "C") LM.SIXOS
+    && has six (LT.G_class "W") LM.SIXO);
+  (* A full read scan conflicts with any composite update of the same
+     hierarchy (S vs IX at the root class)... *)
+  let update = Protocol.composite_object_locks db ~root Protocol.Update in
+  Alcotest.(check bool) "scan vs update" false
+    (Protocol.compatible_lock_sets scan update ());
+  (* ...but coexists with a composite read. *)
+  let read = Protocol.composite_object_locks db ~root Protocol.Read_ in
+  Alcotest.(check bool) "scan vs read" true
+    (Protocol.compatible_lock_sets scan read ());
+  (* The SIX scan updates SOME shared components; on a shared component
+     class the matrix admits several readers or one writer, so even a
+     composite reader of the same hierarchy is excluded (SIXOS vs ISOS)
+     — exclusive-only hierarchies would admit it (SIXO || ISO). *)
+  Alcotest.(check bool) "six scan vs composite read" false
+    (Protocol.compatible_lock_sets six read ());
+  let direct_w = Protocol.instance_locks db root Protocol.Update in
+  Alcotest.(check bool) "six scan vs direct writer" false
+    (Protocol.compatible_lock_sets six direct_w ())
+
+let test_implicit_coverage () =
+  let db, root, c, w = protocol_fixture () in
+  let locks = Protocol.root_locking_locks db w Protocol.Read_ in
+  let coverage = Protocol.implicit_coverage db locks in
+  let covered oid = List.exists (fun (o, _) -> Oid.equal o oid) coverage in
+  Alcotest.(check bool) "covers the whole composite" true
+    (covered root && covered c && covered w)
+
+(* Property: the derived matrices agree with brute-force checks of the
+   coverage semantics' monotonicity: if a mode's facets are pointwise
+   below another's, it must be compatible with at least everything the
+   stronger one is. *)
+let prop_matrix_monotone =
+  QCheck.Test.make ~name:"weaker modes are more compatible" ~count:200
+    QCheck.(make QCheck.Gen.(triple (oneofl LM.all) (oneofl LM.all) (oneofl LM.all)))
+    (fun (a, b, other) ->
+      match LM.supremum a b with
+      | Some sup when sup = b ->
+          (* a <= b: whatever is compatible with b is compatible with a. *)
+          (not (LM.compat other b)) || LM.compat other a
+      | _ -> true)
+
+let () =
+  Alcotest.run "orion_locking"
+    [
+      ( "modes",
+        [
+          Alcotest.test_case "textual constraints" `Quick test_textual_constraints;
+          Alcotest.test_case "symmetry and X" `Quick
+            test_matrix_symmetric_and_x_exclusive;
+          Alcotest.test_case "refined superset" `Quick test_refined_superset;
+          Alcotest.test_case "supremum" `Quick test_supremum;
+          Alcotest.test_case "of_string" `Quick test_of_string;
+        ] );
+      ( "lock table",
+        [
+          Alcotest.test_case "grant/conflict" `Quick test_grant_and_conflict;
+          Alcotest.test_case "FIFO wakeup" `Quick test_fifo_wakeup;
+          Alcotest.test_case "no overtaking" `Quick test_fifo_no_overtaking;
+          Alcotest.test_case "reacquire held" `Quick test_reacquire_held_is_granted;
+          Alcotest.test_case "self upgrade" `Quick test_self_upgrade;
+          Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+          Alcotest.test_case "release clears queue" `Quick
+            test_release_drops_queue_entries;
+        ] );
+      ( "protocols",
+        [
+          Alcotest.test_case "composite lock set" `Quick test_composite_lock_set;
+          Alcotest.test_case "instance lock set" `Quick test_instance_lock_set;
+          Alcotest.test_case "roots_of" `Quick test_roots_of;
+          Alcotest.test_case "hierarchy scans" `Quick test_hierarchy_scan_locks;
+          Alcotest.test_case "implicit coverage" `Quick test_implicit_coverage;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_matrix_monotone ]);
+    ]

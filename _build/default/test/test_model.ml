@@ -1,0 +1,317 @@
+(* Model-based testing: an independent, deliberately naive
+   reimplementation of the §2 composite-object semantics (plain lists,
+   fixpoint deletion, no reverse references) is driven with the same
+   random operation sequences as the real engine; after every operation
+   the observable state — live objects, parent and child relations,
+   exclusive/shared classification — must agree exactly.
+
+   The model shares no code with the engine: it recomputes everything
+   from a flat edge list, so a bookkeeping bug in reverse references,
+   gref counts or cascade ordering shows up as a divergence. *)
+
+open Orion_core
+module A = Orion_schema.Attribute
+module D = Orion_schema.Domain
+module Schema = Orion_schema.Schema
+
+(* ----------------------------------------------------------------- *)
+(* The reference model.                                              *)
+(* ----------------------------------------------------------------- *)
+
+module Model = struct
+  type refkind = { exclusive : bool; dependent : bool }
+
+  type t = {
+    mutable live : int list;
+    mutable edges : (int * string * refkind * int) list;
+        (* parent, attr, kind, child — weak edges excluded: the model
+           tracks composite structure only *)
+  }
+
+  let create () = { live = []; edges = [] }
+
+  let add t oid = t.live <- oid :: t.live
+
+  let exists t oid = List.mem oid t.live
+
+  let in_edges t child = List.filter (fun (_, _, _, c) -> c = child) t.edges
+
+  let out_edges t parent = List.filter (fun (p, _, _, _) -> p = parent) t.edges
+
+  (* The Make-Component Rule, recomputed from the edge list. *)
+  let can_link t ~kind ~child =
+    let incoming = in_edges t child in
+    if kind.exclusive then incoming = []
+    else not (List.exists (fun (_, _, k, _) -> k.exclusive) incoming)
+
+  (* Acyclicity (decision D4): would parent be reachable from child? *)
+  let reaches t ~from ~target =
+    let rec go visited oid =
+      if oid = target then true
+      else if List.mem oid visited then false
+      else
+        List.exists
+          (fun (_, _, _, c) -> go (oid :: visited) c)
+          (out_edges t oid)
+    in
+    go [] from
+
+  let link t ~parent ~attr ~kind ~child =
+    if
+      exists t parent && exists t child
+      && List.exists
+           (fun (p, a, _, c) -> p = parent && a = attr && c = child)
+           t.edges
+    then true (* idempotent, like the engine's make_component no-op *)
+    else if
+      exists t parent && exists t child
+      && can_link t ~kind ~child
+      && (not (reaches t ~from:child ~target:parent))
+      && parent <> child
+    then begin
+      t.edges <- (parent, attr, kind, child) :: t.edges;
+      true
+    end
+    else false
+
+  (* Existence rule (D1): after removing a dependent edge, the child
+     dies when no composite edge remains. *)
+  let rec unlink t ~parent ~attr ~child =
+    let removed =
+      List.filter
+        (fun (p, a, _, c) -> p = parent && a = attr && c = child)
+        t.edges
+    in
+    match removed with
+    | [] -> false
+    | (_, _, kind, _) :: _ ->
+        t.edges <-
+          List.filter
+            (fun (p, a, _, c) -> not (p = parent && a = attr && c = child))
+            t.edges;
+        if kind.dependent && in_edges t child = [] then delete t child;
+        true
+
+  (* The Deletion Rule as a naive fixpoint: kill the object, then
+     repeatedly kill any object whose dependent support is gone and
+     whose remaining supporters are all dead or dying. *)
+  and delete t victim =
+    if exists t victim then begin
+      let dying = ref [ victim ] in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun oid ->
+            if (not (List.mem oid !dying)) && exists t oid then begin
+              let incoming = in_edges t oid in
+              let live_in =
+                List.filter (fun (p, _, _, _) -> not (List.mem p !dying)) incoming
+              in
+              let had_dependent_from_dying =
+                List.exists
+                  (fun (p, _, k, _) -> k.dependent && List.mem p !dying)
+                  incoming
+              in
+              if had_dependent_from_dying && live_in = [] then begin
+                dying := oid :: !dying;
+                changed := true
+              end
+            end)
+          t.live
+      done;
+      t.live <- List.filter (fun oid -> not (List.mem oid !dying)) t.live;
+      t.edges <-
+        List.filter
+          (fun (p, _, _, c) ->
+            (not (List.mem p !dying)) && not (List.mem c !dying))
+          t.edges
+    end
+
+  let parents t child =
+    in_edges t child |> List.map (fun (p, _, _, _) -> p) |> List.sort_uniq compare
+
+  let children t parent =
+    out_edges t parent |> List.map (fun (_, _, _, c) -> c) |> List.sort_uniq compare
+
+  let components t root =
+    let rec go acc oid =
+      List.fold_left
+        (fun acc c -> if List.mem c acc then acc else go (c :: acc) c)
+        acc (children t oid)
+    in
+    List.sort compare (go [] root)
+end
+
+(* ----------------------------------------------------------------- *)
+(* Driving both implementations.                                     *)
+(* ----------------------------------------------------------------- *)
+
+let attrs_table =
+  [
+    ("DX", { Model.exclusive = true; dependent = true });
+    ("IX", { Model.exclusive = true; dependent = false });
+    ("DS", { Model.exclusive = false; dependent = true });
+    ("IS", { Model.exclusive = false; dependent = false });
+  ]
+
+let fixture () =
+  let db = Database.create () in
+  let schema = Database.schema db in
+  ignore
+    (Schema.define schema ~name:"Node" ~attributes:[] ()
+      : Orion_schema.Class_def.t);
+  Schema.add_attribute schema ~cls:"Node"
+    (A.make ~name:"DX" ~domain:(D.Class "Node") ~collection:A.Set
+       ~refkind:(A.composite ~exclusive:true ~dependent:true ()) ());
+  Schema.add_attribute schema ~cls:"Node"
+    (A.make ~name:"IX" ~domain:(D.Class "Node") ~collection:A.Set
+       ~refkind:(A.composite ~exclusive:true ~dependent:false ()) ());
+  Schema.add_attribute schema ~cls:"Node"
+    (A.make ~name:"DS" ~domain:(D.Class "Node") ~collection:A.Set
+       ~refkind:(A.composite ~exclusive:false ~dependent:true ()) ());
+  Schema.add_attribute schema ~cls:"Node"
+    (A.make ~name:"IS" ~domain:(D.Class "Node") ~collection:A.Set
+       ~refkind:(A.composite ~exclusive:false ~dependent:false ()) ());
+  db
+
+type op = Create | Link of int * int * int | Unlink of int * int * int | Delete of int
+
+let op_gen =
+  let open QCheck.Gen in
+  frequency
+    [
+      (3, return Create);
+      ( 5,
+        map3 (fun a b c -> Link (a, b, c)) (int_bound 30) (int_bound 30)
+          (int_bound 3) );
+      ( 2,
+        map3 (fun a b c -> Unlink (a, b, c)) (int_bound 30) (int_bound 30)
+          (int_bound 3) );
+      (2, map (fun a -> Delete a) (int_bound 30));
+    ]
+
+(* Observable equivalence between the engine and the model. *)
+let agree db (model : Model.t) =
+  let engine_live =
+    Database.fold db ~init:[] ~f:(fun acc i -> Oid.to_int i.Instance.oid :: acc)
+    |> List.sort compare
+  in
+  let model_live = List.sort compare model.Model.live in
+  engine_live = model_live
+  && List.for_all
+       (fun oid_int ->
+         let oid = Oid.of_int oid_int in
+         let engine_parents =
+           Traversal.parents_of db oid |> List.map Oid.to_int |> List.sort compare
+         in
+         let engine_children =
+           Traversal.children_of db oid |> List.map Oid.to_int |> List.sort compare
+         in
+         let engine_components =
+           Traversal.components_of db oid |> List.map Oid.to_int |> List.sort compare
+         in
+         engine_parents = Model.parents model oid_int
+         && engine_children = Model.children model oid_int
+         && engine_components = Model.components model oid_int)
+       model_live
+  && Integrity.check db = []
+
+let run_ops ops =
+  let db = fixture () in
+  let model = Model.create () in
+  let created = ref [] in
+  let pick idx =
+    match !created with
+    | [] -> None
+    | l -> Some (List.nth l (idx mod List.length l))
+  in
+  let ok = ref true in
+  List.iter
+    (fun op ->
+      created := List.filter (fun oid -> Model.exists model oid) !created;
+      (match op with
+      | Create ->
+          let oid = Object_manager.create db ~cls:"Node" () in
+          Model.add model (Oid.to_int oid);
+          created := Oid.to_int oid :: !created
+      | Link (pi, ci, ai) -> (
+          match (pick pi, pick ci) with
+          | Some p, Some c ->
+              let attr, kind = List.nth attrs_table (ai mod 4) in
+              let engine_ok =
+                match
+                  Object_manager.make_component db ~parent:(Oid.of_int p) ~attr
+                    ~child:(Oid.of_int c)
+                with
+                | () -> true
+                | exception Core_error.Error _ -> false
+              in
+              let model_ok = Model.link model ~parent:p ~attr ~kind ~child:c in
+              if engine_ok <> model_ok then ok := false
+          | _ -> ())
+      | Unlink (pi, ci, ai) -> (
+          match (pick pi, pick ci) with
+          | Some p, Some c ->
+              let attr, _ = List.nth attrs_table (ai mod 4) in
+              let engine_ok =
+                match
+                  Object_manager.remove_component db ~parent:(Oid.of_int p) ~attr
+                    ~child:(Oid.of_int c)
+                with
+                | () -> true
+                | exception Core_error.Error _ -> false
+              in
+              let model_ok = Model.unlink model ~parent:p ~attr ~child:c in
+              if engine_ok <> model_ok then ok := false
+          | _ -> ())
+      | Delete di -> (
+          match pick di with
+          | Some victim ->
+              Object_manager.delete db (Oid.of_int victim);
+              Model.delete model victim
+          | None -> ()));
+      if not (agree db model) then ok := false)
+    ops;
+  !ok
+
+let prop_model_equivalence =
+  QCheck.Test.make ~name:"engine agrees with the naive reference model" ~count:60
+    QCheck.(make QCheck.Gen.(list_size (int_bound 60) op_gen))
+    run_ops
+
+(* A couple of directed scenarios that historically differ between
+   implementations (same-parent multi-edges, dependent+independent from
+   one dying parent, diamond cascades). *)
+let test_directed_scenarios () =
+  let scenarios =
+    [
+      (* p -DX-> c; delete p. *)
+      [ Create; Create; Link (1, 0, 0); Delete 1 ];
+      (* p -DS-> c; q -DS-> c; delete p then q. *)
+      [ Create; Create; Create; Link (2, 0, 2); Link (1, 0, 2); Delete 2; Delete 1 ];
+      (* p -DS-> c and p -IS-> c (same parent both flavours); delete p. *)
+      [ Create; Create; Link (1, 0, 2); Link (1, 0, 3); Delete 1 ];
+      (* chain p -DX-> m -DS-> c plus q -IS-> c; delete p. *)
+      [
+        Create; Create; Create; Create;
+        Link (3, 2, 0); Link (2, 1, 2); Link (0, 1, 3); Delete 3;
+      ];
+      (* unlink the last dependent edge: existence rule. *)
+      [ Create; Create; Link (1, 0, 2); Unlink (1, 0, 2) ];
+    ]
+  in
+  List.iteri
+    (fun i ops ->
+      Alcotest.(check bool) (Printf.sprintf "scenario %d" i) true (run_ops ops))
+    scenarios
+
+let () =
+  Alcotest.run "orion_model"
+    [
+      ( "reference model",
+        [
+          Alcotest.test_case "directed scenarios" `Quick test_directed_scenarios;
+          QCheck_alcotest.to_alcotest prop_model_equivalence;
+        ] );
+    ]

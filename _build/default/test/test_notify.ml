@@ -1,0 +1,137 @@
+(* Tests for Orion_notify: flag-based change notification on composite
+   objects (after CHOU88). *)
+
+open Orion_core
+module A = Orion_schema.Attribute
+module D = Orion_schema.Domain
+module Schema = Orion_schema.Schema
+module Notifier = Orion_notify.Notifier
+
+let oid = Alcotest.testable Oid.pp Oid.equal
+
+let fixture () =
+  let db = Database.create () in
+  let define name attrs =
+    ignore
+      (Schema.define (Database.schema db) ~name ~attributes:attrs ()
+        : Orion_schema.Class_def.t)
+  in
+  define "Leaf" [ A.make ~name:"Text" ~domain:(D.Primitive D.P_string) () ];
+  define "Doc"
+    [
+      A.make ~name:"Title" ~domain:(D.Primitive D.P_string) ();
+      A.make ~name:"Leaves" ~domain:(D.Class "Leaf") ~collection:A.Set
+        ~refkind:(A.composite ~exclusive:false ~dependent:false ())
+        ();
+    ];
+  db
+
+let test_component_write_raises_flag () =
+  let db = fixture () in
+  let n = Notifier.create db in
+  let doc = Object_manager.create db ~cls:"Doc" () in
+  let leaf = Object_manager.create db ~cls:"Leaf" ~parents:[ (doc, "Leaves") ] () in
+  let w = Notifier.watch n doc in
+  Notifier.clear n w;
+  Alcotest.(check bool) "quiet initially" false (Notifier.changed n w);
+  Object_manager.write_attr db leaf "Text" (Value.Str "edited");
+  Alcotest.(check bool) "flag raised" true (Notifier.changed n w);
+  (match Notifier.changes n w with
+  | [ { Notifier.member; attr = Some "Text" } ] ->
+      Alcotest.(check oid) "names the component" leaf member
+  | other -> Alcotest.failf "unexpected changes (%d)" (List.length other));
+  Notifier.clear n w;
+  Alcotest.(check bool) "cleared" false (Notifier.changed n w)
+
+let test_attach_detach_notify () =
+  let db = fixture () in
+  let n = Notifier.create db in
+  let doc = Object_manager.create db ~cls:"Doc" () in
+  let w = Notifier.watch n doc in
+  let leaf = Object_manager.create db ~cls:"Leaf" ~parents:[ (doc, "Leaves") ] () in
+  Alcotest.(check bool) "attachment notifies (parent write)" true
+    (Notifier.changed n w);
+  Notifier.clear n w;
+  Object_manager.remove_component db ~parent:doc ~attr:"Leaves" ~child:leaf;
+  Alcotest.(check bool) "detachment notifies" true (Notifier.changed n w)
+
+let test_shared_component_notifies_both () =
+  let db = fixture () in
+  let n = Notifier.create db in
+  let d1 = Object_manager.create db ~cls:"Doc" () in
+  let d2 = Object_manager.create db ~cls:"Doc" () in
+  let leaf =
+    Object_manager.create db ~cls:"Leaf"
+      ~parents:[ (d1, "Leaves"); (d2, "Leaves") ]
+      ()
+  in
+  let w1 = Notifier.watch n d1 and w2 = Notifier.watch n d2 in
+  Notifier.clear n w1;
+  Notifier.clear n w2;
+  Object_manager.write_attr db leaf "Text" (Value.Str "v2");
+  Alcotest.(check (list oid)) "both watched roots dirty" [ d1; d2 ]
+    (Notifier.dirty_roots n)
+
+let test_unrelated_changes_ignored () =
+  let db = fixture () in
+  let n = Notifier.create db in
+  let d1 = Object_manager.create db ~cls:"Doc" () in
+  let d2 = Object_manager.create db ~cls:"Doc" () in
+  let foreign = Object_manager.create db ~cls:"Leaf" ~parents:[ (d2, "Leaves") ] () in
+  let w = Notifier.watch n d1 in
+  Notifier.clear n w;
+  Object_manager.write_attr db foreign "Text" (Value.Str "x");
+  Object_manager.write_attr db d2 "Title" (Value.Str "y");
+  Alcotest.(check bool) "unaffected watch stays quiet" false (Notifier.changed n w)
+
+let test_root_deletion_reported () =
+  let db = fixture () in
+  let n = Notifier.create db in
+  let doc = Object_manager.create db ~cls:"Doc" () in
+  let w = Notifier.watch n doc in
+  Notifier.clear n w;
+  Object_manager.delete db doc;
+  (match Notifier.changes n w with
+  | [ { Notifier.member; attr = None } ] -> Alcotest.(check oid) "root" doc member
+  | other -> Alcotest.failf "unexpected changes (%d)" (List.length other));
+  Notifier.unwatch n w;
+  Alcotest.(check (list oid)) "unwatched" [] (Notifier.dirty_roots n)
+
+let test_rollback_marks_all () =
+  let db = fixture () in
+  let n = Notifier.create db in
+  let doc = Object_manager.create db ~cls:"Doc" () in
+  let w = Notifier.watch n doc in
+  Notifier.clear n w;
+  let manager = Orion_tx.Tx_manager.create db in
+  let tx = Orion_tx.Tx_manager.begin_tx manager in
+  Orion_tx.Tx_manager.write_attr manager tx doc "Title" (Value.Str "tmp");
+  Notifier.clear n w;
+  ignore (Orion_tx.Tx_manager.abort manager tx : int list);
+  Alcotest.(check bool) "rollback marks the watch" true (Notifier.changed n w)
+
+let test_detach_notifier () =
+  let db = fixture () in
+  let n = Notifier.create db in
+  let doc = Object_manager.create db ~cls:"Doc" () in
+  let w = Notifier.watch n doc in
+  Notifier.clear n w;
+  Notifier.detach n;
+  Object_manager.write_attr db doc "Title" (Value.Str "silent");
+  Alcotest.(check bool) "quiet after detach" false (Notifier.changed n w)
+
+let () =
+  Alcotest.run "orion_notify"
+    [
+      ( "notification",
+        [
+          Alcotest.test_case "component writes" `Quick test_component_write_raises_flag;
+          Alcotest.test_case "attach/detach" `Quick test_attach_detach_notify;
+          Alcotest.test_case "shared components" `Quick
+            test_shared_component_notifies_both;
+          Alcotest.test_case "unrelated ignored" `Quick test_unrelated_changes_ignored;
+          Alcotest.test_case "root deletion" `Quick test_root_deletion_reported;
+          Alcotest.test_case "rollback" `Quick test_rollback_marks_all;
+          Alcotest.test_case "detach" `Quick test_detach_notifier;
+        ] );
+    ]

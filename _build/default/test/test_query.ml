@@ -1,0 +1,288 @@
+(* Tests for Orion_query: path resolution, predicate evaluation,
+   select with and without indexes, and index maintenance under
+   mutation, deletion and transaction rollback. *)
+
+open Orion_core
+module A = Orion_schema.Attribute
+module D = Orion_schema.Domain
+module Schema = Orion_schema.Schema
+module Expr = Orion_query.Expr
+module Index = Orion_query.Index
+module Engine = Orion_query.Engine
+module Eval = Orion_dsl.Eval
+
+let oid = Alcotest.testable Oid.pp Oid.equal
+
+(* A small dealership: vehicles with a body and a set of tires. *)
+let fixture () =
+  let db = Database.create () in
+  let define ?superclasses name attrs =
+    ignore
+      (Schema.define (Database.schema db) ?superclasses ~name ~attributes:attrs ()
+        : Orion_schema.Class_def.t)
+  in
+  define "Part"
+    [
+      A.make ~name:"Name" ~domain:(D.Primitive D.P_string) ();
+      A.make ~name:"Weight" ~domain:(D.Primitive D.P_integer) ();
+    ];
+  define "Vehicle"
+    [
+      A.make ~name:"Color" ~domain:(D.Primitive D.P_string) ();
+      A.make ~name:"Doors" ~domain:(D.Primitive D.P_integer) ();
+      A.make ~name:"Body" ~domain:(D.Class "Part")
+        ~refkind:(A.composite ~exclusive:true ~dependent:false ())
+        ();
+      A.make ~name:"Tires" ~domain:(D.Class "Part") ~collection:A.Set
+        ~refkind:(A.composite ~exclusive:true ~dependent:false ())
+        ();
+    ];
+  define ~superclasses:[ "Vehicle" ] "Truck"
+    [ A.make ~name:"Payload" ~domain:(D.Primitive D.P_integer) () ];
+  db
+
+let part db name weight =
+  Object_manager.create db ~cls:"Part"
+    ~attrs:[ ("Name", Value.Str name); ("Weight", Value.Int weight) ]
+    ()
+
+let vehicle db ?(cls = "Vehicle") ~color ~doors ?body ?(tires = []) () =
+  let attrs =
+    [ ("Color", Value.Str color); ("Doors", Value.Int doors) ]
+    @ (match body with Some b -> [ ("Body", Value.Ref b) ] | None -> [])
+    @
+    match tires with
+    | [] -> []
+    | ts -> [ ("Tires", Value.VSet (List.map (fun t -> Value.Ref t) ts)) ]
+  in
+  Object_manager.create db ~cls ~attrs ()
+
+let dealership () =
+  let db = fixture () in
+  let body1 = part db "sedan body" 300 in
+  let body2 = part db "wagon body" 380 in
+  let t1 = part db "slick" 9 and t2 = part db "winter" 11 in
+  let red = vehicle db ~color:"red" ~doors:4 ~body:body1 ~tires:[ t1 ] () in
+  let blue = vehicle db ~color:"blue" ~doors:2 ~body:body2 ~tires:[ t2 ] () in
+  let truck = vehicle db ~cls:"Truck" ~color:"red" ~doors:2 () in
+  Object_manager.write_attr db truck "Payload" (Value.Int 1200);
+  (db, red, blue, truck)
+
+let test_path_resolution () =
+  let db, red, _, _ = dealership () in
+  Alcotest.(check int) "direct attr" 1
+    (List.length (Expr.resolve_path db red [ "Color" ]));
+  (match Expr.resolve_path db red [ "Body"; "Name" ] with
+  | [ Value.Str "sedan body" ] -> ()
+  | vs ->
+      Alcotest.failf "unexpected: %s"
+        (String.concat "," (List.map Value.to_string vs)));
+  Alcotest.(check int) "set fan-out" 1
+    (List.length (Expr.resolve_path db red [ "Tires"; "Weight" ]));
+  Alcotest.(check int) "missing path" 0
+    (List.length (Expr.resolve_path db red [ "Nope"; "X" ]))
+
+let test_eval_basics () =
+  let db, red, blue, truck = dealership () in
+  let eval o e = Expr.eval db o e in
+  Alcotest.(check bool) "eq" true (eval red (Expr.Cmp (Expr.Eq, [ "Color" ], Value.Str "red")));
+  Alcotest.(check bool) "neq" true (eval blue (Expr.Cmp (Expr.Neq, [ "Color" ], Value.Str "red")));
+  Alcotest.(check bool) "lt" true (eval blue (Expr.Cmp (Expr.Lt, [ "Doors" ], Value.Int 3)));
+  Alcotest.(check bool) "nested cmp" true
+    (eval red (Expr.Cmp (Expr.Ge, [ "Body"; "Weight" ], Value.Int 300)));
+  Alcotest.(check bool) "no coercion" false
+    (eval red (Expr.Cmp (Expr.Eq, [ "Doors" ], Value.Str "4")));
+  Alcotest.(check bool) "has" true (eval red (Expr.Has [ "Body" ]));
+  Alcotest.(check bool) "has missing" false (eval truck (Expr.Has [ "Body" ]));
+  Alcotest.(check bool) "in_class self" true (eval truck (Expr.In_class ([], "Vehicle")));
+  Alcotest.(check bool) "in_class nested" true
+    (eval red (Expr.In_class ([ "Body" ], "Part")));
+  Alcotest.(check bool) "and/or/not" true
+    (eval red
+       (Expr.And
+          [
+            Expr.Or
+              [
+                Expr.Cmp (Expr.Eq, [ "Color" ], Value.Str "green");
+                Expr.Cmp (Expr.Eq, [ "Color" ], Value.Str "red");
+              ];
+            Expr.Not (Expr.Cmp (Expr.Eq, [ "Doors" ], Value.Int 2));
+          ]))
+
+let test_eval_quantifiers_and_refs () =
+  let db, red, blue, _ = dealership () in
+  Alcotest.(check bool) "exists" true
+    (Expr.eval db red
+       (Expr.Exists ([ "Tires" ], Expr.Cmp (Expr.Lt, [ "Weight" ], Value.Int 10))));
+  Alcotest.(check bool) "forall true" true
+    (Expr.eval db blue
+       (Expr.Forall ([ "Tires" ], Expr.Cmp (Expr.Gt, [ "Weight" ], Value.Int 10))));
+  Alcotest.(check bool) "forall vacuous" true
+    (Expr.eval db red (Expr.Forall ([ "Body"; "Tires" ], Expr.Const false)));
+  let body = List.hd (Expr.resolve_path db red [ "Body" ]) in
+  (match body with
+  | Value.Ref b ->
+      Alcotest.(check bool) "refers" true (Expr.eval db red (Expr.Refers ([ "Body" ], b)));
+      Alcotest.(check bool) "component_of" true (Expr.eval db b (Expr.Component_of red))
+  | _ -> Alcotest.fail "expected a reference")
+
+let test_select_scan () =
+  let db, red, _, truck = dealership () in
+  let engine = Engine.create db in
+  Alcotest.(check (list oid)) "reds incl. subclass" [ red; truck ]
+    (Engine.select engine ~cls:"Vehicle" (Expr.Cmp (Expr.Eq, [ "Color" ], Value.Str "red")));
+  Alcotest.(check (list oid)) "exact class only" [ red ]
+    (Engine.select engine ~cls:"Vehicle" ~subclasses:false
+       (Expr.Cmp (Expr.Eq, [ "Color" ], Value.Str "red")));
+  Alcotest.(check int) "everything" 3
+    (Engine.count engine ~cls:"Vehicle" (Expr.Const true));
+  Alcotest.(check (list oid)) "subclass extension" [ truck ]
+    (Engine.select engine ~cls:"Truck" (Expr.Const true))
+
+let test_select_with_index_matches_scan () =
+  let db, _, _, _ = dealership () in
+  let engine_scan = Engine.create db in
+  let engine_idx = Engine.create db in
+  ignore (Engine.add_index engine_idx ~cls:"Vehicle" ~attr:"Color" : Index.t);
+  let expr =
+    Expr.And
+      [
+        Expr.Cmp (Expr.Eq, [ "Color" ], Value.Str "red");
+        Expr.Cmp (Expr.Ge, [ "Doors" ], Value.Int 2);
+      ]
+  in
+  Alcotest.(check bool) "index plan chosen" true
+    (Engine.explain engine_idx ~cls:"Vehicle" expr
+    = Engine.Index_lookup { cls = "Vehicle"; attr = "Color" });
+  Alcotest.(check bool) "scan plan without index" true
+    (Engine.explain engine_scan ~cls:"Vehicle" expr = Engine.Scan);
+  Alcotest.(check (list oid)) "same answers"
+    (Engine.select engine_scan ~cls:"Vehicle" expr)
+    (Engine.select engine_idx ~cls:"Vehicle" expr)
+
+let test_index_maintenance () =
+  let db, red, blue, _ = dealership () in
+  let engine = Engine.create db in
+  let idx = Engine.add_index engine ~cls:"Vehicle" ~attr:"Color" in
+  Alcotest.(check int) "initial postings" 3 (Index.entry_count idx);
+  (* Update: red -> green moves buckets. *)
+  Object_manager.write_attr db red "Color" (Value.Str "green");
+  Alcotest.(check (list oid)) "green found" [ red ] (Index.lookup idx (Value.Str "green"));
+  Alcotest.(check bool) "red bucket shrunk" true
+    (not (List.mem red (Index.lookup idx (Value.Str "red"))));
+  (* New object: indexed on creation. *)
+  let extra = vehicle db ~color:"green" ~doors:5 () in
+  Alcotest.(check (list oid)) "creation indexed" [ red; extra ]
+    (Index.lookup idx (Value.Str "green"));
+  (* Deletion: unindexed. *)
+  Object_manager.delete db blue;
+  Alcotest.(check (list oid)) "deletion removed" []
+    (Index.lookup idx (Value.Str "blue"));
+  (* Dropped index stops tracking. *)
+  Index.drop idx;
+  Object_manager.write_attr db extra "Color" (Value.Str "black");
+  Alcotest.(check (list oid)) "stale after drop" [ red; extra ]
+    (Index.lookup idx (Value.Str "green"))
+
+let test_index_survives_rollback () =
+  let db, red, _, truck = dealership () in
+  let engine = Engine.create db in
+  let idx = Engine.add_index engine ~cls:"Vehicle" ~attr:"Color" in
+  let manager = Orion_tx.Tx_manager.create db in
+  let tx = Orion_tx.Tx_manager.begin_tx manager in
+  Orion_tx.Tx_manager.write_attr manager tx red "Color" (Value.Str "yellow");
+  Alcotest.(check (list oid)) "during tx" [ red ] (Index.lookup idx (Value.Str "yellow"));
+  ignore (Orion_tx.Tx_manager.abort manager tx : int list);
+  Alcotest.(check (list oid)) "rollback restores bucket" [ red; truck ]
+    (Index.lookup idx (Value.Str "red"));
+  Alcotest.(check (list oid)) "yellow gone" [] (Index.lookup idx (Value.Str "yellow"))
+
+let test_select_through_dsl () =
+  let env = Eval.create_env () in
+  ignore
+    (Eval.eval_program env
+       {|
+(make-class 'Part :attributes ((Name :domain String)))
+(make-class 'Car :attributes (
+  (Color :domain String)
+  (Body :domain Part :composite true :exclusive true :dependent nil)))
+(setq b1 (make Part :Name "coupe"))
+(setq c1 (make Car :Color "red" :Body b1))
+(setq c2 (make Car :Color "blue"))
+(create-index Car Color)
+|}
+      : Eval.v list);
+  let c1 = Option.get (Eval.lookup env "c1") in
+  (match Eval.eval_string env {|(select Car (= Color "red"))|} with
+  | Eval.Objs [ found ] -> Alcotest.(check oid) "found c1" c1 found
+  | other -> Alcotest.failf "unexpected %a" (Eval.pp_v env) other);
+  (match Eval.eval_string env {|(explain Car (= Color "red"))|} with
+  | Eval.Str "index Car.Color" -> ()
+  | other -> Alcotest.failf "unexpected plan %a" (Eval.pp_v env) other);
+  (match Eval.eval_string env {|(select Car (= Body.Name "coupe"))|} with
+  | Eval.Objs [ found ] -> Alcotest.(check oid) "nested path" c1 found
+  | other -> Alcotest.failf "unexpected %a" (Eval.pp_v env) other);
+  match Eval.eval_string env {|(count-select Car (has Body))|} with
+  | Eval.Num 1 -> ()
+  | other -> Alcotest.failf "unexpected count %a" (Eval.pp_v env) other
+
+(* Property: for random contents, indexed select == scan select. *)
+let prop_index_equals_scan =
+  QCheck.Test.make ~name:"indexed select equals scan" ~count:50
+    QCheck.(make Gen.(list_size (int_bound 40) (pair (int_bound 3) (int_bound 5))))
+    (fun ops ->
+      let db = fixture () in
+      let engine_idx = Engine.create db in
+      ignore (Engine.add_index engine_idx ~cls:"Vehicle" ~attr:"Doors" : Index.t);
+      let engine_scan = Engine.create db in
+      let vehicles = ref [] in
+      List.iter
+        (fun (op, x) ->
+          vehicles := List.filter (Database.exists db) !vehicles;
+          try
+            match op with
+            | 0 | 1 ->
+                vehicles :=
+                  vehicle db ~color:(string_of_int x) ~doors:(x mod 4) () :: !vehicles
+            | 2 -> (
+                match !vehicles with
+                | v :: _ -> Object_manager.write_attr db v "Doors" (Value.Int (x mod 4))
+                | [] -> ())
+            | _ -> (
+                match !vehicles with
+                | v :: rest ->
+                    Object_manager.delete db v;
+                    vehicles := rest
+                | [] -> ())
+          with Core_error.Error _ -> ())
+        ops;
+      List.for_all
+        (fun doors ->
+          let expr = Expr.Cmp (Expr.Eq, [ "Doors" ], Value.Int doors) in
+          Engine.select engine_idx ~cls:"Vehicle" expr
+          = Engine.select engine_scan ~cls:"Vehicle" expr)
+        [ 0; 1; 2; 3 ])
+
+let () =
+  Alcotest.run "orion_query"
+    [
+      ( "expressions",
+        [
+          Alcotest.test_case "path resolution" `Quick test_path_resolution;
+          Alcotest.test_case "basics" `Quick test_eval_basics;
+          Alcotest.test_case "quantifiers and refs" `Quick
+            test_eval_quantifiers_and_refs;
+        ] );
+      ( "select",
+        [
+          Alcotest.test_case "scan" `Quick test_select_scan;
+          Alcotest.test_case "index = scan" `Quick test_select_with_index_matches_scan;
+          Alcotest.test_case "through the DSL" `Quick test_select_through_dsl;
+        ] );
+      ( "indexes",
+        [
+          Alcotest.test_case "maintenance" `Quick test_index_maintenance;
+          Alcotest.test_case "rollback" `Quick test_index_survives_rollback;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_index_equals_scan ]);
+    ]

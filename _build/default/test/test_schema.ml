@@ -1,0 +1,289 @@
+(* Tests for Orion_schema: class lattice, attribute inheritance,
+   predicates and the composite class hierarchy. *)
+
+module A = Orion_schema.Attribute
+module D = Orion_schema.Domain
+module Schema = Orion_schema.Schema
+
+let str_attr name = A.make ~name ~domain:(D.Primitive D.P_string) ()
+
+let define schema ?superclasses ?versionable ?segment ~name attrs =
+  ignore
+    (Schema.define schema ?superclasses ?versionable ?segment ~name
+       ~attributes:attrs ()
+      : Orion_schema.Class_def.t)
+
+let fails f =
+  match f () with exception Schema.Error _ -> true | _ -> false
+
+let test_define_and_find () =
+  let s = Schema.create () in
+  define s ~name:"Part" [ str_attr "Name" ];
+  Alcotest.(check bool) "found" true (Schema.mem s "Part");
+  Alcotest.(check bool) "not found" false (Schema.mem s "Nope");
+  Alcotest.(check bool) "duplicate rejected" true
+    (fails (fun () -> define s ~name:"Part" []));
+  Alcotest.(check bool) "unknown superclass rejected" true
+    (fails (fun () -> define s ~superclasses:[ "Ghost" ] ~name:"X" []))
+
+let test_composite_requires_class_domain () =
+  let s = Schema.create () in
+  Alcotest.(check bool) "rejected" true
+    (fails (fun () ->
+         define s ~name:"Bad"
+           [
+             A.make ~name:"C" ~domain:(D.Primitive D.P_integer)
+               ~refkind:(A.composite ()) ();
+           ]))
+
+let test_inheritance () =
+  let s = Schema.create () in
+  define s ~name:"Base" [ str_attr "Name"; str_attr "Tag" ];
+  define s ~name:"Mid" ~superclasses:[ "Base" ] [ str_attr "Extra" ];
+  define s ~name:"Leaf" ~superclasses:[ "Mid" ] [ str_attr "Name" ];
+  let effective = Schema.effective_attributes s "Leaf" in
+  let names = List.map (fun (a : A.t) -> a.name) effective in
+  Alcotest.(check (list string)) "resolution order" [ "Name"; "Extra"; "Tag" ] names;
+  (* The own Name overrides the inherited one. *)
+  let name_attr = Option.get (Schema.attribute s "Leaf" "Name") in
+  Alcotest.(check bool) "own attr has no source" true (name_attr.source = None);
+  let tag_attr = Option.get (Schema.attribute s "Leaf" "Tag") in
+  Alcotest.(check (option string)) "inherited source" (Some "Base") tag_attr.source
+
+let test_multiple_inheritance_conflict () =
+  let s = Schema.create () in
+  define s ~name:"L"
+    [ A.make ~name:"V" ~domain:(D.Primitive D.P_integer) () ];
+  define s ~name:"R" [ str_attr "V" ];
+  define s ~name:"Both" ~superclasses:[ "L"; "R" ] [];
+  (* First superclass wins. *)
+  let v = Option.get (Schema.attribute s "Both" "V") in
+  Alcotest.(check bool) "left precedence" true
+    (D.equal v.domain (D.Primitive D.P_integer))
+
+let test_lattice_queries () =
+  let s = Schema.create () in
+  define s ~name:"A" [];
+  define s ~name:"B" ~superclasses:[ "A" ] [];
+  define s ~name:"C" ~superclasses:[ "B" ] [];
+  define s ~name:"D" ~superclasses:[ "A" ] [];
+  Alcotest.(check (list string)) "supers of C" [ "B"; "A" ] (Schema.all_superclasses s "C");
+  Alcotest.(check (list string))
+    "subs of A" [ "B"; "C"; "D" ]
+    (List.sort compare (Schema.all_subclasses s "A"));
+  Alcotest.(check bool) "C <= A" true (Schema.is_subclass_of s ~sub:"C" ~super:"A");
+  Alcotest.(check bool) "A not <= C" false (Schema.is_subclass_of s ~sub:"A" ~super:"C");
+  Alcotest.(check bool) "reflexive" true (Schema.is_subclass_of s ~sub:"A" ~super:"A")
+
+let test_cycle_rejected () =
+  let s = Schema.create () in
+  define s ~name:"A" [];
+  define s ~name:"B" ~superclasses:[ "A" ] [];
+  Alcotest.(check bool) "cycle rejected" true
+    (fails (fun () -> Schema.add_superclass s ~cls:"A" ~super:"B"))
+
+let test_predicates () =
+  let s = Schema.create () in
+  define s ~name:"Leafy" [];
+  define s ~name:"Holder"
+    [
+      str_attr "Plain";
+      A.make ~name:"Excl" ~domain:(D.Class "Leafy") ~refkind:(A.composite ()) ();
+      A.make ~name:"Shared" ~domain:(D.Class "Leafy")
+        ~refkind:(A.composite ~exclusive:false ~dependent:false ())
+        ();
+    ];
+  Alcotest.(check bool) "compositep class" true (Schema.compositep s "Holder" ());
+  Alcotest.(check bool) "compositep attr" true
+    (Schema.compositep s "Holder" ~attr:"Excl" ());
+  Alcotest.(check bool) "weak attr not composite" false
+    (Schema.compositep s "Holder" ~attr:"Plain" ());
+  Alcotest.(check bool) "exclusive" true
+    (Schema.exclusive_compositep s "Holder" ~attr:"Excl" ());
+  Alcotest.(check bool) "shared" true
+    (Schema.shared_compositep s "Holder" ~attr:"Shared" ());
+  Alcotest.(check bool) "dependent default true" true
+    (Schema.dependent_compositep s "Holder" ~attr:"Excl" ());
+  Alcotest.(check bool) "independent" false
+    (Schema.dependent_compositep s "Holder" ~attr:"Shared" ())
+
+let test_composite_class_hierarchy () =
+  let s = Schema.create () in
+  define s ~name:"W" [];
+  define s ~name:"C" [];
+  define s ~name:"CSub" ~superclasses:[ "C" ] [];
+  define s ~name:"Mid"
+    [ A.make ~name:"w" ~domain:(D.Class "W") ~refkind:(A.composite ()) () ];
+  define s ~name:"Root"
+    [
+      A.make ~name:"c" ~domain:(D.Class "C")
+        ~refkind:(A.composite ~exclusive:false ())
+        ();
+      A.make ~name:"m" ~domain:(D.Class "Mid") ~refkind:(A.composite ()) ();
+    ];
+  let hierarchy = Schema.composite_class_hierarchy s "Root" in
+  let find cls via =
+    List.exists
+      (fun (c : Schema.component_class) -> c.component = cls && c.via = via)
+      hierarchy
+  in
+  Alcotest.(check bool) "C shared" true (find "C" `Shared);
+  Alcotest.(check bool) "CSub shared (subclass expansion)" true (find "CSub" `Shared);
+  Alcotest.(check bool) "Mid exclusive" true (find "Mid" `Exclusive);
+  Alcotest.(check bool) "W exclusive transitively" true (find "W" `Exclusive);
+  Alcotest.(check bool) "W not shared" false (find "W" `Shared)
+
+let test_segments () =
+  let s = Schema.create () in
+  define s ~name:"P1" ~segment:"cad" [];
+  define s ~name:"P2" ~segment:"cad" [];
+  define s ~name:"Q" [];
+  Alcotest.(check int)
+    "shared segment" (Schema.segment_of_class s "P1")
+    (Schema.segment_of_class s "P2");
+  Alcotest.(check bool) "own segment distinct" true
+    (Schema.segment_of_class s "Q" <> Schema.segment_of_class s "P1")
+
+let test_mutators () =
+  let s = Schema.create () in
+  define s ~name:"T" [ str_attr "A" ];
+  Schema.add_attribute s ~cls:"T" (str_attr "B");
+  Alcotest.(check bool) "added" true (Schema.attribute s "T" "B" <> None);
+  let dropped = Schema.drop_attribute s ~cls:"T" ~attr:"A" in
+  Alcotest.(check string) "dropped name" "A" dropped.A.name;
+  Alcotest.(check bool) "gone" true (Schema.attribute s "T" "A" = None);
+  Schema.replace_attribute s ~cls:"T"
+    (A.make ~name:"B" ~domain:(D.Primitive D.P_integer) ());
+  let b = Option.get (Schema.attribute s "T" "B") in
+  Alcotest.(check bool) "replaced domain" true
+    (D.equal b.domain (D.Primitive D.P_integer))
+
+let test_drop_class_relinks () =
+  let s = Schema.create () in
+  define s ~name:"Top" [ str_attr "T" ];
+  define s ~name:"Mid" ~superclasses:[ "Top" ] [];
+  define s ~name:"Bottom" ~superclasses:[ "Mid" ] [];
+  ignore (Schema.drop_class s "Mid" : Orion_schema.Class_def.t);
+  Alcotest.(check (list string))
+    "relinked" [ "Top" ]
+    (Schema.superclasses s "Bottom");
+  Alcotest.(check bool) "still inherits T" true
+    (Schema.attribute s "Bottom" "T" <> None)
+
+let test_referencing_attributes () =
+  let s = Schema.create () in
+  define s ~name:"Target" [];
+  define s ~name:"Src1"
+    [ A.make ~name:"r" ~domain:(D.Class "Target") ~refkind:(A.composite ()) () ];
+  define s ~name:"Src2" [ A.make ~name:"w" ~domain:(D.Class "Target") () ];
+  let refs = Schema.referencing_attributes s "Target" in
+  let names =
+    List.map (fun ((c : Orion_schema.Class_def.t), (a : A.t)) -> (c.name, a.name)) refs
+    |> List.sort compare
+  in
+  Alcotest.(check (list (pair string string)))
+    "both sources"
+    [ ("Src1", "r"); ("Src2", "w") ]
+    names
+
+let test_export_import () =
+  let s = Schema.create () in
+  define s ~name:"Base" ~segment:"shared" [ str_attr "N" ];
+  define s ~name:"Child" ~superclasses:[ "Base" ] ~segment:"shared"
+    [
+      A.make ~name:"Parts" ~domain:(D.Class "Base") ~collection:A.Set
+        ~refkind:(A.composite ~exclusive:false ~dependent:true ())
+        ();
+    ];
+  define s ~versionable:true ~name:"Vc" [];
+  let fresh = Schema.create () in
+  Schema.import_into fresh (Schema.export s);
+  Alcotest.(check int) "same class count" (List.length (Schema.classes s))
+    (List.length (Schema.classes fresh));
+  Alcotest.(check bool) "lattice preserved" true
+    (Schema.is_subclass_of fresh ~sub:"Child" ~super:"Base");
+  Alcotest.(check bool) "versionable preserved" true
+    (Schema.find_exn fresh "Vc").Orion_schema.Class_def.versionable;
+  Alcotest.(check int) "segments preserved" (Schema.segment_of_class s "Child")
+    (Schema.segment_of_class fresh "Child");
+  let attr = Option.get (Schema.attribute fresh "Child" "Parts") in
+  Alcotest.(check bool) "refkind preserved" true
+    (A.is_shared attr && A.is_dependent attr);
+  (* Importing into a non-empty schema with a clash fails. *)
+  Alcotest.(check bool) "clash rejected" true
+    (fails (fun () -> Schema.import_into fresh (Schema.export s)))
+
+let test_any_domain () =
+  let s = Schema.create () in
+  define s ~name:"Flexible"
+    [ A.make ~name:"Anything" ~domain:D.Any () ];
+  Alcotest.(check bool) "weak any attr fine" true
+    (Schema.attribute s "Flexible" "Anything" <> None);
+  (* A composite attribute cannot have domain [any]. *)
+  Alcotest.(check bool) "composite any rejected" true
+    (fails (fun () ->
+         define s ~name:"Bad"
+           [ A.make ~name:"C" ~domain:D.Any ~refkind:(A.composite ()) () ]))
+
+let test_effective_attrs_diamond () =
+  (* Diamond inheritance: the attribute is inherited once. *)
+  let s = Schema.create () in
+  define s ~name:"Top" [ str_attr "T" ];
+  define s ~name:"L" ~superclasses:[ "Top" ] [];
+  define s ~name:"R" ~superclasses:[ "Top" ] [];
+  define s ~name:"Bottom" ~superclasses:[ "L"; "R" ] [];
+  let names =
+    List.map (fun (a : A.t) -> a.name) (Schema.effective_attributes s "Bottom")
+  in
+  Alcotest.(check (list string)) "single copy" [ "T" ] names;
+  Alcotest.(check (list string)) "supers deduplicated" [ "L"; "Top"; "R" ]
+    (Schema.all_superclasses s "Bottom")
+
+let test_composite_hierarchy_cycle_guard () =
+  (* A self-referential composite class must not loop the hierarchy
+     computation. *)
+  let s = Schema.create () in
+  define s ~name:"Node" [];
+  Schema.add_attribute s ~cls:"Node"
+    (A.make ~name:"Subs" ~domain:(D.Class "Node") ~collection:A.Set
+       ~refkind:(A.composite ()) ());
+  let hierarchy = Schema.composite_class_hierarchy s "Node" in
+  Alcotest.(check int) "one entry" 1 (List.length hierarchy)
+
+let () =
+  Alcotest.run "orion_schema"
+    [
+      ( "classes",
+        [
+          Alcotest.test_case "define/find" `Quick test_define_and_find;
+          Alcotest.test_case "composite domain check" `Quick
+            test_composite_requires_class_domain;
+          Alcotest.test_case "segments" `Quick test_segments;
+        ] );
+      ( "lattice",
+        [
+          Alcotest.test_case "inheritance" `Quick test_inheritance;
+          Alcotest.test_case "multiple inheritance" `Quick
+            test_multiple_inheritance_conflict;
+          Alcotest.test_case "queries" `Quick test_lattice_queries;
+          Alcotest.test_case "cycle rejected" `Quick test_cycle_rejected;
+          Alcotest.test_case "drop class relinks" `Quick test_drop_class_relinks;
+        ] );
+      ( "composite",
+        [
+          Alcotest.test_case "predicates" `Quick test_predicates;
+          Alcotest.test_case "class hierarchy" `Quick test_composite_class_hierarchy;
+          Alcotest.test_case "referencing attributes" `Quick
+            test_referencing_attributes;
+        ] );
+      ("mutators", [ Alcotest.test_case "add/drop/replace" `Quick test_mutators ]);
+      ( "export/import",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_export_import;
+          Alcotest.test_case "any domain" `Quick test_any_domain;
+          Alcotest.test_case "diamond inheritance" `Quick
+            test_effective_attrs_diamond;
+          Alcotest.test_case "self-referential hierarchy" `Quick
+            test_composite_hierarchy_cycle_guard;
+        ] );
+    ]

@@ -1,0 +1,256 @@
+(* Tests for Orion_storage: slotted pages, buffer pool, record store
+   (including clustering placement and long records). *)
+
+module Disk = Orion_storage.Disk
+module Page = Orion_storage.Page
+module Buffer_pool = Orion_storage.Buffer_pool
+module Store = Orion_storage.Store
+module Bytes_rw = Orion_storage.Bytes_rw
+
+let bytes_of_string = Bytes.of_string
+
+let test_page_basics () =
+  let page = Page.init (Bytes.make 256 '\000') in
+  let s0 = Page.insert page (bytes_of_string "hello") in
+  let s1 = Page.insert page (bytes_of_string "world!") in
+  Alcotest.(check (option string))
+    "read s0" (Some "hello")
+    (Option.map Bytes.to_string (Page.read_slot page (Option.get s0)));
+  Alcotest.(check (option string))
+    "read s1" (Some "world!")
+    (Option.map Bytes.to_string (Page.read_slot page (Option.get s1)));
+  Alcotest.(check int) "live" 2 (List.length (Page.live_slots page))
+
+let test_page_delete_reuse () =
+  let page = Page.init (Bytes.make 256 '\000') in
+  let s0 = Option.get (Page.insert page (bytes_of_string "aaaaaaaa")) in
+  Page.delete_slot page s0;
+  Alcotest.(check (option string)) "deleted" None
+    (Option.map Bytes.to_string (Page.read_slot page s0));
+  (* A smaller record reuses the dead slot. *)
+  let s1 = Option.get (Page.insert page (bytes_of_string "bbbb")) in
+  Alcotest.(check int) "slot reused" s0 s1;
+  Alcotest.(check (option string))
+    "reads new content" (Some "bbbb")
+    (Option.map Bytes.to_string (Page.read_slot page s1))
+
+let test_page_update () =
+  let page = Page.init (Bytes.make 256 '\000') in
+  let s = Option.get (Page.insert page (bytes_of_string "longcontent")) in
+  Alcotest.(check bool) "shrink ok" true (Page.update_slot page s (bytes_of_string "tiny"));
+  Alcotest.(check (option string))
+    "updated" (Some "tiny")
+    (Option.map Bytes.to_string (Page.read_slot page s));
+  Alcotest.(check bool) "grow fails" false
+    (Page.update_slot page s (bytes_of_string "muchlongercontentthanbefore"))
+
+let test_page_full () =
+  let page = Page.init (Bytes.make 64 '\000') in
+  let rec fill n =
+    match Page.insert page (bytes_of_string "0123456789") with
+    | Some _ -> fill (n + 1)
+    | None -> n
+  in
+  let inserted = fill 0 in
+  Alcotest.(check bool) "page holds a few records" true (inserted >= 2);
+  Alcotest.(check bool) "eventually full" true
+    (Page.insert page (bytes_of_string "0123456789") = None)
+
+let test_buffer_pool_eviction () =
+  let disk = Disk.create ~page_size:128 in
+  let pool = Buffer_pool.create ~capacity:2 disk in
+  let p0 = Disk.alloc disk and p1 = Disk.alloc disk and p2 = Disk.alloc disk in
+  Disk.reset_stats disk;
+  ignore (Buffer_pool.get pool p0 : Page.t);
+  ignore (Buffer_pool.get pool p1 : Page.t);
+  ignore (Buffer_pool.get pool p0 : Page.t) (* hit *);
+  ignore (Buffer_pool.get pool p2 : Page.t) (* evicts p1 (LRU) *);
+  ignore (Buffer_pool.get pool p0 : Page.t) (* still resident *);
+  let stats = Buffer_pool.stats pool in
+  Alcotest.(check int) "misses" 3 stats.misses;
+  Alcotest.(check int) "hits" 2 stats.hits;
+  Alcotest.(check int) "evictions" 1 stats.evictions;
+  Alcotest.(check int) "physical reads" 3 (Disk.stats disk).reads
+
+let test_buffer_pool_writeback () =
+  let disk = Disk.create ~page_size:128 in
+  let pool = Buffer_pool.create ~capacity:1 disk in
+  let p0 = Disk.alloc disk in
+  let page = Buffer_pool.get pool p0 in
+  Bytes.set (Page.image page) 10 'Z';
+  Buffer_pool.mark_dirty pool p0;
+  (* Force eviction by touching another page. *)
+  let p1 = Disk.alloc disk in
+  ignore (Buffer_pool.get pool p1 : Page.t);
+  let reread = Buffer_pool.get pool p0 in
+  Alcotest.(check char) "write back happened" 'Z' (Bytes.get (Page.image reread) 10)
+
+let test_store_roundtrip () =
+  let store = Store.create ~page_size:256 ~pool_capacity:4 () in
+  let seg = Store.new_segment store in
+  let rid = Store.insert store ~segment:seg (bytes_of_string "record one") in
+  Alcotest.(check (option string))
+    "read back" (Some "record one")
+    (Option.map Bytes.to_string (Store.read store rid));
+  let rid2 = Store.update store rid (bytes_of_string "new") in
+  Alcotest.(check (option string))
+    "updated in place" (Some "new")
+    (Option.map Bytes.to_string (Store.read store rid2));
+  Store.delete store rid2;
+  Alcotest.(check (option string)) "deleted" None
+    (Option.map Bytes.to_string (Store.read store rid2));
+  Alcotest.(check int) "count" 0 (Store.record_count store seg)
+
+let test_store_clustering () =
+  let store = Store.create ~page_size:512 ~pool_capacity:8 () in
+  let seg = Store.new_segment store in
+  let parent = Store.insert store ~segment:seg (bytes_of_string "parent") in
+  let child = Store.insert store ~segment:seg ~near:parent (bytes_of_string "child") in
+  Alcotest.(check int) "same page" parent.Store.page child.Store.page
+
+let test_store_long_records () =
+  let store = Store.create ~page_size:256 ~pool_capacity:8 () in
+  let seg = Store.new_segment store in
+  let big = String.init 2000 (fun i -> Char.chr (65 + (i mod 26))) in
+  let rid = Store.insert store ~segment:seg (bytes_of_string big) in
+  Alcotest.(check int) "marked long" (-1) rid.Store.slot;
+  Alcotest.(check (option string))
+    "read back" (Some big)
+    (Option.map Bytes.to_string (Store.read store rid));
+  Store.delete store rid;
+  Alcotest.(check (option string)) "long gone" None
+    (Option.map Bytes.to_string (Store.read store rid))
+
+let test_store_iter () =
+  let store = Store.create ~page_size:256 ~pool_capacity:8 () in
+  let seg = Store.new_segment store in
+  let contents = [ "a"; "bb"; "ccc"; String.make 1000 'x' ] in
+  List.iter
+    (fun s -> ignore (Store.insert store ~segment:seg (bytes_of_string s) : Store.rid))
+    contents;
+  let seen = ref [] in
+  Store.iter_segment store seg (fun _ data -> seen := Bytes.to_string data :: !seen);
+  Alcotest.(check (list string))
+    "all records" (List.sort compare contents)
+    (List.sort compare !seen)
+
+let test_store_file_roundtrip () =
+  let store = Store.create ~page_size:256 ~pool_capacity:4 () in
+  let seg = Store.new_segment store in
+  let small = Store.insert store ~segment:seg (bytes_of_string "hello") in
+  let big_payload = String.init 1500 (fun i -> Char.chr (97 + (i mod 26))) in
+  let big = Store.insert store ~segment:seg (bytes_of_string big_payload) in
+  Store.write_catalog store (bytes_of_string "catalog-bytes");
+  let path = Filename.temp_file "orion" ".odb" in
+  Store.save_file store path;
+  let reopened = Store.load_file path in
+  Sys.remove path;
+  Alcotest.(check (option string))
+    "small record survives" (Some "hello")
+    (Option.map Bytes.to_string (Store.read reopened small));
+  Alcotest.(check (option string))
+    "long record survives" (Some big_payload)
+    (Option.map Bytes.to_string (Store.read reopened big));
+  Alcotest.(check (option string))
+    "catalog survives" (Some "catalog-bytes")
+    (Option.map Bytes.to_string (Store.read_catalog reopened));
+  Alcotest.(check int) "live count" 2 (Store.record_count reopened seg);
+  (* The reopened store keeps allocating without clobbering. *)
+  let extra = Store.insert reopened ~segment:seg (bytes_of_string "new") in
+  Alcotest.(check (option string))
+    "new insert works" (Some "new")
+    (Option.map Bytes.to_string (Store.read reopened extra));
+  Alcotest.(check (option string))
+    "old record intact" (Some "hello")
+    (Option.map Bytes.to_string (Store.read reopened small))
+
+let test_store_file_bad_magic () =
+  let path = Filename.temp_file "orion" ".odb" in
+  let oc = open_out path in
+  output_string oc "not a store";
+  close_out oc;
+  (match Store.load_file path with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure");
+  Sys.remove path
+
+let test_bytes_rw_roundtrip () =
+  let module W = Bytes_rw.Writer in
+  let module R = Bytes_rw.Reader in
+  let w = W.create () in
+  W.int w 0;
+  W.int w 42;
+  W.int w (-42);
+  W.int w max_int;
+  W.int w min_int;
+  W.float w 3.14159;
+  W.string w "hello";
+  W.bool w true;
+  W.bool w false;
+  let r = R.of_bytes (W.contents w) in
+  Alcotest.(check int) "zero" 0 (R.int r);
+  Alcotest.(check int) "42" 42 (R.int r);
+  Alcotest.(check int) "-42" (-42) (R.int r);
+  Alcotest.(check int) "max_int" max_int (R.int r);
+  Alcotest.(check int) "min_int" min_int (R.int r);
+  Alcotest.(check (float 1e-12)) "float" 3.14159 (R.float r);
+  Alcotest.(check string) "string" "hello" (R.string r);
+  Alcotest.(check bool) "true" true (R.bool r);
+  Alcotest.(check bool) "false" false (R.bool r);
+  Alcotest.(check bool) "at end" true (R.at_end r)
+
+let prop_page_roundtrip =
+  QCheck.Test.make ~name:"page insert/read roundtrip" ~count:200
+    QCheck.(list (string_of_size Gen.(0 -- 40)))
+    (fun records ->
+      let page = Page.init (Bytes.make 4096 '\000') in
+      let inserted =
+        List.filter_map
+          (fun s ->
+            Option.map (fun slot -> (slot, s)) (Page.insert page (Bytes.of_string s)))
+          records
+      in
+      List.for_all
+        (fun (slot, s) ->
+          match Page.read_slot page slot with
+          | Some data -> Bytes.to_string data = s
+          | None -> false)
+        inserted)
+
+let prop_varint_roundtrip =
+  QCheck.Test.make ~name:"varint roundtrip" ~count:500 QCheck.int (fun n ->
+      let w = Bytes_rw.Writer.create () in
+      Bytes_rw.Writer.int w n;
+      Bytes_rw.Reader.int (Bytes_rw.Reader.of_bytes (Bytes_rw.Writer.contents w)) = n)
+
+let () =
+  Alcotest.run "orion_storage"
+    [
+      ( "page",
+        [
+          Alcotest.test_case "basics" `Quick test_page_basics;
+          Alcotest.test_case "delete/reuse" `Quick test_page_delete_reuse;
+          Alcotest.test_case "update" `Quick test_page_update;
+          Alcotest.test_case "full page" `Quick test_page_full;
+          QCheck_alcotest.to_alcotest prop_page_roundtrip;
+        ] );
+      ( "buffer_pool",
+        [
+          Alcotest.test_case "eviction" `Quick test_buffer_pool_eviction;
+          Alcotest.test_case "writeback" `Quick test_buffer_pool_writeback;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_store_roundtrip;
+          Alcotest.test_case "clustering" `Quick test_store_clustering;
+          Alcotest.test_case "long records" `Quick test_store_long_records;
+          Alcotest.test_case "iteration" `Quick test_store_iter;
+          Alcotest.test_case "file roundtrip" `Quick test_store_file_roundtrip;
+          Alcotest.test_case "bad magic" `Quick test_store_file_bad_magic;
+        ] );
+      ( "bytes_rw",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_bytes_rw_roundtrip;
+          QCheck_alcotest.to_alcotest prop_varint_roundtrip;
+        ] );
+    ]

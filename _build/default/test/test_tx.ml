@@ -1,0 +1,339 @@
+(* Tests for Orion_tx: snapshot undo, strict 2PL over the §7 protocols,
+   abort semantics, and the round-robin scheduler. *)
+
+open Orion_core
+module A = Orion_schema.Attribute
+module D = Orion_schema.Domain
+module Schema = Orion_schema.Schema
+module Protocol = Orion_locking.Protocol
+module Snapshot = Orion_tx.Snapshot
+module Tx = Orion_tx.Tx_manager
+module Scheduler = Orion_tx.Scheduler
+module Part_gen = Orion_workload.Part_gen
+module Trace_gen = Orion_workload.Trace_gen
+
+let check_integrity db =
+  match Integrity.check db with
+  | [] -> ()
+  | violations ->
+      Alcotest.failf "integrity: %a"
+        (Format.pp_print_list Integrity.pp_violation)
+        violations
+
+let fixture () =
+  let db = Database.create () in
+  let define name attrs =
+    ignore
+      (Schema.define (Database.schema db) ~name ~attributes:attrs ()
+        : Orion_schema.Class_def.t)
+  in
+  define "Leaf" [ A.make ~name:"Tag" ~domain:(D.Primitive D.P_integer) () ];
+  define "Node"
+    [
+      A.make ~name:"Kids" ~domain:(D.Class "Leaf") ~collection:A.Set
+        ~refkind:(A.composite ~exclusive:true ~dependent:true ())
+        ();
+      A.make ~name:"Refs" ~domain:(D.Class "Leaf") ~collection:A.Set
+        ~refkind:(A.composite ~exclusive:false ~dependent:false ())
+        ();
+    ];
+  db
+
+(* Snapshots ------------------------------------------------------------------- *)
+
+let test_snapshot_restores_attrs () =
+  let db = fixture () in
+  let leaf = Object_manager.create db ~cls:"Leaf" ~attrs:[ ("Tag", Value.Int 1) ] () in
+  let snap = Snapshot.take db [ leaf ] in
+  Object_manager.write_attr db leaf "Tag" (Value.Int 99);
+  Snapshot.restore snap db;
+  Alcotest.(check bool) "attr restored" true
+    (Value.equal (Object_manager.read_attr db leaf "Tag") (Value.Int 1));
+  check_integrity db
+
+let test_snapshot_resurrects_deleted () =
+  let db = fixture () in
+  let node = Object_manager.create db ~cls:"Node" () in
+  let leaf = Object_manager.create db ~cls:"Leaf" ~parents:[ (node, "Kids") ] () in
+  let snap = Snapshot.take db [ node; leaf ] in
+  Object_manager.delete db node;
+  Alcotest.(check bool) "both gone" true
+    ((not (Database.exists db node)) && not (Database.exists db leaf));
+  Snapshot.restore snap db;
+  Alcotest.(check bool) "both back" true
+    (Database.exists db node && Database.exists db leaf);
+  Alcotest.(check bool) "membership restored" true (Traversal.child_of db leaf node);
+  check_integrity db
+
+let test_snapshot_first_capture_wins () =
+  let db = fixture () in
+  let leaf = Object_manager.create db ~cls:"Leaf" ~attrs:[ ("Tag", Value.Int 1) ] () in
+  let snap = Snapshot.take db [ leaf ] in
+  Object_manager.write_attr db leaf "Tag" (Value.Int 2);
+  Snapshot.extend snap db [ leaf ];
+  Object_manager.write_attr db leaf "Tag" (Value.Int 3);
+  Snapshot.restore snap db;
+  Alcotest.(check bool) "original value restored" true
+    (Value.equal (Object_manager.read_attr db leaf "Tag") (Value.Int 1))
+
+(* Transactions ----------------------------------------------------------------- *)
+
+let test_commit_keeps_changes () =
+  let db = fixture () in
+  let manager = Tx.create db in
+  let tx = Tx.begin_tx manager in
+  let node = Tx.create_object manager tx ~cls:"Node" () in
+  let leaf = Tx.create_object manager tx ~cls:"Leaf" ~parents:[ (node, "Kids") ] () in
+  ignore (Tx.commit manager tx : int list);
+  Alcotest.(check bool) "objects committed" true
+    (Database.exists db node && Database.exists db leaf);
+  Alcotest.(check bool) "tx state" true (Tx.state tx = Tx.Committed);
+  check_integrity db
+
+let test_abort_removes_created () =
+  let db = fixture () in
+  let manager = Tx.create db in
+  let tx = Tx.begin_tx manager in
+  let node = Tx.create_object manager tx ~cls:"Node" () in
+  let leaf = Tx.create_object manager tx ~cls:"Leaf" ~parents:[ (node, "Kids") ] () in
+  ignore (Tx.abort manager tx : int list);
+  Alcotest.(check bool) "created objects gone" true
+    ((not (Database.exists db node)) && not (Database.exists db leaf));
+  Alcotest.(check int) "database empty" 0 (Database.count db);
+  check_integrity db
+
+let test_abort_restores_deleted_composite () =
+  let db = fixture () in
+  let node = Object_manager.create db ~cls:"Node" () in
+  let leaf = Object_manager.create db ~cls:"Leaf" ~parents:[ (node, "Kids") ] () in
+  let manager = Tx.create db in
+  let tx = Tx.begin_tx manager in
+  Tx.delete_object manager tx node;
+  Alcotest.(check bool) "cascade happened" false (Database.exists db leaf);
+  ignore (Tx.abort manager tx : int list);
+  Alcotest.(check bool) "composite restored" true
+    (Database.exists db node && Database.exists db leaf);
+  Alcotest.(check bool) "reverse references restored" true
+    (Traversal.parents_of db leaf = [ node ]);
+  check_integrity db
+
+let test_abort_restores_write () =
+  let db = fixture () in
+  let node = Object_manager.create db ~cls:"Node" () in
+  let l1 = Object_manager.create db ~cls:"Leaf" ~parents:[ (node, "Refs") ] () in
+  let l2 = Object_manager.create db ~cls:"Leaf" () in
+  let manager = Tx.create db in
+  let tx = Tx.begin_tx manager in
+  Tx.write_attr manager tx node "Refs" (Value.VSet [ Value.Ref l2 ]);
+  Alcotest.(check bool) "swap applied" true (Traversal.child_of db l2 node);
+  ignore (Tx.abort manager tx : int list);
+  Alcotest.(check bool) "old membership restored" true (Traversal.child_of db l1 node);
+  Alcotest.(check bool) "new membership undone" false (Traversal.child_of db l2 node);
+  check_integrity db
+
+let test_abort_restores_remove_component () =
+  let db = fixture () in
+  let node = Object_manager.create db ~cls:"Node" () in
+  let leaf = Object_manager.create db ~cls:"Leaf" ~parents:[ (node, "Kids") ] () in
+  let manager = Tx.create db in
+  let tx = Tx.begin_tx manager in
+  (* Removing the dependent leaf deletes it (existence rule)... *)
+  Tx.remove_component manager tx ~parent:node ~attr:"Kids" ~child:leaf;
+  Alcotest.(check bool) "deleted" false (Database.exists db leaf);
+  (* ...and abort brings it back with its membership. *)
+  ignore (Tx.abort manager tx : int list);
+  Alcotest.(check bool) "restored" true (Database.exists db leaf);
+  Alcotest.(check bool) "membership back" true (Traversal.child_of db leaf node);
+  check_integrity db
+
+let test_blocking_and_wakeup () =
+  let db = fixture () in
+  let node = Object_manager.create db ~cls:"Node" () in
+  let manager = Tx.create db in
+  let t1 = Tx.begin_tx manager in
+  let t2 = Tx.begin_tx manager in
+  Alcotest.(check bool) "t1 gets X" true
+    (Tx.lock_instance manager t1 node Protocol.Update = `Granted);
+  Alcotest.(check bool) "t2 blocks" true
+    (Tx.lock_instance manager t2 node Protocol.Read_ = `Blocked);
+  Alcotest.(check bool) "t2 parked" true (Tx.state t2 = Tx.Blocked);
+  let unblocked = Tx.commit manager t1 in
+  Alcotest.(check (list Alcotest.int)) "t2 woken" [ Tx.tx_id t2 ] unblocked;
+  Alcotest.(check bool) "t2 active again" true (Tx.state t2 = Tx.Active)
+
+let test_lock_escalation () =
+  let db = fixture () in
+  let leaves = List.init 10 (fun _ -> Object_manager.create db ~cls:"Leaf" ()) in
+  let manager = Tx.create ~escalation_threshold:4 db in
+  let tx = Tx.begin_tx manager in
+  List.iteri
+    (fun i leaf ->
+      Alcotest.(check bool)
+        (Printf.sprintf "lock %d granted" i)
+        true
+        (Tx.lock_instance manager tx leaf Protocol.Update = `Granted))
+    leaves;
+  Alcotest.(check (list Alcotest.string)) "escalated to the class lock" [ "Leaf" ]
+    (Tx.escalated manager tx);
+  (* After escalation the class X lock blocks every other accessor. *)
+  let other = Tx.begin_tx manager in
+  Alcotest.(check bool) "others blocked by class lock" true
+    (Tx.lock_instance manager other (List.hd leaves) Protocol.Read_ = `Blocked);
+  ignore (Tx.commit manager tx : int list);
+  Alcotest.(check bool) "unblocked after commit" true (Tx.state other = Tx.Active)
+
+let test_escalation_denied_under_contention () =
+  let db = fixture () in
+  let leaves = List.init 6 (fun _ -> Object_manager.create db ~cls:"Leaf" ()) in
+  let manager = Tx.create ~escalation_threshold:3 db in
+  let t1 = Tx.begin_tx manager in
+  let t2 = Tx.begin_tx manager in
+  (* t2 holds one instance lock: t1's escalation to class X must fail,
+     but its instance locking continues. *)
+  Alcotest.(check bool) "t2 holds a leaf" true
+    (Tx.lock_instance manager t2 (List.nth leaves 5) Protocol.Update = `Granted);
+  List.iteri
+    (fun i leaf ->
+      if i < 5 then
+        Alcotest.(check bool)
+          (Printf.sprintf "t1 lock %d" i)
+          true
+          (Tx.lock_instance manager t1 leaf Protocol.Update = `Granted))
+    leaves;
+  Alcotest.(check (list Alcotest.string)) "no escalation under contention" []
+    (Tx.escalated manager t1);
+  ignore (Tx.commit manager t1 : int list);
+  ignore (Tx.commit manager t2 : int list)
+
+(* Scheduler -------------------------------------------------------------------- *)
+
+let test_scheduler_serial_equivalence () =
+  (* Two writers of the same composite object must serialize; the
+     mutations both apply. *)
+  let forest = Part_gen.generate ~roots:1 { Part_gen.default with depth = 1; seed = 3 } in
+  let db = forest.Part_gen.db in
+  let root = List.hd forest.Part_gen.roots in
+  let manager = Tx.create db in
+  let counter = ref 0 in
+  let script =
+    [
+      Scheduler.Lock_composite (root, Protocol.Update);
+      Scheduler.Mutate (fun _ -> incr counter);
+    ]
+  in
+  let result = Scheduler.run manager [ script; script; script ] in
+  Alcotest.(check int) "all commit" 3 result.Scheduler.committed;
+  Alcotest.(check int) "all mutations ran" 3 !counter;
+  Alcotest.(check bool) "serialization caused blocking" true
+    (result.Scheduler.blocks > 0);
+  check_integrity db
+
+let test_scheduler_deadlock_recovery () =
+  (* Distinct root and component classes: with a self-referential class
+     the protocol already serializes updates at the class level (IX vs
+     IXO on the same granule), so no deadlock could arise. *)
+  let db = fixture () in
+  let r1 = Object_manager.create db ~cls:"Node" () in
+  let r2 = Object_manager.create db ~cls:"Node" () in
+  ignore (Object_manager.create db ~cls:"Leaf" ~parents:[ (r1, "Kids") ] () : Oid.t);
+  ignore (Object_manager.create db ~cls:"Leaf" ~parents:[ (r2, "Kids") ] () : Oid.t);
+  let manager = Tx.create db in
+  (* Opposite lock orders: classic deadlock. *)
+  let s1 =
+    [
+      Scheduler.Lock_composite (r1, Protocol.Update);
+      Scheduler.Lock_composite (r2, Protocol.Update);
+    ]
+  in
+  let s2 =
+    [
+      Scheduler.Lock_composite (r2, Protocol.Update);
+      Scheduler.Lock_composite (r1, Protocol.Update);
+    ]
+  in
+  let result = Scheduler.run manager [ s1; s2 ] in
+  Alcotest.(check int) "both eventually commit" 2 result.Scheduler.committed;
+  Alcotest.(check bool) "a deadlock was broken" true (result.Scheduler.deadlocks >= 1);
+  check_integrity db
+
+let test_trace_generators_complete () =
+  let forest = Part_gen.generate ~roots:4 { Part_gen.default with depth = 2; seed = 9 } in
+  let db = forest.Part_gen.db in
+  let config = { Trace_gen.default with txs = 8; ops_per_tx = 2 } in
+  let run scripts =
+    let manager = Tx.create db in
+    Scheduler.run manager scripts
+  in
+  let c = run (Trace_gen.composite_scripts db ~roots:forest.Part_gen.roots config) in
+  Alcotest.(check int) "composite trace commits" 8 c.Scheduler.committed;
+  let i = run (Trace_gen.instance_scripts db ~roots:forest.Part_gen.roots config) in
+  Alcotest.(check int) "instance trace commits" 8 i.Scheduler.committed
+
+(* Property: interleaved create/delete transactions with random
+   aborts leave the database consistent. *)
+let prop_abort_consistency =
+  QCheck.Test.make ~name:"random commit/abort keeps integrity" ~count:40
+    QCheck.(make Gen.(list_size (int_bound 20) (pair bool (int_bound 3))))
+    (fun plan ->
+      let db = fixture () in
+      let manager = Tx.create db in
+      let survivors = ref [] in
+      List.iter
+        (fun (do_commit, kids) ->
+          let tx = Tx.begin_tx manager in
+          (try
+             let node = Tx.create_object manager tx ~cls:"Node" () in
+             for _ = 1 to kids do
+               ignore
+                 (Tx.create_object manager tx ~cls:"Leaf" ~parents:[ (node, "Kids") ] ()
+                   : Oid.t)
+             done;
+             (* Also mutate a previously committed object. *)
+             (match !survivors with
+             | prev :: _ ->
+                 let extra = Tx.create_object manager tx ~cls:"Leaf" () in
+                 Tx.write_attr manager tx prev "Refs" (Value.VSet [ Value.Ref extra ])
+             | [] -> ());
+             if do_commit then begin
+               ignore (Tx.commit manager tx : int list);
+               survivors := node :: !survivors
+             end
+             else ignore (Tx.abort manager tx : int list)
+           with Core_error.Error _ -> ignore (Tx.abort manager tx : int list)))
+        plan;
+      Integrity.check db = [])
+
+let () =
+  Alcotest.run "orion_tx"
+    [
+      ( "snapshots",
+        [
+          Alcotest.test_case "restore attrs" `Quick test_snapshot_restores_attrs;
+          Alcotest.test_case "resurrect deleted" `Quick
+            test_snapshot_resurrects_deleted;
+          Alcotest.test_case "first capture wins" `Quick
+            test_snapshot_first_capture_wins;
+        ] );
+      ( "transactions",
+        [
+          Alcotest.test_case "commit" `Quick test_commit_keeps_changes;
+          Alcotest.test_case "abort removes created" `Quick test_abort_removes_created;
+          Alcotest.test_case "abort restores deletion" `Quick
+            test_abort_restores_deleted_composite;
+          Alcotest.test_case "abort restores writes" `Quick test_abort_restores_write;
+          Alcotest.test_case "abort restores removal" `Quick
+            test_abort_restores_remove_component;
+          Alcotest.test_case "blocking and wakeup" `Quick test_blocking_and_wakeup;
+          Alcotest.test_case "lock escalation" `Quick test_lock_escalation;
+          Alcotest.test_case "escalation denied under contention" `Quick
+            test_escalation_denied_under_contention;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "serialization" `Quick test_scheduler_serial_equivalence;
+          Alcotest.test_case "deadlock recovery" `Quick
+            test_scheduler_deadlock_recovery;
+          Alcotest.test_case "trace generators" `Quick test_trace_generators_complete;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_abort_consistency ]);
+    ]

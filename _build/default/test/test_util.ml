@@ -1,0 +1,143 @@
+(* Tests for Orion_util: the s-expression reader/printer and the table
+   renderer. *)
+
+module Sexp = Orion_util.Sexp
+module Table = Orion_util.Table
+
+let check_parse msg input expected =
+  Alcotest.(check bool) msg true (Sexp.equal (Sexp.parse input) expected)
+
+let test_atoms () =
+  check_parse "symbol" "make-class" (Sexp.Atom "make-class");
+  check_parse "keyword" ":composite" (Sexp.Keyword "composite");
+  check_parse "int" "42" (Sexp.Int 42);
+  check_parse "negative int" "-7" (Sexp.Int (-7));
+  check_parse "float" "3.5" (Sexp.Float 3.5);
+  check_parse "string" {|"hello world"|} (Sexp.Str "hello world");
+  check_parse "nil" "nil" (Sexp.Atom "nil")
+
+let test_lists () =
+  check_parse "empty" "()" (Sexp.List []);
+  check_parse "nested" "(a (b c) d)"
+    (Sexp.List
+       [ Sexp.Atom "a"; Sexp.List [ Sexp.Atom "b"; Sexp.Atom "c" ]; Sexp.Atom "d" ]);
+  check_parse "quote" "'Vehicle"
+    (Sexp.List [ Sexp.Atom "quote"; Sexp.Atom "Vehicle" ]);
+  check_parse "keywords in list" "(make-class 'Doc :composite true)"
+    (Sexp.List
+       [
+         Sexp.Atom "make-class";
+         Sexp.List [ Sexp.Atom "quote"; Sexp.Atom "Doc" ];
+         Sexp.Keyword "composite";
+         Sexp.Atom "true";
+       ])
+
+let test_comments_and_whitespace () =
+  check_parse "comment" "(a ; comment\n b)"
+    (Sexp.List [ Sexp.Atom "a"; Sexp.Atom "b" ]);
+  check_parse "escapes" {|"a\nb"|} (Sexp.Str "a\nb");
+  Alcotest.(check int)
+    "parse_many" 3
+    (List.length (Sexp.parse_many "(a) (b) c"))
+
+let test_errors () =
+  let fails input =
+    match Sexp.parse input with
+    | exception Sexp.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "unterminated list" true (fails "(a b");
+  Alcotest.(check bool) "unterminated string" true (fails {|"abc|});
+  Alcotest.(check bool) "stray paren" true (fails ")");
+  Alcotest.(check bool) "trailing garbage" true (fails "(a) b")
+
+let test_roundtrip () =
+  let forms =
+    [
+      "(make-class 'Vehicle :superclasses nil :attributes ((Color :domain String)))";
+      "(components-of obj (A B) true nil 3)";
+      "'(quoted list)";
+      {|("str" 1 2.5 :kw)|};
+    ]
+  in
+  List.iter
+    (fun src ->
+      let form = Sexp.parse src in
+      let reparsed = Sexp.parse (Sexp.to_string form) in
+      Alcotest.(check bool) ("roundtrip " ^ src) true (Sexp.equal form reparsed))
+    forms
+
+let test_nil_true () =
+  Alcotest.(check bool) "nil atom" true (Sexp.is_nil (Sexp.Atom "nil"));
+  Alcotest.(check bool) "empty list is nil" true (Sexp.is_nil (Sexp.List []));
+  Alcotest.(check bool) "true" true (Sexp.is_true (Sexp.Atom "true"));
+  Alcotest.(check bool) "t" true (Sexp.is_true (Sexp.Atom "t"));
+  Alcotest.(check bool) "nil not true" false (Sexp.is_true Sexp.nil)
+
+let test_table () =
+  let t = Table.create ~headers:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333" ];
+  let rendered = Table.render t in
+  Alcotest.(check bool) "has header" true
+    (String.length rendered > 0
+    && String.split_on_char '\n' rendered |> List.exists (fun l ->
+           String.length l > 0 && l.[0] = '|'));
+  let m =
+    Table.render_matrix ~row_labels:[ "r1"; "r2" ] ~col_labels:[ "c1" ]
+      ~cell:(fun i j -> Printf.sprintf "%d%d" i j)
+      ~corner:"x"
+  in
+  Alcotest.(check bool) "matrix mentions cell" true
+    (String.length m > 0
+    &&
+    let contains s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    contains m "10")
+
+(* Random s-expression printer/parser roundtrip. *)
+let sexp_gen =
+  let open QCheck.Gen in
+  let atom =
+    oneof
+      [
+        map (fun n -> Sexp.Int n) small_signed_int;
+        map (fun s -> Sexp.Str s) (string_size ~gen:printable (0 -- 12));
+        map
+          (fun s -> Sexp.Atom ("a" ^ s))
+          (string_size ~gen:(char_range 'a' 'z') (0 -- 8));
+        map
+          (fun s -> Sexp.Keyword ("k" ^ s))
+          (string_size ~gen:(char_range 'a' 'z') (0 -- 6));
+      ]
+  in
+  let rec tree depth =
+    if depth = 0 then atom
+    else
+      frequency
+        [ (3, atom); (1, map (fun l -> Sexp.List l) (list_size (0 -- 4) (tree (depth - 1)))) ]
+  in
+  tree 4
+
+let prop_sexp_roundtrip =
+  QCheck.Test.make ~name:"print/parse roundtrip" ~count:300 (QCheck.make sexp_gen)
+    (fun form -> Sexp.equal form (Sexp.parse (Sexp.to_string form)))
+
+let () =
+  Alcotest.run "orion_util"
+    [
+      ( "sexp",
+        [
+          Alcotest.test_case "atoms" `Quick test_atoms;
+          Alcotest.test_case "lists" `Quick test_lists;
+          Alcotest.test_case "comments" `Quick test_comments_and_whitespace;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "nil/true" `Quick test_nil_true;
+          QCheck_alcotest.to_alcotest prop_sexp_roundtrip;
+        ] );
+      ("table", [ Alcotest.test_case "render" `Quick test_table ]);
+    ]

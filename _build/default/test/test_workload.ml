@@ -1,0 +1,121 @@
+(* Tests for Orion_workload: the seeded generators must be
+   deterministic, produce the advertised shapes, and keep every
+   database invariant. *)
+
+open Orion_core
+module Part_gen = Orion_workload.Part_gen
+module Trace_gen = Orion_workload.Trace_gen
+module Scenarios = Orion_workload.Scenarios
+module Doc_gen = Orion_workload.Doc_gen
+module Scheduler = Orion_tx.Scheduler
+
+let test_part_gen_physical () =
+  let forest = Part_gen.generate ~roots:3 Part_gen.default in
+  Alcotest.(check int) "three roots" 3 (List.length forest.Part_gen.roots);
+  Alcotest.(check bool) "objects created" true (forest.Part_gen.total > 3);
+  (* Physical: every component is exclusive. *)
+  List.iter
+    (fun root ->
+      let comps = Traversal.components_of forest.Part_gen.db root in
+      List.iter
+        (fun c ->
+          Alcotest.(check bool) "exclusive" true
+            (Traversal.exclusive_component_of forest.Part_gen.db c root))
+        comps)
+    forest.Part_gen.roots;
+  Integrity.assert_ok forest.Part_gen.db
+
+let test_part_gen_logical_shares () =
+  let config =
+    { Part_gen.default with exclusive = false; share_prob = 0.5; seed = 13; depth = 4 }
+  in
+  let forest = Part_gen.generate ~roots:3 config in
+  (* Some node should have gained more than one parent. *)
+  let shared_exists =
+    Database.fold forest.Part_gen.db ~init:false ~f:(fun acc inst ->
+        acc
+        || List.length (Traversal.parents_of forest.Part_gen.db inst.Instance.oid) > 1)
+  in
+  Alcotest.(check bool) "sharing happened" true shared_exists;
+  Integrity.assert_ok forest.Part_gen.db
+
+let test_part_gen_deterministic () =
+  let run () =
+    let forest = Part_gen.generate ~roots:2 { Part_gen.default with seed = 99 } in
+    (forest.Part_gen.total, Database.count forest.Part_gen.db)
+  in
+  Alcotest.(check (pair int int)) "same seed, same forest" (run ()) (run ())
+
+let test_trace_gen_deterministic () =
+  let forest = Part_gen.generate ~roots:3 Part_gen.default in
+  let config = Trace_gen.default in
+  let s1 =
+    Trace_gen.composite_scripts forest.Part_gen.db ~roots:forest.Part_gen.roots config
+  in
+  let s2 =
+    Trace_gen.composite_scripts forest.Part_gen.db ~roots:forest.Part_gen.roots config
+  in
+  Alcotest.(check int) "tx count" config.Trace_gen.txs (List.length s1);
+  let roots_of scripts =
+    List.map
+      (List.filter_map (function
+        | Scheduler.Lock_composite (r, _) -> Some r
+        | Scheduler.Lock_instance _ | Scheduler.Mutate _ -> None))
+      scripts
+  in
+  Alcotest.(check bool) "same seed, same trace" true (roots_of s1 = roots_of s2)
+
+let test_doc_gen () =
+  let corpus = Doc_gen.generate { Doc_gen.default with documents = 20 } in
+  Alcotest.(check int) "twenty documents" 20 (List.length corpus.Doc_gen.docs);
+  Alcotest.(check bool) "sharing happened" true (corpus.Doc_gen.shared_sections > 0);
+  Integrity.assert_ok corpus.Doc_gen.db;
+  (* Deleting every document leaves only the independent figures. *)
+  List.iter (Object_manager.delete corpus.Doc_gen.db) corpus.Doc_gen.docs;
+  let images =
+    Database.instances_of corpus.Doc_gen.db corpus.Doc_gen.classes.Scenarios.image
+  in
+  Alcotest.(check int) "only figures survive" (List.length images)
+    (Database.count corpus.Doc_gen.db);
+  Integrity.assert_ok corpus.Doc_gen.db
+
+let test_doc_gen_deterministic () =
+  let run () =
+    let c = Doc_gen.generate Doc_gen.default in
+    (c.Doc_gen.total, c.Doc_gen.shared_sections)
+  in
+  Alcotest.(check (pair int int)) "same seed, same corpus" (run ()) (run ())
+
+let test_scenarios_shapes () =
+  let db = Database.create () in
+  let vc = Scenarios.define_vehicle_schema db in
+  let v = Scenarios.build_vehicle db vc ~tires:6 ~color:"black" () in
+  Alcotest.(check int) "six tires" 6 (List.length v.Scenarios.v_tires);
+  Alcotest.(check int) "eight components" 8
+    (List.length (Traversal.components_of db v.Scenarios.v_vehicle));
+  let db2 = Database.create () in
+  let dc = Scenarios.define_document_schema db2 in
+  let d =
+    Scenarios.build_document db2 dc ~title:"t" ~sections:3 ~paragraphs_per_section:2
+  in
+  Alcotest.(check int) "three sections" 3 (List.length d.Scenarios.d_sections);
+  Alcotest.(check int) "3 + 6 components" 9
+    (List.length (Traversal.components_of db2 d.Scenarios.d_document));
+  Integrity.assert_ok db;
+  Integrity.assert_ok db2
+
+let () =
+  Alcotest.run "orion_workload"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "physical forest" `Quick test_part_gen_physical;
+          Alcotest.test_case "logical sharing" `Quick test_part_gen_logical_shares;
+          Alcotest.test_case "determinism" `Quick test_part_gen_deterministic;
+          Alcotest.test_case "trace determinism" `Quick test_trace_gen_deterministic;
+          Alcotest.test_case "paper scenarios" `Quick test_scenarios_shapes;
+          Alcotest.test_case "document corpus" `Quick test_doc_gen;
+          Alcotest.test_case "document determinism" `Quick
+            test_doc_gen_deterministic;
+        ] );
+    ]
