@@ -39,12 +39,24 @@ let run_reports () =
 
 (* Fixtures are built once, outside the staged functions. *)
 
-let forest_of depth =
-  Part_gen.generate ~roots:4 { Part_gen.default with depth; seed = 21 }
+let forest_of ?(edge_cache = true) depth =
+  let db = Database.create ~edge_cache () in
+  Part_gen.generate ~db ~roots:4 { Part_gen.default with depth; seed = 21 }
 
 let bench_components_of =
   let forests = List.map (fun d -> (d, forest_of d)) [ 2; 3; 4 ] in
   Test.make_indexed ~name:"traversal/components-of" ~args:[ 2; 3; 4 ] (fun d ->
+      let forest = List.assoc d forests in
+      let root = List.hd forest.Part_gen.roots in
+      Staged.stage (fun () ->
+          ignore (Traversal.components_of forest.Part_gen.db root : Oid.t list)))
+
+(* The same traversal against a database created with [~edge_cache:false]:
+   the uncached baseline every BENCH_*.json speedup is computed from. *)
+let bench_components_of_uncached =
+  let forests = List.map (fun d -> (d, forest_of ~edge_cache:false d)) [ 2; 3; 4 ] in
+  Test.make_indexed ~name:"traversal/components-of-uncached" ~args:[ 2; 3; 4 ]
+    (fun d ->
       let forest = List.assoc d forests in
       let root = List.hd forest.Part_gen.roots in
       Staged.stage (fun () ->
@@ -388,8 +400,9 @@ let bench_storage =
          Orion_storage.Store.delete store rid))
 
 let all_tests =
-  [ bench_components_of; bench_parents_inline; bench_parents_external;
-    bench_ancestors; bench_make_remove; bench_delete_cascade ]
+  [ bench_components_of; bench_components_of_uncached; bench_parents_inline;
+    bench_parents_external; bench_ancestors; bench_make_remove;
+    bench_delete_cascade ]
   @ bench_codec
   @ [ bench_derive; bench_evolution_immediate ]
   @ bench_locking @ bench_authz @ bench_query @ bench_notify
@@ -427,14 +440,132 @@ let run_benchmarks () =
       in
       Orion_util.Table.add_row table [ name; pretty ])
     rows;
-  print_string (Orion_util.Table.render table)
+  print_string (Orion_util.Table.render table);
+  rows
+
+(* Machine-readable perf trajectory ---------------------------------------- *)
+
+(* [BENCH_<pr>.json]: op name -> ns/op, plus the cache comparison every
+   perf PR is judged against (see DESIGN.md "Performance architecture"). *)
+
+(* Edge-cache hit rate of a warm depth-4 traversal, measured directly
+   rather than through Bechamel. *)
+let measure_cache_stats () =
+  let forest = forest_of 4 in
+  let db = forest.Part_gen.db in
+  let root = List.hd forest.Part_gen.roots in
+  Database.reset_stats db;
+  for _ = 1 to 10 do
+    ignore (Traversal.components_of db root : Oid.t list)
+  done;
+  Database.stats db
+
+(* Steady-state ns/op of [f], by wall-ish CPU clock: long enough a
+   sample that the cached-vs-uncached ratio is stable run to run, where
+   a single 0.3 s Bechamel quota is visibly noisy. *)
+let time_op f =
+  for _ = 1 to 3 do f () done;
+  let t0 = Sys.time () in
+  let iters = ref 0 in
+  while Sys.time () -. t0 < 0.5 do
+    for _ = 1 to 10 do f () done;
+    iters := !iters + 10
+  done;
+  (Sys.time () -. t0) *. 1e9 /. float_of_int !iters
+
+(* Cached vs uncached composite traversal at each depth, both paths
+   timed in this same run (the cache-disable flag on [Database.create]
+   is the only difference between the two fixtures). *)
+let measure_speedups () =
+  List.map
+    (fun depth ->
+      let run forest =
+        let db = forest.Part_gen.db in
+        let root = List.hd forest.Part_gen.roots in
+        time_op (fun () -> ignore (Traversal.components_of db root : Oid.t list))
+      in
+      let cached = run (forest_of depth) in
+      let uncached = run (forest_of ~edge_cache:false depth) in
+      (depth, cached, uncached))
+    [ 2; 3; 4 ]
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_bench_json ~path rows =
+  let stats : Database.stats = measure_cache_stats () in
+  let hit_rate =
+    let total = stats.hits + stats.misses in
+    if total = 0 then 0.0 else float_of_int stats.hits /. float_of_int total
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"orion-bench-v1\",\n";
+  Buffer.add_string buf "  \"unit\": \"ns/op\",\n";
+  Buffer.add_string buf "  \"results\": {\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\": %s%s\n" (json_escape name)
+           (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns)
+           (if i = n - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  },\n";
+  (* Cached vs uncached composite traversal, same run, per depth. *)
+  let speedups = measure_speedups () in
+  Buffer.add_string buf "  \"edge_cache_speedup\": {\n";
+  List.iteri
+    (fun i (d, cached, uncached) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    \"depth-%d\": { \"cached_ns\": %.1f, \"uncached_ns\": %.1f, \
+            \"speedup\": %.2f }%s\n"
+           d cached uncached (uncached /. cached)
+           (if i = List.length speedups - 1 then "" else ",")))
+    speedups;
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"edge_cache_warm_traversal\": { \"hits\": %d, \"misses\": %d, \
+        \"invalidations\": %d, \"hit_rate\": %.4f }\n"
+       stats.hits stats.misses stats.invalidations hit_rate);
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  Printf.printf "\nwrote %s\n%!" path
 
 let () =
+  let quick = Array.exists (String.equal "--quick") Sys.argv in
+  let json_path =
+    let rec scan i =
+      if i >= Array.length Sys.argv - 1 then None
+      else if String.equal Sys.argv.(i) "--json" then Some Sys.argv.(i + 1)
+      else scan (i + 1)
+    in
+    scan 1
+  in
   print_endline "==============================================================";
   print_endline " Composite Objects Revisited (SIGMOD 1989) - experiment suite";
   print_endline "==============================================================";
   let experiments_ok = run_reports () in
-  print_endline "";
-  print_endline "=== Timed micro-benchmarks (Bechamel) ===";
-  run_benchmarks ();
+  if quick && json_path <> None then
+    prerr_endline "warning: --json needs the timed benchmarks; ignored with --quick";
+  if not quick then begin
+    print_endline "";
+    print_endline "=== Timed micro-benchmarks (Bechamel) ===";
+    let rows = run_benchmarks () in
+    match json_path with
+    | Some path -> write_bench_json ~path rows
+    | None -> ()
+  end;
   if not experiments_ok then exit 1

@@ -12,6 +12,7 @@ type t = {
   repr : rref_repr;
   external_rrefs : Rref.t list ref Oid.Tbl.t;
   acyclic : bool;
+  edge_cache : Edge_cache.t option;
   mutable access_hook : (Instance.t -> unit) option;
   mutable current_cc : int;
   mutable listeners : (int * (event_ -> unit)) list;
@@ -24,30 +25,74 @@ and event_ =
   | Attr_written of { oid : Oid.t; attr : string; before : Value.t; after : Value.t }
   | Invalidated
 
+(* Keep the composite-edge cache honest against every mutation event.
+   [Created] matters only for version instances: a new version can
+   become its generic's default, re-resolving every dynamic reference
+   to that generic (§5.1). *)
+let edge_cache_listener t cache event =
+  match event with
+  | Attr_written { oid; _ } | Deleted oid -> Edge_cache.invalidate cache oid
+  | Created oid -> (
+      Edge_cache.invalidate cache oid;
+      match Oid.Tbl.find_opt t.objects oid with
+      | Some inst -> (
+          match Instance.version_info inst with
+          | Some vi -> Edge_cache.invalidate cache vi.generic
+          | None -> ())
+      | None -> ())
+  | Invalidated -> Edge_cache.flush cache
+
 let create ?(page_size = 4096) ?(pool_capacity = 64) ?(rref_repr = Inline)
-    ?(acyclic = true) ?store () =
-  {
-    schema = Schema.create ();
-    store =
-      (match store with
-      | Some store -> store
-      | None -> Store.create ~page_size ~pool_capacity ());
-    objects = Oid.Tbl.create 1024;
-    next_oid = 0;
-    clock = 0;
-    repr = rref_repr;
-    external_rrefs = Oid.Tbl.create 1024;
-    acyclic;
-    access_hook = None;
-    current_cc = 0;
-    listeners = [];
-    next_subscription = 0;
-  }
+    ?(acyclic = true) ?(edge_cache = true) ?store () =
+  let t =
+    {
+      schema = Schema.create ();
+      store =
+        (match store with
+        | Some store -> store
+        | None -> Store.create ~page_size ~pool_capacity ());
+      objects = Oid.Tbl.create 1024;
+      next_oid = 0;
+      clock = 0;
+      repr = rref_repr;
+      external_rrefs = Oid.Tbl.create 1024;
+      acyclic;
+      edge_cache = (if edge_cache then Some (Edge_cache.create ()) else None);
+      access_hook = None;
+      current_cc = 0;
+      listeners = [];
+      next_subscription = 0;
+    }
+  in
+  (match t.edge_cache with
+  | Some cache ->
+      t.listeners <- [ (0, edge_cache_listener t cache) ];
+      t.next_subscription <- 1
+  | None -> ());
+  t
 
 let schema t = t.schema
 let store t = t.store
 let rref_repr t = t.repr
 let acyclic t = t.acyclic
+let edge_cache t = t.edge_cache
+
+type stats = Edge_cache.stats = { hits : int; misses : int; invalidations : int }
+
+let stats t =
+  match t.edge_cache with
+  | Some cache -> Edge_cache.stats cache
+  | None -> { hits = 0; misses = 0; invalidations = 0 }
+
+let reset_stats t =
+  match t.edge_cache with
+  | Some cache -> Edge_cache.reset_stats cache
+  | None -> ()
+
+let invalidate_edges t oid =
+  match t.edge_cache with
+  | Some cache -> Edge_cache.invalidate cache oid
+  | None -> ()
 
 let fresh_oid t =
   let oid = Oid.of_int t.next_oid in

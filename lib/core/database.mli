@@ -15,18 +15,44 @@ val create :
   ?pool_capacity:int ->
   ?rref_repr:rref_repr ->
   ?acyclic:bool ->
+  ?edge_cache:bool ->
   ?store:Orion_storage.Store.t ->
   unit ->
   t
 (** Defaults: [Inline] reverse references, [acyclic = true] (composite
-    references must form a DAG; design decision D4).  [?store] reuses
-    an existing record store (database reopening, {!Persist.load});
-    [?page_size]/[?pool_capacity] are ignored when it is given. *)
+    references must form a DAG; design decision D4), [edge_cache = true]
+    (memoize composite-edge derivation; disable to measure the uncached
+    baseline).  [?store] reuses an existing record store (database
+    reopening, {!Persist.load}); [?page_size]/[?pool_capacity] are
+    ignored when it is given. *)
 
 val schema : t -> Orion_schema.Schema.t
 val store : t -> Orion_storage.Store.t
 val rref_repr : t -> rref_repr
 val acyclic : t -> bool
+
+(** {1 Composite-edge cache}
+
+    {!Traversal.edges} results memoized per OID, invalidated from the
+    change-event bus ([Attr_written] drops the writer's entry, [Deleted]
+    also drops every entry embedding the dead OID, [Invalidated]
+    flushes) and emptied wholesale on schema mutation. *)
+
+val edge_cache : t -> Edge_cache.t option
+(** [None] when the database was created with [~edge_cache:false]. *)
+
+type stats = Edge_cache.stats = { hits : int; misses : int; invalidations : int }
+
+val stats : t -> stats
+(** Edge-cache counters, mirroring {!Orion_storage.Buffer_pool.stats};
+    all zero when the cache is disabled. *)
+
+val reset_stats : t -> unit
+
+val invalidate_edges : t -> Oid.t -> unit
+(** Drop the cached edges of [oid] and of every object whose cached
+    edges embed [oid].  For mutations that bypass the event bus
+    ({!Orion_versions.Version_manager.set_default_version}). *)
 
 val fresh_oid : t -> Oid.t
 val tick : t -> int

@@ -1,0 +1,97 @@
+type entry = { edges : (bool * Oid.t) list; deps : Oid.t list }
+
+type t = {
+  entries : entry Oid.Tbl.t;
+  rdeps : unit Oid.Tbl.t Oid.Tbl.t;  (* referenced oid -> caching parents *)
+  mutable generation : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+}
+
+type stats = { hits : int; misses : int; invalidations : int }
+
+let create () =
+  {
+    entries = Oid.Tbl.create 256;
+    rdeps = Oid.Tbl.create 256;
+    generation = 0;
+    hits = 0;
+    misses = 0;
+    invalidations = 0;
+  }
+
+let flush (t : t) =
+  t.invalidations <- t.invalidations + Oid.Tbl.length t.entries;
+  Oid.Tbl.reset t.entries;
+  Oid.Tbl.reset t.rdeps
+
+(* A generation mismatch (schema mutation) empties the whole cache: any
+   entry may reflect attributes that no longer exist or changed nature. *)
+let sync t ~generation =
+  if t.generation <> generation then begin
+    flush t;
+    t.generation <- generation
+  end
+
+let find t ~generation oid =
+  sync t ~generation;
+  match Oid.Tbl.find_opt t.entries oid with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      Some e.edges
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let register t ~dep ~parent =
+  let set =
+    match Oid.Tbl.find_opt t.rdeps dep with
+    | Some set -> set
+    | None ->
+        let set = Oid.Tbl.create 4 in
+        Oid.Tbl.replace t.rdeps dep set;
+        set
+  in
+  Oid.Tbl.replace set parent ()
+
+let add t ~generation oid ~deps edges =
+  sync t ~generation;
+  (match Oid.Tbl.find_opt t.entries oid with
+  | Some _ -> ()  (* racing recomputation: keep the existing entry *)
+  | None ->
+      Oid.Tbl.replace t.entries oid { edges; deps };
+      List.iter (fun dep -> register t ~dep ~parent:oid) deps)
+
+let drop t oid =
+  match Oid.Tbl.find_opt t.entries oid with
+  | None -> ()
+  | Some e ->
+      Oid.Tbl.remove t.entries oid;
+      t.invalidations <- t.invalidations + 1;
+      List.iter
+        (fun dep ->
+          match Oid.Tbl.find_opt t.rdeps dep with
+          | None -> ()
+          | Some set ->
+              Oid.Tbl.remove set oid;
+              if Oid.Tbl.length set = 0 then Oid.Tbl.remove t.rdeps dep)
+        e.deps
+
+let invalidate t oid =
+  drop t oid;
+  match Oid.Tbl.find_opt t.rdeps oid with
+  | None -> ()
+  | Some set ->
+      (* Collect first: [drop] edits the very sets we iterate. *)
+      let parents = Oid.Tbl.fold (fun p () acc -> p :: acc) set [] in
+      List.iter (drop t) parents
+
+let length t = Oid.Tbl.length t.entries
+
+let stats (t : t) : stats = { hits = t.hits; misses = t.misses; invalidations = t.invalidations }
+
+let reset_stats (t : t) =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.invalidations <- 0

@@ -1,0 +1,40 @@
+(** Memo of {!Traversal.edges}: the resolved outgoing composite edges of
+    an object, keyed by OID.
+
+    Every cached entry records the OIDs it was derived from ([deps]: the
+    raw reference targets plus their version-resolved forms), and a
+    reverse index maps each of those OIDs back to the caching parents,
+    so a deletion or version change at a target invalidates exactly the
+    entries that embedded it.  Schema changes are handled wholesale: the
+    cache carries the schema generation it was filled under and empties
+    itself when a lookup arrives with a newer one.
+
+    The structure is passive — {!Database} owns one and feeds it from
+    the change-event bus; {!Traversal} fills and reads it. *)
+
+type t
+
+type stats = { hits : int; misses : int; invalidations : int }
+
+val create : unit -> t
+
+val find : t -> generation:int -> Oid.t -> (bool * Oid.t) list option
+(** Cached [(exclusive, resolved target)] edges.  [generation] is the
+    current schema version; a mismatch empties the cache (counted as
+    invalidations) before the lookup. *)
+
+val add : t -> generation:int -> Oid.t -> deps:Oid.t list -> (bool * Oid.t) list -> unit
+(** Record the edges of [oid] together with every OID the computation
+    depended on.  A pre-existing entry is kept. *)
+
+val invalidate : t -> Oid.t -> unit
+(** Remove the entry of [oid] and every entry depending on [oid]. *)
+
+val flush : t -> unit
+(** Empty the cache (bulk state change). *)
+
+val length : t -> int
+(** Live entries (tests and introspection). *)
+
+val stats : t -> stats
+val reset_stats : t -> unit

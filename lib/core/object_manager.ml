@@ -127,13 +127,11 @@ let generic_info_exn db goid =
 exception Found_cycle
 
 let composite_children db (inst : Instance.t) =
-  Schema.effective_attributes (Database.schema db) inst.cls
+  Schema.composite_attributes (Database.schema db) inst.cls
   |> List.filter_map (fun (a : A.t) ->
-         if A.is_composite a then
-           match Instance.attr inst a.name with
-           | Some v -> Some (a, Value.refs v)
-           | None -> None
-         else None)
+         match Instance.attr inst a.name with
+         | Some v -> Some (a, Value.refs v)
+         | None -> None)
 
 let would_cycle db ~parent ~child =
   if Oid.equal parent child then true

@@ -36,22 +36,63 @@ let resolve db oid =
       match default_version db oid with Some v -> v | None -> oid)
   | Some _ | None -> oid
 
-(* Outgoing composite edges of an object, dynamic bindings resolved. *)
-let edges db oid =
+(* Outgoing composite edges of an instance, dynamic bindings resolved.
+   [deps] accumulates every OID the result embeds — the raw reference
+   targets plus their resolved forms — for cache dependency tracking. *)
+let compute_edges db ?deps (inst : Instance.t) =
+  Schema.composite_attributes (Database.schema db) inst.cls
+  |> List.concat_map (fun (a : A.t) ->
+         match a.refkind with
+         | A.Weak -> []
+         | A.Composite { exclusive; _ } -> (
+             match Instance.attr inst a.name with
+             | None -> []
+             | Some v ->
+                 List.map
+                   (fun target ->
+                     let resolved = resolve db target in
+                     (match deps with
+                     | Some acc ->
+                         acc := target :: !acc;
+                         if not (Oid.equal resolved target) then
+                           acc := resolved :: !acc
+                     | None -> ());
+                     (exclusive, resolved))
+                   (Value.refs v)))
+
+let uncached_edges db oid =
   match Database.find db oid with
   | None -> []
-  | Some inst ->
-      if Instance.is_generic inst then []
-      else
-        Schema.effective_attributes (Database.schema db) inst.cls
-        |> List.concat_map (fun (a : A.t) ->
-               match a.refkind with
-               | A.Weak -> []
-               | A.Composite { exclusive; _ } -> (
-                   match Instance.attr inst a.name with
-                   | None -> []
-                   | Some v ->
-                       List.map (fun target -> (exclusive, resolve db target)) (Value.refs v)))
+  | Some inst -> if Instance.is_generic inst then [] else compute_edges db inst
+
+let cached_edges db cache ~generation oid =
+  (* Cache first: a hit skips the object lookup entirely, so a warm
+     traversal does one table probe per node instead of one per node
+     plus one per edge. *)
+  match Edge_cache.find cache ~generation oid with
+  | Some edges -> edges
+  | None ->
+      let deps = ref [] in
+      let edges =
+        match Database.find db oid with
+        | None -> []
+        | Some inst ->
+            if Instance.is_generic inst then [] else compute_edges db ~deps inst
+      in
+      Edge_cache.add cache ~generation oid ~deps:!deps edges;
+      edges
+
+(* The per-node edge function of a traversal: the cache, the schema
+   generation and the representation dispatch are resolved once, not
+   per visited node. *)
+let edge_fn db =
+  match Database.edge_cache db with
+  | None -> uncached_edges db
+  | Some cache ->
+      let generation = Schema.version (Database.schema db) in
+      cached_edges db cache ~generation
+
+let edges db oid = edge_fn db oid
 
 (* BFS computing, for every reachable object, the shortest composite
    distance and whether some reaching path contains a shared reference
@@ -59,6 +100,7 @@ let edges db oid =
 type reach = { mutable dist : int; mutable tainted : bool }
 
 let reachability db root =
+  let edges_of = edge_fn db in
   let info : reach Oid.Tbl.t = Oid.Tbl.create 64 in
   let order = ref [] in
   let queue = Queue.create () in
@@ -81,7 +123,7 @@ let reachability db root =
       List.iter
         (fun (exclusive, child) ->
           Queue.add (child, dist + 1, tainted || not exclusive) queue)
-        (edges db oid)
+        (edges_of oid)
   done;
   (info, List.rev !order)
 

@@ -30,14 +30,47 @@ type t = {
   segments : (string, int) Hashtbl.t;  (* segment name -> id *)
   mutable next_segment : int;
   mutable version : int;
+  (* Per-class derivation memos, valid while [memo_version = version];
+     every mutator bumps [version], so the next lookup resets them. *)
+  mutable memo_version : int;
+  memo_effective : (string, Attribute.t list) Hashtbl.t;
+  memo_composite : (string, Attribute.t list) Hashtbl.t;
+  memo_supers : (string, string list) Hashtbl.t;
 }
 
 let create () =
-  { by_name = Hashtbl.create 32; segments = Hashtbl.create 32; next_segment = 0; version = 0 }
+  {
+    by_name = Hashtbl.create 32;
+    segments = Hashtbl.create 32;
+    next_segment = 0;
+    version = 0;
+    memo_version = 0;
+    memo_effective = Hashtbl.create 32;
+    memo_composite = Hashtbl.create 32;
+    memo_supers = Hashtbl.create 32;
+  }
 
 let bump t = t.version <- t.version + 1
 
 let version t = t.version
+
+let memo_table t table =
+  if t.memo_version <> t.version then begin
+    Hashtbl.reset t.memo_effective;
+    Hashtbl.reset t.memo_composite;
+    Hashtbl.reset t.memo_supers;
+    t.memo_version <- t.version
+  end;
+  table t
+
+let memoize t table key compute =
+  let table = memo_table t table in
+  match Hashtbl.find_opt table key with
+  | Some v -> v
+  | None ->
+      let v = compute () in
+      Hashtbl.replace table key v;
+      v
 
 let find t name = Hashtbl.find_opt t.by_name name
 
@@ -109,20 +142,24 @@ let define t ?(superclasses = []) ?(versionable = false) ?segment ~name
 let superclasses t name = (find_exn t name).superclasses
 
 let all_superclasses t name =
-  let seen = Hashtbl.create 8 in
-  let acc = ref [] in
-  let rec go cls =
-    List.iter
-      (fun super ->
-        if not (Hashtbl.mem seen super) then begin
-          Hashtbl.replace seen super ();
-          acc := super :: !acc;
-          go super
-        end)
-      (superclasses t cls)
-  in
-  go name;
-  List.rev !acc
+  memoize t
+    (fun t -> t.memo_supers)
+    name
+    (fun () ->
+      let seen = Hashtbl.create 8 in
+      let acc = ref [] in
+      let rec go cls =
+        List.iter
+          (fun super ->
+            if not (Hashtbl.mem seen super) then begin
+              Hashtbl.replace seen super ();
+              acc := super :: !acc;
+              go super
+            end)
+          (superclasses t cls)
+      in
+      go name;
+      List.rev !acc)
 
 let subclasses t name =
   ignore (find_exn t name : Class_def.t);
@@ -153,27 +190,37 @@ let is_subclass_of t ~sub ~super =
 (* Attributes ------------------------------------------------------------ *)
 
 let effective_attributes t name =
-  let cls = find_exn t name in
-  let seen = Hashtbl.create 8 in
-  let acc = ref [] in
-  let add (a : Attribute.t) =
-    if not (Hashtbl.mem seen a.name) then begin
-      Hashtbl.replace seen a.name ();
-      acc := a :: !acc
-    end
-  in
-  List.iter add cls.own_attributes;
-  (* Superclass order resolves conflicts: first superclass wins. *)
-  let rec inherit_from super_name =
-    let super = find_exn t super_name in
-    List.iter
-      (fun (a : Attribute.t) ->
-        add { a with source = Some (Option.value a.source ~default:super_name) })
-      super.own_attributes;
-    List.iter inherit_from super.superclasses
-  in
-  List.iter inherit_from cls.superclasses;
-  List.rev !acc
+  memoize t
+    (fun t -> t.memo_effective)
+    name
+    (fun () ->
+      let cls = find_exn t name in
+      let seen = Hashtbl.create 8 in
+      let acc = ref [] in
+      let add (a : Attribute.t) =
+        if not (Hashtbl.mem seen a.name) then begin
+          Hashtbl.replace seen a.name ();
+          acc := a :: !acc
+        end
+      in
+      List.iter add cls.own_attributes;
+      (* Superclass order resolves conflicts: first superclass wins. *)
+      let rec inherit_from super_name =
+        let super = find_exn t super_name in
+        List.iter
+          (fun (a : Attribute.t) ->
+            add { a with source = Some (Option.value a.source ~default:super_name) })
+          super.own_attributes;
+        List.iter inherit_from super.superclasses
+      in
+      List.iter inherit_from cls.superclasses;
+      List.rev !acc)
+
+let composite_attributes t name =
+  memoize t
+    (fun t -> t.memo_composite)
+    name
+    (fun () -> List.filter Attribute.is_composite (effective_attributes t name))
 
 let attribute t cls attr =
   List.find_opt

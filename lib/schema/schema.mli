@@ -65,7 +65,13 @@ val is_subclass_of : t -> sub:string -> super:string -> bool
 
 val effective_attributes : t -> string -> Attribute.t list
 (** Own attributes plus inherited ones after conflict resolution.
-    Inherited attributes carry [source = Some defining_class]. *)
+    Inherited attributes carry [source = Some defining_class].
+    Memoized per class until the next schema mutation ({!version} acts
+    as the memo generation); callers must not mutate the list. *)
+
+val composite_attributes : t -> string -> Attribute.t list
+(** The composite subset of {!effective_attributes}, memoized the same
+    way — the hot path of every composite-object traversal. *)
 
 val attribute : t -> string -> string -> Attribute.t option
 val attribute_exn : t -> string -> string -> Attribute.t

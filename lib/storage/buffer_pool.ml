@@ -1,10 +1,23 @@
-type frame = { page : Page.t; mutable dirty : bool; mutable last_use : int }
+(* Frames form an intrusive doubly-linked list in recency order:
+   [head] is the most recently used frame, [tail] the eviction victim.
+   Both [get] paths are O(1) — a hit splices the frame to the front, a
+   miss unlinks the tail — where the previous implementation scanned
+   every resident frame ([Hashtbl.fold]) to find the minimum-use one. *)
+
+type frame = {
+  page_no : int;
+  page : Page.t;
+  mutable dirty : bool;
+  mutable prev : frame option;  (* toward head (more recent) *)
+  mutable next : frame option;  (* toward tail (less recent) *)
+}
 
 type t = {
   disk : Disk.t;
   capacity : int;
   frames : (int, frame) Hashtbl.t;
-  mutable clock : int;
+  mutable head : frame option;
+  mutable tail : frame option;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -18,50 +31,64 @@ let create ~capacity disk =
     disk;
     capacity;
     frames = Hashtbl.create (2 * capacity);
-    clock = 0;
+    head = None;
+    tail = None;
     hits = 0;
     misses = 0;
     evictions = 0;
   }
 
-let tick t =
-  t.clock <- t.clock + 1;
-  t.clock
+let unlink t frame =
+  (match frame.prev with
+  | Some prev -> prev.next <- frame.next
+  | None -> t.head <- frame.next);
+  (match frame.next with
+  | Some next -> next.prev <- frame.prev
+  | None -> t.tail <- frame.prev);
+  frame.prev <- None;
+  frame.next <- None
 
-let write_back t page_no frame =
+let push_front t frame =
+  frame.prev <- None;
+  frame.next <- t.head;
+  (match t.head with Some old -> old.prev <- Some frame | None -> t.tail <- Some frame);
+  t.head <- Some frame
+
+let touch t frame =
+  match t.head with
+  | Some h when h == frame -> ()
+  | _ ->
+      unlink t frame;
+      push_front t frame
+
+let write_back t frame =
   if frame.dirty then begin
-    Disk.write t.disk page_no (Page.image frame.page);
+    Disk.write t.disk frame.page_no (Page.image frame.page);
     frame.dirty <- false
   end
 
 let evict_lru t =
-  let victim =
-    Hashtbl.fold
-      (fun page_no frame acc ->
-        match acc with
-        | Some (_, best) when best.last_use <= frame.last_use -> acc
-        | _ -> Some (page_no, frame))
-      t.frames None
-  in
-  match victim with
+  match t.tail with
   | None -> ()
-  | Some (page_no, frame) ->
-      write_back t page_no frame;
-      Hashtbl.remove t.frames page_no;
+  | Some victim ->
+      write_back t victim;
+      unlink t victim;
+      Hashtbl.remove t.frames victim.page_no;
       t.evictions <- t.evictions + 1
 
 let get t page_no =
   match Hashtbl.find_opt t.frames page_no with
   | Some frame ->
       t.hits <- t.hits + 1;
-      frame.last_use <- tick t;
+      touch t frame;
       frame.page
   | None ->
       t.misses <- t.misses + 1;
       if Hashtbl.length t.frames >= t.capacity then evict_lru t;
       let page = Page.wrap (Disk.read t.disk page_no) in
-      let frame = { page; dirty = false; last_use = tick t } in
+      let frame = { page_no; page; dirty = false; prev = None; next = None } in
       Hashtbl.replace t.frames page_no frame;
+      push_front t frame;
       page
 
 let mark_dirty t page_no =
@@ -69,11 +96,13 @@ let mark_dirty t page_no =
   | Some frame -> frame.dirty <- true
   | None -> invalid_arg "Buffer_pool.mark_dirty: page not resident"
 
-let flush t = Hashtbl.iter (fun page_no frame -> write_back t page_no frame) t.frames
+let flush t = Hashtbl.iter (fun _ frame -> write_back t frame) t.frames
 
 let drop_all t =
   flush t;
-  Hashtbl.reset t.frames
+  Hashtbl.reset t.frames;
+  t.head <- None;
+  t.tail <- None
 
 let stats (t : t) = { hits = t.hits; misses = t.misses; evictions = t.evictions }
 

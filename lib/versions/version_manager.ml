@@ -52,7 +52,10 @@ let set_default_version db oid version =
         (E.Version_error
            { oid = v; reason = "not a version instance of this object" })
   | Some _ | None -> ());
-  gi.user_default <- version
+  gi.user_default <- version;
+  (* Dynamic references to this generic now resolve differently; the
+     mutation bypasses the event bus, so tell the edge cache directly. *)
+  Database.invalidate_edges db (generic_of db oid)
 
 (* Derivation (Figure 1, rules CV-1X/CV-2X). ------------------------------- *)
 

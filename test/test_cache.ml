@@ -1,0 +1,239 @@
+(* Tests for the composite-graph caching layer (PR1): the schema
+   attribute memo, the database edge cache and its invalidation paths —
+   attribute rewires, deletion cascades, schema evolution in both
+   immediate and deferred modes, and version-default changes.  Every
+   scenario warms the cache first, so a pass proves invalidation and
+   not merely cold correctness. *)
+
+open Orion_core
+module A = Orion_schema.Attribute
+module D = Orion_schema.Domain
+module Schema = Orion_schema.Schema
+module Evolution = Orion_evolution.Evolution
+module VM = Orion_versions.Version_manager
+
+let oid = Alcotest.testable Oid.pp Oid.equal
+
+let components db root = Traversal.components_of db root
+
+let warm db root =
+  (* Two passes: the second is served from the cache. *)
+  ignore (components db root : Oid.t list);
+  ignore (components db root : Oid.t list)
+
+(* Holder/Item fixture; [dependent]/[exclusive] pick the reference
+   nature of Holder.Parts. *)
+let fixture ?(dependent = false) ?(exclusive = false) () =
+  let db = Database.create () in
+  let schema = Database.schema db in
+  ignore
+    (Schema.define schema ~name:"Item"
+       ~attributes:[ A.make ~name:"N" ~domain:(D.Primitive D.P_integer) () ]
+       ()
+      : Orion_schema.Class_def.t);
+  ignore
+    (Schema.define schema ~name:"Holder" ~superclasses:[ "Item" ]
+       ~attributes:
+         [
+           A.make ~name:"Parts" ~domain:(D.Class "Item") ~collection:A.Set
+             ~refkind:(A.composite ~exclusive ~dependent ())
+             ();
+         ]
+       ()
+      : Orion_schema.Class_def.t);
+  db
+
+let test_attr_rewrite_invalidates () =
+  let db = fixture () in
+  let root = Object_manager.create db ~cls:"Holder" () in
+  let c1 = Object_manager.create db ~cls:"Item" ~parents:[ (root, "Parts") ] () in
+  let c2 = Object_manager.create db ~cls:"Item" ~parents:[ (root, "Parts") ] () in
+  let c3 = Object_manager.create db ~cls:"Item" () in
+  warm db root;
+  Alcotest.(check (list oid)) "before rewire" [ c1; c2 ] (components db root);
+  (* Rewire: drop c1, keep c2, add c3 — one Attr_written event. *)
+  Object_manager.write_attr db root "Parts"
+    (Value.VSet [ Value.Ref c2; Value.Ref c3 ]);
+  Alcotest.(check (list oid)) "after rewire" [ c2; c3 ] (components db root);
+  let stats = Database.stats db in
+  Alcotest.(check bool) "cache served hits" true (stats.hits > 0);
+  Alcotest.(check bool) "rewire invalidated" true (stats.invalidations > 0)
+
+let test_make_remove_component_invalidates () =
+  let db = fixture () in
+  let root = Object_manager.create db ~cls:"Holder" () in
+  let mid = Object_manager.create db ~cls:"Holder" ~parents:[ (root, "Parts") ] () in
+  let leaf = Object_manager.create db ~cls:"Item" () in
+  warm db root;
+  Object_manager.make_component db ~parent:mid ~attr:"Parts" ~child:leaf;
+  Alcotest.(check (list oid)) "attach seen through cache" [ mid; leaf ]
+    (components db root);
+  warm db root;
+  Object_manager.remove_component db ~parent:mid ~attr:"Parts" ~child:leaf;
+  Alcotest.(check (list oid)) "detach seen through cache" [ mid ] (components db root)
+
+let test_schema_drop_attribute_immediate () =
+  let db = fixture () in
+  let ev = Evolution.attach db in
+  let root = Object_manager.create db ~cls:"Holder" () in
+  let _c1 = Object_manager.create db ~cls:"Item" ~parents:[ (root, "Parts") ] () in
+  warm db root;
+  Alcotest.(check int) "one component" 1 (List.length (components db root));
+  Evolution.drop_attribute ev ~cls:"Holder" ~attr:"Parts";
+  Alcotest.(check (list oid)) "dropped attribute: no components" []
+    (components db root)
+
+let test_schema_composite_to_weak_deferred () =
+  let db = fixture () in
+  let ev = Evolution.attach db in
+  let root = Object_manager.create db ~cls:"Holder" () in
+  let c1 = Object_manager.create db ~cls:"Item" ~parents:[ (root, "Parts") ] () in
+  warm db root;
+  Alcotest.(check (list oid)) "component before" [ c1 ] (components db root);
+  Alcotest.(check (list oid)) "parent before" [ root ] (Traversal.parents_of db c1);
+  (match
+     Evolution.change_attribute_type ev ~mode:Evolution.Deferred ~cls:"Holder"
+       ~attr:"Parts" ~to_:A.Weak ()
+   with
+  | Ok _ -> ()
+  | Error r -> Alcotest.failf "deferred change rejected: %a" Evolution.pp_rejection r);
+  (* The schema-generation guard must flush downward edges before any
+     instance caught up. *)
+  Alcotest.(check (list oid)) "no components after deferred I1" []
+    (components db root);
+  (* Upward: querying c1 runs the access hook, which catches the
+     instance up and drops its reverse references. *)
+  Alcotest.(check (list oid)) "no parents after catch-up" []
+    (Traversal.parents_of db c1)
+
+let test_delete_with_dependent_propagation () =
+  let db = fixture ~dependent:true ~exclusive:true () in
+  let root = Object_manager.create db ~cls:"Holder" () in
+  let mid = Object_manager.create db ~cls:"Holder" ~parents:[ (root, "Parts") ] () in
+  let leaf = Object_manager.create db ~cls:"Item" ~parents:[ (mid, "Parts") ] () in
+  warm db root;
+  Alcotest.(check (list oid)) "subtree cached" [ mid; leaf ] (components db root);
+  (* Deleting mid cascades into leaf (dependent reference); both Deleted
+     events must drop root's cached entry, which embeds them. *)
+  Object_manager.delete db mid;
+  Alcotest.(check bool) "leaf cascaded" false (Database.exists db leaf);
+  Alcotest.(check (list oid)) "no stale components" [] (components db root)
+
+let test_delete_shared_child_keeps_other_parent_fresh () =
+  let db = fixture () in
+  let p1 = Object_manager.create db ~cls:"Holder" () in
+  let p2 = Object_manager.create db ~cls:"Holder" () in
+  let c = Object_manager.create db ~cls:"Item" ~parents:[ (p1, "Parts") ] () in
+  Object_manager.make_component db ~parent:p2 ~attr:"Parts" ~child:c;
+  warm db p1;
+  warm db p2;
+  Object_manager.delete db p1;
+  Alcotest.(check bool) "shared child survives" true (Database.exists db c);
+  Alcotest.(check (list oid)) "other parent still fresh" [ c ] (components db p2)
+
+let test_version_default_changes () =
+  let db = Database.create () in
+  let schema = Database.schema db in
+  ignore
+    (Schema.define schema ~versionable:true ~name:"Vdoc" ~attributes:[] ()
+      : Orion_schema.Class_def.t);
+  ignore
+    (Schema.define schema ~name:"Vholder"
+       ~attributes:
+         [
+           A.make ~name:"Doc" ~domain:(D.Class "Vdoc")
+             ~refkind:(A.composite ~exclusive:false ~dependent:false ())
+             ();
+         ]
+       ()
+      : Orion_schema.Class_def.t);
+  let v0 = Object_manager.create db ~cls:"Vdoc" () in
+  let generic = VM.generic_of db v0 in
+  (* Dynamic binding: the holder references the generic instance. *)
+  let holder =
+    Object_manager.create db ~cls:"Vholder" ~attrs:[ ("Doc", Value.Ref generic) ] ()
+  in
+  warm db holder;
+  Alcotest.(check (list oid)) "resolves to v0" [ v0 ] (components db holder);
+  (* A newly derived version becomes the system default (§5.1): the
+     Created event must re-resolve the cached dynamic reference. *)
+  let v1 = VM.derive db v0 in
+  Alcotest.(check (list oid)) "resolves to derived v1" [ v1 ] (components db holder);
+  warm db holder;
+  (* set_default_version bypasses the event bus; it invalidates the
+     edge cache explicitly. *)
+  VM.set_default_version db generic (Some v0);
+  Alcotest.(check (list oid)) "user default wins" [ v0 ] (components db holder)
+
+let test_disabled_cache_agrees () =
+  let run ~edge_cache =
+    let db = Database.create ~edge_cache () in
+    let schema = Database.schema db in
+    ignore
+      (Schema.define schema ~name:"N"
+         ~attributes:[ A.make ~name:"T" ~domain:(D.Primitive D.P_integer) () ]
+         ()
+        : Orion_schema.Class_def.t);
+    Schema.add_attribute schema ~cls:"N"
+      (A.make ~name:"Subs" ~domain:(D.Class "N") ~collection:A.Set
+         ~refkind:(A.composite ~exclusive:false ~dependent:false ())
+         ());
+    let root = Object_manager.create db ~cls:"N" () in
+    let a = Object_manager.create db ~cls:"N" ~parents:[ (root, "Subs") ] () in
+    let b = Object_manager.create db ~cls:"N" ~parents:[ (root, "Subs") ] () in
+    let c = Object_manager.create db ~cls:"N" ~parents:[ (a, "Subs") ] () in
+    Object_manager.make_component db ~parent:b ~attr:"Subs" ~child:c;
+    warm db root;
+    Object_manager.remove_component db ~parent:a ~attr:"Subs" ~child:c;
+    (db, components db root)
+  in
+  let db_on, with_cache = run ~edge_cache:true in
+  let db_off, without_cache = run ~edge_cache:false in
+  Alcotest.(check (list oid)) "same traversal" without_cache with_cache;
+  Alcotest.(check bool) "cache counted work" true ((Database.stats db_on).hits > 0);
+  Alcotest.(check int) "disabled cache counts nothing" 0 (Database.stats db_off).hits
+
+let test_schema_memo_tracks_lattice_edits () =
+  let db = fixture () in
+  let schema = Database.schema db in
+  let composite_count cls = List.length (Schema.composite_attributes schema cls) in
+  Alcotest.(check int) "holder has one composite" 1 (composite_count "Holder");
+  Alcotest.(check int) "item has none" 0 (composite_count "Item");
+  (* Adding a composite attribute to the superclass must show through
+     the memo in the subclass. *)
+  Schema.add_attribute schema ~cls:"Item"
+    (A.make ~name:"Extra" ~domain:(D.Class "Item") ~collection:A.Set
+       ~refkind:(A.composite ~exclusive:false ~dependent:false ())
+       ());
+  Alcotest.(check int) "inherited composite appears" 2 (composite_count "Holder");
+  ignore (Schema.drop_attribute schema ~cls:"Item" ~attr:"Extra" : A.t);
+  Alcotest.(check int) "dropped composite disappears" 1 (composite_count "Holder");
+  Schema.drop_superclass schema ~cls:"Holder" ~super:"Item";
+  Alcotest.(check (list string)) "superclass closure fresh" []
+    (Schema.all_superclasses schema "Holder")
+
+let () =
+  Alcotest.run "orion_cache"
+    [
+      ( "edge cache",
+        [
+          Alcotest.test_case "attr rewire" `Quick test_attr_rewrite_invalidates;
+          Alcotest.test_case "make/remove component" `Quick
+            test_make_remove_component_invalidates;
+          Alcotest.test_case "dependent deletion cascade" `Quick
+            test_delete_with_dependent_propagation;
+          Alcotest.test_case "shared child deletion" `Quick
+            test_delete_shared_child_keeps_other_parent_fresh;
+          Alcotest.test_case "version default" `Quick test_version_default_changes;
+          Alcotest.test_case "disabled cache agrees" `Quick test_disabled_cache_agrees;
+        ] );
+      ( "schema evolution",
+        [
+          Alcotest.test_case "drop attribute (immediate)" `Quick
+            test_schema_drop_attribute_immediate;
+          Alcotest.test_case "composite->weak (deferred)" `Quick
+            test_schema_composite_to_weak_deferred;
+          Alcotest.test_case "schema memo tracks lattice edits" `Quick
+            test_schema_memo_tracks_lattice_edits;
+        ] );
+    ]

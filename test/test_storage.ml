@@ -72,6 +72,31 @@ let test_buffer_pool_eviction () =
   Alcotest.(check int) "evictions" 1 stats.evictions;
   Alcotest.(check int) "physical reads" 3 (Disk.stats disk).reads
 
+(* Regression: under repeated [get] of the same page, eviction must
+   never pick the most-recently-used frame — the O(n) victim scan this
+   replaced broke ties by hash-table order, which could land on the hot
+   frame; the recency list cannot. *)
+let test_buffer_pool_mru_never_evicted () =
+  let disk = Disk.create ~page_size:128 in
+  let capacity = 4 in
+  let pool = Buffer_pool.create ~capacity disk in
+  let hot = Disk.alloc disk in
+  ignore (Buffer_pool.get pool hot : Page.t);
+  for _ = 1 to 64 do
+    (* Fill the pool, re-touch the hot page, then force an eviction. *)
+    let cold = Disk.alloc disk in
+    ignore (Buffer_pool.get pool cold : Page.t);
+    for _ = 1 to 3 do
+      ignore (Buffer_pool.get pool hot : Page.t)
+    done;
+    let before = (Buffer_pool.stats pool).misses in
+    ignore (Buffer_pool.get pool hot : Page.t);
+    let after = (Buffer_pool.stats pool).misses in
+    Alcotest.(check int) "hot page still resident" before after
+  done;
+  Alcotest.(check bool) "evictions happened" true
+    ((Buffer_pool.stats pool).evictions > 0)
+
 let test_buffer_pool_writeback () =
   let disk = Disk.create ~page_size:128 in
   let pool = Buffer_pool.create ~capacity:1 disk in
@@ -237,6 +262,8 @@ let () =
       ( "buffer_pool",
         [
           Alcotest.test_case "eviction" `Quick test_buffer_pool_eviction;
+          Alcotest.test_case "MRU never evicted" `Quick
+            test_buffer_pool_mru_never_evicted;
           Alcotest.test_case "writeback" `Quick test_buffer_pool_writeback;
         ] );
       ( "store",
