@@ -23,6 +23,9 @@ module Part_gen = Orion_workload.Part_gen
 module Figures = Orion_experiments.Figures
 module Perf = Orion_experiments.Perf
 module Report = Orion_experiments.Report
+module Wal = Orion_wal.Wal
+module Recovery = Orion_wal.Recovery
+module Tx = Orion_tx.Tx_manager
 
 (* Part 1: figure reproduction --------------------------------------------- *)
 
@@ -399,6 +402,49 @@ let bench_storage =
          let rid = Orion_storage.Store.insert store ~segment:seg record in
          Orion_storage.Store.delete store rid))
 
+(* A transactional fixture for the WAL overhead pair: the same
+   steady-state transaction (create a standalone leaf, delete it,
+   commit) against a logged and an unlogged manager.  The create+delete
+   shape keeps the database size constant across iterations, so neither
+   fixture drifts as Bechamel samples. *)
+let tx_world ~logged () =
+  let db = Database.create () in
+  ignore
+    (Schema.define (Database.schema db) ~name:"WLeaf"
+       ~attributes:[ A.make ~name:"Tag" ~domain:(D.Primitive D.P_integer) () ]
+       ()
+      : Orion_schema.Class_def.t);
+  let wal =
+    if logged then begin
+      let wal = Wal.create () in
+      Wal.attach wal db;
+      Persist.save db;
+      Some wal
+    end
+    else None
+  in
+  let manager = Tx.create ?wal db in
+  (db, manager)
+
+let tx_round manager =
+  let tx = Tx.begin_tx manager in
+  let leaf =
+    Tx.create_object manager tx ~cls:"WLeaf"
+      ~attrs:[ ("Tag", Value.Int 7) ] ()
+  in
+  Tx.delete_object manager tx leaf;
+  ignore (Tx.commit manager tx : int list)
+
+let bench_wal_commit =
+  let _, logged = tx_world ~logged:true () in
+  let _, unlogged = tx_world ~logged:false () in
+  [
+    Test.make ~name:"wal/tx create+delete commit (logged)"
+      (Staged.stage (fun () -> tx_round logged));
+    Test.make ~name:"wal/tx create+delete commit (unlogged)"
+      (Staged.stage (fun () -> tx_round unlogged));
+  ]
+
 let all_tests =
   [ bench_components_of; bench_components_of_uncached; bench_parents_inline;
     bench_parents_external; bench_ancestors; bench_make_remove;
@@ -407,6 +453,7 @@ let all_tests =
   @ [ bench_derive; bench_evolution_immediate ]
   @ bench_locking @ bench_authz @ bench_query @ bench_notify
   @ [ bench_select_sweep; bench_delete_sweep; bench_storage ]
+  @ bench_wal_commit
 
 let run_benchmarks () =
   let ols =
@@ -489,6 +536,66 @@ let measure_speedups () =
       (depth, cached, uncached))
     [ 2; 3; 4 ]
 
+(* Log-append overhead: the same steady-state transaction timed against
+   a logged and an unlogged manager in this same run.  The ratio is the
+   durability tax per commit (after-image encode + frame append + sync
+   accounting). *)
+let measure_wal_overhead () =
+  (* Fixed iteration count (not wall time) so both fixtures do identical
+     work, and a fresh scope + compaction per fixture so the logged
+     run's live log buffer can't tax the other's GC. *)
+  let measure ~logged =
+    let _, manager = tx_world ~logged () in
+    for _ = 1 to 100 do tx_round manager done;
+    Gc.compact ();
+    let rounds = 30_000 in
+    let t0 = Sys.time () in
+    for _ = 1 to rounds do tx_round manager done;
+    (Sys.time () -. t0) *. 1e9 /. float_of_int rounds
+  in
+  let unlogged_ns = measure ~logged:false in
+  let logged_ns = measure ~logged:true in
+  (logged_ns, unlogged_ns)
+
+(* Recovery replay throughput: build a log holding a sealed base plus a
+   few hundred committed transactions, then time [Recovery.replay] over
+   the surviving bytes — the cost a crashed session pays to come back. *)
+let measure_recovery () =
+  let db = Database.create () in
+  let define name attrs =
+    ignore
+      (Schema.define (Database.schema db) ~name ~attributes:attrs ()
+        : Orion_schema.Class_def.t)
+  in
+  define "RLeaf" [ A.make ~name:"Tag" ~domain:(D.Primitive D.P_integer) () ];
+  define "RNode"
+    [
+      A.make ~name:"Kids" ~domain:(D.Class "RLeaf") ~collection:A.Set
+        ~refkind:(A.composite ~exclusive:true ~dependent:true ())
+        ();
+    ];
+  let wal = Wal.create () in
+  Wal.attach wal db;
+  Persist.save db;
+  let manager = Tx.create ~wal db in
+  for tag = 1 to 200 do
+    let tx = Tx.begin_tx manager in
+    let node = Tx.create_object manager tx ~cls:"RNode" () in
+    for i = 1 to 2 do
+      ignore
+        (Tx.create_object manager tx ~cls:"RLeaf" ~parents:[ (node, "Kids") ]
+           ~attrs:[ ("Tag", Value.Int (tag + i)) ] ()
+          : Oid.t)
+    done;
+    ignore (Tx.commit manager tx : int list)
+  done;
+  let survivor = Wal.of_bytes (Wal.contents wal) in
+  let _, stats = Recovery.replay survivor in
+  let replay_ns =
+    time_op (fun () -> ignore (Recovery.replay survivor : Database.t * Recovery.stats))
+  in
+  (stats, replay_ns)
+
 let json_escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -535,8 +642,24 @@ let write_bench_json ~path rows =
   Buffer.add_string buf
     (Printf.sprintf
        "  \"edge_cache_warm_traversal\": { \"hits\": %d, \"misses\": %d, \
-        \"invalidations\": %d, \"hit_rate\": %.4f }\n"
+        \"invalidations\": %d, \"hit_rate\": %.4f },\n"
        stats.hits stats.misses stats.invalidations hit_rate);
+  (* Durability numbers (PR 2): per-commit log-append overhead and
+     recovery replay throughput. *)
+  let logged_ns, unlogged_ns = measure_wal_overhead () in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"wal_append_overhead\": { \"logged_commit_ns\": %.1f, \
+        \"unlogged_commit_ns\": %.1f, \"overhead\": %.2f },\n"
+       logged_ns unlogged_ns (logged_ns /. unlogged_ns));
+  let rstats, replay_ns = measure_recovery () in
+  let records_per_sec = float_of_int rstats.Recovery.scanned *. 1e9 /. replay_ns in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"recovery_replay\": { \"records\": %d, \"committed_txs\": %d, \
+        \"objects_applied\": %d, \"replay_ms\": %.2f, \"records_per_sec\": %.0f }\n"
+       rstats.Recovery.scanned rstats.Recovery.committed_txs
+       rstats.Recovery.objects_applied (replay_ns /. 1e6) records_per_sec);
   Buffer.add_string buf "}\n";
   let oc = open_out path in
   Fun.protect

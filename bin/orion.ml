@@ -7,6 +7,9 @@ module Figures = Orion_experiments.Figures
 module Perf = Orion_experiments.Perf
 module Report = Orion_experiments.Report
 
+module Wal = Orion_wal.Wal
+module Recovery = Orion_wal.Recovery
+
 let db_file =
   Arg.(
     value & opt (some string) None
@@ -14,31 +17,68 @@ let db_file =
         ~doc:
           "Persistent database file: loaded if it exists, saved on normal exit.")
 
-let open_env db_file =
-  match db_file with
-  | Some path when Sys.file_exists path ->
-      let store = Orion_storage.Store.load_file path in
-      let db = Orion_core.Persist.load store in
-      Eval.create_env ~db ()
-  | Some _ | None -> Eval.create_env ()
+let wal_flag =
+  Arg.(
+    value & flag
+    & info [ "wal" ]
+        ~doc:
+          "Write-ahead-log the session to FILE.wal next to the $(b,--db) file: \
+           every checkpoint snapshots the database file and truncates the log, \
+           and a crashed session can be repaired with $(b,orion recover).")
 
-let close_env env db_file =
+let wal_path_of db_path = db_path ^ ".wal"
+
+let open_env ?(wal = false) db_file =
+  let env =
+    match db_file with
+    | Some path when Sys.file_exists path ->
+        let store = Orion_storage.Store.load_file path in
+        let db = Orion_core.Persist.load store in
+        Eval.create_env ~db ()
+    | Some _ | None -> Eval.create_env ()
+  in
+  (match (wal, db_file) with
+  | true, Some path ->
+      let wal_path = wal_path_of path in
+      if Sys.file_exists wal_path then begin
+        (* A clean shutdown removes the log, so a leftover one is the
+           evidence of a crash — refuse to clobber it. *)
+        Format.eprintf
+          "error: %s exists (crashed session?): run `orion recover %s` to \
+           keep its committed transactions, or delete it to discard them@."
+          wal_path path;
+        exit 1
+      end;
+      let log = Wal.create () in
+      Wal.attach ~snapshot_path:path log (Eval.database env);
+      Wal.set_backing log (Some wal_path);
+      Wal.sync log
+  | true, None -> Format.eprintf "warning: --wal without --db has no effect@."
+  | false, _ -> ());
+  env
+
+let close_env ?(wal = false) env db_file =
   match db_file with
   | None -> ()
   | Some path ->
       let db = Eval.database env in
+      (* With a log attached this is a full checkpoint: snapshot the
+         store to [path] and truncate the log; without one, plain
+         save. *)
       Orion_core.Persist.save db;
       Orion_storage.Store.save_file (Orion_core.Database.store db) path;
+      let wal_path = wal_path_of path in
+      if wal && Sys.file_exists wal_path then Sys.remove wal_path;
       Format.eprintf "database saved to %s@." path
 
 let repl_cmd =
-  let run db_file =
-    let env = open_env db_file in
+  let run db_file wal =
+    let env = open_env ~wal db_file in
     Repl.run ~env stdin stdout;
-    close_env env db_file
+    close_env ~wal env db_file
   in
   Cmd.v (Cmd.info "repl" ~doc:"Interactive session in the paper's Lisp syntax")
-    Term.(const run $ db_file)
+    Term.(const run $ db_file $ wal_flag)
 
 let experiments_cmd =
   let only =
@@ -118,12 +158,12 @@ let run_cmd =
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Program file")
   in
-  let run db_file file =
+  let run db_file wal file =
     let ic = open_in file in
     let n = in_channel_length ic in
     let src = really_input_string ic n in
     close_in ic;
-    let env = open_env db_file in
+    let env = open_env ~wal db_file in
     (try
        List.iter
          (fun (_, result) -> Format.printf "%a@." (Eval.pp_v env) result)
@@ -142,12 +182,12 @@ let run_cmd =
           (Format.pp_print_list Orion_core.Integrity.pp_violation)
           violations;
         exit 1);
-    close_env env db_file
+    close_env ~wal env db_file
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Evaluate an ORION program file and verify database integrity")
-    Term.(const run $ db_file $ file)
+    Term.(const run $ db_file $ wal_flag $ file)
 
 let dump_cmd =
   let file =
@@ -168,6 +208,75 @@ let dump_cmd =
          "Evaluate an ORION program and print the resulting database as a \
           re-loadable program")
     Term.(const run $ file)
+
+let recover_cmd =
+  let db_pos =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"DB"
+          ~doc:
+            "Database file to repair.  Used as the recovery snapshot when it \
+             exists; otherwise the store is rebuilt from the log alone.")
+  in
+  let wal_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "wal" ] ~docv:"FILE"
+          ~doc:"Write-ahead log to replay (default: $(i,DB).wal).")
+  in
+  let dry_run =
+    Arg.(
+      value & flag
+      & info [ "dry-run" ]
+          ~doc:"Report what recovery would restore without writing anything.")
+  in
+  let run db_path wal_file dry_run =
+    let wal_path = Option.value wal_file ~default:(wal_path_of db_path) in
+    if not (Sys.file_exists wal_path) then begin
+      Format.eprintf "error: no log at %s@." wal_path;
+      exit 2
+    end;
+    let wal = Wal.load_file wal_path in
+    let snapshot =
+      if Sys.file_exists db_path then
+        Some (Orion_storage.Store.load_file db_path)
+      else None
+    in
+    let db, stats =
+      try Recovery.replay ?snapshot wal
+      with Failure msg ->
+        Format.eprintf "error: %s@." msg;
+        exit 1
+    in
+    Format.printf "%a@." Recovery.pp_stats stats;
+    Format.printf "recovered %d objects from %s%s@."
+      (Orion_core.Database.count db)
+      wal_path
+      (match snapshot with
+      | Some _ -> Printf.sprintf " over snapshot %s" db_path
+      | None -> " (log-only rebuild)");
+    (match Orion_core.Integrity.check db with
+    | [] -> Format.printf "integrity: consistent@."
+    | violations ->
+        Format.printf "integrity violations:@.%a@."
+          (Format.pp_print_list Orion_core.Integrity.pp_violation)
+          violations;
+        exit 1);
+    if not dry_run then begin
+      (* Make the recovered state durable, then retire the log: its
+         transactions now live in the checkpointed database file. *)
+      Orion_core.Persist.save db;
+      Orion_storage.Store.save_file (Orion_core.Database.store db) db_path;
+      Sys.remove wal_path;
+      Format.printf "database saved to %s; log retired@." db_path
+    end
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Replay a write-ahead log after a crash, restoring the database to \
+          its last committed state")
+    Term.(const run $ db_pos $ wal_file $ dry_run)
 
 let stats_cmd =
   let file =
@@ -239,4 +348,13 @@ let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval
-       (Cmd.group ~default info [ repl_cmd; experiments_cmd; demo_cmd; run_cmd; dump_cmd; stats_cmd ]))
+       (Cmd.group ~default info
+          [
+            repl_cmd;
+            experiments_cmd;
+            demo_cmd;
+            run_cmd;
+            dump_cmd;
+            stats_cmd;
+            recover_cmd;
+          ]))

@@ -3,6 +3,12 @@ module Store = Orion_storage.Store
 
 type rref_repr = Inline | External
 
+type wal_stats = { appends : int; bytes : int; syncs : int; truncations : int }
+
+let no_wal = { appends = 0; bytes = 0; syncs = 0; truncations = 0 }
+
+type checkpoint_phase = Ckpt_begin | Ckpt_end
+
 type t = {
   schema : Schema.t;
   store : Store.t;
@@ -17,6 +23,8 @@ type t = {
   mutable current_cc : int;
   mutable listeners : (int * (event_ -> unit)) list;
   mutable next_subscription : int;
+  mutable wal_source : (unit -> wal_stats) option;
+  mutable checkpoint_hook : (checkpoint_phase -> unit) option;
 }
 
 and event_ =
@@ -62,6 +70,8 @@ let create ?(page_size = 4096) ?(pool_capacity = 64) ?(rref_repr = Inline)
       current_cc = 0;
       listeners = [];
       next_subscription = 0;
+      wal_source = None;
+      checkpoint_hook = None;
     }
   in
   (match t.edge_cache with
@@ -77,12 +87,33 @@ let rref_repr t = t.repr
 let acyclic t = t.acyclic
 let edge_cache t = t.edge_cache
 
-type stats = Edge_cache.stats = { hits : int; misses : int; invalidations : int }
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;
+  wal : wal_stats;
+}
 
 let stats t =
-  match t.edge_cache with
-  | Some cache -> Edge_cache.stats cache
-  | None -> { hits = 0; misses = 0; invalidations = 0 }
+  let cache =
+    match t.edge_cache with
+    | Some cache -> Edge_cache.stats cache
+    | None -> { Edge_cache.hits = 0; misses = 0; invalidations = 0 }
+  in
+  let wal = match t.wal_source with Some f -> f () | None -> no_wal in
+  {
+    hits = cache.Edge_cache.hits;
+    misses = cache.Edge_cache.misses;
+    invalidations = cache.Edge_cache.invalidations;
+    wal;
+  }
+
+let set_wal_stats_source t source = t.wal_source <- source
+
+let set_checkpoint_hook t hook = t.checkpoint_hook <- hook
+
+let notify_checkpoint t phase =
+  match t.checkpoint_hook with Some hook -> hook phase | None -> ()
 
 let reset_stats t =
   match t.edge_cache with

@@ -41,13 +41,45 @@ val acyclic : t -> bool
 val edge_cache : t -> Edge_cache.t option
 (** [None] when the database was created with [~edge_cache:false]. *)
 
-type stats = Edge_cache.stats = { hits : int; misses : int; invalidations : int }
+type wal_stats = {
+  appends : int;  (** log records written *)
+  bytes : int;  (** framed bytes appended *)
+  syncs : int;  (** fsync-equivalents (one per commit / checkpoint) *)
+  truncations : int;  (** post-checkpoint log resets *)
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;
+  wal : wal_stats;
+}
 
 val stats : t -> stats
 (** Edge-cache counters, mirroring {!Orion_storage.Buffer_pool.stats};
-    all zero when the cache is disabled. *)
+    all zero when the cache is disabled.  [wal] comes from the attached
+    write-ahead log ({!set_wal_stats_source}); all zero when none is
+    attached. *)
 
 val reset_stats : t -> unit
+
+val set_wal_stats_source : t -> (unit -> wal_stats) option -> unit
+(** Registered by [Orion_wal.Wal.attach]; the core stays
+    log-oblivious. *)
+
+(** {1 Checkpoint hook}
+
+    {!Persist.save} brackets its work with these notifications so an
+    attached write-ahead log can frame the checkpoint
+    ([Ckpt_begin]/[Ckpt_end] records, snapshot, truncation) without the
+    core depending on the log. *)
+
+type checkpoint_phase = Ckpt_begin | Ckpt_end
+
+val set_checkpoint_hook : t -> (checkpoint_phase -> unit) option -> unit
+
+val notify_checkpoint : t -> checkpoint_phase -> unit
+(** Called by {!Persist.save}; a no-op when no hook is registered. *)
 
 val invalidate_edges : t -> Oid.t -> unit
 (** Drop the cached edges of [oid] and of every object whose cached

@@ -211,6 +211,11 @@ let read_rid r : Store.rid =
   { Store.segment; page; slot }
 
 let save db =
+  (* A crash anywhere before the closing notification leaves the
+     checkpoint bracket open in the log; recovery discards the
+     half-applied store writes it covers.  Deliberately no Fun.protect:
+     an aborted save must NOT seal the bracket. *)
+  Database.notify_checkpoint db Database.Ckpt_begin;
   checkpoint db;
   let w = W.create () in
   W.int w catalog_version;
@@ -260,7 +265,8 @@ let save db =
               W.bool w rref.Rref.dependent)
             (Database.rrefs db inst.oid))
     entries;
-  Store.write_catalog (Database.store db) (W.contents w)
+  Store.write_catalog (Database.store db) (W.contents w);
+  Database.notify_checkpoint db Database.Ckpt_end
 
 let load ?rref_repr ?acyclic store =
   match Store.read_catalog store with

@@ -98,6 +98,13 @@ let mark_dirty t page_no =
 
 let flush t = Hashtbl.iter (fun _ frame -> write_back t frame) t.frames
 
+let dirty_count t =
+  Hashtbl.fold (fun _ frame n -> if frame.dirty then n + 1 else n) t.frames 0
+
+let dirty_pages t =
+  Hashtbl.fold (fun no frame acc -> if frame.dirty then no :: acc else acc) t.frames []
+  |> List.sort Int.compare
+
 let drop_all t =
   flush t;
   Hashtbl.reset t.frames;

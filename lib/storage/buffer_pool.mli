@@ -21,6 +21,13 @@ val mark_dirty : t -> int -> unit
 val flush : t -> unit
 (** Write back every dirty frame. *)
 
+val dirty_count : t -> int
+(** Number of resident frames with unwritten changes — the work a
+    checkpoint's force step will push through {!Disk.write}. *)
+
+val dirty_pages : t -> int list
+(** Page numbers of the dirty frames, ascending. *)
+
 val drop_all : t -> unit
 (** Write back and empty the pool (used to measure cold traversals). *)
 

@@ -1,26 +1,65 @@
+exception Crashed
+
+type fault_kind = Fail | Torn
+
+type fault = { kind : fault_kind; mutable remaining : int }
+
 type t = {
   page_size : int;
   pages : (int, bytes) Hashtbl.t;
   mutable next_page : int;
   mutable reads : int;
   mutable writes : int;
+  mutable fault : fault option;
+  mutable crashed : bool;
+  mutable observer : (int -> bytes -> unit) option;
+  mutable alloc_observer : (int -> unit) option;
 }
 
 type stats = { reads : int; writes : int; allocated : int }
 
 let create ~page_size =
   if page_size < 64 then invalid_arg "Disk.create: page_size too small";
-  { page_size; pages = Hashtbl.create 256; next_page = 0; reads = 0; writes = 0 }
+  {
+    page_size;
+    pages = Hashtbl.create 256;
+    next_page = 0;
+    reads = 0;
+    writes = 0;
+    fault = None;
+    crashed = false;
+    observer = None;
+    alloc_observer = None;
+  }
 
 let page_size t = t.page_size
 
+let set_observer t f = t.observer <- f
+let set_alloc_observer t f = t.alloc_observer <- f
+
+let inject_fault t spec =
+  t.fault <-
+    (match spec with
+    | None -> None
+    | Some (`Fail_after n) -> Some { kind = Fail; remaining = n }
+    | Some (`Torn_after n) -> Some { kind = Torn; remaining = n })
+
+let crashed t = t.crashed
+
+let revive t =
+  t.crashed <- false;
+  t.fault <- None
+
 let alloc t =
+  if t.crashed then raise Crashed;
   let page_no = t.next_page in
   t.next_page <- t.next_page + 1;
   Hashtbl.replace t.pages page_no (Bytes.make t.page_size '\000');
+  (match t.alloc_observer with Some f -> f page_no | None -> ());
   page_no
 
 let read t page_no =
+  if t.crashed then raise Crashed;
   match Hashtbl.find_opt t.pages page_no with
   | None -> invalid_arg (Printf.sprintf "Disk.read: unallocated page %d" page_no)
   | Some image ->
@@ -28,10 +67,28 @@ let read t page_no =
       Bytes.copy image
 
 let write t page_no image =
+  if t.crashed then raise Crashed;
   if Bytes.length image <> t.page_size then
     invalid_arg "Disk.write: image size mismatch";
   if not (Hashtbl.mem t.pages page_no) then
     invalid_arg (Printf.sprintf "Disk.write: unallocated page %d" page_no);
+  (* Write-ahead: the observer (the WAL) sees the full image before the
+     "device" gets a chance to fail or tear it. *)
+  (match t.observer with Some f -> f page_no image | None -> ());
+  (match t.fault with
+  | Some f when f.remaining <= 0 ->
+      t.crashed <- true;
+      (match f.kind with
+      | Fail -> ()
+      | Torn ->
+          (* A torn page: only a prefix of the image reaches the platter
+             before the crash; the tail keeps its previous content. *)
+          let keep = t.page_size / 3 in
+          let target = Hashtbl.find t.pages page_no in
+          Bytes.blit image 0 target 0 keep);
+      raise Crashed
+  | Some f -> f.remaining <- f.remaining - 1
+  | None -> ());
   t.writes <- t.writes + 1;
   Hashtbl.replace t.pages page_no (Bytes.copy image)
 

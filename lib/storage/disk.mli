@@ -5,11 +5,22 @@
     page image, instrumented with read/write counters.  All I/O-cost
     observations in the benchmarks (physical clustering, cold composite
     traversals) are expressed in these counters, which is exactly the
-    quantity the paper's clustering argument is about. *)
+    quantity the paper's clustering argument is about.
+
+    For the durability work the disk doubles as the crash-injection
+    layer: a scripted fault makes the Nth physical write fail (or tear,
+    applying only a prefix of the image), after which the device is
+    {e crashed} — every further operation raises {!Crashed}, simulating
+    process death.  A write {e observer} lets the write-ahead log see
+    every page image before the device may fail it. *)
 
 type t
 
 type stats = { reads : int; writes : int; allocated : int }
+
+exception Crashed
+(** Raised by any operation once an injected fault has fired (and by the
+    faulting write itself). *)
 
 val create : page_size:int -> t
 
@@ -23,7 +34,35 @@ val read : t -> int -> bytes
 
 val write : t -> int -> bytes -> unit
 (** Store a page image (counted as one physical write).
-    @raise Invalid_argument if the image size differs from [page_size]. *)
+    @raise Invalid_argument if the image size differs from [page_size]
+    or the page number was never allocated ({!alloc} is the only way to
+    grow the disk).
+    @raise Crashed when an injected fault fires. *)
+
+(** {1 Crash injection}
+
+    [`Fail_after n]: the next [n] writes succeed, the one after raises
+    {!Crashed} without touching the page.  [`Torn_after n]: same, but
+    the failing write applies only a prefix of the image (a torn page).
+    Either way the disk is then crashed until {!revive}. *)
+
+val inject_fault : t -> [ `Fail_after of int | `Torn_after of int ] option -> unit
+
+val crashed : t -> bool
+
+val revive : t -> unit
+(** Clear the crashed flag and any armed fault (the test harness's
+    "reboot" — the surviving page images are whatever the crash left). *)
+
+(** {1 Write-ahead observers}
+
+    Called by {!write} with the page number and full image {e before}
+    the write is applied (and before any injected fault can fire), and
+    by {!alloc} with the fresh page number.  This is the hook the WAL
+    attaches to. *)
+
+val set_observer : t -> (int -> bytes -> unit) option -> unit
+val set_alloc_observer : t -> (int -> unit) option -> unit
 
 val stats : t -> stats
 

@@ -7,6 +7,12 @@ type segment = {
   live : (rid, unit) Hashtbl.t;
 }
 
+type journal_op =
+  | J_segment_new of segment_id
+  | J_record_put of rid
+  | J_record_delete of rid
+  | J_catalog_set of int
+
 type t = {
   disk : Disk.t;
   pool : Buffer_pool.t;
@@ -14,9 +20,14 @@ type t = {
   mutable next_segment : segment_id;
   mutable free_pages : int list;  (* recycled long-record pages *)
   mutable catalog_page : int option;
+  mutable journal : (journal_op -> unit) option;
 }
 
 let long_slot = -1
+
+let set_journal t f = t.journal <- f
+
+let journal t op = match t.journal with Some f -> f op | None -> ()
 
 let create ?(page_size = 4096) ?(pool_capacity = 64) () =
   if page_size > 32768 then invalid_arg "Store.create: page_size > 32768";
@@ -28,12 +39,17 @@ let create ?(page_size = 4096) ?(pool_capacity = 64) () =
     next_segment = 0;
     free_pages = [];
     catalog_page = None;
+    journal = None;
   }
+
+let disk t = t.disk
+let pool t = t.pool
 
 let new_segment t =
   let id = t.next_segment in
   t.next_segment <- id + 1;
   Hashtbl.replace t.segments id { pages = []; live = Hashtbl.create 64 };
+  journal t (J_segment_new id);
   id
 
 let segment_count t = t.next_segment
@@ -102,12 +118,19 @@ let free_long t first_page =
   go first_page
 
 let write_catalog t data =
-  (match t.catalog_page with
-  | Some page -> free_long t page
-  | None -> ());
-  t.catalog_page <- Some (write_long t data)
+  (* Crash safety: write the new catalog chain completely before freeing
+     the old one.  Freeing first put the old catalog's pages on the free
+     list, so the new chain could overwrite them — a crash mid-write then
+     left no intact catalog at all. *)
+  let old = t.catalog_page in
+  let page = write_long t data in
+  t.catalog_page <- Some page;
+  journal t (J_catalog_set page);
+  match old with Some p -> free_long t p | None -> ()
 
 let read_catalog t = Option.map (read_long t) t.catalog_page
+
+let catalog_page t = t.catalog_page
 
 let max_inline t = Disk.page_size t.disk - 4 (* header *) - 4 (* entry *) - 2
 
@@ -160,6 +183,7 @@ let insert t ~segment:seg_id ?near data =
   match placed with
   | Some rid ->
       Hashtbl.replace seg.live rid ();
+      journal t (J_record_put rid);
       rid
   | None -> invalid_arg "Store.insert: record does not fit a fresh page"
 
@@ -175,6 +199,7 @@ let delete t rid =
   let seg = segment t rid.segment in
   if Hashtbl.mem seg.live rid then begin
     Hashtbl.remove seg.live rid;
+    journal t (J_record_delete rid);
     if rid.slot = long_slot then free_long t rid.page
     else begin
       let page = Buffer_pool.get t.pool rid.page in
@@ -191,6 +216,7 @@ let update t rid data =
     let page = Buffer_pool.get t.pool rid.page in
     if Page.update_slot page rid.slot data then begin
       Buffer_pool.mark_dirty t.pool rid.page;
+      journal t (J_record_put rid);
       rid
     end
     else begin
@@ -233,6 +259,35 @@ let compact_segment t seg_id =
       let fresh = insert t ~segment:seg_id data in
       (old_rid, fresh))
     contents
+
+let flush t = Buffer_pool.flush t.pool
+
+(* Recovery support ---------------------------------------------------------- *)
+
+(* Log replay rebuilds the directory through these: page contents arrive
+   physically (replayed [Disk.write]s), liveness and segment membership
+   logically.  None of them touch page images or emit journal ops. *)
+
+let restore_segment t id =
+  while t.next_segment <= id do
+    let fresh = t.next_segment in
+    t.next_segment <- fresh + 1;
+    Hashtbl.replace t.segments fresh { pages = []; live = Hashtbl.create 64 }
+  done
+
+let restore_record t rid =
+  restore_segment t rid.segment;
+  let seg = segment t rid.segment in
+  Hashtbl.replace seg.live rid ();
+  if rid.slot <> long_slot && not (List.mem rid.page seg.pages) then
+    seg.pages <- rid.page :: seg.pages
+
+let forget_record t rid =
+  match Hashtbl.find_opt t.segments rid.segment with
+  | None -> ()
+  | Some seg -> Hashtbl.remove seg.live rid
+
+let restore_catalog t page = t.catalog_page <- Some page
 
 (* File serialization -------------------------------------------------------- *)
 
@@ -277,10 +332,14 @@ let save_file t path =
   | Some page ->
       W.bool w true;
       W.int w page);
-  let oc = open_out_bin path in
+  (* Write-then-rename so a crash mid-save leaves the previous snapshot
+     intact (the checkpoint/truncate protocol depends on it). *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_bytes oc (W.contents w))
+    (fun () -> output_bytes oc (W.contents w));
+  Sys.rename tmp path
 
 let load_file ?(pool_capacity = 64) path =
   let ic = open_in_bin path in

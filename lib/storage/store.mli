@@ -19,6 +19,17 @@ type rid = { segment : segment_id; page : int; slot : int }
 val create : ?page_size:int -> ?pool_capacity:int -> unit -> t
 (** Defaults: 4096-byte pages, 64-frame pool. *)
 
+val disk : t -> Disk.t
+(** The underlying simulated disk — exposed for WAL attachment
+    (write observers, crash injection) and recovery replay; application
+    code should go through records. *)
+
+val pool : t -> Buffer_pool.t
+
+val flush : t -> unit
+(** Write every dirty buffered page to the disk (a checkpoint's
+    "force" step; each write is seen by the disk's observer). *)
+
 val new_segment : t -> segment_id
 
 val segment_count : t -> int
@@ -52,6 +63,44 @@ val write_catalog : t -> bytes -> unit
 
 val read_catalog : t -> bytes option
 
+val catalog_page : t -> int option
+(** First page of the catalog's long-record chain — exposed so a WAL
+    base backup can journal the pointer ([Catalog_set]). *)
+
+(** {1 Journal hook}
+
+    Directory mutations (liveness, segments, the catalog pointer) are
+    not page-resident, so the WAL cannot see them through the disk
+    observer; the journal hook reports them as they happen.  Recovery
+    re-applies them through the [restore_*]/{!forget_record} calls
+    below, which deliberately bypass both pages and the journal. *)
+
+type journal_op =
+  | J_segment_new of segment_id
+  | J_record_put of rid
+  | J_record_delete of rid
+  | J_catalog_set of int
+
+val set_journal : t -> (journal_op -> unit) option -> unit
+
+(** {1 Recovery support} *)
+
+val restore_segment : t -> segment_id -> unit
+(** Ensure segments [0..id] exist (replay of [J_segment_new]). *)
+
+val restore_record : t -> rid -> unit
+(** Mark the record live and remember its page for placement (replay of
+    [J_record_put]; the page image itself arrives via physical page
+    replay). *)
+
+val forget_record : t -> rid -> unit
+(** Drop liveness without touching the page image or the free list
+    (replay of [J_record_delete]). *)
+
+val restore_catalog : t -> int -> unit
+(** Point the catalog at an already-materialized long-record chain
+    (replay of [J_catalog_set]). *)
+
 val compact_segment : t -> segment_id -> (rid * rid) list
 (** Rewrite every live record of the segment into fresh pages (long
     records are left in place: they own their pages already), freeing
@@ -66,6 +115,9 @@ val compact_segment : t -> segment_id -> (rid * rid) list
     ([orion repl --db file]). *)
 
 val save_file : t -> string -> unit
+(** Atomic: the image is written to a temporary sibling and renamed
+    over [path], so a crash mid-save leaves the previous snapshot. *)
+
 val load_file : ?pool_capacity:int -> string -> t
 (** @raise Failure on a missing or corrupt file. *)
 

@@ -21,15 +21,17 @@ type t = {
   txs : (int, tx) Hashtbl.t;
   mutable next_tx : int;
   escalation_threshold : int option;
+  wal : Orion_wal.Wal.t option;
 }
 
-let create ?compat ?escalation_threshold db =
+let create ?compat ?escalation_threshold ?wal db =
   {
     db;
     table = Lock_table.create ?compat ();
     txs = Hashtbl.create 16;
     next_tx = 0;
     escalation_threshold;
+    wal;
   }
 
 let database t = t.db
@@ -197,7 +199,17 @@ let finish t tx state =
     unblocked;
   unblocked
 
-let commit t tx = finish t tx Committed
+let commit t tx =
+  (* Durability point: after-images of everything this transaction may
+     have touched (its undo-snapshot coverage plus its creations) reach
+     the log, sealed by a commit record, before any lock is released.
+     No log attached — in-memory semantics, commit is lock release. *)
+  (match t.wal with
+  | Some wal ->
+      Orion_wal.Wal.log_commit wal t.db ~tx:tx.id
+        ~touched:(Snapshot.captured tx.snapshot @ tx.created)
+  | None -> ());
+  finish t tx Committed
 
 let abort t tx =
   (* Restore first: an object created by this transaction may have been

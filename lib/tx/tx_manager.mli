@@ -18,13 +18,20 @@ type state = Active | Blocked | Committed | Aborted
 val create :
   ?compat:(Orion_locking.Lock_mode.t -> Orion_locking.Lock_mode.t -> bool) ->
   ?escalation_threshold:int ->
+  ?wal:Orion_wal.Wal.t ->
   Database.t ->
   t
 (** [?escalation_threshold]: when a transaction accumulates that many
     instance locks on one class, the manager opportunistically upgrades
     to a whole-class S/X lock ({!Orion_locking.Lock_table.try_acquire});
     further instance locks on the class are then free.  Default: no
-    escalation. *)
+    escalation.
+
+    [?wal]: a write-ahead log ({!Orion_wal.Wal.attach}ed to the same
+    database).  Each {!commit} then appends the transaction's
+    after-images and a commit record before releasing locks, making the
+    commit durable for {!Orion_wal.Recovery.replay}.  Default: no
+    logging (in-memory transaction semantics). *)
 
 val database : t -> Database.t
 val lock_table : t -> Orion_locking.Lock_table.t

@@ -1,0 +1,12 @@
+let mod_adler = 65521
+
+let bytes ?(pos = 0) ?len data =
+  let len = match len with Some l -> l | None -> Bytes.length data - pos in
+  if pos < 0 || len < 0 || pos + len > Bytes.length data then
+    invalid_arg "Checksum.bytes: range out of bounds";
+  let a = ref 1 and b = ref 0 in
+  for i = pos to pos + len - 1 do
+    a := (!a + Char.code (Bytes.unsafe_get data i)) mod mod_adler;
+    b := (!b + !a) mod mod_adler
+  done;
+  (!b lsl 16) lor !a

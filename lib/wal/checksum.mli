@@ -1,0 +1,11 @@
+(** Adler-32 checksum (RFC 1950) over byte ranges.
+
+    Guards every log entry: a torn or bit-rotted record fails
+    verification and replay stops cleanly at the last intact prefix.
+    Adler-32 is weaker than CRC-32 against short burst errors but
+    needs no table and is plenty for the crash model here (truncated
+    or zero-filled tails, not adversarial corruption). *)
+
+val bytes : ?pos:int -> ?len:int -> bytes -> int
+(** Checksum of [len] bytes of [data] starting at [pos] (defaults:
+    the whole buffer).  Result fits 32 bits, non-negative. *)

@@ -1,0 +1,200 @@
+open Orion_core
+module Store = Orion_storage.Store
+module Disk = Orion_storage.Disk
+
+type stats = {
+  scanned : int;
+  valid_bytes : int;
+  torn_tail : bool;
+  dropped_checkpoint : bool;
+  pages_replayed : int;
+  directory_ops_replayed : int;
+  committed_txs : int;
+  objects_applied : int;
+  objects_discarded : int;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>scanned %d records (%d bytes%s)%s@,\
+     physical: %d pages, %d directory ops@,\
+     logical: %d committed txs, %d objects applied, %d uncommitted discarded@]"
+    s.scanned s.valid_bytes
+    (if s.torn_tail then ", torn tail" else "")
+    (if s.dropped_checkpoint then "; dropped unterminated checkpoint" else "")
+    s.pages_replayed s.directory_ops_replayed s.committed_txs s.objects_applied
+    s.objects_discarded
+
+(* Split the intact records at the last {e sealed} checkpoint.  The
+   physical stream is only meaningful as of that point: it reproduces
+   the store exactly as the checkpoint flushed it (the catalog the
+   [Catalog_set] inside the bracket names is consistent with it).
+   Physical records after it — a crashed checkpoint's half-applied
+   writes, mid-transaction record deletions, buffer-pool evictions —
+   describe store state that was never sealed by a catalog and must not
+   be redone.  Conversely the logical stream starts {e after} the
+   sealed checkpoint: checkpoints run at transaction-quiescent points
+   and absorb every earlier mutation (including non-transactional ones
+   no commit record covers), so older after-images are stale.  With no
+   sealed checkpoint in the log (the post-truncation shape), the base
+   is the caller's snapshot and every logical record applies. *)
+let split records =
+  let last_ckpt = ref (-1) in
+  List.iteri
+    (fun i r -> if r = Wal_record.Checkpoint then last_ckpt := i)
+    records;
+  if !last_ckpt < 0 then
+    let dropped =
+      List.exists (fun r -> r = Wal_record.Checkpoint_begin) records
+    in
+    (* Nothing sealed: no physical base to rebuild (recovery needs a
+       snapshot), and the whole log is post-checkpoint logically. *)
+    ([], records, dropped)
+  else begin
+    let i = !last_ckpt in
+    let physical = List.filteri (fun j _ -> j <= i) records in
+    let logical = List.filteri (fun j _ -> j > i) records in
+    let dropped =
+      List.exists (fun r -> r = Wal_record.Checkpoint_begin) logical
+    in
+    (physical, logical, dropped)
+  end
+
+let surviving_records wal =
+  let { Wal.records; torn_tail; valid_bytes } = Wal.scan wal in
+  let scanned = List.length records in
+  let physical, logical, dropped = split records in
+  (physical, logical, scanned, valid_bytes, torn_tail, dropped)
+
+(* Physical pass: rebuild a store bit-for-bit from the log.  Only
+   possible when the log reaches back to the store's birth, i.e. starts
+   with its [Genesis] record (attach-time truncation never ran). *)
+let rebuild_from records =
+  let page_size =
+    match records with
+    | Wal_record.Genesis { page_size } :: _ -> page_size
+    | _ ->
+        failwith
+          "Recovery: log has no genesis record; rebuild needs a snapshot"
+  in
+  let store = Store.create ~page_size () in
+  let disk = Store.disk store in
+  let pages = ref 0 in
+  let dir_ops = ref 0 in
+  List.iter
+    (fun record ->
+      match record with
+      | Wal_record.Genesis _ -> ()
+      | Page_alloc { page_no } ->
+          let got = Disk.alloc disk in
+          if got <> page_no then
+            failwith
+              (Printf.sprintf
+                 "Recovery: page allocation replayed out of order (%d, expected \
+                  %d)"
+                 got page_no)
+      | Page_write { page_no; image } ->
+          Disk.write disk page_no image;
+          incr pages
+      | Segment_new { id } ->
+          Store.restore_segment store id;
+          incr dir_ops
+      | Record_put { rid } ->
+          Store.restore_record store rid;
+          incr dir_ops
+      | Record_delete { rid } ->
+          Store.forget_record store rid;
+          incr dir_ops
+      | Catalog_set { page } ->
+          Store.restore_catalog store page;
+          incr dir_ops
+      | Obj_put _ | Obj_delete _ | Commit _ | Checkpoint_begin | Checkpoint ->
+          ())
+    records;
+  (store, !pages, !dir_ops)
+
+let rebuild_store wal =
+  let physical, _, _, _, _, _ = surviving_records wal in
+  let store, _, _ = rebuild_from physical in
+  store
+
+(* Logical pass: group [Obj_*] records by transaction, apply each group
+   at its [Commit] — in log order, so later transactions overwrite
+   earlier after-images of the same object.  Groups never sealed by a
+   surviving [Commit] are discarded: redo-only, an unacknowledged commit
+   never happened. *)
+let apply_op db op =
+  match op with
+  | Wal_record.Obj_put { oid; cluster_with; rrefs; data; _ } ->
+      let inst = Codec.decode data in
+      (* Keep the checkpointed record slot, if any: the next checkpoint
+         updates in place instead of leaking the old record. *)
+      (inst.Instance.rid <-
+        (match Database.find db oid with
+        | Some old -> old.Instance.rid
+        | None -> None));
+      inst.Instance.cluster_with <- cluster_with;
+      Database.add db inst;
+      Database.set_rrefs db oid rrefs
+  | Obj_delete { oid; _ } -> Database.remove db oid
+  | _ -> ()
+
+let apply_committed db records =
+  let pending : (int, Wal_record.t list) Hashtbl.t = Hashtbl.create 16 in
+  let push tx op =
+    let sofar = Option.value (Hashtbl.find_opt pending tx) ~default:[] in
+    Hashtbl.replace pending tx (op :: sofar)
+  in
+  let committed = ref 0 in
+  let applied = ref 0 in
+  List.iter
+    (fun record ->
+      match record with
+      | Wal_record.Obj_put { tx; _ } -> push tx record
+      | Obj_delete { tx; _ } -> push tx record
+      | Commit { tx; next_oid; clock; cc } ->
+          let ops = List.rev (Option.value (Hashtbl.find_opt pending tx) ~default:[]) in
+          Hashtbl.remove pending tx;
+          incr committed;
+          List.iter (apply_op db) ops;
+          applied := !applied + List.length ops;
+          (* Counters only ever move forward: a log overlapping the
+             snapshot (crash after checkpoint, before truncation) replays
+             commits the catalog already accounts for. *)
+          let next_oid0, clock0 = Database.counters db in
+          Database.restore_counters db ~next_oid:(max next_oid next_oid0)
+            ~clock:(max clock clock0);
+          Database.set_current_cc db (max cc (Database.current_cc db))
+      | _ -> ())
+    records;
+  let discarded =
+    Hashtbl.fold (fun _ ops n -> n + List.length ops) pending 0
+  in
+  (!committed, !applied, discarded)
+
+let replay ?snapshot wal =
+  let physical, logical, scanned, valid_bytes, torn_tail, dropped_checkpoint =
+    surviving_records wal
+  in
+  let store, pages_replayed, directory_ops_replayed =
+    match snapshot with
+    | Some store -> (store, 0, 0)
+    | None -> rebuild_from physical
+  in
+  let db = Persist.load store in
+  let committed_txs, objects_applied, objects_discarded =
+    apply_committed db logical
+  in
+  if committed_txs > 0 then Database.emit db Database.Invalidated;
+  ( db,
+    {
+      scanned;
+      valid_bytes;
+      torn_tail;
+      dropped_checkpoint;
+      pages_replayed;
+      directory_ops_replayed;
+      committed_txs;
+      objects_applied;
+      objects_discarded;
+    } )

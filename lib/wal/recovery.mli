@@ -1,0 +1,59 @@
+(** Crash recovery: redo the log onto the last durable base.
+
+    The base is either a snapshot store (the file a checkpoint saved —
+    pass it as [?snapshot]) or, when the log reaches back to the store's
+    birth (no truncation ever ran), nothing at all: the physical half of
+    the log rebuilds the store from scratch.
+
+    Replay proceeds in two passes, split at the last {e sealed}
+    [Checkpoint] record of the longest intact log prefix:
+
+    + {e physical} (records up to the split): page allocations, page
+      images and store-directory ops rebuild the store exactly as the
+      last checkpoint flushed it.  Physical records after the split — a
+      crashed checkpoint's half-applied writes, mid-transaction record
+      deletions, buffer-pool evictions — were never sealed by a catalog
+      and are not redone.  Skipped when a snapshot is given: the
+      snapshot already holds that state.
+    + {e logical} (records after the split): the catalog is loaded
+      ({!Orion_core.Persist.load}) and every {e committed} transaction's
+      after-images are applied in log order.  Records of transactions
+      with no [Commit] in the surviving log are discarded — redo-only
+      semantics: an unacknowledged commit never happened.
+
+    Checkpoints run at transaction-quiescent points and absorb every
+    earlier mutation, so the split loses nothing; and the logical pass
+    is idempotent, so a log that overlaps the snapshot (crash after the
+    snapshot reached disk, before truncation) converges to the same
+    state.  Between checkpoints, durable mutations must flow through
+    logged commits — non-transactional mutations become durable only at
+    the next checkpoint. *)
+
+open Orion_core
+module Store = Orion_storage.Store
+
+type stats = {
+  scanned : int;  (** intact records decoded from the log *)
+  valid_bytes : int;
+  torn_tail : bool;  (** the log ended in a damaged frame *)
+  dropped_checkpoint : bool;  (** an unterminated checkpoint bracket was discarded *)
+  pages_replayed : int;
+  directory_ops_replayed : int;
+  committed_txs : int;
+  objects_applied : int;  (** after-images and tombstones applied *)
+  objects_discarded : int;  (** records of uncommitted transactions *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val rebuild_store : Wal.t -> Store.t
+(** Physical pass only: a store reconstructed purely from the log.
+    @raise Failure when the log lacks its [Genesis] record (it does not
+    reach back to the store's birth — recover from a snapshot instead). *)
+
+val replay : ?snapshot:Store.t -> Wal.t -> Database.t * stats
+(** Full recovery to the last committed state.  The result passes
+    {!Orion_core.Integrity.check} whenever the crashed database did.
+    @raise Failure when no base is recoverable (no snapshot and no
+    [Genesis], or a base store without a catalog — i.e. nothing was
+    ever checkpointed). *)

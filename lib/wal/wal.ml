@@ -1,0 +1,269 @@
+open Orion_core
+module Store = Orion_storage.Store
+module Disk = Orion_storage.Disk
+module R = Orion_storage.Bytes_rw.Reader
+
+exception Crashed
+
+type fault_kind = Fail | Torn
+
+type fault = { kind : fault_kind; mutable remaining : int }
+
+type t = {
+  mutable buf : Buffer.t;
+  mutable appends : int;
+  mutable bytes_logged : int;
+  mutable syncs : int;
+  mutable truncations : int;
+  mutable fault : fault option;
+  mutable is_crashed : bool;
+  mutable page_size : int option;
+  mutable backing : string option;
+}
+
+let create () =
+  {
+    buf = Buffer.create 4096;
+    appends = 0;
+    bytes_logged = 0;
+    syncs = 0;
+    truncations = 0;
+    fault = None;
+    is_crashed = false;
+    page_size = None;
+    backing = None;
+  }
+
+let size t = Buffer.length t.buf
+
+let stats t : Database.wal_stats =
+  {
+    Database.appends = t.appends;
+    bytes = t.bytes_logged;
+    syncs = t.syncs;
+    truncations = t.truncations;
+  }
+
+let inject_fault t spec =
+  t.fault <-
+    (match spec with
+    | None -> None
+    | Some (`Fail_after n) -> Some { kind = Fail; remaining = n }
+    | Some (`Torn_after n) -> Some { kind = Torn; remaining = n })
+
+let crashed t = t.is_crashed
+
+let revive t =
+  t.is_crashed <- false;
+  t.fault <- None
+
+let frame record =
+  let payload = Wal_record.encode record in
+  let len = Bytes.length payload in
+  let framed = Bytes.create (8 + len) in
+  Bytes.set_int32_le framed 0 (Int32.of_int len);
+  Bytes.set_int32_le framed 4 (Int32.of_int (Checksum.bytes payload));
+  Bytes.blit payload 0 framed 8 len;
+  framed
+
+let append t record =
+  if t.is_crashed then raise Crashed;
+  (* Remember the geometry: truncation restarts the log with it. *)
+  (match record with
+  | Wal_record.Genesis { page_size } -> t.page_size <- Some page_size
+  | _ -> ());
+  let framed = frame record in
+  (match t.fault with
+  | Some f when f.remaining <= 0 ->
+      t.is_crashed <- true;
+      (match f.kind with
+      | Fail -> ()
+      | Torn ->
+          (* Half the frame reaches the log device: a torn tail. *)
+          Buffer.add_subbytes t.buf framed 0 (Bytes.length framed / 2));
+      raise Crashed
+  | Some f -> f.remaining <- f.remaining - 1
+  | None -> ());
+  Buffer.add_bytes t.buf framed;
+  t.appends <- t.appends + 1;
+  t.bytes_logged <- t.bytes_logged + Bytes.length framed
+
+let save_file t path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc t.buf);
+  Sys.rename tmp path
+
+let set_backing t path = t.backing <- path
+
+let sync t =
+  if t.is_crashed then raise Crashed;
+  t.syncs <- t.syncs + 1;
+  (* With a backing file, a sync is a real fsync-point: the log bytes
+     reach the filesystem, so a process crash loses at most the appends
+     since the last commit/checkpoint. *)
+  match t.backing with Some path -> save_file t path | None -> ()
+
+let tear t ~bytes =
+  let keep = max 0 (Buffer.length t.buf - bytes) in
+  let surviving = Buffer.sub t.buf 0 keep in
+  Buffer.clear t.buf;
+  Buffer.add_string t.buf surviving
+
+let truncate t =
+  if t.is_crashed then raise Crashed;
+  Buffer.clear t.buf;
+  t.truncations <- t.truncations + 1;
+  (match t.page_size with
+  | Some page_size -> append t (Wal_record.Genesis { page_size })
+  | None -> ());
+  match t.backing with Some path -> save_file t path | None -> ()
+
+(* Reading ------------------------------------------------------------------ *)
+
+type scan = {
+  records : Wal_record.t list;
+  torn_tail : bool;
+  valid_bytes : int;
+}
+
+let scan t =
+  let data = Buffer.to_bytes t.buf in
+  let total = Bytes.length data in
+  let records = ref [] in
+  let pos = ref 0 in
+  let torn = ref false in
+  (try
+     while !pos < total do
+       if total - !pos < 8 then begin
+         torn := true;
+         raise Exit
+       end;
+       let len = Int32.to_int (Bytes.get_int32_le data !pos) land 0xffffffff in
+       let sum = Int32.to_int (Bytes.get_int32_le data (!pos + 4)) land 0xffffffff in
+       if total - !pos - 8 < len then begin
+         torn := true;
+         raise Exit
+       end;
+       if Checksum.bytes ~pos:(!pos + 8) ~len data <> sum then begin
+         torn := true;
+         raise Exit
+       end;
+       (match Wal_record.decode (Bytes.sub data (!pos + 8) len) with
+       | record -> records := record :: !records
+       | exception R.Corrupt _ ->
+           torn := true;
+           raise Exit);
+       pos := !pos + 8 + len
+     done
+   with Exit -> ());
+  { records = List.rev !records; torn_tail = !torn; valid_bytes = !pos }
+
+let contents t = Buffer.to_bytes t.buf
+
+let restore_page_size t =
+  match scan t with
+  | { records = Wal_record.Genesis { page_size } :: _; _ } ->
+      t.page_size <- Some page_size
+  | _ -> ()
+
+let of_bytes data =
+  let t = create () in
+  Buffer.add_bytes t.buf data;
+  restore_page_size t;
+  t
+
+let load_file path =
+  let ic = open_in_bin path in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_bytes (Bytes.of_string data)
+
+(* Attachment --------------------------------------------------------------- *)
+
+(* A base backup: the store's full physical state journaled as if every
+   page and directory entry had just been written.  Needed when an empty
+   log is attached to a store that already has history (a recovered or
+   reloaded database): without it the log would not reach back to a
+   complete base and log-only rebuild would be impossible. *)
+let baseline t store =
+  let disk = Store.disk store in
+  Store.flush store;
+  append t (Wal_record.Genesis { page_size = Disk.page_size disk });
+  let allocated = (Disk.stats disk).Disk.allocated in
+  for page_no = 0 to allocated - 1 do
+    append t (Wal_record.Page_alloc { page_no });
+    append t (Wal_record.Page_write { page_no; image = Disk.read disk page_no })
+  done;
+  for id = 0 to Store.segment_count store - 1 do
+    append t (Wal_record.Segment_new { id });
+    Store.iter_segment store id (fun rid _ ->
+        append t (Wal_record.Record_put { rid }))
+  done;
+  match Store.catalog_page store with
+  | Some page -> append t (Wal_record.Catalog_set { page })
+  | None -> ()
+
+let attach_store t store =
+  let disk = Store.disk store in
+  t.page_size <- Some (Disk.page_size disk);
+  if Buffer.length t.buf = 0 then baseline t store;
+  Disk.set_observer disk
+    (Some (fun page_no image -> append t (Wal_record.Page_write { page_no; image })));
+  Disk.set_alloc_observer disk
+    (Some (fun page_no -> append t (Wal_record.Page_alloc { page_no })));
+  Store.set_journal store
+    (Some
+       (function
+       | Store.J_segment_new id -> append t (Wal_record.Segment_new { id })
+       | Store.J_record_put rid -> append t (Wal_record.Record_put { rid })
+       | Store.J_record_delete rid -> append t (Wal_record.Record_delete { rid })
+       | Store.J_catalog_set page -> append t (Wal_record.Catalog_set { page })))
+
+let attach ?snapshot_path t db =
+  attach_store t (Database.store db);
+  Database.set_wal_stats_source db (Some (fun () -> stats t));
+  Database.set_checkpoint_hook db
+    (Some
+       (function
+       | Database.Ckpt_begin -> append t Wal_record.Checkpoint_begin
+       | Database.Ckpt_end ->
+           (* Force: every dirty page reaches the disk (and hence the
+              log) before the checkpoint record seals the bracket. *)
+           let store = Database.store db in
+           Store.flush store;
+           (match snapshot_path with
+           | Some path -> Store.save_file store path
+           | None -> ());
+           append t Wal_record.Checkpoint;
+           sync t;
+           (* Truncation is only safe once a snapshot holds the
+              checkpointed state; without one the log stays the sole
+              recovery source and must keep its full history. *)
+           (match snapshot_path with Some _ -> truncate t | None -> ())))
+
+let log_commit t db ~tx ~touched =
+  List.iter
+    (fun oid ->
+      match Database.find db oid with
+      | Some inst ->
+          append t
+            (Wal_record.Obj_put
+               {
+                 tx;
+                 oid;
+                 cluster_with = inst.Instance.cluster_with;
+                 rrefs = Database.rrefs db oid;
+                 data = Codec.encode db inst;
+               })
+      | None -> append t (Wal_record.Obj_delete { tx; oid }))
+    (List.sort_uniq Oid.compare touched);
+  let next_oid, clock = Database.counters db in
+  append t
+    (Wal_record.Commit { tx; next_oid; clock; cc = Database.current_cc db });
+  sync t

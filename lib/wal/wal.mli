@@ -1,0 +1,122 @@
+(** The redo-only write-ahead log.
+
+    An append-only stream of length-prefixed, checksummed
+    {!Wal_record.t} frames ([len:u32le][adler32:u32le][payload]),
+    buffered in memory with explicit file save/load — the same
+    laptop-scale simulation stance as {!Orion_storage.Disk}, with the
+    same instrumentation philosophy: [syncs] counts the
+    fsync-equivalents a real log would pay (one per commit, one per
+    checkpoint).
+
+    {2 Protocol}
+
+    {!attach} wires a log under a database: every physical page write
+    and store-directory mutation is journaled as it happens, and
+    {!Orion_core.Persist.save} becomes a fuzzy checkpoint — bracketed by
+    [Checkpoint_begin]/[Checkpoint] records, snapshotted to
+    [?snapshot_path] (atomically, write-then-rename), and followed by a
+    log truncation.  Transaction commits append their after-images
+    through {!log_commit} (wired in {!Orion_tx.Tx_manager}).  Crash
+    semantics assume checkpoints run at transaction-quiescent points;
+    commit durability between checkpoints is entirely the log's.
+
+    {2 Crash injection}
+
+    {!inject_fault} arms the same fail-after-N / torn-write faults as
+    {!Orion_storage.Disk.inject_fault}, so a scripted crash can land
+    between any two appends or mid-frame; {!tear} chops bytes off the
+    tail after the fact.  {!scan} never raises on damage: it decodes
+    the longest intact prefix and reports [torn_tail]. *)
+
+open Orion_core
+module Store = Orion_storage.Store
+
+type t
+
+exception Crashed
+
+val create : unit -> t
+
+val append : t -> Wal_record.t -> unit
+(** @raise Crashed when an injected fault fires (a torn fault leaves a
+    partial frame on the log) or the log is already crashed. *)
+
+val sync : t -> unit
+(** Count one fsync-equivalent.  Without a backing file the in-memory
+    buffer is always "durable" and the counter is the cost model; with
+    one ({!set_backing}) the log is also written out, making the sync a
+    real persistence point. *)
+
+val set_backing : t -> string option -> unit
+(** File the log is saved to on every {!sync} and {!truncate} (the CLI's
+    [--wal] mode); [None] reverts to in-memory only. *)
+
+val size : t -> int
+(** Bytes currently in the log. *)
+
+val stats : t -> Database.wal_stats
+
+val truncate : t -> unit
+(** Drop every record and restart the log with a fresh [Genesis]
+    (called after a checkpoint's snapshot is durable). *)
+
+(** {1 Crash injection} *)
+
+val inject_fault : t -> [ `Fail_after of int | `Torn_after of int ] option -> unit
+(** [`Fail_after n]: the next [n] appends succeed, the one after raises
+    {!Crashed} leaving the log unchanged.  [`Torn_after n]: same, but
+    half of the failing frame reaches the log (a torn tail). *)
+
+val crashed : t -> bool
+val revive : t -> unit
+
+val tear : t -> bytes:int -> unit
+(** Chop the last [bytes] bytes off the log (simulates losing the tail
+    of the log device). *)
+
+(** {1 Reading} *)
+
+type scan = {
+  records : Wal_record.t list;  (** longest intact prefix, in order *)
+  torn_tail : bool;  (** a truncated / checksum-failed frame was hit *)
+  valid_bytes : int;  (** bytes covered by [records] *)
+}
+
+val scan : t -> scan
+
+val contents : t -> bytes
+val of_bytes : bytes -> t
+(** The surviving log image, e.g. carried across a simulated crash. *)
+
+val save_file : t -> string -> unit
+(** Atomic (write-then-rename), like {!Orion_storage.Store.save_file}. *)
+
+val load_file : string -> t
+(** Never raises on a damaged tail — damage surfaces in {!scan}. *)
+
+(** {1 Attachment} *)
+
+val attach : ?snapshot_path:string -> t -> Database.t -> unit
+(** Journal every storage write of [db]'s store into the log (appending
+    a [Genesis] record if the log is empty), publish WAL counters into
+    {!Orion_core.Database.stats}, and hook the checkpoint protocol into
+    {!Orion_core.Persist.save}: with [?snapshot_path] the store is saved
+    there and the log truncated once the checkpoint completes; without
+    it the log is retained whole (recovery can then rebuild the store
+    from the log alone).  Attaching an empty log to a store that already
+    has history first journals a {e base backup} — every page and
+    directory entry — so the log always reaches back to a complete base.
+    A database carrying un-checkpointed state (one just returned by
+    [Recovery.replay]) must be checkpointed after attach before the old
+    log is discarded: the base backup captures the store, not the
+    in-memory workspace. *)
+
+val attach_store : t -> Store.t -> unit
+(** The storage-level half of {!attach} (no checkpoint hook, no stats
+    publication) — enough to journal a bare store. *)
+
+val log_commit : t -> Database.t -> tx:int -> touched:Oid.t list -> unit
+(** Append the after-image ([Obj_put]) or tombstone ([Obj_delete]) of
+    every touched object, seal them with a [Commit] carrying the
+    database counters, and {!sync}.  Called by
+    {!Orion_tx.Tx_manager.commit}. *)

@@ -1,0 +1,157 @@
+open Orion_core
+module Store = Orion_storage.Store
+module W = Orion_storage.Bytes_rw.Writer
+module R = Orion_storage.Bytes_rw.Reader
+
+type t =
+  | Genesis of { page_size : int }
+  | Page_alloc of { page_no : int }
+  | Page_write of { page_no : int; image : bytes }
+  | Segment_new of { id : int }
+  | Record_put of { rid : Store.rid }
+  | Record_delete of { rid : Store.rid }
+  | Catalog_set of { page : int }
+  | Obj_put of {
+      tx : int;
+      oid : Oid.t;
+      cluster_with : Oid.t option;
+      rrefs : Rref.t list;
+      data : bytes;
+    }
+  | Obj_delete of { tx : int; oid : Oid.t }
+  | Commit of { tx : int; next_oid : int; clock : int; cc : int }
+  | Checkpoint_begin
+  | Checkpoint
+
+let write_rid w (rid : Store.rid) =
+  W.int w rid.Store.segment;
+  W.int w rid.Store.page;
+  W.int w rid.Store.slot
+
+let read_rid r : Store.rid =
+  let segment = R.int r in
+  let page = R.int r in
+  let slot = R.int r in
+  { Store.segment; page; slot }
+
+let write_rref w (rref : Rref.t) =
+  W.int w (Oid.to_int rref.Rref.parent);
+  W.string w rref.Rref.attr;
+  W.bool w rref.Rref.exclusive;
+  W.bool w rref.Rref.dependent
+
+let read_rref r : Rref.t =
+  let parent = Oid.of_int (R.int r) in
+  let attr = R.string r in
+  let exclusive = R.bool r in
+  let dependent = R.bool r in
+  { Rref.parent; attr; exclusive; dependent }
+
+let encode record =
+  let w = W.create () in
+  (match record with
+  | Genesis { page_size } ->
+      W.u8 w 0;
+      W.int w page_size
+  | Page_alloc { page_no } ->
+      W.u8 w 1;
+      W.int w page_no
+  | Page_write { page_no; image } ->
+      W.u8 w 2;
+      W.int w page_no;
+      W.string w (Bytes.to_string image)
+  | Segment_new { id } ->
+      W.u8 w 3;
+      W.int w id
+  | Record_put { rid } ->
+      W.u8 w 4;
+      write_rid w rid
+  | Record_delete { rid } ->
+      W.u8 w 5;
+      write_rid w rid
+  | Catalog_set { page } ->
+      W.u8 w 6;
+      W.int w page
+  | Obj_put { tx; oid; cluster_with; rrefs; data } ->
+      W.u8 w 7;
+      W.int w tx;
+      W.int w (Oid.to_int oid);
+      (match cluster_with with
+      | None -> W.bool w false
+      | Some p ->
+          W.bool w true;
+          W.int w (Oid.to_int p));
+      W.int w (List.length rrefs);
+      List.iter (write_rref w) rrefs;
+      W.string w (Bytes.to_string data)
+  | Obj_delete { tx; oid } ->
+      W.u8 w 8;
+      W.int w tx;
+      W.int w (Oid.to_int oid)
+  | Commit { tx; next_oid; clock; cc } ->
+      W.u8 w 9;
+      W.int w tx;
+      W.int w next_oid;
+      W.int w clock;
+      W.int w cc
+  | Checkpoint_begin -> W.u8 w 10
+  | Checkpoint -> W.u8 w 11);
+  W.contents w
+
+let decode payload =
+  let r = R.of_bytes payload in
+  match R.u8 r with
+  | 0 -> Genesis { page_size = R.int r }
+  | 1 -> Page_alloc { page_no = R.int r }
+  | 2 ->
+      let page_no = R.int r in
+      let image = Bytes.of_string (R.string r) in
+      Page_write { page_no; image }
+  | 3 -> Segment_new { id = R.int r }
+  | 4 -> Record_put { rid = read_rid r }
+  | 5 -> Record_delete { rid = read_rid r }
+  | 6 -> Catalog_set { page = R.int r }
+  | 7 ->
+      let tx = R.int r in
+      let oid = Oid.of_int (R.int r) in
+      let cluster_with = if R.bool r then Some (Oid.of_int (R.int r)) else None in
+      let nrrefs = R.int r in
+      let rrefs = List.init nrrefs (fun _ -> read_rref r) in
+      let data = Bytes.of_string (R.string r) in
+      Obj_put { tx; oid; cluster_with; rrefs; data }
+  | 8 ->
+      let tx = R.int r in
+      let oid = Oid.of_int (R.int r) in
+      Obj_delete { tx; oid }
+  | 9 ->
+      let tx = R.int r in
+      let next_oid = R.int r in
+      let clock = R.int r in
+      let cc = R.int r in
+      Commit { tx; next_oid; clock; cc }
+  | 10 -> Checkpoint_begin
+  | 11 -> Checkpoint
+  | tag -> raise (R.Corrupt (Printf.sprintf "bad wal record tag %d" tag))
+
+let describe = function
+  | Genesis { page_size } -> Printf.sprintf "genesis page_size=%d" page_size
+  | Page_alloc { page_no } -> Printf.sprintf "page-alloc %d" page_no
+  | Page_write { page_no; image } ->
+      Printf.sprintf "page-write %d (%d bytes)" page_no (Bytes.length image)
+  | Segment_new { id } -> Printf.sprintf "segment-new %d" id
+  | Record_put { rid } ->
+      Printf.sprintf "record-put %d/%d/%d" rid.Store.segment rid.Store.page
+        rid.Store.slot
+  | Record_delete { rid } ->
+      Printf.sprintf "record-delete %d/%d/%d" rid.Store.segment rid.Store.page
+        rid.Store.slot
+  | Catalog_set { page } -> Printf.sprintf "catalog-set %d" page
+  | Obj_put { tx; oid; data; _ } ->
+      Printf.sprintf "obj-put tx=%d oid=%d (%d bytes)" tx (Oid.to_int oid)
+        (Bytes.length data)
+  | Obj_delete { tx; oid } ->
+      Printf.sprintf "obj-delete tx=%d oid=%d" tx (Oid.to_int oid)
+  | Commit { tx; next_oid; clock; cc } ->
+      Printf.sprintf "commit tx=%d next_oid=%d clock=%d cc=%d" tx next_oid clock cc
+  | Checkpoint_begin -> "checkpoint-begin"
+  | Checkpoint -> "checkpoint"

@@ -1,0 +1,50 @@
+(** Redo-log record types and their binary codec.
+
+    Two granularities share the stream.  {e Physical} records mirror the
+    storage layer ([Page_alloc]/[Page_write] from the disk observer,
+    [Segment_new]/[Record_put]/[Record_delete]/[Catalog_set] from the
+    store journal): replaying them rebuilds a {!Orion_storage.Store}
+    bit-for-bit up to the last flush.  {e Logical} records carry
+    transaction durability ([Obj_put]/[Obj_delete] after-images sealed
+    by a [Commit]): the store only absorbs workspace changes at
+    checkpoint time, so between checkpoints a committed transaction
+    exists nowhere but in these records.
+
+    [Checkpoint_begin]/[Checkpoint] bracket a {!Orion_core.Persist.save}:
+    recovery discards an unterminated bracket (the crashed checkpoint's
+    half-applied store writes) and the truncation protocol drops
+    everything once the bracket closes over a durable snapshot. *)
+
+open Orion_core
+module Store = Orion_storage.Store
+
+type t =
+  | Genesis of { page_size : int }
+      (** First record of every log: the disk geometry replay needs. *)
+  | Page_alloc of { page_no : int }
+  | Page_write of { page_no : int; image : bytes }
+  | Segment_new of { id : int }
+  | Record_put of { rid : Store.rid }
+  | Record_delete of { rid : Store.rid }
+  | Catalog_set of { page : int }
+  | Obj_put of {
+      tx : int;
+      oid : Oid.t;
+      cluster_with : Oid.t option;
+      rrefs : Rref.t list;
+      data : bytes;  (** {!Orion_core.Codec}-encoded after-image *)
+    }
+  | Obj_delete of { tx : int; oid : Oid.t }
+  | Commit of { tx : int; next_oid : int; clock : int; cc : int }
+      (** Seals the transaction's [Obj_*] records and carries the
+          database counters as of the commit. *)
+  | Checkpoint_begin
+  | Checkpoint
+
+val encode : t -> bytes
+
+val decode : bytes -> t
+(** @raise Orion_storage.Bytes_rw.Reader.Corrupt on a malformed payload. *)
+
+val describe : t -> string
+(** One-line rendering for recovery reports and debugging. *)

@@ -1,0 +1,325 @@
+(* The crash matrix: scripted crashes at every interesting point of the
+   commit/checkpoint protocol, each followed by Recovery.replay, with
+   the recovered database checked for integrity and structural equality
+   against the last committed state.
+
+   The workload is deterministic (OIDs are allocation-ordered), so the
+   expected state is produced by replaying the same script up to the
+   last committed transaction on a fresh database — never by trusting
+   the crashed one. *)
+
+open Orion_core
+module A = Orion_schema.Attribute
+module D = Orion_schema.Domain
+module Schema = Orion_schema.Schema
+module Store = Orion_storage.Store
+module Disk = Orion_storage.Disk
+module Wal = Orion_wal.Wal
+module Recovery = Orion_wal.Recovery
+module Tx = Orion_tx.Tx_manager
+
+(* Structural equality of the committed state.  [rid] is deliberately
+   excluded: it is physical placement, and a recovered object keeps no
+   slot until the next checkpoint assigns one. *)
+let instance_equal (a : Instance.t) (b : Instance.t) =
+  let attrs (i : Instance.t) =
+    List.sort (fun (x, _) (y, _) -> String.compare x y) i.attrs
+  in
+  String.equal a.cls b.cls && a.kind = b.kind && a.cc = b.cc
+  && a.cluster_with = b.cluster_with
+  && List.length a.attrs = List.length b.attrs
+  && List.for_all2
+       (fun (n1, v1) (n2, v2) -> String.equal n1 n2 && Value.equal v1 v2)
+       (attrs a) (attrs b)
+
+let check_db_equal expected recovered =
+  Alcotest.(check int) "object count" (Database.count expected)
+    (Database.count recovered);
+  Database.iter expected (fun inst ->
+      match Database.find recovered inst.Instance.oid with
+      | None -> Alcotest.failf "lost %a" Oid.pp inst.Instance.oid
+      | Some got ->
+          if not (instance_equal inst got) then
+            Alcotest.failf "state of %a diverged:@.%a@.vs@.%a" Oid.pp
+              inst.Instance.oid Instance.pp inst Instance.pp got;
+          let rr (db : Database.t) oid =
+            List.sort compare (Database.rrefs db oid)
+          in
+          if rr expected inst.Instance.oid <> rr recovered inst.Instance.oid
+          then
+            Alcotest.failf "reverse references of %a diverged" Oid.pp
+              inst.Instance.oid);
+  let e_oid, e_clock = Database.counters expected in
+  let r_oid, r_clock = Database.counters recovered in
+  Alcotest.(check int) "next_oid" e_oid r_oid;
+  Alcotest.(check int) "clock" e_clock r_clock;
+  Alcotest.(check int) "change count" (Database.current_cc expected)
+    (Database.current_cc recovered)
+
+let check_integrity db =
+  match Integrity.check db with
+  | [] -> ()
+  | violations ->
+      Alcotest.failf "integrity: %a"
+        (Format.pp_print_list Integrity.pp_violation)
+        violations
+
+(* Scripted world ----------------------------------------------------------- *)
+
+type world = {
+  db : Database.t;
+  wal : Wal.t;
+  manager : Tx.t;
+  mutable roots : Oid.t list;  (** committed family roots, oldest first *)
+}
+
+let define_schema db =
+  let define name attrs =
+    ignore
+      (Schema.define (Database.schema db) ~name ~attributes:attrs ()
+        : Orion_schema.Class_def.t)
+  in
+  define "Leaf" [ A.make ~name:"Tag" ~domain:(D.Primitive D.P_integer) () ];
+  define "Node"
+    [
+      A.make ~name:"Kids" ~domain:(D.Class "Leaf") ~collection:A.Set
+        ~refkind:(A.composite ~exclusive:true ~dependent:true ())
+        ();
+    ]
+
+(* Seed objects, checkpoint once (recovery needs a catalog), then hand
+   out a transaction manager wired to the log. *)
+let boot ?snapshot_path () =
+  let db = Database.create () in
+  define_schema db;
+  let wal = Wal.create () in
+  Wal.attach ?snapshot_path wal db;
+  let root = Object_manager.create db ~cls:"Node" () in
+  ignore
+    (Object_manager.create db ~cls:"Leaf" ~parents:[ (root, "Kids") ]
+       ~attrs:[ ("Tag", Value.Int 0) ] ()
+      : Oid.t);
+  Persist.save db;
+  let manager = Tx.create ~wal db in
+  { db; wal; manager; roots = [ root ] }
+
+(* Committed transaction scripts, all deterministic. *)
+
+let tx_create w tag =
+  let tx = Tx.begin_tx w.manager in
+  let node = Tx.create_object w.manager tx ~cls:"Node" () in
+  for i = 1 to 2 do
+    ignore
+      (Tx.create_object w.manager tx ~cls:"Leaf" ~parents:[ (node, "Kids") ]
+         ~attrs:[ ("Tag", Value.Int (tag + i)) ] ()
+        : Oid.t)
+  done;
+  ignore (Tx.commit w.manager tx : int list);
+  w.roots <- w.roots @ [ node ]
+
+let tx_mutate w tag =
+  let tx = Tx.begin_tx w.manager in
+  let node = List.hd (List.rev w.roots) in
+  ignore
+    (Tx.create_object w.manager tx ~cls:"Leaf" ~parents:[ (node, "Kids") ]
+       ~attrs:[ ("Tag", Value.Int tag) ] ()
+      : Oid.t);
+  ignore (Tx.commit w.manager tx : int list)
+
+let tx_delete_oldest w =
+  let tx = Tx.begin_tx w.manager in
+  Tx.delete_object w.manager tx (List.hd w.roots);
+  ignore (Tx.commit w.manager tx : int list);
+  w.roots <- List.tl w.roots
+
+(* Run the numbered steps of the shared script. *)
+let run w steps =
+  List.iter
+    (fun step ->
+      match step with
+      | `Create tag -> tx_create w tag
+      | `Mutate tag -> tx_mutate w tag
+      | `Delete -> tx_delete_oldest w
+      | `Checkpoint -> Persist.save w.db)
+    steps
+
+(* The crashed log survives the crash; the in-memory database does not.
+   Recovery always starts from the surviving bytes alone. *)
+let recover ?snapshot w =
+  let survivor = Wal.of_bytes (Wal.contents w.wal) in
+  let db, stats = Recovery.replay ?snapshot survivor in
+  check_integrity db;
+  (db, stats)
+
+let expected steps =
+  let w = boot () in
+  run w steps;
+  w.db
+
+(* The matrix ---------------------------------------------------------------- *)
+
+(* Crash with committed transactions in the log and no checkpoint since:
+   durability is entirely the log's (log-only store rebuild). *)
+let test_crash_after_commit_record () =
+  let w = boot () in
+  run w [ `Create 10; `Mutate 99; `Delete ];
+  let db, stats = recover w in
+  check_db_equal (expected [ `Create 10; `Mutate 99; `Delete ]) db;
+  Alcotest.(check int) "three commits replayed" 3 stats.Recovery.committed_txs;
+  Alcotest.(check bool) "clean tail" false stats.Recovery.torn_tail
+
+(* Crash before the commit record reaches the log: the transaction never
+   happened, even though the crashed process had applied its mutations. *)
+let test_crash_before_commit_record () =
+  List.iter
+    (fun appends_before_crash ->
+      let w = boot () in
+      run w [ `Create 10 ];
+      Wal.inject_fault w.wal (Some (`Fail_after appends_before_crash));
+      let tx = Tx.begin_tx w.manager in
+      ignore
+        (Tx.create_object w.manager tx ~cls:"Leaf"
+           ~parents:[ (List.hd w.roots, "Kids") ]
+           ~attrs:[ ("Tag", Value.Int 77) ] ()
+          : Oid.t);
+      (try
+         ignore (Tx.commit w.manager tx : int list);
+         Alcotest.fail "commit must crash"
+       with Wal.Crashed -> ());
+      let db, stats = recover w in
+      check_db_equal (expected [ `Create 10 ]) db;
+      Alcotest.(check int) "only the sealed commit" 1
+        stats.Recovery.committed_txs;
+      Alcotest.(check bool) "after-images discarded" true
+        (stats.Recovery.objects_discarded > 0 || appends_before_crash = 0))
+    [ 0; 2 ]
+
+(* Crash in the middle of a checkpoint: the log holds an unterminated
+   Checkpoint_begin bracket whose store writes must not be redone. *)
+let test_crash_mid_checkpoint () =
+  let w = boot () in
+  run w [ `Create 10; `Mutate 99 ];
+  Disk.inject_fault (Store.disk (Database.store w.db)) (Some (`Fail_after 1));
+  (try
+     Persist.save w.db;
+     Alcotest.fail "checkpoint must crash"
+   with Disk.Crashed -> ());
+  let db, stats = recover w in
+  check_db_equal (expected [ `Create 10; `Mutate 99 ]) db;
+  Alcotest.(check bool) "unterminated bracket dropped" true
+    stats.Recovery.dropped_checkpoint
+
+(* Same crash, but the page dies torn: a prefix of the image reaches the
+   platter.  The log saw the full write first (write-ahead), so recovery
+   is unaffected. *)
+let test_crash_mid_checkpoint_torn_page () =
+  let w = boot () in
+  run w [ `Create 10 ];
+  Disk.inject_fault (Store.disk (Database.store w.db)) (Some (`Torn_after 0));
+  (try
+     Persist.save w.db;
+     Alcotest.fail "checkpoint must crash"
+   with Disk.Crashed -> ());
+  let db, _ = recover w in
+  check_db_equal (expected [ `Create 10 ]) db
+
+(* The log device loses its tail: the last commit's frame is damaged, so
+   that transaction is rolled forward no further than its predecessor. *)
+let test_torn_log_tail () =
+  let w = boot () in
+  run w [ `Create 10; `Mutate 99 ];
+  Wal.tear w.wal ~bytes:10;
+  let db, stats = recover w in
+  check_db_equal (expected [ `Create 10 ]) db;
+  Alcotest.(check bool) "tear detected" true stats.Recovery.torn_tail;
+  Alcotest.(check int) "last commit lost" 1 stats.Recovery.committed_txs
+
+(* A checkpoint between commits moves the base forward: recovery starts
+   from the rebuilt checkpoint state and replays only the tail. *)
+let test_checkpoint_then_commits () =
+  let script = [ `Create 10; `Checkpoint; `Mutate 99; `Delete ] in
+  let w = boot () in
+  run w script;
+  let db, stats = recover w in
+  check_db_equal (expected script) db;
+  Alcotest.(check int) "only post-checkpoint commits replayed" 2
+    stats.Recovery.committed_txs
+
+(* Snapshot mode: the checkpoint saves the store to a file and truncates
+   the log; recovery = snapshot + the short post-checkpoint tail. *)
+let test_snapshot_and_truncation () =
+  let path = Filename.temp_file "orion_snap" ".store" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let w = boot ~snapshot_path:path () in
+      run w [ `Create 10; `Checkpoint; `Mutate 99 ];
+      let stats = Database.stats w.db in
+      Alcotest.(check int) "two truncations (boot + checkpoint)" 2
+        stats.Database.wal.Database.truncations;
+      Alcotest.(check bool) "log stayed short" true (Wal.size w.wal < 4096);
+      let db, rstats =
+        recover ~snapshot:(Store.load_file path) w
+      in
+      check_db_equal (expected [ `Create 10; `Checkpoint; `Mutate 99 ]) db;
+      Alcotest.(check int) "only the tail replayed" 1
+        rstats.Recovery.committed_txs;
+      Alcotest.(check int) "no physical rebuild" 0 rstats.Recovery.pages_replayed)
+
+(* Nothing after the last checkpoint: recovery is exactly the snapshot. *)
+let test_snapshot_idle_crash () =
+  let path = Filename.temp_file "orion_snap" ".store" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let w = boot ~snapshot_path:path () in
+      run w [ `Create 10; `Checkpoint ];
+      let db, rstats = recover ~snapshot:(Store.load_file path) w in
+      check_db_equal (expected [ `Create 10 ]) db;
+      Alcotest.(check int) "nothing to replay" 0 rstats.Recovery.committed_txs)
+
+(* Replay is deterministic: recovering the recovered log's state again
+   (after re-attaching and checkpointing) yields the same database. *)
+let test_recover_checkpoint_recover () =
+  let w = boot () in
+  run w [ `Create 10; `Mutate 99 ];
+  let db1, _ = recover w in
+  (* Bring the recovered database back into full service: fresh log,
+     checkpoint, more work, crash again. *)
+  let wal2 = Wal.create () in
+  Wal.attach wal2 db1;
+  Persist.save db1;
+  let manager2 = Tx.create ~wal:wal2 db1 in
+  let w2 = { db = db1; wal = wal2; manager = manager2; roots = w.roots } in
+  tx_mutate w2 123;
+  let db2, _ = recover w2 in
+  check_integrity db2;
+  Alcotest.(check int) "second generation recovered" (Database.count db1)
+    (Database.count db2)
+
+let () =
+  Alcotest.run "orion_recovery"
+    [
+      ( "crash matrix",
+        [
+          Alcotest.test_case "crash after commit record" `Quick
+            test_crash_after_commit_record;
+          Alcotest.test_case "crash before commit record" `Quick
+            test_crash_before_commit_record;
+          Alcotest.test_case "crash mid-checkpoint" `Quick
+            test_crash_mid_checkpoint;
+          Alcotest.test_case "crash mid-checkpoint, torn page" `Quick
+            test_crash_mid_checkpoint_torn_page;
+          Alcotest.test_case "torn log tail" `Quick test_torn_log_tail;
+          Alcotest.test_case "checkpoint then commits" `Quick
+            test_checkpoint_then_commits;
+        ] );
+      ( "snapshot mode",
+        [
+          Alcotest.test_case "snapshot + truncation" `Quick
+            test_snapshot_and_truncation;
+          Alcotest.test_case "idle crash" `Quick test_snapshot_idle_crash;
+          Alcotest.test_case "recover, checkpoint, recover" `Quick
+            test_recover_checkpoint_recover;
+        ] );
+    ]

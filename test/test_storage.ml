@@ -242,6 +242,55 @@ let prop_page_roundtrip =
           | None -> false)
         inserted)
 
+(* Disk: write validation and crash injection ------------------------------- *)
+
+let test_disk_rejects_unallocated_write () =
+  let disk = Disk.create ~page_size:128 in
+  let image = Bytes.make 128 'x' in
+  (* Never-allocated page numbers must be rejected, not silently
+     materialized: a stray write would corrupt the allocation order the
+     recovery log replays. *)
+  Alcotest.check_raises "write to unallocated page"
+    (Invalid_argument "Disk.write: unallocated page 0") (fun () ->
+      Disk.write disk 0 image);
+  let p = Disk.alloc disk in
+  Disk.write disk p image;
+  Alcotest.check_raises "write past the high-water mark"
+    (Invalid_argument "Disk.write: unallocated page 7") (fun () ->
+      Disk.write disk 7 image);
+  Alcotest.check_raises "size mismatch still rejected"
+    (Invalid_argument "Disk.write: image size mismatch") (fun () ->
+      Disk.write disk p (Bytes.make 64 'x'))
+
+let test_disk_fail_after_fault () =
+  let disk = Disk.create ~page_size:128 in
+  let p = Disk.alloc disk in
+  Disk.inject_fault disk (Some (`Fail_after 1));
+  Disk.write disk p (Bytes.make 128 'a');
+  Alcotest.check_raises "second write crashes" Disk.Crashed (fun () ->
+      Disk.write disk p (Bytes.make 128 'b'));
+  Alcotest.(check bool) "crashed flag" true (Disk.crashed disk);
+  Alcotest.check_raises "reads refused after the crash" Disk.Crashed (fun () ->
+      ignore (Disk.read disk p : bytes));
+  Alcotest.check_raises "allocs refused after the crash" Disk.Crashed
+    (fun () -> ignore (Disk.alloc disk : int));
+  Disk.revive disk;
+  Alcotest.(check string) "failed write left the old image" "a"
+    (String.make 1 (Bytes.get (Disk.read disk p) 0))
+
+let test_disk_torn_write () =
+  let disk = Disk.create ~page_size:128 in
+  let p = Disk.alloc disk in
+  Disk.write disk p (Bytes.make 128 'a');
+  Disk.inject_fault disk (Some (`Torn_after 0));
+  Alcotest.check_raises "torn write crashes" Disk.Crashed (fun () ->
+      Disk.write disk p (Bytes.make 128 'b'));
+  Disk.revive disk;
+  let image = Disk.read disk p in
+  Alcotest.(check char) "prefix reached the platter" 'b' (Bytes.get image 0);
+  Alcotest.(check char) "tail kept the old content" 'a'
+    (Bytes.get image (128 - 1))
+
 let prop_varint_roundtrip =
   QCheck.Test.make ~name:"varint roundtrip" ~count:500 QCheck.int (fun n ->
       let w = Bytes_rw.Writer.create () in
@@ -258,6 +307,13 @@ let () =
           Alcotest.test_case "update" `Quick test_page_update;
           Alcotest.test_case "full page" `Quick test_page_full;
           QCheck_alcotest.to_alcotest prop_page_roundtrip;
+        ] );
+      ( "disk",
+        [
+          Alcotest.test_case "rejects unallocated writes" `Quick
+            test_disk_rejects_unallocated_write;
+          Alcotest.test_case "fail-after fault" `Quick test_disk_fail_after_fault;
+          Alcotest.test_case "torn write" `Quick test_disk_torn_write;
         ] );
       ( "buffer_pool",
         [

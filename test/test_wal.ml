@@ -1,0 +1,181 @@
+(* Unit tests for the write-ahead log: frame codec roundtrips, checksum
+   corruption detection, crash-fault injection, truncation and the stats
+   counters.  The crash matrix itself lives in test_recovery.ml. *)
+
+open Orion_core
+module Store = Orion_storage.Store
+module Wal = Orion_wal.Wal
+module Wal_record = Orion_wal.Wal_record
+module Checksum = Orion_wal.Checksum
+
+let rid segment page slot = { Store.segment; page; slot }
+
+let sample_records =
+  [
+    Wal_record.Genesis { page_size = 4096 };
+    Wal_record.Page_alloc { page_no = 3 };
+    Wal_record.Page_write { page_no = 3; image = Bytes.make 64 'x' };
+    Wal_record.Segment_new { id = 2 };
+    Wal_record.Record_put { rid = rid 1 4 9 };
+    Wal_record.Record_delete { rid = rid 0 0 0 };
+    Wal_record.Catalog_set { page = 17 };
+    Wal_record.Obj_put
+      {
+        tx = 5;
+        oid = Oid.of_int 42;
+        cluster_with = Some (Oid.of_int 7);
+        rrefs =
+          [
+            {
+              Rref.parent = Oid.of_int 7;
+              attr = "Kids";
+              exclusive = true;
+              dependent = false;
+            };
+          ];
+        data = Bytes.of_string "after-image";
+      };
+    Wal_record.Obj_delete { tx = 5; oid = Oid.of_int 41 };
+    Wal_record.Commit { tx = 5; next_oid = 43; clock = 12; cc = 2 };
+    Wal_record.Checkpoint_begin;
+    Wal_record.Checkpoint;
+  ]
+
+let test_record_roundtrip () =
+  List.iter
+    (fun record ->
+      let decoded = Wal_record.decode (Wal_record.encode record) in
+      Alcotest.(check string)
+        (Wal_record.describe record)
+        (Wal_record.describe record)
+        (Wal_record.describe decoded);
+      Alcotest.(check bool) "structurally equal" true (decoded = record))
+    sample_records
+
+let test_append_scan_roundtrip () =
+  let wal = Wal.create () in
+  List.iter (Wal.append wal) sample_records;
+  let { Wal.records; torn_tail; valid_bytes } = Wal.scan wal in
+  Alcotest.(check bool) "no torn tail" false torn_tail;
+  Alcotest.(check int) "all bytes valid" (Wal.size wal) valid_bytes;
+  Alcotest.(check bool) "records survive" true (records = sample_records)
+
+let test_checksum_detects_corruption () =
+  Alcotest.(check int) "adler of empty" 1 (Checksum.bytes Bytes.empty);
+  let wal = Wal.create () in
+  List.iter (Wal.append wal) sample_records;
+  let image = Wal.contents wal in
+  (* Flip one payload byte of the 4th frame: every frame before it must
+     survive the scan, everything from it on is the torn tail. *)
+  let skip_frames n =
+    let pos = ref 0 in
+    for _ = 1 to n do
+      pos := !pos + 8 + Int32.to_int (Bytes.get_int32_le image !pos)
+    done;
+    !pos
+  in
+  let victim = skip_frames 3 + 8 in
+  Bytes.set image victim (Char.chr (Char.code (Bytes.get image victim) lxor 0xff));
+  let { Wal.records; torn_tail; _ } = Wal.scan (Wal.of_bytes image) in
+  Alcotest.(check bool) "corruption detected" true torn_tail;
+  Alcotest.(check int) "intact prefix kept" 3 (List.length records)
+
+let test_torn_tail_scan () =
+  let wal = Wal.create () in
+  List.iter (Wal.append wal) sample_records;
+  Wal.tear wal ~bytes:5;
+  let { Wal.records; torn_tail; _ } = Wal.scan wal in
+  Alcotest.(check bool) "tear detected" true torn_tail;
+  Alcotest.(check int) "one frame lost" (List.length sample_records - 1)
+    (List.length records)
+
+let test_fail_after_fault () =
+  let wal = Wal.create () in
+  Wal.inject_fault wal (Some (`Fail_after 2));
+  Wal.append wal (Wal_record.Page_alloc { page_no = 0 });
+  Wal.append wal (Wal_record.Page_alloc { page_no = 1 });
+  let size_before = Wal.size wal in
+  Alcotest.check_raises "third append crashes" Wal.Crashed (fun () ->
+      Wal.append wal (Wal_record.Page_alloc { page_no = 2 }));
+  Alcotest.(check bool) "crashed flag" true (Wal.crashed wal);
+  Alcotest.(check int) "failed append left no bytes" size_before (Wal.size wal);
+  Alcotest.check_raises "still crashed" Wal.Crashed (fun () -> Wal.sync wal);
+  Wal.revive wal;
+  Wal.append wal (Wal_record.Page_alloc { page_no = 2 });
+  Alcotest.(check bool) "revived" false (Wal.crashed wal)
+
+let test_torn_after_fault () =
+  let wal = Wal.create () in
+  Wal.inject_fault wal (Some (`Torn_after 1));
+  Wal.append wal (Wal_record.Segment_new { id = 0 });
+  let size_before = Wal.size wal in
+  Alcotest.check_raises "second append tears" Wal.Crashed (fun () ->
+      Wal.append wal (Wal_record.Segment_new { id = 1 }));
+  Alcotest.(check bool) "partial frame reached the log" true
+    (Wal.size wal > size_before);
+  let { Wal.records; torn_tail; valid_bytes } = Wal.scan wal in
+  Alcotest.(check bool) "torn tail reported" true torn_tail;
+  Alcotest.(check int) "only the sealed record survives" 1 (List.length records);
+  Alcotest.(check int) "valid prefix stops before the tear" size_before
+    valid_bytes
+
+let test_truncate_and_stats () =
+  let wal = Wal.create () in
+  Wal.append wal (Wal_record.Genesis { page_size = 256 });
+  List.iter (Wal.append wal) (List.tl sample_records);
+  Wal.sync wal;
+  let before = Wal.stats wal in
+  Alcotest.(check int) "appends counted" (List.length sample_records)
+    before.Database.appends;
+  Alcotest.(check int) "bytes counted" (Wal.size wal) before.Database.bytes;
+  Alcotest.(check int) "syncs counted" 1 before.Database.syncs;
+  Wal.truncate wal;
+  let after = Wal.stats wal in
+  Alcotest.(check int) "truncation counted" 1 after.Database.truncations;
+  match Wal.scan wal with
+  | { Wal.records = [ Wal_record.Genesis { page_size } ]; torn_tail = false; _ }
+    ->
+      Alcotest.(check int) "geometry survives truncation" 256 page_size
+  | _ -> Alcotest.fail "truncated log must hold exactly one genesis record"
+
+let test_file_roundtrip () =
+  let wal = Wal.create () in
+  List.iter (Wal.append wal) sample_records;
+  Wal.tear wal ~bytes:3;
+  let path = Filename.temp_file "orion_wal" ".log" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Wal.save_file wal path;
+      let reloaded = Wal.load_file path in
+      Alcotest.(check bool) "bytes identical" true
+        (Wal.contents reloaded = Wal.contents wal);
+      let { Wal.records; torn_tail; _ } = Wal.scan reloaded in
+      Alcotest.(check bool) "tear survives the file" true torn_tail;
+      Alcotest.(check int) "records survive the file"
+        (List.length sample_records - 1)
+        (List.length records))
+
+let () =
+  Alcotest.run "orion_wal"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "record roundtrip" `Quick test_record_roundtrip;
+          Alcotest.test_case "append/scan roundtrip" `Quick
+            test_append_scan_roundtrip;
+          Alcotest.test_case "checksum detects corruption" `Quick
+            test_checksum_detects_corruption;
+          Alcotest.test_case "torn tail scan" `Quick test_torn_tail_scan;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "fail-after" `Quick test_fail_after_fault;
+          Alcotest.test_case "torn-after" `Quick test_torn_after_fault;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "truncate and stats" `Quick test_truncate_and_stats;
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+        ] );
+    ]
