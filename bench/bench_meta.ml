@@ -1,0 +1,67 @@
+(* Provenance block shared by every BENCH_*.json writer: when the
+   numbers were taken, from which commit, under which compiler.  Keeps
+   benchmark files comparable across PRs without consulting git log. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let utc_date () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let read_line_of path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> match input_line ic with line -> Some line | exception End_of_file -> None)
+
+(* Resolve HEAD by hand (no git subprocess): walk up to the enclosing
+   .git, then dereference one level of "ref: ..." indirection. *)
+let git_rev () =
+  let rec find_git dir =
+    if Sys.file_exists (Filename.concat dir ".git") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if String.equal parent dir then None else find_git parent
+  in
+  match find_git (Sys.getcwd ()) with
+  | None -> "unknown"
+  | Some root -> (
+      let git = Filename.concat root ".git" in
+      match read_line_of (Filename.concat git "HEAD") with
+      | None -> "unknown"
+      | Some head ->
+          let prefix = "ref: " in
+          if String.length head > String.length prefix
+             && String.sub head 0 (String.length prefix) = prefix
+          then
+            let ref_path =
+              String.sub head (String.length prefix)
+                (String.length head - String.length prefix)
+            in
+            Option.value ~default:"unknown"
+              (read_line_of (Filename.concat git ref_path))
+          else head)
+
+(* Append a "meta" JSON member (with trailing comma) to [buf], indented
+   to sit directly inside the top-level object. *)
+let add buf =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"meta\": { \"date\": \"%s\", \"git_rev\": \"%s\", \"ocaml\": \
+        \"%s\" },\n"
+       (escape (utc_date ()))
+       (escape (git_rev ()))
+       (escape Sys.ocaml_version))

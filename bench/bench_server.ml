@@ -1,0 +1,232 @@
+(* Multi-client throughput/latency benchmark for the network layer.
+
+   Spins up the single-threaded reactor on a Unix-domain socket and
+   drives it with 1, 8 and 32 concurrent clients under two workloads:
+
+   - conflict-heavy: every transaction takes the X composite lock on
+     one shared Assembly root before appending a Part, so commits are
+     strictly serialized and most sessions spend their time parked;
+   - disjoint: each client owns a private root, so transactions never
+     contend and the bench measures raw reactor/protocol overhead.
+
+   Each op is one transaction (begin, lock-composite, make, commit);
+   latency is wall time per op including deadlock/timeout retries.
+   `--json PATH` writes BENCH_PR3.json-style output, `--quick` trims
+   the op counts to a smoke-test size. *)
+
+module Eval = Orion_dsl.Eval
+module Server = Orion_server.Server
+module Client = Orion_client
+module Message = Orion_protocol.Message
+module Addr = Orion_protocol.Addr
+module Oid = Orion_core.Oid
+module Value = Orion_core.Value
+
+let schema_forms =
+  {|
+(make-class 'Part :attributes ((Name :domain String)))
+(make-class 'Assembly :attributes (
+  (Parts :domain (set-of Part) :composite true :exclusive true :dependent true)))
+|}
+
+let temp_dir () =
+  let dir = Filename.temp_file "orion_bench_server" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  dir
+
+type result = {
+  workload : string;
+  clients : int;
+  ops : int;
+  elapsed_s : float;
+  throughput : float; (* ops/s *)
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  max_ms : float;
+  retries : int;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+(* One scenario on a fresh server: [clients] threads each running
+   [ops_per_client] append transactions against either one shared root
+   or a per-client root. *)
+let run_scenario ~workload ~clients ~ops_per_client =
+  let dir = temp_dir () in
+  let sock = Filename.concat dir "bench.sock" in
+  let env = Eval.create_env () in
+  ignore (Eval.eval_program env schema_forms : Eval.v list);
+  let server = Server.create env (Addr.Unix_path sock) in
+  let thread = Thread.create Server.run server in
+  let addr = Addr.Unix_path sock in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Thread.join thread;
+      (try Sys.remove sock with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      let setup = Client.connect ~client_name:"bench-setup" addr in
+      let shared_root =
+        match Client.eval setup "(make Assembly)" with
+        | Message.Obj oid -> oid
+        | _ -> failwith "make Assembly"
+      in
+      let roots =
+        Array.init clients (fun _ ->
+            match workload with
+            | "conflict-heavy" -> shared_root
+            | _ -> (
+                match Client.eval setup "(make Assembly)" with
+                | Message.Obj oid -> oid
+                | _ -> failwith "make Assembly"))
+      in
+      Client.close setup;
+      let latencies = Array.make (clients * ops_per_client) 0.0 in
+      let retries = Array.make clients 0 in
+      let failures = Queue.create () in
+      let failures_mu = Mutex.create () in
+      let worker i () =
+        try
+          let c = Client.connect ~client_name:"bench" addr in
+          let root = roots.(i) in
+          for j = 0 to ops_per_client - 1 do
+            let t0 = Unix.gettimeofday () in
+            let rec attempt budget =
+              ignore (Client.begin_tx c : int);
+              match
+                Client.lock_composite c ~root Message.Update;
+                ignore
+                  (Client.make c ~cls:"Part" ~parents:[ (root, "Parts") ]
+                     ~attrs:[ ("Name", Value.Str (Printf.sprintf "p-%d-%d" i j)) ]
+                     ()
+                    : Oid.t);
+                Client.commit c
+              with
+              | () -> ()
+              | exception Client.Error ((Message.Conflict | Message.Timeout), _)
+                when budget > 0 ->
+                  retries.(i) <- retries.(i) + 1;
+                  attempt (budget - 1)
+            in
+            attempt 20;
+            latencies.((i * ops_per_client) + j) <- Unix.gettimeofday () -. t0
+          done;
+          Client.close c
+        with e ->
+          Mutex.lock failures_mu;
+          Queue.push (i, Printexc.to_string e) failures;
+          Mutex.unlock failures_mu
+      in
+      let t_start = Unix.gettimeofday () in
+      let threads = List.init clients (fun i -> Thread.create (worker i) ()) in
+      List.iter Thread.join threads;
+      let elapsed = Unix.gettimeofday () -. t_start in
+      (match Queue.peek_opt failures with
+      | Some (i, msg) -> failwith (Printf.sprintf "client %d failed: %s" i msg)
+      | None -> ());
+      let total_ops = clients * ops_per_client in
+      (* Serializability spot-check rides along for free: every append
+         must be visible exactly once. *)
+      let check = Client.connect ~client_name:"bench-check" addr in
+      let seen =
+        Array.fold_left
+          (fun acc root ->
+            if List.mem root acc then acc else root :: acc)
+          [] roots
+        |> List.fold_left
+             (fun acc root -> acc + List.length (Client.components_of check root))
+             0
+      in
+      Client.close check;
+      if seen <> total_ops then
+        failwith
+          (Printf.sprintf "lost updates: %d parts visible, %d committed" seen
+             total_ops);
+      let sorted = Array.copy latencies in
+      Array.sort Float.compare sorted;
+      let mean =
+        Array.fold_left ( +. ) 0.0 latencies /. float_of_int total_ops
+      in
+      {
+        workload;
+        clients;
+        ops = total_ops;
+        elapsed_s = elapsed;
+        throughput = float_of_int total_ops /. elapsed;
+        mean_ms = mean *. 1e3;
+        p50_ms = percentile sorted 0.50 *. 1e3;
+        p95_ms = percentile sorted 0.95 *. 1e3;
+        max_ms = sorted.(total_ops - 1) *. 1e3;
+        retries = Array.fold_left ( + ) 0 retries;
+      })
+
+let write_json ~path results =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"orion-bench-server-v1\",\n";
+  Bench_meta.add buf;
+  Buffer.add_string buf "  \"results\": {\n";
+  let workloads = [ "conflict-heavy"; "disjoint" ] in
+  List.iteri
+    (fun wi workload ->
+      Buffer.add_string buf (Printf.sprintf "    \"%s\": {\n" workload);
+      let rows = List.filter (fun r -> r.workload = workload) results in
+      List.iteri
+        (fun i r ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "      \"clients-%d\": { \"ops\": %d, \"elapsed_s\": %.3f, \
+                \"throughput_ops_per_s\": %.1f, \"latency_ms\": { \"mean\": \
+                %.3f, \"p50\": %.3f, \"p95\": %.3f, \"max\": %.3f }, \
+                \"retries\": %d }%s\n"
+               r.clients r.ops r.elapsed_s r.throughput r.mean_ms r.p50_ms
+               r.p95_ms r.max_ms r.retries
+               (if i = List.length rows - 1 then "" else ",")))
+        rows;
+      Buffer.add_string buf
+        (Printf.sprintf "    }%s\n"
+           (if wi = List.length workloads - 1 then "" else ",")))
+    workloads;
+  Buffer.add_string buf "  }\n";
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  Printf.printf "\nwrote %s\n%!" path
+
+let () =
+  let quick = Array.exists (String.equal "--quick") Sys.argv in
+  let json_path =
+    let rec scan i =
+      if i >= Array.length Sys.argv - 1 then None
+      else if String.equal Sys.argv.(i) "--json" then Some Sys.argv.(i + 1)
+      else scan (i + 1)
+    in
+    scan 1
+  in
+  let ops_per_client = if quick then 4 else 40 in
+  let client_counts = if quick then [ 1; 8 ] else [ 1; 8; 32 ] in
+  print_endline "=== Network server bench: multi-client transactions ===";
+  Printf.printf "%d ops/client, one transaction per op\n%!" ops_per_client;
+  let results =
+    List.concat_map
+      (fun workload ->
+        List.map
+          (fun clients ->
+            let r = run_scenario ~workload ~clients ~ops_per_client in
+            Printf.printf
+              "%-15s %2d clients: %7.1f ops/s  mean %6.2f ms  p95 %7.2f ms  \
+               (%d retries)\n%!"
+              workload clients r.throughput r.mean_ms r.p95_ms r.retries;
+            r)
+          client_counts)
+      [ "conflict-heavy"; "disjoint" ]
+  in
+  match json_path with Some path -> write_json ~path results | None -> ()

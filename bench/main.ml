@@ -615,6 +615,7 @@ let write_bench_json ~path rows =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf "  \"schema\": \"orion-bench-v1\",\n";
+  Bench_meta.add buf;
   Buffer.add_string buf "  \"unit\": \"ns/op\",\n";
   Buffer.add_string buf "  \"results\": {\n";
   let n = List.length rows in

@@ -9,6 +9,9 @@ module Report = Orion_experiments.Report
 
 module Wal = Orion_wal.Wal
 module Recovery = Orion_wal.Recovery
+module Server = Orion_server.Server
+module Client = Orion_client
+module Message = Orion_protocol.Message
 
 let db_file =
   Arg.(
@@ -28,7 +31,10 @@ let wal_flag =
 
 let wal_path_of db_path = db_path ^ ".wal"
 
-let open_env ?(wal = false) db_file =
+(* Like {!open_env} but also hands back the attached log, which the
+   server threads through to {!Orion_tx.Tx_manager} for commit
+   logging. *)
+let open_env_log ?(wal = false) db_file =
   let env =
     match db_file with
     | Some path when Sys.file_exists path ->
@@ -37,25 +43,37 @@ let open_env ?(wal = false) db_file =
         Eval.create_env ~db ()
     | Some _ | None -> Eval.create_env ()
   in
-  (match (wal, db_file) with
-  | true, Some path ->
-      let wal_path = wal_path_of path in
-      if Sys.file_exists wal_path then begin
-        (* A clean shutdown removes the log, so a leftover one is the
-           evidence of a crash — refuse to clobber it. *)
-        Format.eprintf
-          "error: %s exists (crashed session?): run `orion recover %s` to \
-           keep its committed transactions, or delete it to discard them@."
-          wal_path path;
-        exit 1
-      end;
-      let log = Wal.create () in
-      Wal.attach ~snapshot_path:path log (Eval.database env);
-      Wal.set_backing log (Some wal_path);
-      Wal.sync log
-  | true, None -> Format.eprintf "warning: --wal without --db has no effect@."
-  | false, _ -> ());
-  env
+  let log =
+    match (wal, db_file) with
+    | true, Some path ->
+        let wal_path = wal_path_of path in
+        if Sys.file_exists wal_path then begin
+          (* A clean shutdown removes the log, so a leftover one is the
+             evidence of a crash — refuse to clobber it. *)
+          Format.eprintf
+            "error: %s exists (crashed session?): run `orion recover %s` to \
+             keep its committed transactions, or delete it to discard them@."
+            wal_path path;
+          exit 1
+        end;
+        let log = Wal.create () in
+        Wal.attach ~snapshot_path:path log (Eval.database env);
+        Wal.set_backing log (Some wal_path);
+        Wal.sync log;
+        (* Initial checkpoint: recovery needs a snapshot file or a
+           sealed checkpoint bracket in the log, and a brand-new
+           database otherwise has neither until the first clean
+           shutdown — a crash before then would be unrecoverable. *)
+        Orion_core.Persist.save (Eval.database env);
+        Some log
+    | true, None ->
+        Format.eprintf "warning: --wal without --db has no effect@.";
+        None
+    | false, _ -> None
+  in
+  (env, log)
+
+let open_env ?wal db_file = fst (open_env_log ?wal db_file)
 
 let close_env ?(wal = false) env db_file =
   match db_file with
@@ -342,9 +360,178 @@ let stats_cmd =
        ~doc:"Summarize a database file (.odb) or the result of a program")
     Term.(const run $ file)
 
+let serve_cmd =
+  let db_pos =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"DB"
+          ~doc:
+            "Database file served: loaded if it exists, saved (checkpointed) \
+             on graceful shutdown.")
+  in
+  let socket =
+    Arg.(
+      value & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on a Unix-domain socket.")
+  in
+  let port =
+    Arg.(
+      value & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Listen on TCP 127.0.0.1:$(docv) (0 picks a free port).")
+  in
+  let max_sessions =
+    Arg.(
+      value & opt int Server.default_config.max_sessions
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:"Admission bound: refuse connections beyond $(docv) sessions.")
+  in
+  let lock_timeout =
+    Arg.(
+      value & opt float 30.
+      & info [ "lock-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Abort a transaction parked on a lock longer than this \
+             (0 disables the timeout).")
+  in
+  let run db_file wal socket port max_sessions lock_timeout =
+    let addr =
+      match (socket, port) with
+      | Some path, None -> Server.Unix_path path
+      | None, Some port -> Server.Tcp ("127.0.0.1", port)
+      | None, None -> Server.Tcp ("127.0.0.1", 6746)
+      | Some _, Some _ ->
+          Format.eprintf "error: --socket and --port are exclusive@.";
+          exit 2
+    in
+    let env, log = open_env_log ~wal db_file in
+    let config =
+      {
+        Server.default_config with
+        max_sessions;
+        lock_timeout = (if lock_timeout <= 0. then None else Some lock_timeout);
+      }
+    in
+    let server = Server.create ~config ?wal:log env addr in
+    let stop _ = Server.stop server in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Format.printf "orion server listening on %a@." Server.pp_addr
+      (Server.address server);
+    Server.run server;
+    (* Graceful exit: checkpoint and retire the log, exactly like the
+       REPL's clean shutdown.  A SIGKILL never reaches this line — that
+       is what `orion recover` is for. *)
+    close_env ~wal env db_file;
+    let st = Server.stats server in
+    Format.printf
+      "served %d sessions (%d refused), %d requests, %d lock waits, %d \
+       deadlock victims, %d lock timeouts@."
+      st.accepted st.rejected st.requests st.parked st.deadlock_victims
+      st.lock_timeouts
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a database to many clients over TCP or a Unix-domain socket")
+    Term.(
+      const run $ db_pos $ wal_flag $ socket $ port $ max_sessions
+      $ lock_timeout)
+
+let shell_cmd =
+  let connect =
+    Arg.(
+      required & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Server address: $(i,host:port), $(i,:port), a bare port, or a \
+             socket path.")
+  in
+  let run addr_string =
+    let addr =
+      try Orion_protocol.Addr.parse addr_string
+      with Invalid_argument msg ->
+        Format.eprintf "error: %s@." msg;
+        exit 2
+    in
+    let client =
+      try Client.connect ~client_name:"orion-shell" addr with
+      | Client.Error (code, msg) ->
+          Format.eprintf "error [%s]: %s@." (Message.err_code_to_string code) msg;
+          exit 1
+      | Unix.Unix_error (e, _, _) ->
+          Format.eprintf "error: cannot connect to %s: %s@." addr_string
+            (Unix.error_message e);
+          exit 1
+    in
+    Format.printf "connected to %s (session %d); (quit) to leave@." addr_string
+      (Client.session_id client);
+    let fmt = Format.std_formatter in
+    let print_notices () =
+      List.iter
+        (fun push ->
+          match push with
+          | Message.Deadlock_victim { msg; _ } -> Format.fprintf fmt "! %s@." msg
+          | Message.Goodbye { msg } -> Format.fprintf fmt "! server: %s@." msg)
+        (Client.notices client)
+    in
+    let rec session () =
+      Format.fprintf fmt "orion> %!";
+      match read_form "" with
+      | None -> Format.fprintf fmt "@."
+      | Some "" -> session ()
+      | Some src -> (
+          match String.trim src with
+          | "(quit)" | "(exit)" -> Format.fprintf fmt "bye@."
+          | trimmed -> (
+              (match
+                 match trimmed with
+                 | "(begin)" ->
+                     Format.fprintf fmt "transaction %d@." (Client.begin_tx client)
+                 | "(commit)" ->
+                     Client.commit client;
+                     Format.fprintf fmt "committed@."
+                 | "(abort)" ->
+                     Client.abort client;
+                     Format.fprintf fmt "aborted@."
+                 | "(ping)" ->
+                     Client.ping client;
+                     Format.fprintf fmt "pong@."
+                 | _ ->
+                     Format.fprintf fmt "%a@." Message.pp_v (Client.eval client src)
+               with
+              | () -> print_notices ()
+              | exception Client.Error (code, msg) ->
+                  print_notices ();
+                  Format.fprintf fmt "error [%s]: %s@."
+                    (Message.err_code_to_string code)
+                    msg);
+              session ()))
+    and read_form acc =
+      match input_line stdin with
+      | exception End_of_file -> if String.trim acc = "" then None else Some acc
+      | line ->
+          let acc = if acc = "" then line else acc ^ "\n" ^ line in
+          if Repl.balanced acc then Some acc
+          else begin
+            Format.fprintf fmt "  ...> %!";
+            read_form acc
+          end
+    in
+    (try session ()
+     with Client.Disconnected msg -> Format.fprintf fmt "disconnected: %s@." msg);
+    Client.close client
+  in
+  Cmd.v
+    (Cmd.info "shell"
+       ~doc:
+         "Interactive session against a running server, plus (begin), \
+          (commit), (abort) for transactions")
+    Term.(const run $ connect)
+
 let () =
   let doc = "Composite objects a la ORION (Kim, Bertino & Garza, SIGMOD 1989)" in
-  let info = Cmd.info "orion" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "orion" ~version:"1.2.0" ~doc in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval
@@ -357,4 +544,6 @@ let () =
             dump_cmd;
             stats_cmd;
             recover_cmd;
+            serve_cmd;
+            shell_cmd;
           ]))

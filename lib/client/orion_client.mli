@@ -1,0 +1,64 @@
+(** Blocking client for the ORION network server.
+
+    One connection, one request in flight at a time: each call frames a
+    {!Orion_protocol.Message.request}, writes it, and blocks until the
+    reply arrives.  Server pushes (deadlock-victim notifications,
+    shutdown notices) interleaved with the reply are collected; drain
+    them with {!notices}.
+
+    A [Lock_composite]/[Lock_instance] request the server parks simply
+    keeps this client blocked in {!lock_composite}/{!lock_instance}
+    until the lock is granted — or until the wait ends in a deadlock
+    abort ({!Error} with [Conflict]) or lock timeout ([Timeout]). *)
+
+open Orion_core
+module Message = Orion_protocol.Message
+module Addr = Orion_protocol.Addr
+
+type t
+
+exception Error of Message.err_code * string
+(** An error reply from the server.  After [Conflict] or [Timeout] the
+    transaction is already aborted server-side; the connection remains
+    usable and the client can retry with a fresh {!begin_tx}. *)
+
+exception Disconnected of string
+(** The connection died (EOF, reset, or a protocol-corrupt frame). *)
+
+val connect : ?client_name:string -> Addr.t -> t
+(** Dial, then perform the [Hello]/[Welcome] handshake.
+    @raise Error with [Unsupported_version] or [Too_many_sessions]
+    @raise Unix.Unix_error when the dial fails *)
+
+val session_id : t -> int
+val close : t -> unit
+(** Polite [Bye] (best effort), then close the socket. *)
+
+val eval : t -> string -> Message.v
+(** Evaluate DSL forms server-side; the value of the last form. *)
+
+val begin_tx : t -> int
+(** Open this session's transaction; its id. *)
+
+val commit : t -> unit
+val abort : t -> unit
+
+val lock_composite : t -> root:Oid.t -> Message.access -> unit
+(** Blocks until granted (see the module preamble for how waits end). *)
+
+val lock_instance : t -> Oid.t -> Message.access -> unit
+
+val make :
+  t ->
+  cls:string ->
+  ?parents:(Oid.t * string) list ->
+  ?attrs:(string * Value.t) list ->
+  unit ->
+  Oid.t
+
+val components_of : t -> Oid.t -> Oid.t list
+
+val ping : t -> unit
+
+val notices : t -> Message.push list
+(** Drain the pushes received so far, oldest first. *)

@@ -6,6 +6,13 @@
     the reverse reference list, which is what makes the paper's
     "object size increases" trade-off measurable (ablation A1). *)
 
+val write_value : Orion_storage.Bytes_rw.Writer.t -> Value.t -> unit
+(** The tagged value encoding, exposed for other framed formats (the
+    write-ahead log, the network wire protocol). *)
+
+val read_value : Orion_storage.Bytes_rw.Reader.t -> Value.t
+(** @raise Orion_storage.Bytes_rw.Reader.Corrupt on malformed input. *)
+
 val encode : Database.t -> Instance.t -> bytes
 
 val decode : bytes -> Instance.t

@@ -15,6 +15,22 @@ exception Eval_error of string
 
 let fail fmt = Format.kasprintf (fun msg -> raise (Eval_error msg)) fmt
 
+(* The five object mutations, pluggable so a host can route them
+   through a transaction (undo capture, WAL after-images) instead of
+   straight at the database — the network server does exactly that for
+   forms evaluated while the session has an open transaction. *)
+type mutator = {
+  m_create :
+    cls:string ->
+    parents:(Oid.t * string) list ->
+    attrs:(string * Value.t) list ->
+    Oid.t;
+  m_write_attr : Oid.t -> string -> Value.t -> unit;
+  m_make_component : parent:Oid.t -> attr:string -> child:Oid.t -> unit;
+  m_remove_component : parent:Oid.t -> attr:string -> child:Oid.t -> unit;
+  m_delete : Oid.t -> unit;
+}
+
 type env = {
   db : Database.t;
   evolution : Evolution.t;
@@ -23,6 +39,7 @@ type env = {
   notify : Notifier.t;
   watches : (string, Notifier.watch) Hashtbl.t;
   bindings : (string, Oid.t) Hashtbl.t;
+  mutable mutator : mutator option;
 }
 
 let create_env ?db () =
@@ -35,7 +52,35 @@ let create_env ?db () =
     notify = Notifier.create db;
     watches = Hashtbl.create 8;
     bindings = Hashtbl.create 32;
+    mutator = None;
   }
+
+let set_mutator env m = env.mutator <- m
+
+let obj_create env ~cls ~parents ~attrs =
+  match env.mutator with
+  | Some m -> m.m_create ~cls ~parents ~attrs
+  | None -> Object_manager.create env.db ~cls ~parents ~attrs ()
+
+let obj_write_attr env oid attr v =
+  match env.mutator with
+  | Some m -> m.m_write_attr oid attr v
+  | None -> Object_manager.write_attr env.db oid attr v
+
+let obj_make_component env ~parent ~attr ~child =
+  match env.mutator with
+  | Some m -> m.m_make_component ~parent ~attr ~child
+  | None -> Object_manager.make_component env.db ~parent ~attr ~child
+
+let obj_remove_component env ~parent ~attr ~child =
+  match env.mutator with
+  | Some m -> m.m_remove_component ~parent ~attr ~child
+  | None -> Object_manager.remove_component env.db ~parent ~attr ~child
+
+let obj_delete env oid =
+  match env.mutator with
+  | Some m -> m.m_delete oid
+  | None -> Object_manager.delete env.db oid
 
 let database env = env.db
 let evolution env = env.evolution
@@ -240,7 +285,7 @@ let eval_make env forms =
         else Some (key, value_of env form))
       kws
   in
-  Obj (Object_manager.create env.db ~cls ~parents ~attrs ())
+  Obj (obj_create env ~cls ~parents ~attrs)
 
 (* (components-of Object [ListofClasses] [Exclusive] [Shared] [Level]) *)
 let traversal_args env rest =
@@ -434,7 +479,7 @@ and eval_op env op rest =
   | "set-attr" -> (
       match rest with
       | [ obj; attr; v ] ->
-          Object_manager.write_attr env.db (object_of env obj) (symbol attr)
+          obj_write_attr env (object_of env obj) (symbol attr)
             (value_of env v);
           Unit
       | _ -> fail "bad set-attr")
@@ -454,21 +499,21 @@ and eval_op env op rest =
   | "add-component" -> (
       match rest with
       | [ parent; attr; child ] ->
-          Object_manager.make_component env.db ~parent:(object_of env parent)
+          obj_make_component env ~parent:(object_of env parent)
             ~attr:(symbol attr) ~child:(object_of env child);
           Unit
       | _ -> fail "bad add-component")
   | "remove-component" -> (
       match rest with
       | [ parent; attr; child ] ->
-          Object_manager.remove_component env.db ~parent:(object_of env parent)
+          obj_remove_component env ~parent:(object_of env parent)
             ~attr:(symbol attr) ~child:(object_of env child);
           Unit
       | _ -> fail "bad remove-component")
   | "delete" -> (
       match rest with
       | [ obj ] ->
-          Object_manager.delete env.db (object_of env obj);
+          obj_delete env (object_of env obj);
           Unit
       | _ -> fail "bad delete")
   | "components-of" -> (

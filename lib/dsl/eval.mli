@@ -42,3 +42,29 @@ val eval_program : env -> string -> v list
 
 val bind : env -> string -> Oid.t -> unit
 val lookup : env -> string -> Oid.t option
+
+(** {1 Pluggable mutations} *)
+
+type mutator = {
+  m_create :
+    cls:string ->
+    parents:(Oid.t * string) list ->
+    attrs:(string * Value.t) list ->
+    Oid.t;
+  m_write_attr : Oid.t -> string -> Value.t -> unit;
+  m_make_component : parent:Oid.t -> attr:string -> child:Oid.t -> unit;
+  m_remove_component : parent:Oid.t -> attr:string -> child:Oid.t -> unit;
+  m_delete : Oid.t -> unit;
+}
+(** The five object mutations the evaluator performs ([make],
+    [set-attr], [add-component], [remove-component], [delete]). *)
+
+val set_mutator : env -> mutator option -> unit
+(** Route the evaluator's object mutations through [m] instead of
+    straight at the database.  The network server installs a
+    transaction-routed mutator while a session holds an open
+    transaction, so evaluated forms get undo-on-abort and WAL
+    after-images like the typed wire requests; [None] (the default)
+    restores direct mutation.  Schema, evolution, version and
+    authorization commands are unaffected — they are non-transactional
+    everywhere, durable at the next checkpoint. *)

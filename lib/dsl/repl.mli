@@ -6,6 +6,11 @@
 val run : ?env:Eval.env -> in_channel -> out_channel -> unit
 (** Reads until EOF or [(quit)]. *)
 
+val balanced : string -> bool
+(** Whether every paren closes (string-literal aware) — the reader
+    keeps accepting lines until this holds.  Shared with the network
+    shell ([orion shell --connect]). *)
+
 val run_script : Eval.env -> string -> (Orion_util.Sexp.t * Eval.v) list
 (** Evaluate every form of a program text, returning (form, result)
     pairs — used by [orion run] and the examples. *)

@@ -169,7 +169,15 @@ let find_deadlock t =
   let txs =
     List.sort_uniq Int.compare (List.map (fun (tx, _, _) -> tx) (waiting t))
   in
-  let rec dfs path visited tx =
+  (* Transactions fully explored without finding a cycle.  The set is
+     shared across the whole search, not threaded per branch: a node
+     from which no cycle is reachable stays cycle-free however it is
+     reached again, so each node is expanded once and the search is
+     linear in the waits-for graph.  (Per-branch visited sets made this
+     exponential on the dense graphs a convoy of waiters produces —
+     waiter i blocked on the holder and every waiter ahead of it.) *)
+  let cleared = Hashtbl.create 16 in
+  let rec dfs path tx =
     if List.mem tx path then
       (* Cycle: the suffix of the path from the first occurrence. *)
       let rec suffix = function
@@ -177,15 +185,19 @@ let find_deadlock t =
         | x :: rest -> if x = tx then x :: rest else suffix rest
       in
       Some (suffix (List.rev path))
-    else if List.mem tx visited then None
+    else if Hashtbl.mem cleared tx then None
     else
-      List.fold_left
-        (fun acc next ->
-          match acc with Some _ -> acc | None -> dfs (tx :: path) (tx :: visited) next)
-        None (blocked_on t ~tx)
+      let result =
+        List.fold_left
+          (fun acc next ->
+            match acc with Some _ -> acc | None -> dfs (tx :: path) next)
+          None (blocked_on t ~tx)
+      in
+      (match result with None -> Hashtbl.replace cleared tx () | Some _ -> ());
+      result
   in
   List.fold_left
-    (fun acc tx -> match acc with Some _ -> acc | None -> dfs [] [] tx)
+    (fun acc tx -> match acc with Some _ -> acc | None -> dfs [] tx)
     None txs
 
 let stats (t : t) =

@@ -1,0 +1,32 @@
+type t = Tcp of string * int | Unix_path of string
+
+let pp ppf = function
+  | Tcp (host, port) -> Format.fprintf ppf "%s:%d" host port
+  | Unix_path path -> Format.pp_print_string ppf path
+
+let parse s =
+  if String.contains s '/' then Unix_path s
+  else
+    match String.rindex_opt s ':' with
+    | Some i ->
+        let host = String.sub s 0 i in
+        let host = if host = "" then "127.0.0.1" else host in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        (match int_of_string_opt port with
+        | Some port -> Tcp (host, port)
+        | None -> invalid_arg ("Addr.parse: bad port in " ^ s))
+    | None -> (
+        match int_of_string_opt s with
+        | Some port -> Tcp ("127.0.0.1", port)
+        | None -> invalid_arg ("Addr.parse: " ^ s))
+
+let domain = function Tcp _ -> Unix.PF_INET | Unix_path _ -> Unix.PF_UNIX
+
+let to_sockaddr = function
+  | Tcp (host, port) ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      Unix.ADDR_INET (inet, port)
+  | Unix_path path -> Unix.ADDR_UNIX path

@@ -1,0 +1,15 @@
+(** Server addresses, shared by {!Orion_server} and {!Orion_client}. *)
+
+type t = Tcp of string * int | Unix_path of string
+
+val pp : Format.formatter -> t -> unit
+
+val parse : string -> t
+(** ["host:port"], [":port"] (localhost), a bare port number, or a
+    filesystem path (anything containing [/]) as a Unix-domain socket.
+    @raise Invalid_argument on none of those. *)
+
+val domain : t -> Unix.socket_domain
+
+val to_sockaddr : t -> Unix.sockaddr
+(** Resolves a [Tcp] host name. *)

@@ -1,0 +1,65 @@
+module Checksum = Orion_wal.Checksum
+
+exception Corrupt of string
+
+let corrupt fmt = Format.kasprintf (fun msg -> raise (Corrupt msg)) fmt
+
+let header_size = 8
+
+let max_payload = 16 * 1024 * 1024
+
+let encode payload =
+  let len = Bytes.length payload in
+  if len > max_payload then corrupt "frame payload too large (%d bytes)" len;
+  let framed = Bytes.create (header_size + len) in
+  Bytes.set_int32_le framed 0 (Int32.of_int len);
+  Bytes.set_int32_le framed 4 (Int32.of_int (Checksum.bytes payload));
+  Bytes.blit payload 0 framed header_size len;
+  framed
+
+module Splitter = struct
+  (* A compacting accumulator: [buf.(pos .. len)] is the unconsumed
+     stream.  Consumed prefixes are dropped lazily, when the live
+     window is small relative to the dead one. *)
+  type t = { mutable buf : Bytes.t; mutable pos : int; mutable len : int }
+
+  let create () = { buf = Bytes.create 4096; pos = 0; len = 0 }
+
+  let buffered t = t.len - t.pos
+
+  let compact t =
+    if t.pos > 0 && (t.pos = t.len || t.pos >= Bytes.length t.buf / 2) then begin
+      let live = buffered t in
+      Bytes.blit t.buf t.pos t.buf 0 live;
+      t.pos <- 0;
+      t.len <- live
+    end
+
+  let feed t chunk ~len =
+    compact t;
+    let need = t.len + len in
+    if need > Bytes.length t.buf then begin
+      let cap = max need (2 * Bytes.length t.buf) in
+      let buf = Bytes.create cap in
+      Bytes.blit t.buf 0 buf 0 t.len;
+      t.buf <- buf
+    end;
+    Bytes.blit chunk 0 t.buf t.len len;
+    t.len <- t.len + len
+
+  let next t =
+    if buffered t < header_size then None
+    else begin
+      let len = Int32.to_int (Bytes.get_int32_le t.buf t.pos) land 0xffffffff in
+      let sum = Int32.to_int (Bytes.get_int32_le t.buf (t.pos + 4)) land 0xffffffff in
+      if len > max_payload then corrupt "bad frame length %d" len;
+      if buffered t < header_size + len then None
+      else begin
+        let payload = Bytes.sub t.buf (t.pos + header_size) len in
+        if Checksum.bytes payload <> sum then corrupt "frame checksum mismatch";
+        t.pos <- t.pos + header_size + len;
+        compact t;
+        Some payload
+      end
+    end
+end

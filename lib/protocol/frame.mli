@@ -1,0 +1,42 @@
+(** The wire framing: length-prefixed, checksummed byte frames.
+
+    A frame is [[len:u32le][adler32:u32le][payload]] — the same layout
+    as the write-ahead log ({!Orion_wal.Wal}), so a corrupted or
+    truncated stream is detected the same way: a length bound and an
+    Adler-32 over the payload.  What the payload means is
+    {!Message}'s business; framing is content-oblivious.
+
+    Unlike the log (parsed at rest), the wire arrives in arbitrary
+    chunks, so decoding is incremental: a {!Splitter} accumulates
+    bytes as [read(2)] delivers them and yields complete payloads. *)
+
+exception Corrupt of string
+(** An impossible length or a checksum mismatch.  The connection is
+    unrecoverable: framing has lost sync. *)
+
+val header_size : int
+(** Bytes of [len] + [checksum] preceding each payload (8). *)
+
+val max_payload : int
+(** Upper bound on a payload (16 MiB); larger lengths are {!Corrupt}
+    — they can only come from garbage or a hostile peer. *)
+
+val encode : bytes -> bytes
+(** Frame one payload.  @raise Corrupt when it exceeds {!max_payload}. *)
+
+(** Incremental decoder over a byte stream. *)
+module Splitter : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> bytes -> len:int -> unit
+  (** Append the first [len] bytes of the chunk to the stream. *)
+
+  val next : t -> bytes option
+  (** The next complete payload, if one is fully buffered.
+      @raise Corrupt on a bad length or checksum. *)
+
+  val buffered : t -> int
+  (** Bytes accumulated but not yet returned by {!next}. *)
+end

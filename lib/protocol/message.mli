@@ -1,0 +1,88 @@
+(** The request/response vocabulary of the ORION wire protocol.
+
+    One frame carries one message.  Client frames are {!request}s;
+    server frames are {!server_msg}s — either the {!reply} to the
+    oldest outstanding request (requests are answered in order) or an
+    unsolicited {!push} (deadlock-victim notification, shutdown
+    notice).
+
+    Version negotiation happens in-band: the first request on a
+    connection must be [Hello], and the server answers [Welcome] with
+    the negotiated version or [Error (Unsupported_version, _)].
+
+    Payload encoding uses {!Orion_storage.Bytes_rw} (zig-zag varints,
+    length-prefixed strings) and {!Orion_core.Codec}'s tagged value
+    encoding, the same primitives as the object store and the
+    write-ahead log. *)
+
+open Orion_core
+
+val version : int
+(** Current protocol version (1). *)
+
+type access = Read | Update
+
+type request =
+  | Hello of { version : int; client : string }
+  | Eval of string  (** one or more DSL forms, evaluated in order *)
+  | Begin
+  | Commit
+  | Abort
+  | Lock_composite of { root : Oid.t; access : access }
+  | Lock_instance of { oid : Oid.t; access : access }
+  | Make of {
+      cls : string;
+      parents : (Oid.t * string) list;
+      attrs : (string * Value.t) list;
+    }
+  | Components_of of Oid.t
+  | Ping
+  | Bye
+
+(** Result values, mirroring the REPL's: an object, a list of objects,
+    or a primitive. *)
+type v =
+  | Unit
+  | Bool of bool
+  | Num of int
+  | Str of string
+  | Obj of Oid.t
+  | Objs of Oid.t list
+
+type err_code =
+  | Unsupported_version
+  | Bad_request  (** malformed or out-of-place (e.g. [Commit] without [Begin]) *)
+  | Parse_error
+  | Eval_error
+  | Conflict  (** the transaction was aborted as a deadlock victim *)
+  | Timeout  (** a lock wait exceeded the server's lock timeout *)
+  | Too_many_sessions
+  | Queue_full
+  | Shutting_down
+
+type reply =
+  | Welcome of { version : int; session : int }
+  | Result of v
+  | Granted
+  | Pong
+  | Error of { code : err_code; msg : string }
+
+type push =
+  | Deadlock_victim of { tx : int; msg : string }
+  | Goodbye of { msg : string }  (** server is shutting down *)
+
+type server_msg = Reply of reply | Push of push
+
+val err_code_to_string : err_code -> string
+val pp_request : Format.formatter -> request -> unit
+val pp_v : Format.formatter -> v -> unit
+
+(** {1 Codec}
+
+    Decoders raise {!Orion_storage.Bytes_rw.Reader.Corrupt} on
+    malformed payloads. *)
+
+val encode_request : request -> bytes
+val decode_request : bytes -> request
+val encode_server : server_msg -> bytes
+val decode_server : bytes -> server_msg

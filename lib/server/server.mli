@@ -1,0 +1,86 @@
+(** The network server: a single-threaded reactor serving many clients
+    over one database.
+
+    The event loop multiplexes every connection with [Unix.select]; no
+    thread ever blocks on a lock.  Each connection is a {e session}
+    holding at most one open {!Orion_tx.Tx_manager} transaction.  A
+    lock request that comes back [`Blocked] {e parks} the session — the
+    request is left queued in the lock table, no reply is sent, and the
+    reactor moves on.  When another session's commit or abort unblocks
+    the transaction, the reactor re-polls the parked request and
+    answers [Granted].  Deadlock cycles are broken by aborting the
+    youngest transaction in the cycle; the victim's session is told
+    with a [Deadlock_victim] push (plus a [Conflict] error reply if it
+    was parked) and can retry.
+
+    Admission control: at most [max_sessions] concurrent sessions
+    (excess connections are refused with [Too_many_sessions]); at most
+    [queue_limit] decoded-but-unprocessed requests per session, after
+    which the reactor stops reading the socket (TCP backpressure).
+    A session parked longer than [lock_timeout] has its transaction
+    aborted and gets a [Timeout] error; a session idle longer than
+    [idle_timeout] is closed.
+
+    {!stop} drains the server: no new connections, every session gets a
+    [Goodbye] push, open transactions are aborted, buffered replies are
+    flushed, and {!run} returns — the caller then checkpoints the
+    database ({!Orion_core.Persist.save}) and retires the log, exactly
+    like a clean CLI exit.  {!kill} makes {!run} return without any of
+    that — it simulates a crash for recovery tests. *)
+
+type addr = Orion_protocol.Addr.t = Tcp of string * int | Unix_path of string
+
+val pp_addr : Format.formatter -> addr -> unit
+
+val parse_addr : string -> addr
+(** See {!Orion_protocol.Addr.parse}: ["host:port"], [":port"]
+    (localhost), a bare port number, or a filesystem path (anything
+    containing [/]) as a Unix-domain socket.
+    @raise Invalid_argument on none of those. *)
+
+type config = {
+  max_sessions : int;  (** admission bound (default 64) *)
+  queue_limit : int;  (** per-session pending-request bound (default 16) *)
+  idle_timeout : float option;  (** seconds; [None] = never (default) *)
+  lock_timeout : float option;  (** max lock wait (default [Some 30.]) *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> ?wal:Orion_wal.Wal.t -> Orion_dsl.Eval.env -> addr -> t
+(** Bind and listen.  The environment's database is the one served;
+    its bindings ([setq] names) are shared by every session.  [?wal]
+    is the log already attached to the database — transactions commit
+    through it ({!Orion_tx.Tx_manager}).
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val address : t -> addr
+(** The bound address — with [Tcp (host, 0)] the actual port. *)
+
+val run : t -> unit
+(** The reactor loop; returns after {!stop} or {!kill}.  Sets [SIGPIPE]
+    to ignore. *)
+
+val stop : t -> unit
+(** Begin graceful shutdown.  Callable from a signal handler or
+    another thread (it only writes to a self-pipe). *)
+
+val kill : t -> unit
+(** Make {!run} return as soon as possible without draining — the
+    simulated [kill -9] for crash-recovery tests. *)
+
+type stats = {
+  accepted : int;
+  rejected : int;  (** refused by admission control *)
+  requests : int;  (** requests processed *)
+  parked : int;  (** lock requests that parked their session *)
+  deadlock_victims : int;
+  lock_timeouts : int;
+  idle_closes : int;
+}
+
+val stats : t -> stats
+
+val session_count : t -> int

@@ -190,6 +190,10 @@ let delete_object t tx oid =
 
 let finish t tx state =
   tx.tx_state <- state;
+  (* Releasing also dequeues any lock request the transaction still has
+     queued, so finishing a [Blocked] transaction (deadlock victim,
+     wire-level cancel or lock timeout) leaves no orphan waiter to be
+     granted later. *)
   let unblocked = Lock_table.release_all t.table ~tx:tx.id in
   List.iter
     (fun id ->
@@ -197,9 +201,17 @@ let finish t tx state =
       | Some other when other.tx_state = Blocked -> other.tx_state <- Active
       | Some _ | None -> ())
     unblocked;
+  (* A finished transaction can never be woken again; dropping it keeps
+     the manager's footprint flat across a long-running server. *)
+  Hashtbl.remove t.txs tx.id;
   unblocked
 
 let commit t tx =
+  (match tx.tx_state with
+  | Active -> ()
+  | Blocked -> invalid_arg "Tx_manager.commit: transaction is blocked on a lock"
+  | Committed | Aborted ->
+      invalid_arg "Tx_manager.commit: transaction already finished");
   (* Durability point: after-images of everything this transaction may
      have touched (its undo-snapshot coverage plus its creations) reach
      the log, sealed by a commit record, before any lock is released.
@@ -212,13 +224,20 @@ let commit t tx =
   finish t tx Committed
 
 let abort t tx =
-  (* Restore first: an object created by this transaction may have been
-     captured by a later operation's snapshot, and restoring it after
-     removal would resurrect it. *)
-  Snapshot.restore tx.snapshot t.db;
-  List.iter
-    (fun oid -> if Database.exists t.db oid then Database.remove t.db oid)
-    tx.created;
-  finish t tx Aborted
+  match tx.tx_state with
+  | Committed | Aborted ->
+      (* Idempotent: a second abort (say a client cancel racing the
+         deadlock detector) must not restore the stale snapshot over
+         state other transactions have since committed. *)
+      []
+  | Active | Blocked ->
+      (* Restore first: an object created by this transaction may have
+         been captured by a later operation's snapshot, and restoring it
+         after removal would resurrect it. *)
+      Snapshot.restore tx.snapshot t.db;
+      List.iter
+        (fun oid -> if Database.exists t.db oid then Database.remove t.db oid)
+        tx.created;
+      finish t tx Aborted
 
 let find_deadlock t = Lock_table.find_deadlock t.table

@@ -77,10 +77,16 @@ val delete_object : t -> tx -> Oid.t -> unit
 (** {1 Completion} *)
 
 val commit : t -> tx -> int list
-(** Release locks; returns transactions unblocked by the release. *)
+(** Release locks; returns transactions unblocked by the release.
+    @raise Invalid_argument on a [Blocked] transaction (its lock
+    request is still queued — commit would break two-phase locking) or
+    an already-finished one. *)
 
 val abort : t -> tx -> int list
-(** Undo every update of the transaction (newest first), release
-    locks; returns unblocked transactions. *)
+(** Undo every update of the transaction (newest first), release locks
+    — including any still-queued lock request of a [Blocked]
+    transaction, which is dequeued without ever being granted; returns
+    unblocked transactions.  Aborting an already-finished transaction
+    is a no-op (the undo must not clobber state committed since). *)
 
 val find_deadlock : t -> int list option

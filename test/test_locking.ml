@@ -268,6 +268,36 @@ let prop_matrix_monotone =
           (not (LM.compat other b)) || LM.compat other a
       | _ -> true)
 
+(* Property: the printed name is a faithful key — [of_string] inverts
+   [to_string] for every mode, and unknown names are rejected. *)
+let prop_mode_string_roundtrip =
+  QCheck.Test.make ~name:"of_string inverts to_string" ~count:100
+    QCheck.(make QCheck.Gen.(oneofl LM.all))
+    (fun m -> LM.of_string (LM.to_string m) = Some m)
+
+(* Property: the A3 ablation is a true refinement — it admits every
+   pair the paper's matrix does, and (witnessed separately below)
+   strictly more. *)
+let prop_refined_admits_superset =
+  QCheck.Test.make ~name:"compat_refined admits a superset of compat" ~count:200
+    QCheck.(make QCheck.Gen.(pair (oneofl LM.all) (oneofl LM.all)))
+    (fun (a, b) -> (not (LM.compat a b)) || LM.compat_refined a b)
+
+let test_refined_strictly_refines () =
+  (* Strictness: at least one pair is admitted only by the refinement,
+     so the ablation is not vacuous. *)
+  let strict =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b ->
+            if LM.compat_refined a b && not (LM.compat a b) then Some (a, b)
+            else None)
+          LM.all)
+      LM.all
+  in
+  Alcotest.(check bool) "some pair admitted only by refined" true (strict <> [])
+
 let () =
   Alcotest.run "orion_locking"
     [
@@ -299,5 +329,12 @@ let () =
           Alcotest.test_case "hierarchy scans" `Quick test_hierarchy_scan_locks;
           Alcotest.test_case "implicit coverage" `Quick test_implicit_coverage;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_matrix_monotone ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_matrix_monotone;
+          QCheck_alcotest.to_alcotest prop_mode_string_roundtrip;
+          QCheck_alcotest.to_alcotest prop_refined_admits_superset;
+          Alcotest.test_case "refined strictly refines" `Quick
+            test_refined_strictly_refines;
+        ] );
     ]

@@ -161,6 +161,102 @@ let test_blocking_and_wakeup () =
   Alcotest.(check (list Alcotest.int)) "t2 woken" [ Tx.tx_id t2 ] unblocked;
   Alcotest.(check bool) "t2 active again" true (Tx.state t2 = Tx.Active)
 
+(* Regression: aborting a [Blocked] transaction must dequeue its
+   pending lock request — a wire-level cancel or lock timeout would
+   otherwise leave an orphan waiter that gets granted to a dead
+   transaction (and steals the grant from live ones behind it). *)
+let test_abort_blocked_dequeues_request () =
+  let db = fixture () in
+  let node = Object_manager.create db ~cls:"Node" () in
+  let manager = Tx.create db in
+  let t1 = Tx.begin_tx manager in
+  let t2 = Tx.begin_tx manager in
+  let t3 = Tx.begin_tx manager in
+  Alcotest.(check bool) "t1 X" true
+    (Tx.lock_instance manager t1 node Protocol.Update = `Granted);
+  Alcotest.(check bool) "t2 queues" true
+    (Tx.lock_instance manager t2 node Protocol.Update = `Blocked);
+  Alcotest.(check bool) "t3 queues behind t2" true
+    (Tx.lock_instance manager t3 node Protocol.Update = `Blocked);
+  (* Cancelling t2 while it is still queued grants nothing... *)
+  Alcotest.(check (list Alcotest.int)) "abort of queued t2 wakes nobody" []
+    (Tx.abort manager t2);
+  Alcotest.(check bool) "t2 aborted" true (Tx.state t2 = Tx.Aborted);
+  (* ...and t1's release must skip the dead waiter and wake t3. *)
+  Alcotest.(check (list Alcotest.int)) "commit wakes t3, not the dead t2"
+    [ Tx.tx_id t3 ] (Tx.commit manager t1);
+  Alcotest.(check bool) "t3 active" true (Tx.state t3 = Tx.Active);
+  ignore (Tx.commit manager t3 : int list)
+
+let test_commit_of_blocked_or_finished_raises () =
+  let db = fixture () in
+  let node = Object_manager.create db ~cls:"Node" () in
+  let manager = Tx.create db in
+  let t1 = Tx.begin_tx manager in
+  let t2 = Tx.begin_tx manager in
+  ignore (Tx.lock_instance manager t1 node Protocol.Update : [ `Granted | `Blocked ]);
+  ignore (Tx.lock_instance manager t2 node Protocol.Update : [ `Granted | `Blocked ]);
+  Alcotest.check_raises "commit while blocked"
+    (Invalid_argument "Tx_manager.commit: transaction is blocked on a lock")
+    (fun () -> ignore (Tx.commit manager t2 : int list));
+  ignore (Tx.commit manager t1 : int list);
+  ignore (Tx.commit manager t2 : int list);
+  Alcotest.check_raises "commit twice"
+    (Invalid_argument "Tx_manager.commit: transaction already finished")
+    (fun () -> ignore (Tx.commit manager t2 : int list))
+
+let test_double_abort_is_idempotent () =
+  let db = fixture () in
+  let leaf = Object_manager.create db ~cls:"Leaf" ~attrs:[ ("Tag", Value.Int 1) ] () in
+  let manager = Tx.create db in
+  let t1 = Tx.begin_tx manager in
+  Tx.write_attr manager t1 leaf "Tag" (Value.Int 2);
+  ignore (Tx.abort manager t1 : int list);
+  (* Another transaction commits a newer value... *)
+  let t2 = Tx.begin_tx manager in
+  Tx.write_attr manager t2 leaf "Tag" (Value.Int 3);
+  ignore (Tx.commit manager t2 : int list);
+  (* ...which a second abort of t1 (say a client cancel racing the
+     deadlock detector) must not clobber with its stale snapshot. *)
+  Alcotest.(check (list Alcotest.int)) "second abort is a no-op" []
+    (Tx.abort manager t1);
+  Alcotest.(check bool) "t2's commit survives" true
+    (Value.equal (Object_manager.read_attr db leaf "Tag") (Value.Int 3))
+
+(* End-to-end deadlock path at the manager level: detect the cycle,
+   abort the victim, verify the survivor is woken and can finish. *)
+let test_deadlock_victim_abort_wakes_survivor () =
+  let db = fixture () in
+  let a = Object_manager.create db ~cls:"Leaf" () in
+  let b = Object_manager.create db ~cls:"Leaf" () in
+  let manager = Tx.create db in
+  let t1 = Tx.begin_tx manager in
+  let t2 = Tx.begin_tx manager in
+  Alcotest.(check bool) "t1 X a" true
+    (Tx.lock_instance manager t1 a Protocol.Update = `Granted);
+  Alcotest.(check bool) "t2 X b" true
+    (Tx.lock_instance manager t2 b Protocol.Update = `Granted);
+  Alcotest.(check bool) "t1 waits for b" true
+    (Tx.lock_instance manager t1 b Protocol.Update = `Blocked);
+  Alcotest.(check bool) "no cycle yet" true (Tx.find_deadlock manager = None);
+  Alcotest.(check bool) "t2 waits for a" true
+    (Tx.lock_instance manager t2 a Protocol.Update = `Blocked);
+  let cycle =
+    match Tx.find_deadlock manager with
+    | Some cycle -> cycle
+    | None -> Alcotest.fail "deadlock undetected"
+  in
+  Alcotest.(check bool) "cycle is {t1,t2}" true
+    (List.sort compare cycle = [ Tx.tx_id t1; Tx.tx_id t2 ]);
+  (* The scheduler's victim policy: youngest in the cycle. *)
+  let victim = List.fold_left max min_int cycle in
+  Alcotest.(check int) "victim is the youngest" (Tx.tx_id t2) victim;
+  Alcotest.(check (list Alcotest.int)) "victim's release wakes t1"
+    [ Tx.tx_id t1 ] (Tx.abort manager t2);
+  Alcotest.(check bool) "t1 runnable" true (Tx.state t1 = Tx.Active);
+  Alcotest.(check bool) "cycle broken" true (Tx.find_deadlock manager = None);
+  ignore (Tx.commit manager t1 : int list)
+
 let test_lock_escalation () =
   let db = fixture () in
   let leaves = List.init 10 (fun _ -> Object_manager.create db ~cls:"Leaf" ()) in
@@ -324,6 +420,14 @@ let () =
           Alcotest.test_case "abort restores removal" `Quick
             test_abort_restores_remove_component;
           Alcotest.test_case "blocking and wakeup" `Quick test_blocking_and_wakeup;
+          Alcotest.test_case "abort of blocked dequeues request" `Quick
+            test_abort_blocked_dequeues_request;
+          Alcotest.test_case "commit guards" `Quick
+            test_commit_of_blocked_or_finished_raises;
+          Alcotest.test_case "double abort idempotent" `Quick
+            test_double_abort_is_idempotent;
+          Alcotest.test_case "deadlock victim abort wakes survivor" `Quick
+            test_deadlock_victim_abort_wakes_survivor;
           Alcotest.test_case "lock escalation" `Quick test_lock_escalation;
           Alcotest.test_case "escalation denied under contention" `Quick
             test_escalation_denied_under_contention;
