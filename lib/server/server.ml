@@ -212,6 +212,15 @@ let flush_out session =
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
       ->
         progress := false
+    | exception Unix.Unix_error _ ->
+        (* EPIPE/ECONNRESET and kin (SIGPIPE is ignored, so a write to
+           a vanished peer surfaces here): the pending output is
+           undeliverable.  Drop it and mark the session closing; the
+           reactor then destroys it — aborting its transaction — the
+           same way {!feed} handles read-side death. *)
+        Queue.clear session.out;
+        session.out_off <- 0;
+        session.closing <- true
   done
 
 (* Session lifecycle ----------------------------------------------------------- *)
@@ -249,7 +258,27 @@ and resume t tx_ids =
                   | `Blocked ->
                       (* Still waiting, now on a later lock of the set:
                          a fresh wait-for edge. *)
-                      t.check_deadlocks <- true))))
+                      t.check_deadlocks <- true
+                  | exception Core_error.Error e ->
+                      (* The lock target vanished while the session was
+                         parked (the holder deleted it and committed),
+                         so the lock set can no longer be re-derived.
+                         The transaction is still [Blocked] and could
+                         never commit: abort it and answer the parked
+                         request with the conflict. *)
+                      session.parked_req <- None;
+                      let note =
+                        Format.asprintf "%a; transaction aborted" Core_error.pp e
+                      in
+                      (match session.tx with
+                      | Some tx ->
+                          session.tx <- None;
+                          Hashtbl.remove t.tx_owner (Tx.tx_id tx);
+                          let unblocked = Tx.abort t.manager tx in
+                          error session Message.Conflict note;
+                          resume t unblocked
+                      | None -> error session Message.Conflict note);
+                      pump t session))))
     tx_ids
 
 and retry_lock t session req =
@@ -466,14 +495,19 @@ let break_deadlocks t =
                Format.pp_print_int)
             cycle
         in
+        (* A victim with no live owning session must still be aborted
+           through the manager: merely forgetting its id would leave
+           its locks (and any queued request) in the table, and
+           find_deadlock would return the same cycle forever. *)
+        let abort_orphan () =
+          Hashtbl.remove t.tx_owner victim;
+          resume t (Tx.abort_id t.manager victim)
+        in
         (match Hashtbl.find_opt t.tx_owner victim with
-        | None ->
-            (* No owning session (can only happen if the session died);
-               drop the transaction's locks so the cycle breaks. *)
-            Hashtbl.remove t.tx_owner victim
+        | None -> abort_orphan ()
         | Some sid -> (
             match Hashtbl.find_opt t.sessions sid with
-            | None -> Hashtbl.remove t.tx_owner victim
+            | None -> abort_orphan ()
             | Some session ->
                 (match session.tx with
                 | Some tx when Tx.tx_id tx = victim ->
@@ -490,7 +524,7 @@ let break_deadlocks t =
                     let unblocked = Tx.abort t.manager tx in
                     resume t unblocked;
                     pump t session
-                | Some _ | None -> Hashtbl.remove t.tx_owner victim)));
+                | Some _ | None -> abort_orphan ())));
         go ()
   in
   go ()
@@ -595,7 +629,9 @@ let feed t session =
   match Unix.read session.fd read_chunk 0 (Bytes.length read_chunk) with
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
     -> ()
-  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+  | exception Unix.Unix_error _ ->
+      (* ECONNRESET/EPIPE, but also ETIMEDOUT (keepalive on a dead
+         peer) and other socket errors: the peer is unreachable. *)
       destroy t session
   | 0 -> destroy t session
   | n ->

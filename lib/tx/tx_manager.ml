@@ -240,4 +240,7 @@ let abort t tx =
         tx.created;
       finish t tx Aborted
 
+let abort_id t id =
+  match Hashtbl.find_opt t.txs id with Some tx -> abort t tx | None -> []
+
 let find_deadlock t = Lock_table.find_deadlock t.table

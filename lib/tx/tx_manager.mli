@@ -89,4 +89,10 @@ val abort : t -> tx -> int list
     unblocked transactions.  Aborting an already-finished transaction
     is a no-op (the undo must not clobber state committed since). *)
 
+val abort_id : t -> int -> int list
+(** {!abort} by transaction id, for supervisors that hold ids rather
+    than handles (the network server's deadlock breaker, which must be
+    able to finish a victim whose owning session is already gone).
+    Unknown or already-finished ids return [[]]. *)
+
 val find_deadlock : t -> int list option

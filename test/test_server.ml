@@ -351,6 +351,52 @@ let test_lock_timeout () =
   in
   Alcotest.(check int) "one timeout counted" 1 stats.Server.lock_timeouts
 
+(* Regression: the holder deletes the contested object and commits
+   while another session is parked waiting for it.  The commit's
+   wake-up re-derives the waiter's lock set from the (now gone) root;
+   that must surface as a Conflict reply to the waiter — aborting its
+   transaction — not as an exception crashing the reactor. *)
+let test_holder_deletes_contested_target () =
+  let (), _, _ =
+    with_server (fun addr _server ->
+        let c1 = connect addr in
+        let c2 = connect addr in
+        let root =
+          match Client.eval c1 "(setq r (make Assembly))" with
+          | Message.Obj oid -> oid
+          | _ -> Alcotest.fail "make"
+        in
+        ignore (Client.begin_tx c1 : int);
+        Client.lock_composite c1 ~root Message.Update;
+        ignore (Client.begin_tx c2 : int);
+        let c2_result = ref `Pending in
+        let waiter =
+          Thread.create
+            (fun () ->
+              match Client.lock_composite c2 ~root Message.Update with
+              | () -> c2_result := `Granted
+              | exception Client.Error (code, _) -> c2_result := `Error code)
+            ()
+        in
+        Thread.delay 0.2;
+        (match Client.eval c1 "(delete r)" with
+        | Message.Unit -> ()
+        | v -> Alcotest.failf "unexpected delete result %a" Message.pp_v v);
+        Client.commit c1;
+        Thread.join waiter;
+        Alcotest.(check bool) "waiter got a conflict" true
+          (!c2_result = `Error Message.Conflict);
+        (* The server survived and the waiter's session is usable:
+           its transaction was aborted with the conflict, so a fresh
+           one can start right away. *)
+        Client.ping c2;
+        ignore (Client.begin_tx c2 : int);
+        Client.commit c2;
+        Client.close c1;
+        Client.close c2)
+  in
+  ()
+
 (* The 32-client workload -------------------------------------------------------- *)
 
 let test_concurrent_workload_serializable () =
@@ -560,6 +606,8 @@ let () =
           Alcotest.test_case "deadlock victim on the wire" `Quick
             test_deadlock_victim_on_the_wire;
           Alcotest.test_case "lock timeout" `Quick test_lock_timeout;
+          Alcotest.test_case "holder deletes contested target" `Quick
+            test_holder_deletes_contested_target;
         ] );
       ( "workload",
         [

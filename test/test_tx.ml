@@ -188,6 +188,30 @@ let test_abort_blocked_dequeues_request () =
   Alcotest.(check bool) "t3 active" true (Tx.state t3 = Tx.Active);
   ignore (Tx.commit manager t3 : int list)
 
+(* Supervisors holding only transaction ids (the server's deadlock
+   breaker, when a victim's session is already gone) must be able to
+   finish the victim: abort_id releases its locks and wakes waiters
+   exactly like abort on the handle. *)
+let test_abort_id () =
+  let db = fixture () in
+  let node = Object_manager.create db ~cls:"Node" () in
+  let manager = Tx.create db in
+  let t1 = Tx.begin_tx manager in
+  let t2 = Tx.begin_tx manager in
+  Alcotest.(check bool) "t1 X" true
+    (Tx.lock_instance manager t1 node Protocol.Update = `Granted);
+  Alcotest.(check bool) "t2 queues" true
+    (Tx.lock_instance manager t2 node Protocol.Update = `Blocked);
+  Alcotest.(check (list Alcotest.int)) "aborting t1 by id wakes t2"
+    [ Tx.tx_id t2 ] (Tx.abort_id manager (Tx.tx_id t1));
+  Alcotest.(check bool) "t1 aborted" true (Tx.state t1 = Tx.Aborted);
+  Alcotest.(check bool) "t2 active" true (Tx.state t2 = Tx.Active);
+  Alcotest.(check (list Alcotest.int)) "unknown id is a no-op" []
+    (Tx.abort_id manager 999);
+  Alcotest.(check (list Alcotest.int)) "finished id is a no-op" []
+    (Tx.abort_id manager (Tx.tx_id t1));
+  ignore (Tx.commit manager t2 : int list)
+
 let test_commit_of_blocked_or_finished_raises () =
   let db = fixture () in
   let node = Object_manager.create db ~cls:"Node" () in
@@ -420,6 +444,7 @@ let () =
           Alcotest.test_case "abort restores removal" `Quick
             test_abort_restores_remove_component;
           Alcotest.test_case "blocking and wakeup" `Quick test_blocking_and_wakeup;
+          Alcotest.test_case "abort by id" `Quick test_abort_id;
           Alcotest.test_case "abort of blocked dequeues request" `Quick
             test_abort_blocked_dequeues_request;
           Alcotest.test_case "commit guards" `Quick
