@@ -65,3 +65,39 @@ let add buf =
        (escape (utc_date ()))
        (escape (git_rev ()))
        (escape Sys.ocaml_version))
+
+(* Append a "metrics" JSON member (with trailing comma): the same
+   observability snapshot the server ships over the wire, so bench
+   files carry the counter/latency context their numbers were taken
+   under (lock blocks, pool hit rate, WAL fsyncs, ...). *)
+let add_metrics buf (snapshot : Orion_obs.Metrics.snapshot) =
+  let module Obs = Orion_obs.Metrics in
+  Buffer.add_string buf "  \"metrics\": {\n";
+  Buffer.add_string buf "    \"counters\": {";
+  List.iteri
+    (fun i (name, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s \"%s\": %d" (if i = 0 then "" else ",") (escape name) v))
+    snapshot.Obs.counters;
+  Buffer.add_string buf " },\n";
+  Buffer.add_string buf "    \"gauges\": {";
+  List.iteri
+    (fun i (name, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s \"%s\": %d" (if i = 0 then "" else ",") (escape name) v))
+    snapshot.Obs.gauges;
+  Buffer.add_string buf " },\n";
+  Buffer.add_string buf "    \"histograms\": {\n";
+  let n = List.length snapshot.Obs.histograms in
+  List.iteri
+    (fun i (name, h) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      \"%s\": { \"count\": %d, \"sum_s\": %.6f, \"max_s\": %.6f, \
+            \"p50_s\": %.6f, \"p95_s\": %.6f, \"p99_s\": %.6f }%s\n"
+           (escape name) h.Obs.count h.Obs.sum h.Obs.max h.Obs.p50 h.Obs.p95
+           h.Obs.p99
+           (if i = n - 1 then "" else ",")))
+    snapshot.Obs.histograms;
+  Buffer.add_string buf "    }\n";
+  Buffer.add_string buf "  },\n"

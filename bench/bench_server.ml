@@ -171,6 +171,9 @@ let write_json ~path results =
   Buffer.add_string buf "{\n";
   Buffer.add_string buf "  \"schema\": \"orion-bench-server-v1\",\n";
   Bench_meta.add buf;
+  (* The server ran in this process: its registry holds the run's lock,
+     pool and dispatch numbers alongside the latency rows below. *)
+  Bench_meta.add_metrics buf (Orion_obs.Metrics.snapshot ());
   Buffer.add_string buf "  \"results\": {\n";
   let workloads = [ "conflict-heavy"; "disjoint" ] in
   List.iteri

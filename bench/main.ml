@@ -616,6 +616,7 @@ let write_bench_json ~path rows =
   Buffer.add_string buf "{\n";
   Buffer.add_string buf "  \"schema\": \"orion-bench-v1\",\n";
   Bench_meta.add buf;
+  Bench_meta.add_metrics buf (Orion_obs.Metrics.snapshot ());
   Buffer.add_string buf "  \"unit\": \"ns/op\",\n";
   Buffer.add_string buf "  \"results\": {\n";
   let n = List.length rows in

@@ -299,10 +299,40 @@ let recover_cmd =
 let stats_cmd =
   let file =
     Arg.(
-      required & pos 0 (some file) None
+      value & pos 0 (some file) None
       & info [] ~docv:"FILE" ~doc:"Database file or ORION program")
   in
-  let run file =
+  let connect =
+    Arg.(
+      value & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Fetch a live metrics snapshot from a running server at $(docv) \
+             ($(i,host:port), $(i,:port), a bare port, or a socket path) \
+             instead of summarizing a file.")
+  in
+  let run_connect addr_string =
+    let addr =
+      try Orion_protocol.Addr.parse addr_string
+      with Invalid_argument msg ->
+        Format.eprintf "error: %s@." msg;
+        exit 2
+    in
+    let client =
+      try Client.connect ~client_name:"orion-stats" addr with
+      | Client.Error (code, msg) ->
+          Format.eprintf "error [%s]: %s@." (Message.err_code_to_string code) msg;
+          exit 1
+      | Unix.Unix_error (e, _, _) ->
+          Format.eprintf "error: cannot connect to %s: %s@." addr_string
+            (Unix.error_message e);
+          exit 1
+    in
+    let snapshot = Client.stats client in
+    Client.close client;
+    Format.printf "%a@." Orion_obs.Metrics.pp_snapshot snapshot
+  in
+  let run_file file =
     let env =
       (* Heuristic: .odb files are stores; anything else is a program. *)
       if Filename.check_suffix file ".odb" then open_env (Some file)
@@ -355,10 +385,23 @@ let stats_cmd =
           violations;
         exit 1
   in
+  let run connect file =
+    match (connect, file) with
+    | Some addr, None -> run_connect addr
+    | None, Some file -> run_file file
+    | Some _, Some _ ->
+        Format.eprintf "error: --connect and FILE are exclusive@.";
+        exit 2
+    | None, None ->
+        Format.eprintf "error: need a FILE or --connect ADDR@.";
+        exit 2
+  in
   Cmd.v
     (Cmd.info "stats"
-       ~doc:"Summarize a database file (.odb) or the result of a program")
-    Term.(const run $ file)
+       ~doc:
+         "Summarize a database file (.odb), the result of a program, or — \
+          with $(b,--connect) — the live metrics of a running server")
+    Term.(const run $ connect $ file)
 
 let serve_cmd =
   let db_pos =
@@ -394,7 +437,24 @@ let serve_cmd =
             "Abort a transaction parked on a lock longer than this \
              (0 disables the timeout).")
   in
-  let run db_file wal socket port max_sessions lock_timeout =
+  let metrics_interval =
+    Arg.(
+      value & opt float 0.
+      & info [ "metrics-interval" ] ~docv:"SECONDS"
+          ~doc:
+            "Print a one-line metrics digest to stderr every $(docv) seconds \
+             (0, the default, disables it).")
+  in
+  let slow_op_ms =
+    Arg.(
+      value & opt float 0.
+      & info [ "slow-op-ms" ] ~docv:"MS"
+          ~doc:
+            "Log requests slower than $(docv) milliseconds to stderr, with a \
+             per-phase breakdown (0, the default, disables it).")
+  in
+  let run db_file wal socket port max_sessions lock_timeout metrics_interval
+      slow_op_ms =
     let addr =
       match (socket, port) with
       | Some path, None -> Server.Unix_path path
@@ -410,8 +470,12 @@ let serve_cmd =
         Server.default_config with
         max_sessions;
         lock_timeout = (if lock_timeout <= 0. then None else Some lock_timeout);
+        metrics_interval =
+          (if metrics_interval <= 0. then None else Some metrics_interval);
       }
     in
+    if slow_op_ms > 0. then
+      Orion_obs.Metrics.Span.set_slow_threshold (Some (slow_op_ms /. 1000.));
     let server = Server.create ~config ?wal:log env addr in
     let stop _ = Server.stop server in
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
@@ -427,7 +491,7 @@ let serve_cmd =
     Format.printf
       "served %d sessions (%d refused), %d requests, %d lock waits, %d \
        deadlock victims, %d lock timeouts@."
-      st.accepted st.rejected st.requests st.parked st.deadlock_victims
+      st.accepted st.rejected st.requests st.parks_total st.deadlock_victims
       st.lock_timeouts
   in
   Cmd.v
@@ -436,7 +500,7 @@ let serve_cmd =
          "Serve a database to many clients over TCP or a Unix-domain socket")
     Term.(
       const run $ db_pos $ wal_flag $ socket $ port $ max_sessions
-      $ lock_timeout)
+      $ lock_timeout $ metrics_interval $ slow_op_ms)
 
 let shell_cmd =
   let connect =
@@ -531,7 +595,7 @@ let shell_cmd =
 
 let () =
   let doc = "Composite objects a la ORION (Kim, Bertino & Garza, SIGMOD 1989)" in
-  let info = Cmd.info "orion" ~version:"1.2.0" ~doc in
+  let info = Cmd.info "orion" ~version:"1.3.0" ~doc in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval

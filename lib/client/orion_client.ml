@@ -157,6 +157,11 @@ let ping t =
   | Message.Pong -> ()
   | _ -> unexpected "ping"
 
+let stats t =
+  match request t Message.Stats with
+  | Message.Stats_reply snapshot -> snapshot
+  | _ -> unexpected "stats"
+
 let notices t =
   let out = List.of_seq (Queue.to_seq t.notices) in
   Queue.clear t.notices;

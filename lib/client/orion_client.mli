@@ -60,5 +60,9 @@ val components_of : t -> Oid.t -> Oid.t list
 
 val ping : t -> unit
 
+val stats : t -> Orion_obs.Metrics.snapshot
+(** One metrics snapshot of the server process: every registered
+    counter, gauge and latency-histogram summary. *)
+
 val notices : t -> Message.push list
 (** Drain the pushes received so far, oldest first. *)

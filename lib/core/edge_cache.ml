@@ -1,12 +1,14 @@
 type entry = { edges : (bool * Oid.t) list; deps : Oid.t list }
 
+module Obs = Orion_obs.Metrics
+
 type t = {
   entries : entry Oid.Tbl.t;
   rdeps : unit Oid.Tbl.t Oid.Tbl.t;  (* referenced oid -> caching parents *)
   mutable generation : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable invalidations : int;
+  hits : Obs.counter;
+  misses : Obs.counter;
+  invalidations : Obs.counter;
 }
 
 type stats = { hits : int; misses : int; invalidations : int }
@@ -16,13 +18,13 @@ let create () =
     entries = Oid.Tbl.create 256;
     rdeps = Oid.Tbl.create 256;
     generation = 0;
-    hits = 0;
-    misses = 0;
-    invalidations = 0;
+    hits = Obs.counter "edge_cache.hits";
+    misses = Obs.counter "edge_cache.misses";
+    invalidations = Obs.counter "edge_cache.invalidations";
   }
 
 let flush (t : t) =
-  t.invalidations <- t.invalidations + Oid.Tbl.length t.entries;
+  Obs.incr t.invalidations ~by:(Oid.Tbl.length t.entries);
   Oid.Tbl.reset t.entries;
   Oid.Tbl.reset t.rdeps
 
@@ -38,10 +40,10 @@ let find t ~generation oid =
   sync t ~generation;
   match Oid.Tbl.find_opt t.entries oid with
   | Some e ->
-      t.hits <- t.hits + 1;
+      Obs.incr t.hits;
       Some e.edges
   | None ->
-      t.misses <- t.misses + 1;
+      Obs.incr t.misses;
       None
 
 let register t ~dep ~parent =
@@ -68,7 +70,7 @@ let drop t oid =
   | None -> ()
   | Some e ->
       Oid.Tbl.remove t.entries oid;
-      t.invalidations <- t.invalidations + 1;
+      Obs.incr t.invalidations;
       List.iter
         (fun dep ->
           match Oid.Tbl.find_opt t.rdeps dep with
@@ -89,9 +91,14 @@ let invalidate t oid =
 
 let length t = Oid.Tbl.length t.entries
 
-let stats (t : t) : stats = { hits = t.hits; misses = t.misses; invalidations = t.invalidations }
+let stats (t : t) : stats =
+  {
+    hits = Obs.counter_value t.hits;
+    misses = Obs.counter_value t.misses;
+    invalidations = Obs.counter_value t.invalidations;
+  }
 
 let reset_stats (t : t) =
-  t.hits <- 0;
-  t.misses <- 0;
-  t.invalidations <- 0
+  Obs.reset_counter t.hits;
+  Obs.reset_counter t.misses;
+  Obs.reset_counter t.invalidations

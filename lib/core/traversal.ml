@@ -1,5 +1,10 @@
 module A = Orion_schema.Attribute
 module Schema = Orion_schema.Schema
+module Obs = Orion_obs.Metrics
+
+(* Traversal is stateless, so one process-wide histogram covers every
+   database in the process (unlike per-instance subsystem counters). *)
+let components_hist = Obs.histogram "traversal.components_seconds"
 
 type filter = [ `All | `Exclusive | `Shared ]
 
@@ -147,17 +152,18 @@ let matches_filter (filter : filter) tainted =
   | `Shared -> tainted
 
 let components_of db ?classes ?level ?(filter = `All) oid =
-  ignore (Database.get db oid : Instance.t);
-  let info, order = reachability db oid in
-  List.filter
-    (fun component ->
-      match Oid.Tbl.find_opt info component with
-      | None -> false
-      | Some r ->
-          (match level with Some l -> r.dist <= l | None -> true)
-          && matches_filter filter r.tainted
-          && matches_classes db classes component)
-    order
+  Obs.Span.time ~histogram:components_hist "traversal.components" (fun () ->
+      ignore (Database.get db oid : Instance.t);
+      let info, order = reachability db oid in
+      List.filter
+        (fun component ->
+          match Oid.Tbl.find_opt info component with
+          | None -> false
+          | Some r ->
+              (match level with Some l -> r.dist <= l | None -> true)
+              && matches_filter filter r.tainted
+              && matches_classes db classes component)
+        order)
 
 let children_of db oid =
   ignore (Database.get db oid : Instance.t);

@@ -1,4 +1,5 @@
 open Orion_core
+module Obs = Orion_obs.Metrics
 
 type granule = G_class of string | G_instance of Oid.t
 
@@ -16,15 +17,23 @@ type entry = {
 type t = {
   compat : Lock_mode.t -> Lock_mode.t -> bool;
   entries : (granule, entry) Hashtbl.t;
-  mutable acquisitions : int;
-  mutable blocks : int;
-  mutable wakeups : int;
+  acquisitions : Obs.counter;
+  blocks : Obs.counter;
+  wakeups : Obs.counter;
+  upgrades : Obs.counter;
 }
 
 type stats = { acquisitions : int; blocks : int; wakeups : int }
 
 let create ?(compat = Lock_mode.compat) () =
-  { compat; entries = Hashtbl.create 64; acquisitions = 0; blocks = 0; wakeups = 0 }
+  {
+    compat;
+    entries = Hashtbl.create 64;
+    acquisitions = Obs.counter "lock.acquisitions";
+    blocks = Obs.counter "lock.blocks";
+    wakeups = Obs.counter "lock.wakeups";
+    upgrades = Obs.counter "lock.upgrades";
+  }
 
 let entry t granule =
   match Hashtbl.find_opt t.entries granule with
@@ -51,39 +60,102 @@ let covered entry ~tx mode =
 
 let holds t ~tx granule mode = covered (entry t granule) ~tx mode
 
+(* Add [mode] to the transaction's granted modes, coalescing with an
+   existing grant when the supremum exists: a holder upgrading must
+   not stack a second (tx, mode) pair — [holders]/[locks_of] would
+   report duplicates, [covered] would miss coverage two stacked modes
+   jointly imply (IX + S held is SIX, but neither entry alone covers a
+   SIX request), and grant lists would grow without bound in long
+   transactions.  Modes from incomparable families (no supremum, e.g.
+   IS and ISO) keep separate entries: no single mode expresses their
+   union. *)
+let grant t e ~tx mode =
+  let rec coalesce = function
+    | [] -> None
+    | ((holder, held) as kept) :: rest ->
+        if holder = tx then
+          match Lock_mode.supremum held mode with
+          | Some sup -> Some ((tx, sup) :: rest)
+          | None -> Option.map (fun rest -> kept :: rest) (coalesce rest)
+        else Option.map (fun rest -> kept :: rest) (coalesce rest)
+  in
+  match coalesce e.granted with
+  | Some granted ->
+      Obs.incr t.upgrades;
+      e.granted <- granted
+  | None -> e.granted <- e.granted @ [ (tx, mode) ]
+
+(* A re-polled request from a transaction already queued at this
+   granule must not enqueue a second entry — it re-points the queued
+   entry at the supremum of the old and new modes (escalation may have
+   strengthened the re-derived lock set, e.g. S -> X).  Duplicate
+   entries would hide waits-for edges between a transaction's own two
+   entries from [blocked_on]'s ahead-scan, hiding deadlocks.  When the
+   supremum does not exist (incomparable families) the stronger-queued
+   convention cannot apply; the new mode replaces the old, and the
+   re-poll that eventually wins re-derives the full set anyway. *)
+let requeue e ~tx mode =
+  e.queue <-
+    List.map
+      (fun ((waiter, old) as kept) ->
+        if waiter = tx then
+          match Lock_mode.supremum old mode with
+          | Some sup -> (tx, sup)
+          | None -> (tx, mode)
+        else kept)
+      e.queue
+
 let acquire t ~tx granule mode =
   let e = entry t granule in
-  if List.exists (fun (waiter, m) -> waiter = tx && m = mode) e.queue then
-    (* Re-polling a still-queued request does not queue it twice. *)
-    `Blocked
-  else begin
-  t.acquisitions <- t.acquisitions + 1;
-  if covered e ~tx mode then `Granted
-  else if
-    (* FIFO fairness: a request must also wait behind queued requests of
-       other transactions unless it is already a holder upgrading. *)
-    compatible_with_others t e ~tx mode
-    && (e.queue = [] || List.mem_assoc tx e.granted)
-  then begin
-    e.granted <- e.granted @ [ (tx, mode) ];
+  (* Covered first, queue-dedup second: a transaction can be a holder
+     AND queued at one granule (waiting on an upgrade, or on the second
+     of two modes a self-referential composite derives for one class
+     granule).  Its re-poll of a mode it already holds must grant
+     without touching the queued entry — routing it through [requeue]
+     would overwrite the pending (possibly incomparable) mode with the
+     held one and lose the stronger request. *)
+  if covered e ~tx mode then begin
+    Obs.incr t.acquisitions;
     `Granted
   end
-  else begin
-    t.blocks <- t.blocks + 1;
-    e.queue <- e.queue @ [ (tx, mode) ];
+  else if List.exists (fun (waiter, _) -> waiter = tx) e.queue then begin
+    requeue e ~tx mode;
     `Blocked
   end
+  else begin
+    Obs.incr t.acquisitions;
+    if
+      (* FIFO fairness: a request must also wait behind queued requests
+         of other transactions unless it is already a holder
+         upgrading. *)
+      compatible_with_others t e ~tx mode
+      && (e.queue = [] || List.mem_assoc tx e.granted)
+    then begin
+      grant t e ~tx mode;
+      `Granted
+    end
+    else begin
+      Obs.incr t.blocks;
+      e.queue <- e.queue @ [ (tx, mode) ];
+      `Blocked
+    end
   end
 
 let try_acquire t ~tx granule mode =
   let e = entry t granule in
-  if covered e ~tx mode then true
+  if covered e ~tx mode then begin
+    (* Account the covered path like [acquire] does, so callers that
+       mix the two entry points (opportunistic escalation) see
+       consistent acquisition counts. *)
+    Obs.incr t.acquisitions;
+    true
+  end
   else if
     compatible_with_others t e ~tx mode
     && (e.queue = [] || List.mem_assoc tx e.granted)
   then begin
-    t.acquisitions <- t.acquisitions + 1;
-    e.granted <- e.granted @ [ (tx, mode) ];
+    Obs.incr t.acquisitions;
+    grant t e ~tx mode;
     true
   end
   else false
@@ -112,8 +184,8 @@ let promote t e =
     | [] -> []
     | (tx, mode) :: rest ->
         if compatible_with_others t e ~tx mode then begin
-          e.granted <- e.granted @ [ (tx, mode) ];
-          t.wakeups <- t.wakeups + 1;
+          grant t e ~tx mode;
+          Obs.incr t.wakeups;
           woken := tx :: !woken;
           go rest
         end
@@ -140,15 +212,19 @@ let blocked_on t ~tx =
   Hashtbl.fold
     (fun _ e acc ->
       if List.exists (fun (waiter, _) -> waiter = tx) e.queue then begin
-        (* Waits-for edges: holders whose mode is incompatible, plus —
-           because grants are FIFO — every distinct transaction queued
-           ahead of this one. *)
-        let rec ahead acc = function
+        (* Waits-for edges: holders whose mode is incompatible with any
+           of the transaction's queued modes, plus — because grants are
+           FIFO — every distinct transaction queued ahead of any of its
+           entries.  The scan tracks who is ahead as it walks, so a
+           transaction queued twice (possible across incomparable mode
+           families) contributes the waiters between its entries too. *)
+        let rec ahead_scan ahead acc = function
           | [] -> acc
-          | (waiter, _) :: _ when waiter = tx -> acc
-          | (waiter, _) :: rest -> ahead (waiter :: acc) rest
+          | (waiter, _) :: rest when waiter = tx ->
+              ahead_scan ahead (ahead @ acc) rest
+          | (waiter, _) :: rest -> ahead_scan (waiter :: ahead) acc rest
         in
-        let acc = ahead acc e.queue in
+        let acc = ahead_scan [] acc e.queue in
         List.fold_left
           (fun acc (waiter, mode) ->
             if waiter = tx then
@@ -201,9 +277,14 @@ let find_deadlock t =
     None txs
 
 let stats (t : t) =
-  { acquisitions = t.acquisitions; blocks = t.blocks; wakeups = t.wakeups }
+  {
+    acquisitions = Obs.counter_value t.acquisitions;
+    blocks = Obs.counter_value t.blocks;
+    wakeups = Obs.counter_value t.wakeups;
+  }
 
 let reset_stats (t : t) =
-  t.acquisitions <- 0;
-  t.blocks <- 0;
-  t.wakeups <- 0
+  Obs.reset_counter t.acquisitions;
+  Obs.reset_counter t.blocks;
+  Obs.reset_counter t.wakeups;
+  Obs.reset_counter t.upgrades

@@ -1,0 +1,254 @@
+type counter = { c_name : string; mutable count : int }
+
+(* Log-spaced bucket upper bounds, 10µs .. ~100s: three buckets per
+   decade is enough resolution for p50/p95/p99 on latencies that span
+   microsecond lock grants to multi-second parked waits. *)
+let bucket_bounds =
+  let per_decade = [ 1.0; 2.15; 4.64 ] in
+  Array.of_list
+    (List.concat_map
+       (fun exp ->
+         List.map (fun m -> m *. (10. ** float_of_int exp)) per_decade)
+       [ -5; -4; -3; -2; -1; 0; 1 ])
+
+type histogram = {
+  h_name : string;
+  buckets : int array;  (* one per bound, plus overflow at the end *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_max : float;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of (unit -> int)
+  | Histogram of histogram
+
+type registry = (string, instrument) Hashtbl.t
+
+let create_registry () : registry = Hashtbl.create 64
+
+let default = create_registry ()
+
+let register ?(registry = default) name instrument =
+  Hashtbl.replace registry name instrument
+
+(* Counters --------------------------------------------------------------------- *)
+
+let counter ?registry name =
+  let c = { c_name = name; count = 0 } in
+  register ?registry name (Counter c);
+  c
+
+let incr ?(by = 1) c = c.count <- c.count + by
+let counter_value c = c.count
+let reset_counter c = c.count <- 0
+
+(* Gauges ----------------------------------------------------------------------- *)
+
+let gauge ?registry name read = register ?registry name (Gauge read)
+
+(* Histograms ------------------------------------------------------------------- *)
+
+let histogram ?registry name =
+  let h =
+    {
+      h_name = name;
+      buckets = Array.make (Array.length bucket_bounds + 1) 0;
+      h_count = 0;
+      h_sum = 0.;
+      h_max = 0.;
+    }
+  in
+  register ?registry name (Histogram h);
+  h
+
+let bucket_index v =
+  let n = Array.length bucket_bounds in
+  let rec go i = if i >= n || v <= bucket_bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe h v =
+  let v = if Float.is_nan v || v < 0. then 0. else v in
+  h.buckets.(bucket_index v) <- h.buckets.(bucket_index v) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v > h.h_max then h.h_max <- v
+
+let histogram_count h = h.h_count
+
+let reset_histogram h =
+  Array.fill h.buckets 0 (Array.length h.buckets) 0;
+  h.h_count <- 0;
+  h.h_sum <- 0.;
+  h.h_max <- 0.
+
+type histogram_summary = {
+  count : int;
+  sum : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+(* A quantile as the upper bound of the bucket holding the q-th
+   observation; the overflow bucket reports the observed max. *)
+let quantile h q =
+  if h.h_count = 0 then 0.
+  else begin
+    let rank =
+      Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int h.h_count)))
+    in
+    let n = Array.length bucket_bounds in
+    let rec go i seen =
+      if i >= n then h.h_max
+      else
+        let seen = seen + h.buckets.(i) in
+        if seen >= rank then Float.min bucket_bounds.(i) h.h_max else go (i + 1) seen
+    in
+    go 0 0
+  end
+
+let summarize h =
+  {
+    count = h.h_count;
+    sum = h.h_sum;
+    max = h.h_max;
+    p50 = quantile h 0.50;
+    p95 = quantile h 0.95;
+    p99 = quantile h 0.99;
+  }
+
+(* Snapshot --------------------------------------------------------------------- *)
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  histograms : (string * histogram_summary) list;
+}
+
+let by_name (a, _) (b, _) = String.compare a b
+
+let snapshot ?(registry = default) () =
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  Hashtbl.iter
+    (fun name instrument ->
+      match instrument with
+      | Counter c -> counters := (name, c.count) :: !counters
+      | Gauge read ->
+          let v = try read () with _ -> 0 in
+          gauges := (name, v) :: !gauges
+      | Histogram h -> histograms := (name, summarize h) :: !histograms)
+    registry;
+  {
+    counters = List.sort by_name !counters;
+    gauges = List.sort by_name !gauges;
+    histograms = List.sort by_name !histograms;
+  }
+
+let reset ?(registry = default) () =
+  Hashtbl.iter
+    (fun _ instrument ->
+      match instrument with
+      | Counter c -> reset_counter c
+      | Gauge _ -> ()
+      | Histogram h -> reset_histogram h)
+    registry
+
+let find_counter s name = List.assoc_opt name s.counters
+let find_gauge s name = List.assoc_opt name s.gauges
+let find_histogram s name = List.assoc_opt name s.histograms
+
+let ms v = v *. 1e3
+
+let pp_snapshot ppf s =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun (n, v) -> Format.fprintf ppf "%-32s %d@," n v) s.counters;
+  List.iter (fun (n, v) -> Format.fprintf ppf "%-32s %d (gauge)@," n v) s.gauges;
+  List.iter
+    (fun (n, h) ->
+      Format.fprintf ppf
+        "%-32s n=%d p50=%.3fms p95=%.3fms p99=%.3fms max=%.3fms@," n h.count
+        (ms h.p50) (ms h.p95) (ms h.p99) (ms h.max))
+    s.histograms;
+  Format.fprintf ppf "@]"
+
+let one_line s =
+  let c name = Option.value (find_counter s name) ~default:0 in
+  let g name = Option.value (find_gauge s name) ~default:0 in
+  let dispatch =
+    match find_histogram s "server.dispatch_seconds" with
+    | Some h when h.count > 0 -> Printf.sprintf " dispatch_p95=%.2fms" (ms h.p95)
+    | _ -> ""
+  in
+  Printf.sprintf
+    "requests=%d sessions=%d parked=%d parks=%d lock_acq=%d lock_blocks=%d \
+     deadlocks=%d wal_appends=%d%s"
+    (c "server.requests") (g "server.sessions") (g "server.parked")
+    (c "server.parks_total") (c "lock.acquisitions") (c "lock.blocks")
+    (c "server.deadlock_victims") (c "wal.appends") dispatch
+
+(* Spans ------------------------------------------------------------------------ *)
+
+module Span = struct
+  type span = {
+    s_name : string;
+    start : float;
+    mutable children : (string * float) list;  (* newest first *)
+  }
+
+  (* The enclosing spans of the operation in flight, innermost first.
+     One stack for the process: nested spans must run on one thread
+     (true in the reactor, where all spans are taken). *)
+  let stack : span list ref = ref []
+
+  let threshold = ref None
+  let sink = ref prerr_endline
+  let reported = ref 0
+
+  let set_slow_threshold t = threshold := t
+  let slow_threshold () = !threshold
+  let set_slow_sink f = sink := f
+  let slow_ops_reported () = !reported
+
+  let report span elapsed =
+    Stdlib.incr reported;
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf
+      (Printf.sprintf "slow op: %s took %.1fms" span.s_name (ms elapsed));
+    (match List.rev span.children with
+    | [] -> ()
+    | children ->
+        Buffer.add_string buf " (";
+        List.iteri
+          (fun i (name, dt) ->
+            if i > 0 then Buffer.add_string buf ", ";
+            Buffer.add_string buf (Printf.sprintf "%s %.1fms" name (ms dt)))
+          children;
+        Buffer.add_char buf ')');
+    !sink (Buffer.contents buf)
+
+  let time ?histogram name f =
+    let span = { s_name = name; start = Unix.gettimeofday (); children = [] } in
+    let outer = !stack in
+    stack := span :: outer;
+    let close () =
+      let elapsed = Unix.gettimeofday () -. span.start in
+      stack := outer;
+      (match histogram with Some h -> observe h elapsed | None -> ());
+      (match outer with
+      | parent :: _ -> parent.children <- (name, elapsed) :: parent.children
+      | [] -> (
+          match !threshold with
+          | Some limit when elapsed > limit -> report span elapsed
+          | _ -> ()))
+    in
+    match f () with
+    | result ->
+        close ();
+        result
+    | exception e ->
+        close ();
+        raise e
+end

@@ -1,0 +1,123 @@
+(** Process-wide observability: a metrics registry and span timing.
+
+    Subsystems create {e instruments} — counters, gauges, fixed-bucket
+    latency histograms — registered by name into a {!registry} (the
+    process-wide {!default} unless one is passed explicitly).  A
+    {!snapshot} collects every registered instrument into one
+    structured value; the network server ships it over the wire and
+    the bench writers embed it in [BENCH_*.json], so per-module [stats]
+    views, server counters and perf numbers all read the same cells.
+
+    Instruments are per-instance: creating a second instrument under a
+    name already taken (say a test building its tenth database) simply
+    {e re-points} the registration at the new instrument.  The old
+    owner keeps its private counter — its [stats]/[reset_stats] view
+    stays correct — while the registry reflects the most recently
+    created instance, which in a server process is the one serving
+    traffic.
+
+    Thread-safety: counter and histogram updates are single word/field
+    writes — racing updates from client threads can at worst lose an
+    increment, never crash.  The {e span stack} (used for the slow-op
+    breakdown) is a single process-wide stack and assumes the nested
+    spans of one operation run on one thread, which holds in the
+    single-threaded server reactor where spans are taken. *)
+
+type registry
+
+val default : registry
+(** The process-wide registry. *)
+
+val create_registry : unit -> registry
+(** A private registry, for tests that must not observe the rest of
+    the process. *)
+
+(** {1 Instruments} *)
+
+type counter
+
+val counter : ?registry:registry -> string -> counter
+(** A fresh counter registered under the name (replacing any previous
+    registration of that name). *)
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+val reset_counter : counter -> unit
+
+val gauge : ?registry:registry -> string -> (unit -> int) -> unit
+(** Register a callback gauge: read at snapshot time, so it can derive
+    its value from live structures (e.g. the number of currently
+    parked sessions). *)
+
+type histogram
+
+val histogram : ?registry:registry -> string -> histogram
+(** A latency histogram over fixed log-spaced buckets from 10µs to
+    ~100s, registered under the name. *)
+
+val observe : histogram -> float -> unit
+(** Record one duration, in seconds. *)
+
+val histogram_count : histogram -> int
+val reset_histogram : histogram -> unit
+
+type histogram_summary = {
+  count : int;
+  sum : float;  (** seconds *)
+  max : float;  (** seconds *)
+  p50 : float;  (** seconds, estimated from bucket upper bounds *)
+  p95 : float;
+  p99 : float;
+}
+
+(** {1 Snapshot} *)
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * int) list;  (** sorted by name *)
+  histograms : (string * histogram_summary) list;  (** sorted by name *)
+}
+
+val snapshot : ?registry:registry -> unit -> snapshot
+
+val reset : ?registry:registry -> unit -> unit
+(** Reset every registered counter and histogram (gauges are callbacks
+    and have no state to reset). *)
+
+val find_counter : snapshot -> string -> int option
+val find_gauge : snapshot -> string -> int option
+val find_histogram : snapshot -> string -> histogram_summary option
+
+val pp_snapshot : Format.formatter -> snapshot -> unit
+(** Human-readable rendering: counters and gauges one per line,
+    histograms with count/p50/p95/p99/max in milliseconds. *)
+
+val one_line : snapshot -> string
+(** A compact single-line digest (for the server's periodic metrics
+    line): a few load-bearing counters and gauges. *)
+
+(** {1 Spans}
+
+    [Span.time] wraps an operation: it times it, optionally records
+    the duration into a histogram, and maintains a stack so nested
+    spans become a {e breakdown} of their root.  When a root span
+    (no parent on the stack) exceeds the slow-op threshold, one line
+    with the breakdown goes to the slow-op sink. *)
+
+module Span : sig
+  val time : ?histogram:histogram -> string -> (unit -> 'a) -> 'a
+  (** Run the thunk inside a named span.  Exceptions propagate; the
+      span still closes (and can still be reported slow). *)
+
+  val set_slow_threshold : float option -> unit
+  (** Root spans slower than this many seconds are reported.
+      [None] (the default) disables the slow-op log. *)
+
+  val slow_threshold : unit -> float option
+
+  val set_slow_sink : (string -> unit) -> unit
+  (** Where slow-op lines go; default [prerr_endline]. *)
+
+  val slow_ops_reported : unit -> int
+  (** How many slow-op lines have been emitted (for tests). *)
+end

@@ -1,4 +1,11 @@
 module Checksum = Orion_wal.Checksum
+module Obs = Orion_obs.Metrics
+
+(* Direct observes, not spans: framing runs on client threads
+   concurrently with the server reactor, and the span stack is
+   single-threaded. *)
+let encode_hist = Obs.histogram "frame.encode_seconds"
+let decode_hist = Obs.histogram "frame.decode_seconds"
 
 exception Corrupt of string
 
@@ -9,12 +16,14 @@ let header_size = 8
 let max_payload = 16 * 1024 * 1024
 
 let encode payload =
+  let started = Unix.gettimeofday () in
   let len = Bytes.length payload in
   if len > max_payload then corrupt "frame payload too large (%d bytes)" len;
   let framed = Bytes.create (header_size + len) in
   Bytes.set_int32_le framed 0 (Int32.of_int len);
   Bytes.set_int32_le framed 4 (Int32.of_int (Checksum.bytes payload));
   Bytes.blit payload 0 framed header_size len;
+  Obs.observe encode_hist (Unix.gettimeofday () -. started);
   framed
 
 module Splitter = struct
@@ -50,6 +59,7 @@ module Splitter = struct
   let next t =
     if buffered t < header_size then None
     else begin
+      let started = Unix.gettimeofday () in
       let len = Int32.to_int (Bytes.get_int32_le t.buf t.pos) land 0xffffffff in
       let sum = Int32.to_int (Bytes.get_int32_le t.buf (t.pos + 4)) land 0xffffffff in
       if len > max_payload then corrupt "bad frame length %d" len;
@@ -59,6 +69,7 @@ module Splitter = struct
         if Checksum.bytes payload <> sum then corrupt "frame checksum mismatch";
         t.pos <- t.pos + header_size + len;
         compact t;
+        Obs.observe decode_hist (Unix.gettimeofday () -. started);
         Some payload
       end
     end

@@ -21,6 +21,7 @@ type request =
     }
   | Components_of of Oid.t
   | Ping
+  | Stats
   | Bye
 
 type v =
@@ -47,6 +48,7 @@ type reply =
   | Result of v
   | Granted
   | Pong
+  | Stats_reply of Orion_obs.Metrics.snapshot
   | Error of { code : err_code; msg : string }
 
 type push =
@@ -85,6 +87,7 @@ let pp_request ppf = function
         (List.length attrs)
   | Components_of oid -> Format.fprintf ppf "components-of %a" Oid.pp oid
   | Ping -> Format.pp_print_string ppf "ping"
+  | Stats -> Format.pp_print_string ppf "stats"
   | Bye -> Format.pp_print_string ppf "bye"
 
 let pp_v ppf = function
@@ -160,7 +163,8 @@ let encode_request request =
       W.u8 w 8;
       write_oid w oid
   | Ping -> W.u8 w 9
-  | Bye -> W.u8 w 10);
+  | Bye -> W.u8 w 10
+  | Stats -> W.u8 w 11);
   W.contents w
 
 let decode_request payload =
@@ -201,6 +205,7 @@ let decode_request payload =
     | 8 -> Components_of (read_oid r)
     | 9 -> Ping
     | 10 -> Bye
+    | 11 -> Stats
     | tag -> corrupt "bad request tag %d" tag
   in
   if not (R.at_end r) then corrupt "trailing bytes after request";
@@ -233,6 +238,46 @@ let read_v r =
   | 4 -> Obj (read_oid r)
   | 5 -> Objs (read_list r read_oid)
   | tag -> corrupt "bad value tag %d" tag
+
+(* Snapshot codec: flat name/value lists mirroring
+   [Orion_obs.Metrics.snapshot]. *)
+
+let write_summary w (h : Orion_obs.Metrics.histogram_summary) =
+  W.int w h.count;
+  W.float w h.sum;
+  W.float w h.max;
+  W.float w h.p50;
+  W.float w h.p95;
+  W.float w h.p99
+
+let read_summary r : Orion_obs.Metrics.histogram_summary =
+  let count = R.int r in
+  let sum = R.float r in
+  let max = R.float r in
+  let p50 = R.float r in
+  let p95 = R.float r in
+  let p99 = R.float r in
+  { count; sum; max; p50; p95; p99 }
+
+let write_snapshot w (s : Orion_obs.Metrics.snapshot) =
+  let named f w (name, v) =
+    W.string w name;
+    f w v
+  in
+  write_list w (named W.int) s.counters;
+  write_list w (named W.int) s.gauges;
+  write_list w (named write_summary) s.histograms
+
+let read_snapshot r : Orion_obs.Metrics.snapshot =
+  let named f r =
+    let name = R.string r in
+    let v = f r in
+    (name, v)
+  in
+  let counters = read_list r (named R.int) in
+  let gauges = read_list r (named R.int) in
+  let histograms = read_list r (named read_summary) in
+  { counters; gauges; histograms }
 
 let err_code_tag = function
   | Unsupported_version -> 0
@@ -275,7 +320,10 @@ let encode_server msg =
       | Error { code; msg } ->
           W.u8 w 4;
           W.u8 w (err_code_tag code);
-          W.string w msg)
+          W.string w msg
+      | Stats_reply snapshot ->
+          W.u8 w 5;
+          write_snapshot w snapshot)
   | Push push -> (
       W.u8 w 1;
       match push with
@@ -306,6 +354,7 @@ let decode_server payload =
               let code = err_code_of_tag (R.u8 r) in
               let msg = R.string r in
               Error { code; msg }
+          | 5 -> Stats_reply (read_snapshot r)
           | tag -> corrupt "bad reply tag %d" tag))
     | 1 -> (
         Push

@@ -37,6 +37,7 @@ type request =
     }
   | Components_of of Oid.t
   | Ping
+  | Stats  (** one {!Orion_obs.Metrics.snapshot} of the server process *)
   | Bye
 
 (** Result values, mirroring the REPL's: an object, a list of objects,
@@ -65,6 +66,7 @@ type reply =
   | Result of v
   | Granted
   | Pong
+  | Stats_reply of Orion_obs.Metrics.snapshot
   | Error of { code : err_code; msg : string }
 
 type push =

@@ -3,6 +3,7 @@ module Tx = Orion_tx.Tx_manager
 module Frame = Orion_protocol.Frame
 module Message = Orion_protocol.Message
 module Sexp = Orion_util.Sexp
+module Obs = Orion_obs.Metrics
 open Orion_core
 
 type addr = Orion_protocol.Addr.t = Tcp of string * int | Unix_path of string
@@ -15,15 +16,23 @@ type config = {
   queue_limit : int;
   idle_timeout : float option;
   lock_timeout : float option;
+  metrics_interval : float option;
 }
 
 let default_config =
-  { max_sessions = 64; queue_limit = 16; idle_timeout = None; lock_timeout = Some 30. }
+  {
+    max_sessions = 64;
+    queue_limit = 16;
+    idle_timeout = None;
+    lock_timeout = Some 30.;
+    metrics_interval = None;
+  }
 
 type stats = {
   accepted : int;
   rejected : int;
   requests : int;
+  parks_total : int;
   parked : int;
   deadlock_victims : int;
   lock_timeouts : int;
@@ -64,13 +73,15 @@ type t = {
   tx_owner : (int, int) Hashtbl.t;  (* tx id -> session id *)
   mutable next_sid : int;
   mutable phase : phase;
-  mutable accepted : int;
-  mutable rejected : int;
-  mutable requests : int;
-  mutable parked_count : int;
-  mutable deadlock_victims : int;
-  mutable lock_timeouts : int;
-  mutable idle_closes : int;
+  accepted : Obs.counter;
+  rejected : Obs.counter;
+  requests : Obs.counter;
+  parks : Obs.counter;
+  deadlock_victims : Obs.counter;
+  lock_timeouts : Obs.counter;
+  idle_closes : Obs.counter;
+  lock_wait_hist : Obs.histogram;
+  dispatch_hist : Obs.histogram;
   wal_attached : bool;
   mutable schema_seen : int;
       (* Schema.version at the last checkpoint: schema DDL is
@@ -83,15 +94,23 @@ type t = {
          search on every other tick *)
 }
 
+(* The true gauge: how many sessions are parked right now (the
+   lifetime [parks] counter only ever grows). *)
+let parked_sessions t =
+  Hashtbl.fold
+    (fun _ s n -> if s.parked_req <> None then n + 1 else n)
+    t.sessions 0
+
 let stats t =
   {
-    accepted = t.accepted;
-    rejected = t.rejected;
-    requests = t.requests;
-    parked = t.parked_count;
-    deadlock_victims = t.deadlock_victims;
-    lock_timeouts = t.lock_timeouts;
-    idle_closes = t.idle_closes;
+    accepted = Obs.counter_value t.accepted;
+    rejected = Obs.counter_value t.rejected;
+    requests = Obs.counter_value t.requests;
+    parks_total = Obs.counter_value t.parks;
+    parked = parked_sessions t;
+    deadlock_victims = Obs.counter_value t.deadlock_victims;
+    lock_timeouts = Obs.counter_value t.lock_timeouts;
+    idle_closes = Obs.counter_value t.idle_closes;
   }
 
 let session_count t = Hashtbl.length t.sessions
@@ -135,30 +154,48 @@ let create ?(config = default_config) ?wal env addr =
   let stop_r, stop_w = Unix.pipe () in
   Unix.set_nonblock stop_r;
   let db = Eval.database env in
-  {
-    config;
-    env;
-    db;
-    manager = Tx.create ?wal db;
-    listen_fd;
-    bound;
-    stop_r;
-    stop_w;
-    sessions = Hashtbl.create 32;
-    tx_owner = Hashtbl.create 32;
-    next_sid = 0;
-    phase = Running;
-    accepted = 0;
-    rejected = 0;
-    requests = 0;
-    parked_count = 0;
-    deadlock_victims = 0;
-    lock_timeouts = 0;
-    idle_closes = 0;
-    wal_attached = Option.is_some wal;
-    schema_seen = Orion_schema.Schema.version (Database.schema db);
-    check_deadlocks = false;
-  }
+  let t =
+    {
+      config;
+      env;
+      db;
+      manager = Tx.create ?wal db;
+      listen_fd;
+      bound;
+      stop_r;
+      stop_w;
+      sessions = Hashtbl.create 32;
+      tx_owner = Hashtbl.create 32;
+      next_sid = 0;
+      phase = Running;
+      accepted = Obs.counter "server.accepted";
+      rejected = Obs.counter "server.rejected";
+      requests = Obs.counter "server.requests";
+      parks = Obs.counter "server.parks_total";
+      deadlock_victims = Obs.counter "server.deadlock_victims";
+      lock_timeouts = Obs.counter "server.lock_timeouts";
+      idle_closes = Obs.counter "server.idle_closes";
+      lock_wait_hist = Obs.histogram "lock.wait_seconds";
+      dispatch_hist = Obs.histogram "server.dispatch_seconds";
+      wal_attached = Option.is_some wal;
+      schema_seen = Orion_schema.Schema.version (Database.schema db);
+      check_deadlocks = false;
+    }
+  in
+  Obs.gauge "server.sessions" (fun () -> Hashtbl.length t.sessions);
+  Obs.gauge "server.parked" (fun () -> parked_sessions t);
+  (* No log attached: register zeroed WAL counters so the wire snapshot
+     always covers the WAL subsystem (matching Database.stats, which
+     reports zeros without a source). *)
+  if Option.is_none wal then begin
+    List.iter
+      (fun name -> ignore (Obs.counter name : Obs.counter))
+      [ "wal.appends"; "wal.bytes"; "wal.syncs"; "wal.truncations" ];
+    List.iter
+      (fun name -> ignore (Obs.histogram name : Obs.histogram))
+      [ "wal.append_seconds"; "wal.sync_seconds" ]
+  end;
+  t
 
 (* Schema DDL (make-class, evolution commands) is non-transactional:
    no commit record ever covers it, so with a log attached it is only
@@ -225,6 +262,11 @@ let flush_out session =
 
 (* Session lifecycle ----------------------------------------------------------- *)
 
+(* A park just ended (grant, conflict, deadlock abort or timeout):
+   record how long the session waited for its lock. *)
+let observe_wait t session =
+  Obs.observe t.lock_wait_hist (Unix.gettimeofday () -. session.parked_since)
+
 let rec destroy t session =
   Hashtbl.remove t.sessions session.sid;
   (match session.tx with
@@ -253,6 +295,7 @@ and resume t tx_ids =
                   match retry_lock t session req with
                   | `Granted ->
                       session.parked_req <- None;
+                      observe_wait t session;
                       reply session Message.Granted;
                       pump t session
                   | `Blocked ->
@@ -267,6 +310,7 @@ and resume t tx_ids =
                          never commit: abort it and answer the parked
                          request with the conflict. *)
                       session.parked_req <- None;
+                      observe_wait t session;
                       let note =
                         Format.asprintf "%a; transaction aborted" Core_error.pp e
                       in
@@ -319,8 +363,9 @@ and pump t session =
     if Queue.is_empty session.queue then refill t session;
     if (not session.closing) && not (Queue.is_empty session.queue) then begin
       let req = Queue.pop session.queue in
-      t.requests <- t.requests + 1;
-      handle t session req;
+      Obs.incr t.requests;
+      Obs.Span.time ~histogram:t.dispatch_hist "server.dispatch" (fun () ->
+          handle t session req);
       pump t session
     end
   end
@@ -445,7 +490,7 @@ and handle t session req =
           match retry_lock t session req with
           | `Granted -> reply session Message.Granted
           | `Blocked ->
-              t.parked_count <- t.parked_count + 1;
+              Obs.incr t.parks;
               t.check_deadlocks <- true;
               session.parked_req <- Some req;
               session.parked_since <- Unix.gettimeofday ()
@@ -466,6 +511,7 @@ and handle t session req =
       | exception Core_error.Error e ->
           error session Message.Eval_error (Format.asprintf "%a" Core_error.pp e))
   | Message.Ping -> reply session Message.Pong
+  | Message.Stats -> reply session (Message.Stats_reply (Obs.snapshot ()))
   | Message.Bye ->
       (match session.tx with
       | Some tx ->
@@ -486,7 +532,7 @@ let break_deadlocks t =
         (* Abort the youngest transaction in the cycle (the same victim
            policy as the in-process Scheduler). *)
         let victim = List.fold_left max min_int cycle in
-        t.deadlock_victims <- t.deadlock_victims + 1;
+        Obs.incr t.deadlock_victims;
         let msg =
           Format.asprintf "transaction %d aborted to break deadlock cycle [%a]"
             victim
@@ -518,6 +564,7 @@ let break_deadlocks t =
                        (* The parked lock request dies with the
                           transaction: answer it with the conflict. *)
                        session.parked_req <- None;
+                       observe_wait t session;
                        error session Message.Conflict msg
                      end
                      else session.deadlock_note <- Some msg);
@@ -555,8 +602,9 @@ let enforce_timeouts t now =
           (* Cancel the whole transaction: aborting dequeues the pending
              lock request (see Tx_manager.abort), so the queue holds no
              orphan waiter. *)
-          t.lock_timeouts <- t.lock_timeouts + 1;
+          Obs.incr t.lock_timeouts;
           session.parked_req <- None;
+          observe_wait t session;
           (match session.tx with
           | Some tx ->
               session.tx <- None;
@@ -567,7 +615,7 @@ let enforce_timeouts t now =
           | None -> error session Message.Timeout "lock wait timed out");
           pump t session
       | `Idle ->
-          t.idle_closes <- t.idle_closes + 1;
+          Obs.incr t.idle_closes;
           push session (Message.Goodbye { msg = "idle timeout" });
           session.closing <- true)
     !expired
@@ -581,7 +629,7 @@ let accept t =
   | fd, _peer ->
       Unix.set_nonblock fd;
       if Hashtbl.length t.sessions >= t.config.max_sessions then begin
-        t.rejected <- t.rejected + 1;
+        Obs.incr t.rejected;
         (* Best effort: tell the client why before closing. *)
         let frame =
           Frame.encode
@@ -600,7 +648,7 @@ let accept t =
         try Unix.close fd with Unix.Unix_error _ -> ()
       end
       else begin
-        t.accepted <- t.accepted + 1;
+        Obs.incr t.accepted;
         let sid = t.next_sid in
         t.next_sid <- sid + 1;
         Hashtbl.replace t.sessions sid
@@ -691,8 +739,19 @@ let drain_stop_pipe t =
 let run t =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let finished = ref false in
+  let next_metrics =
+    ref
+      (match t.config.metrics_interval with
+      | Some interval -> Unix.gettimeofday () +. interval
+      | None -> infinity)
+  in
   while not !finished do
     let now = Unix.gettimeofday () in
+    (match t.config.metrics_interval with
+    | Some interval when now >= !next_metrics ->
+        prerr_endline ("orion metrics: " ^ Obs.one_line (Obs.snapshot ()));
+        next_metrics := now +. interval
+    | _ -> ());
     (match t.phase with
     | Draining deadline when now > deadline || Hashtbl.length t.sessions = 0 ->
         (* Grace expired or everyone is gone: close what remains. *)

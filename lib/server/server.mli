@@ -43,6 +43,9 @@ type config = {
   queue_limit : int;  (** per-session pending-request bound (default 16) *)
   idle_timeout : float option;  (** seconds; [None] = never (default) *)
   lock_timeout : float option;  (** max lock wait (default [Some 30.]) *)
+  metrics_interval : float option;
+      (** emit a one-line metrics digest to stderr this often;
+          [None] = never (default) *)
 }
 
 val default_config : config
@@ -75,7 +78,8 @@ type stats = {
   accepted : int;
   rejected : int;  (** refused by admission control *)
   requests : int;  (** requests processed *)
-  parked : int;  (** lock requests that parked their session *)
+  parks_total : int;  (** lifetime count of lock requests that parked *)
+  parked : int;  (** gauge: sessions parked on a lock {e right now} *)
   deadlock_victims : int;
   lock_timeouts : int;
   idle_closes : int;

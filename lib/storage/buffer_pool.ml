@@ -12,15 +12,17 @@ type frame = {
   mutable next : frame option;  (* toward tail (less recent) *)
 }
 
+module Obs = Orion_obs.Metrics
+
 type t = {
   disk : Disk.t;
   capacity : int;
   frames : (int, frame) Hashtbl.t;
   mutable head : frame option;
   mutable tail : frame option;
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
+  hits : Obs.counter;
+  misses : Obs.counter;
+  evictions : Obs.counter;
 }
 
 type stats = { hits : int; misses : int; evictions : int }
@@ -33,9 +35,9 @@ let create ~capacity disk =
     frames = Hashtbl.create (2 * capacity);
     head = None;
     tail = None;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
+    hits = Obs.counter "pool.hits";
+    misses = Obs.counter "pool.misses";
+    evictions = Obs.counter "pool.evictions";
   }
 
 let unlink t frame =
@@ -74,16 +76,16 @@ let evict_lru t =
       write_back t victim;
       unlink t victim;
       Hashtbl.remove t.frames victim.page_no;
-      t.evictions <- t.evictions + 1
+      Obs.incr t.evictions
 
 let get t page_no =
   match Hashtbl.find_opt t.frames page_no with
   | Some frame ->
-      t.hits <- t.hits + 1;
+      Obs.incr t.hits;
       touch t frame;
       frame.page
   | None ->
-      t.misses <- t.misses + 1;
+      Obs.incr t.misses;
       if Hashtbl.length t.frames >= t.capacity then evict_lru t;
       let page = Page.wrap (Disk.read t.disk page_no) in
       let frame = { page_no; page; dirty = false; prev = None; next = None } in
@@ -111,9 +113,14 @@ let drop_all t =
   t.head <- None;
   t.tail <- None
 
-let stats (t : t) = { hits = t.hits; misses = t.misses; evictions = t.evictions }
+let stats (t : t) =
+  {
+    hits = Obs.counter_value t.hits;
+    misses = Obs.counter_value t.misses;
+    evictions = Obs.counter_value t.evictions;
+  }
 
 let reset_stats (t : t) =
-  t.hits <- 0;
-  t.misses <- 0;
-  t.evictions <- 0
+  Obs.reset_counter t.hits;
+  Obs.reset_counter t.misses;
+  Obs.reset_counter t.evictions

@@ -1,5 +1,7 @@
 exception Crashed
 
+module Obs = Orion_obs.Metrics
+
 type fault_kind = Fail | Torn
 
 type fault = { kind : fault_kind; mutable remaining : int }
@@ -8,8 +10,8 @@ type t = {
   page_size : int;
   pages : (int, bytes) Hashtbl.t;
   mutable next_page : int;
-  mutable reads : int;
-  mutable writes : int;
+  reads : Obs.counter;
+  writes : Obs.counter;
   mutable fault : fault option;
   mutable crashed : bool;
   mutable observer : (int -> bytes -> unit) option;
@@ -24,8 +26,8 @@ let create ~page_size =
     page_size;
     pages = Hashtbl.create 256;
     next_page = 0;
-    reads = 0;
-    writes = 0;
+    reads = Obs.counter "disk.reads";
+    writes = Obs.counter "disk.writes";
     fault = None;
     crashed = false;
     observer = None;
@@ -63,7 +65,7 @@ let read t page_no =
   match Hashtbl.find_opt t.pages page_no with
   | None -> invalid_arg (Printf.sprintf "Disk.read: unallocated page %d" page_no)
   | Some image ->
-      t.reads <- t.reads + 1;
+      Obs.incr t.reads;
       Bytes.copy image
 
 let write t page_no image =
@@ -89,11 +91,16 @@ let write t page_no image =
       raise Crashed
   | Some f -> f.remaining <- f.remaining - 1
   | None -> ());
-  t.writes <- t.writes + 1;
+  Obs.incr t.writes;
   Hashtbl.replace t.pages page_no (Bytes.copy image)
 
-let stats (t : t) = { reads = t.reads; writes = t.writes; allocated = t.next_page }
+let stats (t : t) =
+  {
+    reads = Obs.counter_value t.reads;
+    writes = Obs.counter_value t.writes;
+    allocated = t.next_page;
+  }
 
 let reset_stats (t : t) =
-  t.reads <- 0;
-  t.writes <- 0
+  Obs.reset_counter t.reads;
+  Obs.reset_counter t.writes

@@ -2,6 +2,7 @@ open Orion_core
 module Lock_table = Orion_locking.Lock_table
 module Lock_mode = Orion_locking.Lock_mode
 module Protocol = Orion_locking.Protocol
+module Obs = Orion_obs.Metrics
 
 type state = Active | Blocked | Committed | Aborted
 
@@ -10,8 +11,8 @@ type tx = {
   mutable tx_state : state;
   snapshot : Snapshot.t;
   mutable created : Oid.t list;
-  instance_locks : (string * Protocol.access, int) Hashtbl.t;
-      (* per-class instance-lock counts, for escalation *)
+  instance_locks : (string * Protocol.access, unit Oid.Tbl.t) Hashtbl.t;
+      (* distinct instances locked per (class, access), for escalation *)
   mutable escalated_classes : (string * Protocol.access) list;
 }
 
@@ -22,6 +23,8 @@ type t = {
   mutable next_tx : int;
   escalation_threshold : int option;
   wal : Orion_wal.Wal.t option;
+  escalations : Obs.counter;
+  acquire_hist : Obs.histogram;
 }
 
 let create ?compat ?escalation_threshold ?wal db =
@@ -32,6 +35,8 @@ let create ?compat ?escalation_threshold ?wal db =
     next_tx = 0;
     escalation_threshold;
     wal;
+    escalations = Obs.counter "tx.escalations";
+    acquire_hist = Obs.histogram "lock.acquire_seconds";
   }
 
 let database t = t.db
@@ -59,7 +64,10 @@ let state tx = tx.tx_state
 (* Locking ------------------------------------------------------------------ *)
 
 let acquire_set t tx locks =
-  match Protocol.acquire_all t.table ~tx:tx.id locks with
+  match
+    Obs.Span.time ~histogram:t.acquire_hist "lock.acquire" (fun () ->
+        Protocol.acquire_all t.table ~tx:tx.id locks)
+  with
   | `Granted ->
       tx.tx_state <- Active;
       `Granted
@@ -97,13 +105,27 @@ let lock_instance t tx oid access =
     (match (result, t.escalation_threshold) with
     | `Granted, Some threshold ->
         let key = (cls, access) in
-        let count = 1 + Option.value (Hashtbl.find_opt tx.instance_locks key) ~default:0 in
-        Hashtbl.replace tx.instance_locks key count;
+        (* Count distinct instances, not acquisitions: re-locking one
+           hot object must not creep toward the threshold, or a
+           whole-class lock replaces a single-instance lock and
+           strangles unrelated readers of the class. *)
+        let oids =
+          match Hashtbl.find_opt tx.instance_locks key with
+          | Some oids -> oids
+          | None ->
+              let oids = Oid.Tbl.create 8 in
+              Hashtbl.replace tx.instance_locks key oids;
+              oids
+        in
+        Oid.Tbl.replace oids oid ();
         if
-          count >= threshold
+          Oid.Tbl.length oids >= threshold
           && Lock_table.try_acquire t.table ~tx:tx.id (Lock_table.G_class cls)
                (escalation_mode access)
-        then tx.escalated_classes <- key :: tx.escalated_classes
+        then begin
+          tx.escalated_classes <- key :: tx.escalated_classes;
+          Obs.incr t.escalations
+        end
     | (`Granted | `Blocked), _ -> ());
     result
   end

@@ -2,6 +2,7 @@ open Orion_core
 module Store = Orion_storage.Store
 module Disk = Orion_storage.Disk
 module R = Orion_storage.Bytes_rw.Reader
+module Obs = Orion_obs.Metrics
 
 exception Crashed
 
@@ -11,10 +12,12 @@ type fault = { kind : fault_kind; mutable remaining : int }
 
 type t = {
   mutable buf : Buffer.t;
-  mutable appends : int;
-  mutable bytes_logged : int;
-  mutable syncs : int;
-  mutable truncations : int;
+  appends : Obs.counter;
+  bytes_logged : Obs.counter;
+  syncs : Obs.counter;
+  truncations : Obs.counter;
+  append_hist : Obs.histogram;
+  sync_hist : Obs.histogram;
   mutable fault : fault option;
   mutable is_crashed : bool;
   mutable page_size : int option;
@@ -24,10 +27,12 @@ type t = {
 let create () =
   {
     buf = Buffer.create 4096;
-    appends = 0;
-    bytes_logged = 0;
-    syncs = 0;
-    truncations = 0;
+    appends = Obs.counter "wal.appends";
+    bytes_logged = Obs.counter "wal.bytes";
+    syncs = Obs.counter "wal.syncs";
+    truncations = Obs.counter "wal.truncations";
+    append_hist = Obs.histogram "wal.append_seconds";
+    sync_hist = Obs.histogram "wal.sync_seconds";
     fault = None;
     is_crashed = false;
     page_size = None;
@@ -38,10 +43,10 @@ let size t = Buffer.length t.buf
 
 let stats t : Database.wal_stats =
   {
-    Database.appends = t.appends;
-    bytes = t.bytes_logged;
-    syncs = t.syncs;
-    truncations = t.truncations;
+    Database.appends = Obs.counter_value t.appends;
+    bytes = Obs.counter_value t.bytes_logged;
+    syncs = Obs.counter_value t.syncs;
+    truncations = Obs.counter_value t.truncations;
   }
 
 let inject_fault t spec =
@@ -68,6 +73,7 @@ let frame record =
 
 let append t record =
   if t.is_crashed then raise Crashed;
+  let started = Unix.gettimeofday () in
   (* Remember the geometry: truncation restarts the log with it. *)
   (match record with
   | Wal_record.Genesis { page_size } -> t.page_size <- Some page_size
@@ -85,8 +91,9 @@ let append t record =
   | Some f -> f.remaining <- f.remaining - 1
   | None -> ());
   Buffer.add_bytes t.buf framed;
-  t.appends <- t.appends + 1;
-  t.bytes_logged <- t.bytes_logged + Bytes.length framed
+  Obs.incr t.appends;
+  Obs.incr t.bytes_logged ~by:(Bytes.length framed);
+  Obs.observe t.append_hist (Unix.gettimeofday () -. started)
 
 let save_file t path =
   let tmp = path ^ ".tmp" in
@@ -100,11 +107,13 @@ let set_backing t path = t.backing <- path
 
 let sync t =
   if t.is_crashed then raise Crashed;
-  t.syncs <- t.syncs + 1;
+  Obs.incr t.syncs;
   (* With a backing file, a sync is a real fsync-point: the log bytes
      reach the filesystem, so a process crash loses at most the appends
      since the last commit/checkpoint. *)
-  match t.backing with Some path -> save_file t path | None -> ()
+  let started = Unix.gettimeofday () in
+  (match t.backing with Some path -> save_file t path | None -> ());
+  Obs.observe t.sync_hist (Unix.gettimeofday () -. started)
 
 let tear t ~bytes =
   let keep = max 0 (Buffer.length t.buf - bytes) in
@@ -115,7 +124,7 @@ let tear t ~bytes =
 let truncate t =
   if t.is_crashed then raise Crashed;
   Buffer.clear t.buf;
-  t.truncations <- t.truncations + 1;
+  Obs.incr t.truncations;
   (match t.page_size with
   | Some page_size -> append t (Wal_record.Genesis { page_size })
   | None -> ());

@@ -154,6 +154,159 @@ let test_release_drops_queue_entries () =
   ignore (LT.release_all t ~tx:2 : int list);
   Alcotest.(check int) "queue empty" 0 (List.length (LT.waiting t))
 
+(* Lock-table regressions ------------------------------------------------------ *)
+
+(* A blocked transaction re-polling with a different mode must not grow
+   the queue: the single queued entry is replaced with the supremum of
+   the old and new requests. *)
+let test_requeue_dedup () =
+  let t = LT.create () in
+  ignore (LT.acquire t ~tx:1 g1 LM.X);
+  Alcotest.(check bool) "t2 S blocked" true (LT.acquire t ~tx:2 g1 LM.S = `Blocked);
+  Alcotest.(check bool) "t2 X re-poll blocked" true
+    (LT.acquire t ~tx:2 g1 LM.X = `Blocked);
+  let t2_waits = List.filter (fun (tx, _, _) -> tx = 2) (LT.waiting t) in
+  Alcotest.(check int) "one queue entry for t2" 1 (List.length t2_waits);
+  (match t2_waits with
+  | [ (_, _, m) ] -> Alcotest.check mode_t "queued mode is the supremum" LM.X m
+  | _ -> Alcotest.fail "expected a single queued entry");
+  (* Re-polling with a weaker mode must not downgrade the queued entry. *)
+  Alcotest.(check bool) "t2 IS re-poll blocked" true
+    (LT.acquire t ~tx:2 g1 LM.IS = `Blocked);
+  (match List.filter (fun (tx, _, _) -> tx = 2) (LT.waiting t) with
+  | [ (_, _, m) ] -> Alcotest.check mode_t "still the supremum" LM.X m
+  | l -> Alcotest.failf "expected one queued entry, got %d" (List.length l));
+  (* Once t1 releases, the deduplicated request is granted at X. *)
+  Alcotest.(check (list Alcotest.int)) "t2 wakes" [ 2 ] (LT.release_all t ~tx:1);
+  Alcotest.(check bool) "granted at X" true (LT.holds t ~tx:2 g1 LM.X)
+
+(* A holder upgrading must end up with ONE granted entry at the
+   supremum, not a stack of (tx, mode) entries. *)
+let test_upgrade_coalesces () =
+  let t = LT.create () in
+  ignore (LT.acquire t ~tx:1 g1 LM.IX);
+  Alcotest.(check bool) "upgrade to S granted" true
+    (LT.acquire t ~tx:1 g1 LM.S = `Granted);
+  (match LT.holders t g1 with
+  | [ (1, m) ] -> Alcotest.check mode_t "single entry at SIX" LM.SIX m
+  | l -> Alcotest.failf "expected one holder entry, got %d" (List.length l));
+  Alcotest.(check bool) "covers SIX" true (LT.holds t ~tx:1 g1 LM.SIX);
+  Alcotest.(check bool) "a covered re-request is granted" true
+    (LT.acquire t ~tx:1 g1 LM.IX = `Granted)
+
+(* [try_acquire] on the already-covered path counts as an acquisition,
+   and a failed probe leaves the counters untouched. *)
+let test_try_acquire_counts () =
+  let t = LT.create () in
+  ignore (LT.acquire t ~tx:1 g1 LM.IX);
+  Alcotest.(check int) "one acquisition" 1 (LT.stats t).LT.acquisitions;
+  Alcotest.(check bool) "covered probe succeeds" true (LT.try_acquire t ~tx:1 g1 LM.IS);
+  Alcotest.(check int) "covered probe counted" 2 (LT.stats t).LT.acquisitions;
+  Alcotest.(check bool) "conflicting probe fails" false
+    (LT.try_acquire t ~tx:2 g1 LM.X);
+  Alcotest.(check int) "failed probe not counted" 2 (LT.stats t).LT.acquisitions;
+  Alcotest.(check int) "failed probe leaves no block" 0 (LT.stats t).LT.blocks
+
+(* Deadlock detection across a convoy whose members have re-polled:
+   the duplicate requests must neither hide the cycle nor corrupt the
+   waits-for edges. *)
+let test_deadlock_with_repolled_convoy () =
+  let t = LT.create () in
+  ignore (LT.acquire t ~tx:1 (gi 1) LM.X);
+  ignore (LT.acquire t ~tx:2 (gi 2) LM.X);
+  Alcotest.(check bool) "t2 queues on g1" true (LT.acquire t ~tx:2 (gi 1) LM.S = `Blocked);
+  (* Convoy member behind t2, re-polling as a server reactor would. *)
+  Alcotest.(check bool) "t3 queues behind t2" true
+    (LT.acquire t ~tx:3 (gi 1) LM.S = `Blocked);
+  ignore (LT.acquire t ~tx:2 (gi 1) LM.X);
+  ignore (LT.acquire t ~tx:3 (gi 1) LM.S);
+  ignore (LT.acquire t ~tx:2 (gi 1) LM.X);
+  Alcotest.(check bool) "no cycle yet" true (LT.find_deadlock t = None);
+  Alcotest.(check bool) "t1 queues on g2" true (LT.acquire t ~tx:1 (gi 2) LM.X = `Blocked);
+  (match LT.find_deadlock t with
+  | Some cycle ->
+      Alcotest.(check bool) "cycle is t1/t2" true
+        (List.mem 1 cycle && List.mem 2 cycle && not (List.mem 3 cycle))
+  | None -> Alcotest.fail "deadlock hidden by re-polled duplicates");
+  (* Victim release clears the cycle and wakes the convoy in order. *)
+  ignore (LT.release_all t ~tx:2 : int list);
+  Alcotest.(check bool) "cleared" true (LT.find_deadlock t = None)
+
+(* Property: under random acquire/re-poll/upgrade/release interleavings
+   over the single-family modes (where suprema always exist), the table
+   keeps its structural invariants: at most one queued entry and one
+   granted entry per (tx, granule), grants of distinct transactions
+   pairwise compatible, and the coalesced held mode still covering
+   every mode the transaction was ever granted. *)
+let prop_lock_table_interleavings =
+  let single = [ LM.IS; LM.IX; LM.S; LM.SIX; LM.X ] in
+  let gen_op =
+    QCheck.Gen.(
+      frequency
+        [
+          ( 4,
+            map
+              (fun ((tx, g), m) -> `Acquire (tx, g, m))
+              (pair (pair (int_range 1 4) (int_range 0 2)) (oneofl single)) );
+          (1, map (fun tx -> `Release tx) (int_range 1 4));
+        ])
+  in
+  QCheck.Test.make ~name:"lock-table interleaving invariants" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 60) gen_op))
+    (fun ops ->
+      let t = LT.create () in
+      let granule = function 0 -> g1 | n -> gi n in
+      (* Modes each tx has been granted per granule, to check coverage. *)
+      let history : (int * int, LM.t) Hashtbl.t = Hashtbl.create 16 in
+      let ok = ref true in
+      let check () =
+        let seen = Hashtbl.create 16 in
+        List.iter
+          (fun (tx, g, _) ->
+            if Hashtbl.mem seen (tx, g) then ok := false;
+            Hashtbl.replace seen (tx, g) ())
+          (LT.waiting t);
+        List.iter
+          (fun g ->
+            let hs = LT.holders t (granule g) in
+            let txs = List.map fst hs in
+            if List.length txs <> List.length (List.sort_uniq compare txs) then
+              ok := false;
+            List.iteri
+              (fun i (tx_a, m_a) ->
+                List.iteri
+                  (fun j (tx_b, m_b) ->
+                    if i < j && tx_a <> tx_b && not (LM.compat m_a m_b) then
+                      ok := false)
+                  hs)
+              hs;
+            List.iter
+              (fun (tx, _) ->
+                List.iter
+                  (fun m -> if not (LT.holds t ~tx (granule g) m) then ok := false)
+                  (Hashtbl.find_all history (tx, g)))
+              hs)
+          [ 0; 1; 2 ]
+      in
+      List.iter
+        (fun op ->
+          (match op with
+          | `Acquire (tx, g, m) -> (
+              match LT.acquire t ~tx (granule g) m with
+              | `Granted -> Hashtbl.add history (tx, g) m
+              | `Blocked -> ())
+          | `Release tx ->
+              List.iter
+                (fun g ->
+                  while Hashtbl.mem history (tx, g) do
+                    Hashtbl.remove history (tx, g)
+                  done)
+                [ 0; 1; 2 ];
+              ignore (LT.release_all t ~tx : int list));
+          check ())
+        ops;
+      !ok)
+
 (* Protocols --------------------------------------------------------------------- *)
 
 let protocol_fixture () =
@@ -320,6 +473,15 @@ let () =
           Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
           Alcotest.test_case "release clears queue" `Quick
             test_release_drops_queue_entries;
+        ] );
+      ( "lock table regressions",
+        [
+          Alcotest.test_case "re-poll dedups queue" `Quick test_requeue_dedup;
+          Alcotest.test_case "upgrade coalesces grant" `Quick test_upgrade_coalesces;
+          Alcotest.test_case "try_acquire accounting" `Quick test_try_acquire_counts;
+          Alcotest.test_case "deadlock under re-polled convoy" `Quick
+            test_deadlock_with_repolled_convoy;
+          QCheck_alcotest.to_alcotest prop_lock_table_interleavings;
         ] );
       ( "protocols",
         [

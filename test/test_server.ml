@@ -15,6 +15,7 @@ module Frame = Orion_protocol.Frame
 module Message = Orion_protocol.Message
 module Wal = Orion_wal.Wal
 module Recovery = Orion_wal.Recovery
+module Obs = Orion_obs.Metrics
 
 let temp_dir () =
   let dir = Filename.temp_file "orion_server_test" "" in
@@ -232,11 +233,86 @@ let test_pipelined_burst_backpressure () =
   in
   Alcotest.(check int) "all requests processed" 41 stats.Server.requests
 
+(* Stats over the wire ----------------------------------------------------------- *)
+
+(* One [Stats] request returns a snapshot spanning every subsystem:
+   lock table, buffer pool, disk, edge cache, WAL (zeroed when the
+   server runs without one) and the server's own counters, plus the
+   latency histograms. *)
+let test_stats_over_the_wire () =
+  let (), _, _ =
+    with_server (fun addr _server ->
+        let c1 = connect addr in
+        let c2 = connect addr in
+        let root =
+          match Client.eval c1 "(make Assembly)" with
+          | Message.Obj oid -> oid
+          | _ -> Alcotest.fail "make"
+        in
+        (* Generate traffic on every subsystem: a composite build and
+           traversal, plus a contended lock that parks c2. *)
+        ignore (Client.begin_tx c1 : int);
+        Client.lock_composite c1 ~root Message.Update;
+        ignore
+          (Client.make c1 ~cls:"Part" ~parents:[ (root, "Parts") ]
+             ~attrs:[ ("Name", Value.Str "probe") ] ()
+            : Oid.t);
+        ignore (Client.begin_tx c2 : int);
+        let waiter =
+          Thread.create (fun () -> Client.lock_composite c2 ~root Message.Read) ()
+        in
+        Thread.delay 0.2;
+        Client.commit c1;
+        Thread.join waiter;
+        Client.commit c2;
+        ignore (Client.components_of c1 root : Oid.t list);
+        let snap = Client.stats c1 in
+        let counter name =
+          match Obs.find_counter snap name with
+          | Some v -> v
+          | None -> Alcotest.failf "counter %s missing from snapshot" name
+        in
+        (* Activity where the workload produced it... *)
+        Alcotest.(check bool) "lock acquisitions" true (counter "lock.acquisitions" > 0);
+        Alcotest.(check bool) "a block was counted" true (counter "lock.blocks" > 0);
+        Alcotest.(check bool) "requests served" true (counter "server.requests" > 0);
+        Alcotest.(check bool) "a park was counted" true
+          (counter "server.parks_total" > 0);
+        (* ...and mere presence where it need not have (cold caches,
+           no WAL attached: the cells exist, zeroed). *)
+        List.iter
+          (fun name -> ignore (counter name : int))
+          [
+            "pool.hits"; "pool.misses"; "disk.reads"; "disk.writes";
+            "edge_cache.hits"; "edge_cache.misses"; "wal.appends"; "wal.syncs";
+          ];
+        Alcotest.(check (option int)) "sessions gauge" (Some 2)
+          (Obs.find_gauge snap "server.sessions");
+        Alcotest.(check (option int)) "parked gauge back to 0" (Some 0)
+          (Obs.find_gauge snap "server.parked");
+        (* The three load-bearing latency histograms, lock wait with a
+           real observation from the park above. *)
+        (match Obs.find_histogram snap "lock.wait_seconds" with
+        | Some h ->
+            Alcotest.(check bool) "lock wait observed" true (h.Obs.count >= 1);
+            Alcotest.(check bool) "waited roughly the park time" true
+              (h.Obs.max >= 0.1)
+        | None -> Alcotest.fail "lock.wait_seconds missing");
+        (match Obs.find_histogram snap "server.dispatch_seconds" with
+        | Some h -> Alcotest.(check bool) "dispatches timed" true (h.Obs.count > 0)
+        | None -> Alcotest.fail "server.dispatch_seconds missing");
+        Alcotest.(check bool) "wal.append_seconds present" true
+          (Obs.find_histogram snap "wal.append_seconds" <> None);
+        Client.close c1;
+        Client.close c2)
+  in
+  ()
+
 (* Parked transactions ----------------------------------------------------------- *)
 
 let test_park_and_wakeup () =
   let (), _, stats =
-    with_server (fun addr _server ->
+    with_server (fun addr server ->
         let c1 = connect addr in
         let c2 = connect addr in
         let root =
@@ -258,15 +334,23 @@ let test_park_and_wakeup () =
             ()
         in
         Thread.delay 0.3;
+        (* Regression: [parked] is a gauge over live sessions, not a
+           lifetime counter — it must read 1 while c2 waits... *)
+        Alcotest.(check int) "gauge is 1 while parked" 1
+          (Server.stats server).Server.parked;
         Client.commit c1;
         Thread.join waiter;
         Alcotest.(check bool) "granted only after the commit" true
           (!granted_after >= 0.25);
+        (* ...and return to 0 once the wait is granted. *)
+        Alcotest.(check int) "gauge returns to 0 after resume" 0
+          (Server.stats server).Server.parked;
         Client.commit c2;
         Client.close c1;
         Client.close c2)
   in
-  Alcotest.(check bool) "the wait was a park" true (stats.Server.parked >= 1)
+  Alcotest.(check bool) "the wait was a park" true (stats.Server.parks_total >= 1);
+  Alcotest.(check int) "no session still parked" 0 stats.Server.parked
 
 let test_deadlock_victim_on_the_wire () =
   let (), _, stats =
@@ -593,6 +677,7 @@ let () =
           Alcotest.test_case "hello required first" `Quick test_hello_required_first;
           Alcotest.test_case "graceful shutdown" `Quick
             test_graceful_shutdown_notifies;
+          Alcotest.test_case "stats over the wire" `Quick test_stats_over_the_wire;
         ] );
       ( "admission",
         [

@@ -302,6 +302,40 @@ let test_lock_escalation () =
   ignore (Tx.commit manager tx : int list);
   Alcotest.(check bool) "unblocked after commit" true (Tx.state other = Tx.Active)
 
+(* Regression: escalation must trigger on DISTINCT instances, not raw
+   acquisitions — re-locking one hot object [threshold] times is not
+   class-wide access and must leave the class unescalated. *)
+let test_escalation_counts_distinct_instances () =
+  let db = fixture () in
+  let hot = Object_manager.create db ~cls:"Leaf" () in
+  let manager = Tx.create ~escalation_threshold:4 db in
+  let tx = Tx.begin_tx manager in
+  for i = 1 to 6 do
+    Alcotest.(check bool)
+      (Printf.sprintf "re-lock %d granted" i)
+      true
+      (Tx.lock_instance manager tx hot Protocol.Update = `Granted)
+  done;
+  Alcotest.(check (list Alcotest.string)) "one hot instance never escalates" []
+    (Tx.escalated manager tx);
+  (* A concurrent reader of a different leaf stays unblocked — proof no
+     class X lock snuck in. *)
+  let cold = Object_manager.create db ~cls:"Leaf" () in
+  let other = Tx.begin_tx manager in
+  Alcotest.(check bool) "other leaf readable" true
+    (Tx.lock_instance manager other cold Protocol.Read_ = `Granted);
+  ignore (Tx.commit manager other : int list);
+  (* Touching distinct instances does cross the threshold. *)
+  let leaves = List.init 3 (fun _ -> Object_manager.create db ~cls:"Leaf" ()) in
+  List.iter
+    (fun leaf ->
+      ignore (Tx.lock_instance manager tx leaf Protocol.Update
+               : [ `Granted | `Blocked ]))
+    leaves;
+  Alcotest.(check (list Alcotest.string)) "distinct instances escalate" [ "Leaf" ]
+    (Tx.escalated manager tx);
+  ignore (Tx.commit manager tx : int list)
+
 let test_escalation_denied_under_contention () =
   let db = fixture () in
   let leaves = List.init 6 (fun _ -> Object_manager.create db ~cls:"Leaf" ()) in
@@ -454,6 +488,8 @@ let () =
           Alcotest.test_case "deadlock victim abort wakes survivor" `Quick
             test_deadlock_victim_abort_wakes_survivor;
           Alcotest.test_case "lock escalation" `Quick test_lock_escalation;
+          Alcotest.test_case "escalation counts distinct instances" `Quick
+            test_escalation_counts_distinct_instances;
           Alcotest.test_case "escalation denied under contention" `Quick
             test_escalation_denied_under_contention;
         ] );
