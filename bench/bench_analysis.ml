@@ -1,0 +1,138 @@
+(* Static-analysis throughput: how long `orion analyze` and `orion
+   fsck` take as the inputs grow.
+
+   - analyze: a synthetic lattice of [n] classes arranged as composite
+     chains hanging off shared hubs — enough structure to exercise the
+     cycle DFS, cascade closure and fan-in ranking on every class;
+   - fsck: a store of [m] parent/child composite objects saved to a
+     temp .odb (plus a WAL) and re-checked from bytes.
+
+   Both must stay comfortably interactive at schema/store sizes an
+   order of magnitude past the examples, since CI runs the analyzer on
+   every schema and the acceptance bar is "runs without a live
+   session".  `--json PATH` writes BENCH_PR5.json-style output,
+   `--quick` trims sizes to a smoke test. *)
+
+module A = Orion_schema.Attribute
+module D = Orion_schema.Domain
+module Schema = Orion_schema.Schema
+module Store = Orion_storage.Store
+module SA = Orion_analysis.Schema_analysis
+module SC = Orion_analysis.Store_check
+open Orion_core
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let comp name domain =
+  A.make ~name ~domain:(D.Class domain) ~collection:A.Set
+    ~refkind:(A.composite ~dependent:true ~exclusive:true ())
+    ()
+
+(* [n] classes: every tenth one is a hub holding composite references
+   into the nine that follow it, which chain into each other — deep
+   cascades and multi-parent fan-in without any cycle. *)
+let synthetic_schema n =
+  let schema = Schema.create () in
+  let name i = Printf.sprintf "C%d" i in
+  for i = n - 1 downto 0 do
+    let attrs =
+      if i mod 10 = 0 then
+        List.filteri
+          (fun j _ -> i + j + 1 < n)
+          (List.init 9 (fun j -> comp (Printf.sprintf "A%d" j) (name (i + j + 1))))
+      else if i + 1 < n && (i + 1) mod 10 <> 0 then
+        [ comp "Next" (name (i + 1)) ]
+      else []
+    in
+    ignore
+      (Schema.define schema ~name:(name i) ~attributes:attrs ()
+        : Orion_schema.Class_def.t)
+  done;
+  schema
+
+type row = { case : string; size : int; elapsed_s : float; findings : int }
+
+let bench_analyze n =
+  let schema = synthetic_schema n in
+  let findings, elapsed = time (fun () -> SA.analyze schema) in
+  { case = "analyze"; size = n; elapsed_s = elapsed; findings = List.length findings }
+
+let bench_fsck m =
+  let db = Database.create () in
+  let schema = Database.schema db in
+  ignore
+    (Schema.define schema ~name:"Child"
+       ~attributes:[ A.make ~name:"Name" ~domain:(D.Primitive D.P_string) () ]
+       ()
+      : Orion_schema.Class_def.t);
+  ignore
+    (Schema.define schema ~name:"Parent" ~attributes:[ comp "Kids" "Child" ] ()
+      : Orion_schema.Class_def.t);
+  for _ = 1 to m do
+    let p = Object_manager.create db ~cls:"Parent" () in
+    for _ = 1 to 4 do
+      ignore (Object_manager.create db ~cls:"Child" ~parents:[ (p, "Kids") ] () : Oid.t)
+    done
+  done;
+  Persist.save db;
+  let path = Filename.temp_file "orion_bench_fsck" ".odb" in
+  Store.save_file (Database.store db) path;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let report, elapsed = time (fun () -> SC.check_file path) in
+      if SC.failed report then failwith "fsck found issues in a clean store";
+      {
+        case = "fsck";
+        size = report.SC.live_records;
+        elapsed_s = elapsed;
+        findings = List.length report.SC.issues;
+      })
+
+let write_json ~path rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"orion-bench-analysis-v1\",\n";
+  Bench_meta.add buf;
+  Buffer.add_string buf "  \"results\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"case\": \"%s\", \"size\": %d, \"elapsed_s\": %.4f, \
+            \"findings\": %d }%s\n"
+           r.case r.size r.elapsed_s r.findings
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  Printf.printf "\nwrote %s\n%!" path
+
+let () =
+  let quick = Array.exists (String.equal "--quick") Sys.argv in
+  let json_path =
+    let rec scan i =
+      if i >= Array.length Sys.argv - 1 then None
+      else if String.equal Sys.argv.(i) "--json" then Some Sys.argv.(i + 1)
+      else scan (i + 1)
+    in
+    scan 1
+  in
+  let schema_sizes = if quick then [ 50 ] else [ 50; 200; 800 ] in
+  let store_sizes = if quick then [ 50 ] else [ 200; 1000 ] in
+  print_endline "=== Static analysis bench: schema analyzer and offline fsck ===";
+  let rows =
+    List.map bench_analyze schema_sizes @ List.map bench_fsck store_sizes
+  in
+  List.iter
+    (fun r ->
+      Printf.printf "%-8s size %5d: %8.2f ms  (%d findings)\n%!" r.case r.size
+        (r.elapsed_s *. 1e3) r.findings)
+    rows;
+  match json_path with Some path -> write_json ~path rows | None -> ()

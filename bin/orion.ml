@@ -9,6 +9,8 @@ module Report = Orion_experiments.Report
 
 module Wal = Orion_wal.Wal
 module Recovery = Orion_wal.Recovery
+module Schema_analysis = Orion_analysis.Schema_analysis
+module Store_check = Orion_analysis.Store_check
 module Server = Orion_server.Server
 module Client = Orion_client
 module Message = Orion_protocol.Message
@@ -296,6 +298,35 @@ let recover_cmd =
           its last committed state")
     Term.(const run $ db_pos $ wal_file $ dry_run)
 
+(* Heuristic shared by stats/analyze/check: .odb files are stores;
+   anything else is a program evaluated into a fresh environment. *)
+let load_env_from file =
+  if Filename.check_suffix file ".odb" then open_env (Some file)
+  else begin
+    let ic = open_in file in
+    let src = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let env = Eval.create_env () in
+    ignore (Repl.run_script env src : (Orion_util.Sexp.t * Eval.v) list);
+    env
+  end
+
+let connect_client ~client_name addr_string =
+  let addr =
+    try Orion_protocol.Addr.parse addr_string
+    with Invalid_argument msg ->
+      Format.eprintf "error: %s@." msg;
+      exit 2
+  in
+  try Client.connect ~client_name addr with
+  | Client.Error (code, msg) ->
+      Format.eprintf "error [%s]: %s@." (Message.err_code_to_string code) msg;
+      exit 1
+  | Unix.Unix_error (e, _, _) ->
+      Format.eprintf "error: cannot connect to %s: %s@." addr_string
+        (Unix.error_message e);
+      exit 1
+
 let stats_cmd =
   let file =
     Arg.(
@@ -311,40 +342,61 @@ let stats_cmd =
              ($(i,host:port), $(i,:port), a bare port, or a socket path) \
              instead of summarizing a file.")
   in
-  let run_connect addr_string =
-    let addr =
-      try Orion_protocol.Addr.parse addr_string
-      with Invalid_argument msg ->
-        Format.eprintf "error: %s@." msg;
-        exit 2
-    in
-    let client =
-      try Client.connect ~client_name:"orion-stats" addr with
-      | Client.Error (code, msg) ->
-          Format.eprintf "error [%s]: %s@." (Message.err_code_to_string code) msg;
-          exit 1
-      | Unix.Unix_error (e, _, _) ->
-          Format.eprintf "error: cannot connect to %s: %s@." addr_string
-            (Unix.error_message e);
-          exit 1
-    in
-    let snapshot = Client.stats client in
-    Client.close client;
-    Format.printf "%a@." Orion_obs.Metrics.pp_snapshot snapshot
+  let watch =
+    Arg.(
+      value & opt (some float) None
+      & info [ "watch" ] ~docv:"SECONDS"
+          ~doc:
+            "With $(b,--connect): keep sampling every $(docv) seconds and \
+             print per-second rates of the changed counters and histograms \
+             (Ctrl-C to stop).  Sampling is entirely client-side — the \
+             server just answers plain Stats requests.")
+  in
+  let run_connect addr_string watch =
+    let client = connect_client ~client_name:"orion-stats" addr_string in
+    match watch with
+    | None ->
+        let snapshot = Client.stats client in
+        Client.close client;
+        Format.printf "%a@." Orion_obs.Metrics.pp_snapshot snapshot
+    | Some interval ->
+        let interval = Float.max 0.05 interval in
+        let finally () = try Client.close client with _ -> () in
+        Fun.protect ~finally (fun () ->
+            try
+              let before = ref (Client.stats client) in
+              let before_at = ref (Unix.gettimeofday ()) in
+              while true do
+                Unix.sleepf interval;
+                let after = Client.stats client in
+                let now = Unix.gettimeofday () in
+                let r =
+                  Orion_obs.Metrics.rates ~before:!before ~after
+                    ~dt:(now -. !before_at)
+                in
+                Format.printf "-- %.1fs@.%a@." r.Orion_obs.Metrics.dt
+                  Orion_obs.Metrics.pp_rates r;
+                before := after;
+                before_at := now
+              done
+            with
+            | Client.Error (code, msg) ->
+                Format.eprintf "error [%s]: %s@."
+                  (Message.err_code_to_string code)
+                  msg;
+                exit 1
+            | Client.Disconnected msg ->
+                Format.eprintf "disconnected: %s@." msg;
+                exit 1
+            (* Reader went away (e.g. piped into head): stop sampling. *)
+            | Sys_error _ -> ());
+        (* The sampling loop only falls through when stdout died, and
+           its channel buffer can never drain — skip the at-exit
+           flushes (which would re-raise) and leave directly. *)
+        Unix._exit 0
   in
   let run_file file =
-    let env =
-      (* Heuristic: .odb files are stores; anything else is a program. *)
-      if Filename.check_suffix file ".odb" then open_env (Some file)
-      else begin
-        let ic = open_in file in
-        let src = really_input_string ic (in_channel_length ic) in
-        close_in ic;
-        let env = Eval.create_env () in
-        ignore (Repl.run_script env src : (Orion_util.Sexp.t * Eval.v) list);
-        env
-      end
-    in
+    let env = load_env_from file in
     let db = Eval.database env in
     let schema = Orion_core.Database.schema db in
     let table =
@@ -385,10 +437,15 @@ let stats_cmd =
           violations;
         exit 1
   in
-  let run connect file =
+  let run connect file watch =
     match (connect, file) with
-    | Some addr, None -> run_connect addr
-    | None, Some file -> run_file file
+    | Some addr, None -> run_connect addr watch
+    | None, Some file ->
+        if watch <> None then begin
+          Format.eprintf "error: --watch needs --connect@.";
+          exit 2
+        end;
+        run_file file
     | Some _, Some _ ->
         Format.eprintf "error: --connect and FILE are exclusive@.";
         exit 2
@@ -400,8 +457,162 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:
          "Summarize a database file (.odb), the result of a program, or — \
-          with $(b,--connect) — the live metrics of a running server")
-    Term.(const run $ connect $ file)
+          with $(b,--connect) — the live metrics of a running server, \
+          optionally sampled as rates with $(b,--watch)")
+    Term.(const run $ connect $ file $ watch)
+
+let analyze_cmd =
+  let file =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Database file (.odb) or ORION program")
+  in
+  let connect =
+    Arg.(
+      value & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Fetch a live metrics snapshot from a running server and join \
+             observed per-class lock contention ($(i,lock.blocks{class=C})) \
+             into the fan-in hazard ranking.")
+  in
+  let sexp =
+    Arg.(
+      value & flag
+      & info [ "sexp" ] ~doc:"Print findings as s-expressions (machine readable).")
+  in
+  let cascades =
+    Arg.(
+      value & opt int 6
+      & info [ "cascades" ] ~docv:"N"
+          ~doc:
+            "Flag classes whose dependent delete-cascade closure spans at \
+             least $(docv) classes.")
+  in
+  let fanin =
+    Arg.(
+      value & opt int 3
+      & info [ "fanin" ] ~docv:"N"
+          ~doc:
+            "Flag classes referenced by composite attributes of at least \
+             $(docv) distinct classes.")
+  in
+  let run file connect sexp cascades fanin =
+    let env = load_env_from file in
+    let schema = Orion_core.Database.schema (Eval.database env) in
+    let snapshot =
+      Option.map
+        (fun addr ->
+          let client = connect_client ~client_name:"orion-analyze" addr in
+          let s = Client.stats client in
+          Client.close client;
+          s)
+        connect
+    in
+    let findings =
+      Schema_analysis.analyze ?snapshot ~cascade_threshold:cascades
+        ~fanin_threshold:fanin schema
+    in
+    List.iter
+      (fun f ->
+        if sexp then print_endline (Schema_analysis.finding_to_sexp f)
+        else Format.printf "%a@." Schema_analysis.pp_finding f)
+      findings;
+    (* Info findings (snapshot cross-checks) inform but do not fail. *)
+    if
+      List.exists
+        (fun f -> f.Schema_analysis.severity <> Schema_analysis.Info)
+        findings
+    then exit 1
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Static hazard analysis of a schema: composite cycles, \
+          delete-cascade blast radius, clustering ambiguity, lock-granule \
+          fan-in, dead and shadowed composite attributes.  Silent (exit 0) \
+          on a clean schema.")
+    Term.(const run $ file $ connect $ sexp $ cascades $ fanin)
+
+let fsck_cmd =
+  let db_pos =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"DB" ~doc:"Database file to verify (never modified).")
+  in
+  let wal_file =
+    Arg.(
+      value & opt (some file) None
+      & info [ "wal" ] ~docv:"FILE"
+          ~doc:
+            "Write-ahead log to verify alongside the store (default: \
+             $(i,DB).wal when it exists).")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Fail on warnings too (leaked records, an open trailing \
+             checkpoint bracket), not just on corruption.")
+  in
+  let run db_path wal_file strict =
+    let wal =
+      match wal_file with
+      | Some _ -> wal_file
+      | None ->
+          let candidate = wal_path_of db_path in
+          if Sys.file_exists candidate then Some candidate else None
+    in
+    let report = Store_check.check_file ?wal db_path in
+    Format.printf "%a@." Store_check.pp_report report;
+    if Store_check.failed ~strict report then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Offline integrity check of a database file (and its write-ahead \
+          log): page checksums, directory-vs-allocation agreement, WAL frame \
+          chain and checkpoint brackets, and per-object reverse-reference \
+          flags against the schema.  Read-only; exits non-zero on corruption.")
+    Term.(const run $ db_pos $ wal_file $ strict)
+
+let check_cmd =
+  let file =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Database file (.odb) or ORION program")
+  in
+  let scrub =
+    Arg.(
+      value & flag
+      & info [ "scrub" ]
+          ~doc:
+            "Also report how many dangling weak references an offline scrub \
+             would remove (a dry run — the file is not modified; the paper \
+             treats such residue as legal, D3).")
+  in
+  let run file scrub =
+    let env = load_env_from file in
+    let db = Eval.database env in
+    if scrub then
+      Printf.printf "scrub would remove %d dangling weak reference(s)\n"
+        (List.length (Orion_core.Integrity.dangling_weak_refs db));
+    match Orion_core.Integrity.check db with
+    | [] -> print_endline "integrity: consistent"
+    | violations ->
+        Format.printf "integrity violations:@.%a@."
+          (Format.pp_print_list Orion_core.Integrity.pp_violation)
+          violations;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the live integrity checker over a database file or the result \
+          of a program; $(b,--scrub) reports the dangling-weak-reference \
+          residue an offline scavenger would collect.")
+    Term.(const run $ file $ scrub)
 
 let serve_cmd =
   let db_pos =
@@ -595,7 +806,7 @@ let shell_cmd =
 
 let () =
   let doc = "Composite objects a la ORION (Kim, Bertino & Garza, SIGMOD 1989)" in
-  let info = Cmd.info "orion" ~version:"1.3.0" ~doc in
+  let info = Cmd.info "orion" ~version:"1.4.0" ~doc in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval
@@ -607,6 +818,9 @@ let () =
             run_cmd;
             dump_cmd;
             stats_cmd;
+            analyze_cmd;
+            fsck_cmd;
+            check_cmd;
             recover_cmd;
             serve_cmd;
             shell_cmd;

@@ -1,0 +1,395 @@
+module Schema = Orion_schema.Schema
+module Class_def = Orion_schema.Class_def
+module Attribute = Orion_schema.Attribute
+module Domain = Orion_schema.Domain
+module Obs = Orion_obs.Metrics
+
+type severity = Info | Warning | Error
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let pp_severity ppf s =
+  Format.pp_print_string ppf
+    (match s with Info -> "info" | Warning -> "warning" | Error -> "error")
+
+type finding = {
+  severity : severity;
+  code : string;
+  cls : string;
+  path : string list;
+  detail : string;
+}
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%a %s %s: %s" pp_severity f.severity f.code f.cls
+    f.detail;
+  if f.path <> [] then
+    Format.fprintf ppf " [%s]" (String.concat "; " f.path)
+
+let finding_to_sexp f =
+  let atoms l = String.concat " " (List.map (Printf.sprintf "%S") l) in
+  Printf.sprintf
+    "(finding (severity %s) (code %s) (class %S) (path (%s)) (detail %S))"
+    (Format.asprintf "%a" pp_severity f.severity)
+    f.code f.cls (atoms f.path) f.detail
+
+let errors = List.filter (fun f -> f.severity = Error)
+let warnings = List.filter (fun f -> f.severity = Warning)
+
+(* The composite-attribute graph.  One edge per (source class,
+   attribute, expanded target): the source side already ranges over
+   every class (effective attributes include inherited ones), the
+   target side expands the domain with its subclasses — an attribute of
+   domain C may hold instances of any subclass of C. *)
+type edge = {
+  e_src : string;
+  e_attr : string;
+  e_dst : string;
+  e_exclusive : bool;
+  e_dependent : bool;
+}
+
+let edge_label e = Printf.sprintf "%s.%s->%s" e.e_src e.e_attr e.e_dst
+
+let composite_edges schema =
+  List.concat_map
+    (fun (c : Class_def.t) ->
+      Schema.composite_attributes schema c.name
+      |> List.concat_map (fun (a : Attribute.t) ->
+             match (a.refkind, Domain.class_name a.domain) with
+             | Attribute.Composite { exclusive; dependent }, Some d
+               when Schema.mem schema d ->
+                 List.map
+                   (fun dst ->
+                     {
+                       e_src = c.name;
+                       e_attr = a.Attribute.name;
+                       e_dst = dst;
+                       e_exclusive = exclusive;
+                       e_dependent = dependent;
+                     })
+                   (d :: Schema.all_subclasses schema d)
+             | _ -> []))
+    (Schema.classes schema)
+
+let out_edges edges src = List.filter (fun e -> e.e_src = src) edges
+
+(* composite-cycle ---------------------------------------------------------- *)
+
+(* A DFS from [start] looking for a path of composite edges back to
+   [start]; each cycle is reported once, for its lexicographically
+   smallest member. *)
+let find_cycle edges start =
+  let visited = Hashtbl.create 16 in
+  let rec go cls path =
+    List.fold_left
+      (fun acc e ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            if e.e_dst = start then Some (List.rev (e :: path))
+            else if Hashtbl.mem visited e.e_dst then None
+            else begin
+              Hashtbl.replace visited e.e_dst ();
+              go e.e_dst (e :: path)
+            end)
+      None (out_edges edges cls)
+  in
+  go start []
+
+let cycles schema edges =
+  List.filter_map
+    (fun (c : Class_def.t) ->
+      match find_cycle edges c.name with
+      | None -> None
+      | Some cycle ->
+          let members = List.map (fun e -> e.e_src) cycle in
+          if List.for_all (fun m -> c.name <= m) members then
+            Some
+              {
+                severity = Error;
+                code = "composite-cycle";
+                cls = c.name;
+                path = List.map edge_label cycle;
+                detail =
+                  Printf.sprintf
+                    "composite references cycle through %d class%s; a \
+                     delete-cascade or acyclic-regime check over this schema \
+                     can chase its own tail"
+                    (List.length members)
+                    (if List.length members = 1 then "" else "es");
+              }
+          else None)
+    (Schema.classes schema)
+
+(* cascade-radius ----------------------------------------------------------- *)
+
+(* BFS over dependent composite edges: the classes a delete of one
+   instance may transitively cascade into, with the discovery path of
+   the furthest one as witness. *)
+let cascade_closure edges root =
+  let parent = Hashtbl.create 16 in
+  (* class -> edge that discovered it *)
+  let queue = Queue.create () in
+  Queue.add root queue;
+  let last = ref None in
+  while not (Queue.is_empty queue) do
+    let cls = Queue.pop queue in
+    List.iter
+      (fun e ->
+        if e.e_dependent && e.e_dst <> root && not (Hashtbl.mem parent e.e_dst)
+        then begin
+          Hashtbl.replace parent e.e_dst e;
+          last := Some e.e_dst;
+          Queue.add e.e_dst queue
+        end)
+      (out_edges edges cls)
+  done;
+  let rec witness cls acc =
+    match Hashtbl.find_opt parent cls with
+    | None -> acc
+    | Some e -> witness e.e_src (e :: acc)
+  in
+  (Hashtbl.length parent, match !last with
+   | None -> []
+   | Some deepest -> List.map edge_label (witness deepest []))
+
+let cascades schema edges ~threshold =
+  List.filter_map
+    (fun (c : Class_def.t) ->
+      let radius, path = cascade_closure edges c.name in
+      if radius >= threshold then
+        Some
+          {
+            severity = Warning;
+            code = "cascade-radius";
+            cls = c.name;
+            path;
+            detail =
+              Printf.sprintf
+                "deleting one %s may cascade across %d classes of dependent \
+                 components, all under the root's X lock"
+                c.name radius;
+          }
+      else None)
+    (Schema.classes schema)
+
+(* clustering-ambiguity ----------------------------------------------------- *)
+
+let clustering schema edges =
+  List.filter_map
+    (fun (c : Class_def.t) ->
+      let seg = Schema.segment_of_class schema c.name in
+      let in_edges =
+        List.filter
+          (fun e ->
+            e.e_dst = c.name && e.e_exclusive && e.e_src <> c.name
+            && Schema.segment_of_class schema e.e_src = seg)
+          edges
+      in
+      let parents =
+        List.sort_uniq String.compare (List.map (fun e -> e.e_src) in_edges)
+      in
+      if List.length parents >= 2 then
+        Some
+          {
+            severity = Warning;
+            code = "clustering-ambiguity";
+            cls = c.name;
+            path = List.map edge_label in_edges;
+            detail =
+              Printf.sprintf
+                "%s shares a segment with %d exclusive-composite parent \
+                 classes (%s); which parent a new instance clusters with \
+                 depends on creation order"
+                c.name (List.length parents)
+                (String.concat ", " parents);
+          }
+      else None)
+    (Schema.classes schema)
+
+(* lock-fanin (with optional snapshot join) --------------------------------- *)
+
+let observed_blocks snapshot cls =
+  match snapshot with
+  | None -> None
+  | Some s ->
+      Obs.find_counter s (Obs.labeled "lock.blocks" ("class", cls))
+
+let fanin schema edges ~threshold ~snapshot =
+  let flagged = Hashtbl.create 16 in
+  let findings =
+    List.filter_map
+      (fun (c : Class_def.t) ->
+        let in_edges =
+          List.filter (fun e -> e.e_dst = c.name && e.e_src <> c.name) edges
+        in
+        let parents =
+          List.sort_uniq String.compare (List.map (fun e -> e.e_src) in_edges)
+        in
+        let n = List.length parents in
+        if n >= threshold then begin
+          Hashtbl.replace flagged c.name ();
+          let observed =
+            match observed_blocks snapshot c.name with
+            | Some b -> Printf.sprintf "; %d blocked requests observed" b
+            | None -> ""
+          in
+          Some
+            {
+              severity = Warning;
+              code = "lock-fanin";
+              cls = c.name;
+              path = List.map edge_label in_edges;
+              detail =
+                Printf.sprintf
+                  "%d classes hold composite references into %s (%s): \
+                   unrelated composite roots contend for intention locks on \
+                   its class granule%s"
+                  n c.name
+                  (String.concat ", " parents)
+                  observed;
+            }
+        end
+        else None)
+      (Schema.classes schema)
+  in
+  (* Snapshot cross-check: contention the schema shape does not
+     predict. *)
+  let surprises =
+    match snapshot with
+    | None -> []
+    | Some s ->
+        List.filter_map
+          (fun (name, v) ->
+            match Obs.label_value name ~base:"lock.blocks" ~key:"class" with
+            | Some cls when v > 0 && not (Hashtbl.mem flagged cls) ->
+                Some
+                  {
+                    severity = Info;
+                    code = "observed-contention";
+                    cls;
+                    path = [];
+                    detail =
+                      Printf.sprintf
+                        "%d blocked lock requests observed on %s, which has \
+                         composite fan-in below the hazard threshold"
+                        v cls;
+                  }
+            | _ -> None)
+          s.Obs.counters
+  in
+  findings @ surprises
+
+(* dead / shadowed composite attributes ------------------------------------- *)
+
+let dead_attributes schema =
+  List.concat_map
+    (fun (c : Class_def.t) ->
+      List.filter_map
+        (fun (a : Attribute.t) ->
+          match (a.refkind, Domain.class_name a.domain) with
+          | Attribute.Composite _, Some d when not (Schema.mem schema d) ->
+              Some
+                {
+                  severity = Warning;
+                  code = "dead-composite-attribute";
+                  cls = c.name;
+                  path = [ Printf.sprintf "%s.%s->%s" c.name a.name d ];
+                  detail =
+                    Printf.sprintf
+                      "composite attribute %s.%s references class %s, which \
+                       no longer exists (dropped during schema evolution?)"
+                      c.name a.name d;
+                }
+          | _ -> None)
+        c.own_attributes)
+    (Schema.classes schema)
+
+(* A class shadows a composite attribute when some superclass resolves
+   the name to a composite reference but the class itself resolves it
+   to a non-composite one (own override, or first-superclass-wins
+   conflict resolution).  Reported where the shadowing is introduced:
+   at the first class down the lattice whose resolution flips. *)
+let shadowing_source schema cls attr_name =
+  List.find_opt
+    (fun super ->
+      match Schema.attribute schema super attr_name with
+      | Some a -> Attribute.is_composite a
+      | None -> false)
+    (Schema.all_superclasses schema cls)
+
+let shadowed_here schema cls attr_name =
+  (match Schema.attribute schema cls attr_name with
+  | Some a -> not (Attribute.is_composite a)
+  | None -> false)
+  && shadowing_source schema cls attr_name <> None
+
+let shadowed_attributes schema =
+  List.concat_map
+    (fun (c : Class_def.t) ->
+      let candidates =
+        List.sort_uniq String.compare
+          (List.concat_map
+             (fun super ->
+               List.map
+                 (fun (a : Attribute.t) -> a.name)
+                 (Schema.composite_attributes schema super))
+             (Schema.all_superclasses schema c.name))
+      in
+      List.filter_map
+        (fun attr_name ->
+          if
+            shadowed_here schema c.name attr_name
+            && not
+                 (List.exists
+                    (fun super -> shadowed_here schema super attr_name)
+                    (Schema.superclasses schema c.name))
+          then
+            let source =
+              Option.value
+                (shadowing_source schema c.name attr_name)
+                ~default:"?"
+            in
+            Some
+              {
+                severity = Warning;
+                code = "shadowed-composite-attribute";
+                cls = c.name;
+                path =
+                  [
+                    Printf.sprintf "%s.%s" source attr_name;
+                    Printf.sprintf "%s.%s" c.name attr_name;
+                  ];
+                detail =
+                  Printf.sprintf
+                    "%s inherits composite attribute %s from %s but resolves \
+                     it to a non-composite reference, dropping IS-PART-OF \
+                     semantics in this subtree"
+                    c.name attr_name source;
+              }
+          else None)
+        candidates)
+    (Schema.classes schema)
+
+(* ---------------------------------------------------------------------------- *)
+
+let analyze ?snapshot ?(cascade_threshold = 6) ?(fanin_threshold = 3) schema =
+  let edges = composite_edges schema in
+  let findings =
+    cycles schema edges
+    @ cascades schema edges ~threshold:cascade_threshold
+    @ clustering schema edges
+    @ fanin schema edges ~threshold:fanin_threshold ~snapshot
+    @ dead_attributes schema
+    @ shadowed_attributes schema
+  in
+  List.sort
+    (fun a b ->
+      match compare (severity_rank a.severity) (severity_rank b.severity) with
+      | 0 -> (
+          match String.compare a.cls b.cls with
+          | 0 -> String.compare a.code b.code
+          | n -> n)
+      | n -> n)
+    findings

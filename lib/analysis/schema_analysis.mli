@@ -1,0 +1,70 @@
+(** Static hazard analysis over the class lattice's composite-attribute
+    graph ([orion analyze]).
+
+    The analyses run on a {!Orion_schema.Schema.t} alone — no instances
+    needed — and flag structures that are legal to define but hazardous
+    to live with:
+
+    - {b composite-cycle} (error): a cycle through composite attributes.
+      Instance-level cycle prevention (the [acyclic] regime) will veto
+      assignments at runtime, and delete-cascades over such a schema can
+      chase their own tail.
+    - {b cascade-radius} (warning): the transitive dependent-reference
+      closure of a class spans many classes — deleting one instance may
+      cascade across all of them under a single X lock on the root.
+    - {b clustering-ambiguity} (warning): a class is reachable through
+      exclusive composite references from two or more parent classes
+      {e sharing its segment}.  §2.3 clusters an instance near its first
+      parent; with several candidate parents in one segment the
+      placement depends on creation order and the benefit is unstable.
+    - {b lock-fanin} (warning): many distinct classes hold composite
+      references into one component class, so unrelated composite roots
+      contend for intention locks on its class granule.  When a live
+      metrics {!snapshot} is supplied, the observed
+      [lock.blocks{class=C}] cell is joined into the finding.
+    - {b observed-contention} (info, snapshot only): a class shows
+      blocked lock requests in the snapshot without a high static
+      fan-in — contention the schema shape does not predict.
+    - {b dead-composite-attribute} (warning): a composite attribute
+      whose domain class no longer exists (left behind by
+      [drop_class]).
+    - {b shadowed-composite-attribute} (warning): a class inherits a
+      composite attribute but resolves the name to a non-composite one
+      (own override, or first-superclass-wins conflict), silently
+      dropping IS-PART-OF semantics in that subtree. *)
+
+type severity = Info | Warning | Error
+
+val pp_severity : Format.formatter -> severity -> unit
+
+type finding = {
+  severity : severity;
+  code : string;  (** machine-readable kind, e.g. ["composite-cycle"] *)
+  cls : string;  (** the principal class of the finding *)
+  path : string list;
+      (** witnessing path, as ["C.attr->D"] edge steps (possibly empty) *)
+  detail : string;  (** human-readable explanation *)
+}
+
+val pp_finding : Format.formatter -> finding -> unit
+(** One line: severity, code, class, detail, then the witness path. *)
+
+val finding_to_sexp : finding -> string
+(** [(finding (severity warning) (code ...) (class ...) (path (...))
+    (detail "..."))]. *)
+
+val errors : finding list -> finding list
+val warnings : finding list -> finding list
+
+val analyze :
+  ?snapshot:Orion_obs.Metrics.snapshot ->
+  ?cascade_threshold:int ->
+  ?fanin_threshold:int ->
+  Orion_schema.Schema.t ->
+  finding list
+(** Run every analysis; findings are sorted most severe first, then by
+    class name.  [cascade_threshold] (default 6) is the number of
+    distinct classes a dependent cascade must span to be flagged;
+    [fanin_threshold] (default 3) the number of distinct referencing
+    classes.  [snapshot] joins observed per-class lock contention into
+    the fan-in ranking. *)

@@ -1,0 +1,81 @@
+(** Offline store / WAL checker ([orion fsck]).
+
+    Runs against the {e bytes} of a saved [.odb] file (and optionally a
+    WAL file) — no live {!Orion_core.Database.t} is built, so a
+    corrupted file cannot take the checker down with it.  Four layers
+    are verified, outside-in:
+
+    + {b pages}: every page of a v2 store file must match its recorded
+      checksum;
+    + {b directory vs. allocation}: every catalog directory entry must
+      point at a live record, and every live record must be reachable
+      from the directory;
+    + {b WAL}: the frame chain must decode to the end (a torn tail is
+      reported), must start with [Genesis], and
+      [Checkpoint_begin]/[Checkpoint] brackets must nest sanely (an
+      {e open trailing} bracket is only a warning — it is the legal
+      residue of a crash mid-checkpoint, which recovery discards);
+    + {b objects}: every instance is decoded and its composite
+      references and reverse references are cross-checked against the
+      schema's [:dependent]/[:exclusive] declarations — reusing
+      {!Orion_core.Integrity}'s violation vocabulary for the structural
+      part, plus {!issue.Flag_mismatch} for a stored D or X flag that
+      contradicts the declaration. *)
+
+module Store = Orion_storage.Store
+module Integrity = Orion_core.Integrity
+module Oid = Orion_core.Oid
+
+type issue =
+  | File_error of string
+      (** unreadable, bad magic, or a structurally unparsable file *)
+  | Page_checksum of { page : int; expected : int; actual : int }
+  | No_catalog
+  | Catalog_corrupt of string
+  | Dead_directory_entry of { oid : Oid.t; rid : Store.rid }
+      (** the directory points at a deleted or never-written record *)
+  | Unreachable_record of { rid : Store.rid }
+      (** a live record no directory entry claims (leaked slot) *)
+  | Undecodable_record of { oid : Oid.t; rid : Store.rid; reason : string }
+  | Class_unknown of { oid : Oid.t; cls : string }
+  | Flag_mismatch of {
+      child : Oid.t;
+      parent : Oid.t;
+      attr : string;
+      flag : [ `D | `X ];
+      declared : bool;
+      stored : bool;
+    }  (** a reverse-reference flag contradicts the schema declaration *)
+  | Object_violation of Integrity.violation
+  | Wal_torn of { valid_frames : int; valid_bytes : int }
+  | Wal_missing_genesis
+  | Wal_unbalanced_checkpoint of string
+  | Wal_open_trailing_checkpoint
+      (** the log ends inside a checkpoint bracket: crash residue that
+          recovery discards — a warning, not corruption *)
+
+val severity : issue -> [ `Error | `Warning ]
+val pp_issue : Format.formatter -> issue -> unit
+
+type report = {
+  issues : issue list;
+  pages : int;  (** pages in the store file *)
+  live_records : int;
+  directory_entries : int;
+  wal_frames : int option;  (** [None] when no WAL was supplied *)
+}
+
+val failed : ?strict:bool -> report -> bool
+(** Whether the report warrants a non-zero exit: any error-severity
+    issue; with [~strict:true], any issue at all. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val check_file : ?wal:string -> string -> report
+(** Check the store file at the path (plus the WAL file, when given).
+    Never raises on damaged input — unreadable or unparsable files
+    surface as {!issue.File_error}. *)
+
+val check_image : ?wal:Orion_wal.Wal.t -> Store.file_image -> report
+(** The in-memory variant, for tests seeding faults through
+    {!Orion_storage.Store.write_file_image}. *)

@@ -268,72 +268,115 @@ let save db =
   Store.write_catalog (Database.store db) (W.contents w);
   Database.notify_checkpoint db Database.Ckpt_end
 
+(* The catalog blob, parsed but not yet materialized into a database —
+   shared between [load] and the offline checker, which must reason
+   about a store's schema and directory without constructing a live
+   Database.t. *)
+
+type catalog_entry = {
+  ce_oid : Oid.t;
+  ce_rid : Store.rid;
+  ce_cluster_with : Oid.t option;
+  ce_rrefs : Rref.t list;
+}
+
+type catalog = {
+  cat_external_rrefs : bool;
+  cat_acyclic : bool;
+  cat_next_oid : int;
+  cat_clock : int;
+  cat_cc : int;
+  cat_schema : Schema.exported;
+  cat_entries : catalog_entry list;
+}
+
+let decode_catalog data =
+  let r = R.of_bytes data in
+  let version = R.int r in
+  if version <> catalog_version then
+    raise (R.Corrupt (Printf.sprintf "catalog version %d" version));
+  let cat_external_rrefs = R.bool r in
+  let cat_acyclic = R.bool r in
+  let cat_next_oid = R.int r in
+  let cat_clock = R.int r in
+  let cat_cc = R.int r in
+  let x_segments =
+    read_list r (fun r ->
+        let name = R.string r in
+        let id = R.int r in
+        (name, id))
+  in
+  let x_next_segment = R.int r in
+  let x_classes =
+    read_list r (fun r ->
+        let name = R.string r in
+        let supers = read_list r (fun r -> R.string r) in
+        let versionable = R.bool r in
+        let segment = R.int r in
+        let attrs = read_list r read_attribute in
+        (name, supers, versionable, segment, attrs))
+  in
+  let cat_entries =
+    read_list r (fun r ->
+        let ce_oid = Oid.of_int (R.int r) in
+        let ce_rid = read_rid r in
+        let ce_cluster_with =
+          if R.bool r then Some (Oid.of_int (R.int r)) else None
+        in
+        let ce_rrefs =
+          read_list r (fun r ->
+              let parent = Oid.of_int (R.int r) in
+              let attr = R.string r in
+              let exclusive = R.bool r in
+              let dependent = R.bool r in
+              { Rref.parent; attr; exclusive; dependent })
+        in
+        { ce_oid; ce_rid; ce_cluster_with; ce_rrefs })
+  in
+  {
+    cat_external_rrefs;
+    cat_acyclic;
+    cat_next_oid;
+    cat_clock;
+    cat_cc;
+    cat_schema = { Schema.x_classes; x_segments; x_next_segment };
+    cat_entries;
+  }
+
 let load ?rref_repr ?acyclic store =
   match Store.read_catalog store with
   | None -> failwith "Persist.load: store has no catalog"
   | Some data ->
-      let r = R.of_bytes data in
-      let version = R.int r in
-      if version <> catalog_version then
-        failwith (Printf.sprintf "Persist.load: catalog version %d" version);
-      let external_repr = R.bool r in
-      let acyclic_flag = R.bool r in
+      let cat =
+        try decode_catalog data
+        with R.Corrupt msg -> failwith ("Persist.load: " ^ msg)
+      in
       ignore rref_repr;
       ignore acyclic;
       let db =
         Database.create
-          ~rref_repr:(if external_repr then Database.External else Database.Inline)
-          ~acyclic:acyclic_flag ~store ()
+          ~rref_repr:
+            (if cat.cat_external_rrefs then Database.External
+             else Database.Inline)
+          ~acyclic:cat.cat_acyclic ~store ()
       in
-      let next_oid = R.int r in
-      let clock = R.int r in
-      let cc = R.int r in
-      Database.restore_counters db ~next_oid ~clock;
-      Database.set_current_cc db cc;
-      let x_segments =
-        read_list r (fun r ->
-            let name = R.string r in
-            let id = R.int r in
-            (name, id))
-      in
-      let x_next_segment = R.int r in
-      let x_classes =
-        read_list r (fun r ->
-            let name = R.string r in
-            let supers = read_list r (fun r -> R.string r) in
-            let versionable = R.bool r in
-            let segment = R.int r in
-            let attrs = read_list r read_attribute in
-            (name, supers, versionable, segment, attrs))
-      in
-      Schema.import_into (Database.schema db)
-        { Schema.x_classes; x_segments; x_next_segment };
-      let entries =
-        read_list r (fun r ->
-            let oid = Oid.of_int (R.int r) in
-            let rid = read_rid r in
-            let cluster_with = if R.bool r then Some (Oid.of_int (R.int r)) else None in
-            let rrefs =
-              read_list r (fun r ->
-                  let parent = Oid.of_int (R.int r) in
-                  let attr = R.string r in
-                  let exclusive = R.bool r in
-                  let dependent = R.bool r in
-                  { Rref.parent; attr; exclusive; dependent })
-            in
-            (oid, rid, cluster_with, rrefs))
-      in
+      Database.restore_counters db ~next_oid:cat.cat_next_oid
+        ~clock:cat.cat_clock;
+      Database.set_current_cc db cat.cat_cc;
+      Schema.import_into (Database.schema db) cat.cat_schema;
       List.iter
-        (fun (oid, rid, cluster_with, external_rrefs) ->
-          match Store.read store rid with
+        (fun e ->
+          match Store.read store e.ce_rid with
           | None ->
               failwith
-                (Format.asprintf "Persist.load: record of %a is gone" Oid.pp oid)
+                (Format.asprintf "Persist.load: record of %a is gone" Oid.pp
+                   e.ce_oid)
           | Some record ->
               let inst = Codec.decode record in
-              inst.Instance.rid <- Some rid;
-              inst.Instance.cluster_with <- cluster_with;
+              inst.Instance.rid <- Some e.ce_rid;
+              inst.Instance.cluster_with <- e.ce_cluster_with;
               Database.add db inst;
-              if external_repr then Database.set_rrefs db oid external_rrefs)
-        entries;
+              if cat.cat_external_rrefs then
+                Database.set_rrefs db e.ce_oid e.ce_rrefs)
+        cat.cat_entries;
       db

@@ -42,6 +42,33 @@ val save : Database.t -> unit
     table) into the store's catalog area.  After [save], {!load} on the
     same store rebuilds an equivalent database. *)
 
+(** {1 Catalog codec}
+
+    The catalog blob parsed into a structured value — without building a
+    {!Database.t}.  The offline checker ([orion fsck]) uses it to
+    recover a store's schema and object directory from bytes alone. *)
+
+type catalog_entry = {
+  ce_oid : Oid.t;
+  ce_rid : Orion_storage.Store.rid;
+  ce_cluster_with : Oid.t option;
+  ce_rrefs : Rref.t list;
+      (** empty unless the database keeps reverse references externally *)
+}
+
+type catalog = {
+  cat_external_rrefs : bool;
+  cat_acyclic : bool;
+  cat_next_oid : int;
+  cat_clock : int;
+  cat_cc : int;
+  cat_schema : Orion_schema.Schema.exported;
+  cat_entries : catalog_entry list;
+}
+
+val decode_catalog : bytes -> catalog
+(** @raise Orion_storage.Bytes_rw.Reader.Corrupt on a malformed blob. *)
+
 val load :
   ?rref_repr:Database.rref_repr ->
   ?acyclic:bool ->

@@ -21,6 +21,8 @@ type t = {
   blocks : Obs.counter;
   wakeups : Obs.counter;
   upgrades : Obs.counter;
+  class_blocks : (string, Obs.counter) Hashtbl.t;
+  mutable classify : Oid.t -> string option;
 }
 
 type stats = { acquisitions : int; blocks : int; wakeups : int }
@@ -33,7 +35,32 @@ let create ?(compat = Lock_mode.compat) () =
     blocks = Obs.counter "lock.blocks";
     wakeups = Obs.counter "lock.wakeups";
     upgrades = Obs.counter "lock.upgrades";
+    class_blocks = Hashtbl.create 16;
+    classify = (fun _ -> None);
   }
+
+let set_classifier t f = t.classify <- f
+
+let granule_class t = function
+  | G_class c -> Some c
+  | G_instance oid -> t.classify oid
+
+(* One labeled counter per granule class, created on first block —
+   contention is rare relative to acquisition, so the hot grant path
+   never touches the table. *)
+let count_class_block t granule =
+  match granule_class t granule with
+  | None -> ()
+  | Some cls ->
+      let c =
+        match Hashtbl.find_opt t.class_blocks cls with
+        | Some c -> c
+        | None ->
+            let c = Obs.counter (Obs.labeled "lock.blocks" ("class", cls)) in
+            Hashtbl.replace t.class_blocks cls c;
+            c
+      in
+      Obs.incr c
 
 let entry t granule =
   match Hashtbl.find_opt t.entries granule with
@@ -136,6 +163,7 @@ let acquire t ~tx granule mode =
     end
     else begin
       Obs.incr t.blocks;
+      count_class_block t granule;
       e.queue <- e.queue @ [ (tx, mode) ];
       `Blocked
     end

@@ -21,6 +21,14 @@ val create : ?compat:(Lock_mode.t -> Lock_mode.t -> bool) -> unit -> t
 (** [?compat] defaults to {!Lock_mode.compat} (the paper's matrix);
     pass {!Lock_mode.compat_refined} for ablation A3. *)
 
+val set_classifier : t -> (Oid.t -> string option) -> unit
+(** Install the instance→class mapping used to label per-class block
+    counters ([lock.blocks{class=C}] in the obs registry).  Class
+    granules are labeled directly; instance granules go through the
+    classifier ([None] — the default for every oid — records only the
+    unlabeled total).  {!Orion_tx.Tx_manager.create} installs a
+    classifier backed by its database. *)
+
 val acquire : t -> tx:tx_id -> granule -> Lock_mode.t -> [ `Granted | `Blocked ]
 (** On [`Blocked] the request stays queued; it may be granted later by
     {!release_all} (see {!newly_granted}).  Requesting a mode already

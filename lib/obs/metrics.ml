@@ -162,6 +162,65 @@ let find_histogram s name = List.assoc_opt name s.histograms
 
 let ms v = v *. 1e3
 
+(* Labels ----------------------------------------------------------------------- *)
+
+let labeled name (key, value) = Printf.sprintf "%s{%s=%s}" name key value
+
+let label_value name ~base ~key =
+  let prefix = Printf.sprintf "%s{%s=" base key in
+  let plen = String.length prefix in
+  let nlen = String.length name in
+  if nlen > plen + 1
+     && String.sub name 0 plen = prefix
+     && name.[nlen - 1] = '}'
+  then Some (String.sub name plen (nlen - plen - 1))
+  else None
+
+(* Rates ------------------------------------------------------------------------ *)
+
+type rates = {
+  dt : float;
+  counter_rates : (string * float) list;
+  gauge_values : (string * int) list;
+  histogram_rates : (string * float * histogram_summary) list;
+}
+
+let rates ~before ~after ~dt =
+  let dt = if dt <= 0. then 1e-9 else dt in
+  let counter_rates =
+    List.filter_map
+      (fun (name, v) ->
+        let v0 = Option.value (find_counter before name) ~default:0 in
+        if v <> v0 then Some (name, float_of_int (v - v0) /. dt) else None)
+      after.counters
+  in
+  let histogram_rates =
+    List.filter_map
+      (fun (name, h) ->
+        let c0 =
+          match find_histogram before name with Some h0 -> h0.count | None -> 0
+        in
+        if h.count <> c0 then
+          Some (name, float_of_int (h.count - c0) /. dt, h)
+        else None)
+      after.histograms
+  in
+  { dt; counter_rates; gauge_values = after.gauges; histogram_rates }
+
+let pp_rates ppf r =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (n, v) -> Format.fprintf ppf "%-40s %+.1f/s@," n v)
+    r.counter_rates;
+  List.iter
+    (fun (n, v) -> Format.fprintf ppf "%-40s %d (gauge)@," n v)
+    (List.filter (fun (_, v) -> v <> 0) r.gauge_values);
+  List.iter
+    (fun (n, v, h) ->
+      Format.fprintf ppf "%-40s %+.1f/s p95=%.3fms@," n v (ms h.p95))
+    r.histogram_rates;
+  Format.fprintf ppf "@]"
+
 let pp_snapshot ppf s =
   Format.fprintf ppf "@[<v>";
   List.iter (fun (n, v) -> Format.fprintf ppf "%-32s %d@," n v) s.counters;

@@ -88,6 +88,39 @@ val find_counter : snapshot -> string -> int option
 val find_gauge : snapshot -> string -> int option
 val find_histogram : snapshot -> string -> histogram_summary option
 
+(** {1 Labels}
+
+    A light label convention over flat instrument names:
+    [labeled "lock.blocks" ("class", "Widget")] is
+    ["lock.blocks{class=Widget}"].  Per-class lock cells use it so the
+    static analyzer can join schema fan-in against observed
+    contention. *)
+
+val labeled : string -> string * string -> string
+
+val label_value : string -> base:string -> key:string -> string option
+(** [label_value "lock.blocks{class=Widget}" ~base:"lock.blocks"
+    ~key:"class"] is [Some "Widget"]; [None] when the name is not a
+    labeled instance of [base]. *)
+
+(** {1 Rates}
+
+    Client-side diffing of two snapshots ([orion stats --watch]): the
+    deltas of every counter and histogram count divided by the sample
+    interval.  Unchanged instruments are omitted. *)
+
+type rates = {
+  dt : float;  (** seconds between the snapshots *)
+  counter_rates : (string * float) list;  (** increments per second *)
+  gauge_values : (string * int) list;  (** from the later snapshot *)
+  histogram_rates : (string * float * histogram_summary) list;
+      (** observations per second, plus the later summary *)
+}
+
+val rates : before:snapshot -> after:snapshot -> dt:float -> rates
+
+val pp_rates : Format.formatter -> rates -> unit
+
 val pp_snapshot : Format.formatter -> snapshot -> unit
 (** Human-readable rendering: counters and gauges one per line,
     histograms with count/p50/p95/p99/max in milliseconds. *)

@@ -1,4 +1,4 @@
-module Checksum = Orion_wal.Checksum
+module Checksum = Orion_storage.Checksum
 module Obs = Orion_obs.Metrics
 
 (* Direct observes, not spans: framing runs on client threads

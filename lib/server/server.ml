@@ -81,6 +81,7 @@ type t = {
   lock_timeouts : Obs.counter;
   idle_closes : Obs.counter;
   lock_wait_hist : Obs.histogram;
+  class_wait_hists : (string, Obs.histogram) Hashtbl.t;
   dispatch_hist : Obs.histogram;
   wal_attached : bool;
   mutable schema_seen : int;
@@ -176,6 +177,7 @@ let create ?(config = default_config) ?wal env addr =
       lock_timeouts = Obs.counter "server.lock_timeouts";
       idle_closes = Obs.counter "server.idle_closes";
       lock_wait_hist = Obs.histogram "lock.wait_seconds";
+      class_wait_hists = Hashtbl.create 16;
       dispatch_hist = Obs.histogram "server.dispatch_seconds";
       wal_attached = Option.is_some wal;
       schema_seen = Orion_schema.Schema.version (Database.schema db);
@@ -263,9 +265,35 @@ let flush_out session =
 (* Session lifecycle ----------------------------------------------------------- *)
 
 (* A park just ended (grant, conflict, deadlock abort or timeout):
-   record how long the session waited for its lock. *)
+   record how long the session waited for its lock — in the total
+   histogram, and in a per-class one ([lock.wait_seconds{class=C}])
+   when the parked request's target still resolves to a class (the
+   holder may have deleted it, in which case only the total sees the
+   wait). *)
+let parked_class t session =
+  match session.parked_req with
+  | Some (Message.Lock_composite { root = oid; _ })
+  | Some (Message.Lock_instance { oid; _ }) ->
+      Option.map (fun i -> i.Instance.cls) (Database.find t.db oid)
+  | _ -> None
+
 let observe_wait t session =
-  Obs.observe t.lock_wait_hist (Unix.gettimeofday () -. session.parked_since)
+  let elapsed = Unix.gettimeofday () -. session.parked_since in
+  Obs.observe t.lock_wait_hist elapsed;
+  match parked_class t session with
+  | None -> ()
+  | Some cls ->
+      let h =
+        match Hashtbl.find_opt t.class_wait_hists cls with
+        | Some h -> h
+        | None ->
+            let h =
+              Obs.histogram (Obs.labeled "lock.wait_seconds" ("class", cls))
+            in
+            Hashtbl.replace t.class_wait_hists cls h;
+            h
+      in
+      Obs.observe h elapsed
 
 let rec destroy t session =
   Hashtbl.remove t.sessions session.sid;
@@ -294,8 +322,8 @@ and resume t tx_ids =
               | Some req -> (
                   match retry_lock t session req with
                   | `Granted ->
-                      session.parked_req <- None;
                       observe_wait t session;
+                      session.parked_req <- None;
                       reply session Message.Granted;
                       pump t session
                   | `Blocked ->
@@ -309,8 +337,8 @@ and resume t tx_ids =
                          The transaction is still [Blocked] and could
                          never commit: abort it and answer the parked
                          request with the conflict. *)
-                      session.parked_req <- None;
                       observe_wait t session;
+                      session.parked_req <- None;
                       let note =
                         Format.asprintf "%a; transaction aborted" Core_error.pp e
                       in
@@ -563,8 +591,8 @@ let break_deadlocks t =
                     (if session.parked_req <> None then begin
                        (* The parked lock request dies with the
                           transaction: answer it with the conflict. *)
-                       session.parked_req <- None;
                        observe_wait t session;
+                       session.parked_req <- None;
                        error session Message.Conflict msg
                      end
                      else session.deadlock_note <- Some msg);
@@ -603,8 +631,8 @@ let enforce_timeouts t now =
              lock request (see Tx_manager.abort), so the queue holds no
              orphan waiter. *)
           Obs.incr t.lock_timeouts;
-          session.parked_req <- None;
           observe_wait t session;
+          session.parked_req <- None;
           (match session.tx with
           | Some tx ->
               session.tx <- None;

@@ -1,7 +1,8 @@
 (** Adler-32 checksum (RFC 1950) over byte ranges.
 
-    Guards every log entry: a torn or bit-rotted record fails
-    verification and replay stops cleanly at the last intact prefix.
+    Guards every log entry, wire frame and stored page image: a torn or
+    bit-rotted record fails verification and replay (or the offline
+    checker) stops cleanly at the last intact prefix.
     Adler-32 is weaker than CRC-32 against short burst errors but
     needs no table and is plenty for the crash model here (truncated
     or zero-filled tails, not adversarial corruption). *)

@@ -291,43 +291,80 @@ let restore_catalog t page = t.catalog_page <- Some page
 
 (* File serialization -------------------------------------------------------- *)
 
-let file_magic = "ORION-STORE-1\n"
+(* Version 2 appends an adler32 checksum after every page image, so the
+   offline checker ({!Orion_analysis.Store_check}) can detect bit-rot
+   without a live store.  Version-1 files (no checksums) still load. *)
+let file_magic_v1 = "ORION-STORE-1\n"
+let file_magic = "ORION-STORE-2\n"
 
-let save_file t path =
+type file_image = {
+  fi_page_size : int;
+  fi_pages : bytes array;
+  fi_checksums : int array option;
+  fi_next_segment : int;
+  fi_segments : (segment_id * int list * rid list) list;
+  fi_free_pages : int list;
+  fi_catalog_page : int option;
+}
+
+let page_checksum image = Checksum.bytes image
+
+let file_image_of_store t =
   Buffer_pool.flush t.pool;
-  let w = Bytes_rw.Writer.create () in
-  let module W = Bytes_rw.Writer in
-  W.string w file_magic;
-  W.int w (Disk.page_size t.disk);
-  (* Disk pages. *)
   let stats = Disk.stats t.disk in
-  W.int w stats.Disk.allocated;
-  for page_no = 0 to stats.Disk.allocated - 1 do
-    W.string w (Bytes.to_string (Disk.read t.disk page_no))
-  done;
-  (* Segments. *)
-  W.int w t.next_segment;
-  let segs =
+  let fi_pages =
+    Array.init stats.Disk.allocated (fun page_no -> Disk.read t.disk page_no)
+  in
+  let fi_checksums = Some (Array.map page_checksum fi_pages) in
+  let fi_segments =
     Hashtbl.fold (fun id seg acc -> (id, seg) :: acc) t.segments []
     |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    |> List.map (fun (id, seg) ->
+           let rids = Hashtbl.fold (fun rid () acc -> rid :: acc) seg.live [] in
+           (id, seg.pages, rids))
   in
-  W.int w (List.length segs);
+  {
+    fi_page_size = Disk.page_size t.disk;
+    fi_pages;
+    fi_checksums;
+    fi_next_segment = t.next_segment;
+    fi_segments;
+    fi_free_pages = t.free_pages;
+    fi_catalog_page = t.catalog_page;
+  }
+
+let write_file_image fi path =
+  let w = Bytes_rw.Writer.create () in
+  let module W = Bytes_rw.Writer in
+  let with_checksums = fi.fi_checksums <> None in
+  W.string w (if with_checksums then file_magic else file_magic_v1);
+  W.int w fi.fi_page_size;
+  W.int w (Array.length fi.fi_pages);
+  Array.iteri
+    (fun page_no image ->
+      W.string w (Bytes.to_string image);
+      match fi.fi_checksums with
+      | Some sums -> W.int w sums.(page_no)
+      | None -> ())
+    fi.fi_pages;
+  W.int w fi.fi_next_segment;
+  W.int w (List.length fi.fi_segments);
   List.iter
-    (fun (id, seg) ->
+    (fun (id, pages, rids) ->
       W.int w id;
-      W.int w (List.length seg.pages);
-      List.iter (W.int w) seg.pages;
-      W.int w (Hashtbl.length seg.live);
-      Hashtbl.iter
-        (fun rid () ->
+      W.int w (List.length pages);
+      List.iter (W.int w) pages;
+      W.int w (List.length rids);
+      List.iter
+        (fun rid ->
           W.int w rid.segment;
           W.int w rid.page;
           W.int w rid.slot)
-        seg.live)
-    segs;
-  W.int w (List.length t.free_pages);
-  List.iter (W.int w) t.free_pages;
-  (match t.catalog_page with
+        rids)
+    fi.fi_segments;
+  W.int w (List.length fi.fi_free_pages);
+  List.iter (W.int w) fi.fi_free_pages;
+  (match fi.fi_catalog_page with
   | None -> W.bool w false
   | Some page ->
       W.bool w true;
@@ -341,7 +378,9 @@ let save_file t path =
     (fun () -> output_bytes oc (W.contents w));
   Sys.rename tmp path
 
-let load_file ?(pool_capacity = 64) path =
+let save_file t path = write_file_image (file_image_of_store t) path
+
+let read_file_image path =
   let ic = open_in_bin path in
   let data =
     Fun.protect
@@ -350,39 +389,79 @@ let load_file ?(pool_capacity = 64) path =
   in
   let module R = Bytes_rw.Reader in
   let r = R.of_bytes (Bytes.of_string data) in
-  (try
-     let magic = R.string r in
-     if magic <> file_magic then failwith "bad magic"
-   with _ -> failwith (path ^ ": not an orion store file"));
-  let page_size = R.int r in
-  let t = create ~page_size ~pool_capacity () in
+  let with_checksums =
+    try
+      let magic = R.string r in
+      if magic = file_magic then true
+      else if magic = file_magic_v1 then false
+      else failwith "bad magic"
+    with _ -> failwith (path ^ ": not an orion store file")
+  in
+  let fi_page_size = R.int r in
   let allocated = R.int r in
-  for _ = 1 to allocated do
-    let image = Bytes.of_string (R.string r) in
-    let page_no = Disk.alloc t.disk in
-    Disk.write t.disk page_no image
-  done;
-  t.next_segment <- R.int r;
+  let sums = if with_checksums then Some (Array.make allocated 0) else None in
+  let fi_pages =
+    Array.init allocated (fun page_no ->
+        let image = Bytes.of_string (R.string r) in
+        (match sums with
+        | Some sums -> sums.(page_no) <- R.int r
+        | None -> ());
+        image)
+  in
+  let fi_next_segment = R.int r in
   let nsegs = R.int r in
-  for _ = 1 to nsegs do
-    let id = R.int r in
-    let npages = R.int r in
-    let pages = List.init npages (fun _ -> R.int r) in
-    let live = Hashtbl.create 64 in
-    let nlive = R.int r in
-    for _ = 1 to nlive do
-      let segment = R.int r in
-      let page = R.int r in
-      let slot = R.int r in
-      Hashtbl.replace live { segment; page; slot } ()
-    done;
-    Hashtbl.replace t.segments id { pages; live }
-  done;
+  let fi_segments =
+    List.init nsegs (fun _ ->
+        let id = R.int r in
+        let npages = R.int r in
+        let pages = List.init npages (fun _ -> R.int r) in
+        let nlive = R.int r in
+        let rids =
+          List.init nlive (fun _ ->
+              let segment = R.int r in
+              let page = R.int r in
+              let slot = R.int r in
+              { segment; page; slot })
+        in
+        (id, pages, rids))
+  in
   let nfree = R.int r in
-  t.free_pages <- List.init nfree (fun _ -> R.int r);
-  t.catalog_page <- (if R.bool r then Some (R.int r) else None);
+  let fi_free_pages = List.init nfree (fun _ -> R.int r) in
+  let fi_catalog_page = if R.bool r then Some (R.int r) else None in
+  {
+    fi_page_size;
+    fi_pages;
+    fi_checksums = sums;
+    fi_next_segment;
+    fi_segments;
+    fi_free_pages;
+    fi_catalog_page;
+  }
+
+let store_of_file_image ?(pool_capacity = 64) fi =
+  let t = create ~page_size:fi.fi_page_size ~pool_capacity () in
+  Array.iter
+    (fun image ->
+      let page_no = Disk.alloc t.disk in
+      Disk.write t.disk page_no image)
+    fi.fi_pages;
+  t.next_segment <- fi.fi_next_segment;
+  List.iter
+    (fun (id, pages, rids) ->
+      let live = Hashtbl.create 64 in
+      List.iter (fun rid -> Hashtbl.replace live rid ()) rids;
+      Hashtbl.replace t.segments id { pages; live })
+    fi.fi_segments;
+  t.free_pages <- fi.fi_free_pages;
+  t.catalog_page <- fi.fi_catalog_page;
   Disk.reset_stats t.disk;
   t
+
+(* Loading tolerates stale checksums (the image that was renamed into
+   place is self-consistent or old, never half-written); the offline
+   checker is where verification is strict. *)
+let load_file ?pool_capacity path =
+  store_of_file_image ?pool_capacity (read_file_image path)
 
 let io_stats t = (Disk.stats t.disk, Buffer_pool.stats t.pool)
 

@@ -116,10 +116,51 @@ val compact_segment : t -> segment_id -> (rid * rid) list
 
 val save_file : t -> string -> unit
 (** Atomic: the image is written to a temporary sibling and renamed
-    over [path], so a crash mid-save leaves the previous snapshot. *)
+    over [path], so a crash mid-save leaves the previous snapshot.
+    Format version 2: every page image is followed by its adler32
+    checksum, verified by the offline checker. *)
 
 val load_file : ?pool_capacity:int -> string -> t
-(** @raise Failure on a missing or corrupt file. *)
+(** @raise Failure on a missing or corrupt file.  Stored page checksums
+    are {e not} verified here (the rename protocol rules out
+    half-written files); [orion fsck] is the strict reader. *)
+
+(** {1 Offline file image}
+
+    The parsed-but-not-materialized form of a store file: what
+    {!save_file} writes and {!load_file} builds a store from, exposed so
+    the offline checker ({!Orion_analysis.Store_check}) can verify
+    checksums and directory agreement against bytes, and so the
+    corruption-injection tests can seed precise faults. *)
+
+type file_image = {
+  fi_page_size : int;
+  fi_pages : bytes array;
+  fi_checksums : int array option;
+      (** stored per-page adler32; [None] for version-1 files *)
+  fi_next_segment : int;
+  fi_segments : (segment_id * int list * rid list) list;
+      (** id, pages (most recently filled first), live records *)
+  fi_free_pages : int list;
+  fi_catalog_page : int option;
+}
+
+val page_checksum : bytes -> int
+(** The checksum {!save_file} stores per page (adler32 of the image). *)
+
+val file_image_of_store : t -> file_image
+(** Flush the pool and snapshot the store (checksums freshly computed). *)
+
+val read_file_image : string -> file_image
+(** Parse a store file without building a store.
+    @raise Failure on a missing or structurally corrupt file. *)
+
+val write_file_image : file_image -> string -> unit
+(** Serialize an image (atomically, like {!save_file}).  Checksums are
+    written {e verbatim} — the corruption tests rely on being able to
+    write an image whose checksums disagree with its pages. *)
+
+val store_of_file_image : ?pool_capacity:int -> file_image -> t
 
 val io_stats : t -> Disk.stats * Buffer_pool.stats
 

@@ -28,9 +28,12 @@ type t = {
 }
 
 let create ?compat ?escalation_threshold ?wal db =
+  let table = Lock_table.create ?compat () in
+  Lock_table.set_classifier table (fun oid ->
+      Option.map (fun i -> i.Instance.cls) (Database.find db oid));
   {
     db;
-    table = Lock_table.create ?compat ();
+    table;
     txs = Hashtbl.create 16;
     next_tx = 0;
     escalation_threshold;

@@ -3,6 +3,7 @@ module Store = Orion_storage.Store
 module Disk = Orion_storage.Disk
 module R = Orion_storage.Bytes_rw.Reader
 module Obs = Orion_obs.Metrics
+module Checksum = Orion_storage.Checksum
 
 exception Crashed
 

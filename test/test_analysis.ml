@@ -1,0 +1,210 @@
+(* Tests for Orion_analysis.Schema_analysis: each hazard analysis on a
+   crafted schema that trips it, plus a clean schema on which the
+   analyzer must stay silent. *)
+
+module A = Orion_schema.Attribute
+module D = Orion_schema.Domain
+module Schema = Orion_schema.Schema
+module Obs = Orion_obs.Metrics
+module SA = Orion_analysis.Schema_analysis
+
+let define ?superclasses ?segment schema name attrs =
+  ignore
+    (Schema.define schema ?superclasses ?segment ~name ~attributes:attrs ()
+      : Orion_schema.Class_def.t)
+
+let comp ?(dependent = true) ?(exclusive = true) name domain =
+  A.make ~name ~domain:(D.Class domain) ~collection:A.Set
+    ~refkind:(A.composite ~dependent ~exclusive ())
+    ()
+
+let weak name domain = A.make ~name ~domain:(D.Class domain) ()
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let with_code code findings =
+  List.filter (fun f -> f.SA.code = code) findings
+
+(* A well-shaped document schema: no finding at default thresholds. *)
+let clean_schema () =
+  let schema = Schema.create () in
+  define schema "Paragraph"
+    [ A.make ~name:"Text" ~domain:(D.Primitive D.P_string) () ];
+  define schema "Section" [ comp ~exclusive:false "Content" "Paragraph" ];
+  define schema "Document" [ comp "Sections" "Section" ];
+  schema
+
+let test_clean_schema_is_silent () =
+  Alcotest.(check int) "no findings" 0 (List.length (SA.analyze (clean_schema ())))
+
+let test_composite_cycle () =
+  let schema = Schema.create () in
+  define schema "A" [ comp "ToB" "B" ];
+  define schema "B" [ comp "ToC" "C" ];
+  define schema "C" [ comp "ToA" "A" ];
+  match with_code "composite-cycle" (SA.analyze schema) with
+  | [ f ] ->
+      Alcotest.(check bool) "severity error" true (f.SA.severity = SA.Error);
+      Alcotest.(check string) "reported for the smallest member" "A" f.SA.cls;
+      Alcotest.(check (list string))
+        "witness path walks the cycle"
+        [ "A.ToB->B"; "B.ToC->C"; "C.ToA->A" ]
+        f.SA.path
+  | l -> Alcotest.failf "expected exactly one cycle finding, got %d" (List.length l)
+
+(* A cycle closed through inheritance: the attribute's domain is a
+   superclass, the subclass completes the loop. *)
+let test_cycle_through_subclass () =
+  let schema = Schema.create () in
+  define schema "Part" [];
+  define schema "Assembly" ~superclasses:[ "Part" ] [ comp "Parts" "Part" ];
+  Alcotest.(check bool) "cycle found" true
+    (with_code "composite-cycle" (SA.analyze schema) <> [])
+
+let test_cascade_radius () =
+  let schema = Schema.create () in
+  define schema "C3" [];
+  define schema "C2" [ comp "Next" "C3" ];
+  define schema "C1" [ comp "Next" "C2" ];
+  define schema "Root" [ comp "Next" "C1" ];
+  (match with_code "cascade-radius" (SA.analyze ~cascade_threshold:3 schema) with
+  | [ f ] ->
+      Alcotest.(check string) "flags the root" "Root" f.SA.cls;
+      Alcotest.(check int) "witness path spans the chain" 3
+        (List.length f.SA.path)
+  | l -> Alcotest.failf "expected one cascade finding, got %d" (List.length l));
+  (* Independent references do not cascade. *)
+  let schema = Schema.create () in
+  define schema "C3" [];
+  define schema "C2" [ comp ~dependent:false "Next" "C3" ];
+  define schema "C1" [ comp ~dependent:false "Next" "C2" ];
+  define schema "Root" [ comp ~dependent:false "Next" "C1" ];
+  Alcotest.(check int) "independent chain is quiet" 0
+    (List.length (with_code "cascade-radius" (SA.analyze ~cascade_threshold:3 schema)))
+
+let test_clustering_ambiguity () =
+  (* Two exclusive-composite parents sharing the child's segment. *)
+  let schema = Schema.create () in
+  define schema ~segment:"s" "Child" [];
+  define schema ~segment:"s" "P1" [ comp "L" "Child" ];
+  define schema ~segment:"s" "P2" [ comp "L" "Child" ];
+  (match with_code "clustering-ambiguity" (SA.analyze schema) with
+  | [ f ] -> Alcotest.(check string) "flags the child" "Child" f.SA.cls
+  | l -> Alcotest.failf "expected one ambiguity, got %d" (List.length l));
+  (* Default per-class segments: same shape, no ambiguity. *)
+  let schema = Schema.create () in
+  define schema "Child" [];
+  define schema "P1" [ comp "L" "Child" ];
+  define schema "P2" [ comp "L" "Child" ];
+  Alcotest.(check int) "separate segments are quiet" 0
+    (List.length (with_code "clustering-ambiguity" (SA.analyze schema)))
+
+let test_lock_fanin_and_snapshot_join () =
+  let schema = Schema.create () in
+  define schema "Leaf" [];
+  define schema "Quiet" [];
+  define schema "P1" [ comp "L" "Leaf" ];
+  define schema "P2" [ comp ~exclusive:false "L" "Leaf" ];
+  define schema "P3" [ weak "W" "Quiet"; comp ~dependent:false "L" "Leaf" ];
+  (match with_code "lock-fanin" (SA.analyze schema) with
+  | [ f ] ->
+      Alcotest.(check string) "flags the shared component" "Leaf" f.SA.cls;
+      Alcotest.(check int) "one edge per referencing attribute" 3
+        (List.length f.SA.path)
+  | l -> Alcotest.failf "expected one fan-in finding, got %d" (List.length l));
+  (* Joining a snapshot folds observed blocks into the finding and
+     surfaces contention on classes the shape does not predict. *)
+  let snapshot =
+    {
+      Obs.counters =
+        [
+          (Obs.labeled "lock.blocks" ("class", "Leaf"), 7);
+          (Obs.labeled "lock.blocks" ("class", "Quiet"), 2);
+          ("lock.blocks", 9);
+        ];
+      gauges = [];
+      histograms = [];
+    }
+  in
+  let findings = SA.analyze ~snapshot schema in
+  (match with_code "lock-fanin" findings with
+  | [ f ] ->
+      Alcotest.(check bool) "observed blocks joined" true
+        (contains_sub f.SA.detail "7 blocked requests observed")
+  | _ -> Alcotest.fail "fan-in finding lost under snapshot");
+  match with_code "observed-contention" findings with
+  | [ f ] ->
+      Alcotest.(check string) "unpredicted contention surfaced" "Quiet" f.SA.cls;
+      Alcotest.(check bool) "info only" true (f.SA.severity = SA.Info)
+  | l -> Alcotest.failf "expected one contention note, got %d" (List.length l)
+
+let test_dead_composite_attribute () =
+  let schema = Schema.create () in
+  define schema "Gone" [];
+  define schema "Holder" [ comp "L" "Gone" ];
+  ignore (Schema.drop_class schema "Gone" : Orion_schema.Class_def.t);
+  match with_code "dead-composite-attribute" (SA.analyze schema) with
+  | [ f ] ->
+      Alcotest.(check string) "names the holder" "Holder" f.SA.cls;
+      Alcotest.(check (list string)) "witness" [ "Holder.L->Gone" ] f.SA.path
+  | l -> Alcotest.failf "expected one dead attribute, got %d" (List.length l)
+
+(* Base declares a composite Body; Sub overrides it with a weak
+   reference; SubSub just inherits Sub's override — only Sub, where the
+   shadowing is introduced, is reported. *)
+let test_shadowed_composite_attribute () =
+  let schema = Schema.create () in
+  define schema "Part" [];
+  define schema "Base" [ comp "Body" "Part" ];
+  define schema "Sub" ~superclasses:[ "Base" ] [ weak "Body" "Part" ];
+  define schema "SubSub" ~superclasses:[ "Sub" ] [];
+  match with_code "shadowed-composite-attribute" (SA.analyze schema) with
+  | [ f ] ->
+      Alcotest.(check string) "reported where introduced" "Sub" f.SA.cls;
+      Alcotest.(check (list string)) "witness names both ends"
+        [ "Base.Body"; "Sub.Body" ] f.SA.path
+  | l -> Alcotest.failf "expected one shadowing, got %d" (List.length l)
+
+let test_ordering_and_sexp () =
+  let schema = Schema.create () in
+  define schema "A" [ comp "ToB" "B" ];
+  define schema "B" [ comp "ToA" "A" ];
+  define schema "Leaf" [];
+  define schema "P1" [ comp "L" "Leaf" ];
+  define schema "P2" [ comp "L" "Leaf" ];
+  define schema "P3" [ comp "L" "Leaf" ];
+  let findings = SA.analyze schema in
+  (match findings with
+  | first :: _ ->
+      Alcotest.(check bool) "errors sort first" true (first.SA.severity = SA.Error)
+  | [] -> Alcotest.fail "expected findings");
+  List.iter
+    (fun f ->
+      let sexp = SA.finding_to_sexp f in
+      Alcotest.(check bool) "sexp is parseable" true
+        (match Orion_util.Sexp.parse sexp with
+        | _ -> true
+        | exception _ -> false))
+    findings
+
+let () =
+  Alcotest.run "orion_analysis"
+    [
+      ( "schema hazards",
+        [
+          Alcotest.test_case "clean schema silent" `Quick test_clean_schema_is_silent;
+          Alcotest.test_case "composite cycle" `Quick test_composite_cycle;
+          Alcotest.test_case "cycle via subclass" `Quick test_cycle_through_subclass;
+          Alcotest.test_case "cascade radius" `Quick test_cascade_radius;
+          Alcotest.test_case "clustering ambiguity" `Quick test_clustering_ambiguity;
+          Alcotest.test_case "lock fan-in + snapshot" `Quick
+            test_lock_fanin_and_snapshot_join;
+          Alcotest.test_case "dead attribute" `Quick test_dead_composite_attribute;
+          Alcotest.test_case "shadowed attribute" `Quick
+            test_shadowed_composite_attribute;
+          Alcotest.test_case "ordering and sexp" `Quick test_ordering_and_sexp;
+        ] );
+    ]

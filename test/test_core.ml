@@ -676,6 +676,37 @@ let test_scrub_dangling_weak () =
   Alcotest.(check int) "idempotent" 0 (Integrity.scrub_dangling_weak db);
   check_integrity db
 
+(* The scalar counterpart: a single-valued weak reference to a dead
+   target is nulled out (not just removed from a set). *)
+let test_scrub_dangling_weak_scalar () =
+  let db = Database.create () in
+  let schema = Database.schema db in
+  ignore
+    (Schema.define schema ~name:"Target" ~attributes:[] ()
+      : Orion_schema.Class_def.t);
+  ignore
+    (Schema.define schema ~name:"Holder"
+       ~attributes:[ A.make ~name:"Ref" ~domain:(D.Class "Target") () ]
+       ()
+      : Orion_schema.Class_def.t);
+  let t1 = Object_manager.create db ~cls:"Target" () in
+  let t2 = Object_manager.create db ~cls:"Target" () in
+  let h1 = Object_manager.create db ~cls:"Holder" () in
+  let h2 = Object_manager.create db ~cls:"Holder" () in
+  Object_manager.write_attr db h1 "Ref" (Value.Ref t1);
+  Object_manager.write_attr db h2 "Ref" (Value.Ref t2);
+  Object_manager.delete db t1;
+  Alcotest.(check int) "one dangling" 1
+    (List.length (Integrity.dangling_weak_refs db));
+  Alcotest.(check int) "one scrubbed" 1 (Integrity.scrub_dangling_weak db);
+  Alcotest.(check int) "none left" 0
+    (List.length (Integrity.dangling_weak_refs db));
+  Alcotest.(check bool) "scrubbed holder reads Null" true
+    (Object_manager.read_attr db h1 "Ref" = Value.Null);
+  Alcotest.(check bool) "live holder untouched" true
+    (Object_manager.read_attr db h2 "Ref" = Value.Ref t2);
+  check_integrity db
+
 let test_cold_walk () =
   let db = Database.create () in
   let classes = Scenarios.define_vehicle_schema db in
@@ -952,6 +983,8 @@ let () =
             test_load_without_catalog_fails;
           Alcotest.test_case "compaction" `Quick test_compaction;
           Alcotest.test_case "weak-ref scavenger" `Quick test_scrub_dangling_weak;
+          Alcotest.test_case "weak-ref scavenger (scalar)" `Quick
+            test_scrub_dangling_weak_scalar;
         ] );
       ( "representations",
         [ Alcotest.test_case "external rrefs (A1)" `Quick test_external_rref_repr ]

@@ -1,0 +1,233 @@
+(* The corruption-injection matrix for Orion_analysis.Store_check:
+   a clean saved database passes, and each of four seeded faults —
+   page byte flip, WAL torn mid-frame, cleared reverse-reference D
+   flag, orphaned directory entry — is detected and named. *)
+
+open Orion_core
+module A = Orion_schema.Attribute
+module D = Orion_schema.Domain
+module Schema = Orion_schema.Schema
+module Store = Orion_storage.Store
+module Wal = Orion_wal.Wal
+module Wal_record = Orion_wal.Wal_record
+module SC = Orion_analysis.Store_check
+
+let temp name =
+  let path = Filename.temp_file "orion_fsck" name in
+  at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+  path
+
+(* One parent holding a dependent-exclusive component and a
+   dependent-shared one, saved to the store. *)
+let build_db () =
+  let db = Database.create () in
+  let schema = Database.schema db in
+  ignore
+    (Schema.define schema ~name:"Child"
+       ~attributes:[ A.make ~name:"Name" ~domain:(D.Primitive D.P_string) () ]
+       ()
+      : Orion_schema.Class_def.t);
+  ignore
+    (Schema.define schema ~name:"Parent"
+       ~attributes:
+         [
+           A.make ~name:"DX" ~domain:(D.Class "Child") ~collection:A.Set
+             ~refkind:(A.composite ~dependent:true ~exclusive:true ())
+             ();
+           A.make ~name:"DS" ~domain:(D.Class "Child") ~collection:A.Set
+             ~refkind:(A.composite ~dependent:true ~exclusive:false ())
+             ();
+         ]
+       ()
+      : Orion_schema.Class_def.t);
+  let p = Object_manager.create db ~cls:"Parent" () in
+  let c1 = Object_manager.create db ~cls:"Child" ~parents:[ (p, "DX") ] () in
+  let c2 = Object_manager.create db ~cls:"Child" ~parents:[ (p, "DS") ] () in
+  (db, p, c1, c2)
+
+let save_to_temp db =
+  Persist.save db;
+  let path = temp ".odb" in
+  Store.save_file (Database.store db) path;
+  path
+
+let has_issue pred report = List.exists pred report.SC.issues
+
+let issue_names report =
+  String.concat "\n"
+    (List.map (Format.asprintf "%a" SC.pp_issue) report.SC.issues)
+
+let check_named pred name report =
+  if not (has_issue pred report) then
+    Alcotest.failf "expected %s issue, report says:\n%s" name
+      (issue_names report)
+
+(* Clean round-trip: nothing to report, zero exit. *)
+let test_clean_store_passes () =
+  let db, _, _, _ = build_db () in
+  let path = save_to_temp db in
+  let report = SC.check_file path in
+  Alcotest.(check int) "no issues" 0 (List.length report.SC.issues);
+  Alcotest.(check bool) "not failed" false (SC.failed report);
+  Alcotest.(check bool) "not failed strictly" false (SC.failed ~strict:true report);
+  Alcotest.(check int) "directory entries" 3 report.SC.directory_entries
+
+(* Fault 1: flip one byte of a page image, keeping the recorded
+   checksum — exactly what bit rot under a valid directory looks
+   like. *)
+let test_page_byte_flip_detected () =
+  let db, _, _, _ = build_db () in
+  let path = save_to_temp db in
+  let fi = Store.read_file_image path in
+  let page = fi.Store.fi_pages.(0) in
+  Bytes.set page 7 (Char.chr (Char.code (Bytes.get page 7) lxor 0xff));
+  Store.write_file_image fi path;
+  let report = SC.check_file path in
+  check_named
+    (function SC.Page_checksum { page = 0; _ } -> true | _ -> false)
+    "page-checksum" report;
+  Alcotest.(check bool) "failed" true (SC.failed report)
+
+(* Fault 2: chop the WAL mid-frame (losing the tail of the log
+   device). *)
+let test_wal_torn_mid_frame () =
+  let db, _, _, _ = build_db () in
+  let path = save_to_temp db in
+  let log = Wal.create () in
+  Wal.append log (Wal_record.Genesis { page_size = 256 });
+  Wal.append log Wal_record.Checkpoint_begin;
+  Wal.append log Wal_record.Checkpoint;
+  let wal_path = temp ".wal" in
+  Wal.tear log ~bytes:3;
+  Wal.save_file log wal_path;
+  let report = SC.check_file ~wal:wal_path path in
+  check_named
+    (function SC.Wal_torn { valid_frames = 2; _ } -> true | _ -> false)
+    "wal-torn" report;
+  Alcotest.(check (option int)) "intact prefix counted" (Some 2)
+    report.SC.wal_frames;
+  Alcotest.(check bool) "failed" true (SC.failed report)
+
+(* Fault 3: clear the D flag of a reverse reference before saving.
+   The file is perfectly self-consistent — checksums match, the
+   directory agrees — and ONLY the cross-check of stored flags against
+   the schema's :dependent declaration can see the damage. *)
+let test_cleared_d_flag_detected () =
+  let db, p, c1, _ = build_db () in
+  let cleared =
+    List.map
+      (fun (r : Rref.t) ->
+        if r.parent = p && r.attr = "DX" then { r with dependent = false }
+        else r)
+      (Database.rrefs db c1)
+  in
+  Database.set_rrefs db c1 cleared;
+  let path = save_to_temp db in
+  let report = SC.check_file path in
+  check_named
+    (function
+      | SC.Flag_mismatch
+          { flag = `D; declared = true; stored = false; attr = "DX"; _ } ->
+          true
+      | _ -> false)
+    "flag-mismatch(D)" report;
+  Alcotest.(check bool) "failed" true (SC.failed report)
+
+(* The X twin, via the shared attribute. *)
+let test_cleared_x_flag_detected () =
+  let db, p, _, c2 = build_db () in
+  let flipped =
+    List.map
+      (fun (r : Rref.t) ->
+        if r.parent = p && r.attr = "DS" then { r with exclusive = true }
+        else r)
+      (Database.rrefs db c2)
+  in
+  Database.set_rrefs db c2 flipped;
+  let path = save_to_temp db in
+  let report = SC.check_file path in
+  check_named
+    (function
+      | SC.Flag_mismatch
+          { flag = `X; declared = false; stored = true; attr = "DS"; _ } ->
+          true
+      | _ -> false)
+    "flag-mismatch(X)" report
+
+(* Fault 4: delete a record out from under the directory after the
+   catalog was written — the directory then points at a dead slot. *)
+let test_orphan_directory_entry_detected () =
+  let db, _, c1, _ = build_db () in
+  Persist.save db;
+  let rid =
+    match (Option.get (Database.find db c1)).Instance.rid with
+    | Some rid -> rid
+    | None -> Alcotest.fail "child was never checkpointed"
+  in
+  Store.delete (Database.store db) rid;
+  let path = temp ".odb" in
+  Store.save_file (Database.store db) path;
+  let report = SC.check_file path in
+  check_named
+    (function
+      | SC.Dead_directory_entry { oid; _ } -> Oid.equal oid c1 | _ -> false)
+    "dead-directory-entry" report;
+  Alcotest.(check bool) "failed" true (SC.failed report)
+
+(* Checkpoint-bracket sanity: a trailing open bracket is crash residue
+   (warning; --strict fails), a Checkpoint without its begin is
+   corruption. *)
+let test_checkpoint_brackets () =
+  let db, _, _, _ = build_db () in
+  let path = save_to_temp db in
+  let open_log = Wal.create () in
+  Wal.append open_log (Wal_record.Genesis { page_size = 256 });
+  Wal.append open_log Wal_record.Checkpoint_begin;
+  let wal_path = temp ".wal" in
+  Wal.save_file open_log wal_path;
+  let report = SC.check_file ~wal:wal_path path in
+  check_named
+    (function SC.Wal_open_trailing_checkpoint -> true | _ -> false)
+    "open trailing bracket" report;
+  Alcotest.(check bool) "warning only" false (SC.failed report);
+  Alcotest.(check bool) "strict fails" true (SC.failed ~strict:true report);
+  let bad_log = Wal.create () in
+  Wal.append bad_log (Wal_record.Genesis { page_size = 256 });
+  Wal.append bad_log Wal_record.Checkpoint;
+  Wal.save_file bad_log wal_path;
+  let report = SC.check_file ~wal:wal_path path in
+  check_named
+    (function SC.Wal_unbalanced_checkpoint _ -> true | _ -> false)
+    "unbalanced bracket" report;
+  Alcotest.(check bool) "failed" true (SC.failed report)
+
+(* Truncating the store file itself must surface as a file error, not
+   an exception. *)
+let test_truncated_file_reported () =
+  let db, _, _, _ = build_db () in
+  let path = save_to_temp db in
+  let len = (Unix.stat path).Unix.st_size in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd (len / 2);
+  Unix.close fd;
+  let report = SC.check_file path in
+  check_named (function SC.File_error _ -> true | _ -> false) "file-error"
+    report;
+  Alcotest.(check bool) "failed" true (SC.failed report)
+
+let () =
+  Alcotest.run "orion_fsck"
+    [
+      ( "corruption matrix",
+        [
+          Alcotest.test_case "clean store passes" `Quick test_clean_store_passes;
+          Alcotest.test_case "page byte flip" `Quick test_page_byte_flip_detected;
+          Alcotest.test_case "WAL torn mid-frame" `Quick test_wal_torn_mid_frame;
+          Alcotest.test_case "cleared D flag" `Quick test_cleared_d_flag_detected;
+          Alcotest.test_case "cleared X flag" `Quick test_cleared_x_flag_detected;
+          Alcotest.test_case "orphan directory entry" `Quick
+            test_orphan_directory_entry_detected;
+          Alcotest.test_case "checkpoint brackets" `Quick test_checkpoint_brackets;
+          Alcotest.test_case "truncated file" `Quick test_truncated_file_reported;
+        ] );
+    ]

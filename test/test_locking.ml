@@ -451,6 +451,32 @@ let test_refined_strictly_refines () =
   in
   Alcotest.(check bool) "some pair admitted only by refined" true (strict <> [])
 
+(* Per-class block labels: a block on a class granule labels directly;
+   a block on an instance granule goes through the classifier; an
+   unclassifiable oid reaches only the unlabeled total. *)
+let test_per_class_block_labels () =
+  let module Obs = Orion_obs.Metrics in
+  let t = LT.create () in
+  LT.set_classifier t (fun oid ->
+      if Oid.to_int oid = 1 then Some "Widget" else None);
+  ignore (LT.acquire t ~tx:1 (LT.G_class "Gadget") LM.X);
+  Alcotest.(check bool) "class granule blocks" true
+    (LT.acquire t ~tx:2 (LT.G_class "Gadget") LM.X = `Blocked);
+  ignore (LT.acquire t ~tx:1 (LT.G_instance (Oid.of_int 1)) LM.X);
+  Alcotest.(check bool) "classified instance blocks" true
+    (LT.acquire t ~tx:2 (LT.G_instance (Oid.of_int 1)) LM.X = `Blocked);
+  ignore (LT.acquire t ~tx:1 (LT.G_instance (Oid.of_int 2)) LM.X);
+  Alcotest.(check bool) "unclassified instance blocks" true
+    (LT.acquire t ~tx:2 (LT.G_instance (Oid.of_int 2)) LM.X = `Blocked);
+  let snap = Obs.snapshot () in
+  Alcotest.(check (option int)) "class-granule label" (Some 1)
+    (Obs.find_counter snap (Obs.labeled "lock.blocks" ("class", "Gadget")));
+  Alcotest.(check (option int)) "classifier label" (Some 1)
+    (Obs.find_counter snap (Obs.labeled "lock.blocks" ("class", "Widget")));
+  Alcotest.(check (option int)) "no label for unclassifiable oid" None
+    (Obs.find_counter snap (Obs.labeled "lock.blocks" ("class", "?")));
+  Alcotest.(check int) "unlabeled total counts all three" 3 (LT.stats t).LT.blocks
+
 let () =
   Alcotest.run "orion_locking"
     [
@@ -473,6 +499,8 @@ let () =
           Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
           Alcotest.test_case "release clears queue" `Quick
             test_release_drops_queue_entries;
+          Alcotest.test_case "per-class block labels" `Quick
+            test_per_class_block_labels;
         ] );
       ( "lock table regressions",
         [

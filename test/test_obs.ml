@@ -158,6 +158,49 @@ let test_one_line_and_pp () =
   Alcotest.(check bool) "pp names the counter" true
     (contains_sub rendered "server.requests")
 
+let test_labels () =
+  Alcotest.(check string) "labeled builds name{key=value}"
+    "lock.blocks{class=Widget}"
+    (Obs.labeled "lock.blocks" ("class", "Widget"));
+  Alcotest.(check (option string)) "label_value parses it back" (Some "Widget")
+    (Obs.label_value "lock.blocks{class=Widget}" ~base:"lock.blocks"
+       ~key:"class");
+  Alcotest.(check (option string)) "wrong base" None
+    (Obs.label_value "lock.blocks{class=Widget}" ~base:"lock.waits"
+       ~key:"class");
+  Alcotest.(check (option string)) "unlabeled name" None
+    (Obs.label_value "lock.blocks" ~base:"lock.blocks" ~key:"class")
+
+(* rates diffs two snapshots: changed counters and histograms as
+   per-second deltas, unchanged instruments omitted. *)
+let test_rates () =
+  let registry = Obs.create_registry () in
+  let c = Obs.counter ~registry "t.count" in
+  let _idle = Obs.counter ~registry "t.idle" in
+  let h = Obs.histogram ~registry "t.seconds" in
+  Obs.incr c ~by:3;
+  let before = Obs.snapshot ~registry () in
+  Obs.incr c ~by:10;
+  Obs.observe h 0.01;
+  Obs.observe h 0.02;
+  let after = Obs.snapshot ~registry () in
+  let r = Obs.rates ~before ~after ~dt:2.0 in
+  Alcotest.(check (list (pair string (float 1e-6))))
+    "only the changed counter, delta/dt"
+    [ ("t.count", 5.0) ]
+    r.Obs.counter_rates;
+  (match r.Obs.histogram_rates with
+  | [ (name, rate, summary) ] ->
+      Alcotest.(check string) "histogram name" "t.seconds" name;
+      Alcotest.(check (float 1e-6)) "observations per second" 1.0 rate;
+      Alcotest.(check int) "carries the later summary" 2 summary.Obs.count
+  | l -> Alcotest.failf "expected one histogram rate, got %d" (List.length l));
+  let rendered = Format.asprintf "%a" Obs.pp_rates r in
+  Alcotest.(check bool) "pp_rates names the changed counter" true
+    (contains_sub rendered "t.count");
+  Alcotest.(check bool) "pp_rates omits the idle counter" true
+    (not (contains_sub rendered "t.idle"))
+
 let () =
   Alcotest.run "orion_obs"
     [
@@ -168,6 +211,8 @@ let () =
             test_registry_replaces_on_collision;
           Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
           Alcotest.test_case "one_line and pp" `Quick test_one_line_and_pp;
+          Alcotest.test_case "labels" `Quick test_labels;
+          Alcotest.test_case "rates" `Quick test_rates;
         ] );
       ( "spans",
         [

@@ -6,7 +6,7 @@ open Orion_core
 module Store = Orion_storage.Store
 module Wal = Orion_wal.Wal
 module Wal_record = Orion_wal.Wal_record
-module Checksum = Orion_wal.Checksum
+module Checksum = Orion_storage.Checksum
 
 let rid segment page slot = { Store.segment; page; slot }
 
