@@ -664,8 +664,27 @@ let serve_cmd =
             "Log requests slower than $(docv) milliseconds to stderr, with a \
              per-phase breakdown (0, the default, disables it).")
   in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Shard the reactor across $(docv) domains (OS threads with \
+             parallel socket I/O and frame decoding); 1, the default, is \
+             the classic single-threaded reactor.")
+  in
+  let group_commit_window =
+    Arg.(
+      value & opt int 0
+      & info [ "group-commit-window" ] ~docv:"US"
+          ~doc:
+            "Group-commit batching window in microseconds: commits arriving \
+             within the window coalesce into one log append and one fsync \
+             (0, the default, syncs every commit inline).  Requires \
+             $(b,--wal).")
+  in
   let run db_file wal socket port max_sessions lock_timeout metrics_interval
-      slow_op_ms =
+      slow_op_ms domains group_commit_window =
     let addr =
       match (socket, port) with
       | Some path, None -> Server.Unix_path path
@@ -676,6 +695,10 @@ let serve_cmd =
           exit 2
     in
     let env, log = open_env_log ~wal db_file in
+    if group_commit_window > 0 && not wal then begin
+      Format.eprintf "error: --group-commit-window requires --wal@.";
+      exit 2
+    end;
     let config =
       {
         Server.default_config with
@@ -683,6 +706,10 @@ let serve_cmd =
         lock_timeout = (if lock_timeout <= 0. then None else Some lock_timeout);
         metrics_interval =
           (if metrics_interval <= 0. then None else Some metrics_interval);
+        domains = (if domains < 1 then 1 else domains);
+        group_commit_window =
+          (if group_commit_window <= 0 then None
+           else Some (float_of_int group_commit_window /. 1_000_000.));
       }
     in
     if slow_op_ms > 0. then
@@ -711,7 +738,8 @@ let serve_cmd =
          "Serve a database to many clients over TCP or a Unix-domain socket")
     Term.(
       const run $ db_pos $ wal_flag $ socket $ port $ max_sessions
-      $ lock_timeout $ metrics_interval $ slow_op_ms)
+      $ lock_timeout $ metrics_interval $ slow_op_ms $ domains
+      $ group_commit_window)
 
 let shell_cmd =
   let connect =
@@ -806,7 +834,7 @@ let shell_cmd =
 
 let () =
   let doc = "Composite objects a la ORION (Kim, Bertino & Garza, SIGMOD 1989)" in
-  let info = Cmd.info "orion" ~version:"1.4.0" ~doc in
+  let info = Cmd.info "orion" ~version:"1.5.0" ~doc in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval

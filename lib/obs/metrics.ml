@@ -24,14 +24,22 @@ type instrument =
   | Gauge of (unit -> int)
   | Histogram of histogram
 
-type registry = (string, instrument) Hashtbl.t
+type registry = { tbl : (string, instrument) Hashtbl.t; mu : Mutex.t }
 
-let create_registry () : registry = Hashtbl.create 64
+let create_registry () : registry = { tbl = Hashtbl.create 64; mu = Mutex.create () }
 
 let default = create_registry ()
 
+(* The registry table itself is shared across domains (shards register
+   and snapshot concurrently), so structural mutations and iteration
+   take the registry mutex.  Instrument *updates* stay lock-free:
+   racing increments can at worst lose a count, never crash. *)
+let with_registry registry f =
+  Mutex.lock registry.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry.mu) f
+
 let register ?(registry = default) name instrument =
-  Hashtbl.replace registry name instrument
+  with_registry registry (fun () -> Hashtbl.replace registry.tbl name instrument)
 
 (* Counters --------------------------------------------------------------------- *)
 
@@ -90,34 +98,65 @@ type histogram_summary = {
   p50 : float;
   p95 : float;
   p99 : float;
+  buckets : int array;
 }
 
 (* A quantile as the upper bound of the bucket holding the q-th
    observation; the overflow bucket reports the observed max. *)
-let quantile h q =
-  if h.h_count = 0 then 0.
+let quantile_of ~count ~max:max_v ~buckets q =
+  if count = 0 then 0.
   else begin
     let rank =
-      Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int h.h_count)))
+      Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int count)))
     in
     let n = Array.length bucket_bounds in
     let rec go i seen =
-      if i >= n then h.h_max
+      if i >= n then max_v
       else
-        let seen = seen + h.buckets.(i) in
-        if seen >= rank then Float.min bucket_bounds.(i) h.h_max else go (i + 1) seen
+        let seen = seen + buckets.(i) in
+        if seen >= rank then Float.min bucket_bounds.(i) max_v else go (i + 1) seen
     in
     go 0 0
   end
 
-let summarize h =
+let summarize (h : histogram) =
+  (* Copy the live bucket array: the summary is a snapshot, not a view. *)
+  let buckets = Array.copy h.buckets in
   {
     count = h.h_count;
     sum = h.h_sum;
     max = h.h_max;
-    p50 = quantile h 0.50;
-    p95 = quantile h 0.95;
-    p99 = quantile h 0.99;
+    p50 = quantile_of ~count:h.h_count ~max:h.h_max ~buckets 0.50;
+    p95 = quantile_of ~count:h.h_count ~max:h.h_max ~buckets 0.95;
+    p99 = quantile_of ~count:h.h_count ~max:h.h_max ~buckets 0.99;
+    buckets;
+  }
+
+(* Merging summaries from different servers/shards: bucket counts add
+   pointwise, and the quantiles are recomputed from the merged buckets —
+   the whole reason the raw buckets ride along on the wire (averaging
+   percentiles is wrong). *)
+let merge_summaries summaries =
+  let width = Array.length bucket_bounds + 1 in
+  let buckets = Array.make width 0 in
+  let count = ref 0 and sum = ref 0. and max_v = ref 0. in
+  List.iter
+    (fun s ->
+      count := !count + s.count;
+      sum := !sum +. s.sum;
+      if s.max > !max_v then max_v := s.max;
+      Array.iteri
+        (fun i n -> if i < width then buckets.(i) <- buckets.(i) + n)
+        s.buckets)
+    summaries;
+  {
+    count = !count;
+    sum = !sum;
+    max = !max_v;
+    p50 = quantile_of ~count:!count ~max:!max_v ~buckets 0.50;
+    p95 = quantile_of ~count:!count ~max:!max_v ~buckets 0.95;
+    p99 = quantile_of ~count:!count ~max:!max_v ~buckets 0.99;
+    buckets;
   }
 
 (* Snapshot --------------------------------------------------------------------- *)
@@ -132,15 +171,16 @@ let by_name (a, _) (b, _) = String.compare a b
 
 let snapshot ?(registry = default) () =
   let counters = ref [] and gauges = ref [] and histograms = ref [] in
-  Hashtbl.iter
-    (fun name instrument ->
-      match instrument with
-      | Counter c -> counters := (name, c.count) :: !counters
-      | Gauge read ->
-          let v = try read () with _ -> 0 in
-          gauges := (name, v) :: !gauges
-      | Histogram h -> histograms := (name, summarize h) :: !histograms)
-    registry;
+  with_registry registry (fun () ->
+      Hashtbl.iter
+        (fun name instrument ->
+          match instrument with
+          | Counter c -> counters := (name, c.count) :: !counters
+          | Gauge read ->
+              let v = try read () with _ -> 0 in
+              gauges := (name, v) :: !gauges
+          | Histogram h -> histograms := (name, summarize h) :: !histograms)
+        registry.tbl);
   {
     counters = List.sort by_name !counters;
     gauges = List.sort by_name !gauges;
@@ -148,13 +188,14 @@ let snapshot ?(registry = default) () =
   }
 
 let reset ?(registry = default) () =
-  Hashtbl.iter
-    (fun _ instrument ->
-      match instrument with
-      | Counter c -> reset_counter c
-      | Gauge _ -> ()
-      | Histogram h -> reset_histogram h)
-    registry
+  with_registry registry (fun () ->
+      Hashtbl.iter
+        (fun _ instrument ->
+          match instrument with
+          | Counter c -> reset_counter c
+          | Gauge _ -> ()
+          | Histogram h -> reset_histogram h)
+        registry.tbl)
 
 let find_counter s name = List.assoc_opt name s.counters
 let find_gauge s name = List.assoc_opt name s.gauges
@@ -221,6 +262,17 @@ let pp_rates ppf r =
     r.histogram_rates;
   Format.fprintf ppf "@]"
 
+(* The non-empty buckets of a summary, rendered compactly as
+   [<=UPPERms:count] pairs (the overflow bucket prints as [inf]). *)
+let pp_buckets ppf h =
+  Array.iteri
+    (fun i n ->
+      if n > 0 then
+        if i < Array.length bucket_bounds then
+          Format.fprintf ppf " <=%gms:%d" (ms bucket_bounds.(i)) n
+        else Format.fprintf ppf " inf:%d" n)
+    h.buckets
+
 let pp_snapshot ppf s =
   Format.fprintf ppf "@[<v>";
   List.iter (fun (n, v) -> Format.fprintf ppf "%-32s %d@," n v) s.counters;
@@ -229,7 +281,9 @@ let pp_snapshot ppf s =
     (fun (n, h) ->
       Format.fprintf ppf
         "%-32s n=%d p50=%.3fms p95=%.3fms p99=%.3fms max=%.3fms@," n h.count
-        (ms h.p50) (ms h.p95) (ms h.p99) (ms h.max))
+        (ms h.p50) (ms h.p95) (ms h.p99) (ms h.max);
+      if h.count > 0 then
+        Format.fprintf ppf "%-32s buckets:%a@," "" pp_buckets h)
     s.histograms;
   Format.fprintf ppf "@]"
 
@@ -258,9 +312,12 @@ module Span = struct
   }
 
   (* The enclosing spans of the operation in flight, innermost first.
-     One stack for the process: nested spans must run on one thread
-     (true in the reactor, where all spans are taken). *)
-  let stack : span list ref = ref []
+     One stack per domain: nested spans must run on one thread, which
+     holds in each shard's reactor loop where all spans are taken. *)
+  let stack_key : span list ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref [])
+
+  let stack () = Domain.DLS.get stack_key
 
   let threshold = ref None
   let sink = ref prerr_endline
@@ -290,6 +347,7 @@ module Span = struct
 
   let time ?histogram name f =
     let span = { s_name = name; start = Unix.gettimeofday (); children = [] } in
+    let stack = stack () in
     let outer = !stack in
     stack := span :: outer;
     let close () =

@@ -17,11 +17,14 @@
     traffic.
 
     Thread-safety: counter and histogram updates are single word/field
-    writes — racing updates from client threads can at worst lose an
-    increment, never crash.  The {e span stack} (used for the slow-op
-    breakdown) is a single process-wide stack and assumes the nested
-    spans of one operation run on one thread, which holds in the
-    single-threaded server reactor where spans are taken. *)
+    writes — racing updates from client threads or shard domains can at
+    worst lose an increment, never crash.  Registry {e structure} —
+    registering an instrument, iterating at snapshot/reset time — is
+    guarded by a per-registry mutex, so shard domains can create
+    instruments and serve [Stats] concurrently.  The {e span stack}
+    (used for the slow-op breakdown) is domain-local and assumes the
+    nested spans of one operation run on one thread, which holds in
+    each shard's single-threaded reactor loop where spans are taken. *)
 
 type registry
 
@@ -68,7 +71,22 @@ type histogram_summary = {
   p50 : float;  (** seconds, estimated from bucket upper bounds *)
   p95 : float;
   p99 : float;
+  buckets : int array;
+      (** raw per-bucket counts, one per {!bucket_bounds} entry plus a
+          final overflow cell — shipped so summaries from different
+          servers/shards can be {!merge_summaries}'d without the
+          percentile-averaging fallacy *)
 }
+
+val bucket_bounds : float array
+(** The shared bucket upper bounds (seconds), log-spaced, three per
+    decade from 10µs to ~100s.  Every histogram and every summary uses
+    exactly this geometry, which is what makes merging sound. *)
+
+val merge_summaries : histogram_summary list -> histogram_summary
+(** Pointwise-sum the bucket arrays and recompute count/sum/max and the
+    quantiles from the merged buckets.  [merge_summaries []] is the
+    empty summary. *)
 
 (** {1 Snapshot} *)
 

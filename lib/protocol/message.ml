@@ -2,7 +2,8 @@ open Orion_core
 module W = Orion_storage.Bytes_rw.Writer
 module R = Orion_storage.Bytes_rw.Reader
 
-let version = 1
+(* v2: histogram summaries in [Stats_reply] carry raw bucket counts. *)
+let version = 2
 
 type access = Read | Update
 
@@ -248,7 +249,10 @@ let write_summary w (h : Orion_obs.Metrics.histogram_summary) =
   W.float w h.max;
   W.float w h.p50;
   W.float w h.p95;
-  W.float w h.p99
+  W.float w h.p99;
+  (* Raw bucket counts ride along so a client can merge percentiles
+     across servers/shards instead of averaging them. *)
+  write_list w W.int (Array.to_list h.buckets)
 
 let read_summary r : Orion_obs.Metrics.histogram_summary =
   let count = R.int r in
@@ -257,7 +261,8 @@ let read_summary r : Orion_obs.Metrics.histogram_summary =
   let p50 = R.float r in
   let p95 = R.float r in
   let p99 = R.float r in
-  { count; sum; max; p50; p95; p99 }
+  let buckets = Array.of_list (read_list r R.int) in
+  { count; sum; max; p50; p95; p99; buckets }
 
 let write_snapshot w (s : Orion_obs.Metrics.snapshot) =
   let named f w (name, v) =

@@ -1,32 +1,28 @@
-module Eval = Orion_dsl.Eval
-module Tx = Orion_tx.Tx_manager
-module Frame = Orion_protocol.Frame
-module Message = Orion_protocol.Message
-module Sexp = Orion_util.Sexp
+(* The network server, as of the multicore refactor a thin supervisor:
+   it binds the listener, builds the shared transactional service and
+   the shard reactors, and runs them — on one domain the single shard
+   owns the listener and this module just delegates; on several, each
+   shard runs on its own domain and the supervisor keeps the acceptor
+   loop, dealing connections out to shards by session id. *)
+
 module Obs = Orion_obs.Metrics
-open Orion_core
 
 type addr = Orion_protocol.Addr.t = Tcp of string * int | Unix_path of string
 
 let pp_addr = Orion_protocol.Addr.pp
 let parse_addr = Orion_protocol.Addr.parse
 
-type config = {
+type config = Shard.config = {
   max_sessions : int;
   queue_limit : int;
   idle_timeout : float option;
   lock_timeout : float option;
   metrics_interval : float option;
+  domains : int;
+  group_commit_window : float option;
 }
 
-let default_config =
-  {
-    max_sessions = 64;
-    queue_limit = 16;
-    idle_timeout = None;
-    lock_timeout = Some 30.;
-    metrics_interval = None;
-  }
+let default_config = Shard.default_config
 
 type stats = {
   accepted : int;
@@ -39,82 +35,15 @@ type stats = {
   idle_closes : int;
 }
 
-type session = {
-  sid : int;
-  fd : Unix.file_descr;
-  splitter : Frame.Splitter.t;
-  queue : Message.request Queue.t;  (* decoded, not yet processed *)
-  out : Bytes.t Queue.t;  (* framed replies awaiting the socket *)
-  mutable out_off : int;  (* consumed prefix of [Queue.peek out] *)
-  mutable greeted : bool;
-  mutable tx : Tx.tx option;
-  mutable parked_req : Message.request option;
-  mutable parked_since : float;
-  mutable deadlock_note : string option;
-      (* the transaction was aborted as a deadlock victim while the
-         session was not parked; the next transactional request is
-         answered [Conflict] instead of [Bad_request] *)
-  mutable last_activity : float;
-  mutable closing : bool;  (* flush [out], then close *)
-}
-
-type phase = Running | Draining of float (* deadline *) | Killed
-
 type t = {
   config : config;
-  env : Eval.env;
-  db : Database.t;
-  manager : Tx.t;
+  svc : Tx_service.t;
+  shards : Shard.t array;
   listen_fd : Unix.file_descr;
   bound : addr;
   stop_r : Unix.file_descr;
   stop_w : Unix.file_descr;
-  sessions : (int, session) Hashtbl.t;
-  tx_owner : (int, int) Hashtbl.t;  (* tx id -> session id *)
-  mutable next_sid : int;
-  mutable phase : phase;
-  accepted : Obs.counter;
-  rejected : Obs.counter;
-  requests : Obs.counter;
-  parks : Obs.counter;
-  deadlock_victims : Obs.counter;
-  lock_timeouts : Obs.counter;
-  idle_closes : Obs.counter;
-  lock_wait_hist : Obs.histogram;
-  class_wait_hists : (string, Obs.histogram) Hashtbl.t;
-  dispatch_hist : Obs.histogram;
-  wal_attached : bool;
-  mutable schema_seen : int;
-      (* Schema.version at the last checkpoint: schema DDL is
-         non-transactional, so with a log attached it is only durable
-         once a checkpoint absorbs it — the reactor takes one as soon
-         as the catalog changes and no transaction is open. *)
-  mutable check_deadlocks : bool;
-      (* a wait-for edge appeared since the last cycle search; cycles
-         can only form when a request blocks, so the reactor skips the
-         search on every other tick *)
 }
-
-(* The true gauge: how many sessions are parked right now (the
-   lifetime [parks] counter only ever grows). *)
-let parked_sessions t =
-  Hashtbl.fold
-    (fun _ s n -> if s.parked_req <> None then n + 1 else n)
-    t.sessions 0
-
-let stats t =
-  {
-    accepted = Obs.counter_value t.accepted;
-    rejected = Obs.counter_value t.rejected;
-    requests = Obs.counter_value t.requests;
-    parks_total = Obs.counter_value t.parks;
-    parked = parked_sessions t;
-    deadlock_victims = Obs.counter_value t.deadlock_victims;
-    lock_timeouts = Obs.counter_value t.lock_timeouts;
-    idle_closes = Obs.counter_value t.idle_closes;
-  }
-
-let session_count t = Hashtbl.length t.sessions
 
 let listen_on addr =
   match addr with
@@ -150,42 +79,38 @@ let listen_on addr =
       Unix.listen fd 64;
       (fd, Unix_path path)
 
+let session_count t =
+  Array.fold_left (fun n sh -> n + Shard.session_count sh) 0 t.shards
+
+let parked_count t =
+  Array.fold_left (fun n sh -> n + Shard.parked_count sh) 0 t.shards
+
 let create ?(config = default_config) ?wal env addr =
+  let config = { config with domains = max 1 config.domains } in
   let listen_fd, bound = listen_on addr in
   let stop_r, stop_w = Unix.pipe () in
   Unix.set_nonblock stop_r;
-  let db = Eval.database env in
-  let t =
-    {
-      config;
-      env;
-      db;
-      manager = Tx.create ?wal db;
-      listen_fd;
-      bound;
-      stop_r;
-      stop_w;
-      sessions = Hashtbl.create 32;
-      tx_owner = Hashtbl.create 32;
-      next_sid = 0;
-      phase = Running;
-      accepted = Obs.counter "server.accepted";
-      rejected = Obs.counter "server.rejected";
-      requests = Obs.counter "server.requests";
-      parks = Obs.counter "server.parks_total";
-      deadlock_victims = Obs.counter "server.deadlock_victims";
-      lock_timeouts = Obs.counter "server.lock_timeouts";
-      idle_closes = Obs.counter "server.idle_closes";
-      lock_wait_hist = Obs.histogram "lock.wait_seconds";
-      class_wait_hists = Hashtbl.create 16;
-      dispatch_hist = Obs.histogram "server.dispatch_seconds";
-      wal_attached = Option.is_some wal;
-      schema_seen = Orion_schema.Schema.version (Database.schema db);
-      check_deadlocks = false;
-    }
+  let svc =
+    Tx_service.create ?wal ?group_commit_window:config.group_commit_window env
   in
-  Obs.gauge "server.sessions" (fun () -> Hashtbl.length t.sessions);
-  Obs.gauge "server.parked" (fun () -> parked_sessions t);
+  let shards =
+    Array.init config.domains (fun idx ->
+        (* With one domain the shard owns the listener (no acceptor
+           handoff, no extra wakeups: the classic single-threaded
+           reactor, byte-for-byte).  With several, the supervisor's
+           acceptor keeps it. *)
+        if config.domains = 1 then
+          Shard.create ~idx ~config ~svc ~listen:listen_fd ~owned_addr:bound ()
+        else Shard.create ~idx ~config ~svc ())
+  in
+  Tx_service.set_posters svc (Array.map Shard.enqueue shards);
+  let total () =
+    Array.fold_left (fun n sh -> n + Shard.session_count sh) 0 shards
+  in
+  Array.iter (fun sh -> Shard.set_total_sessions sh total) shards;
+  Obs.gauge "server.sessions" total;
+  Obs.gauge "server.parked" (fun () ->
+      Array.fold_left (fun n sh -> n + Shard.parked_count sh) 0 shards);
   (* No log attached: register zeroed WAL counters so the wire snapshot
      always covers the WAL subsystem (matching Database.stats, which
      reports zeros without a source). *)
@@ -197,669 +122,122 @@ let create ?(config = default_config) ?wal env addr =
       (fun name -> ignore (Obs.histogram name : Obs.histogram))
       [ "wal.append_seconds"; "wal.sync_seconds" ]
   end;
-  t
-
-(* Schema DDL (make-class, evolution commands) is non-transactional:
-   no commit record ever covers it, so with a log attached it is only
-   crash-durable once a checkpoint absorbs it.  Checkpoints must be
-   transaction-quiescent — an open transaction's uncommitted writes
-   would otherwise be snapshotted as if committed — so a catalog
-   change made while transactions are open waits here until the last
-   one finishes. *)
-let maybe_checkpoint t =
-  let v = Orion_schema.Schema.version (Database.schema t.db) in
-  if v <> t.schema_seen && Hashtbl.length t.tx_owner = 0 then begin
-    if t.wal_attached then Orion_core.Persist.save t.db;
-    t.schema_seen <- v
-  end
+  (* Likewise for the group-commit instruments when batching is off. *)
+  if svc.Tx_service.gc = None then begin
+    List.iter
+      (fun name -> ignore (Obs.counter name : Obs.counter))
+      [
+        "wal.group_commit.batches";
+        "wal.group_commit.batched_txs";
+        "wal.group_commit.solo_txs";
+      ];
+    ignore (Obs.histogram "wal.group_commit.batch_size" : Obs.histogram)
+  end;
+  { config; svc; shards; listen_fd; bound; stop_r; stop_w }
 
 let address t = t.bound
+
+let stats t =
+  let svc = t.svc in
+  {
+    accepted = Obs.counter_value svc.Tx_service.accepted;
+    rejected = Obs.counter_value svc.Tx_service.rejected;
+    requests = Obs.counter_value svc.Tx_service.requests;
+    parks_total = Obs.counter_value svc.Tx_service.parks;
+    parked = parked_count t;
+    deadlock_victims = Obs.counter_value svc.Tx_service.deadlock_victims;
+    lock_timeouts = Obs.counter_value svc.Tx_service.lock_timeouts;
+    idle_closes = Obs.counter_value svc.Tx_service.idle_closes;
+  }
+
+(* [stop]/[kill] only write pipe bytes (to the acceptor and to every
+   shard's wake pipe), so both are safe to call from a signal handler —
+   and from any domain. *)
 
 let signal t byte =
   try ignore (Unix.write t.stop_w (Bytes.make 1 byte) 0 1 : int)
   with Unix.Unix_error _ -> ()
 
-let stop t = signal t 'G'
-let kill t = signal t 'K'
+let stop t =
+  signal t 'G';
+  Array.iter Shard.request_stop t.shards
 
-(* Outbound ------------------------------------------------------------------- *)
+let kill t =
+  signal t 'K';
+  Array.iter Shard.request_kill t.shards
 
-let send session msg =
-  Queue.push (Frame.encode (Message.encode_server msg)) session.out
+(* The acceptor loop (domains > 1): accept, pick the shard by session
+   id, hand the connection over.  Admission control runs here against
+   the shard-count sum; the target shard is charged at accept time so a
+   burst cannot over-admit through the handoff window. *)
 
-let reply session r = send session (Message.Reply r)
-let push session p = send session (Message.Push p)
-
-let error session code msg = reply session (Message.Error { code; msg })
-
-let flush_out session =
-  (* Write as much of the pending frames as the socket accepts. *)
-  let progress = ref true in
-  while !progress && not (Queue.is_empty session.out) do
-    let head = Queue.peek session.out in
-    let remaining = Bytes.length head - session.out_off in
-    match Unix.write session.fd head session.out_off remaining with
-    | written ->
-        if written = remaining then begin
-          ignore (Queue.pop session.out : Bytes.t);
-          session.out_off <- 0
-        end
-        else begin
-          session.out_off <- session.out_off + written;
-          progress := false
-        end
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-      ->
-        progress := false
-    | exception Unix.Unix_error _ ->
-        (* EPIPE/ECONNRESET and kin (SIGPIPE is ignored, so a write to
-           a vanished peer surfaces here): the pending output is
-           undeliverable.  Drop it and mark the session closing; the
-           reactor then destroys it — aborting its transaction — the
-           same way {!feed} handles read-side death. *)
-        Queue.clear session.out;
-        session.out_off <- 0;
-        session.closing <- true
-  done
-
-(* Session lifecycle ----------------------------------------------------------- *)
-
-(* A park just ended (grant, conflict, deadlock abort or timeout):
-   record how long the session waited for its lock — in the total
-   histogram, and in a per-class one ([lock.wait_seconds{class=C}])
-   when the parked request's target still resolves to a class (the
-   holder may have deleted it, in which case only the total sees the
-   wait). *)
-let parked_class t session =
-  match session.parked_req with
-  | Some (Message.Lock_composite { root = oid; _ })
-  | Some (Message.Lock_instance { oid; _ }) ->
-      Option.map (fun i -> i.Instance.cls) (Database.find t.db oid)
-  | _ -> None
-
-let observe_wait t session =
-  let elapsed = Unix.gettimeofday () -. session.parked_since in
-  Obs.observe t.lock_wait_hist elapsed;
-  match parked_class t session with
-  | None -> ()
-  | Some cls ->
-      let h =
-        match Hashtbl.find_opt t.class_wait_hists cls with
-        | Some h -> h
-        | None ->
-            let h =
-              Obs.histogram (Obs.labeled "lock.wait_seconds" ("class", cls))
-            in
-            Hashtbl.replace t.class_wait_hists cls h;
-            h
-      in
-      Obs.observe h elapsed
-
-let rec destroy t session =
-  Hashtbl.remove t.sessions session.sid;
-  (match session.tx with
-  | Some tx ->
-      session.tx <- None;
-      Hashtbl.remove t.tx_owner (Tx.tx_id tx);
-      resume t (Tx.abort t.manager tx)
-  | None -> ());
-  (try Unix.close session.fd with Unix.Unix_error _ -> ())
-
-(* Wake every parked session whose transaction the lock table just
-   unblocked: re-poll the parked lock request; a full grant answers
-   [Granted] and lets the session's queued requests proceed. *)
-and resume t tx_ids =
-  List.iter
-    (fun tx_id ->
-      match Hashtbl.find_opt t.tx_owner tx_id with
-      | None -> ()
-      | Some sid -> (
-          match Hashtbl.find_opt t.sessions sid with
-          | None -> ()
-          | Some session -> (
-              match session.parked_req with
-              | None -> ()
-              | Some req -> (
-                  match retry_lock t session req with
-                  | `Granted ->
-                      observe_wait t session;
-                      session.parked_req <- None;
-                      reply session Message.Granted;
-                      pump t session
-                  | `Blocked ->
-                      (* Still waiting, now on a later lock of the set:
-                         a fresh wait-for edge. *)
-                      t.check_deadlocks <- true
-                  | exception Core_error.Error e ->
-                      (* The lock target vanished while the session was
-                         parked (the holder deleted it and committed),
-                         so the lock set can no longer be re-derived.
-                         The transaction is still [Blocked] and could
-                         never commit: abort it and answer the parked
-                         request with the conflict. *)
-                      observe_wait t session;
-                      session.parked_req <- None;
-                      let note =
-                        Format.asprintf "%a; transaction aborted" Core_error.pp e
-                      in
-                      (match session.tx with
-                      | Some tx ->
-                          session.tx <- None;
-                          Hashtbl.remove t.tx_owner (Tx.tx_id tx);
-                          let unblocked = Tx.abort t.manager tx in
-                          error session Message.Conflict note;
-                          resume t unblocked
-                      | None -> error session Message.Conflict note);
-                      pump t session))))
-    tx_ids
-
-and retry_lock t session req =
-  match (session.tx, req) with
-  | Some tx, Message.Lock_composite { root; access } ->
-      Tx.lock_composite t.manager tx ~root (protocol_access access)
-  | Some tx, Message.Lock_instance { oid; access } ->
-      Tx.lock_instance t.manager tx oid (protocol_access access)
-  | _ -> `Granted
-
-and protocol_access = function
-  | Message.Read -> Orion_locking.Protocol.Read_
-  | Message.Update -> Orion_locking.Protocol.Update
-
-(* Decode buffered frames into the request queue, up to the bound.
-   Frames beyond it stay in the splitter; {!pump} refills as the queue
-   drains, so a pipelined burst never stalls even if the client goes
-   quiet (the reactor only gets read events for {e new} bytes). *)
-and refill t session =
-  match
-    while Queue.length session.queue < t.config.queue_limit do
-      match Frame.Splitter.next session.splitter with
-      | Some payload -> Queue.push (Message.decode_request payload) session.queue
-      | None -> raise Exit
-    done
-  with
-  | () -> ()
-  | exception Exit -> ()
-  | exception Frame.Corrupt msg
-  | exception Orion_storage.Bytes_rw.Reader.Corrupt msg ->
-      error session Message.Bad_request ("protocol error: " ^ msg);
-      session.closing <- true
-
-(* Process a session's decoded requests until it parks, closes, or
-   runs dry. *)
-and pump t session =
-  if (not session.closing) && session.parked_req = None then begin
-    if Queue.is_empty session.queue then refill t session;
-    if (not session.closing) && not (Queue.is_empty session.queue) then begin
-      let req = Queue.pop session.queue in
-      Obs.incr t.requests;
-      Obs.Span.time ~histogram:t.dispatch_hist "server.dispatch" (fun () ->
-          handle t session req);
-      pump t session
-    end
-  end
-
-and handle t session req =
-  let v_of_eval : Eval.v -> Message.v = function
-    | Eval.Obj oid -> Message.Obj oid
-    | Eval.Objs oids -> Message.Objs oids
-    | Eval.Bool b -> Message.Bool b
-    | Eval.Num n -> Message.Num n
-    | Eval.Str s -> Message.Str s
-    | Eval.Unit -> Message.Unit
-  in
-  (* A session whose transaction was sacrificed to a deadlock while it
-     was between requests learns about it on its next transactional
-     request. *)
-  let conflict_or code msg =
-    match session.deadlock_note with
-    | Some note ->
-        session.deadlock_note <- None;
-        error session Message.Conflict note
-    | None -> error session code msg
-  in
-  match req with
-  | Message.Hello { version; client = _ } ->
-      if version <> Message.version then begin
-        error session Message.Unsupported_version
-          (Printf.sprintf "server speaks version %d, client sent %d"
-             Message.version version);
-        session.closing <- true
-      end
-      else begin
-        session.greeted <- true;
-        reply session (Message.Welcome { version = Message.version; session = session.sid })
-      end
-  | _ when not session.greeted ->
-      error session Message.Bad_request "first request must be hello";
-      session.closing <- true
-  | Message.Eval src -> (
-      match Sexp.parse_many src with
-      | exception Sexp.Parse_error msg -> error session Message.Parse_error msg
-      | forms -> (
-          (* Inside a transaction, evaluated object mutations must be
-             transactional like the typed requests — undo on abort,
-             after-images at commit — so route them through the
-             manager for the duration of the eval.  Single-threaded
-             reactor: no other session can observe the swap. *)
-          (match session.tx with
-          | None -> ()
-          | Some tx ->
-              Eval.set_mutator t.env
-                (Some
-                   {
-                     Eval.m_create =
-                       (fun ~cls ~parents ~attrs ->
-                         Tx.create_object t.manager tx ~cls ~parents ~attrs ());
-                     m_write_attr =
-                       (fun oid attr v -> Tx.write_attr t.manager tx oid attr v);
-                     m_make_component =
-                       (fun ~parent ~attr ~child ->
-                         Tx.make_component t.manager tx ~parent ~attr ~child);
-                     m_remove_component =
-                       (fun ~parent ~attr ~child ->
-                         Tx.remove_component t.manager tx ~parent ~attr ~child);
-                     m_delete = (fun oid -> Tx.delete_object t.manager tx oid);
-                   }));
-          match
-            Fun.protect
-              ~finally:(fun () -> Eval.set_mutator t.env None)
-              (fun () ->
-                List.fold_left
-                  (fun _ form -> Eval.eval t.env form)
-                  Eval.Unit forms)
-          with
-          | result -> reply session (Message.Result (v_of_eval result))
-          | exception Eval.Eval_error msg -> error session Message.Eval_error msg
-          | exception Core_error.Error e ->
-              error session Message.Eval_error (Format.asprintf "%a" Core_error.pp e)
-          | exception Orion_schema.Schema.Error e ->
-              error session Message.Eval_error
-                (Format.asprintf "%a" Orion_schema.Schema.pp_error e)))
-  | Message.Begin -> (
-      match session.tx with
-      | Some tx ->
-          error session Message.Bad_request
-            (Printf.sprintf "transaction %d already open" (Tx.tx_id tx))
-      | None ->
-          let tx = Tx.begin_tx t.manager in
-          session.tx <- Some tx;
-          session.deadlock_note <- None;
-          Hashtbl.replace t.tx_owner (Tx.tx_id tx) session.sid;
-          reply session (Message.Result (Message.Num (Tx.tx_id tx))))
-  | Message.Commit -> (
-      match session.tx with
-      | None -> conflict_or Message.Bad_request "no open transaction"
-      | Some tx ->
-          session.tx <- None;
-          Hashtbl.remove t.tx_owner (Tx.tx_id tx);
-          let unblocked = Tx.commit t.manager tx in
-          reply session (Message.Result Message.Unit);
-          resume t unblocked)
-  | Message.Abort -> (
-      match session.tx with
-      | None -> (
-          match session.deadlock_note with
-          | Some _ ->
-              (* The deadlock detector already aborted it; the client's
-                 abort is its acknowledgement. *)
-              session.deadlock_note <- None;
-              reply session (Message.Result Message.Unit)
-          | None -> error session Message.Bad_request "no open transaction")
-      | Some tx ->
-          session.tx <- None;
-          Hashtbl.remove t.tx_owner (Tx.tx_id tx);
-          let unblocked = Tx.abort t.manager tx in
-          reply session (Message.Result Message.Unit);
-          resume t unblocked)
-  | Message.Lock_composite _ | Message.Lock_instance _ -> (
-      match session.tx with
-      | None -> conflict_or Message.Bad_request "lock requires an open transaction"
-      | Some _ -> (
-          match retry_lock t session req with
-          | `Granted -> reply session Message.Granted
-          | `Blocked ->
-              Obs.incr t.parks;
-              t.check_deadlocks <- true;
-              session.parked_req <- Some req;
-              session.parked_since <- Unix.gettimeofday ()
-          | exception Core_error.Error e ->
-              error session Message.Eval_error (Format.asprintf "%a" Core_error.pp e)))
-  | Message.Make { cls; parents; attrs } -> (
-      match
-        match session.tx with
-        | Some tx -> Tx.create_object t.manager tx ~cls ~parents ~attrs ()
-        | None -> Object_manager.create t.db ~cls ~parents ~attrs ()
-      with
-      | oid -> reply session (Message.Result (Message.Obj oid))
-      | exception Core_error.Error e ->
-          error session Message.Eval_error (Format.asprintf "%a" Core_error.pp e))
-  | Message.Components_of root -> (
-      match Traversal.components_of t.db root with
-      | oids -> reply session (Message.Result (Message.Objs oids))
-      | exception Core_error.Error e ->
-          error session Message.Eval_error (Format.asprintf "%a" Core_error.pp e))
-  | Message.Ping -> reply session Message.Pong
-  | Message.Stats -> reply session (Message.Stats_reply (Obs.snapshot ()))
-  | Message.Bye ->
-      (match session.tx with
-      | Some tx ->
-          session.tx <- None;
-          Hashtbl.remove t.tx_owner (Tx.tx_id tx);
-          resume t (Tx.abort t.manager tx)
-      | None -> ());
-      reply session (Message.Result Message.Unit);
-      session.closing <- true
-
-(* Deadlock resolution --------------------------------------------------------- *)
-
-let break_deadlocks t =
-  let rec go () =
-    match Tx.find_deadlock t.manager with
-    | None -> ()
-    | Some cycle ->
-        (* Abort the youngest transaction in the cycle (the same victim
-           policy as the in-process Scheduler). *)
-        let victim = List.fold_left max min_int cycle in
-        Obs.incr t.deadlock_victims;
-        let msg =
-          Format.asprintf "transaction %d aborted to break deadlock cycle [%a]"
-            victim
-            (Format.pp_print_list
-               ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " -> ")
-               Format.pp_print_int)
-            cycle
-        in
-        (* A victim with no live owning session must still be aborted
-           through the manager: merely forgetting its id would leave
-           its locks (and any queued request) in the table, and
-           find_deadlock would return the same cycle forever. *)
-        let abort_orphan () =
-          Hashtbl.remove t.tx_owner victim;
-          resume t (Tx.abort_id t.manager victim)
-        in
-        (match Hashtbl.find_opt t.tx_owner victim with
-        | None -> abort_orphan ()
-        | Some sid -> (
-            match Hashtbl.find_opt t.sessions sid with
-            | None -> abort_orphan ()
-            | Some session ->
-                (match session.tx with
-                | Some tx when Tx.tx_id tx = victim ->
-                    session.tx <- None;
-                    Hashtbl.remove t.tx_owner victim;
-                    push session (Message.Deadlock_victim { tx = victim; msg });
-                    (if session.parked_req <> None then begin
-                       (* The parked lock request dies with the
-                          transaction: answer it with the conflict. *)
-                       observe_wait t session;
-                       session.parked_req <- None;
-                       error session Message.Conflict msg
-                     end
-                     else session.deadlock_note <- Some msg);
-                    let unblocked = Tx.abort t.manager tx in
-                    resume t unblocked;
-                    pump t session
-                | Some _ | None -> abort_orphan ())));
-        go ()
-  in
-  go ()
-
-(* Timeouts -------------------------------------------------------------------- *)
-
-let enforce_timeouts t now =
-  let expired = ref [] in
-  Hashtbl.iter
-    (fun _ session ->
-      match t.config.lock_timeout with
-      | Some limit
-        when session.parked_req <> None && now -. session.parked_since > limit ->
-          expired := (`Lock, session) :: !expired
-      | _ -> (
-          match t.config.idle_timeout with
-          | Some limit
-            when (not session.closing)
-                 && session.parked_req = None
-                 && now -. session.last_activity > limit ->
-              expired := (`Idle, session) :: !expired
-          | _ -> ()))
-    t.sessions;
-  List.iter
-    (fun (kind, session) ->
-      match kind with
-      | `Lock ->
-          (* Cancel the whole transaction: aborting dequeues the pending
-             lock request (see Tx_manager.abort), so the queue holds no
-             orphan waiter. *)
-          Obs.incr t.lock_timeouts;
-          observe_wait t session;
-          session.parked_req <- None;
-          (match session.tx with
-          | Some tx ->
-              session.tx <- None;
-              Hashtbl.remove t.tx_owner (Tx.tx_id tx);
-              let unblocked = Tx.abort t.manager tx in
-              error session Message.Timeout "lock wait timed out; transaction aborted";
-              resume t unblocked
-          | None -> error session Message.Timeout "lock wait timed out");
-          pump t session
-      | `Idle ->
-          Obs.incr t.idle_closes;
-          push session (Message.Goodbye { msg = "idle timeout" });
-          session.closing <- true)
-    !expired
-
-(* Accept ---------------------------------------------------------------------- *)
-
-let accept t =
+let accept_one t =
   match Unix.accept t.listen_fd with
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
     -> ()
   | fd, _peer ->
       Unix.set_nonblock fd;
-      if Hashtbl.length t.sessions >= t.config.max_sessions then begin
-        Obs.incr t.rejected;
-        (* Best effort: tell the client why before closing. *)
-        let frame =
-          Frame.encode
-            (Message.encode_server
-               (Message.Reply
-                  (Message.Error
-                     {
-                       code = Message.Too_many_sessions;
-                       msg =
-                         Printf.sprintf "server full (%d sessions)"
-                           t.config.max_sessions;
-                     })))
-        in
-        (try ignore (Unix.write fd frame 0 (Bytes.length frame) : int)
-         with Unix.Unix_error _ -> ());
-        try Unix.close fd with Unix.Unix_error _ -> ()
-      end
+      if session_count t >= t.config.max_sessions then
+        Shard.refuse_full fd ~max_sessions:t.config.max_sessions
+          ~rejected:t.svc.Tx_service.rejected
       else begin
-        Obs.incr t.accepted;
-        let sid = t.next_sid in
-        t.next_sid <- sid + 1;
-        Hashtbl.replace t.sessions sid
-          {
-            sid;
-            fd;
-            splitter = Frame.Splitter.create ();
-            queue = Queue.create ();
-            out = Queue.create ();
-            out_off = 0;
-            greeted = false;
-            tx = None;
-            parked_req = None;
-            parked_since = 0.;
-            deadlock_note = None;
-            last_activity = Unix.gettimeofday ();
-            closing = false;
-          }
+        Obs.incr t.svc.Tx_service.accepted;
+        let sid = Tx_service.fresh_sid t.svc in
+        let shard = t.shards.(sid mod Array.length t.shards) in
+        Shard.note_incoming shard;
+        Shard.enqueue shard (Tx_service.New_session { sid; fd })
       end
 
-(* Inbound --------------------------------------------------------------------- *)
-
-let read_chunk = Bytes.create 65536
-
-let feed t session =
-  match Unix.read session.fd read_chunk 0 (Bytes.length read_chunk) with
-  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-    -> ()
-  | exception Unix.Unix_error _ ->
-      (* ECONNRESET/EPIPE, but also ETIMEDOUT (keepalive on a dead
-         peer) and other socket errors: the peer is unreachable. *)
-      destroy t session
-  | 0 -> destroy t session
-  | n ->
-      session.last_activity <- Unix.gettimeofday ();
-      Frame.Splitter.feed session.splitter read_chunk ~len:n;
-      (* Decode up to the queue bound; leftover frames stay buffered in
-         the splitter and the socket stops being selected for reads
-         until the queue drains (backpressure). *)
-      refill t session
-
-(* Shutdown -------------------------------------------------------------------- *)
-
-let drain_grace = 5.0
-
-let begin_drain t =
-  if t.phase = Running then begin
-    t.phase <- Draining (Unix.gettimeofday () +. drain_grace);
-    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-    (* A graceful exit leaves no stale socket file; a [kill] does, like
-       a real crash would. *)
-    (match t.bound with
-    | Unix_path path -> ( try Sys.remove path with Sys_error _ -> ())
-    | Tcp _ -> ());
-    Hashtbl.iter
-      (fun _ session ->
-        push session (Message.Goodbye { msg = "server shutting down" });
-        (match session.tx with
-        | Some tx ->
-            session.tx <- None;
-            Hashtbl.remove t.tx_owner (Tx.tx_id tx);
-            ignore (Tx.abort t.manager tx : int list)
-        | None -> ());
-        session.parked_req <- None;
-        session.closing <- true)
-      t.sessions
-  end
-
-let drain_stop_pipe t =
+let acceptor_loop t =
+  let killed = ref false in
+  let finished = ref false in
   let b = Bytes.create 16 in
-  let rec go () =
-    match Unix.read t.stop_r b 0 16 with
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-      -> ()
-    | 0 -> ()
-    | n ->
-        for i = 0 to n - 1 do
-          match Bytes.get b i with
-          | 'K' -> t.phase <- Killed
-          | _ -> if t.phase = Running then begin_drain t
-        done;
-        go ()
-  in
-  go ()
-
-(* The reactor ------------------------------------------------------------------ *)
+  while not !finished do
+    match Unix.select [ t.stop_r; t.listen_fd ] [] [] 0.5 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+        if List.mem t.stop_r readable then begin
+          let rec drain () =
+            match Unix.read t.stop_r b 0 16 with
+            | exception
+                Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+              -> ()
+            | 0 -> ()
+            | n ->
+                for i = 0 to n - 1 do
+                  if Bytes.get b i = 'K' then killed := true
+                done;
+                drain ()
+          in
+          drain ();
+          finished := true
+        end;
+        if (not !finished) && List.mem t.listen_fd readable then accept_one t
+  done;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (* A graceful exit leaves no stale socket file; a [kill] does, like a
+     real crash would. *)
+  if not !killed then
+    match t.bound with
+    | Unix_path path -> ( try Sys.remove path with Sys_error _ -> ())
+    | Tcp _ -> ()
 
 let run t =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let finished = ref false in
-  let next_metrics =
-    ref
-      (match t.config.metrics_interval with
-      | Some interval -> Unix.gettimeofday () +. interval
-      | None -> infinity)
-  in
-  while not !finished do
-    let now = Unix.gettimeofday () in
-    (match t.config.metrics_interval with
-    | Some interval when now >= !next_metrics ->
-        prerr_endline ("orion metrics: " ^ Obs.one_line (Obs.snapshot ()));
-        next_metrics := now +. interval
-    | _ -> ());
-    (match t.phase with
-    | Draining deadline when now > deadline || Hashtbl.length t.sessions = 0 ->
-        (* Grace expired or everyone is gone: close what remains. *)
-        let remaining = Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions [] in
-        List.iter
-          (fun s ->
-            flush_out s;
-            destroy t s)
-          remaining;
-        finished := true
-    | Killed ->
-        Hashtbl.iter (fun _ s -> try Unix.close s.fd with Unix.Unix_error _ -> ())
-          t.sessions;
-        Hashtbl.reset t.sessions;
-        (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-        finished := true
-    | Running | Draining _ -> ());
-    if not !finished then begin
-      let reads =
-        t.stop_r
-        :: (if t.phase = Running then [ t.listen_fd ] else [])
-        @ Hashtbl.fold
-            (fun _ s acc ->
-              (* Backpressure: a full request queue or a closing session
-                 stops reads. *)
-              if (not s.closing) && Queue.length s.queue < t.config.queue_limit then
-                s.fd :: acc
-              else acc)
-            t.sessions []
-      in
-      let writes =
-        Hashtbl.fold
-          (fun _ s acc -> if not (Queue.is_empty s.out) then s.fd :: acc else acc)
-          t.sessions []
-      in
-      match Unix.select reads writes [] 0.1 with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-      | readable, writable, _ ->
-          if List.mem t.stop_r readable then drain_stop_pipe t;
-          if t.phase <> Killed then begin
-            if t.phase = Running && List.mem t.listen_fd readable then accept t;
-            let session_of fd =
-              Hashtbl.fold
-                (fun _ s acc -> if s.fd = fd then Some s else acc)
-                t.sessions None
-            in
-            List.iter
-              (fun fd ->
-                if fd <> t.stop_r && fd <> t.listen_fd then
-                  match session_of fd with
-                  | Some session ->
-                      feed t session;
-                      (* The session may have been destroyed by EOF. *)
-                      if Hashtbl.mem t.sessions session.sid then pump t session
-                  | None -> ())
-              readable;
-            if t.check_deadlocks then begin
-              t.check_deadlocks <- false;
-              break_deadlocks t
-            end;
-            enforce_timeouts t (Unix.gettimeofday ());
-            maybe_checkpoint t;
-            List.iter
-              (fun fd ->
-                match session_of fd with
-                | Some session -> flush_out session
-                | None -> ())
-              writable;
-            (* Close sessions that have said goodbye and flushed. *)
-            let done_ =
-              Hashtbl.fold
-                (fun _ s acc ->
-                  if s.closing then begin
-                    flush_out s;
-                    if Queue.is_empty s.out then s :: acc else acc
-                  end
-                  else acc)
-                t.sessions []
-            in
-            List.iter (fun s -> destroy t s) done_
-          end
-    end
-  done
+  if Array.length t.shards = 1 then Shard.run t.shards.(0)
+  else begin
+    let domains =
+      Array.map (fun sh -> Domain.spawn (fun () -> Shard.run sh)) t.shards
+    in
+    (* The shards got their stop/kill bytes directly; the acceptor loop
+       returns when it sees its own. *)
+    acceptor_loop t;
+    Array.iter Domain.join domains
+  end;
+  (* Reactors are quiet: settle the group committer.  A graceful stop
+     flushes any still-pending batch (their sessions are gone, but
+     submitted commits are past the point of no return and must reach
+     the log); a kill abandons it, like the crash it simulates. *)
+  Tx_service.shutdown_committer
+    ~killed:(Array.exists Shard.killed t.shards)
+    t.svc

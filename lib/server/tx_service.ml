@@ -1,0 +1,175 @@
+module Eval = Orion_dsl.Eval
+module Tx = Orion_tx.Tx_manager
+module Obs = Orion_obs.Metrics
+open Orion_core
+
+(* Cross-shard mail.  Shards never touch each other's session tables;
+   anything that must happen on another shard's sessions travels as one
+   of these, posted into that shard's inbox. *)
+type peer_msg =
+  | New_session of { sid : int; fd : Unix.file_descr }
+      (* the acceptor assigned this connection to the shard *)
+  | Resume of int list
+      (* transactions owned by the shard were unblocked by a release
+         elsewhere: re-poll their parked lock requests *)
+  | Victim of { sid : int; tx_id : int; msg : string }
+      (* another shard's deadlock breaker aborted a transaction owned
+         by [sid]: deliver the bad news on its home shard *)
+  | Commit_done of { sid : int; tx : Tx.tx; ok : bool; err : string }
+      (* the group committer settled a submitted commit *)
+
+type t = {
+  env : Eval.env;
+  db : Database.t;
+  manager : Tx.t;
+  gc : Orion_wal.Group_commit.t option;
+  wal_attached : bool;
+  mu : Mutex.t;
+  tx_owner : (int, int * int) Hashtbl.t;  (* tx id -> (shard, session id) *)
+  mutable posters : (peer_msg -> unit) array;  (* indexed by shard *)
+  next_sid : int Atomic.t;
+  check_deadlocks : bool Atomic.t;
+      (* a wait-for edge appeared since the last cycle search; cycles
+         can only form when a request blocks, so shards skip the search
+         on every other tick *)
+  mutable schema_seen : int;
+      (* Schema.version at the last checkpoint: schema DDL is
+         non-transactional, so with a log attached it is only durable
+         once a checkpoint absorbs it — taken as soon as the catalog
+         changes and no transaction is open. *)
+  (* Service-lock contention: the proof (or refutation) that one mutex
+     around the transactional core is not the new bottleneck. *)
+  acquires : Obs.counter;
+  contended : Obs.counter;
+  lock_wait_seconds : Obs.histogram;
+  lock_hold_seconds : Obs.histogram;
+  (* Server-wide instruments, shared by every shard. *)
+  accepted : Obs.counter;
+  rejected : Obs.counter;
+  requests : Obs.counter;
+  parks : Obs.counter;
+  deadlock_victims : Obs.counter;
+  lock_timeouts : Obs.counter;
+  idle_closes : Obs.counter;
+  lock_wait_hist : Obs.histogram;
+  class_wait_hists : (string, Obs.histogram) Hashtbl.t;
+  dispatch_hist : Obs.histogram;
+}
+
+let create ?wal ?group_commit_window env =
+  let db = Eval.database env in
+  let gc =
+    match (wal, group_commit_window) with
+    | Some wal, Some window when window > 0. ->
+        Some (Orion_wal.Group_commit.create ~window wal)
+    | _ -> None
+  in
+  {
+    env;
+    db;
+    manager = Tx.create ?wal db;
+    gc;
+    wal_attached = Option.is_some wal;
+    mu = Mutex.create ();
+    tx_owner = Hashtbl.create 32;
+    posters = [||];
+    next_sid = Atomic.make 0;
+    check_deadlocks = Atomic.make false;
+    schema_seen = Orion_schema.Schema.version (Database.schema db);
+    acquires = Obs.counter "txsvc.acquires";
+    contended = Obs.counter "txsvc.contended";
+    lock_wait_seconds = Obs.histogram "txsvc.wait_seconds";
+    lock_hold_seconds = Obs.histogram "txsvc.hold_seconds";
+    accepted = Obs.counter "server.accepted";
+    rejected = Obs.counter "server.rejected";
+    requests = Obs.counter "server.requests";
+    parks = Obs.counter "server.parks_total";
+    deadlock_victims = Obs.counter "server.deadlock_victims";
+    lock_timeouts = Obs.counter "server.lock_timeouts";
+    idle_closes = Obs.counter "server.idle_closes";
+    lock_wait_hist = Obs.histogram "lock.wait_seconds";
+    class_wait_hists = Hashtbl.create 16;
+    dispatch_hist = Obs.histogram "server.dispatch_seconds";
+  }
+
+let set_posters t posters = t.posters <- posters
+
+let post t ~shard msg = t.posters.(shard) msg
+
+(* The one serialization point of the transactional core.  Everything
+   that touches the database, the lock table or the session-transaction
+   bookkeeping runs inside; each shard takes the lock once per reactor
+   tick and dispatches its whole batch of ready requests under it, so
+   the per-request cost is amortized.  The wait/hold histograms and the
+   contended counter measure exactly what this mutex costs. *)
+let with_lock t f =
+  let t0 = Unix.gettimeofday () in
+  if not (Mutex.try_lock t.mu) then begin
+    Obs.incr t.contended;
+    Mutex.lock t.mu
+  end;
+  Obs.incr t.acquires;
+  let acquired = Unix.gettimeofday () in
+  Obs.observe t.lock_wait_seconds (acquired -. t0);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.observe t.lock_hold_seconds (Unix.gettimeofday () -. acquired);
+      Mutex.unlock t.mu)
+    f
+
+(* Transaction ownership (under the service lock). *)
+
+let claim t ~tx_id ~shard ~sid = Hashtbl.replace t.tx_owner tx_id (shard, sid)
+let disown t ~tx_id = Hashtbl.remove t.tx_owner tx_id
+let owner t ~tx_id = Hashtbl.find_opt t.tx_owner tx_id
+let open_txs t = Hashtbl.length t.tx_owner
+
+let fresh_sid t = Atomic.fetch_and_add t.next_sid 1
+
+let edge_appeared t = Atomic.set t.check_deadlocks true
+let take_deadlock_check t = Atomic.exchange t.check_deadlocks false
+
+(* Group commit helpers (under the service lock). *)
+
+(* Nobody else can join the batch when every open transaction is
+   already submitted to the committer: waiting out the window would be
+   pure added latency, so tell the committer to flush eagerly.  [+ 1]
+   counts the commit being submitted right now. *)
+let submit_is_eager t =
+  match t.gc with
+  | None -> true
+  | Some gc -> open_txs t <= Orion_wal.Group_commit.pending_count gc + 1
+
+let class_wait_hist t cls =
+  match Hashtbl.find_opt t.class_wait_hists cls with
+  | Some h -> h
+  | None ->
+      let h = Obs.histogram (Obs.labeled "lock.wait_seconds" ("class", cls)) in
+      Hashtbl.replace t.class_wait_hists cls h;
+      h
+
+(* Checkpoint policy, unchanged from the single-domain server except
+   for the group-commit quiescence condition: a checkpoint's truncation
+   must never race a batch mid-flush (its unsealed records would be cut
+   out from under the seal).  [tx_owner] keeps [Committing]
+   transactions claimed until their [Commit_done], so emptiness almost
+   implies committer quiescence — the explicit check closes the gap. *)
+let maybe_checkpoint t =
+  let v = Orion_schema.Schema.version (Database.schema t.db) in
+  if
+    v <> t.schema_seen
+    && Hashtbl.length t.tx_owner = 0
+    && (match t.gc with
+       | Some gc -> Orion_wal.Group_commit.quiescent gc
+       | None -> true)
+  then begin
+    if t.wal_attached then Orion_core.Persist.save t.db;
+    t.schema_seen <- v
+  end
+
+let shutdown_committer ~killed t =
+  match t.gc with
+  | None -> ()
+  | Some gc ->
+      if killed then Orion_wal.Group_commit.kill gc
+      else Orion_wal.Group_commit.shutdown gc

@@ -53,7 +53,9 @@ let run ?(max_rounds = 100_000) manager scripts =
             | `Granted -> runner.cursor <- rest
             | `Blocked -> ())
         | (Mutate _) :: _ | [] -> ())
-    | Tx_manager.Committed | Tx_manager.Aborted -> ()
+    (* The scheduler drives direct commits only; [Committing] never
+       appears here (no group-commit submission in scripted runs). *)
+    | Tx_manager.Committing | Tx_manager.Committed | Tx_manager.Aborted -> ()
     | Tx_manager.Active -> (
         match runner.cursor with
         | [] ->

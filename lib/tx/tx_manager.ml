@@ -4,7 +4,7 @@ module Lock_mode = Orion_locking.Lock_mode
 module Protocol = Orion_locking.Protocol
 module Obs = Orion_obs.Metrics
 
-type state = Active | Blocked | Committed | Aborted
+type state = Active | Blocked | Committing | Committed | Aborted
 
 type tx = {
   id : int;
@@ -231,12 +231,17 @@ let finish t tx state =
   Hashtbl.remove t.txs tx.id;
   unblocked
 
-let commit t tx =
-  (match tx.tx_state with
+let validate_commitable tx =
+  match tx.tx_state with
   | Active -> ()
   | Blocked -> invalid_arg "Tx_manager.commit: transaction is blocked on a lock"
+  | Committing ->
+      invalid_arg "Tx_manager.commit: commit already submitted"
   | Committed | Aborted ->
-      invalid_arg "Tx_manager.commit: transaction already finished");
+      invalid_arg "Tx_manager.commit: transaction already finished"
+
+let commit t tx =
+  validate_commitable tx;
   (* Durability point: after-images of everything this transaction may
      have touched (its undo-snapshot coverage plus its creations) reach
      the log, sealed by a commit record, before any lock is released.
@@ -248,12 +253,52 @@ let commit t tx =
   | None -> ());
   finish t tx Committed
 
+(* Group-commit split of [commit]: capture the after-image records now
+   (while the workspace still holds this transaction's writes) and park
+   the transaction in [Committing] until the batch sync settles.  The
+   point of no return for abort: locks stay held (strict 2PL across the
+   sync), and only the committer's verdict finishes the transaction. *)
+let submit_commit t tx =
+  validate_commitable tx;
+  let records =
+    Orion_wal.Wal.commit_records t.db ~tx:tx.id
+      ~touched:(Snapshot.captured tx.snapshot @ tx.created)
+  in
+  let next_oid, clock = Database.counters t.db in
+  let cc = Database.current_cc t.db in
+  tx.tx_state <- Committing;
+  (records, (next_oid, clock, cc))
+
+let complete_commit t tx =
+  (match tx.tx_state with
+  | Committing -> ()
+  | _ -> invalid_arg "Tx_manager.complete_commit: no commit in flight");
+  finish t tx Committed
+
+let commit_failed t tx =
+  (match tx.tx_state with
+  | Committing -> ()
+  | _ -> invalid_arg "Tx_manager.commit_failed: no commit in flight");
+  (* The log never sealed the batch, so durably the transaction never
+     happened — roll the workspace back to match (same order as abort:
+     restore before removing creations). *)
+  Snapshot.restore tx.snapshot t.db;
+  List.iter
+    (fun oid -> if Database.exists t.db oid then Database.remove t.db oid)
+    tx.created;
+  finish t tx Aborted
+
 let abort t tx =
   match tx.tx_state with
   | Committed | Aborted ->
       (* Idempotent: a second abort (say a client cancel racing the
          deadlock detector) must not restore the stale snapshot over
          state other transactions have since committed. *)
+      []
+  | Committing ->
+      (* Past the point of no return: the batch may already be durable.
+         The committer's notification decides the outcome; meanwhile
+         there is nothing to release. *)
       []
   | Active | Blocked ->
       (* Restore first: an object created by this transaction may have

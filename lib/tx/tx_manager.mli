@@ -13,7 +13,12 @@ type t
 
 type tx
 
-type state = Active | Blocked | Committed | Aborted
+type state = Active | Blocked | Committing | Committed | Aborted
+(** [Committing]: the commit has been submitted to the group-commit
+    batcher ({!submit_commit}) and awaits the batch sync.  Locks stay
+    held — strict 2PL across the durability point — and the transaction
+    can no longer be aborted; {!complete_commit}/{!commit_failed} settle
+    it when the committer reports. *)
 
 val create :
   ?compat:(Orion_locking.Lock_mode.t -> Orion_locking.Lock_mode.t -> bool) ->
@@ -81,6 +86,24 @@ val commit : t -> tx -> int list
     @raise Invalid_argument on a [Blocked] transaction (its lock
     request is still queued — commit would break two-phase locking) or
     an already-finished one. *)
+
+val submit_commit : t -> tx -> Orion_wal.Wal_record.t list * (int * int * int)
+(** Group-commit first half: capture the transaction's after-image
+    records and the database counters [(next_oid, clock, cc)] it would
+    seal with, and move it to [Committing].  The caller hands the
+    records to {!Orion_wal.Group_commit.submit} and must finish the
+    transaction with {!complete_commit} or {!commit_failed} once the
+    committer reports.  Raises as {!commit} on a non-[Active]
+    transaction. *)
+
+val complete_commit : t -> tx -> int list
+(** The batch sync succeeded: release locks, finish [Committed].
+    Returns unblocked transactions, like {!commit}. *)
+
+val commit_failed : t -> tx -> int list
+(** The batch never became durable (the log crashed before the seal):
+    undo the workspace and finish [Aborted].  Returns unblocked
+    transactions. *)
 
 val abort : t -> tx -> int list
 (** Undo every update of the transaction (newest first), release locks

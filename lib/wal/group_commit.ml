@@ -1,0 +1,181 @@
+module Obs = Orion_obs.Metrics
+
+(* A commit submitted for batching: its pre-captured records, the
+   counters it would seal with, and how to tell its shard the outcome.
+   [notify] runs on the committer thread — implementations must only
+   post to a shard inbox (or similar), never touch shard state. *)
+type pending = {
+  p_tx : int;
+  p_records : Wal_record.t list;
+  p_next_oid : int;
+  p_clock : int;
+  p_cc : int;
+  p_notify : ok:bool -> err:string -> unit;
+}
+
+type t = {
+  wal : Wal.t;
+  window : float;
+  mu : Mutex.t;
+  cond : Condition.t;
+  mutable pending : pending list;  (* newest first *)
+  mutable eager : bool;  (* no one else can join: flush without waiting *)
+  mutable flushing : bool;
+  mutable stopping : bool;
+  mutable discard : bool;  (* kill-9: exit without flushing the tail *)
+  mutable thread : Thread.t option;
+  batches : Obs.counter;
+  batched : Obs.counter;
+  solo : Obs.counter;
+  batch_hist : Obs.histogram;
+}
+
+let submit t ~tx ~records ~next_oid ~clock ~cc ~eager ~notify =
+  Mutex.lock t.mu;
+  if t.stopping then begin
+    Mutex.unlock t.mu;
+    invalid_arg "Group_commit.submit: committer is shutting down"
+  end;
+  t.pending <-
+    {
+      p_tx = tx;
+      p_records = records;
+      p_next_oid = next_oid;
+      p_clock = clock;
+      p_cc = cc;
+      p_notify = notify;
+    }
+    :: t.pending;
+  if eager then t.eager <- true;
+  Condition.signal t.cond;
+  Mutex.unlock t.mu
+
+let pending_count t =
+  Mutex.lock t.mu;
+  let n = List.length t.pending + if t.flushing then 1 else 0 in
+  Mutex.unlock t.mu;
+  n
+
+(* Write one batch: every member's records, one seal, one sync.  A solo
+   member seals with a plain [Commit] — byte-identical to the direct
+   path — so `--group-commit-window` changes nothing on disk until two
+   commits actually coincide.  K > 1 seals with a single [Commit_group];
+   recovery then replays the whole batch or (on a torn seal) none of it. *)
+let flush_batch t batch =
+  let batch = List.rev batch in
+  let outcome =
+    match
+      let records =
+        List.concat_map (fun p -> p.p_records) batch
+      in
+      let seal =
+        match batch with
+        | [ p ] ->
+            Wal_record.Commit
+              { tx = p.p_tx; next_oid = p.p_next_oid; clock = p.p_clock; cc = p.p_cc }
+        | ps ->
+            let next_oid =
+              List.fold_left (fun acc p -> max acc p.p_next_oid) 0 ps
+            in
+            let clock = List.fold_left (fun acc p -> max acc p.p_clock) 0 ps in
+            let cc = List.fold_left (fun acc p -> max acc p.p_cc) 0 ps in
+            Wal_record.Commit_group
+              { txs = List.map (fun p -> p.p_tx) ps; next_oid; clock; cc }
+      in
+      Wal.log_batch t.wal ~records ~seal
+    with
+    | () -> Ok ()
+    | exception e -> Error (Printexc.to_string e)
+  in
+  (match outcome with
+  | Ok () ->
+      Obs.incr t.batches;
+      (match batch with
+      | [ _ ] -> Obs.incr t.solo
+      | ps -> Obs.incr t.batched ~by:(List.length ps));
+      Obs.observe t.batch_hist (float_of_int (List.length batch))
+  | Error _ -> ());
+  List.iter
+    (fun p ->
+      match outcome with
+      | Ok () -> p.p_notify ~ok:true ~err:""
+      | Error err -> p.p_notify ~ok:false ~err)
+    batch
+
+let committer t () =
+  let rec loop () =
+    Mutex.lock t.mu;
+    while t.pending = [] && not t.stopping do
+      Condition.wait t.cond t.mu
+    done;
+    if t.pending = [] && t.stopping then Mutex.unlock t.mu
+    else begin
+      let wait = (not t.eager) && (not t.stopping) && t.window > 0. in
+      Mutex.unlock t.mu;
+      (* The batching window: stay open for stragglers unless the
+         submitter told us nobody else can join (no other transaction
+         is in flight) — then the delay would be pure added latency. *)
+      if wait then Thread.delay t.window;
+      Mutex.lock t.mu;
+      let batch = t.pending in
+      t.pending <- [];
+      t.eager <- false;
+      t.flushing <- true;
+      Mutex.unlock t.mu;
+      flush_batch t batch;
+      Mutex.lock t.mu;
+      t.flushing <- false;
+      Mutex.unlock t.mu;
+      loop ()
+    end
+  in
+  loop ();
+  (* Shutdown: drain whatever arrived after the last wake-up — unless
+     this is a simulated kill-9, where losing the un-synced tail is the
+     whole point. *)
+  if not t.discard then begin
+    Mutex.lock t.mu;
+    let tail = t.pending in
+    t.pending <- [];
+    Mutex.unlock t.mu;
+    if tail <> [] then flush_batch t tail
+  end
+
+let create ?(window = 0.002) wal =
+  let t =
+    {
+      wal;
+      window;
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      pending = [];
+      eager = false;
+      flushing = false;
+      stopping = false;
+      discard = false;
+      thread = None;
+      batches = Obs.counter "wal.group_commit.batches";
+      batched = Obs.counter "wal.group_commit.batched_txs";
+      solo = Obs.counter "wal.group_commit.solo_txs";
+      batch_hist = Obs.histogram "wal.group_commit.batch_size";
+    }
+  in
+  t.thread <- Some (Thread.create (committer t) ());
+  t
+
+let stop ~discard t =
+  Mutex.lock t.mu;
+  t.stopping <- true;
+  t.discard <- discard;
+  Condition.signal t.cond;
+  Mutex.unlock t.mu;
+  match t.thread with
+  | Some th ->
+      Thread.join th;
+      t.thread <- None
+  | None -> ()
+
+let shutdown t = stop ~discard:false t
+let kill t = stop ~discard:true t
+
+let quiescent t = pending_count t = 0

@@ -108,7 +108,8 @@ let rebuild_from records =
       | Catalog_set { page } ->
           Store.restore_catalog store page;
           incr dir_ops
-      | Obj_put _ | Obj_delete _ | Commit _ | Checkpoint_begin | Checkpoint ->
+      | Obj_put _ | Obj_delete _ | Commit _ | Commit_group _ | Checkpoint_begin
+      | Checkpoint ->
           ())
     records;
   (store, !pages, !dir_ops)
@@ -147,24 +148,38 @@ let apply_committed db records =
   in
   let committed = ref 0 in
   let applied = ref 0 in
+  let seal tx =
+    let ops = List.rev (Option.value (Hashtbl.find_opt pending tx) ~default:[]) in
+    Hashtbl.remove pending tx;
+    incr committed;
+    List.iter (apply_op db) ops;
+    applied := !applied + List.length ops
+  in
+  let advance_counters ~next_oid ~clock ~cc =
+    (* Counters only ever move forward: a log overlapping the
+       snapshot (crash after checkpoint, before truncation) replays
+       commits the catalog already accounts for. *)
+    let next_oid0, clock0 = Database.counters db in
+    Database.restore_counters db ~next_oid:(max next_oid next_oid0)
+      ~clock:(max clock clock0);
+    Database.set_current_cc db (max cc (Database.current_cc db))
+  in
   List.iter
     (fun record ->
       match record with
       | Wal_record.Obj_put { tx; _ } -> push tx record
       | Obj_delete { tx; _ } -> push tx record
       | Commit { tx; next_oid; clock; cc } ->
-          let ops = List.rev (Option.value (Hashtbl.find_opt pending tx) ~default:[]) in
-          Hashtbl.remove pending tx;
-          incr committed;
-          List.iter (apply_op db) ops;
-          applied := !applied + List.length ops;
-          (* Counters only ever move forward: a log overlapping the
-             snapshot (crash after checkpoint, before truncation) replays
-             commits the catalog already accounts for. *)
-          let next_oid0, clock0 = Database.counters db in
-          Database.restore_counters db ~next_oid:(max next_oid next_oid0)
-            ~clock:(max clock clock0);
-          Database.set_current_cc db (max cc (Database.current_cc db))
+          seal tx;
+          advance_counters ~next_oid ~clock ~cc
+      | Commit_group { txs; next_oid; clock; cc } ->
+          (* The whole batch became durable with this one record: seal
+             each member in submission order.  Batched transactions are
+             non-overlapping writers (strict 2PL holds their locks until
+             the sync completes), so member order within the batch
+             cannot change the outcome. *)
+          List.iter seal txs;
+          advance_counters ~next_oid ~clock ~cc
       | _ -> ())
     records;
   let discarded =

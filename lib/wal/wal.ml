@@ -13,6 +13,11 @@ type fault = { kind : fault_kind; mutable remaining : int }
 
 type t = {
   mutable buf : Buffer.t;
+  (* The log buffer is shared between shard domains (via the mutator
+     observers) and the group-commit committer thread; every buffer
+     mutation or read happens under [mu].  The mutex is never held
+     across a callback, so there is no nesting. *)
+  mu : Mutex.t;
   appends : Obs.counter;
   bytes_logged : Obs.counter;
   syncs : Obs.counter;
@@ -28,6 +33,7 @@ type t = {
 let create () =
   {
     buf = Buffer.create 4096;
+    mu = Mutex.create ();
     appends = Obs.counter "wal.appends";
     bytes_logged = Obs.counter "wal.bytes";
     syncs = Obs.counter "wal.syncs";
@@ -40,7 +46,11 @@ let create () =
     backing = None;
   }
 
-let size t = Buffer.length t.buf
+let with_mu t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let size t = with_mu t (fun () -> Buffer.length t.buf)
 
 let stats t : Database.wal_stats =
   {
@@ -72,7 +82,7 @@ let frame record =
   Bytes.blit payload 0 framed 8 len;
   framed
 
-let append t record =
+let append_unlocked t record =
   if t.is_crashed then raise Crashed;
   let started = Unix.gettimeofday () in
   (* Remember the geometry: truncation restarts the log with it. *)
@@ -96,7 +106,9 @@ let append t record =
   Obs.incr t.bytes_logged ~by:(Bytes.length framed);
   Obs.observe t.append_hist (Unix.gettimeofday () -. started)
 
-let save_file t path =
+let append t record = with_mu t (fun () -> append_unlocked t record)
+
+let save_file_unlocked t path =
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   Fun.protect
@@ -104,32 +116,38 @@ let save_file t path =
     (fun () -> Buffer.output_buffer oc t.buf);
   Sys.rename tmp path
 
+let save_file t path = with_mu t (fun () -> save_file_unlocked t path)
+
 let set_backing t path = t.backing <- path
 
-let sync t =
+let sync_unlocked t =
   if t.is_crashed then raise Crashed;
   Obs.incr t.syncs;
   (* With a backing file, a sync is a real fsync-point: the log bytes
      reach the filesystem, so a process crash loses at most the appends
      since the last commit/checkpoint. *)
   let started = Unix.gettimeofday () in
-  (match t.backing with Some path -> save_file t path | None -> ());
+  (match t.backing with Some path -> save_file_unlocked t path | None -> ());
   Obs.observe t.sync_hist (Unix.gettimeofday () -. started)
 
+let sync t = with_mu t (fun () -> sync_unlocked t)
+
 let tear t ~bytes =
-  let keep = max 0 (Buffer.length t.buf - bytes) in
-  let surviving = Buffer.sub t.buf 0 keep in
-  Buffer.clear t.buf;
-  Buffer.add_string t.buf surviving
+  with_mu t (fun () ->
+      let keep = max 0 (Buffer.length t.buf - bytes) in
+      let surviving = Buffer.sub t.buf 0 keep in
+      Buffer.clear t.buf;
+      Buffer.add_string t.buf surviving)
 
 let truncate t =
-  if t.is_crashed then raise Crashed;
-  Buffer.clear t.buf;
-  Obs.incr t.truncations;
-  (match t.page_size with
-  | Some page_size -> append t (Wal_record.Genesis { page_size })
-  | None -> ());
-  match t.backing with Some path -> save_file t path | None -> ()
+  with_mu t (fun () ->
+      if t.is_crashed then raise Crashed;
+      Buffer.clear t.buf;
+      Obs.incr t.truncations;
+      (match t.page_size with
+      | Some page_size -> append_unlocked t (Wal_record.Genesis { page_size })
+      | None -> ());
+      match t.backing with Some path -> save_file_unlocked t path | None -> ())
 
 (* Reading ------------------------------------------------------------------ *)
 
@@ -140,7 +158,7 @@ type scan = {
 }
 
 let scan t =
-  let data = Buffer.to_bytes t.buf in
+  let data = with_mu t (fun () -> Buffer.to_bytes t.buf) in
   let total = Bytes.length data in
   let records = ref [] in
   let pos = ref 0 in
@@ -171,7 +189,7 @@ let scan t =
    with Exit -> ());
   { records = List.rev !records; torn_tail = !torn; valid_bytes = !pos }
 
-let contents t = Buffer.to_bytes t.buf
+let contents t = with_mu t (fun () -> Buffer.to_bytes t.buf)
 
 let restore_page_size t =
   match scan t with
@@ -257,23 +275,40 @@ let attach ?snapshot_path t db =
               recovery source and must keep its full history. *)
            (match snapshot_path with Some _ -> truncate t | None -> ())))
 
-let log_commit t db ~tx ~touched =
-  List.iter
+(* The after-image / tombstone records of a commit, without the sealing
+   record: the direct path seals with [Commit] below; the group-commit
+   committer batches several transactions' records under one
+   [Commit_group] seal. *)
+let commit_records db ~tx ~touched =
+  List.map
     (fun oid ->
       match Database.find db oid with
       | Some inst ->
-          append t
-            (Wal_record.Obj_put
-               {
-                 tx;
-                 oid;
-                 cluster_with = inst.Instance.cluster_with;
-                 rrefs = Database.rrefs db oid;
-                 data = Codec.encode db inst;
-               })
-      | None -> append t (Wal_record.Obj_delete { tx; oid }))
-    (List.sort_uniq Oid.compare touched);
+          Wal_record.Obj_put
+            {
+              tx;
+              oid;
+              cluster_with = inst.Instance.cluster_with;
+              rrefs = Database.rrefs db oid;
+              data = Codec.encode db inst;
+            }
+      | None -> Wal_record.Obj_delete { tx; oid })
+    (List.sort_uniq Oid.compare touched)
+
+(* One durability point for a pre-captured batch: every record, then the
+   seal, then a single sync — all under the log mutex so a concurrent
+   checkpoint or another committer cannot interleave inside the batch. *)
+let log_batch t ~records ~seal =
+  with_mu t (fun () ->
+      List.iter (append_unlocked t) records;
+      append_unlocked t seal;
+      sync_unlocked t)
+
+let log_commit t db ~tx ~touched =
+  let records = commit_records db ~tx ~touched in
   let next_oid, clock = Database.counters db in
-  append t
-    (Wal_record.Commit { tx; next_oid; clock; cc = Database.current_cc db });
-  sync t
+  let cc = Database.current_cc db in
+  with_mu t (fun () ->
+      List.iter (append_unlocked t) records;
+      append_unlocked t (Wal_record.Commit { tx; next_oid; clock; cc });
+      sync_unlocked t)

@@ -118,5 +118,27 @@ val attach_store : t -> Store.t -> unit
 val log_commit : t -> Database.t -> tx:int -> touched:Oid.t list -> unit
 (** Append the after-image ([Obj_put]) or tombstone ([Obj_delete]) of
     every touched object, seal them with a [Commit] carrying the
-    database counters, and {!sync}.  Called by
+    database counters, and {!sync} — all under the log mutex, so the
+    sequence is atomic against concurrent appenders.  Called by
     {!Orion_tx.Tx_manager.commit}. *)
+
+val commit_records : Database.t -> tx:int -> touched:Oid.t list -> Wal_record.t list
+(** The unsealed after-image/tombstone records {!log_commit} would
+    append for [tx] — captured at commit-submission time so the
+    group-commit committer can batch several transactions' records
+    under one {!Wal_record.Commit_group} seal. *)
+
+val log_batch : t -> records:Wal_record.t list -> seal:Wal_record.t -> unit
+(** Append [records], then [seal], then {!sync} — one durability point
+    for a whole batch, atomic under the log mutex.
+    @raise Crashed as {!append}/{!sync} (an injected fault can land on
+    any append inside the batch, leaving an unsealed — hence
+    replayed-as-nothing — prefix). *)
+
+(** {1 Thread-safety}
+
+    Every operation that touches the log buffer takes an internal
+    mutex, so shard domains (journaling page writes), the group-commit
+    committer thread and checkpoints can share one log.  Observability
+    counters follow the registry-wide convention: racing increments may
+    lose a count, never crash. *)

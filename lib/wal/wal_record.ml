@@ -20,6 +20,7 @@ type t =
     }
   | Obj_delete of { tx : int; oid : Oid.t }
   | Commit of { tx : int; next_oid : int; clock : int; cc : int }
+  | Commit_group of { txs : int list; next_oid : int; clock : int; cc : int }
   | Checkpoint_begin
   | Checkpoint
 
@@ -94,6 +95,13 @@ let encode record =
       W.int w next_oid;
       W.int w clock;
       W.int w cc
+  | Commit_group { txs; next_oid; clock; cc } ->
+      W.u8 w 12;
+      W.int w (List.length txs);
+      List.iter (W.int w) txs;
+      W.int w next_oid;
+      W.int w clock;
+      W.int w cc
   | Checkpoint_begin -> W.u8 w 10
   | Checkpoint -> W.u8 w 11);
   W.contents w
@@ -131,6 +139,13 @@ let decode payload =
       Commit { tx; next_oid; clock; cc }
   | 10 -> Checkpoint_begin
   | 11 -> Checkpoint
+  | 12 ->
+      let n = R.int r in
+      let txs = List.init n (fun _ -> R.int r) in
+      let next_oid = R.int r in
+      let clock = R.int r in
+      let cc = R.int r in
+      Commit_group { txs; next_oid; clock; cc }
   | tag -> raise (R.Corrupt (Printf.sprintf "bad wal record tag %d" tag))
 
 let describe = function
@@ -153,5 +168,9 @@ let describe = function
       Printf.sprintf "obj-delete tx=%d oid=%d" tx (Oid.to_int oid)
   | Commit { tx; next_oid; clock; cc } ->
       Printf.sprintf "commit tx=%d next_oid=%d clock=%d cc=%d" tx next_oid clock cc
+  | Commit_group { txs; next_oid; clock; cc } ->
+      Printf.sprintf "commit-group txs=[%s] next_oid=%d clock=%d cc=%d"
+        (String.concat " " (List.map string_of_int txs))
+        next_oid clock cc
   | Checkpoint_begin -> "checkpoint-begin"
   | Checkpoint -> "checkpoint"

@@ -38,6 +38,12 @@ type t =
   | Commit of { tx : int; next_oid : int; clock : int; cc : int }
       (** Seals the transaction's [Obj_*] records and carries the
           database counters as of the commit. *)
+  | Commit_group of { txs : int list; next_oid : int; clock : int; cc : int }
+      (** Group commit: seals the [Obj_*] records of {e every} listed
+          transaction at once (batched by {!Group_commit}), with the
+          max-merged database counters.  One record — so a torn tail
+          either seals the whole batch or none of it; recovery never
+          replays a partial batch. *)
   | Checkpoint_begin
   | Checkpoint
 
