@@ -1,0 +1,372 @@
+(* Replication benchmark: what WAL shipping costs and what it buys.
+
+   Two questions, two scenario families:
+
+   - apply lag vs write rate: 1, 8 and 32 writer clients commit
+     disjoint transactions against a primary while one replica follows
+     its stream.  We sample the replica's byte lag (primary durable LSN
+     minus replica applied LSN) through the measured window and time
+     how long the replica needs to drain once the writers stop — the
+     failover-freshness number.
+   - read throughput, primary-only vs primary+replica: the same reader
+     pool runs composite traversals against the primary alone, then
+     split across the primary and a read-only replica serving the same
+     data — the scale-out number.
+
+   Logs are in-memory (sync still advances the durable point, so the
+   stream behaves exactly as with a backing file) to keep disk noise
+   out of both numbers.  `--json PATH` writes BENCH_PR7.json-style
+   output; `--quick` shrinks the matrix for the smoke alias. *)
+
+module Eval = Orion_dsl.Eval
+module Server = Orion_server.Server
+module Tx_service = Orion_server.Tx_service
+module Tailer = Orion_replication.Tailer
+module Replica = Orion_replication.Replica
+module Client = Orion_client
+module Message = Orion_protocol.Message
+module Addr = Orion_protocol.Addr
+module Oid = Orion_core.Oid
+module Value = Orion_core.Value
+module Wal = Orion_wal.Wal
+module Obs = Orion_obs.Metrics
+module Database = Orion_core.Database
+
+let schema_forms =
+  {|
+(make-class 'Part :attributes ((Name :domain String)))
+(make-class 'Assembly :attributes (
+  (Parts :domain (set-of Part) :composite true :exclusive true :dependent true)))
+|}
+
+let temp_dir () =
+  let dir = Filename.temp_file "orion_bench_repl" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  dir
+
+type primary = {
+  p_server : Server.t;
+  p_thread : Thread.t;
+  p_wal : Wal.t;
+  p_addr : Addr.t;
+}
+
+let start_primary dir =
+  let db_path = Filename.concat dir "p.odb" in
+  let sock = Filename.concat dir "p.sock" in
+  let env = Eval.create_env () in
+  ignore (Eval.eval_program env schema_forms : Eval.v list);
+  let wal = Wal.create () in
+  Wal.attach ~snapshot_path:db_path ~truncate_on_checkpoint:false wal
+    (Eval.database env);
+  Wal.sync wal;
+  Orion_core.Persist.save (Eval.database env);
+  let server =
+    Server.create ~wal
+      ~repl:(Tx_service.Primary (Tailer.create wal))
+      env (Addr.Unix_path sock)
+  in
+  let thread = Thread.create Server.run server in
+  { p_server = server; p_thread = thread; p_wal = wal; p_addr = Addr.Unix_path sock }
+
+let stop_primary p =
+  Server.stop p.p_server;
+  Thread.join p.p_thread
+
+(* A following replica; [serve] additionally puts a read-only server in
+   front of its database, as `orion serve --replica-of` does. *)
+let start_replica dir primary_addr ~serve =
+  let db_path = Filename.concat dir "r.odb" in
+  let wal = Wal.create () in
+  let replica = Replica.create ~primary:primary_addr ~wal ~db_path () in
+  let db = Replica.bootstrap replica in
+  let server =
+    if not serve then None
+    else begin
+      let sock = Filename.concat dir "r.sock" in
+      let env = Eval.create_env ~db () in
+      let server =
+        Server.create
+          ~repl:(Tx_service.Replica_of { replica; promote_gate = None })
+          env (Addr.Unix_path sock)
+      in
+      Replica.set_locked replica (fun f ->
+          Tx_service.with_lock (Server.service server) f);
+      Some (server, Thread.create Server.run server, Addr.Unix_path sock)
+    end
+  in
+  Replica.start replica;
+  (replica, server)
+
+let stop_replica (replica, server) =
+  (match server with
+  | Some (server, thread, _) ->
+      Server.stop server;
+      Thread.join thread
+  | None -> ());
+  Replica.stop replica
+
+(* Apply lag vs write rate ------------------------------------------------------ *)
+
+type lag_result = {
+  clients : int;
+  ops : int;
+  elapsed_s : float;
+  write_throughput : float;
+  lag_mean_kb : float;
+  lag_max_kb : float;
+  catchup_ms : float;
+}
+
+let run_lag_scenario ~clients ~duration =
+  let dir = temp_dir () in
+  let p = start_primary dir in
+  Fun.protect
+    ~finally:(fun () -> stop_primary p)
+    (fun () ->
+      let r = start_replica dir p.p_addr ~serve:false in
+      Fun.protect
+        ~finally:(fun () -> stop_replica r)
+        (fun () ->
+          let replica, _ = r in
+          let setup = Client.connect ~client_name:"bench-setup" p.p_addr in
+          let roots =
+            Array.init clients (fun _ ->
+                match Client.eval setup "(make Assembly)" with
+                | Message.Obj oid -> oid
+                | _ -> failwith "make Assembly")
+          in
+          Client.close setup;
+          let stop = Atomic.make false in
+          let op_counts = Array.make clients 0 in
+          let worker i () =
+            let c = Client.connect ~client_name:"bench-writer" p.p_addr in
+            let root = roots.(i) in
+            let j = ref 0 in
+            while not (Atomic.get stop) do
+              incr j;
+              ignore (Client.begin_tx c : int);
+              Client.lock_composite c ~root Message.Update;
+              ignore
+                (Client.make c ~cls:"Part" ~parents:[ (root, "Parts") ]
+                   ~attrs:[ ("Name", Value.Str (Printf.sprintf "p%d-%d" i !j)) ]
+                   ()
+                  : Oid.t);
+              Client.commit c;
+              op_counts.(i) <- op_counts.(i) + 1
+            done;
+            Client.close c
+          in
+          let threads = List.init clients (fun i -> Thread.create (worker i) ()) in
+          (* Sample the byte lag while the writers run. *)
+          let t0 = Unix.gettimeofday () in
+          let lags = ref [] in
+          while Unix.gettimeofday () -. t0 < duration do
+            Thread.delay 0.005;
+            let lag =
+              max 0 (Wal.durable_lsn p.p_wal - Replica.applied_lsn replica)
+            in
+            lags := float_of_int lag :: !lags
+          done;
+          Atomic.set stop true;
+          List.iter Thread.join threads;
+          let elapsed = Unix.gettimeofday () -. t0 in
+          (* Catch-up: how long until the replica has applied everything
+             the dead-quiet primary made durable. *)
+          let target = Wal.durable_lsn p.p_wal in
+          let c0 = Unix.gettimeofday () in
+          while
+            Replica.applied_lsn replica < target
+            && Unix.gettimeofday () -. c0 < 30.
+          do
+            Thread.delay 0.001
+          done;
+          let catchup = Unix.gettimeofday () -. c0 in
+          if Replica.applied_lsn replica < target then
+            failwith "replica never caught up";
+          let ops = Array.fold_left ( + ) 0 op_counts in
+          let lag_samples = !lags in
+          let n = max 1 (List.length lag_samples) in
+          {
+            clients;
+            ops;
+            elapsed_s = elapsed;
+            write_throughput = float_of_int ops /. elapsed;
+            lag_mean_kb =
+              List.fold_left ( +. ) 0.0 lag_samples /. float_of_int n /. 1024.;
+            lag_max_kb =
+              List.fold_left Float.max 0.0 lag_samples /. 1024.;
+            catchup_ms = catchup *. 1e3;
+          }))
+
+(* Read throughput -------------------------------------------------------------- *)
+
+type read_result = {
+  setup : string;
+  readers : int;
+  reads : int;
+  read_elapsed_s : float;
+  read_throughput : float;
+}
+
+let run_read_scenario ~readers ~with_replica ~duration ~seed_parts =
+  let dir = temp_dir () in
+  let p = start_primary dir in
+  Fun.protect
+    ~finally:(fun () -> stop_primary p)
+    (fun () ->
+      let setup = Client.connect ~client_name:"bench-setup" p.p_addr in
+      let root =
+        match Client.eval setup "(make Assembly)" with
+        | Message.Obj oid -> oid
+        | _ -> failwith "make Assembly"
+      in
+      for i = 1 to seed_parts do
+        ignore (Client.begin_tx setup : int);
+        Client.lock_composite setup ~root Message.Update;
+        ignore
+          (Client.make setup ~cls:"Part" ~parents:[ (root, "Parts") ]
+             ~attrs:[ ("Name", Value.Str (Printf.sprintf "seed-%d" i)) ]
+             ()
+            : Oid.t);
+        Client.commit setup
+      done;
+      Client.close setup;
+      let r = if with_replica then Some (start_replica dir p.p_addr ~serve:true) else None in
+      Fun.protect
+        ~finally:(fun () -> Option.iter stop_replica r)
+        (fun () ->
+          let replica_addr =
+            match r with
+            | Some (replica, Some (_, _, addr)) ->
+                (* Readers must see the seeded data wherever they land. *)
+                let t0 = Unix.gettimeofday () in
+                while
+                  Database.count (Replica.db replica) < seed_parts + 1
+                  && Unix.gettimeofday () -. t0 < 30.
+                do
+                  Thread.delay 0.002
+                done;
+                Some addr
+            | _ -> None
+          in
+          let stop = Atomic.make false in
+          let read_counts = Array.make readers 0 in
+          let worker i () =
+            (* Alternate readers go to the replica when there is one. *)
+            let addr =
+              match replica_addr with
+              | Some addr when i mod 2 = 1 -> addr
+              | _ -> p.p_addr
+            in
+            let c = Client.connect ~client_name:"bench-reader" addr in
+            while not (Atomic.get stop) do
+              ignore (Client.components_of c root : Oid.t list);
+              read_counts.(i) <- read_counts.(i) + 1
+            done;
+            Client.close c
+          in
+          let t0 = Unix.gettimeofday () in
+          let threads = List.init readers (fun i -> Thread.create (worker i) ()) in
+          Thread.delay duration;
+          Atomic.set stop true;
+          List.iter Thread.join threads;
+          let elapsed = Unix.gettimeofday () -. t0 in
+          let reads = Array.fold_left ( + ) 0 read_counts in
+          {
+            setup = (if with_replica then "primary-plus-replica" else "primary-only");
+            readers;
+            reads;
+            read_elapsed_s = elapsed;
+            read_throughput = float_of_int reads /. elapsed;
+          }))
+
+(* Output ----------------------------------------------------------------------- *)
+
+let write_json ~path lag_results read_results =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"orion-bench-replication-v1\",\n";
+  Bench_meta.add buf;
+  (* The registry holds the replication instruments of the last
+     scenario: shipped/applied counters, lag gauges, ack RTTs. *)
+  Bench_meta.add_metrics buf (Obs.snapshot ());
+  Buffer.add_string buf "  \"results\": {\n";
+  Buffer.add_string buf "    \"apply_lag\": {\n";
+  List.iteri
+    (fun i (r : lag_result) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      \"clients-%d\": { \"ops\": %d, \"elapsed_s\": %.3f, \
+            \"write_throughput_ops_per_s\": %.1f, \"lag_mean_kb\": %.2f, \
+            \"lag_max_kb\": %.2f, \"catchup_ms\": %.2f }%s\n"
+           r.clients r.ops r.elapsed_s r.write_throughput r.lag_mean_kb
+           r.lag_max_kb r.catchup_ms
+           (if i = List.length lag_results - 1 then "" else ",")))
+    lag_results;
+  Buffer.add_string buf "    },\n";
+  Buffer.add_string buf "    \"read_throughput\": {\n";
+  List.iteri
+    (fun i (r : read_result) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      \"%s\": { \"readers\": %d, \"reads\": %d, \"elapsed_s\": \
+            %.3f, \"read_throughput_ops_per_s\": %.1f }%s\n"
+           r.setup r.readers r.reads r.read_elapsed_s r.read_throughput
+           (if i = List.length read_results - 1 then "" else ",")))
+    read_results;
+  Buffer.add_string buf "    }\n";
+  Buffer.add_string buf "  }\n";
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  Printf.printf "\nwrote %s\n%!" path
+
+let () =
+  let quick = Array.exists (String.equal "--quick") Sys.argv in
+  let arg_value name =
+    let rec scan i =
+      if i >= Array.length Sys.argv - 1 then None
+      else if String.equal Sys.argv.(i) name then Some Sys.argv.(i + 1)
+      else scan (i + 1)
+    in
+    scan 1
+  in
+  let json_path = arg_value "--json" in
+  let duration =
+    match arg_value "--min-duration" with
+    | Some s -> float_of_string s
+    | None -> if quick then 0.3 else 1.5
+  in
+  let client_counts = if quick then [ 1; 8 ] else [ 1; 8; 32 ] in
+  let readers = if quick then 4 else 8 in
+  let seed_parts = if quick then 20 else 100 in
+  print_endline
+    "=== Replication bench: apply lag vs write rate, read scale-out ===";
+  let lag_results =
+    List.map
+      (fun clients ->
+        let r = run_lag_scenario ~clients ~duration in
+        Printf.printf
+          "apply-lag   %2d writers: %7.1f commits/s  lag mean %7.2f KiB  max \
+           %7.2f KiB  catch-up %6.1f ms\n\
+           %!"
+          r.clients r.write_throughput r.lag_mean_kb r.lag_max_kb r.catchup_ms;
+        r)
+      client_counts
+  in
+  let read_results =
+    List.map
+      (fun with_replica ->
+        let r = run_read_scenario ~readers ~with_replica ~duration ~seed_parts in
+        Printf.printf "reads       %-20s %2d readers: %9.1f reads/s\n%!" r.setup
+          r.readers r.read_throughput;
+        r)
+      [ false; true ]
+  in
+  match json_path with
+  | Some path -> write_json ~path lag_results read_results
+  | None -> ()

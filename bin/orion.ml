@@ -12,8 +12,12 @@ module Recovery = Orion_wal.Recovery
 module Schema_analysis = Orion_analysis.Schema_analysis
 module Store_check = Orion_analysis.Store_check
 module Server = Orion_server.Server
+module Tx_service = Orion_server.Tx_service
+module Tailer = Orion_replication.Tailer
+module Replica = Orion_replication.Replica
 module Client = Orion_client
 module Message = Orion_protocol.Message
+module Schema = Orion_schema.Schema
 
 let db_file =
   Arg.(
@@ -556,7 +560,28 @@ let fsck_cmd =
             "Fail on warnings too (leaked records, an open trailing \
              checkpoint bracket), not just on corruption.")
   in
-  let run db_path wal_file strict =
+  let repair =
+    Arg.(
+      value & flag
+      & info [ "repair" ]
+          ~doc:
+            "Before checking, truncate a torn WAL tail down to its longest \
+             intact frame prefix (the damaged original is saved to \
+             $(i,WAL).bak first).  The store file is still never modified; \
+             an intact log is left byte-identical.")
+  in
+  let pages =
+    Arg.(
+      value & flag
+      & info [ "pages" ]
+          ~doc:
+            "Also print the adler32 of every page image, computed from the \
+             bytes on disk.  Two stores whose page digests agree hold \
+             byte-identical page arrays — this is how the replication smoke \
+             test compares a replica's checkpointed mirror against its \
+             primary, ignoring the unreplicated allocator trailer.")
+  in
+  let run db_path wal_file strict repair pages =
     let wal =
       match wal_file with
       | Some _ -> wal_file
@@ -564,6 +589,34 @@ let fsck_cmd =
           let candidate = wal_path_of db_path in
           if Sys.file_exists candidate then Some candidate else None
     in
+    (if repair then
+       match wal with
+       | None -> Format.printf "repair: no write-ahead log to repair@."
+       | Some wal_path -> (
+           match Store_check.repair_wal_tail wal_path with
+           | Error msg ->
+               Format.eprintf "error: repair failed: %s@." msg;
+               exit 1
+           | Ok (Store_check.Wal_intact { frames; bytes }) ->
+               Format.printf "repair: %s intact (%d frames, %d bytes) — \
+                              nothing to do@."
+                 wal_path frames bytes
+           | Ok
+               (Store_check.Wal_repaired
+                 { backup; valid_frames; valid_bytes; dropped_bytes }) ->
+               Format.printf
+                 "repair: dropped %d torn byte(s) from %s, keeping %d intact \
+                  frames (%d bytes); original saved to %s@."
+                 dropped_bytes wal_path valid_frames valid_bytes backup));
+    (if pages then
+       match Store_check.page_digests db_path with
+       | Error msg ->
+           Format.eprintf "error: %s@." msg;
+           exit 1
+       | Ok digests ->
+           Array.iteri
+             (fun i sum -> Format.printf "page %d adler32 %08x@." i sum)
+             digests);
     let report = Store_check.check_file ?wal db_path in
     Format.printf "%a@." Store_check.pp_report report;
     if Store_check.failed ~strict report then exit 1
@@ -574,8 +627,9 @@ let fsck_cmd =
          "Offline integrity check of a database file (and its write-ahead \
           log): page checksums, directory-vs-allocation agreement, WAL frame \
           chain and checkpoint brackets, and per-object reverse-reference \
-          flags against the schema.  Read-only; exits non-zero on corruption.")
-    Term.(const run $ db_pos $ wal_file $ strict)
+          flags against the schema.  Read-only (the store always, the log \
+          unless $(b,--repair)); exits non-zero on corruption.")
+    Term.(const run $ db_pos $ wal_file $ strict $ repair $ pages)
 
 let check_cmd =
   let file =
@@ -613,6 +667,34 @@ let check_cmd =
           of a program; $(b,--scrub) reports the dangling-weak-reference \
           residue an offline scavenger would collect.")
     Term.(const run $ file $ scrub)
+
+(* --ddl-gate: vet every schema mutation with the static hazard analyzer
+   (the `orion analyze` suite) at DDL time, while the schema holds the
+   proposed state.  [strict] rolls the mutation back when the analyzer
+   reports an error-severity finding; [warn] only narrates. *)
+let ddl_gate_of_mode = function
+  | `Off -> None
+  | (`Warn | `Strict) as mode ->
+      Some
+        (fun schema ->
+          let findings = Schema_analysis.analyze schema in
+          let errors = Schema_analysis.errors findings in
+          List.iter
+            (fun f ->
+              if mode = `Warn || f.Schema_analysis.severity <> Schema_analysis.Error
+              then Format.eprintf "ddl-gate: %a@." Schema_analysis.pp_finding f)
+            findings;
+          if mode = `Strict && errors <> [] then
+            raise
+              (Schema.Error
+                 (Schema.Ddl_rejected
+                    (String.concat "; "
+                       (List.map
+                          (fun f ->
+                            f.Schema_analysis.code ^ " on "
+                            ^ f.Schema_analysis.cls ^ ": "
+                            ^ f.Schema_analysis.detail)
+                          errors)))))
 
 let serve_cmd =
   let db_pos =
@@ -683,8 +765,44 @@ let serve_cmd =
              (0, the default, syncs every commit inline).  Requires \
              $(b,--wal).")
   in
+  let repl_flag =
+    Arg.(
+      value & flag
+      & info [ "repl" ]
+          ~doc:
+            "Act as a replication primary: retain the write-ahead log across \
+             checkpoints (byte offsets stay valid as stream LSNs) and serve \
+             $(b,repl-subscribe) streams to replicas.  Requires $(b,--db) and \
+             implies $(b,--wal); the log file survives a graceful shutdown so \
+             replicas can resume, and a crashed primary is replayed from it \
+             on the next $(b,--repl) start.")
+  in
+  let replica_of =
+    Arg.(
+      value & opt (some string) None
+      & info [ "replica-of" ] ~docv:"ADDR"
+          ~doc:
+            "Serve as a read-only replica of the primary at $(docv) \
+             ($(i,host:port), $(i,:port), a bare port, or a socket path): \
+             mirror its write-ahead log into $(i,DB).wal, apply it \
+             continuously, answer reads, refuse writes with $(b,read-only) — \
+             and stand by for $(b,orion promote).")
+  in
+  let ddl_gate =
+    Arg.(
+      value
+      & opt (enum [ ("off", `Off); ("warn", `Warn); ("strict", `Strict) ]) `Off
+      & info [ "ddl-gate" ] ~docv:"MODE"
+          ~doc:
+            "Vet every schema mutation with the static hazard analyzer (the \
+             $(b,orion analyze) suite) at DDL time.  $(b,warn) prints the \
+             findings to stderr; $(b,strict) additionally rolls the mutation \
+             back and rejects it when an error-severity hazard (a composite \
+             cycle) appears; $(b,off), the default, does nothing.  On a \
+             replica the gate takes effect at promotion.")
+  in
   let run db_file wal socket port max_sessions lock_timeout metrics_interval
-      slow_op_ms domains group_commit_window =
+      slow_op_ms domains group_commit_window repl replica_of ddl_gate =
     let addr =
       match (socket, port) with
       | Some path, None -> Server.Unix_path path
@@ -694,11 +812,6 @@ let serve_cmd =
           Format.eprintf "error: --socket and --port are exclusive@.";
           exit 2
     in
-    let env, log = open_env_log ~wal db_file in
-    if group_commit_window > 0 && not wal then begin
-      Format.eprintf "error: --group-commit-window requires --wal@.";
-      exit 2
-    end;
     let config =
       {
         Server.default_config with
@@ -714,32 +827,245 @@ let serve_cmd =
     in
     if slow_op_ms > 0. then
       Orion_obs.Metrics.Span.set_slow_threshold (Some (slow_op_ms /. 1000.));
-    let server = Server.create ~config ?wal:log env addr in
-    let stop _ = Server.stop server in
-    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
-    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
-    Format.printf "orion server listening on %a@." Server.pp_addr
-      (Server.address server);
-    Server.run server;
-    (* Graceful exit: checkpoint and retire the log, exactly like the
-       REPL's clean shutdown.  A SIGKILL never reaches this line — that
-       is what `orion recover` is for. *)
-    close_env ~wal env db_file;
-    let st = Server.stats server in
-    Format.printf
-      "served %d sessions (%d refused), %d requests, %d lock waits, %d \
-       deadlock victims, %d lock timeouts@."
-      st.accepted st.rejected st.requests st.parks_total st.deadlock_victims
-      st.lock_timeouts
+    let install_signals server =
+      let stop _ = Server.stop server in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop)
+    in
+    let print_stats server =
+      let st = Server.stats server in
+      Format.printf
+        "served %d sessions (%d refused), %d requests, %d lock waits, %d \
+         deadlock victims, %d lock timeouts@."
+        st.accepted st.rejected st.requests st.parks_total st.deadlock_victims
+        st.lock_timeouts
+    in
+    match replica_of with
+    | Some primary_string ->
+        if repl then begin
+          Format.eprintf "error: --repl and --replica-of are exclusive@.";
+          exit 2
+        end;
+        if wal then begin
+          Format.eprintf
+            "error: --replica-of manages its own log (drop --wal)@.";
+          exit 2
+        end;
+        if group_commit_window > 0 then begin
+          Format.eprintf
+            "error: --group-commit-window is a primary-side option@.";
+          exit 2
+        end;
+        let primary =
+          try Orion_protocol.Addr.parse primary_string
+          with Invalid_argument msg ->
+            Format.eprintf "error: %s@." msg;
+            exit 2
+        in
+        let db_path =
+          match db_file with
+          | Some p -> p
+          | None ->
+              Format.eprintf
+                "error: --replica-of requires --db (the mirrored store and \
+                 log live there)@.";
+              exit 2
+        in
+        let wal_path = wal_path_of db_path in
+        let log =
+          if Sys.file_exists wal_path then Wal.load_file wal_path
+          else Wal.create ()
+        in
+        Wal.set_backing log (Some wal_path);
+        let replica = Replica.create ~primary ~wal:log ~db_path () in
+        Format.printf "replica: syncing from %s...@." primary_string;
+        let db =
+          try Replica.bootstrap replica
+          with Replica.Fatal msg ->
+            Format.eprintf "error: %s@." msg;
+            exit 1
+        in
+        Format.printf "replica: caught up through checkpoint %d (lsn %d)@."
+          (Replica.checkpoints replica)
+          (Replica.applied_lsn replica);
+        let env = Eval.create_env ~db () in
+        (* Belt and braces under the wire-level Read_only guard: evaluated
+           forms and schema commands that slip past it are refused here. *)
+        let read_only () =
+          raise
+            (Eval.Eval_error
+               "read-only replica: write on the primary, or promote this node")
+        in
+        Eval.set_mutator env
+          (Some
+             {
+               Eval.m_create = (fun ~cls:_ ~parents:_ ~attrs:_ -> read_only ());
+               m_write_attr = (fun _ _ _ -> read_only ());
+               m_make_component =
+                 (fun ~parent:_ ~attr:_ ~child:_ -> read_only ());
+               m_remove_component =
+                 (fun ~parent:_ ~attr:_ ~child:_ -> read_only ());
+               m_delete = (fun _ -> read_only ());
+             });
+        Schema.set_ddl_gate
+          (Orion_core.Database.schema db)
+          (Some
+             (fun _ ->
+               raise
+                 (Schema.Error
+                    (Schema.Ddl_rejected
+                       "read-only replica: run DDL on the primary, or promote \
+                        this node"))));
+        let server =
+          Server.create ~config
+            ~repl:
+              (Tx_service.Replica_of
+                 { replica; promote_gate = ddl_gate_of_mode ddl_gate })
+            env addr
+        in
+        Replica.set_locked replica (fun f ->
+            Tx_service.with_lock (Server.service server) f);
+        Replica.start replica;
+        install_signals server;
+        Format.printf "orion replica of %s listening on %a@." primary_string
+          Server.pp_addr (Server.address server);
+        Server.run server;
+        (match Server.role server with
+        | `Primary ->
+            (* Promoted while serving: shut down like a primary — full
+               checkpoint of the serving database, log retained for the
+               replicas that will now subscribe here. *)
+            Replica.stop replica;
+            close_env ~wal:false env (Some db_path)
+        | `Replica | `Standalone ->
+            Replica.stop replica;
+            (match Replica.failed replica with
+            | Some msg -> Format.eprintf "replica: stream had failed: %s@." msg
+            | None -> ());
+            Replica.save replica;
+            Format.printf "replica state saved to %s@." db_path);
+        print_stats server
+    | None ->
+        let env, log =
+          if repl then begin
+            match db_file with
+            | None ->
+                Format.eprintf "error: --repl requires --db@.";
+                exit 2
+            | Some path ->
+                let wal_path = wal_path_of path in
+                let env =
+                  if Sys.file_exists wal_path then begin
+                    (* A primary's log survives clean shutdowns (replicas
+                       resume from its LSNs), so a leftover one is normal —
+                       and replaying it over the snapshot also folds in any
+                       commits a crash stranded past the last checkpoint. *)
+                    let log = Wal.load_file wal_path in
+                    let snapshot =
+                      if Sys.file_exists path then
+                        Some (Orion_storage.Store.load_file path)
+                      else None
+                    in
+                    match Recovery.replay ?snapshot log with
+                    | db, stats ->
+                        Format.eprintf "repl: resumed log %s (%a)@." wal_path
+                          Recovery.pp_stats stats;
+                        Eval.create_env ~db ()
+                    | exception Failure msg ->
+                        Format.eprintf
+                          "error: %s@.run `orion fsck --repair %s` to \
+                           truncate a torn tail@."
+                          msg path;
+                        exit 1
+                  end
+                  else if Sys.file_exists path then
+                    let store = Orion_storage.Store.load_file path in
+                    Eval.create_env ~db:(Orion_core.Persist.load store) ()
+                  else Eval.create_env ()
+                in
+                let log =
+                  if Sys.file_exists wal_path then Wal.load_file wal_path
+                  else Wal.create ()
+                in
+                Wal.attach ~snapshot_path:path ~truncate_on_checkpoint:false
+                  log (Eval.database env);
+                Wal.set_backing log (Some wal_path);
+                Wal.sync log;
+                (* Checkpoint at every start: recovery and late-joining
+                   replicas both want a recent sealed bracket. *)
+                Orion_core.Persist.save (Eval.database env);
+                (env, Some log)
+          end
+          else open_env_log ~wal db_file
+        in
+        if group_commit_window > 0 && Option.is_none log then begin
+          Format.eprintf "error: --group-commit-window requires --wal@.";
+          exit 2
+        end;
+        Schema.set_ddl_gate
+          (Orion_core.Database.schema (Eval.database env))
+          (ddl_gate_of_mode ddl_gate);
+        let repl_role =
+          match (repl, log) with
+          | true, Some log -> Some (Tx_service.Primary (Tailer.create log))
+          | _ -> None
+        in
+        let server = Server.create ~config ?wal:log ?repl:repl_role env addr in
+        install_signals server;
+        Format.printf "orion %s listening on %a@."
+          (if repl then "primary" else "server")
+          Server.pp_addr (Server.address server);
+        Server.run server;
+        (* Graceful exit: checkpoint, and retire the log — unless this is
+           a replication primary, whose log must keep its LSNs for the
+           replicas.  A SIGKILL never reaches this line — that is what
+           `orion recover` (or a --repl restart) is for. *)
+        close_env ~wal:(wal && not repl) env db_file;
+        print_stats server
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Serve a database to many clients over TCP or a Unix-domain socket")
+         "Serve a database to many clients over TCP or a Unix-domain socket, \
+          optionally as a replication primary ($(b,--repl)) or read-only \
+          replica ($(b,--replica-of))")
     Term.(
       const run $ db_pos $ wal_flag $ socket $ port $ max_sessions
       $ lock_timeout $ metrics_interval $ slow_op_ms $ domains
-      $ group_commit_window)
+      $ group_commit_window $ repl_flag $ replica_of $ ddl_gate)
+
+let promote_cmd =
+  let addr =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"ADDR"
+          ~doc:
+            "Replica address: $(i,host:port), $(i,:port), a bare port, or a \
+             socket path.")
+  in
+  let run addr_string =
+    let client = connect_client ~client_name:"orion-promote" addr_string in
+    (match Client.promote client with
+    | () -> Format.printf "promoted: %s now accepts writes@." addr_string
+    | exception Client.Error (code, msg) ->
+        Format.eprintf "error [%s]: %s@."
+          (Message.err_code_to_string code)
+          msg;
+        (try Client.close client with _ -> ());
+        exit 1
+    | exception Client.Disconnected msg ->
+        Format.eprintf "disconnected: %s@." msg;
+        exit 1);
+    Client.close client
+  in
+  Cmd.v
+    (Cmd.info "promote"
+       ~doc:
+         "Promote a running read-only replica to a writable primary \
+          (failover): its applier seals, the mirrored log attaches for \
+          commit logging, and the node starts streaming to replicas of its \
+          own.  The old primary must not take further writes.")
+    Term.(const run $ addr)
 
 let shell_cmd =
   let connect =
@@ -775,7 +1101,9 @@ let shell_cmd =
         (fun push ->
           match push with
           | Message.Deadlock_victim { msg; _ } -> Format.fprintf fmt "! %s@." msg
-          | Message.Goodbye { msg } -> Format.fprintf fmt "! server: %s@." msg)
+          | Message.Goodbye { msg } -> Format.fprintf fmt "! server: %s@." msg
+          (* Replication stream pushes never reach a plain session. *)
+          | Message.Repl_frames _ | Message.Repl_heartbeat _ -> ())
         (Client.notices client)
     in
     let rec session () =
@@ -834,7 +1162,7 @@ let shell_cmd =
 
 let () =
   let doc = "Composite objects a la ORION (Kim, Bertino & Garza, SIGMOD 1989)" in
-  let info = Cmd.info "orion" ~version:"1.5.0" ~doc in
+  let info = Cmd.info "orion" ~version:"1.6.0" ~doc in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval
@@ -851,5 +1179,6 @@ let () =
             check_cmd;
             recover_cmd;
             serve_cmd;
+            promote_cmd;
             shell_cmd;
           ]))

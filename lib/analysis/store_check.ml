@@ -391,3 +391,65 @@ let check_file ?wal path =
              store-side findings rather than instead of them. *)
           let r = check_image fi in
           { r with issues = File_error msg :: r.issues }))
+
+(* Repair ------------------------------------------------------------------- *)
+
+type wal_repair =
+  | Wal_intact of { frames : int; bytes : int }
+  | Wal_repaired of {
+      backup : string;
+      valid_frames : int;
+      valid_bytes : int;
+      dropped_bytes : int;
+    }
+
+let repair_wal_tail path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | raw -> (
+      let scan = Wal.scan (Wal.of_bytes (Bytes.of_string raw)) in
+      if not scan.Wal.torn_tail then
+        Ok
+          (Wal_intact
+             {
+               frames = List.length scan.Wal.records;
+               bytes = scan.Wal.valid_bytes;
+             })
+      else
+        let backup = path ^ ".bak" in
+        let write_file p s =
+          let oc = open_out_bin p in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc s)
+        in
+        match
+          (* Backup first: only once the damaged original is safe do we
+             truncate it down to the longest intact frame prefix. *)
+          write_file backup raw;
+          write_file path (String.sub raw 0 scan.Wal.valid_bytes)
+        with
+        | () ->
+            Ok
+              (Wal_repaired
+                 {
+                   backup;
+                   valid_frames = List.length scan.Wal.records;
+                   valid_bytes = scan.Wal.valid_bytes;
+                   dropped_bytes = String.length raw - scan.Wal.valid_bytes;
+                 })
+        | exception Sys_error msg -> Error msg)
+
+(* Page digests -------------------------------------------------------------- *)
+
+let page_digests path =
+  match Store.read_file_image path with
+  | exception Sys_error msg -> Error msg
+  | exception Failure msg -> Error msg
+  | exception R.Corrupt msg -> Error (path ^ ": truncated or corrupt: " ^ msg)
+  | fi -> Ok (Array.map Store.page_checksum fi.Store.fi_pages)

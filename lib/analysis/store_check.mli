@@ -79,3 +79,33 @@ val check_file : ?wal:string -> string -> report
 val check_image : ?wal:Orion_wal.Wal.t -> Store.file_image -> report
 (** The in-memory variant, for tests seeding faults through
     {!Orion_storage.Store.write_file_image}. *)
+
+(** {1 Repair} *)
+
+type wal_repair =
+  | Wal_intact of { frames : int; bytes : int }
+      (** the log scanned clean: nothing written *)
+  | Wal_repaired of {
+      backup : string;  (** the damaged original, saved verbatim *)
+      valid_frames : int;
+      valid_bytes : int;  (** what the log was truncated down to *)
+      dropped_bytes : int;
+    }
+
+val repair_wal_tail : string -> (wal_repair, string) result
+(** [orion fsck --repair]: truncate a torn WAL tail down to its longest
+    intact frame prefix — the same prefix {!check_file} reports as
+    {!issue.Wal_torn} — after first copying the damaged original to
+    [path ^ ".bak"].  Only the tail is ever touched; an intact log is
+    left byte-identical.  [Error msg] on I/O failure (the original is
+    never truncated unless the backup was written). *)
+
+(** {1 Page digests} *)
+
+val page_digests : string -> (int array, string) result
+(** The adler32 of every page image in the store file, computed from
+    the bytes actually on disk (not the recorded checksums), in page
+    order.  Two stores whose digests agree hold byte-identical page
+    arrays — the replication smoke test compares a replica's
+    checkpointed mirror against its primary this way, ignoring the
+    allocator trailer (free-page list order is not replicated). *)

@@ -166,3 +166,38 @@ let notices t =
   let out = List.of_seq (Queue.to_seq t.notices) in
   Queue.clear t.notices;
   out
+
+(* {1 Replication} *)
+
+let repl_subscribe t ~from_lsn =
+  match request t (Message.Repl_subscribe { from_lsn }) with
+  | Message.Repl_ok { lsn } -> lsn
+  | _ -> unexpected "repl-subscribe"
+
+let next_push t =
+  if not t.alive then raise (Disconnected "connection already closed");
+  match Queue.take_opt t.notices with
+  | Some p -> p
+  | None -> (
+      match read_msg t with
+      | Message.Push p -> p
+      | Message.Reply _ -> fail t "reply arrived with no request in flight")
+
+let send t req =
+  if not t.alive then raise (Disconnected "connection already closed");
+  match write_all t (Frame.encode (Message.encode_request req)) with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+      fail t ("write: " ^ Unix.error_message e)
+
+let repl_ack t ~lsn = send t (Message.Repl_ack { lsn })
+
+let shutdown t =
+  (* Wake a thread blocked in {!next_push}: the read sees EOF and
+     raises [Disconnected] (safer than closing the fd under it). *)
+  try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
+let promote t =
+  match request t Message.Promote with
+  | Message.Result Message.Unit -> ()
+  | _ -> unexpected "promote"

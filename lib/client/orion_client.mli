@@ -66,3 +66,36 @@ val stats : t -> Orion_obs.Metrics.snapshot
 
 val notices : t -> Message.push list
 (** Drain the pushes received so far, oldest first. *)
+
+(** {1 Replication}
+
+    After {!repl_subscribe} the connection switches from
+    request/reply to streaming: the server pushes
+    [Repl_frames]/[Repl_heartbeat] unprompted and the only legal
+    upstream traffic is {!repl_ack} (the protocol's one no-reply
+    request).  Consume the stream with {!next_push}. *)
+
+val repl_subscribe : t -> from_lsn:int -> int
+(** Subscribe to the primary's WAL stream from byte offset [from_lsn];
+    returns the primary's durable LSN at subscription time.
+    @raise Error with [Repl_error] if the server is not a streaming
+    primary or the LSN is out of range *)
+
+val next_push : t -> Message.push
+(** Block until the next push arrives (already-queued notices first).
+    @raise Disconnected if a reply frame arrives instead — only legal
+    with no request in flight, i.e. on a subscribed stream. *)
+
+val repl_ack : t -> lsn:int -> unit
+(** Report durable progress upstream — fire-and-forget, never blocks
+    on a reply. *)
+
+val shutdown : t -> unit
+(** Shut the socket down both ways without closing the fd — wakes a
+    thread blocked in {!next_push} with {!Disconnected}.  Safe from
+    another thread; the owner still calls {!close}. *)
+
+val promote : t -> unit
+(** Ask a replica server to seal its stream and become a standalone
+    primary.
+    @raise Error with [Repl_error] if the server is not a replica *)

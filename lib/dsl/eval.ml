@@ -56,6 +56,7 @@ let create_env ?db () =
   }
 
 let set_mutator env m = env.mutator <- m
+let mutator env = env.mutator
 
 let obj_create env ~cls ~parents ~attrs =
   match env.mutator with

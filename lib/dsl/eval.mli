@@ -68,3 +68,9 @@ val set_mutator : env -> mutator option -> unit
     restores direct mutation.  Schema, evolution, version and
     authorization commands are unaffected — they are non-transactional
     everywhere, durable at the next checkpoint. *)
+
+val mutator : env -> mutator option
+(** The currently installed mutator — capture it before a scoped
+    {!set_mutator} so restoring it preserves an ambient one (a replica
+    server's writes-refusing mutator, say) instead of clobbering it
+    back to [None]. *)

@@ -2,8 +2,11 @@ open Orion_core
 module W = Orion_storage.Bytes_rw.Writer
 module R = Orion_storage.Bytes_rw.Reader
 
-(* v2: histogram summaries in [Stats_reply] carry raw bucket counts. *)
-let version = 2
+(* v2: histogram summaries in [Stats_reply] carry raw bucket counts.
+   v3: the replication frame family ([Repl_subscribe]/[Repl_ack]/
+   [Promote] requests, [Repl_ok] reply, [Repl_frames]/[Repl_heartbeat]
+   pushes) and the [Read_only]/[Repl_error] error codes. *)
+let version = 3
 
 type access = Read | Update
 
@@ -24,6 +27,11 @@ type request =
   | Ping
   | Stats
   | Bye
+  | Repl_subscribe of { from_lsn : int }
+  | Repl_ack of { lsn : int }
+      (* fire-and-forget: the one request with NO reply, so a replica
+         can ack while the primary keeps pushing frames full-duplex *)
+  | Promote
 
 type v =
   | Unit
@@ -43,6 +51,8 @@ type err_code =
   | Too_many_sessions
   | Queue_full
   | Shutting_down
+  | Read_only
+  | Repl_error
 
 type reply =
   | Welcome of { version : int; session : int }
@@ -50,11 +60,17 @@ type reply =
   | Granted
   | Pong
   | Stats_reply of Orion_obs.Metrics.snapshot
+  | Repl_ok of { lsn : int }
   | Error of { code : err_code; msg : string }
 
 type push =
   | Deadlock_victim of { tx : int; msg : string }
   | Goodbye of { msg : string }
+  | Repl_frames of { lsn : int; data : bytes }
+      (* verbatim WAL frames starting at byte offset [lsn] of the
+         primary's log: length+adler32 framed exactly as on disk, so a
+         replica appends them unchanged and fsck checks them as-is *)
+  | Repl_heartbeat of { lsn : int }
 
 type server_msg = Reply of reply | Push of push
 
@@ -68,6 +84,8 @@ let err_code_to_string = function
   | Too_many_sessions -> "too-many-sessions"
   | Queue_full -> "queue-full"
   | Shutting_down -> "shutting-down"
+  | Read_only -> "read-only"
+  | Repl_error -> "repl-error"
 
 let pp_access ppf = function
   | Read -> Format.pp_print_string ppf "read"
@@ -90,6 +108,10 @@ let pp_request ppf = function
   | Ping -> Format.pp_print_string ppf "ping"
   | Stats -> Format.pp_print_string ppf "stats"
   | Bye -> Format.pp_print_string ppf "bye"
+  | Repl_subscribe { from_lsn } ->
+      Format.fprintf ppf "repl-subscribe from %d" from_lsn
+  | Repl_ack { lsn } -> Format.fprintf ppf "repl-ack %d" lsn
+  | Promote -> Format.pp_print_string ppf "promote"
 
 let pp_v ppf = function
   | Unit -> Format.pp_print_string ppf "ok"
@@ -165,7 +187,14 @@ let encode_request request =
       write_oid w oid
   | Ping -> W.u8 w 9
   | Bye -> W.u8 w 10
-  | Stats -> W.u8 w 11);
+  | Stats -> W.u8 w 11
+  | Repl_subscribe { from_lsn } ->
+      W.u8 w 12;
+      W.int w from_lsn
+  | Repl_ack { lsn } ->
+      W.u8 w 13;
+      W.int w lsn
+  | Promote -> W.u8 w 14);
   W.contents w
 
 let decode_request payload =
@@ -207,6 +236,9 @@ let decode_request payload =
     | 9 -> Ping
     | 10 -> Bye
     | 11 -> Stats
+    | 12 -> Repl_subscribe { from_lsn = R.int r }
+    | 13 -> Repl_ack { lsn = R.int r }
+    | 14 -> Promote
     | tag -> corrupt "bad request tag %d" tag
   in
   if not (R.at_end r) then corrupt "trailing bytes after request";
@@ -294,6 +326,8 @@ let err_code_tag = function
   | Too_many_sessions -> 6
   | Queue_full -> 7
   | Shutting_down -> 8
+  | Read_only -> 9
+  | Repl_error -> 10
 
 let err_code_of_tag = function
   | 0 -> Unsupported_version
@@ -305,6 +339,8 @@ let err_code_of_tag = function
   | 6 -> Too_many_sessions
   | 7 -> Queue_full
   | 8 -> Shutting_down
+  | 9 -> Read_only
+  | 10 -> Repl_error
   | tag -> corrupt "bad error-code tag %d" tag
 
 let encode_server msg =
@@ -328,7 +364,10 @@ let encode_server msg =
           W.string w msg
       | Stats_reply snapshot ->
           W.u8 w 5;
-          write_snapshot w snapshot)
+          write_snapshot w snapshot
+      | Repl_ok { lsn } ->
+          W.u8 w 6;
+          W.int w lsn)
   | Push push -> (
       W.u8 w 1;
       match push with
@@ -338,7 +377,14 @@ let encode_server msg =
           W.string w msg
       | Goodbye { msg } ->
           W.u8 w 1;
-          W.string w msg));
+          W.string w msg
+      | Repl_frames { lsn; data } ->
+          W.u8 w 2;
+          W.int w lsn;
+          W.string w (Bytes.unsafe_to_string data)
+      | Repl_heartbeat { lsn } ->
+          W.u8 w 3;
+          W.int w lsn));
   W.contents w
 
 let decode_server payload =
@@ -360,6 +406,7 @@ let decode_server payload =
               let msg = R.string r in
               Error { code; msg }
           | 5 -> Stats_reply (read_snapshot r)
+          | 6 -> Repl_ok { lsn = R.int r }
           | tag -> corrupt "bad reply tag %d" tag))
     | 1 -> (
         Push
@@ -369,6 +416,11 @@ let decode_server payload =
               let msg = R.string r in
               Deadlock_victim { tx; msg }
           | 1 -> Goodbye { msg = R.string r }
+          | 2 ->
+              let lsn = R.int r in
+              let data = Bytes.of_string (R.string r) in
+              Repl_frames { lsn; data }
+          | 3 -> Repl_heartbeat { lsn = R.int r }
           | tag -> corrupt "bad push tag %d" tag))
     | tag -> corrupt "bad server-message tag %d" tag
   in

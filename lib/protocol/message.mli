@@ -10,6 +10,15 @@
     connection must be [Hello], and the server answers [Welcome] with
     the negotiated version or [Error (Unsupported_version, _)].
 
+    {b Replication} rides the same framing: a replica sends
+    [Repl_subscribe] (answered [Repl_ok] with the primary's durable
+    LSN) and the primary then pushes [Repl_frames] — verbatim
+    write-ahead-log bytes, length+adler32 framed exactly as on disk —
+    and [Repl_heartbeat] when idle.  [Repl_ack] is the one request with
+    {e no reply}: the replica fires it upstream while frames keep
+    flowing downstream, so the stream stays full-duplex without
+    breaking the in-order reply rule for every other request.
+
     Payload encoding uses {!Orion_storage.Bytes_rw} (zig-zag varints,
     length-prefixed strings) and {!Orion_core.Codec}'s tagged value
     encoding, the same primitives as the object store and the
@@ -18,7 +27,7 @@
 open Orion_core
 
 val version : int
-(** Current protocol version (1). *)
+(** Current protocol version (3: replication frame family). *)
 
 type access = Read | Update
 
@@ -39,6 +48,15 @@ type request =
   | Ping
   | Stats  (** one {!Orion_obs.Metrics.snapshot} of the server process *)
   | Bye
+  | Repl_subscribe of { from_lsn : int }
+      (** start streaming WAL frames from this byte offset of the
+          primary's log; answered [Repl_ok] with the durable LSN *)
+  | Repl_ack of { lsn : int }
+      (** replica's durable progress — fire-and-forget, {e never}
+          answered *)
+  | Promote
+      (** flip a replica into a standalone primary: its stream is
+          sealed and it starts accepting writes *)
 
 (** Result values, mirroring the REPL's: an object, a list of objects,
     or a primitive. *)
@@ -60,6 +78,10 @@ type err_code =
   | Too_many_sessions
   | Queue_full
   | Shutting_down
+  | Read_only  (** a write request reached a read-only replica *)
+  | Repl_error
+      (** replication protocol misuse: subscribe on a non-primary,
+          promote of a non-replica, an out-of-range LSN *)
 
 type reply =
   | Welcome of { version : int; session : int }
@@ -67,11 +89,19 @@ type reply =
   | Granted
   | Pong
   | Stats_reply of Orion_obs.Metrics.snapshot
+  | Repl_ok of { lsn : int }  (** subscription accepted; durable LSN *)
   | Error of { code : err_code; msg : string }
 
 type push =
   | Deadlock_victim of { tx : int; msg : string }
   | Goodbye of { msg : string }  (** server is shutting down *)
+  | Repl_frames of { lsn : int; data : bytes }
+      (** verbatim WAL frames starting at byte offset [lsn] — append
+          unchanged and the local log mirrors the primary's
+          byte-for-byte (fsck-checkable as-is) *)
+  | Repl_heartbeat of { lsn : int }
+      (** the stream is idle at [lsn]; lets a replica detect a dead
+          primary *)
 
 type server_msg = Reply of reply | Push of push
 

@@ -1,0 +1,86 @@
+(** The replica side of WAL shipping: mirror the primary's log
+    byte-for-byte, apply it incrementally, serve reads, and promote on
+    demand.
+
+    Shipped batches feed three layers at once:
+
+    - the {e local log} — appended verbatim ({!Orion_wal.Wal.append_raw}),
+      synced, then acknowledged, so the replica's [.wal] file is
+      fsck-checkable and byte-identical to the primary's shipped prefix;
+    - the {e mirror store} — physical records ([Page_write],
+      directory ops) replayed exactly as
+      {!Orion_wal.Recovery.rebuild_from} would, reproducing the
+      primary's store image; saved to [db_path] at every sealed
+      checkpoint (byte-identical to the primary's snapshot);
+    - the {e serving database} — built by [Persist.load] from the
+      mirror at the first sealed checkpoint, then kept fresh by commit
+      records between checkpoints and a full catalog resync
+      (instances, schema, counters) at each one.  Its instances never
+      own record slots ([rid = None]): record lifecycle belongs to the
+      physical stream alone.
+
+    The stream survives primary restarts (reconnect with backoff,
+    resubscribing from the local log's size) and replica restarts
+    (local replay, then subscribe for the rest).  {!seal} — under the
+    server's service lock — flips the applier off for promotion. *)
+
+type t
+
+exception Fatal of string
+(** Unrecoverable stream damage: a gap, a refused subscription, a
+    checkpoint without a catalog.  During {!bootstrap} it propagates;
+    in the {!start}ed applier it is recorded in {!failed} and the
+    stream stops (reads keep being served from the last good state). *)
+
+val create :
+  primary:Orion_protocol.Addr.t ->
+  ?client_name:string ->
+  wal:Orion_wal.Wal.t ->
+  db_path:string ->
+  unit ->
+  t
+(** [wal] is the local mirror log (backing file already set); a
+    non-empty one resumes a previous replica session. *)
+
+val bootstrap : ?dial_attempts:int -> t -> Orion_core.Database.t
+(** Replay the local log, connect (retrying up to [dial_attempts]
+    times with backoff — the primary may still be starting), subscribe
+    from the local size, and ingest until the serving database exists
+    (first sealed checkpoint).  Runs on the caller's thread.
+    @raise Fatal when the primary refuses the subscription or stays
+    unreachable *)
+
+val set_locked : t -> ((unit -> unit) -> unit) -> unit
+(** Install the critical-section runner the applier wraps each batch
+    in — the server's service lock, once it exists.  Default: run
+    unlocked (single-threaded bootstrap). *)
+
+val start : t -> unit
+(** Spawn the applier thread: keep ingesting (and acknowledging) until
+    {!seal}, reconnecting with backoff across primary outages. *)
+
+val seal : t -> unit
+(** Stop applying: any batch in flight is discarded, not applied.
+    Call under the service lock — this is promotion's first step, and
+    the lock is what orders it against the applier's in-flight
+    batch. *)
+
+val stop : t -> unit
+(** {!seal}, wake the applier off its socket, and join it. *)
+
+val save : t -> unit
+(** Graceful-shutdown persistence: save the mirror store image to
+    [db_path] and sync the local log.  Deliberately not the primary
+    shutdown path — checkpointing the serving database's workspace
+    into the mirror would diverge it from the primary's bytes. *)
+
+val db : t -> Orion_core.Database.t
+(** The serving database.
+    @raise Fatal before {!bootstrap} completes *)
+
+val wal : t -> Orion_wal.Wal.t
+val db_path : t -> string
+val applied_lsn : t -> int
+val sealed : t -> bool
+val failed : t -> string option
+val checkpoints : t -> int

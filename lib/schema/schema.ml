@@ -6,6 +6,7 @@ type error =
   | Lattice_cycle of string list
   | Invalid_attribute of { cls : string; attr : string; reason : string }
   | Not_a_superclass of { cls : string; super : string }
+  | Ddl_rejected of string
 
 exception Error of error
 
@@ -22,6 +23,7 @@ let pp_error ppf = function
       Format.fprintf ppf "class %s, attribute %s: %s" cls attr reason
   | Not_a_superclass { cls; super } ->
       Format.fprintf ppf "%s is not a superclass of %s" super cls
+  | Ddl_rejected reason -> Format.fprintf ppf "DDL rejected: %s" reason
 
 let error e = raise (Error e)
 
@@ -36,7 +38,13 @@ type t = {
   memo_effective : (string, Attribute.t list) Hashtbl.t;
   memo_composite : (string, Attribute.t list) Hashtbl.t;
   memo_supers : (string, string list) Hashtbl.t;
+  mutable ddl_gate : ddl_gate option;
+      (* ran after every mutator, over the post-mutation schema; when
+         it raises, the mutation is rolled back before the exception
+         propagates *)
 }
+
+and ddl_gate = t -> unit
 
 let create () =
   {
@@ -48,7 +56,10 @@ let create () =
     memo_effective = Hashtbl.create 32;
     memo_composite = Hashtbl.create 32;
     memo_supers = Hashtbl.create 32;
+    ddl_gate = None;
   }
+
+let set_ddl_gate t gate = t.ddl_gate <- gate
 
 let bump t = t.version <- t.version + 1
 
@@ -117,8 +128,44 @@ let check_duplicate_attrs cls attrs =
       Hashtbl.replace seen a.name ())
     attrs
 
+(* DDL-gate plumbing: snapshot the raw mutable state before a gated
+   mutation so a gate veto rolls the mutation back exactly (class
+   records are copied — their [superclasses]/[own_attributes] fields
+   are mutable and mutated in place by the evolution operators). *)
+let raw_snapshot t =
+  ( Hashtbl.fold
+      (fun name (c : Class_def.t) acc ->
+        (name, { c with Class_def.superclasses = c.superclasses }) :: acc)
+      t.by_name [],
+    Hashtbl.fold (fun name id acc -> (name, id) :: acc) t.segments [],
+    t.next_segment,
+    t.version )
+
+let raw_restore t (classes, segments, next_segment, version) =
+  Hashtbl.reset t.by_name;
+  List.iter (fun (name, c) -> Hashtbl.replace t.by_name name c) classes;
+  Hashtbl.reset t.segments;
+  List.iter (fun (name, id) -> Hashtbl.replace t.segments name id) segments;
+  t.next_segment <- next_segment;
+  (* The version too: a vetoed mutation must be invisible, and version
+     watchers (the server checkpoints on schema change) must not fire. *)
+  t.version <- version
+
+let gated t mutate =
+  match t.ddl_gate with
+  | None -> mutate ()
+  | Some gate ->
+      let saved = raw_snapshot t in
+      let result = mutate () in
+      (match gate t with
+      | () -> result
+      | exception e ->
+          raw_restore t saved;
+          raise e)
+
 let define t ?(superclasses = []) ?(versionable = false) ?segment ~name
     ~attributes () =
+  gated t @@ fun () ->
   if mem t name then error (Duplicate_class name);
   List.iter (fun super -> ignore (find_exn t super : Class_def.t)) superclasses;
   check_duplicate_attrs name attributes;
@@ -336,9 +383,23 @@ let import_into t exported =
       bump t)
     exported.x_classes
 
+(* Wholesale in-place replacement: the live-schema variant of
+   {!import_into} for consumers that cannot swap the [t] out from under
+   themselves — a replica refreshing its serving schema after the
+   primary checkpoints a DDL change.  Replayed state was validated when
+   first defined, so it deliberately bypasses the DDL gate. *)
+let reimport t exported =
+  Hashtbl.reset t.by_name;
+  Hashtbl.reset t.segments;
+  t.next_segment <- 0;
+  import_into t exported;
+  (* At least one bump even for an empty export: memos must refresh. *)
+  bump t
+
 (* Mutators --------------------------------------------------------------- *)
 
 let add_attribute t ~cls attr =
+  gated t @@ fun () ->
   let c = find_exn t cls in
   if Class_def.own_attribute c attr.Attribute.name <> None then
     error (Duplicate_attribute { cls; attr = attr.Attribute.name });
@@ -347,6 +408,7 @@ let add_attribute t ~cls attr =
   bump t
 
 let drop_attribute t ~cls ~attr =
+  gated t @@ fun () ->
   let c = find_exn t cls in
   match Class_def.own_attribute c attr with
   | None -> error (Unknown_attribute { cls; attr })
@@ -357,6 +419,7 @@ let drop_attribute t ~cls ~attr =
       a
 
 let replace_attribute t ~cls (attr : Attribute.t) =
+  gated t @@ fun () ->
   let c = find_exn t cls in
   if Class_def.own_attribute c attr.name = None then
     error (Unknown_attribute { cls; attr = attr.name });
@@ -368,6 +431,7 @@ let replace_attribute t ~cls (attr : Attribute.t) =
   bump t
 
 let add_superclass t ~cls ~super =
+  gated t @@ fun () ->
   let c = find_exn t cls in
   ignore (find_exn t super : Class_def.t);
   if is_subclass_of t ~sub:super ~super:cls then
@@ -378,6 +442,7 @@ let add_superclass t ~cls ~super =
   end
 
 let drop_superclass t ~cls ~super =
+  gated t @@ fun () ->
   let c = find_exn t cls in
   if not (List.exists (String.equal super) c.superclasses) then
     error (Not_a_superclass { cls; super });
@@ -385,6 +450,7 @@ let drop_superclass t ~cls ~super =
   bump t
 
 let drop_class t name =
+  gated t @@ fun () ->
   let c = find_exn t name in
   let subs = subclasses t name in
   (* §4.1(4): subclasses of C become immediate subclasses of C's

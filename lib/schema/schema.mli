@@ -16,6 +16,9 @@ type error =
   | Lattice_cycle of string list
   | Invalid_attribute of { cls : string; attr : string; reason : string }
   | Not_a_superclass of { cls : string; super : string }
+  | Ddl_rejected of string
+      (** the installed {!set_ddl_gate} vetoed the mutation (the schema
+          is rolled back to its pre-mutation state) *)
 
 exception Error of error
 
@@ -121,6 +124,25 @@ val export : t -> exported
 val import_into : t -> exported -> unit
 (** Populate an empty schema from an export.
     @raise Error if the schema already defines one of the classes. *)
+
+val reimport : t -> exported -> unit
+(** Replace the whole catalog in place with an export — the live-schema
+    variant of {!import_into} for consumers that cannot swap the [t]
+    out from under themselves (a replica refreshing its serving schema
+    after the primary checkpoints a DDL change).  Bypasses the DDL gate:
+    the imported state was validated when first defined. *)
+
+(** {1 DDL gate} *)
+
+val set_ddl_gate : t -> (t -> unit) option -> unit
+(** Install (or clear) a vet run after every successful mutation —
+    {!define} and each evolution operator below — while the schema
+    still holds the new state.  If the gate raises, the mutation is
+    rolled back exactly and the exception propagates; raise
+    [Error (Ddl_rejected reason)] for a policy veto.  {!import_into}
+    and {!reimport} bypass the gate (replayed state was already
+    vetted).  Wired by the CLI's [--ddl-gate] knob to
+    [Orion_analysis.Schema_analysis]. *)
 
 (** {1 Mutators (used by Orion_evolution)} *)
 

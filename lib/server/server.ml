@@ -85,13 +85,14 @@ let session_count t =
 let parked_count t =
   Array.fold_left (fun n sh -> n + Shard.parked_count sh) 0 t.shards
 
-let create ?(config = default_config) ?wal env addr =
+let create ?(config = default_config) ?wal ?repl env addr =
   let config = { config with domains = max 1 config.domains } in
   let listen_fd, bound = listen_on addr in
   let stop_r, stop_w = Unix.pipe () in
   Unix.set_nonblock stop_r;
   let svc =
-    Tx_service.create ?wal ?group_commit_window:config.group_commit_window env
+    Tx_service.create ?wal ?group_commit_window:config.group_commit_window ?repl
+      env
   in
   let shards =
     Array.init config.domains (fun idx ->
@@ -136,6 +137,13 @@ let create ?(config = default_config) ?wal env addr =
   { config; svc; shards; listen_fd; bound; stop_r; stop_w }
 
 let address t = t.bound
+let service t = t.svc
+
+let role t =
+  match t.svc.Tx_service.repl with
+  | Tx_service.Standalone -> `Standalone
+  | Tx_service.Primary _ -> `Primary
+  | Tx_service.Replica_of _ -> `Replica
 
 let stats t =
   let svc = t.svc in

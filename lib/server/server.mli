@@ -79,11 +79,20 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> ?wal:Orion_wal.Wal.t -> Orion_dsl.Eval.env -> addr -> t
+val create :
+  ?config:config ->
+  ?wal:Orion_wal.Wal.t ->
+  ?repl:Tx_service.repl ->
+  Orion_dsl.Eval.env ->
+  addr ->
+  t
 (** Bind and listen.  The environment's database is the one served;
     its bindings ([setq] names) are shared by every session.  [?wal]
     is the log already attached to the database — transactions commit
-    through it ({!Orion_tx.Tx_manager}).
+    through it ({!Orion_tx.Tx_manager}).  [?repl] is the replication
+    role (default [Standalone]): a [Primary] tails its log for
+    subscribed replicas, a [Replica_of] serves read-only sessions
+    while its applier mirrors the primary (and can be promoted).
     @raise Unix.Unix_error when the address cannot be bound. *)
 
 val address : t -> addr
@@ -118,3 +127,10 @@ type stats = {
 val stats : t -> stats
 
 val session_count : t -> int
+
+val service : t -> Tx_service.t
+(** The shared transactional service (promotion state, service lock). *)
+
+val role : t -> [ `Standalone | `Primary | `Replica ]
+(** Current replication role — a node started as a replica reads
+    [`Primary] once a [Promote] request lands. *)

@@ -11,6 +11,7 @@ module Frame = Orion_protocol.Frame
 module Message = Orion_protocol.Message
 module Sexp = Orion_util.Sexp
 module Obs = Orion_obs.Metrics
+module Tailer = Orion_replication.Tailer
 open Orion_core
 
 type addr = Orion_protocol.Addr.t = Tcp of string * int | Unix_path of string
@@ -56,6 +57,9 @@ type session = {
          answered [Conflict] instead of [Bad_request] *)
   mutable last_activity : float;
   mutable closing : bool;  (* flush [out], then close *)
+  mutable repl_sub : int option;
+      (* tailer subscription: the session is a replica consuming this
+         primary's WAL stream *)
 }
 
 type phase = Running | Draining of float (* deadline *) | Killed
@@ -218,6 +222,13 @@ let rec destroy t session =
     Hashtbl.remove t.sessions session.sid;
     Atomic.decr t.n_sessions
   end;
+  (match session.repl_sub with
+  | Some id ->
+      session.repl_sub <- None;
+      (match t.svc.Tx_service.repl with
+      | Tx_service.Primary tailer -> Tailer.unsubscribe tailer id
+      | Tx_service.Standalone | Tx_service.Replica_of _ -> ())
+  | None -> ());
   (match session.tx with
   | Some tx ->
       session.tx <- None;
@@ -391,6 +402,14 @@ and handle t session req =
   | _ when not session.greeted ->
       error session Message.Bad_request "first request must be hello";
       session.closing <- true
+  | ( Message.Begin | Message.Commit | Message.Abort
+    | Message.Lock_composite _ | Message.Lock_instance _ | Message.Make _ )
+    when svc.Tx_service.read_only ->
+      (* Evaluated mutations and DDL are refused one layer down (the
+         replica's mutator and DDL gate); the typed write requests are
+         refused here at dispatch. *)
+      error session Message.Read_only
+        "read-only replica: write on the primary, or promote this node"
   | Message.Eval src -> (
       match Sexp.parse_many src with
       | exception Sexp.Parse_error msg -> error session Message.Parse_error msg
@@ -400,6 +419,7 @@ and handle t session req =
              after-images at commit — so route them through the
              manager for the duration of the eval.  Dispatch holds the
              service lock: no other session can observe the swap. *)
+          let ambient_mutator = Eval.mutator svc.Tx_service.env in
           (match session.tx with
           | None -> ()
           | Some tx ->
@@ -421,7 +441,8 @@ and handle t session req =
                    }));
           match
             Fun.protect
-              ~finally:(fun () -> Eval.set_mutator svc.Tx_service.env None)
+              ~finally:(fun () ->
+                Eval.set_mutator svc.Tx_service.env ambient_mutator)
               (fun () ->
                 List.fold_left
                   (fun _ form -> Eval.eval svc.Tx_service.env form)
@@ -527,6 +548,37 @@ and handle t session req =
       | None -> ());
       reply session (Message.Result Message.Unit);
       session.closing <- true
+  | Message.Repl_subscribe { from_lsn } -> (
+      match svc.Tx_service.repl with
+      | Tx_service.Primary tailer ->
+          if session.repl_sub <> None then
+            error session Message.Repl_error "session already subscribed"
+          else (
+            match Tailer.subscribe tailer ~from_lsn with
+            | Ok (id, durable) ->
+                session.repl_sub <- Some id;
+                reply session (Message.Repl_ok { lsn = durable })
+            | Error msg -> error session Message.Repl_error msg)
+      | Tx_service.Standalone ->
+          error session Message.Repl_error
+            "not a streaming primary (start with --repl)"
+      | Tx_service.Replica_of _ ->
+          error session Message.Repl_error
+            "this node is a replica; subscribe to its primary")
+  | Message.Repl_ack { lsn } -> (
+      (* The protocol's one no-reply request: answering would desync
+         the replica's in-order reply bookkeeping. *)
+      match (svc.Tx_service.repl, session.repl_sub) with
+      | Tx_service.Primary tailer, Some id -> Tailer.ack tailer id ~lsn
+      | _ -> ())
+  | Message.Promote -> (
+      match Tx_service.promote svc with
+      | Ok () ->
+          prerr_endline
+            (Printf.sprintf "orion: session %d promoted this replica to primary"
+               session.sid);
+          reply session (Message.Result Message.Unit)
+      | Error msg -> error session Message.Repl_error msg)
 
 (* Cross-shard messages --------------------------------------------------------- *)
 
@@ -603,6 +655,7 @@ let add_session t ~sid ~fd =
         deadlock_note = None;
         last_activity = Unix.gettimeofday ();
         closing = false;
+        repl_sub = None;
       }
 
 let process_msg t (msg : Tx_service.peer_msg) =
@@ -932,6 +985,34 @@ let run t =
                 if Tx_service.take_deadlock_check t.svc then break_deadlocks t;
                 enforce_timeouts t (Unix.gettimeofday ());
                 Tx_service.maybe_checkpoint t.svc);
+            (* WAL shipping: pump each subscribed session's cursor
+               (bounded per tick; the tailer and log carry their own
+               mutexes, so this runs outside the service lock) and
+               flush immediately — frames are pushes, born outside the
+               request/reply cycle, so the socket may not be in this
+               tick's writable set yet. *)
+            (match t.svc.Tx_service.repl with
+            | Tx_service.Primary tailer ->
+                Hashtbl.iter
+                  (fun _ s ->
+                    match s.repl_sub with
+                    | Some id when not s.closing ->
+                        let budget = ref 8 in
+                        let more = ref true in
+                        while !more && !budget > 0 do
+                          decr budget;
+                          match Tailer.pump tailer id with
+                          | Tailer.Frames { lsn; data } ->
+                              push s (Message.Repl_frames { lsn; data })
+                          | Tailer.Heartbeat lsn ->
+                              push s (Message.Repl_heartbeat { lsn });
+                              more := false
+                          | Tailer.Idle -> more := false
+                        done;
+                        flush_out s
+                    | Some _ | None -> ())
+                  t.sessions
+            | Tx_service.Standalone | Tx_service.Replica_of _ -> ());
             List.iter
               (fun fd ->
                 match session_of fd with

@@ -1,6 +1,8 @@
 module Eval = Orion_dsl.Eval
 module Tx = Orion_tx.Tx_manager
 module Obs = Orion_obs.Metrics
+module Tailer = Orion_replication.Tailer
+module Replica = Orion_replication.Replica
 open Orion_core
 
 (* Cross-shard mail.  Shards never touch each other's session tables;
@@ -18,12 +20,27 @@ type peer_msg =
   | Commit_done of { sid : int; tx : Tx.tx; ok : bool; err : string }
       (* the group committer settled a submitted commit *)
 
+(* Replication role.  [Primary] tails its log for subscribed replicas;
+   [Replica_of] applies a primary's stream and refuses writes until
+   {!promote} flips it into a [Primary].  [promote_gate] is the DDL
+   gate the CLI configured for primaries, deferred until promotion
+   (replicas run with an unconditionally-refusing gate instead). *)
+type repl =
+  | Standalone
+  | Primary of Tailer.t
+  | Replica_of of {
+      replica : Replica.t;
+      promote_gate : (Orion_schema.Schema.t -> unit) option;
+    }
+
 type t = {
   env : Eval.env;
   db : Database.t;
   manager : Tx.t;
   gc : Orion_wal.Group_commit.t option;
-  wal_attached : bool;
+  mutable wal_attached : bool;
+  mutable repl : repl;
+  mutable read_only : bool;
   mu : Mutex.t;
   tx_owner : (int, int * int) Hashtbl.t;  (* tx id -> (shard, session id) *)
   mutable posters : (peer_msg -> unit) array;  (* indexed by shard *)
@@ -56,7 +73,7 @@ type t = {
   dispatch_hist : Obs.histogram;
 }
 
-let create ?wal ?group_commit_window env =
+let create ?wal ?group_commit_window ?(repl = Standalone) env =
   let db = Eval.database env in
   let gc =
     match (wal, group_commit_window) with
@@ -70,6 +87,8 @@ let create ?wal ?group_commit_window env =
     manager = Tx.create ?wal db;
     gc;
     wal_attached = Option.is_some wal;
+    repl;
+    read_only = (match repl with Replica_of _ -> true | _ -> false);
     mu = Mutex.create ();
     tx_owner = Hashtbl.create 32;
     posters = [||];
@@ -166,6 +185,37 @@ let maybe_checkpoint t =
     if t.wal_attached then Orion_core.Persist.save t.db;
     t.schema_seen <- v
   end
+
+(* Promote-on-demand (under the service lock — that is what orders the
+   flip against the applier's in-flight batch and against every shard's
+   dispatch).  Sequence: seal the applier; attach the local log to the
+   serving database ([~truncate_on_checkpoint:false]: the log's byte
+   offsets must stay valid — the promoted node is immediately a
+   shippable primary) — the log is non-empty, so attach skips the base
+   backup; late-bind the transaction manager's log; lift the read-only
+   guards (Eval mutator, DDL gate); checkpoint once as a primary; and
+   start tailing for downstream replicas of our own. *)
+let promote t =
+  match t.repl with
+  | Standalone -> Error "not a replica (started without --replica-of)"
+  | Primary _ -> Error "already a primary"
+  | Replica_of { replica; promote_gate } ->
+      if Replica.sealed replica then Error "promotion already in progress"
+      else begin
+        Replica.seal replica;
+        let wal = Replica.wal replica in
+        Orion_wal.Wal.attach ~snapshot_path:(Replica.db_path replica)
+          ~truncate_on_checkpoint:false wal t.db;
+        Tx.set_wal t.manager wal;
+        t.wal_attached <- true;
+        t.read_only <- false;
+        Eval.set_mutator t.env None;
+        Orion_schema.Schema.set_ddl_gate (Database.schema t.db) promote_gate;
+        Orion_core.Persist.save t.db;
+        t.schema_seen <- Orion_schema.Schema.version (Database.schema t.db);
+        t.repl <- Primary (Tailer.create wal);
+        Ok ()
+      end
 
 let shutdown_committer ~killed t =
   match t.gc with

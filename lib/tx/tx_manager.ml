@@ -22,7 +22,7 @@ type t = {
   txs : (int, tx) Hashtbl.t;
   mutable next_tx : int;
   escalation_threshold : int option;
-  wal : Orion_wal.Wal.t option;
+  mutable wal : Orion_wal.Wal.t option;
   escalations : Obs.counter;
   acquire_hist : Obs.histogram;
 }
@@ -43,6 +43,7 @@ let create ?compat ?escalation_threshold ?wal db =
   }
 
 let database t = t.db
+let set_wal t wal = t.wal <- Some wal
 let lock_table t = t.table
 
 let begin_tx t =

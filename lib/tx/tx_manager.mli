@@ -39,6 +39,12 @@ val create :
     logging (in-memory transaction semantics). *)
 
 val database : t -> Database.t
+
+val set_wal : t -> Orion_wal.Wal.t -> unit
+(** Late-bind the write-ahead log of a manager created without one — a
+    promoted replica starts logging commits the moment it starts
+    accepting writes.  Call at a transaction-quiescent point. *)
+
 val lock_table : t -> Orion_locking.Lock_table.t
 
 val begin_tx : t -> tx

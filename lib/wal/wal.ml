@@ -28,6 +28,9 @@ type t = {
   mutable is_crashed : bool;
   mutable page_size : int option;
   mutable backing : string option;
+  mutable durable : int;
+      (* buffer length at the last sync: the durable LSN replication
+         ships up to (bytes past it may still be torn by a crash) *)
 }
 
 let create () =
@@ -44,6 +47,7 @@ let create () =
     is_crashed = false;
     page_size = None;
     backing = None;
+    durable = 0;
   }
 
 let with_mu t f =
@@ -128,6 +132,7 @@ let sync_unlocked t =
      since the last commit/checkpoint. *)
   let started = Unix.gettimeofday () in
   (match t.backing with Some path -> save_file_unlocked t path | None -> ());
+  t.durable <- Buffer.length t.buf;
   Obs.observe t.sync_hist (Unix.gettimeofday () -. started)
 
 let sync t = with_mu t (fun () -> sync_unlocked t)
@@ -137,7 +142,8 @@ let tear t ~bytes =
       let keep = max 0 (Buffer.length t.buf - bytes) in
       let surviving = Buffer.sub t.buf 0 keep in
       Buffer.clear t.buf;
-      Buffer.add_string t.buf surviving)
+      Buffer.add_string t.buf surviving;
+      t.durable <- min t.durable keep)
 
 let truncate t =
   with_mu t (fun () ->
@@ -147,7 +153,10 @@ let truncate t =
       (match t.page_size with
       | Some page_size -> append_unlocked t (Wal_record.Genesis { page_size })
       | None -> ());
-      match t.backing with Some path -> save_file_unlocked t path | None -> ())
+      (match t.backing with Some path -> save_file_unlocked t path | None -> ());
+      t.durable <- Buffer.length t.buf)
+
+let durable_lsn t = with_mu t (fun () -> t.durable)
 
 (* Reading ------------------------------------------------------------------ *)
 
@@ -191,6 +200,73 @@ let scan t =
 
 let contents t = with_mu t (fun () -> Buffer.to_bytes t.buf)
 
+(* Streaming reads for replication: whole frames only, never past the
+   durable point (bytes beyond it could still be torn away by a crash,
+   and a replica must only mirror what the primary can survive). *)
+
+let read_from t ~lsn ~max_bytes =
+  with_mu t (fun () ->
+      if lsn < 0 || lsn > t.durable then None
+      else begin
+        let header_u32 pos =
+          (Char.code (Buffer.nth t.buf pos) lor
+           (Char.code (Buffer.nth t.buf (pos + 1)) lsl 8) lor
+           (Char.code (Buffer.nth t.buf (pos + 2)) lsl 16) lor
+           (Char.code (Buffer.nth t.buf (pos + 3)) lsl 24))
+          land 0xffffffff
+        in
+        let pos = ref lsn in
+        let frames = ref 0 in
+        let stop = ref false in
+        while not !stop do
+          if t.durable - !pos < 8 then stop := true
+          else begin
+            let len = header_u32 !pos in
+            let frame_end = !pos + 8 + len in
+            if
+              frame_end > t.durable
+              || (!frames > 0 && frame_end - lsn > max_bytes)
+            then stop := true
+            else begin
+              pos := frame_end;
+              incr frames
+            end
+          end
+        done;
+        if !frames = 0 then None
+        else Some (Buffer.sub t.buf lsn (!pos - lsn) |> Bytes.of_string, !pos, !frames)
+      end)
+
+(* A pre-framed byte run shipped from a primary, appended verbatim so
+   the replica's local log stays a byte mirror of the primary's. *)
+let append_raw t data =
+  with_mu t (fun () ->
+      if t.is_crashed then raise Crashed;
+      Buffer.add_bytes t.buf data;
+      Obs.incr t.bytes_logged ~by:(Bytes.length data))
+
+(* Decode a shipped batch back into records.  Raises [Failure] on a
+   short or checksum-failed frame: shipped bytes were read below the
+   sender's durable point, so damage here is a wire-level bug, not
+   crash residue. *)
+let decode_frames data =
+  let total = Bytes.length data in
+  let records = ref [] in
+  let pos = ref 0 in
+  while !pos < total do
+    if total - !pos < 8 then failwith "Wal.decode_frames: short frame header";
+    let len = Int32.to_int (Bytes.get_int32_le data !pos) land 0xffffffff in
+    let sum = Int32.to_int (Bytes.get_int32_le data (!pos + 4)) land 0xffffffff in
+    if total - !pos - 8 < len then failwith "Wal.decode_frames: short frame";
+    if Checksum.bytes ~pos:(!pos + 8) ~len data <> sum then
+      failwith "Wal.decode_frames: frame checksum mismatch";
+    (match Wal_record.decode (Bytes.sub data (!pos + 8) len) with
+    | record -> records := record :: !records
+    | exception R.Corrupt msg -> failwith ("Wal.decode_frames: " ^ msg));
+    pos := !pos + 8 + len
+  done;
+  List.rev !records
+
 let restore_page_size t =
   match scan t with
   | { records = Wal_record.Genesis { page_size } :: _; _ } ->
@@ -200,6 +276,7 @@ let restore_page_size t =
 let of_bytes data =
   let t = create () in
   Buffer.add_bytes t.buf data;
+  t.durable <- Bytes.length data;
   restore_page_size t;
   t
 
@@ -253,7 +330,7 @@ let attach_store t store =
        | Store.J_record_delete rid -> append t (Wal_record.Record_delete { rid })
        | Store.J_catalog_set page -> append t (Wal_record.Catalog_set { page })))
 
-let attach ?snapshot_path t db =
+let attach ?snapshot_path ?(truncate_on_checkpoint = true) t db =
   attach_store t (Database.store db);
   Database.set_wal_stats_source db (Some (fun () -> stats t));
   Database.set_checkpoint_hook db
@@ -272,8 +349,14 @@ let attach ?snapshot_path t db =
            sync t;
            (* Truncation is only safe once a snapshot holds the
               checkpointed state; without one the log stays the sole
-              recovery source and must keep its full history. *)
-           (match snapshot_path with Some _ -> truncate t | None -> ())))
+              recovery source and must keep its full history.  A
+              replication primary keeps the whole log even with a
+              snapshot: its byte offsets are the stream's LSNs, and a
+              replica subscribing from 0 needs the log to reach back to
+              [Genesis]. *)
+           (match snapshot_path with
+           | Some _ when truncate_on_checkpoint -> truncate t
+           | Some _ | None -> ())))
 
 (* The after-image / tombstone records of a commit, without the sealing
    record: the direct path seals with [Commit] below; the group-commit

@@ -54,6 +54,11 @@ val set_backing : t -> string option -> unit
 val size : t -> int
 (** Bytes currently in the log. *)
 
+val durable_lsn : t -> int
+(** Bytes of the log guaranteed to survive a crash: the buffer length
+    at the last {!sync} (or load).  Replication ships only up to this
+    point — the log's byte offsets are the stream's LSNs. *)
+
 val stats : t -> Database.wal_stats
 
 val truncate : t -> unit
@@ -88,6 +93,26 @@ val contents : t -> bytes
 val of_bytes : bytes -> t
 (** The surviving log image, e.g. carried across a simulated crash. *)
 
+val read_from : t -> lsn:int -> max_bytes:int -> (bytes * int * int) option
+(** [read_from t ~lsn ~max_bytes] is [Some (data, end_lsn, frames)]:
+    the whole frames starting at byte offset [lsn], up to the durable
+    point and roughly [max_bytes] (at least one frame is always
+    returned, even when it alone exceeds the budget).  [None] when
+    [lsn] is out of range or no whole durable frame lies past it.  The
+    bytes are verbatim log content — a receiver appending them
+    ({!append_raw}) reproduces the log byte-for-byte. *)
+
+val append_raw : t -> bytes -> unit
+(** Append pre-framed bytes shipped from another log, verbatim.  The
+    caller owns framing integrity ({!read_from} only ships whole,
+    checksummed frames). *)
+
+val decode_frames : bytes -> Wal_record.t list
+(** Decode a run of whole frames (as returned by {!read_from}).
+    @raise Failure on a short or checksum-failed frame — shipped bytes
+    come from below the sender's durable point, so damage is a
+    transport bug, never legal crash residue. *)
+
 val save_file : t -> string -> unit
 (** Atomic (write-then-rename), like {!Orion_storage.Store.save_file}. *)
 
@@ -96,7 +121,8 @@ val load_file : string -> t
 
 (** {1 Attachment} *)
 
-val attach : ?snapshot_path:string -> t -> Database.t -> unit
+val attach :
+  ?snapshot_path:string -> ?truncate_on_checkpoint:bool -> t -> Database.t -> unit
 (** Journal every storage write of [db]'s store into the log (appending
     a [Genesis] record if the log is empty), publish WAL counters into
     {!Orion_core.Database.stats}, and hook the checkpoint protocol into
@@ -109,7 +135,10 @@ val attach : ?snapshot_path:string -> t -> Database.t -> unit
     A database carrying un-checkpointed state (one just returned by
     [Recovery.replay]) must be checkpointed after attach before the old
     log is discarded: the base backup captures the store, not the
-    in-memory workspace. *)
+    in-memory workspace.  [?truncate_on_checkpoint] (default [true])
+    governs whether a snapshotting checkpoint also truncates: a
+    replication primary passes [false] so the log keeps its full
+    history and its byte offsets stay valid as stream LSNs. *)
 
 val attach_store : t -> Store.t -> unit
 (** The storage-level half of {!attach} (no checkpoint hook, no stats

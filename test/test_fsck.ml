@@ -203,6 +203,41 @@ let test_checkpoint_brackets () =
 
 (* Truncating the store file itself must surface as a file error, not
    an exception. *)
+(* `fsck --repair`: the torn tail is truncated to the intact prefix,
+   the damaged original survives as .bak, and re-running is a no-op. *)
+let test_repair_wal_tail () =
+  let db, _, _, _ = build_db () in
+  let path = save_to_temp db in
+  let log = Wal.create () in
+  Wal.append log (Wal_record.Genesis { page_size = 256 });
+  Wal.append log Wal_record.Checkpoint_begin;
+  Wal.append log Wal_record.Checkpoint;
+  let wal_path = temp ".wal" in
+  Wal.tear log ~bytes:3;
+  Wal.save_file log wal_path;
+  at_exit (fun () ->
+      try Sys.remove (wal_path ^ ".bak") with Sys_error _ -> ());
+  let torn_size = (Unix.stat wal_path).Unix.st_size in
+  (match SC.repair_wal_tail wal_path with
+  | Ok (SC.Wal_repaired { backup; valid_frames; valid_bytes; dropped_bytes }) ->
+      Alcotest.(check int) "two intact frames kept" 2 valid_frames;
+      Alcotest.(check int) "accounting adds up" torn_size
+        (valid_bytes + dropped_bytes);
+      Alcotest.(check int) "file truncated to the prefix" valid_bytes
+        (Unix.stat wal_path).Unix.st_size;
+      Alcotest.(check int) "backup preserves the damage" torn_size
+        (Unix.stat backup).Unix.st_size
+  | Ok (SC.Wal_intact _) -> Alcotest.fail "torn log reported intact"
+  | Error msg -> Alcotest.failf "repair failed: %s" msg);
+  (* The repaired log now checks clean (no torn-tail issue). *)
+  let report = SC.check_file ~wal:wal_path path in
+  Alcotest.(check bool) "no wal-torn after repair" false
+    (List.exists (function SC.Wal_torn _ -> true | _ -> false) report.SC.issues);
+  (* Idempotent: a second repair is a no-op. *)
+  match SC.repair_wal_tail wal_path with
+  | Ok (SC.Wal_intact { frames = 2; _ }) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "second repair was not a clean no-op"
+
 let test_truncated_file_reported () =
   let db, _, _, _ = build_db () in
   let path = save_to_temp db in
@@ -228,6 +263,7 @@ let () =
           Alcotest.test_case "orphan directory entry" `Quick
             test_orphan_directory_entry_detected;
           Alcotest.test_case "checkpoint brackets" `Quick test_checkpoint_brackets;
+          Alcotest.test_case "repair torn tail" `Quick test_repair_wal_tail;
           Alcotest.test_case "truncated file" `Quick test_truncated_file_reported;
         ] );
     ]

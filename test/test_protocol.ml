@@ -104,6 +104,12 @@ let all_requests : Message.request list =
     Components_of (oid 3);
     Ping;
     Bye;
+    (* v3: the replication family. *)
+    Repl_subscribe { from_lsn = 0 };
+    Repl_subscribe { from_lsn = 123_456_789_012 };
+    Repl_ack { lsn = 0 };
+    Repl_ack { lsn = max_int };
+    Promote;
   ]
 
 let all_server_msgs : Message.server_msg list =
@@ -122,6 +128,13 @@ let all_server_msgs : Message.server_msg list =
     Reply (Error { code = Timeout; msg = "" });
     Push (Deadlock_victim { tx = 3; msg = "cycle [0 -> 3]" });
     Push (Goodbye { msg = "server shutting down" });
+    (* v3: the replication family. *)
+    Reply (Repl_ok { lsn = 4157 });
+    Reply (Error { code = Read_only; msg = "read-only replica" });
+    Reply (Error { code = Repl_error; msg = "not a streaming primary" });
+    Push (Repl_frames { lsn = 0; data = Bytes.empty });
+    Push (Repl_frames { lsn = 8411; data = Bytes.of_string "\x00\x01\xff raw" });
+    Push (Repl_heartbeat { lsn = 24948 });
   ]
 
 let test_request_roundtrip () =
@@ -179,6 +192,38 @@ let test_pipeline_roundtrip () =
   Alcotest.(check (list request)) "all requests, in order" all_requests
     (List.rev !got)
 
+(* Properties: the replication family over random LSNs and payloads —
+   the frames push in particular carries raw WAL bytes, which must
+   survive the codec bit-for-bit at any size and content. *)
+
+let prop_repl_request_roundtrip =
+  QCheck.Test.make ~name:"repl request roundtrip" ~count:200
+    QCheck.(make Gen.(pair (int_bound 2) nat))
+    (fun (pick, lsn) ->
+      let req : Message.request =
+        match pick with
+        | 0 -> Repl_subscribe { from_lsn = lsn }
+        | 1 -> Repl_ack { lsn }
+        | _ -> Promote
+      in
+      Message.decode_request (Message.encode_request req) = req)
+
+let prop_repl_push_roundtrip =
+  QCheck.Test.make ~name:"repl push/reply roundtrip" ~count:200
+    QCheck.(
+      make
+        Gen.(
+          triple (int_bound 2) nat
+            (string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 4096))))
+    (fun (pick, lsn, payload) ->
+      let msg : Message.server_msg =
+        match pick with
+        | 0 -> Push (Repl_frames { lsn; data = Bytes.of_string payload })
+        | 1 -> Push (Repl_heartbeat { lsn })
+        | _ -> Reply (Repl_ok { lsn })
+      in
+      Message.decode_server (Message.encode_server msg) = msg)
+
 (* Addresses -------------------------------------------------------------------- *)
 
 let test_addr_parse () =
@@ -213,6 +258,11 @@ let () =
           Alcotest.test_case "server msg roundtrip" `Quick test_server_msg_roundtrip;
           Alcotest.test_case "garbage rejected" `Quick test_decode_rejects_garbage;
           Alcotest.test_case "framed pipeline" `Quick test_pipeline_roundtrip;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_repl_request_roundtrip;
+          QCheck_alcotest.to_alcotest prop_repl_push_roundtrip;
         ] );
       ("addresses", [ Alcotest.test_case "parse" `Quick test_addr_parse ]);
     ]

@@ -250,6 +250,87 @@ let test_composite_hierarchy_cycle_guard () =
   let hierarchy = Schema.composite_class_hierarchy s "Node" in
   Alcotest.(check int) "one entry" 1 (List.length hierarchy)
 
+(* DDL gate --------------------------------------------------------------------- *)
+
+let comp_attr name cls =
+  A.make ~name ~domain:(D.Class cls) ~refkind:(A.composite ()) ()
+
+let test_ddl_gate_veto_rolls_back () =
+  let s = Schema.create () in
+  define s ~name:"Kept" [ str_attr "Name" ];
+  let before = Schema.version s in
+  Schema.set_ddl_gate s
+    (Some (fun _ -> raise (Schema.Error (Schema.Ddl_rejected "vetoed"))));
+  Alcotest.(check bool) "define vetoed" true
+    (match define s ~name:"Doomed" [] with
+    | exception Schema.Error (Schema.Ddl_rejected _) -> true
+    | _ -> false);
+  Alcotest.(check bool) "class rolled back" false (Schema.mem s "Doomed");
+  Alcotest.(check bool) "pre-gate class untouched" true (Schema.mem s "Kept");
+  Alcotest.(check int) "version restored" before (Schema.version s);
+  Alcotest.(check bool) "evolution op vetoed and rolled back" true
+    (match Schema.add_attribute s ~cls:"Kept" (str_attr "Extra") with
+    | exception Schema.Error (Schema.Ddl_rejected _) ->
+        Schema.attribute s "Kept" "Extra" = None
+    | _ -> false);
+  (* Clearing the gate reopens DDL. *)
+  Schema.set_ddl_gate s None;
+  define s ~name:"Doomed" [];
+  Alcotest.(check bool) "gate cleared" true (Schema.mem s "Doomed")
+
+let test_ddl_gate_sees_post_state () =
+  let s = Schema.create () in
+  let seen = ref [] in
+  Schema.set_ddl_gate s
+    (Some
+       (fun schema ->
+         seen :=
+           List.map
+             (fun (c : Orion_schema.Class_def.t) -> c.name)
+             (Schema.classes schema)));
+  define s ~name:"Probe" [];
+  Alcotest.(check bool) "gate ran on the mutated schema" true
+    (List.mem "Probe" !seen)
+
+let test_ddl_gate_analyzer_strict () =
+  (* The CLI's strict mode: Schema_analysis errors veto the mutation.
+     A composite cycle A -> B -> A is the analyzer's one error-severity
+     hazard; the closing edge must be rejected and rolled back. *)
+  let module SA = Orion_analysis.Schema_analysis in
+  let s = Schema.create () in
+  Schema.set_ddl_gate s
+    (Some
+       (fun schema ->
+         match SA.errors (SA.analyze schema) with
+         | [] -> ()
+         | f :: _ ->
+             raise (Schema.Error (Schema.Ddl_rejected f.SA.detail))));
+  define s ~name:"A" [];
+  define s ~name:"B" [ comp_attr "back" "A" ];
+  Alcotest.(check bool) "cycle-closing attribute rejected" true
+    (match Schema.add_attribute s ~cls:"A" (comp_attr "fwd" "B") with
+    | exception Schema.Error (Schema.Ddl_rejected _) -> true
+    | _ -> false);
+  Alcotest.(check bool) "edge rolled back" true
+    (Schema.attribute s "A" "fwd" = None)
+
+let test_reimport_bypasses_gate () =
+  let donor = Schema.create () in
+  define donor ~name:"Fresh" [ str_attr "Name" ];
+  let exported = Schema.export donor in
+  let s = Schema.create () in
+  define s ~name:"Stale" [];
+  Schema.set_ddl_gate s
+    (Some (fun _ -> raise (Schema.Error (Schema.Ddl_rejected "sealed"))));
+  (* reimport replaces the live schema wholesale (the replica's
+     checkpoint resync) without consulting the gate... *)
+  Schema.reimport s exported;
+  Alcotest.(check bool) "old classes gone" false (Schema.mem s "Stale");
+  Alcotest.(check bool) "imported classes live" true (Schema.mem s "Fresh");
+  (* ...and the gate survives the replacement. *)
+  Alcotest.(check bool) "gate still armed" true
+    (fails (fun () -> define s ~name:"Blocked" []))
+
 let () =
   Alcotest.run "orion_schema"
     [
@@ -285,5 +366,16 @@ let () =
             test_effective_attrs_diamond;
           Alcotest.test_case "self-referential hierarchy" `Quick
             test_composite_hierarchy_cycle_guard;
+        ] );
+      ( "ddl gate",
+        [
+          Alcotest.test_case "veto rolls back" `Quick
+            test_ddl_gate_veto_rolls_back;
+          Alcotest.test_case "sees post state" `Quick
+            test_ddl_gate_sees_post_state;
+          Alcotest.test_case "strict analyzer gate" `Quick
+            test_ddl_gate_analyzer_strict;
+          Alcotest.test_case "reimport bypasses" `Quick
+            test_reimport_bypasses_gate;
         ] );
     ]
