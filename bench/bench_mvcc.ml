@@ -1,0 +1,253 @@
+(* MVCC benchmark (PR 8): what lock-free snapshot reads buy under write
+   contention.
+
+   One conflict-heavy scenario, two reader disciplines.  Every writer
+   commits parts into the SAME assembly root (all of them contend on
+   one composite Update lock — the worst case strict 2PL has), while a
+   reader pool runs components-of over that root either:
+
+   - `2pl`: begin, composite Read lock, traverse, commit — readers
+     queue behind the writers' Update locks and vice versa;
+   - `snapshot`: begin-snapshot, traverse, end-snapshot — readers skip
+     the lock table entirely and answer at their begin clock.
+
+   The matrix splits 32 clients across writers/readers several ways and
+   reports both sides' throughput plus the lock-table block count the
+   window produced — the number the snapshot column should hold near
+   zero.  `--json PATH` writes BENCH_PR8.json-style output; `--quick`
+   shrinks the matrix for the smoke alias. *)
+
+module Eval = Orion_dsl.Eval
+module Server = Orion_server.Server
+module Client = Orion_client
+module Message = Orion_protocol.Message
+module Addr = Orion_protocol.Addr
+module Oid = Orion_core.Oid
+module Value = Orion_core.Value
+module Wal = Orion_wal.Wal
+module Obs = Orion_obs.Metrics
+
+let schema_forms =
+  {|
+(make-class 'Part :attributes ((Name :domain String)))
+(make-class 'Assembly :attributes (
+  (Parts :domain (set-of Part) :composite true :exclusive true :dependent true)))
+|}
+
+let temp_dir () =
+  let dir = Filename.temp_file "orion_bench_mvcc" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  dir
+
+type server = { server : Server.t; thread : Thread.t; addr : Addr.t }
+
+let start_server dir =
+  let sock = Filename.concat dir "orion.sock" in
+  let env = Eval.create_env () in
+  ignore (Eval.eval_program env schema_forms : Eval.v list);
+  let wal = Wal.create () in
+  Wal.attach wal (Eval.database env);
+  Orion_core.Persist.save (Eval.database env);
+  let server = Server.create ~wal env (Server.Unix_path sock) in
+  let thread = Thread.create Server.run server in
+  { server; thread; addr = Addr.Unix_path sock }
+
+let stop_server s =
+  Server.stop s.server;
+  Thread.join s.thread
+
+let counter name =
+  Option.value (Obs.find_counter (Obs.snapshot ()) name) ~default:0
+
+type result = {
+  mode : string;
+  writers : int;
+  readers : int;
+  writes : int;
+  reads : int;
+  elapsed_s : float;
+  write_throughput : float;
+  read_throughput : float;
+  lock_blocks : int;
+  reader_lock_blocks : int;
+}
+
+(* One measured window: [writers] clients hammer one shared root with
+   conflicting commits while [readers] clients traverse it under the
+   given discipline. *)
+let run_scenario ~mode ~writers ~readers ~duration =
+  let dir = temp_dir () in
+  let s = start_server dir in
+  Fun.protect
+    ~finally:(fun () -> stop_server s)
+    (fun () ->
+      let setup = Client.connect ~client_name:"bench-setup" s.addr in
+      let root =
+        match Client.eval setup "(make Assembly)" with
+        | Message.Obj oid -> oid
+        | _ -> failwith "make Assembly"
+      in
+      (* Seed a few parts so the first traversals walk something. *)
+      for i = 1 to 10 do
+        ignore (Client.begin_tx setup : int);
+        Client.lock_composite setup ~root Message.Update;
+        ignore
+          (Client.make setup ~cls:"Part" ~parents:[ (root, "Parts") ]
+             ~attrs:[ ("Name", Value.Str (Printf.sprintf "seed-%d" i)) ]
+             ()
+            : Oid.t);
+        Client.commit setup
+      done;
+      Client.close setup;
+      let stop = Atomic.make false in
+      let write_counts = Array.make (max 1 writers) 0 in
+      let read_counts = Array.make (max 1 readers) 0 in
+      (* A conflict abort (deadlock victim, lock timeout) leaves the
+         transaction already aborted server-side: just retry. *)
+      let guarded f = try f () with Client.Error _ -> () in
+      let writer i () =
+        let c = Client.connect ~client_name:"bench-writer" s.addr in
+        let j = ref 0 in
+        while not (Atomic.get stop) do
+          incr j;
+          guarded (fun () ->
+              ignore (Client.begin_tx c : int);
+              Client.lock_composite c ~root Message.Update;
+              ignore
+                (Client.make c ~cls:"Part" ~parents:[ (root, "Parts") ]
+                   ~attrs:[ ("Name", Value.Str (Printf.sprintf "p%d-%d" i !j)) ]
+                   ()
+                  : Oid.t);
+              Client.commit c;
+              write_counts.(i) <- write_counts.(i) + 1)
+        done;
+        Client.close c
+      in
+      let reader_blocks0 = ref 0 in
+      let reader i () =
+        let c = Client.connect ~client_name:"bench-reader" s.addr in
+        while not (Atomic.get stop) do
+          guarded (fun () ->
+              (match mode with
+              | "snapshot" ->
+                  ignore (Client.begin_snapshot c : int);
+                  ignore (Client.components_of c root : Oid.t list);
+                  Client.end_snapshot c
+              | _ ->
+                  ignore (Client.begin_tx c : int);
+                  Client.lock_composite c ~root Message.Read;
+                  ignore (Client.components_of c root : Oid.t list);
+                  Client.commit c);
+              read_counts.(i) <- read_counts.(i) + 1)
+        done;
+        Client.close c
+      in
+      let blocks0 = counter "lock.blocks" in
+      let t0 = Unix.gettimeofday () in
+      let wthreads = List.init writers (fun i -> Thread.create (writer i) ()) in
+      (* Writer-only warm-up so the reader window starts contended,
+         then measure reader blocks separately from writer blocks. *)
+      Thread.delay (duration /. 10.);
+      reader_blocks0 := counter "lock.blocks";
+      let rthreads = List.init readers (fun i -> Thread.create (reader i) ()) in
+      Thread.delay duration;
+      Atomic.set stop true;
+      List.iter Thread.join wthreads;
+      List.iter Thread.join rthreads;
+      let elapsed = Unix.gettimeofday () -. t0 in
+      let writes = Array.fold_left ( + ) 0 write_counts in
+      let reads = Array.fold_left ( + ) 0 read_counts in
+      {
+        mode;
+        writers;
+        readers;
+        writes;
+        reads;
+        elapsed_s = elapsed;
+        write_throughput = float_of_int writes /. elapsed;
+        read_throughput = float_of_int reads /. elapsed;
+        lock_blocks = counter "lock.blocks" - blocks0;
+        (* Blocks accrued once readers joined; with snapshot readers the
+           writers still block each other, so this is an upper bound on
+           reader-induced blocking — near the writer-only rate means the
+           readers added none. *)
+        reader_lock_blocks = counter "lock.blocks" - !reader_blocks0;
+      })
+
+(* Output ----------------------------------------------------------------------- *)
+
+let write_json ~path results =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"orion-bench-mvcc-v1\",\n";
+  Bench_meta.add buf;
+  (* The registry holds the last scenario's instruments: mvcc.published
+     / mvcc.reads / mvcc.fallthroughs, the lock-table counters the
+     comparison turns on, and the server's request histograms. *)
+  Bench_meta.add_metrics buf (Obs.snapshot ());
+  Buffer.add_string buf "  \"results\": {\n";
+  Buffer.add_string buf "    \"conflict_heavy\": {\n";
+  List.iteri
+    (fun i (r : result) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      \"%s-w%d-r%d\": { \"writers\": %d, \"readers\": %d, \
+            \"writes\": %d, \"reads\": %d, \"elapsed_s\": %.3f, \
+            \"write_throughput_ops_per_s\": %.1f, \
+            \"read_throughput_ops_per_s\": %.1f, \"lock_blocks\": %d, \
+            \"lock_blocks_with_readers\": %d }%s\n"
+           r.mode r.writers r.readers r.writers r.readers r.writes r.reads
+           r.elapsed_s r.write_throughput r.read_throughput r.lock_blocks
+           r.reader_lock_blocks
+           (if i = List.length results - 1 then "" else ",")))
+    results;
+  Buffer.add_string buf "    }\n";
+  Buffer.add_string buf "  }\n";
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  Printf.printf "\nwrote %s\n%!" path
+
+let () =
+  let quick = Array.exists (String.equal "--quick") Sys.argv in
+  let arg_value name =
+    let rec scan i =
+      if i >= Array.length Sys.argv - 1 then None
+      else if String.equal Sys.argv.(i) name then Some Sys.argv.(i + 1)
+      else scan (i + 1)
+    in
+    scan 1
+  in
+  let json_path = arg_value "--json" in
+  let duration =
+    match arg_value "--min-duration" with
+    | Some s -> float_of_string s
+    | None -> if quick then 0.3 else 1.5
+  in
+  (* 32 clients split writer-heavy to reader-heavy; conflict on one
+     root throughout. *)
+  let splits = if quick then [ (2, 4) ] else [ (8, 24); (16, 16); (24, 8) ] in
+  print_endline
+    "=== MVCC bench: snapshot vs 2PL readers under conflict-heavy writes ===";
+  let results =
+    List.concat_map
+      (fun (writers, readers) ->
+        List.map
+          (fun mode ->
+            let r = run_scenario ~mode ~writers ~readers ~duration in
+            Printf.printf
+              "%-8s %2dw/%2dr: %8.1f writes/s  %9.1f reads/s  blocks %6d \
+               (with readers %6d)\n\
+               %!"
+              r.mode r.writers r.readers r.write_throughput r.read_throughput
+              r.lock_blocks r.reader_lock_blocks;
+            r)
+          [ "2pl"; "snapshot" ])
+      splits
+  in
+  match json_path with
+  | Some path -> write_json ~path results
+  | None -> ()

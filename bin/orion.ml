@@ -925,6 +925,12 @@ let serve_cmd =
         in
         Replica.set_locked replica (fun f ->
             Tx_service.with_lock (Server.service server) f);
+        (* Snapshot reads on this replica resolve against the service's
+           version store; the applier feeds it at each sealed commit's
+           clock. *)
+        Replica.set_mvcc replica
+          (Orion_tx.Tx_manager.version_store
+             (Server.service server).Tx_service.manager);
         Replica.start replica;
         install_signals server;
         Format.printf "orion replica of %s listening on %a@." primary_string
@@ -1076,7 +1082,18 @@ let shell_cmd =
             "Server address: $(i,host:port), $(i,:port), a bare port, or a \
              socket path.")
   in
-  let run addr_string =
+  let snapshot_flag =
+    Arg.(
+      value & flag
+      & info [ "snapshot" ]
+          ~doc:
+            "Open a lock-free read-only snapshot on connect.  Reads \
+             ($(b,components-of), $(b,ancestors-of), $(b,attr)) answer as of \
+             the snapshot's begin clock — concurrent writers are invisible \
+             and no locks are taken.  Works against a read-only replica too \
+             (snapshot at its applied clock).")
+  in
+  let run addr_string snapshot =
     let addr =
       try Orion_protocol.Addr.parse addr_string
       with Invalid_argument msg ->
@@ -1095,6 +1112,8 @@ let shell_cmd =
     in
     Format.printf "connected to %s (session %d); (quit) to leave@." addr_string
       (Client.session_id client);
+    if snapshot then
+      Format.printf "snapshot open at clock %d@." (Client.begin_snapshot client);
     let fmt = Format.std_formatter in
     let print_notices () =
       List.iter
@@ -1105,6 +1124,21 @@ let shell_cmd =
           (* Replication stream pushes never reach a plain session. *)
           | Message.Repl_frames _ | Message.Repl_heartbeat _ -> ())
         (Client.notices client)
+    in
+    (* Words of a one-level form: "(attr 12 name)" -> ["attr";"12";"name"].
+       These route through the typed requests (not Eval) so they stay
+       snapshot-scoped when the session has a snapshot open. *)
+    let form_words trimmed =
+      let n = String.length trimmed in
+      if n >= 2 && trimmed.[0] = '(' && trimmed.[n - 1] = ')' then
+        String.split_on_char ' ' (String.sub trimmed 1 (n - 2))
+        |> List.filter (fun w -> w <> "")
+      else []
+    in
+    (* One line regardless of length — scripts grep this. *)
+    let print_oids oids =
+      Format.fprintf fmt "(%s)@."
+        (String.concat " " (List.map Orion_core.Oid.to_string oids))
     in
     let rec session () =
       Format.fprintf fmt "orion> %!";
@@ -1128,15 +1162,40 @@ let shell_cmd =
                  | "(ping)" ->
                      Client.ping client;
                      Format.fprintf fmt "pong@."
-                 | _ ->
-                     Format.fprintf fmt "%a@." Message.pp_v (Client.eval client src)
+                 | "(snapshot)" ->
+                     Format.fprintf fmt "snapshot open at clock %d@."
+                       (Client.begin_snapshot client)
+                 | "(end-snapshot)" ->
+                     Client.end_snapshot client;
+                     Format.fprintf fmt "snapshot closed@."
+                 | _ -> (
+                     match form_words trimmed with
+                     | [ "components-of"; oid ] ->
+                         print_oids
+                           (Client.components_of client
+                              (Orion_core.Oid.of_int (int_of_string oid)))
+                     | [ "ancestors-of"; oid ] ->
+                         print_oids
+                           (Client.ancestors_of client
+                              (Orion_core.Oid.of_int (int_of_string oid)))
+                     | [ "attr"; oid; name ] ->
+                         Format.fprintf fmt "%a@." Orion_core.Value.pp
+                           (Client.read_attr client
+                              (Orion_core.Oid.of_int (int_of_string oid))
+                              name)
+                     | _ ->
+                         Format.fprintf fmt "%a@." Message.pp_v
+                           (Client.eval client src))
                with
               | () -> print_notices ()
               | exception Client.Error (code, msg) ->
                   print_notices ();
                   Format.fprintf fmt "error [%s]: %s@."
                     (Message.err_code_to_string code)
-                    msg);
+                    msg
+              | exception Failure msg ->
+                  (* e.g. a non-numeric oid in a typed read form *)
+                  Format.fprintf fmt "error: %s@." msg);
               session ()))
     and read_form acc =
       match input_line stdin with
@@ -1157,12 +1216,14 @@ let shell_cmd =
     (Cmd.info "shell"
        ~doc:
          "Interactive session against a running server, plus (begin), \
-          (commit), (abort) for transactions")
-    Term.(const run $ connect)
+          (commit), (abort) for transactions and (snapshot), \
+          (end-snapshot), (components-of N), (ancestors-of N), (attr N a) \
+          for lock-free snapshot reads")
+    Term.(const run $ connect $ snapshot_flag)
 
 let () =
   let doc = "Composite objects a la ORION (Kim, Bertino & Garza, SIGMOD 1989)" in
-  let info = Cmd.info "orion" ~version:"1.6.0" ~doc in
+  let info = Cmd.info "orion" ~version:"1.7.0" ~doc in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval

@@ -152,6 +152,26 @@ let components_of t root =
   | Message.Result (Message.Objs oids) -> oids
   | _ -> unexpected "components-of"
 
+let ancestors_of t root =
+  match request t (Message.Ancestors_of root) with
+  | Message.Result (Message.Objs oids) -> oids
+  | _ -> unexpected "ancestors-of"
+
+let read_attr t oid attr =
+  match request t (Message.Read_attr { oid; attr }) with
+  | Message.Result (Message.Value v) -> v
+  | _ -> unexpected "read-attr"
+
+let begin_snapshot t =
+  match request t Message.Begin_snapshot with
+  | Message.Result (Message.Num clock) -> clock
+  | _ -> unexpected "begin-snapshot"
+
+let end_snapshot t =
+  match request t Message.End_snapshot with
+  | Message.Result Message.Unit -> ()
+  | _ -> unexpected "end-snapshot"
+
 let ping t =
   match request t Message.Ping with
   | Message.Pong -> ()

@@ -58,6 +58,27 @@ val make :
 
 val components_of : t -> Oid.t -> Oid.t list
 
+val ancestors_of : t -> Oid.t -> Oid.t list
+
+val read_attr : t -> Oid.t -> string -> Value.t
+(** Attribute fetch ([Value.Null] when the attribute is unset).  Inside
+    a snapshot, the value as of the begin clock. *)
+
+(** {1 Snapshot reads}
+
+    Between {!begin_snapshot} and {!end_snapshot} the session's reads
+    ({!read_attr}, {!components_of}, {!ancestors_of}) resolve against
+    the server's MVCC version store at the snapshot's begin clock:
+    lock-free and commit-clock consistent, even on a read-only replica
+    (which answers at its applied clock). *)
+
+val begin_snapshot : t -> int
+(** Open a lock-free read-only snapshot; returns its begin clock.
+    @raise Error with [Bad_request] if the session already has a
+    transaction or snapshot open *)
+
+val end_snapshot : t -> unit
+
 val ping : t -> unit
 
 val stats : t -> Orion_obs.Metrics.snapshot

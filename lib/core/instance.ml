@@ -25,6 +25,32 @@ type t = {
   mutable rid : Orion_storage.Store.rid option;
 }
 
+let copy_gref (g : Rref.gref) = { g with Rref.count = g.count }
+
+let copy_kind = function
+  | Plain -> Plain
+  | Version vi -> Version vi (* immutable fields *)
+  | Generic gi ->
+      Generic
+        {
+          versions = gi.versions;
+          user_default = gi.user_default;
+          next_version_no = gi.next_version_no;
+          grefs = List.map copy_gref gi.grefs;
+        }
+
+let copy t =
+  {
+    oid = t.oid;
+    cls = t.cls;
+    kind = copy_kind t.kind;
+    attrs = t.attrs;
+    rrefs = t.rrefs;
+    cc = t.cc;
+    cluster_with = t.cluster_with;
+    rid = t.rid;
+  }
+
 let attr t name = List.assoc_opt name t.attrs
 
 let set_attr t name value =

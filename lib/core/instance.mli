@@ -37,6 +37,13 @@ type t = {
   mutable rid : Orion_storage.Store.rid option;  (** set once checkpointed *)
 }
 
+val copy : t -> t
+(** A copy safe to retain across later mutation of [t]: the generic
+    bookkeeping (including its mutable reverse generic references) is
+    duplicated, immutable fields are shared.  The attribute list is
+    shared too — {!set_attr} replaces the whole list rather than
+    mutating a cell, so the copy keeps the values as of the copy. *)
+
 val attr : t -> string -> Value.t option
 val set_attr : t -> string -> Value.t -> unit
 val remove_attr : t -> string -> unit

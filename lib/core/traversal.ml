@@ -104,8 +104,11 @@ let edges db oid = edge_fn db oid
    (the taint); a component is exclusive iff never tainted (D11). *)
 type reach = { mutable dist : int; mutable tainted : bool }
 
-let reachability db root =
-  let edges_of = edge_fn db in
+(* The BFS over an arbitrary edge function: the live database supplies
+   [edge_fn db]; a snapshot read supplies edges resolved against a
+   version store at a fixed commit clock (lib/mvcc). *)
+let reachability_via ~edges root =
+  let edges_of = edges in
   let info : reach Oid.Tbl.t = Oid.Tbl.create 64 in
   let order = ref [] in
   let queue = Queue.create () in
@@ -131,6 +134,8 @@ let reachability db root =
         (edges_of oid)
   done;
   (info, List.rev !order)
+
+let reachability db root = reachability_via ~edges:(edge_fn db) root
 
 let matches_classes db classes oid =
   match classes with
@@ -206,8 +211,9 @@ let parents_of db ?classes ?(filter = `All) oid =
   ignore (Database.get db oid : Instance.t);
   filter_parents db ?classes ~filter (parent_edges db oid)
 
-let ancestors_of db ?classes ?(filter = `All) oid =
-  ignore (Database.get db oid : Instance.t);
+(* Upward BFS over an arbitrary parent-edge function, shared with the
+   snapshot-read path (lib/mvcc). *)
+let ancestors_via ~parent_edges ~filter oid =
   let seen = Oid.Tbl.create 16 in
   let acc = ref [] in
   let queue = Queue.create () in
@@ -219,12 +225,17 @@ let ancestors_of db ?classes ?(filter = `All) oid =
       Queue.add parent queue
     end
   in
-  List.iter push (parent_edges db oid);
+  List.iter push (parent_edges oid);
   while not (Queue.is_empty queue) do
     let parent = Queue.pop queue in
-    List.iter push (parent_edges db parent)
+    List.iter push (parent_edges parent)
   done;
-  List.filter (matches_classes db classes) (List.rev !acc)
+  List.rev !acc
+
+let ancestors_of db ?classes ?(filter = `All) oid =
+  ignore (Database.get db oid : Instance.t);
+  List.filter (matches_classes db classes)
+    (ancestors_via ~parent_edges:(parent_edges db) ~filter oid)
 
 let component_of db o1 o2 =
   List.exists (Oid.equal o1) (components_of db o2)

@@ -24,6 +24,28 @@ val resolve : Database.t -> Oid.t -> Oid.t
 (** Resolve dynamic binding: a generic instance maps to its default
     version; anything else maps to itself. *)
 
+type reach = { mutable dist : int; mutable tainted : bool }
+(** Per-node result of {!reachability_via}: shortest composite distance
+    from the root, and whether some reaching path contains a shared
+    reference (a component is exclusive iff never tainted, D11). *)
+
+val reachability_via :
+  edges:(Oid.t -> (bool * Oid.t) list) -> Oid.t -> reach Oid.Tbl.t * Oid.t list
+(** The downward BFS over an arbitrary edge function (each edge is
+    [(exclusive, child)] with dynamic binding already resolved); returns
+    the per-node info and the reachable objects in BFS order, root
+    excluded.  The live database's edge function is implicit in
+    {!components_of}; snapshot reads (lib/mvcc) supply one resolved
+    against a version store at a fixed commit clock. *)
+
+val ancestors_via :
+  parent_edges:(Oid.t -> (Oid.t * bool) list) ->
+  filter:filter ->
+  Oid.t ->
+  Oid.t list
+(** The upward BFS over an arbitrary parent-edge function (each edge is
+    [(parent, exclusive)]), without class filtering. *)
+
 val components_of :
   Database.t ->
   ?classes:string list ->

@@ -1,0 +1,110 @@
+module A = Orion_schema.Attribute
+module Schema = Orion_schema.Schema
+open Orion_core
+
+type t = {
+  store : Version_store.t;
+  db : Database.t;
+  id : int;
+  clock : int;
+}
+
+let make ~store ~db ~id ~clock = { store; db; id; clock }
+let id t = t.id
+let clock t = t.clock
+
+let find t oid =
+  match Version_store.read t.store ~clock:t.clock oid with
+  | `Image img -> Some img.Version_store.inst
+  | `Absent -> None
+  | `Fallthrough -> Database.find t.db oid
+
+let rrefs t oid =
+  match Version_store.read t.store ~clock:t.clock oid with
+  | `Image img -> img.Version_store.rrefs
+  | `Absent -> []
+  | `Fallthrough -> Database.rrefs t.db oid
+
+let exists t oid = Option.is_some (find t oid)
+
+let get t oid =
+  match find t oid with
+  | Some inst -> inst
+  | None -> Core_error.raise_error (Core_error.Unknown_object oid)
+
+let attr t oid name = Instance.attr (get t oid) name
+
+(* Dynamic binding against the view — the mirror of
+   Traversal.default_version/resolve with every lookup versioned. *)
+let default_version t goid =
+  match find t goid with
+  | None -> None
+  | Some inst -> (
+      match Instance.generic_info inst with
+      | None -> None
+      | Some gi -> (
+          match gi.user_default with
+          | Some v when exists t v -> Some v
+          | Some _ | None ->
+              let latest =
+                List.fold_left
+                  (fun best v ->
+                    match find t v with
+                    | None -> best
+                    | Some vinst -> (
+                        match (Instance.version_info vinst, best) with
+                        | Some vi, Some (_, best_at) when vi.created_at <= best_at
+                          ->
+                            best
+                        | Some vi, _ -> Some (v, vi.created_at)
+                        | None, _ -> best))
+                  None gi.versions
+              in
+              Option.map fst latest))
+
+let resolve t oid =
+  match find t oid with
+  | Some inst when Instance.is_generic inst -> (
+      match default_version t oid with Some v -> v | None -> oid)
+  | Some _ | None -> oid
+
+let edges t oid =
+  match find t oid with
+  | None -> []
+  | Some inst ->
+      if Instance.is_generic inst then []
+      else
+        Schema.composite_attributes (Database.schema t.db) inst.Instance.cls
+        |> List.concat_map (fun (a : A.t) ->
+               match a.refkind with
+               | A.Weak -> []
+               | A.Composite { exclusive; _ } -> (
+                   match Instance.attr inst a.name with
+                   | None -> []
+                   | Some v ->
+                       List.map
+                         (fun target -> (exclusive, resolve t target))
+                         (Value.refs v)))
+
+let parent_edges t oid =
+  match find t oid with
+  | None -> []
+  | Some inst -> (
+      match Instance.generic_info inst with
+      | Some gi ->
+          List.map
+            (fun (g : Rref.gref) -> (g.g_parent, g.g_exclusive))
+            gi.grefs
+      | None ->
+          List.map
+            (fun (r : Rref.t) -> (r.parent, r.exclusive))
+            (rrefs t oid))
+
+let components_of t root =
+  ignore (get t root : Instance.t);
+  let _info, order = Traversal.reachability_via ~edges:(edges t) root in
+  order
+
+let ancestors_of t root =
+  ignore (get t root : Instance.t);
+  Traversal.ancestors_via ~parent_edges:(parent_edges t) ~filter:`All root

@@ -1,0 +1,45 @@
+(** Lock-free reads at a fixed commit clock.
+
+    A view over a {!Version_store} and its live database: every lookup
+    resolves against the version chain at the view's begin clock,
+    falling through to the database for objects never written since the
+    store was created (safe — anything dirty or newer has a chain).
+    Traversals reuse {!Orion_core.Traversal.reachability_via} and
+    {!Orion_core.Traversal.ancestors_via} with edges computed from the
+    versioned images, so [components-of]/[ancestors-of] see one
+    commit-clock-consistent state even while writers commit.
+
+    Schema is read live: DDL is non-transactional (checkpointed at
+    quiescence) and not versioned here. *)
+
+open Orion_core
+
+type t
+
+val make : store:Version_store.t -> db:Database.t -> id:int -> clock:int -> t
+(** Built by the transaction manager's [begin_snapshot] after
+    registering [id] with {!Version_store.open_snap}. *)
+
+val id : t -> int
+val clock : t -> int
+
+val find : t -> Oid.t -> Instance.t option
+(** The instance as of the view's clock.  Do not mutate the result —
+    it may be the store's shared after-image. *)
+
+val exists : t -> Oid.t -> bool
+
+val attr : t -> Oid.t -> string -> Value.t option
+(** @raise Orion_core.Core_error.Error [Unknown_object] when the object
+    did not exist at the view's clock. *)
+
+val components_of : t -> Oid.t -> Oid.t list
+(** As {!Orion_core.Traversal.components_of} (BFS order, dynamic
+    binding resolved against the view), at the view's clock.
+    @raise Orion_core.Core_error.Error [Unknown_object] on a missing
+    root. *)
+
+val ancestors_of : t -> Oid.t -> Oid.t list
+(** As {!Orion_core.Traversal.ancestors_of}, at the view's clock.
+    @raise Orion_core.Core_error.Error [Unknown_object] on a missing
+    root. *)

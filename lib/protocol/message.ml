@@ -5,8 +5,11 @@ module R = Orion_storage.Bytes_rw.Reader
 (* v2: histogram summaries in [Stats_reply] carry raw bucket counts.
    v3: the replication frame family ([Repl_subscribe]/[Repl_ack]/
    [Promote] requests, [Repl_ok] reply, [Repl_frames]/[Repl_heartbeat]
-   pushes) and the [Read_only]/[Repl_error] error codes. *)
-let version = 3
+   pushes) and the [Read_only]/[Repl_error] error codes.
+   v4: snapshot reads ([Begin_snapshot]/[End_snapshot] plus the
+   snapshot-scoped [Read_attr]/[Ancestors_of] reads) and the [Value]
+   result payload. *)
+let version = 4
 
 type access = Read | Update
 
@@ -32,6 +35,15 @@ type request =
       (* fire-and-forget: the one request with NO reply, so a replica
          can ack while the primary keeps pushing frames full-duplex *)
   | Promote
+  | Begin_snapshot
+      (* open a lock-free read-only snapshot at the server's sealed
+         commit clock; replies [Result (Num clock)].  Works on a
+         replica (at its applied clock) — snapshots never write. *)
+  | End_snapshot
+  | Read_attr of { oid : Oid.t; attr : string }
+      (* inside a snapshot: the attribute as of the begin clock; outside
+         one, the live committed value.  Replies [Result (Value v)]. *)
+  | Ancestors_of of Oid.t
 
 type v =
   | Unit
@@ -40,6 +52,9 @@ type v =
   | Str of string
   | Obj of Oid.t
   | Objs of Oid.t list
+  | Value of Value.t
+      (* a full attribute value ([Read_attr]) — richer than [Num]/[Str]:
+         references, sets, nil travel intact *)
 
 type err_code =
   | Unsupported_version
@@ -112,6 +127,11 @@ let pp_request ppf = function
       Format.fprintf ppf "repl-subscribe from %d" from_lsn
   | Repl_ack { lsn } -> Format.fprintf ppf "repl-ack %d" lsn
   | Promote -> Format.pp_print_string ppf "promote"
+  | Begin_snapshot -> Format.pp_print_string ppf "begin-snapshot"
+  | End_snapshot -> Format.pp_print_string ppf "end-snapshot"
+  | Read_attr { oid; attr } ->
+      Format.fprintf ppf "read-attr %a %s" Oid.pp oid attr
+  | Ancestors_of oid -> Format.fprintf ppf "ancestors-of %a" Oid.pp oid
 
 let pp_v ppf = function
   | Unit -> Format.pp_print_string ppf "ok"
@@ -123,6 +143,7 @@ let pp_v ppf = function
       Format.fprintf ppf "(%a)"
         (Format.pp_print_list ~pp_sep:Format.pp_print_space Oid.pp)
         oids
+  | Value v -> Value.pp ppf v
 
 (* Codec ---------------------------------------------------------------------- *)
 
@@ -194,7 +215,16 @@ let encode_request request =
   | Repl_ack { lsn } ->
       W.u8 w 13;
       W.int w lsn
-  | Promote -> W.u8 w 14);
+  | Promote -> W.u8 w 14
+  | Begin_snapshot -> W.u8 w 15
+  | End_snapshot -> W.u8 w 16
+  | Read_attr { oid; attr } ->
+      W.u8 w 17;
+      write_oid w oid;
+      W.string w attr
+  | Ancestors_of oid ->
+      W.u8 w 18;
+      write_oid w oid);
   W.contents w
 
 let decode_request payload =
@@ -239,6 +269,13 @@ let decode_request payload =
     | 12 -> Repl_subscribe { from_lsn = R.int r }
     | 13 -> Repl_ack { lsn = R.int r }
     | 14 -> Promote
+    | 15 -> Begin_snapshot
+    | 16 -> End_snapshot
+    | 17 ->
+        let oid = read_oid r in
+        let attr = R.string r in
+        Read_attr { oid; attr }
+    | 18 -> Ancestors_of (read_oid r)
     | tag -> corrupt "bad request tag %d" tag
   in
   if not (R.at_end r) then corrupt "trailing bytes after request";
@@ -261,6 +298,9 @@ let write_v w = function
   | Objs oids ->
       W.u8 w 5;
       write_list w write_oid oids
+  | Value v ->
+      W.u8 w 6;
+      Codec.write_value w v
 
 let read_v r =
   match R.u8 r with
@@ -270,6 +310,7 @@ let read_v r =
   | 3 -> Str (R.string r)
   | 4 -> Obj (read_oid r)
   | 5 -> Objs (read_list r read_oid)
+  | 6 -> Value (Codec.read_value r)
   | tag -> corrupt "bad value tag %d" tag
 
 (* Snapshot codec: flat name/value lists mirroring

@@ -27,7 +27,7 @@
 open Orion_core
 
 val version : int
-(** Current protocol version (3: replication frame family). *)
+(** Current protocol version (4: snapshot reads). *)
 
 type access = Read | Update
 
@@ -57,6 +57,19 @@ type request =
   | Promote
       (** flip a replica into a standalone primary: its stream is
           sealed and it starts accepting writes *)
+  | Begin_snapshot
+      (** open a lock-free read-only snapshot at the server's sealed
+          commit clock; answered [Result (Num clock)].  Accepted by a
+          read-only replica too (at its applied clock).  Mutually
+          exclusive with an open [Begin] transaction on the session. *)
+  | End_snapshot  (** close the session's snapshot; answered [Result Unit] *)
+  | Read_attr of { oid : Oid.t; attr : string }
+      (** attribute fetch — as of the snapshot's begin clock when the
+          session has one open, the live committed value otherwise;
+          answered [Result (Value v)] *)
+  | Ancestors_of of Oid.t
+      (** upward closure over reverse composite references —
+          snapshot-scoped like [Read_attr]/[Components_of] *)
 
 (** Result values, mirroring the REPL's: an object, a list of objects,
     or a primitive. *)
@@ -67,6 +80,9 @@ type v =
   | Str of string
   | Obj of Oid.t
   | Objs of Oid.t list
+  | Value of Value.t
+      (** a full attribute value ([Read_attr]): references, sets and
+          nil travel intact where [Num]/[Str] could not carry them *)
 
 type err_code =
   | Unsupported_version

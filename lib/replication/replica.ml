@@ -7,6 +7,7 @@ module Disk = Orion_storage.Disk
 module Message = Orion_protocol.Message
 module Addr = Orion_protocol.Addr
 module Schema = Orion_schema.Schema
+module Version_store = Orion_mvcc.Version_store
 
 exception Fatal of string
 
@@ -26,6 +27,9 @@ type t = {
   mutable failed : string option;
   mutable locked : (unit -> unit) -> unit;
   mutable client : Orion_client.t option;
+  mutable mvcc : Version_store.t option;
+      (** feeds replica-side snapshot reads; installed by the server
+          once the serving database exists *)
   mutable thread : Thread.t option;
   mutable checkpoints : int;
   applied_frames : Obs.counter;
@@ -48,6 +52,7 @@ let create ~primary ?(client_name = "orion-replica") ~wal ~db_path () =
       failed = None;
       locked = (fun f -> f ());
       client = None;
+      mvcc = None;
       thread = None;
       checkpoints = 0;
       applied_frames = Obs.counter "repl.applied_frames";
@@ -72,6 +77,7 @@ let applied_lsn t = Wal.size t.wal
 let sealed t = t.sealed
 let checkpoints t = t.checkpoints
 let set_locked t locked = t.locked <- locked
+let set_mvcc t vs = t.mvcc <- Some vs
 
 (* {1 Apply} *)
 
@@ -110,6 +116,33 @@ let advance_counters db ~next_oid ~clock ~cc =
     ~clock:(max clock clock0);
   Database.set_current_cc db (max cc (Database.current_cc db))
 
+(* Before mutating the serving database, note each touched object's
+   committed pre-image in the version store (first capture wins), so a
+   snapshot opened at an older applied clock keeps reading the state
+   it began at instead of falling through to the freshly-applied
+   one. *)
+let note_bases t db ops =
+  match t.mvcc with
+  | None -> ()
+  | Some vs ->
+      List.iter
+        (fun op ->
+          match op with
+          | Wal_record.Obj_put { oid; _ } | Obj_delete { oid; _ } ->
+              let base =
+                match Database.find db oid with
+                | Some inst ->
+                    Some
+                      {
+                        Version_store.inst = Instance.copy inst;
+                        rrefs = Database.rrefs db oid;
+                      }
+                | None -> None
+              in
+              Version_store.note_base vs oid base
+          | _ -> ())
+        ops
+
 let seal_tx t tx ~next_oid ~clock ~cc =
   let ops =
     List.rev (Option.value (Hashtbl.find_opt t.pending tx) ~default:[])
@@ -118,8 +151,12 @@ let seal_tx t tx ~next_oid ~clock ~cc =
   match t.serving with
   | None -> ()  (* absorbed by the first checkpoint's catalog *)
   | Some db ->
+      note_bases t db ops;
       List.iter (apply_logical db) ops;
       advance_counters db ~next_oid ~clock ~cc;
+      (match t.mvcc with
+      | Some vs -> Version_store.publish_records vs ~clock ops
+      | None -> ());
       Obs.incr t.applied_commits;
       if ops <> [] then Database.emit db Database.Invalidated
 
@@ -127,7 +164,13 @@ let seal_tx t tx ~next_oid ~clock ~cc =
    mirror store exactly as the checkpoint sealed it.  This also heals
    divergence no logical record covers — the primary's
    non-transactional mutations ship physically at its next checkpoint,
-   the same durability stance its own crash recovery takes. *)
+   the same durability stance its own crash recovery takes.
+
+   The version store is deliberately not fed here: everything the
+   resync rewrites that a commit record also covered is already
+   versioned, and what only the checkpoint covers (non-transactional
+   DDL-adjacent state) is read live by snapshots anyway — the same
+   stance the primary takes for schema reads. *)
 let resync db mirror =
   let cat =
     match Store.read_catalog mirror with

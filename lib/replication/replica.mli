@@ -55,6 +55,15 @@ val set_locked : t -> ((unit -> unit) -> unit) -> unit
     in — the server's service lock, once it exists.  Default: run
     unlocked (single-threaded bootstrap). *)
 
+val set_mvcc : t -> Orion_mvcc.Version_store.t -> unit
+(** Install the version store replica-side snapshot reads resolve
+    against.  From then on each sealed commit notes the touched
+    objects' pre-images before applying and publishes its after-images
+    at the commit's clock — so a snapshot opened on the replica reads
+    a commit-clock-consistent view at the applied clock, exactly as on
+    the primary.  Install under the service lock (same discipline as
+    {!set_locked}). *)
+
 val start : t -> unit
 (** Spawn the applier thread: keep ingesting (and acknowledging) until
     {!seal}, reconnecting with backoff across primary outages. *)

@@ -19,7 +19,6 @@ type t = {
   wal : Wal.t;
   mu : Mutex.t;
   subs : (int, sub) Hashtbl.t;
-  mutable next_id : int;
   shipped_frames : Obs.counter;
   shipped_bytes : Obs.counter;
   heartbeats : Obs.counter;
@@ -45,7 +44,6 @@ let create wal =
       wal;
       mu = Mutex.create ();
       subs = Hashtbl.create 4;
-      next_id = 0;
       shipped_frames = Obs.counter "repl.shipped_frames";
       shipped_bytes = Obs.counter "repl.shipped_bytes";
       heartbeats = Obs.counter "repl.heartbeats";
@@ -72,8 +70,14 @@ let subscribe t ~from_lsn =
          durable)
   else
     with_mu t (fun () ->
-        let id = t.next_id in
-        t.next_id <- id + 1;
+        (* Smallest free id, so a reconnecting replica reclaims the slot
+           it held before: its labeled lag gauges below re-register over
+           the dead subscription's (the metrics registry replaces on
+           name collision), resetting them to the live figures instead
+           of leaving stuck-at-0 cells behind and minting new labels on
+           every reconnect. *)
+        let rec fresh id = if Hashtbl.mem t.subs id then fresh (id + 1) else id in
+        let id = fresh 0 in
         let s =
           {
             id;

@@ -12,6 +12,7 @@ module Message = Orion_protocol.Message
 module Sexp = Orion_util.Sexp
 module Obs = Orion_obs.Metrics
 module Tailer = Orion_replication.Tailer
+module Snapshot_read = Orion_mvcc.Snapshot_read
 open Orion_core
 
 type addr = Orion_protocol.Addr.t = Tcp of string * int | Unix_path of string
@@ -46,6 +47,10 @@ type session = {
   mutable out_off : int;  (* consumed prefix of [Queue.peek out] *)
   mutable greeted : bool;
   mutable tx : Tx.tx option;
+  mutable snap : Tx.snapshot_tx option;
+      (* open read-only snapshot: Components_of/Ancestors_of/Read_attr
+         resolve against the version store at its begin clock, without
+         a single lock-table entry.  Mutually exclusive with [tx]. *)
   mutable committing : Tx.tx option;
       (* submitted to the group committer; the session is gated (no
          further requests dispatch) until [Commit_done] settles it *)
@@ -234,6 +239,11 @@ let rec destroy t session =
       session.tx <- None;
       Tx_service.disown t.svc ~tx_id:(Tx.tx_id tx);
       resume t (Tx.abort t.svc.Tx_service.manager tx)
+  | None -> ());
+  (match session.snap with
+  | Some snap ->
+      session.snap <- None;
+      Tx.end_snapshot t.svc.Tx_service.manager snap
   | None -> ());
   (* A commit in flight with the group committer is past the point of
      no return: [Commit_done] finishes the transaction (releasing its
@@ -456,11 +466,14 @@ and handle t session req =
               error session Message.Eval_error
                 (Format.asprintf "%a" Orion_schema.Schema.pp_error e)))
   | Message.Begin -> (
-      match session.tx with
-      | Some tx ->
+      match (session.tx, session.snap) with
+      | Some tx, _ ->
           error session Message.Bad_request
             (Printf.sprintf "transaction %d already open" (Tx.tx_id tx))
-      | None ->
+      | None, Some _ ->
+          error session Message.Bad_request
+            "snapshot open on this session (end-snapshot first)"
+      | None, None ->
           let tx = Tx.begin_tx manager in
           session.tx <- Some tx;
           session.deadlock_note <- None;
@@ -533,10 +546,56 @@ and handle t session req =
       | exception Core_error.Error e ->
           error session Message.Eval_error (Format.asprintf "%a" Core_error.pp e))
   | Message.Components_of root -> (
-      match Traversal.components_of t.svc.Tx_service.db root with
+      match
+        match session.snap with
+        | Some snap -> Snapshot_read.components_of (Tx.snapshot_view snap) root
+        | None -> Traversal.components_of t.svc.Tx_service.db root
+      with
       | oids -> reply session (Message.Result (Message.Objs oids))
       | exception Core_error.Error e ->
           error session Message.Eval_error (Format.asprintf "%a" Core_error.pp e))
+  | Message.Ancestors_of root -> (
+      match
+        match session.snap with
+        | Some snap -> Snapshot_read.ancestors_of (Tx.snapshot_view snap) root
+        | None -> Traversal.ancestors_of t.svc.Tx_service.db root
+      with
+      | oids -> reply session (Message.Result (Message.Objs oids))
+      | exception Core_error.Error e ->
+          error session Message.Eval_error (Format.asprintf "%a" Core_error.pp e))
+  | Message.Read_attr { oid; attr } -> (
+      match
+        match session.snap with
+        | Some snap -> Snapshot_read.attr (Tx.snapshot_view snap) oid attr
+        | None -> Instance.attr (Database.get t.svc.Tx_service.db oid) attr
+      with
+      | Some v -> reply session (Message.Result (Message.Value v))
+      | None -> reply session (Message.Result (Message.Value Value.Null))
+      | exception Core_error.Error e ->
+          error session Message.Eval_error (Format.asprintf "%a" Core_error.pp e))
+  | Message.Begin_snapshot -> (
+      match (session.tx, session.snap) with
+      | Some _, _ ->
+          error session Message.Bad_request
+            "transaction open on this session (snapshots are lock-free reads; \
+             commit or abort first)"
+      | None, Some snap ->
+          error session Message.Bad_request
+            (Printf.sprintf "snapshot already open at clock %d"
+               (Tx.snapshot_clock snap))
+      | None, None ->
+          (* Never refused on a read-only replica: a snapshot takes no
+             locks and writes nothing — it reads at the applied clock. *)
+          let snap = Tx.begin_snapshot manager in
+          session.snap <- Some snap;
+          reply session (Message.Result (Message.Num (Tx.snapshot_clock snap))))
+  | Message.End_snapshot -> (
+      match session.snap with
+      | None -> error session Message.Bad_request "no open snapshot"
+      | Some snap ->
+          session.snap <- None;
+          Tx.end_snapshot manager snap;
+          reply session (Message.Result Message.Unit))
   | Message.Ping -> reply session Message.Pong
   | Message.Stats -> reply session (Message.Stats_reply (Obs.snapshot ()))
   | Message.Bye ->
@@ -545,6 +604,11 @@ and handle t session req =
           session.tx <- None;
           Tx_service.disown svc ~tx_id:(Tx.tx_id tx);
           resume t (Tx.abort manager tx)
+      | None -> ());
+      (match session.snap with
+      | Some snap ->
+          session.snap <- None;
+          Tx.end_snapshot manager snap
       | None -> ());
       reply session (Message.Result Message.Unit);
       session.closing <- true
@@ -649,6 +713,7 @@ let add_session t ~sid ~fd =
         out_off = 0;
         greeted = false;
         tx = None;
+        snap = None;
         committing = None;
         parked_req = None;
         parked_since = 0.;

@@ -75,16 +75,22 @@ type t = {
 
 let create ?wal ?group_commit_window ?(repl = Standalone) env =
   let db = Eval.database env in
+  let manager = Tx.create ?wal db in
   let gc =
     match (wal, group_commit_window) with
     | Some wal, Some window when window > 0. ->
-        Some (Orion_wal.Group_commit.create ~window wal)
+        Some
+          (Orion_wal.Group_commit.create ~window
+             ~on_sealed:(fun ~clock records ->
+               Orion_mvcc.Version_store.publish_records
+                 (Tx.version_store manager) ~clock records)
+             wal)
     | _ -> None
   in
   {
     env;
     db;
-    manager = Tx.create ?wal db;
+    manager;
     gc;
     wal_attached = Option.is_some wal;
     repl;

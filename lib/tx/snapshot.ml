@@ -9,35 +9,11 @@ type t = { mutable captures : capture Oid.Map.t }
 
 let copy_gref (g : Rref.gref) = { g with Rref.count = g.count }
 
-let copy_kind = function
-  | Instance.Plain -> Instance.Plain
-  | Instance.Version vi -> Instance.Version vi (* immutable fields *)
-  | Instance.Generic gi ->
-      Instance.Generic
-        {
-          Instance.versions = gi.versions;
-          user_default = gi.user_default;
-          next_version_no = gi.next_version_no;
-          grefs = List.map copy_gref gi.grefs;
-        }
-
-let copy_instance (inst : Instance.t) : Instance.t =
-  {
-    oid = inst.oid;
-    cls = inst.cls;
-    kind = copy_kind inst.kind;
-    attrs = inst.attrs;
-    rrefs = inst.rrefs;
-    cc = inst.cc;
-    cluster_with = inst.cluster_with;
-    rid = inst.rid;
-  }
-
 let capture_one db oid =
   match Database.find db oid with
   | None -> None
   | Some inst ->
-      Some { image = copy_instance inst; rrefs = Database.rrefs db oid }
+      Some { image = Instance.copy inst; rrefs = Database.rrefs db oid }
 
 let take db oids =
   let captures =
@@ -53,15 +29,19 @@ let take db oids =
   { captures }
 
 let extend t db oids =
+  let fresh = ref [] in
   t.captures <-
     List.fold_left
       (fun acc oid ->
         if Oid.Map.mem oid acc then acc
         else
           match capture_one db oid with
-          | Some c -> Oid.Map.add oid c acc
+          | Some c ->
+              fresh := (oid, c) :: !fresh;
+              Oid.Map.add oid c acc
           | None -> acc)
-      t.captures oids
+      t.captures oids;
+  List.rev !fresh
 
 let restore t db =
   Oid.Map.iter
@@ -83,7 +63,7 @@ let restore t db =
              copy (a fresh record so later mutation cannot corrupt the
              snapshot).  Its store record is gone, so it must be
              re-placed at the next checkpoint. *)
-          let fresh = copy_instance image in
+          let fresh = Instance.copy image in
           fresh.Instance.rid <- None;
           Database.add db fresh);
       Database.set_rrefs db oid rrefs)

@@ -3,6 +3,8 @@ module Lock_table = Orion_locking.Lock_table
 module Lock_mode = Orion_locking.Lock_mode
 module Protocol = Orion_locking.Protocol
 module Obs = Orion_obs.Metrics
+module Version_store = Orion_mvcc.Version_store
+module Snapshot_read = Orion_mvcc.Snapshot_read
 
 type state = Active | Blocked | Committing | Committed | Aborted
 
@@ -23,9 +25,14 @@ type t = {
   mutable next_tx : int;
   escalation_threshold : int option;
   mutable wal : Orion_wal.Wal.t option;
+  mvcc : Version_store.t;
   escalations : Obs.counter;
   acquire_hist : Obs.histogram;
 }
+
+(* A read-only snapshot transaction: no lock-table entries, no undo —
+   just a registered view into the version store at its begin clock. *)
+type snapshot_tx = { snap_id : int; view : Snapshot_read.t }
 
 let create ?compat ?escalation_threshold ?wal db =
   let table = Lock_table.create ?compat () in
@@ -38,6 +45,7 @@ let create ?compat ?escalation_threshold ?wal db =
     next_tx = 0;
     escalation_threshold;
     wal;
+    mvcc = Version_store.create db;
     escalations = Obs.counter "tx.escalations";
     acquire_hist = Obs.histogram "lock.acquire_seconds";
   }
@@ -45,6 +53,7 @@ let create ?compat ?escalation_threshold ?wal db =
 let database t = t.db
 let set_wal t wal = t.wal <- Some wal
 let lock_table t = t.table
+let version_store t = t.mvcc
 
 let begin_tx t =
   let id = t.next_tx in
@@ -165,7 +174,18 @@ let with_generics db oids =
   in
   List.sort_uniq Oid.compare (oids @ extra)
 
-let capture t tx oids = Snapshot.extend tx.snapshot t.db (with_generics t.db oids)
+(* Extend the undo snapshot and, for each object captured for the first
+   time by this transaction, seed the version store's chain with the
+   committed pre-image (under strict 2PL the first capture happens
+   before this transaction's writes, and no other writer holds the
+   object).  Pinned until [finish] settles the transaction. *)
+let capture t tx oids =
+  let fresh = Snapshot.extend tx.snapshot t.db (with_generics t.db oids) in
+  List.iter
+    (fun (oid, (c : Snapshot.capture)) ->
+      Version_store.note_base ~tx:tx.id t.mvcc oid
+        (Some { Version_store.inst = c.image; rrefs = c.rrefs }))
+    fresh
 
 let value_refs_of db oid attr =
   match Database.find db oid with
@@ -189,6 +209,9 @@ let create_object t tx ~cls ?(parents = []) ?(attrs = []) () =
     | None -> [ oid ]
   in
   tx.created <- created @ tx.created;
+  (* Creations chain from absence: a snapshot older than the commit
+     must not see the object (nor the uncommitted live one). *)
+  List.iter (fun o -> Version_store.note_base ~tx:tx.id t.mvcc o None) created;
   oid
 
 let write_attr t tx oid attr value =
@@ -216,6 +239,10 @@ let delete_object t tx oid =
 
 let finish t tx state =
   tx.tx_state <- state;
+  (* Unpin the version chains this transaction held open (its commit,
+     if any, already published — the committer publishes before it
+     notifies, and the direct path publishes above). *)
+  Version_store.settle t.mvcc ~tx:tx.id;
   (* Releasing also dequeues any lock request the transaction still has
      queued, so finishing a [Blocked] transaction (deadlock victim,
      wire-level cancel or lock timeout) leaves no orphan waiter to be
@@ -246,12 +273,36 @@ let commit t tx =
   (* Durability point: after-images of everything this transaction may
      have touched (its undo-snapshot coverage plus its creations) reach
      the log, sealed by a commit record, before any lock is released.
-     No log attached — in-memory semantics, commit is lock release. *)
+     No log attached — in-memory semantics, commit is lock release.
+     Either way the commit claims a fresh clock (visibility point for
+     snapshot reads) and publishes its after-images to the version
+     store before locks drop. *)
+  let touched =
+    List.sort_uniq Oid.compare (Snapshot.captured tx.snapshot @ tx.created)
+  in
+  let clock = Database.tick t.db in
   (match t.wal with
   | Some wal ->
-      Orion_wal.Wal.log_commit wal t.db ~tx:tx.id
-        ~touched:(Snapshot.captured tx.snapshot @ tx.created)
-  | None -> ());
+      let records = Orion_wal.Wal.commit_records t.db ~tx:tx.id ~touched in
+      let next_oid, _ = Database.counters t.db in
+      let cc = Database.current_cc t.db in
+      Orion_wal.Wal.log_batch wal ~records
+        ~seal:(Orion_wal.Wal_record.Commit { tx = tx.id; next_oid; clock; cc });
+      Version_store.publish_records t.mvcc ~clock records
+  | None ->
+      Version_store.publish t.mvcc ~clock
+        (List.map
+           (fun oid ->
+             match Database.find t.db oid with
+             | Some inst ->
+                 ( oid,
+                   Some
+                     {
+                       Version_store.inst = Instance.copy inst;
+                       rrefs = Database.rrefs t.db oid;
+                     } )
+             | None -> (oid, None))
+           touched));
   finish t tx Committed
 
 (* Group-commit split of [commit]: capture the after-image records now
@@ -265,7 +316,11 @@ let submit_commit t tx =
     Orion_wal.Wal.commit_records t.db ~tx:tx.id
       ~touched:(Snapshot.captured tx.snapshot @ tx.created)
   in
-  let next_oid, clock = Database.counters t.db in
+  (* Each submission claims its own clock, so batch seals (the max of
+     their members') are strictly increasing and a group's records all
+     publish at its one seal clock — atomic visibility for snapshots. *)
+  let clock = Database.tick t.db in
+  let next_oid, _ = Database.counters t.db in
   let cc = Database.current_cc t.db in
   tx.tx_state <- Committing;
   (records, (next_oid, clock, cc))
@@ -315,3 +370,21 @@ let abort_id t id =
   match Hashtbl.find_opt t.txs id with Some tx -> abort t tx | None -> []
 
 let find_deadlock t = Lock_table.find_deadlock t.table
+
+(* Snapshot transactions ------------------------------------------------------ *)
+
+(* Read-only transactions against the version store: no entry in the
+   lock table (by construction — nothing below touches [t.table]), no
+   undo snapshot, no slot in [t.txs].  The id comes from the shared
+   counter so it can never collide with a 2PL transaction's. *)
+
+let begin_snapshot t =
+  let id = t.next_tx in
+  t.next_tx <- id + 1;
+  let clock = Version_store.open_snap t.mvcc ~id in
+  { snap_id = id; view = Snapshot_read.make ~store:t.mvcc ~db:t.db ~id ~clock }
+
+let end_snapshot t snap = Version_store.close_snap t.mvcc ~id:snap.snap_id
+let snapshot_id snap = snap.snap_id
+let snapshot_clock snap = Snapshot_read.clock snap.view
+let snapshot_view snap = snap.view

@@ -47,6 +47,12 @@ val set_wal : t -> Orion_wal.Wal.t -> unit
 
 val lock_table : t -> Orion_locking.Lock_table.t
 
+val version_store : t -> Orion_mvcc.Version_store.t
+(** The MVCC version store every commit publishes into (directly, or —
+    under group commit — via the committer's seal hook; a replica's
+    applier feeds its manager's store itself).  Snapshot transactions
+    read from it. *)
+
 val begin_tx : t -> tx
 val tx_id : tx -> int
 val state : tx -> state
@@ -125,3 +131,28 @@ val abort_id : t -> int -> int list
     Unknown or already-finished ids return [[]]. *)
 
 val find_deadlock : t -> int list option
+
+(** {1 Snapshot transactions}
+
+    Read-only transactions that skip the lock table entirely: reads
+    resolve against the MVCC version store at the begin clock (the
+    sealed clock of the last published commit), so concurrent writers
+    neither block them nor are blocked by them, and a group-commit
+    batch is visible all-or-none.  They take no undo snapshot and
+    cannot write. *)
+
+type snapshot_tx
+
+val begin_snapshot : t -> snapshot_tx
+(** Open a snapshot at the current sealed clock.  Pins version-store
+    chains against GC until {!end_snapshot}. *)
+
+val end_snapshot : t -> snapshot_tx -> unit
+(** Close the snapshot and let the version store prune.  Idempotent. *)
+
+val snapshot_id : snapshot_tx -> int
+val snapshot_clock : snapshot_tx -> int
+
+val snapshot_view : snapshot_tx -> Orion_mvcc.Snapshot_read.t
+(** The read view: attribute fetch and [components-of]/[ancestors-of]
+    traversals at the snapshot's clock. *)

@@ -16,6 +16,11 @@ type pending = {
 type t = {
   wal : Wal.t;
   window : float;
+  on_sealed : (clock:int -> Wal_record.t list -> unit) option;
+      (* runs on the committer thread after a batch's seal is durable,
+         before any member is notified: the MVCC version store hooks in
+         here, so a batch is visible to snapshots (atomically, at the
+         one seal clock) no later than its locks release *)
   mu : Mutex.t;
   cond : Condition.t;
   mutable pending : pending list;  (* newest first *)
@@ -63,32 +68,33 @@ let pending_count t =
    recovery then replays the whole batch or (on a torn seal) none of it. *)
 let flush_batch t batch =
   let batch = List.rev batch in
+  let records = List.concat_map (fun p -> p.p_records) batch in
+  let seal_clock = List.fold_left (fun acc p -> max acc p.p_clock) 0 batch in
+  let seal =
+    match batch with
+    | [ p ] ->
+        Wal_record.Commit
+          { tx = p.p_tx; next_oid = p.p_next_oid; clock = p.p_clock; cc = p.p_cc }
+    | ps ->
+        let next_oid =
+          List.fold_left (fun acc p -> max acc p.p_next_oid) 0 ps
+        in
+        let cc = List.fold_left (fun acc p -> max acc p.p_cc) 0 ps in
+        Wal_record.Commit_group
+          { txs = List.map (fun p -> p.p_tx) ps; next_oid; clock = seal_clock; cc }
+  in
   let outcome =
-    match
-      let records =
-        List.concat_map (fun p -> p.p_records) batch
-      in
-      let seal =
-        match batch with
-        | [ p ] ->
-            Wal_record.Commit
-              { tx = p.p_tx; next_oid = p.p_next_oid; clock = p.p_clock; cc = p.p_cc }
-        | ps ->
-            let next_oid =
-              List.fold_left (fun acc p -> max acc p.p_next_oid) 0 ps
-            in
-            let clock = List.fold_left (fun acc p -> max acc p.p_clock) 0 ps in
-            let cc = List.fold_left (fun acc p -> max acc p.p_cc) 0 ps in
-            Wal_record.Commit_group
-              { txs = List.map (fun p -> p.p_tx) ps; next_oid; clock; cc }
-      in
-      Wal.log_batch t.wal ~records ~seal
-    with
+    match Wal.log_batch t.wal ~records ~seal with
     | () -> Ok ()
     | exception e -> Error (Printexc.to_string e)
   in
   (match outcome with
   | Ok () ->
+      (* Publish before notifying: members' locks must not release
+         before the batch is visible to snapshot readers. *)
+      (match t.on_sealed with
+      | Some f -> f ~clock:seal_clock records
+      | None -> ());
       Obs.incr t.batches;
       (match batch with
       | [ _ ] -> Obs.incr t.solo
@@ -141,11 +147,12 @@ let committer t () =
     if tail <> [] then flush_batch t tail
   end
 
-let create ?(window = 0.002) wal =
+let create ?(window = 0.002) ?on_sealed wal =
   let t =
     {
       wal;
       window;
+      on_sealed;
       mu = Mutex.create ();
       cond = Condition.create ();
       pending = [];

@@ -30,10 +30,19 @@
 
 type t
 
-val create : ?window:float -> Wal.t -> t
+val create :
+  ?window:float ->
+  ?on_sealed:(clock:int -> Wal_record.t list -> unit) ->
+  Wal.t ->
+  t
 (** Start the committer thread.  [window] (seconds, default 2ms) is how
     long the committer holds a batch open for stragglers after the
-    first commit arrives. *)
+    first commit arrives.  [on_sealed] runs on the committer thread
+    right after a batch's seal became durable and {e before} any member
+    is notified, with the batch's seal clock and every member's
+    records: the MVCC version store publishes there, so the whole batch
+    becomes visible to snapshot readers atomically, no later than its
+    locks release.  It must not raise. *)
 
 val submit :
   t ->

@@ -110,6 +110,12 @@ let all_requests : Message.request list =
     Repl_ack { lsn = 0 };
     Repl_ack { lsn = max_int };
     Promote;
+    (* v4: the snapshot-read family. *)
+    Begin_snapshot;
+    End_snapshot;
+    Read_attr { oid = oid 41; attr = "Color" };
+    Read_attr { oid = oid 0; attr = "" };
+    Ancestors_of (oid 17);
   ]
 
 let all_server_msgs : Message.server_msg list =
@@ -135,6 +141,13 @@ let all_server_msgs : Message.server_msg list =
     Push (Repl_frames { lsn = 0; data = Bytes.empty });
     Push (Repl_frames { lsn = 8411; data = Bytes.of_string "\x00\x01\xff raw" });
     Push (Repl_heartbeat { lsn = 24948 });
+    (* v4: full attribute values travel in replies. *)
+    Reply (Result (Value Value.Null));
+    Reply (Result (Value (Value.Int 1989)));
+    Reply (Result (Value (Value.Str "snapshot")));
+    Reply (Result (Value (Value.Ref (oid 6))));
+    Reply
+      (Result (Value (Value.VSet [ Value.Ref (oid 1); Value.Ref (oid 2) ])));
   ]
 
 let test_request_roundtrip () =
@@ -224,6 +237,20 @@ let prop_repl_push_roundtrip =
       in
       Message.decode_server (Message.encode_server msg) = msg)
 
+(* v4 snapshot-read family over random oids and attribute names. *)
+let prop_snapshot_request_roundtrip =
+  QCheck.Test.make ~name:"snapshot request roundtrip" ~count:200
+    QCheck.(make Gen.(triple (int_bound 3) nat (string_size (int_bound 64))))
+    (fun (pick, n, attr) ->
+      let req : Message.request =
+        match pick with
+        | 0 -> Begin_snapshot
+        | 1 -> End_snapshot
+        | 2 -> Read_attr { oid = oid n; attr }
+        | _ -> Ancestors_of (oid n)
+      in
+      Message.decode_request (Message.encode_request req) = req)
+
 (* Addresses -------------------------------------------------------------------- *)
 
 let test_addr_parse () =
@@ -263,6 +290,7 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_repl_request_roundtrip;
           QCheck_alcotest.to_alcotest prop_repl_push_roundtrip;
+          QCheck_alcotest.to_alcotest prop_snapshot_request_roundtrip;
         ] );
       ("addresses", [ Alcotest.test_case "parse" `Quick test_addr_parse ]);
     ]

@@ -16,6 +16,7 @@ module Client = Orion_client
 module Message = Orion_protocol.Message
 module Wal = Orion_wal.Wal
 module Store_check = Orion_analysis.Store_check
+module Obs = Orion_obs.Metrics
 
 let temp_dir () =
   let dir = Filename.temp_file "orion_repl_test" "" in
@@ -112,6 +113,9 @@ let start_replica dir primary_addr =
   in
   Replica.set_locked replica (fun f ->
       Tx_service.with_lock (Server.service server) f);
+  Replica.set_mvcc replica
+    (Orion_tx.Tx_manager.version_store
+       (Server.service server).Tx_service.manager);
   Replica.start replica;
   let thread = Thread.create Server.run server in
   {
@@ -263,6 +267,40 @@ let test_subscribe_bounds () =
       Tailer.unsubscribe tailer id;
       Alcotest.(check int) "unsubscribed" 0 (Tailer.replica_count tailer)
 
+(* A reconnecting replica must reclaim its freed subscription slot so
+   its labeled lag gauges re-register (the metrics registry replaces on
+   name collision) instead of leaving a stuck-at-0 cell behind and
+   minting a fresh label per reconnect. *)
+let test_tailer_gauge_reset_on_reconnect () =
+  let db = Database.create () in
+  let wal = Wal.create () in
+  Wal.attach wal db;
+  Persist.save db;
+  Wal.sync wal;
+  let durable = Wal.durable_lsn wal in
+  Alcotest.(check bool) "log non-empty" true (durable > 0);
+  let tailer = Tailer.create wal in
+  let sub () =
+    match Tailer.subscribe tailer ~from_lsn:0 with
+    | Ok (id, _) -> id
+    | Error e -> Alcotest.failf "subscribe: %s" e
+  in
+  let gauge () =
+    Option.value ~default:(-1)
+      (Obs.find_gauge (Obs.snapshot ())
+         (Obs.labeled "repl.lag_bytes" ("replica", "0")))
+  in
+  let id0 = sub () in
+  Alcotest.(check int) "first subscription takes slot 0" 0 id0;
+  Alcotest.(check int) "live subscription lags the whole log" durable
+    (gauge ());
+  Tailer.unsubscribe tailer id0;
+  Alcotest.(check int) "dead subscription's gauge reads 0" 0 (gauge ());
+  let id1 = sub () in
+  Alcotest.(check int) "reconnect reclaims the freed slot" 0 id1;
+  Alcotest.(check int) "lag gauge re-registered for the live subscription"
+    durable (gauge ())
+
 let test_standalone_refuses_subscribe () =
   let dir = temp_dir () in
   let sock = Filename.concat dir "s.sock" in
@@ -302,6 +340,8 @@ let () =
       ( "edges",
         [
           Alcotest.test_case "subscribe bounds" `Quick test_subscribe_bounds;
+          Alcotest.test_case "gauge reset on reconnect" `Quick
+            test_tailer_gauge_reset_on_reconnect;
           Alcotest.test_case "standalone refuses" `Quick
             test_standalone_refuses_subscribe;
         ] );

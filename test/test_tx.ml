@@ -70,7 +70,7 @@ let test_snapshot_first_capture_wins () =
   let leaf = Object_manager.create db ~cls:"Leaf" ~attrs:[ ("Tag", Value.Int 1) ] () in
   let snap = Snapshot.take db [ leaf ] in
   Object_manager.write_attr db leaf "Tag" (Value.Int 2);
-  Snapshot.extend snap db [ leaf ];
+  ignore (Snapshot.extend snap db [ leaf ] : (Oid.t * Snapshot.capture) list);
   Object_manager.write_attr db leaf "Tag" (Value.Int 3);
   Snapshot.restore snap db;
   Alcotest.(check bool) "original value restored" true
@@ -457,6 +457,47 @@ let prop_abort_consistency =
         plan;
       Integrity.check db = [])
 
+(* Property: [Snapshot.extend] is first-capture-wins.  Over any
+   interleaving of writes and extends, the oid comes back as freshly
+   captured from exactly the first extend, that capture holds the value
+   current at that moment, and restore brings that value back —
+   regardless of every later write and re-extend. *)
+let prop_extend_first_capture_wins =
+  QCheck.Test.make ~name:"extend: first capture wins" ~count:100
+    QCheck.(make Gen.(list_size (int_range 1 20) (pair small_nat bool)))
+    (fun plan ->
+      let db = fixture () in
+      let leaf =
+        Object_manager.create db ~cls:"Leaf" ~attrs:[ ("Tag", Value.Int (-1)) ] ()
+      in
+      let snap = Snapshot.take db [] in
+      let first = ref None in
+      let fresh_total = ref 0 in
+      List.iter
+        (fun (v, do_extend) ->
+          Object_manager.write_attr db leaf "Tag" (Value.Int v);
+          if do_extend then
+            match Snapshot.extend snap db [ leaf ] with
+            | [] -> ()
+            | [ (oid, c) ] ->
+                incr fresh_total;
+                if !first = None then
+                  first :=
+                    Some
+                      ( Oid.equal oid leaf,
+                        Instance.attr c.Snapshot.image "Tag",
+                        v )
+            | _ :: _ :: _ -> fresh_total := 1000 (* impossible: one oid *))
+        plan;
+      Snapshot.restore snap db;
+      match !first with
+      | None -> !fresh_total = 0
+      | Some (oid_ok, captured, v) ->
+          oid_ok
+          && !fresh_total = 1
+          && captured = Some (Value.Int v)
+          && Value.equal (Object_manager.read_attr db leaf "Tag") (Value.Int v))
+
 let () =
   Alcotest.run "orion_tx"
     [
@@ -500,5 +541,9 @@ let () =
             test_scheduler_deadlock_recovery;
           Alcotest.test_case "trace generators" `Quick test_trace_generators_complete;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_abort_consistency ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_abort_consistency;
+          QCheck_alcotest.to_alcotest prop_extend_first_capture_wins;
+        ] );
     ]
