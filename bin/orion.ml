@@ -755,6 +755,19 @@ let serve_cmd =
              parallel socket I/O and frame decoding); 1, the default, is \
              the classic single-threaded reactor.")
   in
+  let lock_partitions =
+    Arg.(
+      value & opt int 0
+      & info [ "lock-partitions" ] ~docv:"N"
+          ~doc:
+            "Partition the lock table into $(docv) slices keyed by composite \
+             root (class granules by storage segment, instance granules by \
+             oid hash), each behind its own mutex with its own \
+             $(i,txsvc.partition{p=K}.*) instruments; deadlock search runs \
+             incrementally per partition, merging only for cross-partition \
+             waits.  0, the default, matches $(b,--domains); 1 is the \
+             pre-partitioning single table.")
+  in
   let group_commit_window =
     Arg.(
       value & opt int 0
@@ -802,7 +815,8 @@ let serve_cmd =
              replica the gate takes effect at promotion.")
   in
   let run db_file wal socket port max_sessions lock_timeout metrics_interval
-      slow_op_ms domains group_commit_window repl replica_of ddl_gate =
+      slow_op_ms domains lock_partitions group_commit_window repl replica_of
+      ddl_gate =
     let addr =
       match (socket, port) with
       | Some path, None -> Server.Unix_path path
@@ -820,6 +834,7 @@ let serve_cmd =
         metrics_interval =
           (if metrics_interval <= 0. then None else Some metrics_interval);
         domains = (if domains < 1 then 1 else domains);
+        lock_partitions = (if lock_partitions < 0 then 0 else lock_partitions);
         group_commit_window =
           (if group_commit_window <= 0 then None
            else Some (float_of_int group_commit_window /. 1_000_000.));
@@ -1038,7 +1053,8 @@ let serve_cmd =
     Term.(
       const run $ db_pos $ wal_flag $ socket $ port $ max_sessions
       $ lock_timeout $ metrics_interval $ slow_op_ms $ domains
-      $ group_commit_window $ repl_flag $ replica_of $ ddl_gate)
+      $ lock_partitions $ group_commit_window $ repl_flag $ replica_of
+      $ ddl_gate)
 
 let promote_cmd =
   let addr =
@@ -1223,7 +1239,7 @@ let shell_cmd =
 
 let () =
   let doc = "Composite objects a la ORION (Kim, Bertino & Garza, SIGMOD 1989)" in
-  let info = Cmd.info "orion" ~version:"1.7.0" ~doc in
+  let info = Cmd.info "orion" ~version:"1.8.0" ~doc in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval

@@ -1,0 +1,268 @@
+(* The lock space sliced into N partitions, each a {!Lock_table} of its
+   own behind its own mutex — the partitioned lock service the paper's
+   composite clustering makes natural.  Granules are keyed exactly the
+   way storage clusters them: a class granule follows its storage
+   segment (composite hierarchies are co-segmented at [make] time, so a
+   root's whole class-lattice path lands in one partition), an instance
+   granule hashes its oid (the composite-object protocol only ever
+   locks the root's instance granule, so this keys it by composite
+   root; non-composite oids just hash).  The key function must be
+   deterministic and stable per granule — both inputs (class of an oid,
+   segment of a class) are immutable — or one granule could materialize
+   in two partitions and mutual exclusion would silently split.
+
+   Every slice shares one {!Lock_table.instruments} record, so the
+   server-wide lock.* counters stay whole; what is per-partition is the
+   mutex and its txsvc.partition{p=K}.* instruments.
+
+   Canonical ordering rule: an operation takes at most one partition
+   mutex at a time, except the merged deadlock search, which takes all
+   of them in ascending partition order (and never while holding the
+   transactional core's lock).  Holders of a partition mutex never
+   block on another partition or on the core, so the order is acyclic
+   and the facade itself can never deadlock.
+
+   Deadlock detection is incremental.  Each partition carries a
+   generation, bumped whenever a request blocks there (the only event
+   that can add a waits-for edge), and the mark of the last generation
+   searched clean.  [find_deadlock] searches only dirty partitions
+   locally; the merged (all-partition) search runs only when waiters
+   sit in two or more partitions — any cross-partition cycle has
+   members queued in at least two partitions, so the trigger is sound —
+   and is counted by txsvc.merged_searches. *)
+
+module Obs = Orion_obs.Metrics
+
+type partition = {
+  idx : int;
+  mu : Mutex.t;
+  table : Lock_table.t;
+  generation : int Atomic.t;
+  searched : int Atomic.t;
+  acquires : Obs.counter;
+  contended : Obs.counter;
+  wait_seconds : Obs.histogram;
+  hold_seconds : Obs.histogram;
+}
+
+type t = {
+  parts : partition array;
+  merged_searches : Obs.counter;
+  mutable key_of : Lock_table.granule -> int;
+      (* raw partition key; the facade reduces it mod N *)
+}
+
+let default_key = function
+  | Lock_table.G_class c -> Hashtbl.hash c
+  | Lock_table.G_instance oid -> Orion_core.Oid.hash oid
+
+let pname k field = Printf.sprintf "txsvc.partition{p=%d}.%s" k field
+
+let create ?compat ~n () =
+  let n = max 1 n in
+  let ins = Lock_table.make_instruments () in
+  {
+    parts =
+      Array.init n (fun idx ->
+          {
+            idx;
+            mu = Mutex.create ();
+            table = Lock_table.create ?compat ~instruments:ins ();
+            generation = Atomic.make 0;
+            searched = Atomic.make 0;
+            acquires = Obs.counter (pname idx "acquires");
+            contended = Obs.counter (pname idx "contended");
+            wait_seconds = Obs.histogram (pname idx "wait_seconds");
+            hold_seconds = Obs.histogram (pname idx "hold_seconds");
+          });
+    merged_searches = Obs.counter "txsvc.merged_searches";
+    key_of = default_key;
+  }
+
+let n_partitions t = Array.length t.parts
+let set_keyer t f = t.key_of <- f
+let set_classifier t f =
+  Array.iter (fun p -> Lock_table.set_classifier p.table f) t.parts
+
+let partition_id t granule =
+  (t.key_of granule land max_int) mod Array.length t.parts
+
+(* Partition 0's table doubles as "the" table for single-partition
+   callers (the in-process scheduler, stats readers): the instruments
+   are shared, so its [stats] are the whole space's. *)
+let table0 t = t.parts.(0).table
+
+let with_mu p f =
+  let t0 = Unix.gettimeofday () in
+  if not (Mutex.try_lock p.mu) then begin
+    Obs.incr p.contended;
+    Mutex.lock p.mu
+  end;
+  Obs.incr p.acquires;
+  let acquired = Unix.gettimeofday () in
+  Obs.observe p.wait_seconds (acquired -. t0);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.observe p.hold_seconds (Unix.gettimeofday () -. acquired);
+      Mutex.unlock p.mu)
+    f
+
+let blocked_in p result =
+  match result with
+  | `Blocked ->
+      (* A waits-for edge appeared in this partition: dirty it. *)
+      ignore (Atomic.fetch_and_add p.generation 1 : int);
+      `Blocked
+  | `Granted -> `Granted
+
+let acquire t ~tx granule mode =
+  let p = t.parts.(partition_id t granule) in
+  with_mu p (fun () -> blocked_in p (Lock_table.acquire p.table ~tx granule mode))
+
+let try_acquire t ~tx granule mode =
+  let p = t.parts.(partition_id t granule) in
+  with_mu p (fun () -> Lock_table.try_acquire p.table ~tx granule mode)
+
+let holds t ~tx granule mode =
+  let p = t.parts.(partition_id t granule) in
+  with_mu p (fun () -> Lock_table.holds p.table ~tx granule mode)
+
+(* Acquire a whole derived lock set in the CALLER's order.  The
+   protocol's canonical root-to-component order is load-bearing: which
+   granule a transaction blocks at — and therefore which prefix it
+   still holds while waiting — decides whether two opposed updaters
+   deadlock (and get one aborted) or serialize.  Regrouping the set by
+   partition id would silently reorder it and change those outcomes, so
+   instead we walk the list as given, batching only CONSECUTIVE
+   granules that share a partition so each run costs one mutex
+   round-trip.  Only one partition mutex is ever held at a time, so no
+   inter-partition ordering discipline is needed here.  Stops at the
+   first blocked granule, like {!Protocol.acquire_all} always has: the
+   re-poll re-derives and re-runs the full set anyway. *)
+let acquire_set t ~tx locks =
+  let rec run p = function
+    | (granule, mode) :: rest when partition_id t granule = p.idx -> (
+        match blocked_in p (Lock_table.acquire p.table ~tx granule mode) with
+        | `Granted -> run p rest
+        | `Blocked -> `Blocked (granule, mode))
+    | rest -> `Granted_through rest
+  in
+  let rec go = function
+    | [] -> `Granted
+    | (granule, _) :: _ as locks -> (
+        let p = t.parts.(partition_id t granule) in
+        match with_mu p (fun () -> run p locks) with
+        | `Blocked (granule, mode) -> `Blocked (granule, mode)
+        | `Granted_through rest -> go rest)
+  in
+  go locks
+
+(* Release everywhere, ascending; each partition promotes its own
+   waiters.  A transaction woken in one partition may still be queued
+   in another, so the per-table "fully unblocked" filter is re-applied
+   across the whole space (one partition mutex at a time — never
+   two). *)
+let release_all t ~tx =
+  let woken = ref [] in
+  Array.iter
+    (fun p ->
+      let w = with_mu p (fun () -> Lock_table.release_all p.table ~tx) in
+      woken := w @ !woken)
+    t.parts;
+  let still_queued other =
+    Array.exists
+      (fun p -> with_mu p (fun () -> Lock_table.queued p.table ~tx:other))
+      t.parts
+  in
+  List.sort_uniq Int.compare !woken
+  |> List.filter (fun other -> not (still_queued other))
+
+let locks_of t ~tx =
+  Array.to_list t.parts
+  |> List.concat_map (fun p -> with_mu p (fun () -> Lock_table.locks_of p.table ~tx))
+
+let waiting t =
+  Array.to_list t.parts
+  |> List.concat_map (fun p -> with_mu p (fun () -> Lock_table.waiting p.table))
+
+(* Any partition dirty since its last clean search?  Lock-free: the
+   answer only gates whether a search is worth running. *)
+let deadlock_check_due t =
+  Array.exists
+    (fun p -> Atomic.get p.generation <> Atomic.get p.searched)
+    t.parts
+
+let find_deadlock t =
+  let n = Array.length t.parts in
+  (* Capture generations before searching: an edge added concurrently
+     (under a partition mutex we are not holding yet) bumps past the
+     captured value, so the partition stays dirty for the next call
+     rather than being marked clean unseen. *)
+  let gens = Array.map (fun p -> Atomic.get p.generation) t.parts in
+  let dirty =
+    Array.exists
+      (fun (p : partition) -> gens.(p.idx) <> Atomic.get p.searched)
+      t.parts
+  in
+  if not dirty then None
+  else begin
+    (* Local pass: a cycle whose members all wait in one partition has
+       all its edges there (a blocked transaction queues at exactly one
+       granule), so each dirty partition's own table is searched
+       alone. *)
+    let local =
+      Array.fold_left
+        (fun acc (p : partition) ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              if gens.(p.idx) <> Atomic.get p.searched then
+                with_mu p (fun () -> Lock_table.find_deadlock p.table)
+              else None)
+        None t.parts
+    in
+    match local with
+    | Some _ -> local
+    | None ->
+        (* Merged pass, only when waiters sit in 2+ partitions: every
+           member of a cross-partition cycle is blocked, each queued in
+           some partition, and they cannot all be queued in one (then
+           the cycle would be local), so the trigger cannot miss. *)
+        let waiter_parts =
+          Array.fold_left
+            (fun acc p ->
+              if with_mu p (fun () -> Lock_table.has_waiters p.table) then
+                acc + 1
+              else acc)
+            0 t.parts
+        in
+        let merged =
+          if waiter_parts >= 2 then begin
+            Obs.incr t.merged_searches;
+            for i = 0 to n - 1 do
+              Mutex.lock t.parts.(i).mu
+            done;
+            Fun.protect
+              ~finally:(fun () ->
+                for i = n - 1 downto 0 do
+                  Mutex.unlock t.parts.(i).mu
+                done)
+              (fun () ->
+                Lock_table.find_deadlock_over
+                  (Array.to_list (Array.map (fun p -> p.table) t.parts)))
+          end
+          else None
+        in
+        (match merged with
+        | Some _ -> ()
+        | None ->
+            (* Clean through the captured generations only: edges that
+               raced in stay dirty. *)
+            Array.iter
+              (fun (p : partition) -> Atomic.set p.searched gens.(p.idx))
+              t.parts);
+        merged
+  end
+
+let stats t = Lock_table.stats (table0 t)
+let reset_stats t = Lock_table.reset_stats (table0 t)

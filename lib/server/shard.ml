@@ -25,6 +25,9 @@ type config = {
   metrics_interval : float option;
   domains : int;
   group_commit_window : float option;
+  lock_partitions : int;
+      (* lock-table partitions, keyed by composite root; [0] (the
+         default) means one per domain *)
 }
 
 let default_config =
@@ -36,6 +39,7 @@ let default_config =
     metrics_interval = None;
     domains = 1;
     group_commit_window = None;
+    lock_partitions = 0;
   }
 
 type session = {
@@ -208,7 +212,10 @@ let flush_out session =
 let parked_class t session =
   match session.parked_req with
   | Some (Message.Lock_composite { root = oid; _ })
-  | Some (Message.Lock_instance { oid; _ }) ->
+  | Some (Message.Lock_instance { oid; _ })
+  | Some (Message.Components_of oid)
+  | Some (Message.Ancestors_of oid)
+  | Some (Message.Read_attr { oid; _ }) ->
       Option.map (fun i -> i.Instance.cls) (Database.find t.svc.Tx_service.db oid)
   | _ -> None
 
@@ -286,12 +293,21 @@ and resume_one t tx_id =
               | `Granted ->
                   observe_wait t session;
                   session.parked_req <- None;
-                  reply session Message.Granted;
+                  (match answer_granted t session req with
+                  | () -> ()
+                  | exception Core_error.Error e ->
+                      (* The locks came through but the read's target
+                         vanished before they did (deleted by the very
+                         holder we waited out). *)
+                      error session Message.Eval_error
+                        (Format.asprintf "%a" Core_error.pp e));
                   pump t session
               | `Blocked ->
-                  (* Still waiting, now on a later lock of the set:
-                     a fresh wait-for edge. *)
-                  Tx_service.edge_appeared t.svc
+                  (* Still waiting, now on a later lock of the set: a
+                     fresh wait-for edge.  The partition's generation
+                     counter recorded it inside [acquire]; the next
+                     tick's [deadlock_check_due] sees it. *)
+                  ()
               | exception Core_error.Error e ->
                   (* The lock target vanished while the session was
                      parked (the holder deleted it and committed),
@@ -320,7 +336,54 @@ and retry_lock t session req =
       Tx.lock_composite t.svc.Tx_service.manager tx ~root (protocol_access access)
   | Some tx, Message.Lock_instance { oid; access } ->
       Tx.lock_instance t.svc.Tx_service.manager tx oid (protocol_access access)
+  (* Live reads inside a transaction lock what they read (the §7 read
+     protocols), so they serialize against concurrent composite
+     updates instead of racing them.  Re-derivation on retry is sound:
+     mutations only run under the core lock, which the whole dispatch
+     batch holds. *)
+  | Some tx, Message.Components_of root ->
+      Tx.lock_composite t.svc.Tx_service.manager tx ~root
+        Orion_locking.Protocol.Read_
+  | Some tx, Message.Read_attr { oid; _ } ->
+      Tx.lock_instance t.svc.Tx_service.manager tx oid
+        Orion_locking.Protocol.Read_
+  | Some tx, Message.Ancestors_of oid -> lock_ancestor_path t tx oid
   | _ -> `Granted
+
+(* [ancestors-of] reads the upward path, not a composite subtree: lock
+   the instance itself, then every ancestor on the path.  Strict 2PL
+   keeps the prefix granted across a park; the retry re-derives the
+   path and re-requests (already-held locks grant immediately). *)
+and lock_ancestor_path t tx oid =
+  let manager = t.svc.Tx_service.manager in
+  match Tx.lock_instance manager tx oid Orion_locking.Protocol.Read_ with
+  | `Blocked -> `Blocked
+  | `Granted ->
+      let rec go = function
+        | [] -> `Granted
+        | a :: rest -> (
+            match Tx.lock_instance manager tx a Orion_locking.Protocol.Read_ with
+            | `Granted -> go rest
+            | `Blocked -> `Blocked)
+      in
+      go (Traversal.ancestors_of t.svc.Tx_service.db oid)
+
+(* Answer a request whose locks are (now) granted: lock requests get
+   [Granted], transactional live reads get their result, read off the
+   live database under the locks just taken. *)
+and answer_granted t session req =
+  let db = t.svc.Tx_service.db in
+  match req with
+  | Message.Components_of root ->
+      reply session (Message.Result (Message.Objs (Traversal.components_of db root)))
+  | Message.Ancestors_of root ->
+      reply session (Message.Result (Message.Objs (Traversal.ancestors_of db root)))
+  | Message.Read_attr { oid; attr } ->
+      let v =
+        Option.value ~default:Value.Null (Instance.attr (Database.get db oid) attr)
+      in
+      reply session (Message.Result (Message.Value v))
+  | _ -> reply session Message.Granted
 
 and protocol_access = function
   | Message.Read -> Orion_locking.Protocol.Read_
@@ -531,7 +594,6 @@ and handle t session req =
           | `Granted -> reply session Message.Granted
           | `Blocked ->
               Obs.incr svc.Tx_service.parks;
-              Tx_service.edge_appeared svc;
               session.parked_req <- Some req;
               session.parked_since <- Unix.gettimeofday ()
           | exception Core_error.Error e ->
@@ -545,34 +607,56 @@ and handle t session req =
       | oid -> reply session (Message.Result (Message.Obj oid))
       | exception Core_error.Error e ->
           error session Message.Eval_error (Format.asprintf "%a" Core_error.pp e))
-  | Message.Components_of root -> (
-      match
-        match session.snap with
-        | Some snap -> Snapshot_read.components_of (Tx.snapshot_view snap) root
-        | None -> Traversal.components_of t.svc.Tx_service.db root
-      with
-      | oids -> reply session (Message.Result (Message.Objs oids))
-      | exception Core_error.Error e ->
-          error session Message.Eval_error (Format.asprintf "%a" Core_error.pp e))
-  | Message.Ancestors_of root -> (
-      match
-        match session.snap with
-        | Some snap -> Snapshot_read.ancestors_of (Tx.snapshot_view snap) root
-        | None -> Traversal.ancestors_of t.svc.Tx_service.db root
-      with
-      | oids -> reply session (Message.Result (Message.Objs oids))
-      | exception Core_error.Error e ->
-          error session Message.Eval_error (Format.asprintf "%a" Core_error.pp e))
-  | Message.Read_attr { oid; attr } -> (
-      match
-        match session.snap with
-        | Some snap -> Snapshot_read.attr (Tx.snapshot_view snap) oid attr
-        | None -> Instance.attr (Database.get t.svc.Tx_service.db oid) attr
-      with
-      | Some v -> reply session (Message.Result (Message.Value v))
-      | None -> reply session (Message.Result (Message.Value Value.Null))
-      | exception Core_error.Error e ->
-          error session Message.Eval_error (Format.asprintf "%a" Core_error.pp e))
+  | Message.Components_of _ | Message.Ancestors_of _ | Message.Read_attr _ -> (
+      match (session.snap, session.tx) with
+      | Some snap, _ -> (
+          (* Snapshot reads: the version store at the begin clock,
+             without a single lock-table entry. *)
+          match
+            match req with
+            | Message.Components_of root ->
+                Message.Objs
+                  (Snapshot_read.components_of (Tx.snapshot_view snap) root)
+            | Message.Ancestors_of root ->
+                Message.Objs
+                  (Snapshot_read.ancestors_of (Tx.snapshot_view snap) root)
+            | Message.Read_attr { oid; attr } ->
+                Message.Value
+                  (Option.value ~default:Value.Null
+                     (Snapshot_read.attr (Tx.snapshot_view snap) oid attr))
+            | _ -> assert false
+          with
+          | v -> reply session (Message.Result v)
+          | exception Core_error.Error e ->
+              error session Message.Eval_error
+                (Format.asprintf "%a" Core_error.pp e))
+      | None, Some _ -> (
+          (* Transactional live read: take the read locks first (the
+             same derivation a retry after a park uses), then read the
+             live database under them.  Blocking parks the read like a
+             lock request — the resume answers it with its result. *)
+          match retry_lock t session req with
+          | `Granted -> (
+              match answer_granted t session req with
+              | () -> ()
+              | exception Core_error.Error e ->
+                  error session Message.Eval_error
+                    (Format.asprintf "%a" Core_error.pp e))
+          | `Blocked ->
+              Obs.incr svc.Tx_service.parks;
+              session.parked_req <- Some req;
+              session.parked_since <- Unix.gettimeofday ()
+          | exception Core_error.Error e ->
+              error session Message.Eval_error
+                (Format.asprintf "%a" Core_error.pp e))
+      | None, None ->
+          (* An unlocked, unversioned read of the live database would
+             see concurrent writers' uncommitted state.  Refuse rather
+             than serve a dirty read. *)
+          conflict_or Message.Bad_request
+            "read requires an open transaction (begin) or a snapshot \
+             (begin-snapshot; the CLI's --snapshot) — refusing a dirty \
+             read of the live database")
   | Message.Begin_snapshot -> (
       match (session.tx, session.snap) with
       | Some _, _ ->
@@ -980,6 +1064,21 @@ let run t =
               remaining);
         finished := true
     | Killed ->
+        (* A kill simulates a crash for transactions — their locks and
+           effects die with the process image and recovery replays the
+           log — but snapshot pins are pure reader bookkeeping on the
+           shared version store: leaking them would block MVCC pruning
+           for as long as the process (tests, an embedding supervisor)
+           lives on.  End them; abort nothing. *)
+        Tx_service.with_lock t.svc (fun () ->
+            Hashtbl.iter
+              (fun _ s ->
+                match s.snap with
+                | Some snap ->
+                    s.snap <- None;
+                    Tx.end_snapshot t.svc.Tx_service.manager snap
+                | None -> ())
+              t.sessions);
         Hashtbl.iter (fun _ s -> try Unix.close s.fd with Unix.Unix_error _ -> ())
           t.sessions;
         Hashtbl.reset t.sessions;
@@ -1038,18 +1137,36 @@ let run t =
                     | None -> None)
                 readable
             in
-            Tx_service.with_lock t.svc (fun () ->
-                if t.drain_pending then begin
-                  t.drain_pending <- false;
-                  begin_drain t
-                end;
-                List.iter (process_msg t) msgs;
-                List.iter
-                  (fun s -> if Hashtbl.mem t.sessions s.sid then pump t s)
-                  fed;
-                if Tx_service.take_deadlock_check t.svc then break_deadlocks t;
-                enforce_timeouts t (Unix.gettimeofday ());
-                Tx_service.maybe_checkpoint t.svc);
+            (* Take the core lock only on ticks that have work for it:
+               requests to dispatch, peer messages, a drain, a grown
+               wait-for edge ([deadlock_check_due] reads the partition
+               generations lock-free), a timeout that could have
+               expired, or a catalog change awaiting its checkpoint.
+               An idle shard's select timeout then costs no core-lock
+               traffic at all. *)
+            let timeouts_possible =
+              (t.config.lock_timeout <> None && parked_sessions t > 0)
+              || t.config.idle_timeout <> None
+                 && Hashtbl.length t.sessions > 0
+            in
+            if
+              t.drain_pending || msgs <> [] || fed <> []
+              || Tx_service.deadlock_check_due t.svc
+              || timeouts_possible
+              || Tx_service.checkpoint_due t.svc
+            then
+              Tx_service.with_lock t.svc (fun () ->
+                  if t.drain_pending then begin
+                    t.drain_pending <- false;
+                    begin_drain t
+                  end;
+                  List.iter (process_msg t) msgs;
+                  List.iter
+                    (fun s -> if Hashtbl.mem t.sessions s.sid then pump t s)
+                    fed;
+                  if Tx_service.deadlock_check_due t.svc then break_deadlocks t;
+                  enforce_timeouts t (Unix.gettimeofday ());
+                  Tx_service.maybe_checkpoint t.svc);
             (* WAL shipping: pump each subscribed session's cursor
                (bounded per tick; the tailer and log carry their own
                mutexes, so this runs outside the service lock) and

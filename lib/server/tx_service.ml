@@ -45,10 +45,6 @@ type t = {
   tx_owner : (int, int * int) Hashtbl.t;  (* tx id -> (shard, session id) *)
   mutable posters : (peer_msg -> unit) array;  (* indexed by shard *)
   next_sid : int Atomic.t;
-  check_deadlocks : bool Atomic.t;
-      (* a wait-for edge appeared since the last cycle search; cycles
-         can only form when a request blocks, so shards skip the search
-         on every other tick *)
   mutable schema_seen : int;
       (* Schema.version at the last checkpoint: schema DDL is
          non-transactional, so with a log attached it is only durable
@@ -73,9 +69,9 @@ type t = {
   dispatch_hist : Obs.histogram;
 }
 
-let create ?wal ?group_commit_window ?(repl = Standalone) env =
+let create ?wal ?group_commit_window ?(repl = Standalone) ?lock_partitions env =
   let db = Eval.database env in
-  let manager = Tx.create ?wal db in
+  let manager = Tx.create ?wal ?lock_partitions db in
   let gc =
     match (wal, group_commit_window) with
     | Some wal, Some window when window > 0. ->
@@ -99,7 +95,6 @@ let create ?wal ?group_commit_window ?(repl = Standalone) env =
     tx_owner = Hashtbl.create 32;
     posters = [||];
     next_sid = Atomic.make 0;
-    check_deadlocks = Atomic.make false;
     schema_seen = Orion_schema.Schema.version (Database.schema db);
     acquires = Obs.counter "txsvc.acquires";
     contended = Obs.counter "txsvc.contended";
@@ -121,11 +116,15 @@ let set_posters t posters = t.posters <- posters
 
 let post t ~shard msg = t.posters.(shard) msg
 
-(* The one serialization point of the transactional core.  Everything
-   that touches the database, the lock table or the session-transaction
-   bookkeeping runs inside; each shard takes the lock once per reactor
-   tick and dispatches its whole batch of ready requests under it, so
-   the per-request cost is amortized.  The wait/hold histograms and the
+(* The serialization point of the transactional core: the database and
+   the session-transaction bookkeeping ([tx_owner], group-commit
+   submit, checkpoint policy).  The lock table itself is no longer
+   under it — it is partitioned by composite root, each partition
+   behind its own mutex with its own txsvc.partition{p=K}.*
+   instruments (see {!Orion_locking.Lock_partitions}).  Each shard
+   takes the core lock at most once per reactor tick, and only on
+   ticks that have work for it, dispatching its whole batch of ready
+   requests under one hold.  The wait/hold histograms and the
    contended counter measure exactly what this mutex costs. *)
 let with_lock t f =
   let t0 = Unix.gettimeofday () in
@@ -151,19 +150,26 @@ let open_txs t = Hashtbl.length t.tx_owner
 
 let fresh_sid t = Atomic.fetch_and_add t.next_sid 1
 
-let edge_appeared t = Atomic.set t.check_deadlocks true
-let take_deadlock_check t = Atomic.exchange t.check_deadlocks false
+let deadlock_check_due t = Tx.deadlock_check_due t.manager
+
+(* Whether the catalog changed since the last checkpoint — the lock-free
+   pre-check that lets an idle tick skip the core lock entirely.
+   [maybe_checkpoint] re-reads both sides under the lock before acting. *)
+let checkpoint_due t =
+  Orion_schema.Schema.version (Database.schema t.db) <> t.schema_seen
 
 (* Group commit helpers (under the service lock). *)
 
-(* Nobody else can join the batch when every open transaction is
-   already submitted to the committer: waiting out the window would be
-   pure added latency, so tell the committer to flush eagerly.  [+ 1]
-   counts the commit being submitted right now. *)
+(* Nobody else can join the batch when no other transaction could still
+   reach its commit point: waiting out the window would be pure added
+   latency, so tell the committer to flush eagerly.  Only [Active]
+   transactions count — a [Blocked] one is parked behind a lock the
+   submitters still hold (strict 2PL keeps it parked across the
+   durability point), and [Committing] ones are already in the batch.
+   The submitter itself is [Committing] by the time this runs
+   ({!Orion_tx.Tx_manager.submit_commit} first), so zero means solo. *)
 let submit_is_eager t =
-  match t.gc with
-  | None -> true
-  | Some gc -> open_txs t <= Orion_wal.Group_commit.pending_count gc + 1
+  match t.gc with None -> true | Some _ -> Tx.active_count t.manager = 0
 
 let class_wait_hist t cls =
   match Hashtbl.find_opt t.class_wait_hists cls with

@@ -477,6 +477,136 @@ let test_per_class_block_labels () =
     (Obs.find_counter snap (Obs.labeled "lock.blocks" ("class", "?")));
   Alcotest.(check int) "unlabeled total counts all three" 3 (LT.stats t).LT.blocks
 
+(* Partitioned lock space --------------------------------------------------------- *)
+
+module LP = Orion_locking.Lock_partitions
+
+let merged_searches () =
+  let module Obs = Orion_obs.Metrics in
+  Option.value
+    (Obs.find_counter (Obs.snapshot ()) "txsvc.merged_searches")
+    ~default:0
+
+(* Key instance granules by raw oid so tests place granules in
+   partitions deliberately. *)
+let by_oid = function
+  | LT.G_class _ -> 0
+  | LT.G_instance oid -> Oid.to_int oid
+
+let test_partition_determinism () =
+  let p = LP.create ~n:4 () in
+  LP.set_keyer p by_oid;
+  Alcotest.(check int) "n reported" 4 (LP.n_partitions p);
+  for i = 0 to 15 do
+    Alcotest.(check int)
+      (Printf.sprintf "oid %d keys stably" i)
+      (i mod 4)
+      (LP.partition_id p (LT.G_instance (Oid.of_int i)))
+  done;
+  (* Mutual exclusion holds across the facade exactly as on one table:
+     the same granule always lands on the same slice. *)
+  let g = LT.G_instance (Oid.of_int 5) in
+  Alcotest.(check bool) "granted" true (LP.acquire p ~tx:1 g LM.X = `Granted);
+  Alcotest.(check bool) "conflicts across facade" true
+    (LP.acquire p ~tx:2 g LM.X = `Blocked);
+  ignore (LP.release_all p ~tx:1 : int list);
+  ignore (LP.release_all p ~tx:2 : int list)
+
+(* A cycle whose edges are split across partitions is invisible to any
+   single slice: only the merged search can see it — and it must. *)
+let test_cross_partition_cycle_found () =
+  let p = LP.create ~n:4 () in
+  LP.set_keyer p by_oid;
+  let oid i = LT.G_instance (Oid.of_int i) in
+  Alcotest.(check bool) "t1 holds oid1" true (LP.acquire p ~tx:1 (oid 1) LM.X = `Granted);
+  Alcotest.(check bool) "t2 holds oid2" true (LP.acquire p ~tx:2 (oid 2) LM.X = `Granted);
+  Alcotest.(check bool) "no check due yet" false (LP.deadlock_check_due p);
+  Alcotest.(check bool) "t1 blocks on oid2" true (LP.acquire p ~tx:1 (oid 2) LM.X = `Blocked);
+  Alcotest.(check bool) "edge dirtied a partition" true (LP.deadlock_check_due p);
+  Alcotest.(check (option (list int))) "half a cycle is no cycle" None
+    (LP.find_deadlock p);
+  Alcotest.(check bool) "clean search reset the generations" false
+    (LP.deadlock_check_due p);
+  let merged0 = merged_searches () in
+  Alcotest.(check bool) "t2 blocks on oid1" true (LP.acquire p ~tx:2 (oid 1) LM.X = `Blocked);
+  (match LP.find_deadlock p with
+  | Some cycle ->
+      Alcotest.(check bool) "cycle holds both txs" true
+        (List.mem 1 cycle && List.mem 2 cycle)
+  | None -> Alcotest.fail "cross-partition cycle missed");
+  Alcotest.(check bool) "the merged search ran" true (merged_searches () > merged0)
+
+(* The incremental detector's whole point: workloads confined to one
+   partition are searched locally and never pay the merged
+   (all-mutexes) pass. *)
+let test_single_partition_no_merged_search () =
+  let p = LP.create ~n:4 () in
+  LP.set_keyer p (fun _ -> 0);
+  let oid i = LT.G_instance (Oid.of_int i) in
+  let merged0 = merged_searches () in
+  Alcotest.(check bool) "t1 holds" true (LP.acquire p ~tx:1 (oid 1) LM.X = `Granted);
+  Alcotest.(check bool) "t2 holds" true (LP.acquire p ~tx:2 (oid 2) LM.X = `Granted);
+  Alcotest.(check bool) "t1 blocks" true (LP.acquire p ~tx:1 (oid 2) LM.X = `Blocked);
+  Alcotest.(check bool) "t2 blocks" true (LP.acquire p ~tx:2 (oid 1) LM.X = `Blocked);
+  (match LP.find_deadlock p with
+  | Some cycle -> Alcotest.(check int) "local cycle found" 2 (List.length cycle)
+  | None -> Alcotest.fail "single-partition cycle missed");
+  Alcotest.(check int) "merged search never ran" merged0 (merged_searches ());
+  (* Break it the way the server does and re-verify quiescence. *)
+  ignore (LP.release_all p ~tx:2 : int list);
+  Alcotest.(check (option (list int))) "clean after abort" None (LP.find_deadlock p);
+  Alcotest.(check int) "still no merged search" merged0 (merged_searches ())
+
+(* Property: a constructed wait-for cycle of length k spanning several
+   partitions is always found by the facade, agrees with a one-table
+   oracle running the same script, and aborting the youngest member
+   (the server's victim policy) clears it — on both. *)
+let prop_cross_partition_cycles_found =
+  QCheck.Test.make ~name:"cross-partition cycles found, youngest victim clears"
+    ~count:100
+    QCheck.(make QCheck.Gen.(pair (int_range 2 6) (int_range 0 3)))
+    (fun (k, noise) ->
+      let p = LP.create ~n:4 () in
+      LP.set_keyer p by_oid;
+      let oracle = LT.create () in
+      let oid i = LT.G_instance (Oid.of_int i) in
+      let acquire tx g m =
+        let a = LP.acquire p ~tx g m in
+        let b = LT.acquire oracle ~tx g m in
+        if a <> b then failwith "facade and oracle disagree on a grant";
+        a
+      in
+      (* k transactions each hold their own oid; consecutive oids over
+         n=4 always span >= 2 partitions. *)
+      for i = 1 to k do
+        ignore (acquire i (oid i) LM.X)
+      done;
+      (* Holder-only bystanders: traffic that must not confuse the
+         search or the victim policy. *)
+      for j = 1 to noise do
+        ignore (acquire (100 + j) (oid (100 + j)) LM.X)
+      done;
+      (* The cycle: i waits for i+1, k waits for 1. *)
+      for i = 1 to k do
+        ignore (acquire i (oid ((i mod k) + 1)) LM.X)
+      done;
+      let sorted = List.sort_uniq Int.compare in
+      let facade_cycle = LP.find_deadlock p in
+      let oracle_cycle = LT.find_deadlock oracle in
+      (match (facade_cycle, oracle_cycle) with
+      | Some f, Some o ->
+          if sorted f <> List.init k (fun i -> i + 1) then
+            failwith "facade cycle is not the constructed one";
+          if sorted f <> sorted o then
+            failwith "facade and oracle found different cycles"
+      | _ -> failwith "a constructed cycle went unfound");
+      (* Youngest-victim abort, exactly like the server's breaker. *)
+      let victim = List.fold_left max min_int (Option.get facade_cycle) in
+      if victim <> k then failwith "youngest victim is not the max tx id";
+      ignore (LP.release_all p ~tx:victim : int list);
+      ignore (LT.release_all oracle ~tx:victim : int list);
+      LP.find_deadlock p = None && LT.find_deadlock oracle = None)
+
 let () =
   Alcotest.run "orion_locking"
     [
@@ -518,6 +648,16 @@ let () =
           Alcotest.test_case "roots_of" `Quick test_roots_of;
           Alcotest.test_case "hierarchy scans" `Quick test_hierarchy_scan_locks;
           Alcotest.test_case "implicit coverage" `Quick test_implicit_coverage;
+        ] );
+      ( "partitions",
+        [
+          Alcotest.test_case "keying is deterministic" `Quick
+            test_partition_determinism;
+          Alcotest.test_case "cross-partition cycle found" `Quick
+            test_cross_partition_cycle_found;
+          Alcotest.test_case "single partition never merges" `Quick
+            test_single_partition_no_merged_search;
+          QCheck_alcotest.to_alcotest prop_cross_partition_cycles_found;
         ] );
       ( "properties",
         [

@@ -39,6 +39,14 @@ let test_domains =
   | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
   | None -> 1
 
+(* ORION_TEST_LOCK_PARTITIONS does the same for the partitioned lock
+   table (CI runs 1 and 4): 0, the default, leaves the config's auto
+   value (one partition per domain). *)
+let test_lock_partitions =
+  match Sys.getenv_opt "ORION_TEST_LOCK_PARTITIONS" with
+  | Some s -> ( try max 0 (int_of_string (String.trim s)) with _ -> 0)
+  | None -> 0
+
 (* Run [f addr] against a server serving a fresh env; the server is
    stopped and joined afterwards, and its database handed back for
    post-mortem assertions. *)
@@ -55,8 +63,14 @@ let with_server ?config ?wal ?env f =
   in
   let config =
     let c = Option.value config ~default:Server.default_config in
-    if c.Server.domains = Server.default_config.Server.domains then
-      { c with Server.domains = test_domains }
+    let c =
+      if c.Server.domains = Server.default_config.Server.domains then
+        { c with Server.domains = test_domains }
+      else c
+    in
+    if
+      c.Server.lock_partitions = Server.default_config.Server.lock_partitions
+    then { c with Server.lock_partitions = test_lock_partitions }
     else c
   in
   let server = Server.create ~config ?wal env (Server.Unix_path sock) in
@@ -127,8 +141,12 @@ let test_handshake_and_basics () =
           Client.make c ~cls:"Part" ~parents:[ (root, "Parts") ]
             ~attrs:[ ("Name", Value.Str "bolt") ] ()
         in
+        (* Live reads need a transaction (or snapshot) since the dirty-
+           read fix: lock-protected inside a tx here. *)
+        ignore (Client.begin_tx c : int);
         Alcotest.(check bool) "components-of sees the part" true
           (Client.components_of c root = [ part ]);
+        Client.commit c;
         Client.close c)
   in
   Alcotest.(check int) "one session accepted" 1 stats.Server.accepted;
@@ -280,7 +298,9 @@ let test_stats_over_the_wire () =
         Client.commit c1;
         Thread.join waiter;
         Client.commit c2;
+        ignore (Client.begin_tx c1 : int);
         ignore (Client.components_of c1 root : Oid.t list);
+        Client.commit c1;
         let snap = Client.stats c1 in
         let counter name =
           match Obs.find_counter snap name with
@@ -551,7 +571,9 @@ let test_concurrent_workload_serializable () =
         (* Serializable outcome: every committed append is present,
            none duplicated, under a still-consistent database. *)
         let c = connect addr in
+        ignore (Client.begin_tx c : int);
         let parts = Client.components_of c root in
+        Client.commit c;
         Alcotest.(check int) "all appends present"
           (clients * ops) (List.length parts);
         Alcotest.(check int) "no duplicate components"
@@ -700,7 +722,9 @@ let test_multi_domain_workload_serializable () =
         | Some (i, msg) -> Alcotest.failf "client %d failed: %s" i msg
         | None -> ());
         let c = connect addr in
+        ignore (Client.begin_tx c : int);
         let parts = Client.components_of c root in
+        Client.commit c;
         Alcotest.(check int) "all appends present" (clients * ops)
           (List.length parts);
         Alcotest.(check int) "no duplicate components" (List.length parts)
@@ -932,6 +956,216 @@ let test_graceful_shutdown_notifies () =
   in
   ()
 
+(* Live reads under the lock protocol ------------------------------------------- *)
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* A read outside any transaction or snapshot would be a dirty read of
+   the live database (no locks, no version): the server refuses it and
+   says how to do it properly. *)
+let test_live_read_refused_without_tx_or_snapshot () =
+  let (), _, _ =
+    with_server (fun addr _server ->
+        let c = connect addr in
+        let root =
+          match Client.eval c "(make Assembly)" with
+          | Message.Obj oid -> oid
+          | v -> Alcotest.failf "unexpected eval result %a" Message.pp_v v
+        in
+        (match Client.components_of c root with
+        | oids ->
+            Alcotest.failf "dirty read served %d components" (List.length oids)
+        | exception Client.Error (Message.Bad_request, msg) ->
+            Alcotest.(check bool) "refusal hints at begin-snapshot" true
+              (contains_substring msg "begin-snapshot"));
+        (match Client.read_attr c root "Name" with
+        | _ -> Alcotest.fail "dirty read-attr served"
+        | exception Client.Error (Message.Bad_request, _) -> ());
+        (* The same reads are served inside a transaction (locked)... *)
+        ignore (Client.begin_tx c : int);
+        Alcotest.(check bool) "tx read served" true
+          (Client.components_of c root = []);
+        Client.commit c;
+        (* ...and under a snapshot (versioned). *)
+        ignore (Client.begin_snapshot c : int);
+        Alcotest.(check bool) "snapshot read served" true
+          (Client.components_of c root = []);
+        Client.end_snapshot c;
+        Client.close c)
+  in
+  ()
+
+(* The regression the dirty-read fix exists for: a transactional live
+   read against a composite mid-update must park until the writer
+   commits, never observe the uncommitted write. *)
+let test_live_read_blocks_on_uncommitted_write () =
+  let (), _, _ =
+    with_server (fun addr _server ->
+        let c1 = connect addr in
+        let c2 = connect addr in
+        let root =
+          match Client.eval c1 "(make Assembly)" with
+          | Message.Obj oid -> oid
+          | v -> Alcotest.failf "unexpected eval result %a" Message.pp_v v
+        in
+        let part =
+          Client.make c1 ~cls:"Part" ~parents:[ (root, "Parts") ]
+            ~attrs:[ ("Name", Value.Str "committed") ] ()
+        in
+        ignore (Client.begin_tx c1 : int);
+        Client.lock_composite c1 ~root Message.Update;
+        ignore
+          (Client.make c1 ~cls:"Part" ~parents:[ (root, "Parts") ]
+             ~attrs:[ ("Name", Value.Str "uncommitted") ] ()
+            : Oid.t);
+        ignore (Client.begin_tx c2 : int);
+        let read_done = Atomic.make false in
+        let got = ref Value.Null in
+        let reader =
+          Thread.create
+            (fun () ->
+              (* IS on class Part conflicts with the composite writer's
+                 IXO: this parks until c1 commits. *)
+              got := Client.read_attr c2 part "Name";
+              Atomic.set read_done true)
+            ()
+        in
+        Thread.delay 0.3;
+        Alcotest.(check bool) "read parked behind the composite update" false
+          (Atomic.get read_done);
+        Client.commit c1;
+        Thread.join reader;
+        Alcotest.(check bool) "read served after the commit" true
+          (!got = Value.Str "committed");
+        Client.commit c2;
+        let snap = Client.stats c2 in
+        Alcotest.(check bool) "the wait was a park" true
+          (Option.value (Obs.find_counter snap "server.parks_total") ~default:0
+          >= 1);
+        Client.close c1;
+        Client.close c2)
+  in
+  ()
+
+(* Snapshot pins of a kill-9ed client -------------------------------------------- *)
+
+(* A client that vanishes mid-snapshot (process killed: the socket just
+   closes, no end-snapshot, no bye) must not leak its version-store
+   pin — the reactor's session teardown ends the snapshot, the store
+   unpins and empties. *)
+let test_client_kill_releases_snapshot_pins () =
+  let gauge snap name = Option.value (Obs.find_gauge snap name) ~default:(-1) in
+  let (), _, _ =
+    with_server (fun addr _server ->
+        let c = connect addr in
+        let root =
+          match Client.eval c "(make Assembly)" with
+          | Message.Obj oid -> oid
+          | v -> Alcotest.failf "unexpected eval result %a" Message.pp_v v
+        in
+        let doomed = Raw.connect addr in
+        Raw.send doomed
+          [ Message.Hello { version = Message.version; client = "doomed" } ];
+        (match Raw.recv doomed with
+        | Message.Reply (Message.Welcome _) -> ()
+        | _ -> Alcotest.fail "expected welcome");
+        Raw.send doomed [ Message.Begin_snapshot ];
+        (match Raw.recv doomed with
+        | Message.Reply (Message.Result (Message.Num _)) -> ()
+        | _ -> Alcotest.fail "expected snapshot clock");
+        Alcotest.(check int) "snapshot pinned" 1
+          (gauge (Client.stats c) "mvcc.open_snapshots");
+        (* Commit writes the pinned snapshot watches: version chains
+           accumulate behind its watermark. *)
+        ignore (Client.begin_tx c : int);
+        Client.lock_composite c ~root Message.Update;
+        ignore
+          (Client.make c ~cls:"Part" ~parents:[ (root, "Parts") ]
+             ~attrs:[ ("Name", Value.Str "pinned") ] ()
+            : Oid.t);
+        Client.commit c;
+        Alcotest.(check bool) "chains held for the snapshot" true
+          (gauge (Client.stats c) "mvcc.chains" > 0);
+        (* kill -9 the client: raw close, mid-snapshot. *)
+        Raw.close doomed;
+        let rec wait n =
+          if gauge (Client.stats c) "mvcc.open_snapshots" = 0 then true
+          else if n = 0 then false
+          else begin
+            Thread.delay 0.05;
+            wait (n - 1)
+          end
+        in
+        Alcotest.(check bool) "teardown ended the snapshot" true (wait 100);
+        Alcotest.(check int) "store emptied once unpinned" 0
+          (gauge (Client.stats c) "mvcc.chains");
+        Client.close c)
+  in
+  ()
+
+(* Eager group-commit seal -------------------------------------------------------- *)
+
+(* A committer with every other open transaction parked behind its own
+   locks must seal eagerly: the parked ones cannot reach their commit
+   point until this commit releases (strict 2PL), so waiting out the
+   batching window would be pure latency.  The old heuristic counted
+   all open transactions and kept the solo committer waiting. *)
+let test_solo_committer_seals_eagerly () =
+  let env = Eval.create_env () in
+  ignore (Eval.eval_program env schema_forms : Eval.v list);
+  let wal = Wal.create () in
+  Wal.attach wal (Eval.database env);
+  let window = 2.0 in
+  let config =
+    {
+      Server.default_config with
+      domains = test_domains;
+      group_commit_window = Some window;
+    }
+  in
+  let (), _, _ =
+    with_server ~config ~wal ~env (fun addr _server ->
+        let c1 = connect addr in
+        let root =
+          match Client.eval c1 "(make Assembly)" with
+          | Message.Obj oid -> oid
+          | v -> Alcotest.failf "unexpected eval result %a" Message.pp_v v
+        in
+        ignore (Client.begin_tx c1 : int);
+        Client.lock_composite c1 ~root Message.Update;
+        ignore
+          (Client.make c1 ~cls:"Part" ~parents:[ (root, "Parts") ]
+             ~attrs:[ ("Name", Value.Str "solo") ] ()
+            : Oid.t);
+        (* Two more transactions, both parked on c1's composite lock:
+           open but unable to commit. *)
+        let parked_worker () =
+          let c = connect addr in
+          ignore (Client.begin_tx c : int);
+          Client.lock_composite c ~root Message.Read;
+          Client.abort c;
+          Client.close c
+        in
+        let parked =
+          [ Thread.create parked_worker (); Thread.create parked_worker () ]
+        in
+        Thread.delay 0.3;
+        let t0 = Unix.gettimeofday () in
+        Client.commit c1;
+        let elapsed = Unix.gettimeofday () -. t0 in
+        List.iter Thread.join parked;
+        Alcotest.(check bool)
+          (Printf.sprintf "solo commit sealed eagerly (%.3fs vs %.1fs window)"
+             elapsed window)
+          true
+          (elapsed < window /. 2.);
+        Client.close c1)
+  in
+  ()
+
 let () =
   Alcotest.run "orion_server"
     [
@@ -961,6 +1195,17 @@ let () =
           Alcotest.test_case "lock timeout" `Quick test_lock_timeout;
           Alcotest.test_case "holder deletes contested target" `Quick
             test_holder_deletes_contested_target;
+        ] );
+      ( "reads",
+        [
+          Alcotest.test_case "live read refused without tx or snapshot" `Quick
+            test_live_read_refused_without_tx_or_snapshot;
+          Alcotest.test_case "live read blocks on uncommitted write" `Quick
+            test_live_read_blocks_on_uncommitted_write;
+          Alcotest.test_case "client kill releases snapshot pins" `Quick
+            test_client_kill_releases_snapshot_pins;
+          Alcotest.test_case "solo committer seals eagerly" `Quick
+            test_solo_committer_seals_eagerly;
         ] );
       ( "workload",
         [

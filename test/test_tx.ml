@@ -7,7 +7,21 @@ module D = Orion_schema.Domain
 module Schema = Orion_schema.Schema
 module Protocol = Orion_locking.Protocol
 module Snapshot = Orion_tx.Snapshot
-module Tx = Orion_tx.Tx_manager
+(* ORION_TEST_LOCK_PARTITIONS=N runs the whole transaction suite over a
+   partitioned lock space (CI exercises 1 and 4); unset keeps the
+   single-table default. *)
+module Tx = struct
+  include Orion_tx.Tx_manager
+
+  let lock_partitions =
+    match Sys.getenv_opt "ORION_TEST_LOCK_PARTITIONS" with
+    | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
+    | None -> 1
+
+  let create ?compat ?escalation_threshold ?wal db =
+    Orion_tx.Tx_manager.create ?compat ?escalation_threshold ?wal
+      ~lock_partitions db
+end
 module Scheduler = Orion_tx.Scheduler
 module Part_gen = Orion_workload.Part_gen
 module Trace_gen = Orion_workload.Trace_gen
