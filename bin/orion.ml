@@ -522,12 +522,10 @@ let analyze_cmd =
         if sexp then print_endline (Schema_analysis.finding_to_sexp f)
         else Format.printf "%a@." Schema_analysis.pp_finding f)
       findings;
-    (* Info findings (snapshot cross-checks) inform but do not fail. *)
-    if
-      List.exists
-        (fun f -> f.Schema_analysis.severity <> Schema_analysis.Info)
-        findings
-    then exit 1
+    (* Exit contract shared with fsck and lockdep-check: 2 on any
+       error, 1 on warnings only, 0 clean.  Info findings (snapshot
+       cross-checks) inform but do not fail. *)
+    exit (Orion_analysis.Lockdep.exit_code findings)
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -535,7 +533,7 @@ let analyze_cmd =
          "Static hazard analysis of a schema: composite cycles, \
           delete-cascade blast radius, clustering ambiguity, lock-granule \
           fan-in, dead and shadowed composite attributes.  Silent (exit 0) \
-          on a clean schema.")
+          on a clean schema; exits 2 on error findings, 1 on warnings.")
     Term.(const run $ file $ connect $ sexp $ cascades $ fanin)
 
 let fsck_cmd =
@@ -619,7 +617,20 @@ let fsck_cmd =
              digests);
     let report = Store_check.check_file ?wal db_path in
     Format.printf "%a@." Store_check.pp_report report;
-    if Store_check.failed ~strict report then exit 1
+    (* Same 0/1/2 contract as analyze: 2 on corruption (error issues),
+       1 on warnings (leaked records, open bracket) — promoted to 2
+       under --strict, which also keeps its historical meaning for
+       [failed]-style consumers. *)
+    let errors, warnings =
+      List.fold_left
+        (fun (e, w) issue ->
+          match Store_check.severity issue with
+          | `Error -> (e + 1, w)
+          | `Warning -> (e, w + 1))
+        (0, 0) report.Store_check.issues
+    in
+    if errors > 0 || (strict && warnings > 0) then exit 2
+    else if warnings > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "fsck"
@@ -628,7 +639,8 @@ let fsck_cmd =
           log): page checksums, directory-vs-allocation agreement, WAL frame \
           chain and checkpoint brackets, and per-object reverse-reference \
           flags against the schema.  Read-only (the store always, the log \
-          unless $(b,--repair)); exits non-zero on corruption.")
+          unless $(b,--repair)); exits 2 on corruption, 1 on warnings \
+          (2 under $(b,--strict)), 0 clean.")
     Term.(const run $ db_pos $ wal_file $ strict $ repair $ pages)
 
 let check_cmd =
@@ -814,9 +826,34 @@ let serve_cmd =
              cycle) appears; $(b,off), the default, does nothing.  On a \
              replica the gate takes effect at promotion.")
   in
+  let lockdep =
+    Arg.(
+      value & flag
+      & info [ "lockdep" ]
+          ~doc:
+            "Enable the runtime lock-discipline checker: every internal \
+             engine mutex acquisition feeds a per-thread held-set and a \
+             may-precede graph over lock classes (see DESIGN.md \xc2\xa717), and \
+             an ordering violation is reported with a two-site witness the \
+             first time it is observed — the run does not have to deadlock.  \
+             Findings go to stderr at exit and force a non-zero exit code; \
+             live counts appear as $(i,lockdep.classes), $(i,lockdep.edges) \
+             and $(i,lockdep.violations).  Equivalent to $(b,ORION_LOCKDEP=1).")
+  in
+  let lockdep_trace =
+    Arg.(
+      value & opt (some string) None
+      & info [ "lockdep-trace" ] ~docv:"FILE"
+          ~doc:
+            "With the checker enabled, also append a replayable lock-event \
+             trace to $(docv) — $(b,orion lockdep-check) $(docv) re-runs the \
+             detectors offline.  Implies $(b,--lockdep).")
+  in
   let run db_file wal socket port max_sessions lock_timeout metrics_interval
       slow_op_ms domains lock_partitions group_commit_window repl replica_of
-      ddl_gate =
+      ddl_gate lockdep lockdep_trace =
+    if lockdep || Option.is_some lockdep_trace then
+      Orion_analysis.Lockdep.install ?trace:lockdep_trace ();
     let addr =
       match (socket, port) with
       | Some path, None -> Server.Unix_path path
@@ -1054,7 +1091,7 @@ let serve_cmd =
       const run $ db_pos $ wal_flag $ socket $ port $ max_sessions
       $ lock_timeout $ metrics_interval $ slow_op_ms $ domains
       $ lock_partitions $ group_commit_window $ repl_flag $ replica_of
-      $ ddl_gate)
+      $ ddl_gate $ lockdep $ lockdep_trace)
 
 let promote_cmd =
   let addr =
@@ -1237,9 +1274,67 @@ let shell_cmd =
           for lock-free snapshot reads")
     Term.(const run $ connect $ snapshot_flag)
 
+let lockdep_check_cmd =
+  let trace =
+    Arg.(
+      value & pos 0 (some file) None
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "Lock-event trace recorded by $(b,orion serve --lockdep-trace) \
+             $(docv) (or $(b,ORION_LOCKDEP_TRACE)).")
+  in
+  let hierarchy =
+    Arg.(
+      value & flag
+      & info [ "hierarchy" ]
+          ~doc:
+            "Print the declared lock hierarchy as a markdown table (the \
+             exact text DESIGN.md \xc2\xa717 embeds) and exit.")
+  in
+  let sexp =
+    Arg.(
+      value & flag
+      & info [ "sexp" ] ~doc:"Print findings as s-expressions (machine readable).")
+  in
+  let run trace hierarchy sexp =
+    if hierarchy then
+      print_string (Orion_util.Omutex.hierarchy_markdown ())
+    else
+      match trace with
+      | None ->
+          Format.eprintf "error: a TRACE file is required (or --hierarchy)@.";
+          exit 2
+      | Some path ->
+          let findings =
+            try Orion_analysis.Lockdep.check_trace path
+            with Failure msg ->
+              Format.eprintf "error: %s@." msg;
+              exit 2
+          in
+          List.iter
+            (fun f ->
+              if sexp then print_endline (Schema_analysis.finding_to_sexp f)
+              else Format.printf "%a@." Schema_analysis.pp_finding f)
+            findings;
+          exit (Orion_analysis.Lockdep.exit_code findings)
+  in
+  Cmd.v
+    (Cmd.info "lockdep-check"
+       ~doc:
+         "Replay a recorded lock-event trace through the lock-discipline \
+          checker offline: rank inversions, lock-order inversions with \
+          two-site witnesses, recursive locks, merged-search protocol \
+          breaches, no-block classes held across blocking operations.  \
+          Same exit contract as $(b,orion analyze): 2 on errors, 1 on \
+          warnings, 0 clean.")
+    Term.(const run $ trace $ hierarchy $ sexp)
+
 let () =
+  (* ORION_LOCKDEP=1 / ORION_LOCKDEP_TRACE work for every subcommand,
+     not just serve's --lockdep flag. *)
+  Orion_analysis.Lockdep.install_from_env ();
   let doc = "Composite objects a la ORION (Kim, Bertino & Garza, SIGMOD 1989)" in
-  let info = Cmd.info "orion" ~version:"1.8.0" ~doc in
+  let info = Cmd.info "orion" ~version:"1.9.0" ~doc in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval
@@ -1258,4 +1353,5 @@ let () =
             serve_cmd;
             promote_cmd;
             shell_cmd;
+            lockdep_check_cmd;
           ]))

@@ -32,10 +32,11 @@
    and is counted by txsvc.merged_searches. *)
 
 module Obs = Orion_obs.Metrics
+module Omutex = Orion_util.Omutex
 
 type partition = {
   idx : int;
-  mu : Mutex.t;
+  mu : Omutex.t;
   table : Lock_table.t;
   generation : int Atomic.t;
   searched : int Atomic.t;
@@ -66,7 +67,7 @@ let create ?compat ~n () =
       Array.init n (fun idx ->
           {
             idx;
-            mu = Mutex.create ();
+            mu = Omutex.create ~inst:idx Omutex.lock_partition;
             table = Lock_table.create ?compat ~instruments:ins ();
             generation = Atomic.make 0;
             searched = Atomic.make 0;
@@ -94,9 +95,9 @@ let table0 t = t.parts.(0).table
 
 let with_mu p f =
   let t0 = Unix.gettimeofday () in
-  if not (Mutex.try_lock p.mu) then begin
+  if not (Omutex.try_lock p.mu) then begin
     Obs.incr p.contended;
-    Mutex.lock p.mu
+    Omutex.lock p.mu
   end;
   Obs.incr p.acquires;
   let acquired = Unix.gettimeofday () in
@@ -104,7 +105,7 @@ let with_mu p f =
   Fun.protect
     ~finally:(fun () ->
       Obs.observe p.hold_seconds (Unix.gettimeofday () -. acquired);
-      Mutex.unlock p.mu)
+      Omutex.unlock p.mu)
     f
 
 let blocked_in p result =
@@ -239,17 +240,22 @@ let find_deadlock t =
         let merged =
           if waiter_parts >= 2 then begin
             Obs.incr t.merged_searches;
-            for i = 0 to n - 1 do
-              Mutex.lock t.parts.(i).mu
-            done;
-            Fun.protect
-              ~finally:(fun () ->
-                for i = n - 1 downto 0 do
-                  Mutex.unlock t.parts.(i).mu
-                done)
-              (fun () ->
-                Lock_table.find_deadlock_over
-                  (Array.to_list (Array.map (fun p -> p.table) t.parts)))
+            (* The one sanctioned exception to "at most one partition
+               mutex": all of them, strictly ascending, inside the
+               declared lockdep region — any other multi-hold or any
+               descending step is a merged-search-protocol finding. *)
+            Omutex.in_region "merged-search" (fun () ->
+                for i = 0 to n - 1 do
+                  Omutex.lock t.parts.(i).mu
+                done;
+                Fun.protect
+                  ~finally:(fun () ->
+                    for i = n - 1 downto 0 do
+                      Omutex.unlock t.parts.(i).mu
+                    done)
+                  (fun () ->
+                    Lock_table.find_deadlock_over
+                      (Array.to_list (Array.map (fun p -> p.table) t.parts))))
           end
           else None
         in

@@ -1,4 +1,5 @@
 module Obs = Orion_obs.Metrics
+module Omutex = Orion_util.Omutex
 open Orion_core
 
 type image = { inst : Instance.t; rrefs : Rref.t list }
@@ -17,7 +18,7 @@ type t = {
   pins : int Oid.Tbl.t;  (* oid -> dirty-writer refcount *)
   dirty : (int, unit Oid.Tbl.t) Hashtbl.t;  (* tx id -> oids it pinned *)
   snaps : (int, int) Hashtbl.t;  (* snapshot id -> begin clock *)
-  mu : Mutex.t;
+  mu : Omutex.t;
   published : Obs.counter;
   pruned : Obs.counter;
   reads : Obs.counter;
@@ -25,9 +26,7 @@ type t = {
   snapshots : Obs.counter;
 }
 
-let with_mu t f =
-  Mutex.lock t.mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+let with_mu t f = Omutex.with_lock t.mu f
 
 let create db =
   let t =
@@ -37,7 +36,7 @@ let create db =
       pins = Oid.Tbl.create 64;
       dirty = Hashtbl.create 16;
       snaps = Hashtbl.create 8;
-      mu = Mutex.create ();
+      mu = Omutex.create Omutex.mvcc_version_store;
       published = Obs.counter "mvcc.published";
       pruned = Obs.counter "mvcc.pruned";
       reads = Obs.counter "mvcc.reads";

@@ -24,19 +24,23 @@ type instrument =
   | Gauge of (unit -> int)
   | Histogram of histogram
 
-type registry = { tbl : (string, instrument) Hashtbl.t; mu : Mutex.t }
+module Omutex = Orion_util.Omutex
 
-let create_registry () : registry = { tbl = Hashtbl.create 64; mu = Mutex.create () }
+type registry = { tbl : (string, instrument) Hashtbl.t; mu : Omutex.t }
+
+let create_registry () : registry =
+  { tbl = Hashtbl.create 64; mu = Omutex.create Omutex.obs_registry }
 
 let default = create_registry ()
 
 (* The registry table itself is shared across domains (shards register
    and snapshot concurrently), so structural mutations and iteration
    take the registry mutex.  Instrument *updates* stay lock-free:
-   racing increments can at worst lose a count, never crash. *)
-let with_registry registry f =
-  Mutex.lock registry.mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock registry.mu) f
+   racing increments can at worst lose a count, never crash.  The
+   mutex is ranked (obs.registry): snapshot holds it while calling
+   gauge closures, which read the tailer and the WAL, so those classes
+   rank strictly above it. *)
+let with_registry registry f = Omutex.with_lock registry.mu f
 
 let register ?(registry = default) name instrument =
   with_registry registry (fun () -> Hashtbl.replace registry.tbl name instrument)

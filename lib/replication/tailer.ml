@@ -1,4 +1,5 @@
 module Obs = Orion_obs.Metrics
+module Omutex = Orion_util.Omutex
 module Wal = Orion_wal.Wal
 
 (* One shipped-but-unacknowledged batch: enough to turn the replica's
@@ -17,7 +18,7 @@ type sub = {
 
 type t = {
   wal : Wal.t;
-  mu : Mutex.t;
+  mu : Omutex.t;
   subs : (int, sub) Hashtbl.t;
   shipped_frames : Obs.counter;
   shipped_bytes : Obs.counter;
@@ -29,9 +30,7 @@ type t = {
 let heartbeat_interval = 1.0
 let default_max_bytes = 1 lsl 20
 
-let with_mu t f =
-  Mutex.lock t.mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+let with_mu t f = Omutex.with_lock t.mu f
 
 let lag_bytes_of t s = max 0 (Wal.durable_lsn t.wal - s.acked)
 
@@ -42,7 +41,7 @@ let create wal =
   let t =
     {
       wal;
-      mu = Mutex.create ();
+      mu = Omutex.create Omutex.repl_tailer;
       subs = Hashtbl.create 4;
       shipped_frames = Obs.counter "repl.shipped_frames";
       shipped_bytes = Obs.counter "repl.shipped_bytes";
@@ -68,38 +67,46 @@ let subscribe t ~from_lsn =
     Error
       (Printf.sprintf "subscribe LSN %d out of range (durable %d)" from_lsn
          durable)
-  else
-    with_mu t (fun () ->
-        (* Smallest free id, so a reconnecting replica reclaims the slot
-           it held before: its labeled lag gauges below re-register over
-           the dead subscription's (the metrics registry replaces on
-           name collision), resetting them to the live figures instead
-           of leaving stuck-at-0 cells behind and minting new labels on
-           every reconnect. *)
-        let rec fresh id = if Hashtbl.mem t.subs id then fresh (id + 1) else id in
-        let id = fresh 0 in
-        let s =
-          {
-            id;
-            sent = from_lsn;
-            acked = from_lsn;
-            last_send = Unix.gettimeofday ();
-            active = true;
-            inflight = Queue.create ();
-          }
-        in
-        Hashtbl.replace t.subs id s;
-        (* Per-replica lag cells, label convention as per-class lock
-           cells.  A gauge can't be unregistered, so it reads 0 once
-           the subscription is gone. *)
-        let labeled name =
-          Obs.labeled name ("replica", string_of_int id)
-        in
-        Obs.gauge (labeled "repl.lag_bytes") (fun () ->
-            if s.active then lag_bytes_of t s else 0);
-        Obs.gauge (labeled "repl.lag_records") (fun () ->
-            if s.active then lag_records_of s else 0);
-        Ok (id, durable))
+  else begin
+    let id, s =
+      with_mu t (fun () ->
+          (* Smallest free id, so a reconnecting replica reclaims the
+             slot it held before: its labeled lag gauges below
+             re-register over the dead subscription's (the metrics
+             registry replaces on name collision), resetting them to
+             the live figures instead of leaving stuck-at-0 cells
+             behind and minting new labels on every reconnect. *)
+          let rec fresh id =
+            if Hashtbl.mem t.subs id then fresh (id + 1) else id
+          in
+          let id = fresh 0 in
+          let s =
+            {
+              id;
+              sent = from_lsn;
+              acked = from_lsn;
+              last_send = Unix.gettimeofday ();
+              active = true;
+              inflight = Queue.create ();
+            }
+          in
+          Hashtbl.replace t.subs id s;
+          (id, s))
+    in
+    (* Per-replica lag cells, label convention as per-class lock cells.
+       A gauge can't be unregistered, so it reads 0 once the
+       subscription is gone.  Registration happens AFTER the tailer
+       mutex is released: Obs.snapshot holds the registry mutex while
+       calling the aggregate gauges above, which take the tailer mutex
+       — registering under it here is the reverse order, a latent
+       deadlock lockdep flags as registry/tailer inversion. *)
+    let labeled name = Obs.labeled name ("replica", string_of_int id) in
+    Obs.gauge (labeled "repl.lag_bytes") (fun () ->
+        if s.active then lag_bytes_of t s else 0);
+    Obs.gauge (labeled "repl.lag_records") (fun () ->
+        if s.active then lag_records_of s else 0);
+    Ok (id, durable)
+  end
 
 let unsubscribe t id =
   with_mu t (fun () ->

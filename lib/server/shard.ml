@@ -10,6 +10,7 @@ module Tx = Orion_tx.Tx_manager
 module Frame = Orion_protocol.Frame
 module Message = Orion_protocol.Message
 module Sexp = Orion_util.Sexp
+module Omutex = Orion_util.Omutex
 module Obs = Orion_obs.Metrics
 module Tailer = Orion_replication.Tailer
 module Snapshot_read = Orion_mvcc.Snapshot_read
@@ -83,7 +84,7 @@ type t = {
   owned_addr : addr option;  (* bound address, when the listener is ours *)
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
-  inbox_mu : Mutex.t;
+  inbox_mu : Omutex.t;
   inbox : Tx_service.peer_msg Queue.t;
   sessions : (int, session) Hashtbl.t;
   n_sessions : int Atomic.t;  (* shared with acceptor + stats readers *)
@@ -107,7 +108,7 @@ let create ~idx ~config ~svc ?listen ?owned_addr () =
       owned_addr;
       wake_r;
       wake_w;
-      inbox_mu = Mutex.create ();
+      inbox_mu = Omutex.create ~inst:idx Omutex.shard_inbox;
       inbox = Queue.create ();
       sessions = Hashtbl.create 32;
       n_sessions = Atomic.make 0;
@@ -137,9 +138,9 @@ let wake t byte =
   with Unix.Unix_error _ -> ()
 
 let enqueue t msg =
-  Mutex.lock t.inbox_mu;
+  Omutex.lock t.inbox_mu;
   Queue.push msg t.inbox;
-  Mutex.unlock t.inbox_mu;
+  Omutex.unlock t.inbox_mu;
   wake t 'M'
 
 (* [stop]/[kill] bytes bypass the inbox: a signal handler must not take
@@ -148,10 +149,10 @@ let request_stop t = wake t 'G'
 let request_kill t = wake t 'K'
 
 let take_inbox t =
-  Mutex.lock t.inbox_mu;
+  Omutex.lock t.inbox_mu;
   let msgs = List.of_seq (Queue.to_seq t.inbox) in
   Queue.clear t.inbox;
-  Mutex.unlock t.inbox_mu;
+  Omutex.unlock t.inbox_mu;
   msgs
 
 (* The true gauge: how many sessions are parked right now (the
@@ -172,7 +173,11 @@ let push session p = send session (Message.Push p)
 let error session code msg = reply session (Message.Error { code; msg })
 
 let flush_out session =
-  (* Write as much of the pending frames as the socket accepts. *)
+  (* Write as much of the pending frames as the socket accepts.  A
+     declared blocking point: sockets are non-blocking, but a write is
+     still a syscall a no-block lock holder has no business waiting
+     on. *)
+  Omutex.blocking ~op:"socket.write" @@ fun () ->
   let progress = ref true in
   while !progress && not (Queue.is_empty session.out) do
     let head = Queue.peek session.out in
@@ -1056,12 +1061,12 @@ let run t =
     | Draining deadline when now > deadline || Hashtbl.length t.sessions = 0 ->
         (* Grace expired or everyone is gone: close what remains. *)
         let remaining = Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions [] in
+        (* Flush outside the service lock (socket writes under it were
+           a held-across-blocking violation), then destroy under it —
+           the same split the closing-session sweep uses. *)
+        List.iter flush_out remaining;
         Tx_service.with_lock t.svc (fun () ->
-            List.iter
-              (fun s ->
-                flush_out s;
-                destroy t s)
-              remaining);
+            List.iter (fun s -> destroy t s) remaining);
         finished := true
     | Killed ->
         (* A kill simulates a crash for transactions — their locks and
@@ -1108,7 +1113,10 @@ let run t =
           (fun _ s acc -> if not (Queue.is_empty s.out) then s.fd :: acc else acc)
           t.sessions []
       in
-      match Unix.select reads writes [] 0.1 with
+      match
+        Omutex.blocking ~op:"unix.select" (fun () ->
+            Unix.select reads writes [] 0.1)
+      with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       | readable, writable, _ ->
           if List.mem t.wake_r readable then drain_wake t;

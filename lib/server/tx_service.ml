@@ -1,6 +1,7 @@
 module Eval = Orion_dsl.Eval
 module Tx = Orion_tx.Tx_manager
 module Obs = Orion_obs.Metrics
+module Omutex = Orion_util.Omutex
 module Tailer = Orion_replication.Tailer
 module Replica = Orion_replication.Replica
 open Orion_core
@@ -41,7 +42,7 @@ type t = {
   mutable wal_attached : bool;
   mutable repl : repl;
   mutable read_only : bool;
-  mu : Mutex.t;
+  mu : Omutex.t;
   tx_owner : (int, int * int) Hashtbl.t;  (* tx id -> (shard, session id) *)
   mutable posters : (peer_msg -> unit) array;  (* indexed by shard *)
   next_sid : int Atomic.t;
@@ -91,7 +92,7 @@ let create ?wal ?group_commit_window ?(repl = Standalone) ?lock_partitions env =
     wal_attached = Option.is_some wal;
     repl;
     read_only = (match repl with Replica_of _ -> true | _ -> false);
-    mu = Mutex.create ();
+    mu = Omutex.create Omutex.txsvc_core;
     tx_owner = Hashtbl.create 32;
     posters = [||];
     next_sid = Atomic.make 0;
@@ -128,9 +129,9 @@ let post t ~shard msg = t.posters.(shard) msg
    contended counter measure exactly what this mutex costs. *)
 let with_lock t f =
   let t0 = Unix.gettimeofday () in
-  if not (Mutex.try_lock t.mu) then begin
+  if not (Omutex.try_lock t.mu) then begin
     Obs.incr t.contended;
-    Mutex.lock t.mu
+    Omutex.lock t.mu
   end;
   Obs.incr t.acquires;
   let acquired = Unix.gettimeofday () in
@@ -138,7 +139,7 @@ let with_lock t f =
   Fun.protect
     ~finally:(fun () ->
       Obs.observe t.lock_hold_seconds (Unix.gettimeofday () -. acquired);
-      Mutex.unlock t.mu)
+      Omutex.unlock t.mu)
     f
 
 (* Transaction ownership (under the service lock). *)

@@ -314,8 +314,15 @@ let commit t tx =
       let records = Orion_wal.Wal.commit_records t.db ~tx:tx.id ~touched in
       let next_oid, _ = Database.counters t.db in
       let cc = Database.current_cc t.db in
-      Orion_wal.Wal.log_batch wal ~records
-        ~seal:(Orion_wal.Wal_record.Commit { tx = tx.id; next_oid; clock; cc });
+      (* The direct path's fsync runs under whatever lock the caller
+         holds (the server dispatches commits under the service lock) —
+         by design: strict 2PL keeps the locks across the durability
+         point.  Declared as a lockdep exemption; group commit exists
+         precisely to amortize this. *)
+      Orion_util.Omutex.allow_blocking "direct-commit-durability" (fun () ->
+          Orion_wal.Wal.log_batch wal ~records
+            ~seal:
+              (Orion_wal.Wal_record.Commit { tx = tx.id; next_oid; clock; cc }));
       Version_store.publish_records t.mvcc ~clock records
   | None ->
       Version_store.publish t.mvcc ~clock

@@ -1,4 +1,5 @@
 module Obs = Orion_obs.Metrics
+module Omutex = Orion_util.Omutex
 
 (* A commit submitted for batching: its pre-captured records, the
    counters it would seal with, and how to tell its shard the outcome.
@@ -21,7 +22,7 @@ type t = {
          before any member is notified: the MVCC version store hooks in
          here, so a batch is visible to snapshots (atomically, at the
          one seal clock) no later than its locks release *)
-  mu : Mutex.t;
+  mu : Omutex.t;
   cond : Condition.t;
   mutable pending : pending list;  (* newest first *)
   mutable eager : bool;  (* no one else can join: flush without waiting *)
@@ -36,9 +37,9 @@ type t = {
 }
 
 let submit t ~tx ~records ~next_oid ~clock ~cc ~eager ~notify =
-  Mutex.lock t.mu;
+  Omutex.lock t.mu;
   if t.stopping then begin
-    Mutex.unlock t.mu;
+    Omutex.unlock t.mu;
     invalid_arg "Group_commit.submit: committer is shutting down"
   end;
   t.pending <-
@@ -53,12 +54,12 @@ let submit t ~tx ~records ~next_oid ~clock ~cc ~eager ~notify =
     :: t.pending;
   if eager then t.eager <- true;
   Condition.signal t.cond;
-  Mutex.unlock t.mu
+  Omutex.unlock t.mu
 
 let pending_count t =
-  Mutex.lock t.mu;
+  Omutex.lock t.mu;
   let n = List.length t.pending + if t.flushing then 1 else 0 in
-  Mutex.unlock t.mu;
+  Omutex.unlock t.mu;
   n
 
 (* Write one batch: every member's records, one seal, one sync.  A solo
@@ -110,28 +111,28 @@ let flush_batch t batch =
 
 let committer t () =
   let rec loop () =
-    Mutex.lock t.mu;
+    Omutex.lock t.mu;
     while t.pending = [] && not t.stopping do
-      Condition.wait t.cond t.mu
+      Omutex.wait t.cond t.mu
     done;
-    if t.pending = [] && t.stopping then Mutex.unlock t.mu
+    if t.pending = [] && t.stopping then Omutex.unlock t.mu
     else begin
       let wait = (not t.eager) && (not t.stopping) && t.window > 0. in
-      Mutex.unlock t.mu;
+      Omutex.unlock t.mu;
       (* The batching window: stay open for stragglers unless the
          submitter told us nobody else can join (no other transaction
          is in flight) — then the delay would be pure added latency. *)
       if wait then Thread.delay t.window;
-      Mutex.lock t.mu;
+      Omutex.lock t.mu;
       let batch = t.pending in
       t.pending <- [];
       t.eager <- false;
       t.flushing <- true;
-      Mutex.unlock t.mu;
+      Omutex.unlock t.mu;
       flush_batch t batch;
-      Mutex.lock t.mu;
+      Omutex.lock t.mu;
       t.flushing <- false;
-      Mutex.unlock t.mu;
+      Omutex.unlock t.mu;
       loop ()
     end
   in
@@ -140,10 +141,10 @@ let committer t () =
      this is a simulated kill-9, where losing the un-synced tail is the
      whole point. *)
   if not t.discard then begin
-    Mutex.lock t.mu;
+    Omutex.lock t.mu;
     let tail = t.pending in
     t.pending <- [];
-    Mutex.unlock t.mu;
+    Omutex.unlock t.mu;
     if tail <> [] then flush_batch t tail
   end
 
@@ -153,7 +154,7 @@ let create ?(window = 0.002) ?on_sealed wal =
       wal;
       window;
       on_sealed;
-      mu = Mutex.create ();
+      mu = Omutex.create Omutex.group_commit;
       cond = Condition.create ();
       pending = [];
       eager = false;
@@ -171,11 +172,11 @@ let create ?(window = 0.002) ?on_sealed wal =
   t
 
 let stop ~discard t =
-  Mutex.lock t.mu;
+  Omutex.lock t.mu;
   t.stopping <- true;
   t.discard <- discard;
   Condition.signal t.cond;
-  Mutex.unlock t.mu;
+  Omutex.unlock t.mu;
   match t.thread with
   | Some th ->
       Thread.join th;

@@ -3,6 +3,7 @@ module Store = Orion_storage.Store
 module Disk = Orion_storage.Disk
 module R = Orion_storage.Bytes_rw.Reader
 module Obs = Orion_obs.Metrics
+module Omutex = Orion_util.Omutex
 module Checksum = Orion_storage.Checksum
 
 exception Crashed
@@ -16,8 +17,10 @@ type t = {
   (* The log buffer is shared between shard domains (via the mutator
      observers) and the group-commit committer thread; every buffer
      mutation or read happens under [mu].  The mutex is never held
-     across a callback, so there is no nesting. *)
-  mu : Mutex.t;
+     across a callback, so there is no nesting.  Ranked wal.log: held
+     across the fsync-point by design — that cost is exactly what
+     group commit amortizes. *)
+  mu : Omutex.t;
   appends : Obs.counter;
   bytes_logged : Obs.counter;
   syncs : Obs.counter;
@@ -36,7 +39,7 @@ type t = {
 let create () =
   {
     buf = Buffer.create 4096;
-    mu = Mutex.create ();
+    mu = Omutex.create Omutex.wal_log;
     appends = Obs.counter "wal.appends";
     bytes_logged = Obs.counter "wal.bytes";
     syncs = Obs.counter "wal.syncs";
@@ -50,9 +53,7 @@ let create () =
     durable = 0;
   }
 
-let with_mu t f =
-  Mutex.lock t.mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+let with_mu t f = Omutex.with_lock t.mu f
 
 let size t = with_mu t (fun () -> Buffer.length t.buf)
 
@@ -131,7 +132,10 @@ let sync_unlocked t =
      reach the filesystem, so a process crash loses at most the appends
      since the last commit/checkpoint. *)
   let started = Unix.gettimeofday () in
-  (match t.backing with Some path -> save_file_unlocked t path | None -> ());
+  (match t.backing with
+  | Some path ->
+      Omutex.blocking ~op:"wal.fsync" (fun () -> save_file_unlocked t path)
+  | None -> ());
   t.durable <- Buffer.length t.buf;
   Obs.observe t.sync_hist (Unix.gettimeofday () -. started)
 
@@ -339,7 +343,11 @@ let attach ?snapshot_path ?(truncate_on_checkpoint = true) t db =
        | Database.Ckpt_begin -> append t Wal_record.Checkpoint_begin
        | Database.Ckpt_end ->
            (* Force: every dirty page reaches the disk (and hence the
-              log) before the checkpoint record seals the bracket. *)
+              log) before the checkpoint record seals the bracket.
+              Checkpoints run under the service lock on purpose — the
+              bracket must not interleave with mutators — so the fsync
+              inside is a declared lockdep exemption. *)
+           Omutex.allow_blocking "checkpoint-durability" @@ fun () ->
            let store = Database.store db in
            Store.flush store;
            (match snapshot_path with

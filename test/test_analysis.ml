@@ -190,6 +190,50 @@ let test_ordering_and_sexp () =
         | exception _ -> false))
     findings
 
+(* DESIGN.md §17 embeds the lock hierarchy between lockdep markers;
+   the table is generated (`orion lockdep-check --hierarchy`), and this
+   test fails when the document drifts from the declarations in
+   omutex.ml.  Lives here rather than in test_lockdep because that
+   suite declares private test classes, which would pollute
+   [hierarchy_markdown].  The test binary runs from a _build
+   subdirectory, so DESIGN.md is found by walking up. *)
+let test_design_doc_in_sync () =
+  let rec find dir depth =
+    let candidate = Filename.concat dir "DESIGN.md" in
+    if Sys.file_exists candidate then Some candidate
+    else if depth = 0 then None
+    else find (Filename.dirname dir) (depth - 1)
+  in
+  match find (Sys.getcwd ()) 6 with
+  | None -> Alcotest.fail "DESIGN.md not found walking up from cwd"
+  | Some path ->
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let doc = really_input_string ic n in
+      close_in ic;
+      let embedded =
+        let b = "<!-- lockdep:begin -->\n" and e = "<!-- lockdep:end -->" in
+        let rec index_from i =
+          if i + String.length b > String.length doc then
+            Alcotest.fail "DESIGN.md has no lockdep markers"
+          else if String.sub doc i (String.length b) = b then
+            i + String.length b
+          else index_from (i + 1)
+        in
+        let start = index_from 0 in
+        let rec index_end i =
+          if i + String.length e > String.length doc then
+            Alcotest.fail "DESIGN.md lockdep block is unterminated"
+          else if String.sub doc i (String.length e) = e then i
+          else index_end (i + 1)
+        in
+        String.sub doc start (index_end start - start)
+      in
+      Alcotest.(check string)
+        "DESIGN.md lock hierarchy matches omutex.ml declarations"
+        (Orion_util.Omutex.hierarchy_markdown ())
+        embedded
+
 let () =
   Alcotest.run "orion_analysis"
     [
@@ -206,5 +250,10 @@ let () =
           Alcotest.test_case "shadowed attribute" `Quick
             test_shadowed_composite_attribute;
           Alcotest.test_case "ordering and sexp" `Quick test_ordering_and_sexp;
+        ] );
+      ( "lockdep docs",
+        [
+          Alcotest.test_case "DESIGN.md \xc2\xa717 in sync" `Quick
+            test_design_doc_in_sync;
         ] );
     ]

@@ -275,6 +275,9 @@ let test_fsck_clean_on_group_committed_store () =
          (List.map (Format.asprintf "%a" SC.pp_issue) report.SC.issues))
 
 let () =
+  (* ORION_LOCKDEP=1: watch this suite's real lock traffic; install's
+     exit hook fails the run on any discipline violation. *)
+  Orion_analysis.Lockdep.install_from_env ();
   Alcotest.run "orion_group_commit"
     [
       ( "batching",

@@ -557,6 +557,158 @@ let test_single_partition_no_merged_search () =
   Alcotest.(check (option (list int))) "clean after abort" None (LP.find_deadlock p);
   Alcotest.(check int) "still no merged search" merged0 (merged_searches ())
 
+(* Stress the merged deadlock search under real parallelism: 4 domains
+   hammer a 4-partition lock space over a deliberately tiny granule
+   pool, taking pairs in opposite orders so cross-partition cycles —
+   and therefore the merged (all-mutexes, ascending) search — actually
+   happen.  Meanwhile a private lockdep engine watches every partition
+   mutex acquisition: the merged search's multi-hold must be clean
+   (inside its declared region, ascending), and mutual exclusion is
+   re-checked with an owner-cell CAS on every direct grant. *)
+let test_merged_search_stress_4x4 () =
+  let module Lockdep = Orion_analysis.Lockdep in
+  let module Omutex = Orion_util.Omutex in
+  let eng = Lockdep.create_engine () in
+  Omutex.set_tracer (Some (Lockdep.tracer_of eng));
+  Fun.protect
+    ~finally:(fun () ->
+      match Lockdep.installed () with
+      | Some global -> Omutex.set_tracer (Some (Lockdep.tracer_of global))
+      | None -> Omutex.set_tracer None)
+  @@ fun () ->
+  let p = LP.create ~n:4 () in
+  LP.set_keyer p by_oid;
+  let n_oids = 8 in
+  let owner = Array.init n_oids (fun _ -> Atomic.make 0) in
+  let double_holds = Atomic.make 0 in
+  let cycles_broken = Atomic.make 0 in
+  let merged0 = merged_searches () in
+  let rounds = 400 in
+  let worker d =
+    for r = 1 to rounds do
+      let tx = (d * rounds) + r in
+      (* Opposite orders by domain parity: even domains walk the oid
+         ring up, odd domains walk it down — classic ABBA, split
+         across partitions because consecutive oids key to different
+         slices. *)
+      let a = (d + r) mod n_oids in
+      let b = (a + 1) mod n_oids in
+      let g1, g2 = if d land 1 = 0 then (a, b) else (b, a) in
+      let grant i tx =
+        (* A direct grant means exclusive ownership: the previous
+           owner cell must be empty.  (Promotions of queued waiters
+           never race this: a blocked tx here is aborted at once, and
+           release_all drops its queue entries with it.) *)
+        if not (Atomic.compare_and_set owner.(i) 0 tx) then
+          Atomic.incr double_holds
+      in
+      let ungrant i tx = ignore (Atomic.compare_and_set owner.(i) tx 0 : bool) in
+      (match LP.acquire p ~tx (LT.G_instance (Oid.of_int g1)) LM.X with
+      | `Blocked -> ignore (LP.release_all p ~tx : int list)
+      | `Granted -> (
+          grant g1 tx;
+          (match LP.acquire p ~tx (LT.G_instance (Oid.of_int g2)) LM.X with
+          | `Granted -> grant g2 tx; ungrant g2 tx
+          | `Blocked ->
+              (* Both halves of an ABBA park right here in two
+                 different domains: dwell a little so the windows
+                 overlap and find_deadlock sees waiters in 2+
+                 partitions — the merged search's trigger. *)
+              let found = ref false in
+              let tries = ref 0 in
+              while (not !found) && !tries < 10 do
+                incr tries;
+                (match LP.find_deadlock p with
+                | Some _ ->
+                    Atomic.incr cycles_broken;
+                    found := true
+                | None -> ());
+                Thread.yield ()
+              done);
+          ungrant g1 tx;
+          ignore (LP.release_all p ~tx : int list)))
+    done
+  in
+  let domains = Array.init 4 (fun d -> Domain.spawn (fun () -> worker d)) in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "mutual exclusion held" 0 (Atomic.get double_holds);
+  (* The random phase usually produces a cross-partition standoff, but
+     "usually" is flaky; stage a guaranteed one.  Two domains each
+     take their own granule (different partitions), rendezvous, then
+     take each other's: both are parked before either scans, so the
+     scan sees waiters in two partitions and must run the merged
+     search — the only one that can find this cycle. *)
+  let barrier = Atomic.make 0 in
+  let merged1 = merged_searches () in
+  let standoff me other =
+    let tx = 100_000 + me in
+    (match LP.acquire p ~tx (LT.G_instance (Oid.of_int me)) LM.X with
+    | `Granted -> ()
+    | `Blocked -> Alcotest.fail "standoff granule unexpectedly held");
+    Atomic.incr barrier;
+    while Atomic.get barrier < 2 do
+      Domain.cpu_relax ()
+    done;
+    (match LP.acquire p ~tx (LT.G_instance (Oid.of_int other)) LM.X with
+    | `Granted -> Alcotest.fail "ABBA second grant should block"
+    | `Blocked ->
+        while merged_searches () = merged1 do
+          (match LP.find_deadlock p with
+          | Some _ -> Atomic.incr cycles_broken
+          | None -> ());
+          Thread.yield ()
+        done);
+    ignore (LP.release_all p ~tx : int list)
+  in
+  let d0 = Domain.spawn (fun () -> standoff 0 1) in
+  let d1 = Domain.spawn (fun () -> standoff 1 0) in
+  Domain.join d0;
+  Domain.join d1;
+  Alcotest.(check bool) "the merged search ran under contention" true
+    (merged_searches () > merged0);
+  Alcotest.(check bool) "a cross-partition cycle was found and broken" true
+    (Atomic.get cycles_broken > 0);
+  let errors =
+    List.filter
+      (fun f -> f.Orion_analysis.Schema_analysis.severity
+                = Orion_analysis.Schema_analysis.Error)
+      (Lockdep.engine_findings eng)
+  in
+  (match errors with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "lockdep flagged the merged search: %s"
+        f.Orion_analysis.Schema_analysis.detail);
+  (* Positive control: the same watcher, fed the inverse discipline on
+     two partition mutexes — descending outside any region — must
+     produce a merged-search-protocol error with both sites, or the
+     clean run above proves nothing. *)
+  let eng2 = Lockdep.create_engine () in
+  Omutex.set_tracer (Some (Lockdep.tracer_of eng2));
+  let m0 = Omutex.create ~inst:0 Omutex.lock_partition in
+  let m1 = Omutex.create ~inst:1 Omutex.lock_partition in
+  Omutex.lock m1;
+  Omutex.lock m0;
+  Omutex.unlock m0;
+  Omutex.unlock m1;
+  match
+    List.find_opt
+      (fun f ->
+        String.equal f.Orion_analysis.Schema_analysis.code
+          "merged-search-protocol")
+      (Lockdep.engine_findings eng2)
+  with
+  | None -> Alcotest.fail "seeded inversion went unflagged"
+  | Some f ->
+      Alcotest.(check bool) "witness names this file" true
+        (let d = f.Orion_analysis.Schema_analysis.detail in
+         let needle = "test_locking.ml" in
+         let nh = String.length d and nn = String.length needle in
+         let rec go i =
+           i + nn <= nh && (String.sub d i nn = needle || go (i + 1))
+         in
+         go 0)
+
 (* Property: a constructed wait-for cycle of length k spanning several
    partitions is always found by the facade, agrees with a one-table
    oracle running the same script, and aborting the youngest member
@@ -608,6 +760,9 @@ let prop_cross_partition_cycles_found =
       LP.find_deadlock p = None && LT.find_deadlock oracle = None)
 
 let () =
+  (* ORION_LOCKDEP=1: watch this suite's real lock traffic; install's
+     exit hook fails the run on any discipline violation. *)
+  Orion_analysis.Lockdep.install_from_env ();
   Alcotest.run "orion_locking"
     [
       ( "modes",
@@ -657,6 +812,8 @@ let () =
             test_cross_partition_cycle_found;
           Alcotest.test_case "single partition never merges" `Quick
             test_single_partition_no_merged_search;
+          Alcotest.test_case "merged search stress 4x4 under lockdep" `Quick
+            test_merged_search_stress_4x4;
           QCheck_alcotest.to_alcotest prop_cross_partition_cycles_found;
         ] );
       ( "properties",

@@ -575,6 +575,9 @@ let test_replica_snapshot_reads () =
           Client.close w))
 
 let () =
+  (* ORION_LOCKDEP=1: watch this suite's real lock traffic; install's
+     exit hook fails the run on any discipline violation. *)
+  Orion_analysis.Lockdep.install_from_env ();
   Alcotest.run "orion_mvcc"
     [
       ( "version store",

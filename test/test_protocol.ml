@@ -268,6 +268,9 @@ let test_addr_parse () =
     | _ -> false)
 
 let () =
+  (* ORION_LOCKDEP=1: watch this suite's real lock traffic; install's
+     exit hook fails the run on any discipline violation. *)
+  Orion_analysis.Lockdep.install_from_env ();
   Alcotest.run "orion_protocol"
     [
       ( "frames",

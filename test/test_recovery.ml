@@ -298,6 +298,9 @@ let test_recover_checkpoint_recover () =
     (Database.count db2)
 
 let () =
+  (* ORION_LOCKDEP=1: watch this suite's real lock traffic; install's
+     exit hook fails the run on any discipline violation. *)
+  Orion_analysis.Lockdep.install_from_env ();
   Alcotest.run "orion_recovery"
     [
       ( "crash matrix",

@@ -324,6 +324,9 @@ let test_standalone_refuses_subscribe () =
       Client.close c)
 
 let () =
+  (* ORION_LOCKDEP=1: watch this suite's real lock traffic; install's
+     exit hook fails the run on any discipline violation. *)
+  Orion_analysis.Lockdep.install_from_env ();
   Alcotest.run "orion_replication"
     [
       ( "shipping",

@@ -1167,6 +1167,9 @@ let test_solo_committer_seals_eagerly () =
   ()
 
 let () =
+  (* ORION_LOCKDEP=1: watch this suite's real lock traffic; install's
+     exit hook fails the run on any discipline violation. *)
+  Orion_analysis.Lockdep.install_from_env ();
   Alcotest.run "orion_server"
     [
       ( "sessions",

@@ -513,6 +513,9 @@ let prop_extend_first_capture_wins =
           && Value.equal (Object_manager.read_attr db leaf "Tag") (Value.Int v))
 
 let () =
+  (* ORION_LOCKDEP=1: watch this suite's real lock traffic; install's
+     exit hook fails the run on any discipline violation. *)
+  Orion_analysis.Lockdep.install_from_env ();
   Alcotest.run "orion_tx"
     [
       ( "snapshots",

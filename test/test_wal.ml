@@ -157,6 +157,9 @@ let test_file_roundtrip () =
         (List.length records))
 
 let () =
+  (* ORION_LOCKDEP=1: watch this suite's real lock traffic; install's
+     exit hook fails the run on any discipline violation. *)
+  Orion_analysis.Lockdep.install_from_env ();
   Alcotest.run "orion_wal"
     [
       ( "codec",
